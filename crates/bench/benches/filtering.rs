@@ -1,0 +1,101 @@
+//! Filter-stack throughput: temporal, spatial, causal, and job-related
+//! stages at two log scales, plus a temporal-threshold sweep (the paper's
+//! fixed-threshold choice vs. alternatives).
+
+use bgp_sim::{SimConfig, Simulation};
+use coanalysis::event::Event;
+use coanalysis::filter::{CausalFilter, JobRelatedFilter, SpatialFilter, TemporalFilter};
+use coanalysis::matching::Matcher;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+struct Prepared {
+    label: &'static str,
+    raw: Vec<Event>,
+    jobs: joblog::JobLog,
+}
+
+fn prepare(label: &'static str, days: u32, seed: u64) -> Prepared {
+    let mut cfg = SimConfig::small_test(seed);
+    cfg.days = days;
+    cfg.num_execs = 500 * days / 12;
+    let out = Simulation::new(cfg).run();
+    Prepared {
+        label,
+        raw: Event::from_fatal_records(&out.ras),
+        jobs: out.jobs,
+    }
+}
+
+fn bench_filters(c: &mut Criterion) {
+    let sets = [prepare("12d", 12, 1), prepare("48d", 48, 2)];
+
+    let mut g = c.benchmark_group("temporal_filter");
+    for p in &sets {
+        g.throughput(Throughput::Elements(p.raw.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(p.label), p, |b, p| {
+            let f = TemporalFilter::default();
+            b.iter(|| black_box(f.apply(&p.raw)));
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("spatial_filter");
+    for p in &sets {
+        let t = TemporalFilter::default().apply(&p.raw);
+        g.throughput(Throughput::Elements(t.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(p.label), &t, |b, t| {
+            let f = SpatialFilter::default();
+            b.iter(|| black_box(f.apply(t)));
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("causal_filter");
+    for p in &sets {
+        let ts = SpatialFilter::default().apply(&TemporalFilter::default().apply(&p.raw));
+        g.throughput(Throughput::Elements(ts.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(p.label), &ts, |b, ts| {
+            let f = CausalFilter::default();
+            b.iter(|| black_box(f.filter(ts)));
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("job_related_filter");
+    for p in &sets {
+        let ts = SpatialFilter::default().apply(&TemporalFilter::default().apply(&p.raw));
+        let (events, _) = CausalFilter::default().filter(&ts);
+        let matching = Matcher::default().run(&events, &p.jobs);
+        g.throughput(Throughput::Elements(events.len() as u64));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(p.label),
+            &(events, matching),
+            |b, (events, matching)| {
+                b.iter(|| black_box(JobRelatedFilter.apply(events, matching, &p.jobs)));
+            },
+        );
+    }
+    g.finish();
+
+    // Ablation: how the temporal threshold changes cost (and compression).
+    let mut g = c.benchmark_group("temporal_threshold_sweep");
+    let p = &sets[0];
+    for secs in [60i64, 300, 900] {
+        let f = TemporalFilter {
+            threshold: bgp_model::Duration::seconds(secs),
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(secs), &f, |b, f| {
+            b.iter(|| black_box(f.apply(&p.raw)));
+        });
+    }
+    // Adaptive (per-code learned thresholds) vs the fixed default.
+    g.bench_function("adaptive", |b| {
+        let f = coanalysis::filter::AdaptiveTemporalFilter::default();
+        b.iter(|| black_box(f.apply(&p.raw)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_filters);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Statistical-kernel costs: Weibull/exponential MLE, ECDF evaluation,
+//! likelihood-ratio comparison, KS distance, information-gain ranking.
+
+use bgp_stats::infogain::{rank_features, FeatureColumn};
+use bgp_stats::sample::weibull as sample_weibull;
+use bgp_stats::{compare_models, Ecdf, Exponential, Weibull};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+
+fn sample(n: usize) -> Vec<f64> {
+    let mut rng = SmallRng::seed_from_u64(9);
+    (0..n)
+        .map(|_| sample_weibull(&mut rng, 0.55, 40_000.0))
+        .collect()
+}
+
+fn bench_fitting(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mle");
+    for n in [500usize, 5_000, 50_000] {
+        let xs = sample(n);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("weibull", n), &xs, |b, xs| {
+            b.iter(|| black_box(Weibull::fit_mle(xs).unwrap()));
+        });
+        g.bench_with_input(BenchmarkId::new("exponential", n), &xs, |b, xs| {
+            b.iter(|| black_box(Exponential::fit_mle(xs).unwrap()));
+        });
+        g.bench_with_input(BenchmarkId::new("lrt_compare", n), &xs, |b, xs| {
+            b.iter(|| black_box(compare_models(xs).unwrap()));
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("ecdf");
+    let xs = sample(50_000);
+    let ecdf = Ecdf::new(&xs).unwrap();
+    g.bench_function("build_50k", |b| {
+        b.iter(|| black_box(Ecdf::new(&xs).unwrap()));
+    });
+    g.bench_function("eval_10k_points", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..10_000 {
+                acc += ecdf.eval(i as f64 * 40.0);
+            }
+            black_box(acc)
+        });
+    });
+    g.bench_function("ks_statistic_50k", |b| {
+        let w = Weibull::fit_mle(&xs).unwrap();
+        b.iter(|| black_box(bgp_stats::ks::ks_statistic(&xs, |x| w.cdf(x)).unwrap()));
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("infogain");
+    let mut rng = SmallRng::seed_from_u64(4);
+    let n = 68_000;
+    let labels: Vec<usize> = (0..n)
+        .map(|_| usize::from(rng.random::<f64>() < 0.005))
+        .collect();
+    let features: Vec<FeatureColumn> = [("size", 9usize), ("time", 4), ("user", 2)]
+        .iter()
+        .map(|&(name, card)| FeatureColumn {
+            name: name.into(),
+            values: (0..n).map(|_| rng.random_range(0..card)).collect(),
+            cardinality: card,
+        })
+        .collect();
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("rank_3_features_68k_jobs", |b| {
+        b.iter(|| black_box(rank_features(&features, &labels, 2).unwrap()));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fitting);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Event↔job matching throughput and the interval-index queries behind it.
+
+use bgp_sim::{SimConfig, Simulation};
+use coanalysis::event::Event;
+use coanalysis::filter::{CausalFilter, SpatialFilter, TemporalFilter};
+use coanalysis::matching::Matcher;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_matching(c: &mut Criterion) {
+    let out = Simulation::new(SimConfig::small_test(3)).run();
+    let raw = Event::from_fatal_records(&out.ras);
+    let ts = SpatialFilter::default().apply(&TemporalFilter::default().apply(&raw));
+    let (events, _) = CausalFilter::default().filter(&ts);
+
+    let mut g = c.benchmark_group("matching");
+    g.throughput(Throughput::Elements(events.len() as u64));
+    g.bench_function("match_events_to_jobs", |b| {
+        let m = Matcher::default();
+        b.iter(|| black_box(m.run(&events, &out.jobs)));
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("interval_index");
+    let times: Vec<bgp_model::Timestamp> = events.iter().map(|e| e.time).collect();
+    let mids: Vec<bgp_model::MidplaneId> = events.iter().map(|e| e.midplane()).collect();
+    g.throughput(Throughput::Elements(times.len() as u64));
+    g.bench_function("running_at_sweep", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for (&t, &m) in times.iter().zip(&mids) {
+                total += out.jobs.running_at(m, t).len();
+            }
+            black_box(total)
+        });
+    });
+    g.bench_function("ended_in_window_sweep", |b| {
+        let w = bgp_model::Duration::seconds(30);
+        b.iter(|| {
+            let mut total = 0usize;
+            for &t in &times {
+                total += out.jobs.ended_in_window(t - w, t + w).len();
+            }
+            black_box(total)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_matching);
+criterion_main!(benches);

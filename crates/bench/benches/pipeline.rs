@@ -1,0 +1,68 @@
+//! End-to-end co-analysis cost, and the parallel-vs-sequential ablation for
+//! the sharded filter stages.
+
+use bgp_sim::{SimConfig, Simulation, SimOutput};
+use coanalysis::{CoAnalysis, CoAnalysisConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn prepare(days: u32, seed: u64) -> SimOutput {
+    let mut cfg = SimConfig::small_test(seed);
+    cfg.days = days;
+    cfg.num_execs = 500 * days / 12;
+    // More noise so the fatal stream is large enough for parallelism to pay.
+    cfg.noise_scale = 0.05;
+    Simulation::new(cfg).run()
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let small = prepare(12, 7);
+    let large = prepare(48, 8);
+
+    let mut g = c.benchmark_group("pipeline_end_to_end");
+    g.sample_size(20);
+    for (label, out) in [("12d", &small), ("48d", &large)] {
+        g.throughput(Throughput::Elements(out.ras.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(label), out, |b, out| {
+            let ca = CoAnalysis::default();
+            b.iter(|| black_box(ca.run(&out.ras, &out.jobs)));
+        });
+    }
+    g.finish();
+
+    // Ablation: sequential vs parallel shard filtering.
+    let mut g = c.benchmark_group("pipeline_parallelism");
+    g.sample_size(20);
+    for (label, sequential) in [("sequential", true), ("parallel", false)] {
+        let config = if sequential {
+            CoAnalysisConfig::sequential()
+        } else {
+            CoAnalysisConfig::default()
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(label), &config, |b, config| {
+            let ca = CoAnalysis::with_config(*config);
+            b.iter(|| black_box(ca.run(&large.ras, &large.jobs)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_streaming(c: &mut Criterion) {
+    use coanalysis::stream::OnlineAnalyzer;
+    let out = prepare(12, 9);
+    let mut g = c.benchmark_group("online_analyzer");
+    g.throughput(Throughput::Elements(out.ras.len() as u64));
+    g.bench_function("push_whole_log", |b| {
+        b.iter(|| {
+            let mut a = OnlineAnalyzer::new();
+            for r in out.ras.records() {
+                a.push(r);
+            }
+            black_box(a.events_out())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_streaming);
+criterion_main!(benches);

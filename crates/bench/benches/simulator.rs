@@ -1,0 +1,41 @@
+//! Simulator throughput: full discrete-event runs at increasing window
+//! lengths, and the RAS emission volume sweep.
+
+use bgp_sim::{SimConfig, Simulation};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulation");
+    g.sample_size(10);
+    for days in [6u32, 12, 24] {
+        let mut cfg = SimConfig::small_test(5);
+        cfg.days = days;
+        cfg.num_execs = 500 * days / 12;
+        // Throughput in simulated days per iteration.
+        g.throughput(Throughput::Elements(u64::from(days)));
+        g.bench_with_input(BenchmarkId::new("days", days), &cfg, |b, cfg| {
+            b.iter(|| black_box(Simulation::new(cfg.clone()).run()));
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("emission");
+    g.sample_size(10);
+    // Noise-scale sweep: background emission dominates full-scale runs.
+    for scale in [0.01f64, 0.1, 0.5] {
+        let mut cfg = SimConfig::small_test(6);
+        cfg.noise_scale = scale;
+        g.bench_with_input(
+            BenchmarkId::new("noise_scale", format!("{scale}")),
+            &cfg,
+            |b, cfg| {
+                b.iter(|| black_box(Simulation::new(cfg.clone()).run().ras.len()));
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

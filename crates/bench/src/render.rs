@@ -1,0 +1,109 @@
+//! Tiny text-rendering helpers for experiment output: aligned tables and
+//! ASCII sparkline-style series.
+
+/// Render rows as an aligned, pipe-separated table. The first row is the
+/// header.
+pub fn table(rows: &[Vec<String>]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let cols = rows.iter().map(|r| r.len()).max().unwrap_or(0);
+    let mut widths = vec![0usize; cols];
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    for (ri, row) in rows.iter().enumerate() {
+        let mut line = String::new();
+        for (i, w) in widths.iter().enumerate() {
+            let cell = row.get(i).map(String::as_str).unwrap_or("");
+            let pad = w - cell.chars().count();
+            line.push_str("| ");
+            line.push_str(cell);
+            line.push_str(&" ".repeat(pad + 1));
+        }
+        line.push('|');
+        out.push_str(&line);
+        out.push('\n');
+        if ri == 0 {
+            let total: usize = widths.iter().map(|w| w + 3).sum::<usize>() + 1;
+            out.push_str(&"-".repeat(total));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Render a numeric series as a fixed-height ASCII bar chart (one column
+/// per value), with a y-axis legend. Good enough to eyeball Figure 4/5
+/// shapes in a terminal.
+pub fn bars(values: &[f64], height: usize) -> String {
+    if values.is_empty() || height == 0 {
+        return String::new();
+    }
+    let max = values.iter().cloned().fold(0.0f64, f64::max);
+    if max <= 0.0 {
+        return format!("(all zero, {} points)\n", values.len());
+    }
+    let mut out = String::new();
+    for level in (1..=height).rev() {
+        let threshold = max * level as f64 / height as f64;
+        let row: String = values
+            .iter()
+            .map(|&v| if v >= threshold - 1e-12 { '#' } else { ' ' })
+            .collect();
+        if level == height {
+            out.push_str(&format!("{max:>10.1} |{row}|\n"));
+        } else {
+            out.push_str(&format!("{:>10} |{row}|\n", ""));
+        }
+    }
+    out.push_str(&format!(
+        "{:>10} +{}+\n",
+        0,
+        "-".repeat(values.len())
+    ));
+    out
+}
+
+/// Percent formatting.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", 100.0 * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = table(&[
+            vec!["a".into(), "long header".into()],
+            vec!["xxxx".into(), "1".into()],
+        ]);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(table(&[]).is_empty());
+    }
+
+    #[test]
+    fn bars_shape() {
+        let b = bars(&[1.0, 2.0, 4.0], 4);
+        let lines: Vec<&str> = b.lines().collect();
+        assert_eq!(lines.len(), 5);
+        // The tallest bar reaches the top row; the shortest only the bottom.
+        assert!(lines[0].contains('#'));
+        assert!(lines[3].contains("###"));
+        assert!(bars(&[], 4).is_empty());
+        assert!(bars(&[0.0, 0.0], 3).contains("all zero"));
+    }
+
+    #[test]
+    fn pct_format() {
+        assert_eq!(pct(0.1234), "12.34%");
+    }
+}

@@ -1,0 +1,88 @@
+//! Error types for the machine model.
+
+use std::fmt;
+
+/// Errors produced while parsing or validating machine-model entities.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A location string did not match the BG/P location grammar.
+    InvalidLocation {
+        /// The offending input string.
+        input: String,
+        /// Human-readable description of what went wrong.
+        reason: &'static str,
+    },
+    /// A numeric component (rack row/column, midplane, card, slot) was out of
+    /// range for the machine.
+    OutOfRange {
+        /// Which entity was out of range (e.g. `"rack column"`).
+        what: &'static str,
+        /// The value encountered.
+        value: u32,
+        /// The exclusive upper bound that was violated.
+        bound: u32,
+    },
+    /// A partition size that is not one of the legal BG/P job sizes.
+    IllegalPartitionSize(
+        /// The requested number of midplanes.
+        u32,
+    ),
+    /// A timestamp string did not match `YYYY-MM-DD-HH.MM.SS[.ffffff]`.
+    InvalidTimestamp(
+        /// The offending input string.
+        String,
+    ),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidLocation { input, reason } => {
+                write!(f, "invalid location {input:?}: {reason}")
+            }
+            ModelError::OutOfRange { what, value, bound } => {
+                write!(f, "{what} {value} out of range (must be < {bound})")
+            }
+            ModelError::IllegalPartitionSize(n) => {
+                write!(
+                    f,
+                    "illegal partition size {n} midplanes \
+                     (legal sizes: 1, 2, 4, 8, 16, 32, 48, 64, 80)"
+                )
+            }
+            ModelError::InvalidTimestamp(s) => {
+                write!(f, "invalid timestamp {s:?} (expected YYYY-MM-DD-HH.MM.SS)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = ModelError::InvalidLocation {
+            input: "Q99".into(),
+            reason: "does not start with 'R'",
+        };
+        assert!(e.to_string().contains("Q99"));
+
+        let e = ModelError::OutOfRange {
+            what: "rack column",
+            value: 9,
+            bound: 8,
+        };
+        assert!(e.to_string().contains("rack column"));
+        assert!(e.to_string().contains('9'));
+
+        let e = ModelError::IllegalPartitionSize(3);
+        assert!(e.to_string().contains('3'));
+
+        let e = ModelError::InvalidTimestamp("yesterday".into());
+        assert!(e.to_string().contains("yesterday"));
+    }
+}

@@ -1,0 +1,721 @@
+//! BG/P location codes: identifiers and the location grammar.
+//!
+//! The CMCS names every field-replaceable unit with a *location code*. This
+//! module provides a regularized grammar that covers every location kind seen
+//! in RAS analysis:
+//!
+//! | Kind | Syntax | Example |
+//! |---|---|---|
+//! | Rack | `R<row><col>` | `R23` |
+//! | Midplane | `R<row><col>-M<m>` | `R23-M1` |
+//! | Node card | `R..-M.-N<cc>` | `R23-M1-N04` |
+//! | Compute node | `R..-M.-N..-J<jj>` | `R23-M1-N04-J12` |
+//! | I/O node | `R..-M.-I<i>` | `R23-M1-I3` |
+//! | Link card | `R..-M.-L<l>` | `R23-M1-L2` |
+//! | Service card | `R..-M.-S` | `R23-M1-S` |
+//! | Bulk power | `R..-B` | `R23-B` |
+//! | Clock card | `R..-K` | `R23-K` |
+//!
+//! Real CMCS output has small historical irregularities (the paper's Table II
+//! shows `R-04-M0-S`); the parser also accepts that dashed rack form.
+//!
+//! Identifiers are dense small integers so they can be used directly as array
+//! indices in per-midplane or per-node aggregations (see
+//! [`MidplaneId::index`]).
+
+use crate::error::ModelError;
+use crate::topology;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// A rack, identified by row (0–4 on Intrepid) and column (0–7).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct RackId {
+    row: u8,
+    col: u8,
+}
+
+impl RackId {
+    /// Create a rack id from row and column, validating against the Intrepid
+    /// geometry (5 rows × 8 columns).
+    pub fn new(row: u8, col: u8) -> Result<RackId, ModelError> {
+        if row >= topology::NUM_ROWS {
+            return Err(ModelError::OutOfRange {
+                what: "rack row",
+                value: u32::from(row),
+                bound: u32::from(topology::NUM_ROWS),
+            });
+        }
+        if col >= topology::RACKS_PER_ROW {
+            return Err(ModelError::OutOfRange {
+                what: "rack column",
+                value: u32::from(col),
+                bound: u32::from(topology::RACKS_PER_ROW),
+            });
+        }
+        Ok(RackId { row, col })
+    }
+
+    /// Create from a dense index in `0..NUM_RACKS` (row-major).
+    pub fn from_index(idx: u8) -> Result<RackId, ModelError> {
+        if idx >= topology::NUM_RACKS {
+            return Err(ModelError::OutOfRange {
+                what: "rack index",
+                value: u32::from(idx),
+                bound: u32::from(topology::NUM_RACKS),
+            });
+        }
+        Ok(RackId {
+            row: idx / topology::RACKS_PER_ROW,
+            col: idx % topology::RACKS_PER_ROW,
+        })
+    }
+
+    /// Dense index in `0..NUM_RACKS` (row-major: `R00`=0, `R01`=1, … `R47`=39).
+    pub fn index(self) -> usize {
+        usize::from(self.row) * usize::from(topology::RACKS_PER_ROW) + usize::from(self.col)
+    }
+
+    /// The rack row (the digit after `R`).
+    pub fn row(self) -> u8 {
+        self.row
+    }
+
+    /// The rack column (the second digit).
+    pub fn col(self) -> u8 {
+        self.col
+    }
+
+    /// The two midplanes housed in this rack.
+    pub fn midplanes(self) -> [MidplaneId; 2] {
+        [
+            MidplaneId { rack: self, m: 0 },
+            MidplaneId { rack: self, m: 1 },
+        ]
+    }
+}
+
+impl fmt::Display for RackId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}{}", self.row, self.col)
+    }
+}
+
+macro_rules! impl_fromstr_via_location {
+    ($ty:ty, $variant:ident, $expected:literal) => {
+        impl FromStr for $ty {
+            type Err = ModelError;
+            fn from_str(s: &str) -> Result<Self, ModelError> {
+                match s.parse::<Location>()? {
+                    Location::$variant(x) => Ok(x),
+                    _ => Err(ModelError::InvalidLocation {
+                        input: s.to_owned(),
+                        reason: concat!("not a ", $expected, " location"),
+                    }),
+                }
+            }
+        }
+    };
+}
+
+/// A midplane: half a rack, 512 compute nodes. The unit of job scheduling.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct MidplaneId {
+    rack: RackId,
+    m: u8,
+}
+
+impl MidplaneId {
+    /// Create from a rack and midplane number (0 = bottom, 1 = top).
+    pub fn new(rack: RackId, m: u8) -> Result<MidplaneId, ModelError> {
+        if m >= topology::MIDPLANES_PER_RACK {
+            return Err(ModelError::OutOfRange {
+                what: "midplane",
+                value: u32::from(m),
+                bound: u32::from(topology::MIDPLANES_PER_RACK),
+            });
+        }
+        Ok(MidplaneId { rack, m })
+    }
+
+    /// Create from a dense index in `0..NUM_MIDPLANES`.
+    ///
+    /// Index order is rack-major: `R00-M0`=0, `R00-M1`=1, `R01-M0`=2, …
+    pub fn from_index(idx: u8) -> Result<MidplaneId, ModelError> {
+        if idx >= topology::NUM_MIDPLANES {
+            return Err(ModelError::OutOfRange {
+                what: "midplane index",
+                value: u32::from(idx),
+                bound: u32::from(topology::NUM_MIDPLANES),
+            });
+        }
+        Ok(MidplaneId {
+            rack: RackId::from_index(idx / topology::MIDPLANES_PER_RACK)?,
+            m: idx % topology::MIDPLANES_PER_RACK,
+        })
+    }
+
+    /// Dense index in `0..NUM_MIDPLANES` (see [`MidplaneId::from_index`]).
+    pub fn index(self) -> usize {
+        self.rack.index() * usize::from(topology::MIDPLANES_PER_RACK) + usize::from(self.m)
+    }
+
+    /// The rack housing this midplane.
+    pub fn rack(self) -> RackId {
+        self.rack
+    }
+
+    /// Midplane number within the rack (0 or 1).
+    pub fn m(self) -> u8 {
+        self.m
+    }
+
+    /// Iterate over all midplanes of the machine in index order.
+    pub fn all() -> impl Iterator<Item = MidplaneId> {
+        (0..topology::NUM_MIDPLANES).map(|i| MidplaneId::from_index(i).expect("index in range"))
+    }
+}
+
+impl fmt::Display for MidplaneId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-M{}", self.rack, self.m)
+    }
+}
+
+/// A node card: 32 compute nodes; 16 per midplane.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct NodeCardId {
+    midplane: MidplaneId,
+    card: u8,
+}
+
+impl NodeCardId {
+    /// Create from a midplane and card number (0–15).
+    pub fn new(midplane: MidplaneId, card: u8) -> Result<NodeCardId, ModelError> {
+        if card >= topology::NODE_CARDS_PER_MIDPLANE {
+            return Err(ModelError::OutOfRange {
+                what: "node card",
+                value: u32::from(card),
+                bound: u32::from(topology::NODE_CARDS_PER_MIDPLANE),
+            });
+        }
+        Ok(NodeCardId { midplane, card })
+    }
+
+    /// The midplane housing this node card.
+    pub fn midplane(self) -> MidplaneId {
+        self.midplane
+    }
+
+    /// Card number within the midplane (0–15).
+    pub fn card(self) -> u8 {
+        self.card
+    }
+}
+
+impl fmt::Display for NodeCardId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-N{:02}", self.midplane, self.card)
+    }
+}
+
+/// A single compute node (one quad-core PowerPC 450).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ComputeNodeId {
+    node_card: NodeCardId,
+    j: u8,
+}
+
+impl ComputeNodeId {
+    /// Create from a node card and node slot (J00–J31).
+    pub fn new(node_card: NodeCardId, j: u8) -> Result<ComputeNodeId, ModelError> {
+        if j >= topology::NODES_PER_NODE_CARD {
+            return Err(ModelError::OutOfRange {
+                what: "node slot",
+                value: u32::from(j),
+                bound: u32::from(topology::NODES_PER_NODE_CARD),
+            });
+        }
+        Ok(ComputeNodeId { node_card, j })
+    }
+
+    /// The node card housing this node.
+    pub fn node_card(self) -> NodeCardId {
+        self.node_card
+    }
+
+    /// Slot number on the node card (0–31).
+    pub fn j(self) -> u8 {
+        self.j
+    }
+}
+
+impl fmt::Display for ComputeNodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-J{:02}", self.node_card, self.j)
+    }
+}
+
+/// Any location a RAS record can refer to.
+///
+/// Ordered so that coarser locations sort before finer ones within the same
+/// hardware (the derived order is sufficient for deterministic sorting; it is
+/// not a containment order — use [`Location::contains`] for that).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum Location {
+    /// A whole rack.
+    Rack(RackId),
+    /// A midplane.
+    Midplane(MidplaneId),
+    /// A node card within a midplane.
+    NodeCard(NodeCardId),
+    /// A single compute node.
+    ComputeNode(ComputeNodeId),
+    /// An I/O node. Intrepid runs 64 compute nodes per I/O node, i.e. 8 I/O
+    /// nodes per midplane.
+    IoNode {
+        /// Midplane housing the I/O node.
+        midplane: MidplaneId,
+        /// I/O node index within the midplane (0–7).
+        index: u8,
+    },
+    /// A link card (inter-midplane torus cabling); 4 per midplane.
+    LinkCard {
+        /// Midplane housing the link card.
+        midplane: MidplaneId,
+        /// Link card index (0–3).
+        index: u8,
+    },
+    /// The midplane's service card.
+    ServiceCard(
+        /// Midplane housing the service card.
+        MidplaneId,
+    ),
+    /// The rack's bulk power assembly.
+    BulkPower(
+        /// The rack.
+        RackId,
+    ),
+    /// The rack's clock card.
+    ClockCard(
+        /// The rack.
+        RackId,
+    ),
+}
+
+impl Location {
+    /// The rack this location lives in.
+    pub fn rack(self) -> RackId {
+        match self {
+            Location::Rack(r) | Location::BulkPower(r) | Location::ClockCard(r) => r,
+            Location::Midplane(m) | Location::ServiceCard(m) => m.rack(),
+            Location::IoNode { midplane, .. } | Location::LinkCard { midplane, .. } => {
+                midplane.rack()
+            }
+            Location::NodeCard(nc) => nc.midplane().rack(),
+            Location::ComputeNode(cn) => cn.node_card().midplane().rack(),
+        }
+    }
+
+    /// The midplane this location lives in, if it is midplane-scoped.
+    ///
+    /// Rack-scoped locations (rack, bulk power, clock card) return `None`.
+    pub fn midplane(self) -> Option<MidplaneId> {
+        match self {
+            Location::Rack(_) | Location::BulkPower(_) | Location::ClockCard(_) => None,
+            Location::Midplane(m) | Location::ServiceCard(m) => Some(m),
+            Location::IoNode { midplane, .. } | Location::LinkCard { midplane, .. } => {
+                Some(midplane)
+            }
+            Location::NodeCard(nc) => Some(nc.midplane()),
+            Location::ComputeNode(cn) => Some(cn.node_card().midplane()),
+        }
+    }
+
+    /// All midplanes this location *touches*: a midplane-scoped location
+    /// touches its midplane; a rack-scoped location touches both midplanes of
+    /// the rack (a failed bulk power module or clock card affects the whole
+    /// rack).
+    pub fn touched_midplanes(self) -> Vec<MidplaneId> {
+        match self.midplane() {
+            Some(m) => vec![m],
+            None => self.rack().midplanes().to_vec(),
+        }
+    }
+
+    /// Does this location (as a region of hardware) contain `other`?
+    ///
+    /// Reflexive: every location contains itself. A rack contains everything
+    /// in it; a midplane contains its node cards, nodes, I/O nodes, link and
+    /// service cards; a node card contains its nodes. Peer cards (service,
+    /// link, bulk power, clock) contain only themselves.
+    pub fn contains(self, other: Location) -> bool {
+        if self == other {
+            return true;
+        }
+        match self {
+            Location::Rack(r) => other.rack() == r,
+            Location::Midplane(m) => other.midplane() == Some(m),
+            Location::NodeCard(nc) => match other {
+                Location::ComputeNode(cn) => cn.node_card() == nc,
+                _ => false,
+            },
+            _ => false,
+        }
+    }
+
+    /// Granularity rank, coarse → fine (rack = 0, midplane = 1, card = 2,
+    /// node = 3). Useful for sorting diagnostics.
+    pub fn granularity(self) -> u8 {
+        match self {
+            Location::Rack(_) | Location::BulkPower(_) | Location::ClockCard(_) => 0,
+            Location::Midplane(m) => {
+                let _ = m;
+                1
+            }
+            Location::ServiceCard(_)
+            | Location::LinkCard { .. }
+            | Location::IoNode { .. }
+            | Location::NodeCard(_) => 2,
+            Location::ComputeNode(_) => 3,
+        }
+    }
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Location::Rack(r) => write!(f, "{r}"),
+            Location::Midplane(m) => write!(f, "{m}"),
+            Location::NodeCard(nc) => write!(f, "{nc}"),
+            Location::ComputeNode(cn) => write!(f, "{cn}"),
+            Location::IoNode { midplane, index } => write!(f, "{midplane}-I{index}"),
+            Location::LinkCard { midplane, index } => write!(f, "{midplane}-L{index}"),
+            Location::ServiceCard(m) => write!(f, "{m}-S"),
+            Location::BulkPower(r) => write!(f, "{r}-B"),
+            Location::ClockCard(r) => write!(f, "{r}-K"),
+        }
+    }
+}
+
+impl FromStr for Location {
+    type Err = ModelError;
+
+    fn from_str(s: &str) -> Result<Location, ModelError> {
+        let err = |reason: &'static str| ModelError::InvalidLocation {
+            input: s.to_owned(),
+            reason,
+        };
+        let mut parts = s.split('-');
+        let rack_part = parts.next().ok_or_else(|| err("empty string"))?;
+
+        // Accept both `R23` and the historical dashed form `R-23`.
+        let digits: &str = if rack_part == "R" {
+            parts.next().ok_or_else(|| err("missing rack digits"))?
+        } else {
+            rack_part
+                .strip_prefix('R')
+                .ok_or_else(|| err("does not start with 'R'"))?
+        };
+        if digits.len() != 2 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(err("rack must be two digits"));
+        }
+        let row = digits.as_bytes()[0] - b'0';
+        let col = digits.as_bytes()[1] - b'0';
+        let rack = RackId::new(row, col)?;
+
+        let Some(second) = parts.next() else {
+            return Ok(Location::Rack(rack));
+        };
+
+        // Rack-scoped cards.
+        match second {
+            "B" => {
+                return if parts.next().is_none() {
+                    Ok(Location::BulkPower(rack))
+                } else {
+                    Err(err("trailing components after bulk power"))
+                }
+            }
+            "K" => {
+                return if parts.next().is_none() {
+                    Ok(Location::ClockCard(rack))
+                } else {
+                    Err(err("trailing components after clock card"))
+                }
+            }
+            _ => {}
+        }
+
+        let m = second
+            .strip_prefix('M')
+            .ok_or_else(|| err("expected M, B, or K after rack"))?;
+        let m: u8 = m.parse().map_err(|_| err("midplane must be a number"))?;
+        let midplane = MidplaneId::new(rack, m)?;
+
+        let Some(third) = parts.next() else {
+            return Ok(Location::Midplane(midplane));
+        };
+
+        let loc = match third.as_bytes().first() {
+            Some(b'S') if third == "S" => Location::ServiceCard(midplane),
+            Some(b'N') => {
+                let card: u8 = third[1..]
+                    .parse()
+                    .map_err(|_| err("node card must be a number"))?;
+                let nc = NodeCardId::new(midplane, card)?;
+                match parts.next() {
+                    None => Location::NodeCard(nc),
+                    Some(jpart) => {
+                        let j: u8 = jpart
+                            .strip_prefix('J')
+                            .ok_or_else(|| err("expected J after node card"))?
+                            .parse()
+                            .map_err(|_| err("node slot must be a number"))?;
+                        if parts.next().is_some() {
+                            return Err(err("trailing components after node slot"));
+                        }
+                        return Ok(Location::ComputeNode(ComputeNodeId::new(nc, j)?));
+                    }
+                }
+            }
+            Some(b'I') => {
+                let index: u8 = third[1..]
+                    .parse()
+                    .map_err(|_| err("I/O node must be a number"))?;
+                if index >= topology::IO_NODES_PER_MIDPLANE {
+                    return Err(ModelError::OutOfRange {
+                        what: "I/O node",
+                        value: u32::from(index),
+                        bound: u32::from(topology::IO_NODES_PER_MIDPLANE),
+                    });
+                }
+                Location::IoNode { midplane, index }
+            }
+            Some(b'L') => {
+                let index: u8 = third[1..]
+                    .parse()
+                    .map_err(|_| err("link card must be a number"))?;
+                if index >= topology::LINK_CARDS_PER_MIDPLANE {
+                    return Err(ModelError::OutOfRange {
+                        what: "link card",
+                        value: u32::from(index),
+                        bound: u32::from(topology::LINK_CARDS_PER_MIDPLANE),
+                    });
+                }
+                Location::LinkCard { midplane, index }
+            }
+            _ => return Err(err("unrecognized component after midplane")),
+        };
+        if parts.next().is_some() {
+            return Err(err("trailing components"));
+        }
+        Ok(loc)
+    }
+}
+
+impl_fromstr_via_location!(RackId, Rack, "rack");
+impl_fromstr_via_location!(MidplaneId, Midplane, "midplane");
+impl_fromstr_via_location!(NodeCardId, NodeCard, "node card");
+impl_fromstr_via_location!(ComputeNodeId, ComputeNode, "compute node");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn mp(s: &str) -> MidplaneId {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn rack_index_round_trip() {
+        for i in 0..topology::NUM_RACKS {
+            let r = RackId::from_index(i).unwrap();
+            assert_eq!(r.index(), usize::from(i));
+        }
+        assert!(RackId::from_index(topology::NUM_RACKS).is_err());
+        assert!(RackId::new(5, 0).is_err());
+        assert!(RackId::new(0, 8).is_err());
+    }
+
+    #[test]
+    fn midplane_index_round_trip() {
+        for i in 0..topology::NUM_MIDPLANES {
+            let m = MidplaneId::from_index(i).unwrap();
+            assert_eq!(m.index(), usize::from(i));
+        }
+        assert!(MidplaneId::from_index(topology::NUM_MIDPLANES).is_err());
+        assert_eq!(MidplaneId::all().count(), usize::from(topology::NUM_MIDPLANES));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(mp("R23-M1").to_string(), "R23-M1");
+        let loc: Location = "R23-M1-N04-J12".parse().unwrap();
+        assert_eq!(loc.to_string(), "R23-M1-N04-J12");
+        let loc: Location = "R23-M1-I3".parse().unwrap();
+        assert_eq!(loc.to_string(), "R23-M1-I3");
+        let loc: Location = "R23-M1-L2".parse().unwrap();
+        assert_eq!(loc.to_string(), "R23-M1-L2");
+        let loc: Location = "R23-M1-S".parse().unwrap();
+        assert_eq!(loc.to_string(), "R23-M1-S");
+        let loc: Location = "R23-B".parse().unwrap();
+        assert_eq!(loc.to_string(), "R23-B");
+        let loc: Location = "R23-K".parse().unwrap();
+        assert_eq!(loc.to_string(), "R23-K");
+    }
+
+    #[test]
+    fn historical_dashed_rack_form() {
+        // The paper's Table II shows "R-04-M0-S".
+        let loc: Location = "R-04-M0-S".parse().unwrap();
+        assert_eq!(loc, Location::ServiceCard(mp("R04-M0")));
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        for bad in [
+            "",
+            "R",
+            "R2",
+            "R234",
+            "Q23",
+            "R23-X1",
+            "R23-M2",          // midplane out of range
+            "R53-M0",          // row out of range
+            "R23-M1-N16",      // node card out of range
+            "R23-M1-N04-J32",  // slot out of range
+            "R23-M1-I8",       // I/O node out of range
+            "R23-M1-L4",       // link card out of range
+            "R23-M1-N04-J12-X",
+            "R23-B-M0",
+            "R23-M1-S-X",
+            "R23-M1-Nxx",
+        ] {
+            assert!(bad.parse::<Location>().is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn containment() {
+        let rack: Location = "R23".parse().unwrap();
+        let mid: Location = "R23-M1".parse().unwrap();
+        let card: Location = "R23-M1-N04".parse().unwrap();
+        let node: Location = "R23-M1-N04-J12".parse().unwrap();
+        let io: Location = "R23-M1-I3".parse().unwrap();
+        let other_mid: Location = "R23-M0".parse().unwrap();
+        let other_rack: Location = "R24".parse().unwrap();
+
+        assert!(rack.contains(mid));
+        assert!(rack.contains(node));
+        assert!(rack.contains(io));
+        assert!(mid.contains(card));
+        assert!(mid.contains(node));
+        assert!(mid.contains(io));
+        assert!(card.contains(node));
+        assert!(!card.contains(io));
+        assert!(!mid.contains(rack));
+        assert!(!other_mid.contains(node));
+        assert!(!other_rack.contains(node));
+        // Reflexivity.
+        for l in [rack, mid, card, node, io] {
+            assert!(l.contains(l));
+        }
+    }
+
+    #[test]
+    fn midplane_projection() {
+        let node: Location = "R23-M1-N04-J12".parse().unwrap();
+        assert_eq!(node.midplane(), Some(mp("R23-M1")));
+        let bulk: Location = "R23-B".parse().unwrap();
+        assert_eq!(bulk.midplane(), None);
+        assert_eq!(bulk.touched_midplanes(), vec![mp("R23-M0"), mp("R23-M1")]);
+        assert_eq!(node.touched_midplanes(), vec![mp("R23-M1")]);
+    }
+
+    #[test]
+    fn granularity_ordering() {
+        let rack: Location = "R23".parse().unwrap();
+        let mid: Location = "R23-M1".parse().unwrap();
+        let card: Location = "R23-M1-N04".parse().unwrap();
+        let node: Location = "R23-M1-N04-J12".parse().unwrap();
+        assert!(rack.granularity() < mid.granularity());
+        assert!(mid.granularity() < card.granularity());
+        assert!(card.granularity() < node.granularity());
+    }
+
+    #[test]
+    fn typed_fromstr() {
+        let r: RackId = "R23".parse().unwrap();
+        assert_eq!(r.to_string(), "R23");
+        assert!("R23-M1".parse::<RackId>().is_err());
+        let m: MidplaneId = "R23-M1".parse().unwrap();
+        assert_eq!(m.to_string(), "R23-M1");
+        let n: ComputeNodeId = "R23-M1-N04-J12".parse().unwrap();
+        assert_eq!(n.to_string(), "R23-M1-N04-J12");
+    }
+
+    /// Strategy generating arbitrary valid locations.
+    fn arb_location() -> impl Strategy<Value = Location> {
+        let rack = (0u8..topology::NUM_ROWS, 0u8..topology::RACKS_PER_ROW)
+            .prop_map(|(r, c)| RackId::new(r, c).unwrap());
+        let midplane = (rack.clone(), 0u8..topology::MIDPLANES_PER_RACK)
+            .prop_map(|(r, m)| MidplaneId::new(r, m).unwrap());
+        prop_oneof![
+            rack.clone().prop_map(Location::Rack),
+            rack.clone().prop_map(Location::BulkPower),
+            rack.prop_map(Location::ClockCard),
+            midplane.clone().prop_map(Location::Midplane),
+            midplane.clone().prop_map(Location::ServiceCard),
+            (midplane.clone(), 0u8..topology::IO_NODES_PER_MIDPLANE)
+                .prop_map(|(midplane, index)| Location::IoNode { midplane, index }),
+            (midplane.clone(), 0u8..topology::LINK_CARDS_PER_MIDPLANE)
+                .prop_map(|(midplane, index)| Location::LinkCard { midplane, index }),
+            (midplane.clone(), 0u8..topology::NODE_CARDS_PER_MIDPLANE)
+                .prop_map(|(m, c)| Location::NodeCard(NodeCardId::new(m, c).unwrap())),
+            (
+                midplane,
+                0u8..topology::NODE_CARDS_PER_MIDPLANE,
+                0u8..topology::NODES_PER_NODE_CARD
+            )
+                .prop_map(|(m, c, j)| {
+                    Location::ComputeNode(
+                        ComputeNodeId::new(NodeCardId::new(m, c).unwrap(), j).unwrap(),
+                    )
+                }),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn location_display_parse_round_trip(loc in arb_location()) {
+            let s = loc.to_string();
+            let back: Location = s.parse().unwrap();
+            prop_assert_eq!(loc, back);
+        }
+
+        #[test]
+        fn containment_is_consistent_with_midplane(loc in arb_location(), other in arb_location()) {
+            if loc.contains(other) {
+                // Containment implies same rack.
+                prop_assert_eq!(loc.rack(), other.rack());
+                // And if the container is midplane-scoped, same midplane.
+                if let Some(m) = loc.midplane() {
+                    prop_assert_eq!(other.midplane(), Some(m));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,361 @@
+//! The time axis shared by the RAS log and the job log.
+//!
+//! Both logs on Intrepid timestamp their records; co-analysis correlates them
+//! by time and location. We model time as whole seconds since the Unix epoch
+//! ([`Timestamp`]) — the paper's matching windows are tens of seconds to
+//! minutes, so sub-second resolution adds nothing to the analysis.
+//!
+//! Display/parse uses the CMCS event-time format `YYYY-MM-DD-HH.MM.SS`
+//! (Table II of the paper shows `2008-04-14-15.08.12.285324`; a trailing
+//! fractional-second field is accepted on input and ignored).
+
+use crate::error::ModelError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// Seconds since the Unix epoch (UTC).
+///
+/// Ordered, copy, 8 bytes. All simulator and analysis code uses this type —
+/// never raw integers — so that the unit (seconds) is carried by the type.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Timestamp(pub i64);
+
+/// A span of time in whole seconds. May be negative (the difference of two
+/// [`Timestamp`]s).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Duration(pub i64);
+
+impl Duration {
+    /// Zero-length duration.
+    pub const ZERO: Duration = Duration(0);
+
+    /// A duration of `n` seconds.
+    pub const fn seconds(n: i64) -> Duration {
+        Duration(n)
+    }
+
+    /// A duration of `n` minutes.
+    pub const fn minutes(n: i64) -> Duration {
+        Duration(n * 60)
+    }
+
+    /// A duration of `n` hours.
+    pub const fn hours(n: i64) -> Duration {
+        Duration(n * 3600)
+    }
+
+    /// A duration of `n` days.
+    pub const fn days(n: i64) -> Duration {
+        Duration(n * 86_400)
+    }
+
+    /// The number of whole seconds in this duration.
+    pub const fn as_secs(self) -> i64 {
+        self.0
+    }
+
+    /// This duration in (possibly fractional) hours.
+    pub fn as_hours_f64(self) -> f64 {
+        self.0 as f64 / 3600.0
+    }
+
+    /// Absolute value.
+    pub const fn abs(self) -> Duration {
+        Duration(self.0.abs())
+    }
+}
+
+impl Timestamp {
+    /// The epoch itself (1970-01-01 00:00:00 UTC).
+    pub const EPOCH: Timestamp = Timestamp(0);
+
+    /// Construct from seconds since the epoch.
+    pub const fn from_unix(secs: i64) -> Timestamp {
+        Timestamp(secs)
+    }
+
+    /// Seconds since the epoch.
+    pub const fn as_unix(self) -> i64 {
+        self.0
+    }
+
+    /// Construct from a civil UTC date and time-of-day.
+    ///
+    /// Months are 1-based (1 = January), days 1-based. No validation of
+    /// day-of-month beyond the civil-calendar conversion is performed for
+    /// out-of-range time fields; use [`Timestamp::parse`] for validated input.
+    pub fn from_civil(year: i32, month: u32, day: u32, hh: u32, mm: u32, ss: u32) -> Timestamp {
+        let days = days_from_civil(year, month, day);
+        Timestamp(days * 86_400 + i64::from(hh) * 3600 + i64::from(mm) * 60 + i64::from(ss))
+    }
+
+    /// Decompose into `(year, month, day, hh, mm, ss)` in UTC.
+    pub fn to_civil(self) -> (i32, u32, u32, u32, u32, u32) {
+        let days = self.0.div_euclid(86_400);
+        let secs = self.0.rem_euclid(86_400);
+        let (y, m, d) = civil_from_days(days);
+        (
+            y,
+            m,
+            d,
+            (secs / 3600) as u32,
+            ((secs % 3600) / 60) as u32,
+            (secs % 60) as u32,
+        )
+    }
+
+    /// Parse the CMCS format `YYYY-MM-DD-HH.MM.SS` with an optional
+    /// `.ffffff` fractional-second suffix (ignored).
+    pub fn parse(s: &str) -> Result<Timestamp, ModelError> {
+        let err = || ModelError::InvalidTimestamp(s.to_owned());
+        let b = s.as_bytes();
+        if b.len() < 19 {
+            return Err(err());
+        }
+        let sep_ok = b[4] == b'-'
+            && b[7] == b'-'
+            && b[10] == b'-'
+            && b[13] == b'.'
+            && b[16] == b'.'
+            && (b.len() == 19 || b[19] == b'.');
+        if !sep_ok {
+            return Err(err());
+        }
+        let num = |range: std::ops::Range<usize>| -> Result<u32, ModelError> {
+            s[range].parse::<u32>().map_err(|_| err())
+        };
+        let year = s[0..4].parse::<i32>().map_err(|_| err())?;
+        let month = num(5..7)?;
+        let day = num(8..10)?;
+        let hh = num(11..13)?;
+        let mm = num(14..16)?;
+        let ss = num(17..19)?;
+        if !(1..=12).contains(&month)
+            || !(1..=31).contains(&day)
+            || hh > 23
+            || mm > 59
+            || ss > 60
+        {
+            return Err(err());
+        }
+        Ok(Timestamp::from_civil(year, month, day, hh, mm, ss))
+    }
+
+    /// Number of whole days between `self` and `origin` (can be negative).
+    pub fn days_since(self, origin: Timestamp) -> i64 {
+        (self.0 - origin.0).div_euclid(86_400)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (y, mo, d, hh, mm, ss) = self.to_civil();
+        write!(f, "{y:04}-{mo:02}-{d:02}-{hh:02}.{mm:02}.{ss:02}")
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.0.abs();
+        let sign = if self.0 < 0 { "-" } else { "" };
+        let d = total / 86_400;
+        let h = (total % 86_400) / 3600;
+        let m = (total % 3600) / 60;
+        let s = total % 60;
+        if d > 0 {
+            write!(f, "{sign}{d}d{h:02}h{m:02}m{s:02}s")
+        } else if h > 0 {
+            write!(f, "{sign}{h}h{m:02}m{s:02}s")
+        } else if m > 0 {
+            write!(f, "{sign}{m}m{s:02}s")
+        } else {
+            write!(f, "{sign}{s}s")
+        }
+    }
+}
+
+impl Add<Duration> for Timestamp {
+    type Output = Timestamp;
+    fn add(self, rhs: Duration) -> Timestamp {
+        Timestamp(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for Timestamp {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Duration> for Timestamp {
+    type Output = Timestamp;
+    fn sub(self, rhs: Duration) -> Timestamp {
+        Timestamp(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign<Duration> for Timestamp {
+    fn sub_assign(&mut self, rhs: Duration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Sub<Timestamp> for Timestamp {
+    type Output = Duration;
+    fn sub(self, rhs: Timestamp) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl Add<Duration> for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl Sub<Duration> for Duration {
+    type Output = Duration;
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+/// Days since 1970-01-01 for a civil date (proleptic Gregorian).
+///
+/// Howard Hinnant's `days_from_civil` algorithm; exact over the full i32
+/// year range used here.
+fn days_from_civil(y: i32, m: u32, d: u32) -> i64 {
+    let y = i64::from(y) - i64::from(m <= 2);
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let m = i64::from(m);
+    let d = i64::from(d);
+    let doy = (153 * (if m > 2 { m - 3 } else { m + 9 }) + 2) / 5 + d - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146_097 + doe - 719_468
+}
+
+/// Civil date from days since 1970-01-01 (inverse of [`days_from_civil`]).
+fn civil_from_days(z: i64) -> (i32, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = doy - (153 * mp + 2) / 5 + 1; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 }; // [1, 12]
+    ((y + i64::from(m <= 2)) as i32, m as u32, d as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_1970() {
+        assert_eq!(Timestamp::EPOCH.to_civil(), (1970, 1, 1, 0, 0, 0));
+        assert_eq!(Timestamp::from_civil(1970, 1, 1, 0, 0, 0), Timestamp(0));
+    }
+
+    #[test]
+    fn known_dates_round_trip() {
+        // Start of the paper's log window.
+        let t = Timestamp::from_civil(2009, 1, 5, 0, 0, 0);
+        assert_eq!(t.to_civil(), (2009, 1, 5, 0, 0, 0));
+        // End of the window: 2009-08-31 is 238 days later.
+        let end = Timestamp::from_civil(2009, 8, 31, 0, 0, 0);
+        assert_eq!(end.days_since(t), 238);
+    }
+
+    #[test]
+    fn leap_years_handled() {
+        // 2008 is a leap year: Feb 29 exists.
+        let t = Timestamp::from_civil(2008, 2, 29, 12, 0, 0);
+        assert_eq!(t.to_civil(), (2008, 2, 29, 12, 0, 0));
+        // 1900 is not a leap year (century rule); Mar 1 follows Feb 28.
+        let feb28 = Timestamp::from_civil(1900, 2, 28, 0, 0, 0);
+        let mar1 = Timestamp::from_civil(1900, 3, 1, 0, 0, 0);
+        assert_eq!((mar1 - feb28).as_secs(), 86_400);
+        // 2000 is a leap year (400 rule).
+        let feb28 = Timestamp::from_civil(2000, 2, 28, 0, 0, 0);
+        let mar1 = Timestamp::from_civil(2000, 3, 1, 0, 0, 0);
+        assert_eq!((mar1 - feb28).as_secs(), 2 * 86_400);
+    }
+
+    #[test]
+    fn display_matches_cmcs_format() {
+        let t = Timestamp::from_civil(2008, 4, 14, 15, 8, 12);
+        assert_eq!(t.to_string(), "2008-04-14-15.08.12");
+    }
+
+    #[test]
+    fn parse_accepts_fractional_suffix() {
+        let t = Timestamp::parse("2008-04-14-15.08.12.285324").unwrap();
+        assert_eq!(t, Timestamp::from_civil(2008, 4, 14, 15, 8, 12));
+        let t2 = Timestamp::parse("2008-04-14-15.08.12").unwrap();
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in [
+            "",
+            "2008",
+            "2008-04-14 15:08:12",
+            "2008-13-14-15.08.12",
+            "2008-04-32-15.08.12",
+            "2008-04-14-25.08.12",
+            "2008-04-14-15.61.12",
+            "xxxx-04-14-15.08.12",
+            "2008-04-14-15.08.12x123",
+        ] {
+            assert!(Timestamp::parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = Timestamp::from_unix(1000);
+        assert_eq!(t + Duration::minutes(1), Timestamp::from_unix(1060));
+        assert_eq!(t - Duration::seconds(1), Timestamp::from_unix(999));
+        assert_eq!(Timestamp::from_unix(2000) - t, Duration::seconds(1000));
+        assert_eq!(Duration::days(1).as_secs(), 86_400);
+        assert_eq!(Duration::hours(2) + Duration::minutes(30), Duration(9000));
+        assert_eq!(Duration::seconds(-5).abs(), Duration::seconds(5));
+        let mut m = t;
+        m += Duration::seconds(10);
+        m -= Duration::seconds(4);
+        assert_eq!(m, Timestamp::from_unix(1006));
+    }
+
+    #[test]
+    fn duration_display_forms() {
+        assert_eq!(Duration::seconds(42).to_string(), "42s");
+        assert_eq!(Duration::seconds(62).to_string(), "1m02s");
+        assert_eq!(Duration::hours(3).to_string(), "3h00m00s");
+        assert_eq!(
+            (Duration::days(2) + Duration::seconds(61)).to_string(),
+            "2d00h01m01s"
+        );
+        assert_eq!(Duration::seconds(-62).to_string(), "-1m02s");
+    }
+
+    #[test]
+    fn civil_round_trip_sweep() {
+        // Round-trip every 1000th day across ~80 years.
+        for days in (-10_000..20_000).step_by(1000) {
+            let (y, m, d) = civil_from_days(days);
+            assert_eq!(days_from_civil(y, m, d), days);
+        }
+    }
+}

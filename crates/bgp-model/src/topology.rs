@@ -1,0 +1,172 @@
+//! Machine geometry constants and the [`Machine`] description.
+//!
+//! The constants describe the Intrepid installation at Argonne (the system
+//! the paper studies): 40 racks laid out in 5 rows (R0x–R4x) of 8 racks,
+//! 2 midplanes per rack, 512 quad-core compute nodes per midplane, with one
+//! I/O node per 64 compute nodes.
+
+use crate::location::{MidplaneId, RackId};
+use serde::{Deserialize, Serialize};
+
+/// Number of rack rows on Intrepid (R0x … R4x).
+pub const NUM_ROWS: u8 = 5;
+/// Racks per row (Rx0 … Rx7).
+pub const RACKS_PER_ROW: u8 = 8;
+/// Total racks.
+pub const NUM_RACKS: u8 = NUM_ROWS * RACKS_PER_ROW;
+/// Midplanes per rack.
+pub const MIDPLANES_PER_RACK: u8 = 2;
+/// Total midplanes (the paper's "80 midplanes").
+pub const NUM_MIDPLANES: u8 = NUM_RACKS * MIDPLANES_PER_RACK;
+/// Node cards per midplane.
+pub const NODE_CARDS_PER_MIDPLANE: u8 = 16;
+/// Compute nodes per node card.
+pub const NODES_PER_NODE_CARD: u8 = 32;
+/// Compute nodes per midplane.
+pub const NODES_PER_MIDPLANE: u16 =
+    NODE_CARDS_PER_MIDPLANE as u16 * NODES_PER_NODE_CARD as u16;
+/// PowerPC 450 cores per compute node.
+pub const CORES_PER_NODE: u8 = 4;
+/// Compute nodes served by a single I/O node on Intrepid (64:1 ratio).
+pub const NODES_PER_IO_NODE: u16 = 64;
+/// I/O nodes per midplane.
+pub const IO_NODES_PER_MIDPLANE: u8 = (NODES_PER_MIDPLANE / NODES_PER_IO_NODE) as u8;
+/// Link cards per midplane.
+pub const LINK_CARDS_PER_MIDPLANE: u8 = 4;
+
+/// A description of a Blue Gene/P installation.
+///
+/// The analysis and the simulator are written against [`Machine`] rather than
+/// the raw constants so that scaled-down systems (a single rack, one row) can
+/// be simulated quickly in tests. The *location grammar* always validates
+/// against the full Intrepid geometry — a smaller machine is a machine where
+/// only a prefix of the midplanes is populated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Machine {
+    /// Number of populated midplanes, `1..=NUM_MIDPLANES`. Populated
+    /// midplanes are the first `midplanes` in [`MidplaneId`] index order.
+    midplanes: u8,
+}
+
+impl Machine {
+    /// The full Intrepid system: 40 racks / 80 midplanes / 40,960 nodes.
+    pub fn intrepid() -> Machine {
+        Machine {
+            midplanes: NUM_MIDPLANES,
+        }
+    }
+
+    /// A single rack (2 midplanes) — handy for fast unit tests.
+    pub fn single_rack() -> Machine {
+        Machine { midplanes: 2 }
+    }
+
+    /// One row of 8 racks (16 midplanes).
+    pub fn one_row() -> Machine {
+        Machine { midplanes: 16 }
+    }
+
+    /// A machine with the first `midplanes` midplanes populated.
+    ///
+    /// # Panics
+    /// Panics if `midplanes` is 0 or exceeds [`NUM_MIDPLANES`].
+    pub fn with_midplanes(midplanes: u8) -> Machine {
+        assert!(
+            (1..=NUM_MIDPLANES).contains(&midplanes),
+            "midplane count {midplanes} out of range 1..={NUM_MIDPLANES}"
+        );
+        Machine { midplanes }
+    }
+
+    /// Number of populated midplanes.
+    pub fn num_midplanes(self) -> u8 {
+        self.midplanes
+    }
+
+    /// Number of (fully or partially) populated racks.
+    pub fn num_racks(self) -> u8 {
+        self.midplanes.div_ceil(MIDPLANES_PER_RACK)
+    }
+
+    /// Total compute nodes.
+    pub fn num_nodes(self) -> u32 {
+        u32::from(self.midplanes) * u32::from(NODES_PER_MIDPLANE)
+    }
+
+    /// Total cores.
+    pub fn num_cores(self) -> u32 {
+        self.num_nodes() * u32::from(CORES_PER_NODE)
+    }
+
+    /// Is this midplane part of the populated machine?
+    pub fn contains(self, m: MidplaneId) -> bool {
+        m.index() < usize::from(self.midplanes)
+    }
+
+    /// Iterate over the populated midplanes in index order.
+    pub fn midplanes(self) -> impl Iterator<Item = MidplaneId> {
+        (0..self.midplanes).map(|i| MidplaneId::from_index(i).expect("index in range"))
+    }
+
+    /// Iterate over the populated racks in index order.
+    pub fn racks(self) -> impl Iterator<Item = RackId> {
+        (0..self.num_racks()).map(|i| RackId::from_index(i).expect("index in range"))
+    }
+}
+
+impl Default for Machine {
+    fn default() -> Machine {
+        Machine::intrepid()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intrepid_headline_numbers() {
+        let m = Machine::intrepid();
+        assert_eq!(m.num_midplanes(), 80);
+        assert_eq!(m.num_racks(), 40);
+        assert_eq!(m.num_nodes(), 40_960);
+        assert_eq!(m.num_cores(), 163_840);
+    }
+
+    #[test]
+    fn io_node_ratio() {
+        assert_eq!(IO_NODES_PER_MIDPLANE, 8);
+        assert_eq!(NODES_PER_MIDPLANE, 512);
+    }
+
+    #[test]
+    fn scaled_machines() {
+        let m = Machine::single_rack();
+        assert_eq!(m.num_midplanes(), 2);
+        assert_eq!(m.num_racks(), 1);
+        assert_eq!(m.num_nodes(), 1024);
+        assert_eq!(m.midplanes().count(), 2);
+
+        let m = Machine::one_row();
+        assert_eq!(m.num_racks(), 8);
+        assert_eq!(m.racks().count(), 8);
+
+        let m = Machine::with_midplanes(3);
+        assert_eq!(m.num_racks(), 2); // one full rack + one half-populated
+    }
+
+    #[test]
+    fn contains_respects_population() {
+        let m = Machine::with_midplanes(4);
+        let inside: MidplaneId = "R01-M1".parse().unwrap(); // index 3
+        let outside: MidplaneId = "R02-M0".parse().unwrap(); // index 4
+        assert!(m.contains(inside));
+        assert!(!m.contains(outside));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_midplanes_rejected() {
+        Machine::with_midplanes(0);
+    }
+}

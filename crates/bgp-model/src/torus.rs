@@ -1,0 +1,141 @@
+//! 3-D torus geometry.
+//!
+//! BG/P compute nodes are connected in a 3-D torus. A midplane is an
+//! 8 × 8 × 8 node sub-torus; midplanes themselves sit in a machine-level grid
+//! (on Intrepid: 8 columns × 5 rows × 2 midplanes-per-rack) and joining
+//! adjacent midplanes multiplies the torus dimensions.
+//!
+//! The simulator uses midplane adjacency to model failure locality (a link
+//! card fault disturbs torus neighbours) and the scheduler uses
+//! [`partition_torus_dims`] when reporting the shape of an allocation.
+
+use crate::location::MidplaneId;
+use crate::topology::{MIDPLANES_PER_RACK, NUM_ROWS, RACKS_PER_ROW};
+
+/// Nodes along each axis of a single midplane's torus.
+pub const MIDPLANE_TORUS: (u32, u32, u32) = (8, 8, 8);
+
+/// The machine-level midplane grid coordinates of a midplane:
+/// `(x, y, z) = (rack column, rack row, midplane-in-rack)`.
+pub fn midplane_coords(m: MidplaneId) -> (u8, u8, u8) {
+    (m.rack().col(), m.rack().row(), m.m())
+}
+
+/// Inverse of [`midplane_coords`].
+///
+/// Returns `None` if the coordinates fall outside the machine grid.
+pub fn midplane_at(x: u8, y: u8, z: u8) -> Option<MidplaneId> {
+    if x >= RACKS_PER_ROW || y >= NUM_ROWS || z >= MIDPLANES_PER_RACK {
+        return None;
+    }
+    let idx = (u32::from(y) * u32::from(RACKS_PER_ROW) + u32::from(x))
+        * u32::from(MIDPLANES_PER_RACK)
+        + u32::from(z);
+    MidplaneId::from_index(idx as u8).ok()
+}
+
+/// The six torus neighbours of a midplane in the machine-level midplane grid,
+/// with wraparound on every axis.
+///
+/// Axes shorter than three positions produce duplicate neighbours (e.g. the
+/// z axis has length 2, so +z and −z wrap to the same midplane); duplicates
+/// are removed, so the result has between 3 and 6 entries.
+pub fn midplane_neighbors(m: MidplaneId) -> Vec<MidplaneId> {
+    let (x, y, z) = midplane_coords(m);
+    let dims = [RACKS_PER_ROW, NUM_ROWS, MIDPLANES_PER_RACK];
+    let coords = [x, y, z];
+    let mut out = Vec::with_capacity(6);
+    for axis in 0..3 {
+        for dir in [1i16, -1i16] {
+            let mut c = coords;
+            let d = i16::from(dims[axis]);
+            c[axis] = ((i16::from(c[axis]) + dir + d) % d) as u8;
+            if let Some(n) = midplane_at(c[0], c[1], c[2]) {
+                if n != m && !out.contains(&n) {
+                    out.push(n);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Torus dimensions, in nodes, of a legal partition of `midplanes` midplanes.
+///
+/// Follows the BG/P doubling scheme: each doubling of the midplane count
+/// doubles one axis, cycling z → y → x from the 8×8×8 midplane base. The
+/// 48-midplane and 80-midplane configurations are the machine-specific
+/// Intrepid shapes.
+///
+/// Returns `None` for sizes that are not legal partition sizes.
+pub fn partition_torus_dims(midplanes: u32) -> Option<(u32, u32, u32)> {
+    let (bx, by, bz) = MIDPLANE_TORUS;
+    Some(match midplanes {
+        1 => (bx, by, bz),
+        2 => (bx, by, bz * 2),
+        4 => (bx, by * 2, bz * 2),
+        8 => (bx * 2, by * 2, bz * 2),
+        16 => (bx * 2, by * 2, bz * 4),
+        32 => (bx * 2, by * 4, bz * 4),
+        48 => (bx * 3, by * 4, bz * 4),
+        64 => (bx * 4, by * 4, bz * 4),
+        80 => (bx * 5, by * 4, bz * 4),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::LEGAL_SIZES;
+    use crate::topology::{NODES_PER_MIDPLANE, NUM_MIDPLANES};
+
+    #[test]
+    fn coords_round_trip() {
+        for i in 0..NUM_MIDPLANES {
+            let m = MidplaneId::from_index(i).unwrap();
+            let (x, y, z) = midplane_coords(m);
+            assert_eq!(midplane_at(x, y, z), Some(m));
+        }
+        assert_eq!(midplane_at(8, 0, 0), None);
+        assert_eq!(midplane_at(0, 5, 0), None);
+        assert_eq!(midplane_at(0, 0, 2), None);
+    }
+
+    #[test]
+    fn neighbor_counts_and_symmetry() {
+        for m in MidplaneId::all() {
+            let ns = midplane_neighbors(m);
+            // x axis (8 long) gives 2, y axis (5 long) gives 2, z axis
+            // (2 long) wraps to a single distinct neighbour: 5 total.
+            assert_eq!(ns.len(), 5, "midplane {m}");
+            assert!(!ns.contains(&m));
+            for n in &ns {
+                assert!(
+                    midplane_neighbors(*n).contains(&m),
+                    "neighbor relation must be symmetric: {m} vs {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn torus_dims_node_counts() {
+        for size in LEGAL_SIZES {
+            let (x, y, z) = partition_torus_dims(size).unwrap();
+            assert_eq!(
+                x * y * z,
+                size * u32::from(NODES_PER_MIDPLANE),
+                "size {size}"
+            );
+        }
+        assert_eq!(partition_torus_dims(3), None);
+        assert_eq!(partition_torus_dims(0), None);
+    }
+
+    #[test]
+    fn single_midplane_is_8_cubed() {
+        assert_eq!(partition_torus_dims(1), Some((8, 8, 8)));
+        assert_eq!(partition_torus_dims(80), Some((40, 32, 32)));
+    }
+}

@@ -1,0 +1,149 @@
+//! Ground truth: what *really* happened in the simulated machine.
+//!
+//! The paper validated its classifications by review with Argonne
+//! administrators. The simulator can do better: every injected fault carries
+//! its true nature and its true victim set, so integration tests can measure
+//! classification precision/recall instead of eyeballing.
+//!
+//! Analysis code must never read this — it is for validation and experiment
+//! reporting only.
+
+use bgp_model::{Location, Timestamp};
+use joblog::ExecId;
+use raslog::ErrCode;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// Identifier of a true fault occurrence.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct FaultId(pub u64);
+
+/// The true nature of a fault occurrence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultNature {
+    /// Hardware or system-software failure — the system's fault.
+    SystemFailure,
+    /// Introduced by the user's code or operation — the application's fault.
+    ApplicationError,
+    /// Reported at FATAL severity but harmless in practice (the paper's
+    /// `BULK_POWER_FATAL` / `_bgp_err_torus_fatal_sum` category).
+    Transient,
+}
+
+/// One true fault occurrence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrueFault {
+    /// Unique id, in occurrence order.
+    pub id: FaultId,
+    /// The root occurrence this one descends from. Equal to `id` for root
+    /// faults; chain occurrences (the same unrepaired fault re-reported by a
+    /// rescheduled job, or a buggy resubmission failing again) point to the
+    /// first occurrence. Job-related filtering, done right, collapses every
+    /// chain to its root.
+    pub root: FaultId,
+    /// When the fault fired.
+    pub time: Timestamp,
+    /// Where it fired.
+    pub location: Location,
+    /// The error code it is reported under.
+    pub errcode: ErrCode,
+    /// True nature.
+    pub nature: FaultNature,
+    /// Whether the fault leaves the hardware broken until repair.
+    pub persistent: bool,
+    /// Jobs this occurrence interrupted (empty for idle-location faults and
+    /// transients).
+    pub interrupted_jobs: Vec<u64>,
+    /// Was the location idle (no job running there) when the fault fired?
+    pub idle_location: bool,
+}
+
+impl TrueFault {
+    /// Is this a chain occurrence (job-related redundancy)?
+    pub fn is_chain(&self) -> bool {
+        self.root != self.id
+    }
+}
+
+/// Everything true about one simulation run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GroundTruth {
+    /// All fault occurrences, in time order.
+    pub faults: Vec<TrueFault>,
+    /// For each interrupted job: the fault occurrence that killed it.
+    pub job_cause: HashMap<u64, FaultId>,
+    /// Executables that were buggy at any point during the run.
+    pub buggy_execs: HashSet<ExecId>,
+    /// True nature of every error code that fired at least once.
+    pub code_nature: HashMap<ErrCode, FaultNature>,
+}
+
+impl GroundTruth {
+    /// Faults of a given nature.
+    pub fn of_nature(&self, nature: FaultNature) -> impl Iterator<Item = &TrueFault> {
+        self.faults.iter().filter(move |f| f.nature == nature)
+    }
+
+    /// Number of root (non-chain) faults.
+    pub fn root_faults(&self) -> usize {
+        self.faults.iter().filter(|f| !f.is_chain()).count()
+    }
+
+    /// Number of chain occurrences (job-related redundancy).
+    pub fn chain_faults(&self) -> usize {
+        self.faults.iter().filter(|f| f.is_chain()).count()
+    }
+
+    /// Total job interruptions (sum over fault victim lists).
+    pub fn total_interruptions(&self) -> usize {
+        self.job_cause.len()
+    }
+
+    /// Look up a fault by id.
+    pub fn fault(&self, id: FaultId) -> Option<&TrueFault> {
+        // Ids are assigned densely in occurrence order.
+        self.faults.get(id.0 as usize).filter(|f| f.id == id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fault(id: u64, root: u64) -> TrueFault {
+        TrueFault {
+            id: FaultId(id),
+            root: FaultId(root),
+            time: Timestamp::from_unix(id as i64 * 100),
+            location: "R00-M0".parse().unwrap(),
+            errcode: raslog::Catalog::standard()
+                .lookup("_bgp_err_kernel_panic")
+                .unwrap(),
+            nature: FaultNature::SystemFailure,
+            persistent: false,
+            interrupted_jobs: vec![],
+            idle_location: true,
+        }
+    }
+
+    #[test]
+    fn chain_accounting() {
+        let mut gt = GroundTruth {
+            faults: vec![fault(0, 0), fault(1, 0), fault(2, 2)],
+            ..Default::default()
+        };
+        gt.job_cause.insert(77, FaultId(1));
+        assert_eq!(gt.root_faults(), 2);
+        assert_eq!(gt.chain_faults(), 1);
+        assert!(gt.faults[1].is_chain());
+        assert!(!gt.faults[0].is_chain());
+        assert_eq!(gt.total_interruptions(), 1);
+        assert_eq!(gt.fault(FaultId(2)).unwrap().id, FaultId(2));
+        assert!(gt.fault(FaultId(9)).is_none());
+        assert_eq!(gt.of_nature(FaultNature::SystemFailure).count(), 3);
+        assert_eq!(gt.of_nature(FaultNature::Transient).count(), 0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Systemwide failure-interarrival characterization (Section V-A:
+//! Table IV and Figure 3).
+
+use crate::event::{interarrivals, Event};
+use bgp_stats::{compare_models, Ecdf, FitComparison, StatsError};
+use serde::Serialize;
+
+/// Interarrival fits for one event stream.
+#[derive(Debug, Clone, Serialize)]
+pub struct FailureStats {
+    /// Number of events in the stream.
+    pub n_events: usize,
+    /// The interarrival sample (seconds).
+    pub interarrivals: Vec<f64>,
+    /// Weibull vs. exponential fits and the likelihood-ratio test.
+    pub fits: FitComparison,
+}
+
+impl FailureStats {
+    /// Fit interarrival models to an event stream.
+    pub fn from_events(events: &[Event]) -> Result<FailureStats, StatsError> {
+        let interarrivals = interarrivals(events);
+        let fits = compare_models(&interarrivals)?;
+        Ok(FailureStats {
+            n_events: events.len(),
+            interarrivals,
+            fits,
+        })
+    }
+
+    /// Mean time between failures implied by the Weibull fit (the paper's
+    /// Table IV "Mean" column).
+    pub fn mtbf(&self) -> f64 {
+        self.fits.weibull.mean()
+    }
+
+    /// Empirical CDF of interarrivals with fitted model values at the same
+    /// points — the Figure 3 series: `(x, empirical, weibull, exponential)`.
+    pub fn cdf_series(&self, points: usize) -> Result<Vec<(f64, f64, f64, f64)>, StatsError> {
+        let ecdf = Ecdf::new(&self.interarrivals)?;
+        Ok(ecdf
+            .log_spaced(points)?
+            .into_iter()
+            .map(|(x, emp)| {
+                (
+                    x,
+                    emp,
+                    self.fits.weibull.cdf(x),
+                    self.fits.exponential.cdf(x),
+                )
+            })
+            .collect())
+    }
+}
+
+/// Table IV: before vs. after job-related filtering.
+#[derive(Debug, Clone, Serialize)]
+pub struct TableIv {
+    /// Fatal-event interarrival fits before job-related filtering.
+    pub before: FailureStats,
+    /// The same after job-related filtering.
+    pub after: FailureStats,
+}
+
+impl TableIv {
+    /// Build from the two event streams.
+    pub fn new(before: &[Event], after: &[Event]) -> Result<TableIv, StatsError> {
+        Ok(TableIv {
+            before: FailureStats::from_events(before)?,
+            after: FailureStats::from_events(after)?,
+        })
+    }
+
+    /// The paper's headline: MTBF grows ~3× after job-related filtering.
+    pub fn mtbf_ratio(&self) -> f64 {
+        self.after.mtbf() / self.before.mtbf()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_model::Timestamp;
+    use bgp_stats::sample::weibull as sample_weibull;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use raslog::Catalog;
+
+    fn synthetic_events(n: usize, shape: f64, scale: f64, seed: u64) -> Vec<Event> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let code = Catalog::standard().lookup("_bgp_err_kernel_panic").unwrap();
+        let mut t = 0i64;
+        (0..n)
+            .map(|i| {
+                t += sample_weibull(&mut rng, shape, scale).max(1.0) as i64;
+                Event::synthetic(Timestamp::from_unix(t), "R00-M0".parse().unwrap(), code, 1, i as u64)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_weibull_shape_and_prefers_weibull() {
+        let events = synthetic_events(4_000, 0.55, 40_000.0, 1);
+        let stats = FailureStats::from_events(&events).unwrap();
+        assert!(stats.fits.weibull.shape < 0.7);
+        assert!(stats.fits.weibull_preferred(0.01));
+        assert!(stats.mtbf() > 0.0);
+        assert_eq!(stats.n_events, 4_000);
+    }
+
+    #[test]
+    fn cdf_series_is_monotone_and_bracketed() {
+        let events = synthetic_events(1_000, 0.6, 10_000.0, 2);
+        let stats = FailureStats::from_events(&events).unwrap();
+        let series = stats.cdf_series(40).unwrap();
+        assert_eq!(series.len(), 40);
+        let mut prev = 0.0;
+        for (x, emp, w, e) in series {
+            assert!(x > 0.0);
+            assert!(emp >= prev);
+            prev = emp;
+            for v in [emp, w, e] {
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn table_iv_ratio() {
+        // "After" events are a thinned version of "before": removing chained
+        // events increases the mean gap.
+        let before = synthetic_events(3_000, 0.5, 20_000.0, 3);
+        let after: Vec<Event> = before.iter().step_by(3).copied().collect();
+        let t = TableIv::new(&before, &after).unwrap();
+        assert!(t.mtbf_ratio() > 1.5, "ratio {}", t.mtbf_ratio());
+    }
+
+    #[test]
+    fn too_few_events_is_an_error() {
+        let events = synthetic_events(1, 0.5, 1_000.0, 4);
+        assert!(FailureStats::from_events(&events).is_err());
+    }
+}

@@ -1,0 +1,18 @@
+//! Failure and job-interruption characterization (Sections V and VI).
+
+pub mod burst;
+pub mod checkpoint;
+pub mod failure_stats;
+pub mod repair;
+pub mod trend;
+pub mod interruption;
+pub mod midplane;
+pub mod propagation;
+pub mod vulnerability;
+
+pub use burst::BurstAnalysis;
+pub use failure_stats::FailureStats;
+pub use interruption::InterruptionStats;
+pub use midplane::MidplaneProfile;
+pub use propagation::PropagationAnalysis;
+pub use vulnerability::{ResubmissionStats, SizeLengthTable, VulnerabilityAnalysis};

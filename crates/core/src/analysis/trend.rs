@@ -1,0 +1,148 @@
+//! Failure-rate trend over the study window.
+//!
+//! A single Weibull fit (Table IV) assumes the interarrival process is
+//! roughly stationary across the 237 days. This module checks that
+//! assumption the way a reviewer would: weekly event counts with an OLS
+//! trend line. A strong slope would mean the "failure characteristics" are
+//! really a mixture of early-life and steady-state regimes (the classic
+//! bathtub concern in the Schroeder–Gibson lineage).
+
+use crate::event::Event;
+use bgp_model::Timestamp;
+use bgp_stats::linreg::{linear_fit, LinearFit};
+use serde::Serialize;
+
+/// Weekly event counts and their trend.
+#[derive(Debug, Clone, Serialize)]
+pub struct FailureTrend {
+    /// Events per week, week 0 first.
+    pub weekly_counts: Vec<u32>,
+    /// OLS fit of count vs. week index (None if < 3 weeks or degenerate).
+    pub fit: Option<LinearFit>,
+}
+
+impl FailureTrend {
+    /// Bin events into calendar weeks from `origin` and fit the trend.
+    pub fn new(events: &[Event], origin: Timestamp, end: Timestamp) -> FailureTrend {
+        let weeks = (((end - origin).as_secs()) / (7 * 86_400)).max(1) as usize;
+        let mut weekly_counts = vec![0u32; weeks];
+        for e in events {
+            let w = (e.time - origin).as_secs() / (7 * 86_400);
+            if (0..weeks as i64).contains(&w) {
+                weekly_counts[w as usize] += 1;
+            }
+        }
+        let xs: Vec<f64> = (0..weekly_counts.len()).map(|i| i as f64).collect();
+        let ys: Vec<f64> = weekly_counts.iter().map(|&c| f64::from(c)).collect();
+        let fit = linear_fit(&xs, &ys).ok();
+        FailureTrend { weekly_counts, fit }
+    }
+
+    /// Relative drift over the window: predicted last-week rate over
+    /// predicted first-week rate (1.0 = flat). None when the fit is missing
+    /// or the intercept is non-positive.
+    pub fn relative_drift(&self) -> Option<f64> {
+        let f = self.fit?;
+        let first = f.predict(0.0);
+        let last = f.predict(self.weekly_counts.len().saturating_sub(1) as f64);
+        (first > 0.0).then(|| last / first)
+    }
+
+    /// Is the process stationary enough for a single fit?
+    /// (|r| below `r_threshold`, or drift within `drift_band` of 1.)
+    pub fn is_stationary(&self, r_threshold: f64, drift_band: f64) -> bool {
+        let Some(f) = self.fit else { return true };
+        if f.r.abs() < r_threshold {
+            return true;
+        }
+        self.relative_drift()
+            .map(|d| (d - 1.0).abs() < drift_band)
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raslog::Catalog;
+
+    fn ev(t: i64) -> Event {
+        Event::synthetic(
+            Timestamp::from_unix(t),
+            "R00-M0".parse().unwrap(),
+            Catalog::standard().lookup("_bgp_err_kernel_panic").unwrap(),
+            1,
+            t as u64,
+        )
+    }
+
+    #[test]
+    fn flat_process_is_stationary() {
+        // 3 events per week for 10 weeks.
+        let week = 7 * 86_400;
+        let events: Vec<Event> = (0..10)
+            .flat_map(|w| (0..3).map(move |k| ev(w * week + k * 10_000)))
+            .collect();
+        let t = FailureTrend::new(
+            &events,
+            Timestamp::from_unix(0),
+            Timestamp::from_unix(10 * week),
+        );
+        assert_eq!(t.weekly_counts, vec![3; 10]);
+        assert!(t.is_stationary(0.5, 0.5));
+        assert_eq!(t.relative_drift(), Some(1.0));
+    }
+
+    #[test]
+    fn strong_growth_is_flagged() {
+        // Week w has w+1 events: strong positive trend.
+        let week = 7 * 86_400;
+        let events: Vec<Event> = (0..10i64)
+            .flat_map(|w| (0..=w).map(move |k| ev(w * week + k * 1_000)))
+            .collect();
+        let t = FailureTrend::new(
+            &events,
+            Timestamp::from_unix(0),
+            Timestamp::from_unix(10 * week),
+        );
+        let f = t.fit.unwrap();
+        assert!(f.slope > 0.9);
+        assert!(f.r > 0.95);
+        assert!(!t.is_stationary(0.5, 0.5));
+        assert!(t.relative_drift().unwrap() > 3.0);
+    }
+
+    #[test]
+    fn short_windows_degrade_gracefully() {
+        let t = FailureTrend::new(
+            &[ev(100)],
+            Timestamp::from_unix(0),
+            Timestamp::from_unix(86_400),
+        );
+        assert_eq!(t.weekly_counts.len(), 1);
+        assert!(t.fit.is_none());
+        assert!(t.is_stationary(0.5, 0.5));
+        assert!(t.relative_drift().is_none());
+    }
+
+    #[test]
+    fn simulated_window_is_roughly_stationary() {
+        // The calibrated fault process has no built-in drift; the analysis
+        // should agree.
+        use bgp_sim::{SimConfig, Simulation};
+        let mut cfg = SimConfig::small_test(88);
+        cfg.days = 35; // 5 weeks
+        cfg.num_execs = 1_400;
+        let out = Simulation::new(cfg).run();
+        let r = crate::pipeline::CoAnalysis::default().run(&out.ras, &out.jobs);
+        let span = out.ras.time_span().unwrap();
+        let t = FailureTrend::new(&r.events, span.0, span.1);
+        assert!(t.weekly_counts.len() >= 4);
+        assert!(
+            t.is_stationary(0.8, 0.8),
+            "unexpected drift: {:?} counts {:?}",
+            t.fit,
+            t.weekly_counts
+        );
+    }
+}

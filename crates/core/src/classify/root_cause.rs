@@ -1,0 +1,411 @@
+//! Root-cause separation: system failures vs. application errors
+//! (Section IV-B).
+//!
+//! The COMPONENT field can't do it (75 % of fatal events say KERNEL, none
+//! say APPLICATION), so the paper uses job behaviour:
+//!
+//! 1. codes never seen under a running job → **system failure** (hardware
+//!    fails just as happily when idle);
+//! 2. the same code interrupting *different executables* at the *same
+//!    location* consecutively → **system failure** (the scheduler keeps
+//!    feeding jobs to broken hardware);
+//! 3. the same code following *one executable* across *different locations*,
+//!    while the old location stops producing it → **application error**
+//!    (the bug travels with the code, not the hardware — Figure 2);
+//! 4. anything still unlabeled → assign the label of the labeled code whose
+//!    occurrence profile it best **Pearson-correlates** with.
+
+use crate::event::Event;
+use crate::matching::Matching;
+use bgp_stats::pearson::pearson;
+use joblog::JobLog;
+use raslog::ErrCode;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The root-cause verdict for a code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RootCause {
+    /// Hardware / system software.
+    SystemFailure,
+    /// User code or operation.
+    ApplicationError,
+}
+
+/// Which rule produced a verdict (for reporting and debugging).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RootCauseRule {
+    /// Rule 1: only ever fired on idle hardware.
+    IdleOnly,
+    /// Rule 2: interrupted multiple executables at one location.
+    StickyLocation,
+    /// Rule 3: followed one executable across locations.
+    FollowsExecutable,
+    /// Rule 4: Pearson-correlation fallback.
+    CorrelationFallback,
+}
+
+/// Classification output.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RootCauseSummary {
+    /// Verdict and the rule that decided it, per code.
+    pub per_code: HashMap<ErrCode, (RootCause, RootCauseRule)>,
+}
+
+impl RootCauseSummary {
+    /// The verdict for a code, if classified.
+    pub fn cause(&self, code: ErrCode) -> Option<RootCause> {
+        self.per_code.get(&code).map(|&(c, _)| c)
+    }
+
+    /// Number of codes with each verdict: `(system, application)`.
+    pub fn counts(&self) -> (usize, usize) {
+        let sys = self
+            .per_code
+            .values()
+            .filter(|(c, _)| *c == RootCause::SystemFailure)
+            .count();
+        (sys, self.per_code.len() - sys)
+    }
+
+    /// Fraction of *events* attributed to application errors
+    /// (Observation 2: 17.73 % on Intrepid).
+    pub fn app_event_fraction(&self, events: &[Event]) -> f64 {
+        if events.is_empty() {
+            return 0.0;
+        }
+        let app = events
+            .iter()
+            .filter(|e| self.cause(e.errcode) == Some(RootCause::ApplicationError))
+            .count();
+        app as f64 / events.len() as f64
+    }
+}
+
+/// Classify every code in the event stream.
+///
+/// `window` is the whole log's time span, used to build daily occurrence
+/// profiles for the correlation fallback.
+pub fn classify_root_cause(
+    events: &[Event],
+    matching: &Matching,
+    jobs: &JobLog,
+) -> RootCauseSummary {
+    assert_eq!(events.len(), matching.per_event.len());
+    let mut summary = RootCauseSummary::default();
+
+    // Gather per-code evidence.
+    #[derive(Default)]
+    struct Evidence {
+        /// Did any event of this code have a victim?
+        interrupts: bool,
+        /// (midplane, executable, time) triples of interruptions.
+        hits: Vec<(u8, joblog::ExecId, bgp_model::Timestamp)>,
+    }
+    let mut evidence: HashMap<ErrCode, Evidence> = HashMap::new();
+    for (e, m) in events.iter().zip(&matching.per_event) {
+        let ev = evidence.entry(e.errcode).or_default();
+        for &job_id in &m.victims {
+            if let Some(job) = jobs.by_job_id(job_id) {
+                ev.interrupts = true;
+                ev.hits
+                    .push((job.partition.first().map_or(0, |m| m.index()) as u8, job.exec, e.time));
+            }
+        }
+    }
+
+    for (&code, ev) in &evidence {
+        // Rule 1.
+        if !ev.interrupts {
+            summary
+                .per_code
+                .insert(code, (RootCause::SystemFailure, RootCauseRule::IdleOnly));
+            continue;
+        }
+        // Rule 2: *consecutive* interruptions of different executables at
+        // one location, with no clean run there in between — the scheduler
+        // feeding fresh jobs to broken hardware. Without the
+        // consecutiveness requirement, two unrelated buggy executables that
+        // happen to share a popular midplane would mislabel an application
+        // code as a system failure.
+        let mut by_location: HashMap<u8, Vec<(joblog::ExecId, bgp_model::Timestamp)>> =
+            HashMap::new();
+        for &(mp, exec, t) in &ev.hits {
+            by_location.entry(mp).or_default().push((exec, t));
+        }
+        let mut sticky = false;
+        'outer: for (&mp_idx, hits) in by_location.iter_mut() {
+            hits.sort_by_key(|&(_, t)| t);
+            let Ok(mp) = bgp_model::MidplaneId::from_index(mp_idx) else {
+                continue;
+            };
+            for pair in hits.windows(2) {
+                let ((exec_a, t_a), (exec_b, t_b)) = (pair[0], pair[1]);
+                if exec_a == exec_b {
+                    continue; // same executable: could be its own bug
+                }
+                let clean_between = jobs.overlapping(mp, t_a, t_b).iter().any(|j| {
+                    j.start_time > t_a
+                        && j.end_time < t_b
+                        && !matching.job_to_event.contains_key(&j.job_id)
+                });
+                if !clean_between {
+                    sticky = true;
+                    break 'outer;
+                }
+            }
+        }
+        if sticky {
+            summary.per_code.insert(
+                code,
+                (RootCause::SystemFailure, RootCauseRule::StickyLocation),
+            );
+            continue;
+        }
+        // Rule 3 (the paper's Figure 2): the code follows one executable
+        // across locations, AND the old location goes quiet — if the code
+        // keeps firing at the old location after the executable has moved
+        // on, the hardware there is suspect, not the executable.
+        let mut by_exec: HashMap<joblog::ExecId, Vec<(u8, bgp_model::Timestamp)>> =
+            HashMap::new();
+        for &(mp, exec, t) in &ev.hits {
+            by_exec.entry(exec).or_default().push((mp, t));
+        }
+        let mut follows = false;
+        'exec_scan: for hits in by_exec.values_mut() {
+            hits.sort_by_key(|&(_, t)| t);
+            for w in hits.windows(2) {
+                let ((m1, t1), (m2, _t2)) = (w[0], w[1]);
+                if m1 == m2 {
+                    continue;
+                }
+                // Old location quiet: no interruption of this code at m1
+                // after t1 (by anyone).
+                let old_location_quiet = !ev
+                    .hits
+                    .iter()
+                    .any(|&(mp, _, t)| mp == m1 && t > t1);
+                if old_location_quiet {
+                    follows = true;
+                    break 'exec_scan;
+                }
+            }
+        }
+        if follows {
+            summary.per_code.insert(
+                code,
+                (RootCause::ApplicationError, RootCauseRule::FollowsExecutable),
+            );
+            continue;
+        }
+        // Defer to the correlation fallback.
+    }
+
+    // Rule 4: Pearson fallback over daily occurrence profiles.
+    let unlabeled: Vec<ErrCode> = evidence
+        .keys()
+        .filter(|c| !summary.per_code.contains_key(c))
+        .copied()
+        .collect();
+    if !unlabeled.is_empty() {
+        let profiles = daily_profiles(events);
+        let mut labeled: Vec<(ErrCode, RootCause)> = summary
+            .per_code
+            .iter()
+            .map(|(&c, &(cause, _))| (c, cause))
+            .collect();
+        // Deterministic order so equal correlations always pick the same
+        // winner (HashMap iteration order must not leak into results).
+        labeled.sort_by_key(|&(c, _)| c);
+        for code in unlabeled {
+            let mut best: Option<(f64, RootCause)> = None;
+            if let Some(p) = profiles.get(&code) {
+                for &(other, cause) in &labeled {
+                    if let Some(q) = profiles.get(&other) {
+                        if let Ok(r) = pearson(p, q) {
+                            if best.is_none_or(|(b, _)| r > b) {
+                                best = Some((r, cause));
+                            }
+                        }
+                    }
+                }
+            }
+            // With no usable correlation, fall back to the pessimistic
+            // default: treat it as a system failure (an administrator can
+            // act on that; blaming a user needs positive evidence).
+            let cause = best.map_or(RootCause::SystemFailure, |(_, c)| c);
+            summary
+                .per_code
+                .insert(code, (cause, RootCauseRule::CorrelationFallback));
+        }
+    }
+    summary
+}
+
+/// Daily occurrence-count vectors per code, over the event stream's span.
+fn daily_profiles(events: &[Event]) -> HashMap<ErrCode, Vec<f64>> {
+    let mut out: HashMap<ErrCode, Vec<f64>> = HashMap::new();
+    let Some(first) = events.first() else {
+        return out;
+    };
+    let t0 = first.time;
+    let days = events
+        .last()
+        .map(|e| e.time.days_since(t0) as usize + 1)
+        .unwrap_or(1);
+    for e in events {
+        let day = e.time.days_since(t0) as usize;
+        let v = out.entry(e.errcode).or_insert_with(|| vec![0.0; days]);
+        v[day] += 1.0;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matching::Matcher;
+    use bgp_model::Timestamp;
+    use joblog::{ExecId, ExitStatus, JobRecord, ProjectId, UserId};
+    use raslog::Catalog;
+
+    fn ev(t: i64, loc: &str, name: &str) -> Event {
+        Event::synthetic(Timestamp::from_unix(t), loc.parse().unwrap(), Catalog::standard().lookup(name).unwrap(), 1, t as u64)
+    }
+
+    fn job(job_id: u64, exec: u32, start: i64, end: i64, part: &str) -> JobRecord {
+        JobRecord {
+            job_id,
+            exec: ExecId(exec),
+            user: UserId(0),
+            project: ProjectId(0),
+            queue_time: Timestamp::from_unix(start - 10),
+            start_time: Timestamp::from_unix(start),
+            end_time: Timestamp::from_unix(end),
+            partition: part.parse().unwrap(),
+            exit: ExitStatus::Failed(1),
+        }
+    }
+
+    fn classify(events: Vec<Event>, jobs: Vec<JobRecord>) -> RootCauseSummary {
+        let log = JobLog::from_jobs(jobs);
+        let matching = Matcher::default().run(&events, &log);
+        classify_root_cause(&events, &matching, &log)
+    }
+
+    #[test]
+    fn idle_only_is_system() {
+        let s = classify(
+            vec![ev(100, "R00-M0", "_bgp_err_diag_netbist")],
+            vec![job(1, 5, 0, 50, "R30-M0")],
+        );
+        let code = Catalog::standard().lookup("_bgp_err_diag_netbist").unwrap();
+        assert_eq!(
+            s.per_code[&code],
+            (RootCause::SystemFailure, RootCauseRule::IdleOnly)
+        );
+    }
+
+    #[test]
+    fn sticky_location_is_system() {
+        // Two different executables die at the same midplane with the same
+        // code (the Figure-2 inverse).
+        let s = classify(
+            vec![
+                ev(1_000, "R00-M0", "_bgp_err_ddr_controller"),
+                ev(3_000, "R00-M0", "_bgp_err_ddr_controller"),
+            ],
+            vec![
+                job(1, 10, 0, 1_000, "R00-M0"),
+                job(2, 11, 2_000, 3_000, "R00-M0"),
+            ],
+        );
+        let code = Catalog::standard().lookup("_bgp_err_ddr_controller").unwrap();
+        assert_eq!(
+            s.per_code[&code],
+            (RootCause::SystemFailure, RootCauseRule::StickyLocation)
+        );
+    }
+
+    #[test]
+    fn follows_executable_is_application() {
+        // The same executable dies with the same code at two midplanes
+        // (the paper's Figure 2).
+        let s = classify(
+            vec![
+                ev(1_000, "R00-M0", "_bgp_err_app_out_of_memory"),
+                ev(3_000, "R07-M1", "_bgp_err_app_out_of_memory"),
+            ],
+            vec![
+                job(1, 42, 0, 1_000, "R00-M0"),
+                job(2, 42, 2_000, 3_000, "R07-M1"),
+            ],
+        );
+        let code = Catalog::standard()
+            .lookup("_bgp_err_app_out_of_memory")
+            .unwrap();
+        assert_eq!(
+            s.per_code[&code],
+            (RootCause::ApplicationError, RootCauseRule::FollowsExecutable)
+        );
+        let (sys, app) = s.counts();
+        assert_eq!((sys, app), (0, 1));
+    }
+
+    #[test]
+    fn correlation_fallback_assigns_nearest_profile() {
+        // `mystery` (a single-victim code with no spatial evidence) co-fires
+        // day-by-day with the labeled app code, and anti-correlates with the
+        // labeled system code.
+        let mut events = Vec::new();
+        let mut jobs = Vec::new();
+        let day = 86_400;
+        // Days 0..6: app code follows exec 42 between two midplanes (labels
+        // it via rule 3), and `mystery` fires the same days on a third
+        // midplane interrupting always the same exec at the same place.
+        for d in 0..6i64 {
+            let t = d * day;
+            let (mp_a, mp_b) = if d % 2 == 0 {
+                ("R00-M0", "R01-M0")
+            } else {
+                ("R01-M0", "R00-M0")
+            };
+            events.push(ev(t + 1_000, mp_a, "_bgp_err_app_out_of_memory"));
+            jobs.push(job(100 + d as u64, 42, t, t + 1_000, mp_a));
+            let _ = mp_b;
+            events.push(ev(t + 2_000, "R05-M0", "_bgp_err_mpi_abort"));
+            jobs.push(job(200 + d as u64, 77, t + 1_500, t + 2_000, "R05-M0"));
+        }
+        // Days 6..12: a system code fires alone at one location under two
+        // different execs on day 6 (labels it via rule 2).
+        for d in 6..12i64 {
+            let t = d * day;
+            events.push(ev(t + 500, "R20-M0", "_bgp_err_ddr_controller"));
+            jobs.push(job(300 + d as u64, (d % 2) as u32 + 900, t, t + 500, "R20-M0"));
+        }
+        events.sort_by_key(|e| e.time);
+        let s = classify(events, jobs);
+        let cat = Catalog::standard();
+        let mystery = cat.lookup("_bgp_err_mpi_abort").unwrap();
+        let (cause, rule) = s.per_code[&mystery];
+        assert_eq!(rule, RootCauseRule::CorrelationFallback);
+        assert_eq!(cause, RootCause::ApplicationError);
+    }
+
+    #[test]
+    fn app_event_fraction() {
+        let events = vec![
+            ev(1_000, "R00-M0", "_bgp_err_app_out_of_memory"),
+            ev(3_000, "R07-M1", "_bgp_err_app_out_of_memory"),
+            ev(5_000, "R30-M0", "_bgp_err_diag_netbist"),
+        ];
+        let jobs = vec![
+            job(1, 42, 0, 1_000, "R00-M0"),
+            job(2, 42, 2_000, 3_000, "R07-M1"),
+        ];
+        let log = JobLog::from_jobs(jobs);
+        let matching = Matcher::default().run(&events, &log);
+        let s = classify_root_cause(&events, &matching, &log);
+        assert!((s.app_event_fraction(&events) - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,153 @@
+//! The unit the filters operate on: a (possibly merged) fatal event.
+
+use bgp_model::{Location, MidplaneId, Partition, Timestamp};
+use raslog::{ErrCode, RasLog, RasRecord};
+use serde::{Deserialize, Serialize};
+
+/// One fatal event, possibly representing many merged raw records.
+///
+/// Filtering starts from one event per FATAL record and merges; `merged`
+/// tracks how many raw records the event stands for, so compression ratios
+/// are exact. `footprint` accumulates every midplane the merged records
+/// reported from — a parallel job's interrupt is reported from all of its
+/// midplanes, and a shared-file-system failure from every victim's
+/// partition, so matching against job locations must consider the whole
+/// footprint, not just the representative record's location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Event {
+    /// Time of the earliest merged record.
+    pub time: Timestamp,
+    /// Location of the earliest merged record.
+    pub location: Location,
+    /// Union of midplanes touched by all merged records.
+    pub footprint: Partition,
+    /// The error code.
+    pub errcode: ErrCode,
+    /// Number of raw records merged into this event (≥ 1).
+    pub merged: u32,
+    /// RECID of the earliest merged record (for traceability).
+    pub first_recid: u64,
+}
+
+impl Event {
+    /// Build the initial event stream: one event per FATAL record, in time
+    /// order.
+    pub fn from_fatal_records(log: &RasLog) -> Vec<Event> {
+        log.fatal().map(Event::from_record).collect()
+    }
+
+    /// Construct an event whose footprint derives from its location — the
+    /// state a fresh single-record event has. Useful for tests and builders.
+    pub fn synthetic(
+        time: Timestamp,
+        location: Location,
+        errcode: ErrCode,
+        merged: u32,
+        first_recid: u64,
+    ) -> Event {
+        Event {
+            time,
+            location,
+            footprint: Partition::from_midplanes(location.touched_midplanes()),
+            errcode,
+            merged,
+            first_recid,
+        }
+    }
+
+    /// One event from one record.
+    pub fn from_record(r: &RasRecord) -> Event {
+        Event {
+            time: r.event_time,
+            location: r.location,
+            footprint: Partition::from_midplanes(r.location.touched_midplanes()),
+            errcode: r.errcode,
+            merged: 1,
+            first_recid: r.recid,
+        }
+    }
+
+    /// The midplane this event touches (rack-scoped events report their
+    /// rack's first midplane for aggregation purposes).
+    pub fn midplane(&self) -> MidplaneId {
+        self.location
+            .midplane()
+            .unwrap_or_else(|| self.location.rack().midplanes()[0])
+    }
+
+    /// Absorb another event into this one.
+    pub fn absorb(&mut self, other: &Event) {
+        debug_assert!(other.time >= self.time);
+        self.merged += other.merged;
+        self.footprint = self.footprint.union(other.footprint);
+    }
+}
+
+/// Interarrival times (seconds) of an event sequence, skipping zero gaps.
+pub fn interarrivals(events: &[Event]) -> Vec<f64> {
+    events
+        .windows(2)
+        .map(|w| (w[1].time - w[0].time).as_secs() as f64)
+        .filter(|&dt| dt > 0.0)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raslog::Catalog;
+
+    fn rec(recid: u64, t: i64, loc: &str, name: &str) -> RasRecord {
+        RasRecord::new(
+            recid,
+            Timestamp::from_unix(t),
+            loc.parse().unwrap(),
+            Catalog::standard().lookup(name).unwrap(),
+        )
+    }
+
+    #[test]
+    fn from_fatal_records_skips_nonfatal() {
+        let log = RasLog::from_records(vec![
+            rec(1, 100, "R00-M0", "_bgp_err_kernel_panic"),
+            rec(2, 200, "R00-M0", "_bgp_warn_ecc_corrected"),
+            rec(3, 300, "R00-M1", "_bgp_err_ddr_controller"),
+        ]);
+        let events = Event::from_fatal_records(&log);
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].first_recid, 1);
+        assert_eq!(events[1].first_recid, 3);
+        assert!(events.iter().all(|e| e.merged == 1));
+    }
+
+    #[test]
+    fn absorb_accumulates() {
+        let log = RasLog::from_records(vec![
+            rec(1, 100, "R00-M0", "_bgp_err_kernel_panic"),
+            rec(2, 130, "R00-M0", "_bgp_err_kernel_panic"),
+        ]);
+        let events = Event::from_fatal_records(&log);
+        let mut a = events[0];
+        a.absorb(&events[1]);
+        assert_eq!(a.merged, 2);
+        assert_eq!(a.time, Timestamp::from_unix(100));
+    }
+
+    #[test]
+    fn midplane_projection_for_rack_scoped() {
+        let log = RasLog::from_records(vec![rec(1, 10, "R07-B", "BULK_POWER_FATAL")]);
+        let events = Event::from_fatal_records(&log);
+        assert_eq!(events[0].midplane().to_string(), "R07-M0");
+    }
+
+    #[test]
+    fn interarrival_computation() {
+        let log = RasLog::from_records(vec![
+            rec(1, 100, "R00-M0", "_bgp_err_kernel_panic"),
+            rec(2, 100, "R00-M1", "_bgp_err_kernel_panic"),
+            rec(3, 400, "R00-M0", "_bgp_err_kernel_panic"),
+        ]);
+        let events = Event::from_fatal_records(&log);
+        assert_eq!(interarrivals(&events), vec![300.0]);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests for the filter stack's structural invariants:
+//!
+//! * **conservation** — merged record counts always sum to the input count;
+//! * **idempotence** — running a filter on its own output changes nothing
+//!   (there is nothing left within a threshold to merge);
+//! * **order** — outputs stay time-sorted;
+//! * **monotonicity** — a larger threshold never yields more events.
+
+#![cfg(test)]
+
+use crate::event::Event;
+use crate::filter::{SpatialFilter, TemporalFilter};
+use bgp_model::{Duration, Timestamp};
+use proptest::prelude::*;
+use raslog::{Catalog, ErrCode};
+
+/// A compact pool of codes/locations so collisions (and therefore merges)
+/// actually happen in random streams.
+fn code_pool() -> Vec<ErrCode> {
+    let cat = Catalog::standard();
+    [
+        "_bgp_err_kernel_panic",
+        "_bgp_err_ddr_controller",
+        "BULK_POWER_FATAL",
+        "_bgp_err_fs_config",
+    ]
+    .iter()
+    .map(|n| cat.lookup(n).unwrap())
+    .collect()
+}
+
+prop_compose! {
+    fn arb_stream()(
+        gaps in proptest::collection::vec(0i64..2_000, 1..120),
+        codes in proptest::collection::vec(0usize..4, 1..120),
+        locs in proptest::collection::vec(0u8..6, 1..120),
+    ) -> Vec<Event> {
+        let pool = code_pool();
+        let n = gaps.len().min(codes.len()).min(locs.len());
+        let mut t = 0i64;
+        (0..n)
+            .map(|i| {
+                t += gaps[i];
+                let loc: bgp_model::Location = format!("R0{}-M0", locs[i] % 8).parse().unwrap();
+                Event::synthetic(
+                    Timestamp::from_unix(t),
+                    loc,
+                    pool[codes[i] % pool.len()],
+                    1,
+                    i as u64,
+                )
+            })
+            .collect()
+    }
+}
+
+fn total_merged(events: &[Event]) -> u64 {
+    events.iter().map(|e| u64::from(e.merged)).sum()
+}
+
+fn is_time_sorted(events: &[Event]) -> bool {
+    events.windows(2).all(|w| w[0].time <= w[1].time)
+}
+
+proptest! {
+    #[test]
+    fn temporal_conserves_and_sorts(stream in arb_stream()) {
+        let f = TemporalFilter::default();
+        let out = f.apply(&stream);
+        prop_assert_eq!(total_merged(&out), total_merged(&stream));
+        prop_assert!(is_time_sorted(&out));
+        prop_assert!(out.len() <= stream.len());
+    }
+
+    #[test]
+    fn temporal_is_idempotent(stream in arb_stream()) {
+        let f = TemporalFilter::default();
+        let once = f.apply(&stream);
+        let twice = f.apply(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn spatial_conserves_and_sorts(stream in arb_stream()) {
+        let f = SpatialFilter::default();
+        let out = f.apply(&stream);
+        prop_assert_eq!(total_merged(&out), total_merged(&stream));
+        prop_assert!(is_time_sorted(&out));
+    }
+
+    #[test]
+    fn spatial_is_idempotent(stream in arb_stream()) {
+        let f = SpatialFilter::default();
+        let once = f.apply(&stream);
+        prop_assert_eq!(f.apply(&once), once);
+    }
+
+    #[test]
+    fn wider_temporal_threshold_never_keeps_more(stream in arb_stream()) {
+        let narrow = TemporalFilter { threshold: Duration::seconds(60) };
+        let wide = TemporalFilter { threshold: Duration::seconds(1_200) };
+        prop_assert!(wide.apply(&stream).len() <= narrow.apply(&stream).len());
+    }
+
+    #[test]
+    fn spatial_after_temporal_never_increases(stream in arb_stream()) {
+        let t = TemporalFilter::default().apply(&stream);
+        let s = SpatialFilter::default().apply(&t);
+        prop_assert!(s.len() <= t.len());
+        prop_assert_eq!(total_merged(&s), total_merged(&stream));
+    }
+
+    #[test]
+    fn representative_is_earliest_of_each_merge(stream in arb_stream()) {
+        // Every output event's representative time/recid must exist in the
+        // input, and distinct output events of the same (code, location)
+        // must be separated by more than the threshold.
+        let f = TemporalFilter::default();
+        let out = f.apply(&stream);
+        for e in &out {
+            prop_assert!(stream.iter().any(|s| s.first_recid == e.first_recid
+                && s.time == e.time));
+        }
+        for i in 0..out.len() {
+            for j in i + 1..out.len() {
+                if out[i].errcode == out[j].errcode && out[i].location == out[j].location {
+                    // The *first raw record* of the later event must be more
+                    // than `threshold` after the last absorbed record of the
+                    // earlier one; with rolling windows the representative
+                    // gap is at least the threshold too.
+                    prop_assert!(out[j].time > out[i].time);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Spatial filtering: collapse the same code reported from *different*
+//! locations within a threshold.
+//!
+//! "Spatial filtering removes the same type of events being reported at
+//! different locations within a threshold" (Section IV). This is what
+//! absorbs a parallel job's fan-out: an interrupt reported by all 32
+//! midplanes of a partition is one event.
+
+use crate::event::Event;
+use bgp_model::Duration;
+use raslog::ErrCode;
+use std::collections::HashMap;
+
+/// Spatial filter with a configurable threshold (default 300 s).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpatialFilter {
+    /// Events of the same code within this of the previous kept event are
+    /// merged regardless of location.
+    pub threshold: Duration,
+}
+
+impl Default for SpatialFilter {
+    fn default() -> Self {
+        SpatialFilter {
+            threshold: Duration::minutes(5),
+        }
+    }
+}
+
+impl SpatialFilter {
+    /// Apply to a time-sorted event stream.
+    pub fn apply(&self, events: &[Event]) -> Vec<Event> {
+        debug_assert!(events.windows(2).all(|w| w[0].time <= w[1].time));
+        let mut last: HashMap<ErrCode, (usize, bgp_model::Timestamp)> = HashMap::new();
+        let mut out: Vec<Event> = Vec::new();
+        for e in events {
+            match last.get_mut(&e.errcode) {
+                Some((idx, seen)) if e.time - *seen <= self.threshold => {
+                    out[*idx].absorb(e);
+                    *seen = e.time;
+                }
+                _ => {
+                    last.insert(e.errcode, (out.len(), e.time));
+                    out.push(*e);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_model::Timestamp;
+    use raslog::Catalog;
+
+    fn ev(t: i64, loc: &str, name: &str) -> Event {
+        Event::synthetic(Timestamp::from_unix(t), loc.parse().unwrap(), Catalog::standard().lookup(name).unwrap(), 1, t as u64)
+    }
+
+    #[test]
+    fn collapses_across_locations() {
+        let f = SpatialFilter::default();
+        let events = vec![
+            ev(0, "R00-M0", "_bgp_err_ddr_controller"),
+            ev(5, "R00-M1", "_bgp_err_ddr_controller"),
+            ev(9, "R17-M1", "_bgp_err_ddr_controller"),
+        ];
+        let out = f.apply(&events);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].merged, 3);
+        // Representative is the earliest.
+        assert_eq!(out[0].location, "R00-M0".parse().unwrap());
+    }
+
+    #[test]
+    fn different_codes_survive() {
+        let f = SpatialFilter::default();
+        let events = vec![
+            ev(0, "R00-M0", "_bgp_err_ddr_controller"),
+            ev(5, "R00-M0", "_bgp_err_kernel_panic"),
+        ];
+        assert_eq!(f.apply(&events).len(), 2);
+    }
+
+    #[test]
+    fn separate_bursts_survive() {
+        let f = SpatialFilter::default();
+        let events = vec![
+            ev(0, "R00-M0", "_bgp_err_ddr_controller"),
+            ev(10_000, "R00-M1", "_bgp_err_ddr_controller"),
+        ];
+        assert_eq!(f.apply(&events).len(), 2);
+    }
+
+    #[test]
+    fn conserves_merged_counts() {
+        let f = SpatialFilter::default();
+        let mut events = Vec::new();
+        for i in 0..20 {
+            events.push(ev(i * 10, "R00-M0", "_bgp_err_ddr_controller"));
+        }
+        for i in 0..5 {
+            events.push(ev(50_000 + i, "R00-M0", "_bgp_err_kernel_panic"));
+        }
+        events.sort_by_key(|e| e.time);
+        let out = f.apply(&events);
+        assert_eq!(out.iter().map(|e| e.merged).sum::<u32>(), 25);
+        assert_eq!(out.len(), 2);
+    }
+}

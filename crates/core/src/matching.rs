@@ -1,0 +1,296 @@
+//! Matching fatal events to job terminations (Section IV of the paper).
+//!
+//! Both logs carry time and location: a job is *interrupted by* a fatal
+//! event when it ends within a small window of the event's time and the
+//! event's location falls on the job's partition. Every event is also
+//! classified into the paper's three cases:
+//!
+//! * **case 1** — the event interrupted one or more jobs;
+//! * **case 2** — no job was running at the event's location (idle);
+//! * **case 3** — jobs were running there, but none was interrupted.
+
+use crate::event::Event;
+use bgp_model::Duration;
+use joblog::{JobLog, JobRecord};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The paper's three event-vs-jobs cases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EventCase {
+    /// Interrupted at least one job.
+    Interrupted,
+    /// Nothing was running at that location.
+    IdleLocation,
+    /// Jobs ran on through it.
+    NotInterrupted,
+}
+
+/// Per-event match result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventMatch {
+    /// Jobs whose termination this event explains (job ids).
+    pub victims: Vec<u64>,
+    /// Number of jobs running at the event's location at event time.
+    pub running: usize,
+    /// The case classification.
+    pub case: EventCase,
+}
+
+/// The full matching between an event stream and a job log.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Matching {
+    /// Parallel to the event stream.
+    pub per_event: Vec<EventMatch>,
+    /// job id → index of the event that interrupted it. A job ending near
+    /// two events is attributed to the closest-in-time one.
+    pub job_to_event: HashMap<u64, usize>,
+}
+
+/// The matcher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Matcher {
+    /// A job counts as interrupted by an event if it ends within this much
+    /// of the event time (either side: clocks skew, and the kill is reported
+    /// from several components at slightly different times).
+    pub window: Duration,
+    /// Require a non-zero exit code before blaming a fatal event for a job's
+    /// termination. A job that exited 0 completed on its own; attributing it
+    /// to a coincidentally-timed fatal event would poison the per-code case
+    /// statistics.
+    pub require_failed_exit: bool,
+}
+
+impl Default for Matcher {
+    /// 30 s: wide enough for multi-component reporting skew, narrow enough
+    /// that a coincidental normal completion near a fatal event rarely gets
+    /// blamed on it.
+    fn default() -> Self {
+        Matcher {
+            window: Duration::seconds(30),
+            require_failed_exit: true,
+        }
+    }
+}
+
+impl Matcher {
+    /// Match a time-sorted event stream against the job log.
+    pub fn run(&self, events: &[Event], jobs: &JobLog) -> Matching {
+        let mut per_event = Vec::with_capacity(events.len());
+        // job id → (event index, |end − event time|), best so far.
+        let mut best: HashMap<u64, (usize, i64)> = HashMap::new();
+
+        for (i, e) in events.iter().enumerate() {
+            // Jobs running anywhere on the event's footprint at event time.
+            let mut running = 0usize;
+            let mut seen: Vec<u64> = Vec::new();
+            for m in e.footprint.midplanes() {
+                for j in jobs.running_at(m, e.time) {
+                    if !seen.contains(&j.job_id) {
+                        seen.push(j.job_id);
+                        running += 1;
+                    }
+                }
+            }
+            let ended = jobs.ended_in_window(e.time - self.window, e.time + self.window);
+            let victims: Vec<u64> = ended
+                .iter()
+                .filter(|j| j.partition.overlaps(e.footprint))
+                .filter(|j| !self.require_failed_exit || !j.exit.is_success())
+                .map(|j| j.job_id)
+                .collect();
+            for &job_id in &victims {
+                let dist = (jobs_end(jobs, job_id) - e.time).abs().as_secs();
+                match best.get(&job_id) {
+                    Some(&(_, d)) if d <= dist => {}
+                    _ => {
+                        best.insert(job_id, (i, dist));
+                    }
+                }
+            }
+            let case = if !victims.is_empty() {
+                EventCase::Interrupted
+            } else if running == 0 {
+                EventCase::IdleLocation
+            } else {
+                EventCase::NotInterrupted
+            };
+            per_event.push(EventMatch {
+                victims,
+                running,
+                case,
+            });
+        }
+
+        // Keep only the best attribution per job, and drop victims that a
+        // closer event claimed.
+        let job_to_event: HashMap<u64, usize> =
+            best.into_iter().map(|(j, (i, _))| (j, i)).collect();
+        for (i, m) in per_event.iter_mut().enumerate() {
+            m.victims.retain(|j| job_to_event.get(j) == Some(&i));
+            if m.victims.is_empty() && m.case == EventCase::Interrupted {
+                m.case = if m.running == 0 {
+                    EventCase::IdleLocation
+                } else {
+                    EventCase::NotInterrupted
+                };
+            }
+        }
+        Matching {
+            per_event,
+            job_to_event,
+        }
+    }
+}
+
+fn jobs_end(jobs: &JobLog, job_id: u64) -> bgp_model::Timestamp {
+    jobs.by_job_id(job_id)
+        .expect("victim came from this log")
+        .end_time
+}
+
+impl Matching {
+    /// Total interrupted jobs.
+    pub fn interrupted_jobs(&self) -> usize {
+        self.job_to_event.len()
+    }
+
+    /// Count of events per case.
+    pub fn case_counts(&self) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for m in &self.per_event {
+            match m.case {
+                EventCase::Interrupted => c.0 += 1,
+                EventCase::IdleLocation => c.1 += 1,
+                EventCase::NotInterrupted => c.2 += 1,
+            }
+        }
+        c
+    }
+
+    /// The interrupted [`JobRecord`]s, resolved against the job log.
+    pub fn interrupted_records<'a>(&self, jobs: &'a JobLog) -> Vec<&'a JobRecord> {
+        let mut out: Vec<&JobRecord> = self
+            .job_to_event
+            .keys()
+            .filter_map(|&id| jobs.by_job_id(id))
+            .collect();
+        out.sort_by_key(|j| (j.end_time, j.job_id));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_model::Timestamp;
+    use joblog::{ExecId, ExitStatus, ProjectId, UserId};
+    use raslog::Catalog;
+
+    fn ev(t: i64, loc: &str, name: &str) -> Event {
+        Event::synthetic(Timestamp::from_unix(t), loc.parse().unwrap(), Catalog::standard().lookup(name).unwrap(), 1, t as u64)
+    }
+
+    fn job(job_id: u64, start: i64, end: i64, part: &str, failed: bool) -> joblog::JobRecord {
+        joblog::JobRecord {
+            job_id,
+            exec: ExecId(job_id as u32),
+            user: UserId(0),
+            project: ProjectId(0),
+            queue_time: Timestamp::from_unix(start - 10),
+            start_time: Timestamp::from_unix(start),
+            end_time: Timestamp::from_unix(end),
+            partition: part.parse().unwrap(),
+            exit: if failed {
+                ExitStatus::Failed(143)
+            } else {
+                ExitStatus::Completed
+            },
+        }
+    }
+
+    #[test]
+    fn interruption_matched_by_time_and_location() {
+        let jobs = JobLog::from_jobs(vec![job(1, 0, 5_000, "R00-M0", true)]);
+        let events = vec![ev(5_010, "R00-M0-N01-J05", "_bgp_err_kernel_panic")];
+        let m = Matcher::default().run(&events, &jobs);
+        assert_eq!(m.per_event[0].victims, vec![1]);
+        assert_eq!(m.per_event[0].case, EventCase::Interrupted);
+        assert_eq!(m.job_to_event[&1], 0);
+        assert_eq!(m.interrupted_jobs(), 1);
+        assert_eq!(m.interrupted_records(&jobs)[0].job_id, 1);
+    }
+
+    #[test]
+    fn wrong_location_is_not_a_victim() {
+        let jobs = JobLog::from_jobs(vec![job(1, 0, 5_000, "R00-M0", true)]);
+        let events = vec![ev(5_010, "R20-M1", "_bgp_err_kernel_panic")];
+        let m = Matcher::default().run(&events, &jobs);
+        assert!(m.per_event[0].victims.is_empty());
+        assert_eq!(m.per_event[0].case, EventCase::IdleLocation);
+    }
+
+    #[test]
+    fn case3_when_job_runs_through() {
+        // Job runs across the event time but does not end near it.
+        let jobs = JobLog::from_jobs(vec![job(1, 0, 50_000, "R00-M0", false)]);
+        let events = vec![ev(20_000, "R00-M0", "BULK_POWER_FATAL")];
+        let m = Matcher::default().run(&events, &jobs);
+        assert_eq!(m.per_event[0].case, EventCase::NotInterrupted);
+        assert_eq!(m.per_event[0].running, 1);
+    }
+
+    #[test]
+    fn outside_window_not_matched() {
+        let jobs = JobLog::from_jobs(vec![job(1, 0, 5_000, "R00-M0", true)]);
+        let events = vec![ev(5_000 + 1_000, "R00-M0", "_bgp_err_kernel_panic")];
+        let m = Matcher::default().run(&events, &jobs);
+        assert!(m.per_event[0].victims.is_empty());
+    }
+
+    #[test]
+    fn closest_event_wins_attribution() {
+        let jobs = JobLog::from_jobs(vec![job(1, 0, 5_000, "R00-M0", true)]);
+        let events = vec![
+            ev(4_950, "R00-M0", "_bgp_err_kernel_panic"),
+            ev(5_005, "R00-M0", "_bgp_err_ddr_controller"),
+        ];
+        let m = Matcher::default().run(&events, &jobs);
+        assert_eq!(m.job_to_event[&1], 1, "closer event should win");
+        assert!(m.per_event[0].victims.is_empty());
+        assert_eq!(m.per_event[1].victims, vec![1]);
+        // The losing event is re-cased; nothing else runs there, and the job
+        // (which ends within the window) no longer counts as its victim.
+        assert_ne!(m.per_event[0].case, EventCase::Interrupted);
+    }
+
+    #[test]
+    fn one_event_many_victims() {
+        // An fs-wide event killing two jobs at different locations — but the
+        // event location only covers job 1; only covered jobs match.
+        let jobs = JobLog::from_jobs(vec![
+            job(1, 0, 5_000, "R00-M0", true),
+            job(2, 0, 5_001, "R00-M1", true),
+        ]);
+        let events = vec![ev(5_000, "R00", "_bgp_err_fs_config")];
+        let m = Matcher::default().run(&events, &jobs);
+        // Rack-scoped location covers both midplanes.
+        assert_eq!(m.per_event[0].victims.len(), 2);
+        assert_eq!(m.interrupted_jobs(), 2);
+    }
+
+    #[test]
+    fn case_counts() {
+        let jobs = JobLog::from_jobs(vec![
+            job(1, 0, 5_000, "R00-M0", true),
+            job(2, 0, 50_000, "R01-M0", false),
+        ]);
+        let events = vec![
+            ev(5_010, "R00-M0", "_bgp_err_kernel_panic"), // case 1
+            ev(20_000, "R01-M0", "BULK_POWER_FATAL"),     // case 3
+            ev(20_000, "R30-M0", "_bgp_err_diag_netbist"), // case 2
+        ];
+        let m = Matcher::default().run(&events, &jobs);
+        assert_eq!(m.case_counts(), (1, 1, 1));
+    }
+}

@@ -1,0 +1,353 @@
+//! The end-to-end co-analysis pipeline (the paper's Figure 1).
+//!
+//! `RAS log ─→ temporal ─→ spatial ─→ causal ─→ (match with job log)
+//! ─→ job-related filter ─→ classification ─→ characterization`.
+//!
+//! The temporal stage is embarrassingly parallel across `(code, location)`
+//! streams and the spatial/causal stages across codes; [`CoAnalysis::run`]
+//! shards the fatal stream by error code across threads (crossbeam scoped
+//! threads, fork-join, no shared mutable state) and merges. Use
+//! [`CoAnalysisConfig::sequential`] to force the single-threaded path (the
+//! ablation benchmarked in `benches/pipeline.rs`).
+
+use crate::analysis::failure_stats::TableIv;
+use crate::analysis::{
+    BurstAnalysis, InterruptionStats, MidplaneProfile, PropagationAnalysis,
+    VulnerabilityAnalysis,
+};
+use crate::classify::{classify_impact, classify_root_cause, ImpactSummary, RootCauseSummary};
+use crate::event::Event;
+use crate::filter::{
+    CausalFilter, CausalRule, FilterStats, JobRelatedFilter, SpatialFilter, TemporalFilter,
+};
+use crate::matching::{EventCase, Matcher, Matching};
+use crate::report::Observations;
+use bgp_model::Duration;
+use joblog::JobLog;
+use raslog::RasLog;
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoAnalysisConfig {
+    /// Temporal filter threshold.
+    pub temporal: TemporalFilter,
+    /// Spatial filter threshold.
+    pub spatial: SpatialFilter,
+    /// Causal filter parameters.
+    pub causal: CausalFilter,
+    /// Event↔job matching window.
+    pub matcher: Matcher,
+    /// Wide-job threshold in midplanes (paper: 32).
+    pub wide_threshold: u32,
+    /// Window for "re-interrupted quickly" (Observation 6; paper: 1000 s).
+    pub quick_window: Duration,
+    /// Number of worker threads for the sharded filter stages; 1 = fully
+    /// sequential.
+    pub threads: usize,
+}
+
+impl Default for CoAnalysisConfig {
+    fn default() -> Self {
+        CoAnalysisConfig {
+            temporal: TemporalFilter::default(),
+            spatial: SpatialFilter::default(),
+            causal: CausalFilter::default(),
+            matcher: Matcher::default(),
+            wide_threshold: 32,
+            quick_window: Duration::seconds(1_000),
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get().min(8))
+                .unwrap_or(1),
+        }
+    }
+}
+
+impl CoAnalysisConfig {
+    /// A fully sequential configuration (ablation baseline).
+    pub fn sequential() -> Self {
+        CoAnalysisConfig {
+            threads: 1,
+            ..Default::default()
+        }
+    }
+}
+
+/// The pipeline entry point.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CoAnalysis {
+    /// Configuration used by [`CoAnalysis::run`].
+    pub config: CoAnalysisConfig,
+}
+
+/// Everything a run produces.
+#[derive(Debug, Clone)]
+pub struct CoAnalysisResult {
+    /// Events after temporal + spatial + causal filtering.
+    pub events: Vec<Event>,
+    /// Learned causal rules.
+    pub causal_rules: Vec<CausalRule>,
+    /// Matching of `events` against the job log.
+    pub matching: Matching,
+    /// Per-event job-related redundancy flags (parallel to `events`).
+    pub job_redundant: Vec<bool>,
+    /// Events after job-related filtering.
+    pub events_final: Vec<Event>,
+    /// Counts through the filter stack.
+    pub filter_stats: FilterStats,
+    /// Per-code impact classification (Section IV-A).
+    pub impact: ImpactSummary,
+    /// Per-code root-cause classification (Section IV-B).
+    pub root_cause: RootCauseSummary,
+    /// Table IV fits (None if either stream is too small to fit).
+    pub table_iv: Option<TableIv>,
+    /// Figure 4 midplane profile.
+    pub midplane: MidplaneProfile,
+    /// Figure 5 / Observation 6 burst analysis.
+    pub burst: BurstAnalysis,
+    /// Table V / Figure 6 interruption statistics.
+    pub interruption: InterruptionStats,
+    /// Observation 8 propagation analysis.
+    pub propagation: PropagationAnalysis,
+    /// Section VI-D vulnerability analysis.
+    pub vulnerability: VulnerabilityAnalysis,
+}
+
+impl CoAnalysis {
+    /// Build with a custom configuration.
+    pub fn with_config(config: CoAnalysisConfig) -> CoAnalysis {
+        CoAnalysis { config }
+    }
+
+    /// Run the full pipeline.
+    pub fn run(&self, ras: &RasLog, jobs: &JobLog) -> CoAnalysisResult {
+        let cfg = &self.config;
+        let raw: Vec<Event> = Event::from_fatal_records(ras);
+
+        // --- temporal + spatial, sharded by error code ---
+        let after_spatial = self.filter_ts(&raw);
+        let after_temporal_count = after_spatial.1;
+        let after_spatial = after_spatial.0;
+
+        // --- causal (global: learns cross-code rules) ---
+        let (events, causal_rules) = cfg.causal.filter(&after_spatial);
+
+        // --- matching ---
+        let matching = cfg.matcher.run(&events, jobs);
+
+        // --- job-related filtering ---
+        let outcome = JobRelatedFilter.apply(&events, &matching, jobs);
+
+        let filter_stats = FilterStats {
+            raw_fatal: raw.len(),
+            after_temporal: after_temporal_count,
+            after_spatial: after_spatial.len(),
+            after_causal: events.len(),
+            after_job_related: outcome.events.len(),
+        };
+
+        // --- classification ---
+        let impact = classify_impact(&events, &matching);
+        let root_cause = classify_root_cause(&events, &matching, jobs);
+
+        // --- characterization ---
+        let table_iv = TableIv::new(&events, &outcome.events).ok();
+        // The per-midplane profile uses the fully filtered events: a
+        // ten-job chain at one broken midplane is one fault there, not ten
+        // (job-related filtering exists precisely to fix such counts).
+        let midplane = MidplaneProfile::new(&outcome.events, jobs, cfg.wide_threshold);
+        let victims = matching.interrupted_records(jobs);
+        let window = ras
+            .time_span()
+            .unwrap_or((bgp_model::Timestamp::EPOCH, bgp_model::Timestamp::EPOCH));
+        let burst = BurstAnalysis::new(&victims, jobs, window, cfg.quick_window);
+        let interruption = InterruptionStats::new(&events, &matching, &root_cause, jobs);
+        let propagation =
+            PropagationAnalysis::new(&events, &matching, jobs, &outcome.redundant);
+        let vulnerability = VulnerabilityAnalysis::new(
+            &events,
+            &matching,
+            &root_cause,
+            jobs,
+            &midplane.fatal_counts,
+        );
+
+        CoAnalysisResult {
+            events,
+            causal_rules,
+            matching,
+            job_redundant: outcome.redundant,
+            events_final: outcome.events,
+            filter_stats,
+            impact,
+            root_cause,
+            table_iv,
+            midplane,
+            burst,
+            interruption,
+            propagation,
+            vulnerability,
+        }
+    }
+
+    /// Temporal then spatial filtering, sharded by error code across
+    /// `config.threads` workers. Returns the merged spatial output and the
+    /// post-temporal count.
+    fn filter_ts(&self, raw: &[Event]) -> (Vec<Event>, usize) {
+        let cfg = &self.config;
+        // Shard: both filters only ever merge events of the *same* code, so
+        // per-code sharding is exact.
+        let mut shards: std::collections::HashMap<raslog::ErrCode, Vec<Event>> =
+            std::collections::HashMap::new();
+        for e in raw {
+            shards.entry(e.errcode).or_default().push(*e);
+        }
+        let shard_list: Vec<Vec<Event>> = shards.into_values().collect();
+
+        let worker = |shard: &Vec<Event>| -> (Vec<Event>, usize) {
+            let t = cfg.temporal.apply(shard);
+            let n = t.len();
+            (cfg.spatial.apply(&t), n)
+        };
+
+        let results: Vec<(Vec<Event>, usize)> = if cfg.threads <= 1 || shard_list.len() <= 1 {
+            shard_list.iter().map(worker).collect()
+        } else {
+            let chunk = shard_list.len().div_ceil(cfg.threads);
+            let mut results: Vec<Vec<(Vec<Event>, usize)>> =
+                Vec::with_capacity(cfg.threads);
+            crossbeam::scope(|scope| {
+                let handles: Vec<_> = shard_list
+                    .chunks(chunk)
+                    .map(|chunk| scope.spawn(move |_| chunk.iter().map(worker).collect::<Vec<_>>()))
+                    .collect();
+                for h in handles {
+                    results.push(h.join().expect("filter worker panicked"));
+                }
+            })
+            .expect("crossbeam scope");
+            results.into_iter().flatten().collect()
+        };
+
+        let mut temporal_count = 0usize;
+        let mut merged: Vec<Event> = Vec::new();
+        for (events, n) in results {
+            temporal_count += n;
+            merged.extend(events);
+        }
+        merged.sort_by_key(|e| (e.time, e.first_recid));
+        (merged, temporal_count)
+    }
+}
+
+impl CoAnalysisResult {
+    /// Fraction of events that fired on idle hardware (case 2).
+    pub fn idle_event_fraction(&self) -> f64 {
+        let (_, idle, _) = self.matching.case_counts();
+        if self.events.is_empty() {
+            return 0.0;
+        }
+        idle as f64 / self.events.len() as f64
+    }
+
+    /// Assemble the twelve observations.
+    pub fn observations(&self) -> Observations {
+        Observations::assemble(
+            &self.filter_stats,
+            &self.impact,
+            &self.root_cause,
+            self.root_cause.app_event_fraction(&self.events),
+            self.table_iv.as_ref(),
+            &self.midplane,
+            &self.burst,
+            &self.interruption,
+            self.idle_event_fraction(),
+            &self.propagation,
+            &self.vulnerability,
+        )
+    }
+
+    /// Events of case 1/2/3 (convenience for reports).
+    pub fn case_counts(&self) -> (usize, usize, usize) {
+        self.matching.case_counts()
+    }
+
+    /// The case-2 (idle) events, by reference.
+    pub fn idle_events(&self) -> Vec<&Event> {
+        self.events
+            .iter()
+            .zip(&self.matching.per_event)
+            .filter(|(_, m)| m.case == EventCase::IdleLocation)
+            .map(|(e, _)| e)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_sim::{SimConfig, Simulation};
+
+    fn small_run(seed: u64) -> (bgp_sim::SimOutput, CoAnalysisResult) {
+        let out = Simulation::new(SimConfig::small_test(seed)).run();
+        let result = CoAnalysis::default().run(&out.ras, &out.jobs);
+        (out, result)
+    }
+
+    #[test]
+    fn pipeline_compresses_heavily() {
+        let (_, r) = small_run(1);
+        assert!(r.filter_stats.raw_fatal > 1_000);
+        assert!(
+            r.filter_stats.ts_causal_compression() > 0.9,
+            "compression {}",
+            r.filter_stats.ts_causal_compression()
+        );
+        assert!(r.filter_stats.after_causal >= r.filter_stats.after_job_related);
+        // Merged record counts are conserved end to end.
+        let total: u32 = r.events_final.iter().map(|e| e.merged).sum();
+        assert_eq!(total as usize, r.filter_stats.raw_fatal);
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        let out = Simulation::new(SimConfig::small_test(2)).run();
+        let par = CoAnalysis::default().run(&out.ras, &out.jobs);
+        let seq =
+            CoAnalysis::with_config(CoAnalysisConfig::sequential()).run(&out.ras, &out.jobs);
+        assert_eq!(par.events, seq.events);
+        assert_eq!(par.filter_stats, seq.filter_stats);
+        assert_eq!(par.matching, seq.matching);
+        assert_eq!(par.events_final, seq.events_final);
+    }
+
+    #[test]
+    fn recovers_interruptions_close_to_truth() {
+        let (out, r) = small_run(3);
+        let truth = out.truth.total_interruptions();
+        let found = r.matching.interrupted_jobs();
+        assert!(truth > 0);
+        let recall = found as f64 / truth as f64;
+        assert!(
+            recall > 0.8,
+            "found {found} of {truth} true interruptions"
+        );
+    }
+
+    #[test]
+    fn observations_assemble_and_print() {
+        let (_, r) = small_run(4);
+        let obs = r.observations();
+        let text = obs.to_string();
+        assert!(text.contains("Obs 12"));
+        assert!(obs.obs3_ts_compression > 0.5);
+    }
+
+    #[test]
+    fn case_accessors_consistent() {
+        let (_, r) = small_run(5);
+        let (c1, c2, c3) = r.case_counts();
+        assert_eq!(c1 + c2 + c3, r.events.len());
+        assert_eq!(r.idle_events().len(), c2);
+        assert!((r.idle_event_fraction() - c2 as f64 / r.events.len() as f64).abs() < 1e-12);
+    }
+}

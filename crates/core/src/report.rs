@@ -1,0 +1,437 @@
+//! The paper's twelve observations, computed from one co-analysis run.
+
+use crate::analysis::failure_stats::TableIv;
+use crate::analysis::{
+    BurstAnalysis, InterruptionStats, MidplaneProfile, PropagationAnalysis,
+    VulnerabilityAnalysis,
+};
+use crate::classify::{CodeImpact, ImpactSummary, RootCauseSummary};
+use crate::filter::FilterStats;
+use serde::Serialize;
+use std::fmt;
+
+/// Everything quantitative behind Observations 1–12.
+#[derive(Debug, Clone, Serialize)]
+pub struct Observations {
+    // Obs 1
+    /// Non-fatal-in-practice code count and the event fraction (paper:
+    /// 2 types, 20.84 %).
+    pub obs1_nonfatal_codes: usize,
+    /// Fraction of post-filter fatal events with no job impact.
+    pub obs1_nonimpacting_event_fraction: f64,
+    // Obs 2
+    /// System-failure and application-error type counts (paper: 72 / 8).
+    pub obs2_system_types: usize,
+    /// Application-error types.
+    pub obs2_application_types: usize,
+    /// Fraction of events attributed to application errors (paper: 17.73 %).
+    pub obs2_app_event_fraction: f64,
+    // Obs 3
+    /// Temporal-spatial+causal compression (paper: 98.35 %).
+    pub obs3_ts_compression: f64,
+    /// Additional job-related compression (paper: 13.1 %).
+    pub obs3_job_compression: f64,
+    // Obs 4
+    /// Weibull shape before / after job-related filtering.
+    pub obs4_shape_before: f64,
+    /// Shape after.
+    pub obs4_shape_after: f64,
+    /// MTBF ratio after/before (paper: ≈ 3).
+    pub obs4_mtbf_ratio: f64,
+    /// Did the LRT prefer Weibull on both streams?
+    pub obs4_weibull_preferred: bool,
+    // Obs 5
+    /// Correlation of midplane fatal counts with total workload.
+    pub obs5_corr_total_workload: f64,
+    /// Correlation with wide-job workload.
+    pub obs5_corr_wide_workload: f64,
+    // Obs 6
+    /// Interrupted-job fraction (paper: 0.45 %).
+    pub obs6_interrupted_job_fraction: f64,
+    /// Quick re-interruptions within 1000 s (paper: 33).
+    pub obs6_quick_reinterruptions: usize,
+    /// Longest consecutive interruption run of one executable.
+    pub obs6_max_consecutive: usize,
+    // Obs 7
+    /// MTTI (system) / MTBF (before job filtering) (paper: 4.07).
+    pub obs7_mtti_over_mtbf: f64,
+    /// Fraction of events on idle locations (paper: 45.45 %).
+    pub obs7_idle_event_fraction: f64,
+    // Obs 8
+    /// Spatially propagating fraction of interrupting events (paper:
+    /// 7.22 %).
+    pub obs8_spatial_fraction: f64,
+    /// Number of codes responsible.
+    pub obs8_spatial_code_count: usize,
+    // Obs 9
+    /// P(interrupt | k) for system interruptions, k = 1..3.
+    pub obs9_system_probs: [Option<f64>; 3],
+    /// P(interrupt | k) for application interruptions, k = 1..3.
+    pub obs9_application_probs: [Option<f64>; 3],
+    // Obs 10
+    /// Gain ratio of size vs. execution time for system interruptions.
+    pub obs10_size_gain_ratio: f64,
+    /// Gain ratio of execution time (system category).
+    pub obs10_time_gain_ratio: f64,
+    // Obs 11
+    /// Fraction of app interruptions in the first hour (paper: 74.5 %).
+    pub obs11_app_first_hour: f64,
+    // Obs 12
+    /// Suspicious user count and their interruption share.
+    pub obs12_suspicious_users: usize,
+    /// Share of interruptions from suspicious users.
+    pub obs12_user_share: f64,
+}
+
+impl Observations {
+    /// Assemble from the analysis pieces.
+    #[allow(clippy::too_many_arguments)] // one argument per analysis stage
+    pub fn assemble(
+        filter_stats: &FilterStats,
+        impact: &ImpactSummary,
+        root_cause: &RootCauseSummary,
+        app_event_fraction: f64,
+        table_iv: Option<&TableIv>,
+        midplane: &MidplaneProfile,
+        burst: &BurstAnalysis,
+        interruption: &InterruptionStats,
+        idle_event_fraction: f64,
+        propagation: &PropagationAnalysis,
+        vulnerability: &VulnerabilityAnalysis,
+    ) -> Observations {
+        let (sys_types, app_types) = root_cause.counts();
+        let (shape_before, shape_after, ratio, preferred) = match table_iv {
+            Some(t) => (
+                t.before.fits.weibull.shape,
+                t.after.fits.weibull.shape,
+                t.mtbf_ratio(),
+                t.before.fits.weibull_preferred(0.05) && t.after.fits.weibull_preferred(0.05),
+            ),
+            None => (f64::NAN, f64::NAN, f64::NAN, false),
+        };
+        let mtbf = table_iv.map(|t| t.before.mtbf()).unwrap_or(f64::NAN);
+        let find_ratio = |name: &str, ranking: &[(String, bgp_stats::infogain::FeatureScore)]| {
+            ranking
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, s)| s.gain_ratio)
+                .unwrap_or(0.0)
+        };
+        Observations {
+            obs1_nonfatal_codes: impact.count(CodeImpact::NonFatal),
+            obs1_nonimpacting_event_fraction: impact.nonfatal_event_fraction(),
+            obs2_system_types: sys_types,
+            obs2_application_types: app_types,
+            obs2_app_event_fraction: app_event_fraction,
+            obs3_ts_compression: filter_stats.ts_causal_compression(),
+            obs3_job_compression: filter_stats.job_related_compression(),
+            obs4_shape_before: shape_before,
+            obs4_shape_after: shape_after,
+            obs4_mtbf_ratio: ratio,
+            obs4_weibull_preferred: preferred,
+            obs5_corr_total_workload: midplane.corr_with_workload().unwrap_or(f64::NAN),
+            obs5_corr_wide_workload: midplane.corr_with_wide_workload().unwrap_or(f64::NAN),
+            obs6_interrupted_job_fraction: burst.interrupted_job_fraction,
+            obs6_quick_reinterruptions: burst.quick_reinterruptions,
+            obs6_max_consecutive: burst.max_consecutive_one_exec,
+            obs7_mtti_over_mtbf: interruption.mtti_over_mtbf(mtbf).unwrap_or(f64::NAN),
+            obs7_idle_event_fraction: idle_event_fraction,
+            obs8_spatial_fraction: propagation.spatial_fraction(),
+            obs8_spatial_code_count: propagation.spatial_codes.len(),
+            obs9_system_probs: [
+                crate::analysis::ResubmissionStats::probability(
+                    &vulnerability.resubmission.system,
+                    1,
+                ),
+                crate::analysis::ResubmissionStats::probability(
+                    &vulnerability.resubmission.system,
+                    2,
+                ),
+                crate::analysis::ResubmissionStats::probability(
+                    &vulnerability.resubmission.system,
+                    3,
+                ),
+            ],
+            obs9_application_probs: [
+                crate::analysis::ResubmissionStats::probability(
+                    &vulnerability.resubmission.application,
+                    1,
+                ),
+                crate::analysis::ResubmissionStats::probability(
+                    &vulnerability.resubmission.application,
+                    2,
+                ),
+                crate::analysis::ResubmissionStats::probability(
+                    &vulnerability.resubmission.application,
+                    3,
+                ),
+            ],
+            obs10_size_gain_ratio: find_ratio("size", &vulnerability.ranking_system),
+            obs10_time_gain_ratio: find_ratio("execution time", &vulnerability.ranking_system),
+            obs11_app_first_hour: vulnerability.app_interruptions_first_hour,
+            obs12_suspicious_users: vulnerability.suspicious_users.0.len(),
+            obs12_user_share: vulnerability.suspicious_users.1,
+        }
+    }
+}
+
+/// One shape claim from the paper checked against a run.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ShapeCheck {
+    /// Which observation the claim belongs to.
+    pub observation: u8,
+    /// The claim, in words.
+    pub claim: &'static str,
+    /// Did this run reproduce it?
+    pub pass: bool,
+}
+
+impl Observations {
+    /// Check the paper's qualitative claims against this run's numbers.
+    ///
+    /// These are *shape* checks (directions, orderings, regimes), not
+    /// absolute-number comparisons; `EXPERIMENTS.md` documents the absolute
+    /// side. Claims that need several seeds to evaluate fairly (the exact
+    /// Figure-7 peak) are checked in their weak single-run form.
+    pub fn check_against_paper(&self) -> Vec<ShapeCheck> {
+        let mut checks = Vec::new();
+        let mut push = |observation: u8, claim: &'static str, pass: bool| {
+            checks.push(ShapeCheck {
+                observation,
+                claim,
+                pass,
+            });
+        };
+        push(
+            1,
+            "some fatal-labeled codes never impact jobs",
+            self.obs1_nonfatal_codes >= 1 && self.obs1_nonimpacting_event_fraction > 0.05,
+        );
+        push(
+            2,
+            "system-failure types far outnumber application-error types",
+            self.obs2_system_types > 4 * self.obs2_application_types.max(1),
+        );
+        push(
+            2,
+            "a non-trivial share of events are application errors",
+            (0.02..0.5).contains(&self.obs2_app_event_fraction),
+        );
+        push(
+            3,
+            "temporal-spatial+causal filtering removes >95% of FATAL records",
+            self.obs3_ts_compression > 0.95,
+        );
+        push(
+            3,
+            "job-related filtering removes a further non-trivial slice",
+            (0.02..0.4).contains(&self.obs3_job_compression),
+        );
+        push(
+            4,
+            "Weibull preferred with shape < 1; shape and MTBF rise after job filtering",
+            self.obs4_weibull_preferred
+                && self.obs4_shape_before < 1.0
+                && self.obs4_shape_after > self.obs4_shape_before
+                && self.obs4_mtbf_ratio > 1.0,
+        );
+        push(
+            5,
+            "failure counts track wide-job workload better than total workload",
+            self.obs5_corr_wide_workload > self.obs5_corr_total_workload,
+        );
+        push(
+            6,
+            "interruptions are rare (<3% of jobs) but re-strike quickly",
+            self.obs6_interrupted_job_fraction < 0.03 && self.obs6_quick_reinterruptions > 0,
+        );
+        push(
+            7,
+            "MTTI exceeds MTBF because many fatals hit idle hardware",
+            self.obs7_mtti_over_mtbf > 1.5 && self.obs7_idle_event_fraction > 0.2,
+        );
+        push(
+            8,
+            "spatial propagation is rare",
+            self.obs8_spatial_fraction < 0.25,
+        );
+        push(
+            9,
+            "a resubmission after an interruption is at hugely elevated risk vs the base rate",
+            {
+                let base = self.obs6_interrupted_job_fraction.max(1e-6);
+                self.obs9_system_probs[0].unwrap_or(0.0) > 5.0 * base
+                    || self.obs9_application_probs[0].unwrap_or(0.0) > 5.0 * base
+            },
+        );
+        push(
+            10,
+            "job size outweighs execution time for system-failure vulnerability",
+            self.obs10_size_gain_ratio > self.obs10_time_gain_ratio,
+        );
+        push(
+            11,
+            "most application-error interruptions strike in the first hour",
+            self.obs11_app_first_hour > 0.5,
+        );
+        push(
+            12,
+            "a small user set carries half the interruptions",
+            self.obs12_suspicious_users <= 30 && self.obs12_user_share >= 0.5,
+        );
+        checks
+    }
+}
+
+impl fmt::Display for Observations {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let pct = |x: f64| format!("{:.2}%", x * 100.0);
+        let p3 = |ps: &[Option<f64>; 3]| -> String {
+            ps.iter()
+                .enumerate()
+                .map(|(i, p)| match p {
+                    Some(p) => format!("k={}: {}", i + 1, pct(*p)),
+                    None => format!("k={}: n/a", i + 1),
+                })
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        writeln!(f, "== The twelve observations (computed) ==")?;
+        writeln!(
+            f,
+            "Obs 1  fatal-labeled codes with no job impact: {} types; {} of post-filter events",
+            self.obs1_nonfatal_codes,
+            pct(self.obs1_nonimpacting_event_fraction)
+        )?;
+        writeln!(
+            f,
+            "Obs 2  root causes: {} system-failure types vs {} application-error types; {} of events are application errors",
+            self.obs2_system_types,
+            self.obs2_application_types,
+            pct(self.obs2_app_event_fraction)
+        )?;
+        writeln!(
+            f,
+            "Obs 3  compression: temporal-spatial+causal {}, job-related removes another {}",
+            pct(self.obs3_ts_compression),
+            pct(self.obs3_job_compression)
+        )?;
+        writeln!(
+            f,
+            "Obs 4  Weibull shape {:.3} -> {:.3} after job-related filtering; MTBF grows {:.2}x; Weibull preferred: {}",
+            self.obs4_shape_before, self.obs4_shape_after, self.obs4_mtbf_ratio,
+            self.obs4_weibull_preferred
+        )?;
+        writeln!(
+            f,
+            "Obs 5  midplane failure counts correlate {:.3} with wide-job workload vs {:.3} with total workload",
+            self.obs5_corr_wide_workload, self.obs5_corr_total_workload
+        )?;
+        writeln!(
+            f,
+            "Obs 6  interruptions are rare ({} of jobs) but bursty: {} re-interruptions within 1000 s; longest run {}",
+            pct(self.obs6_interrupted_job_fraction),
+            self.obs6_quick_reinterruptions,
+            self.obs6_max_consecutive
+        )?;
+        writeln!(
+            f,
+            "Obs 7  MTTI is {:.2}x the MTBF; {} of fatal events hit idle hardware",
+            self.obs7_mtti_over_mtbf,
+            pct(self.obs7_idle_event_fraction)
+        )?;
+        writeln!(
+            f,
+            "Obs 8  spatial propagation in {} of interrupting events, via {} code(s)",
+            pct(self.obs8_spatial_fraction),
+            self.obs8_spatial_code_count
+        )?;
+        writeln!(f, "Obs 9  P(interrupt | k consecutive interruptions):")?;
+        writeln!(f, "        system:      {}", p3(&self.obs9_system_probs))?;
+        writeln!(f, "        application: {}", p3(&self.obs9_application_probs))?;
+        writeln!(
+            f,
+            "Obs 10 gain ratio (system interruptions): size {:.4} vs execution time {:.4}",
+            self.obs10_size_gain_ratio, self.obs10_time_gain_ratio
+        )?;
+        writeln!(
+            f,
+            "Obs 11 {} of application-error interruptions occur in the first hour",
+            pct(self.obs11_app_first_hour)
+        )?;
+        writeln!(
+            f,
+            "Obs 12 {} suspicious users account for {} of interruptions",
+            self.obs12_suspicious_users,
+            pct(self.obs12_user_share)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy() -> Observations {
+        Observations {
+            obs1_nonfatal_codes: 2,
+            obs1_nonimpacting_event_fraction: 0.2084,
+            obs2_system_types: 72,
+            obs2_application_types: 8,
+            obs2_app_event_fraction: 0.1773,
+            obs3_ts_compression: 0.9835,
+            obs3_job_compression: 0.131,
+            obs4_shape_before: 0.387,
+            obs4_shape_after: 0.573,
+            obs4_mtbf_ratio: 3.7,
+            obs4_weibull_preferred: true,
+            obs5_corr_total_workload: 0.1,
+            obs5_corr_wide_workload: 0.8,
+            obs6_interrupted_job_fraction: 0.0045,
+            obs6_quick_reinterruptions: 33,
+            obs6_max_consecutive: 4,
+            obs7_mtti_over_mtbf: 4.07,
+            obs7_idle_event_fraction: 0.4545,
+            obs8_spatial_fraction: 0.0722,
+            obs8_spatial_code_count: 2,
+            obs9_system_probs: [Some(0.3), Some(0.53), Some(0.4)],
+            obs9_application_probs: [Some(0.4), Some(0.5), None],
+            obs10_size_gain_ratio: 0.02,
+            obs10_time_gain_ratio: 0.005,
+            obs11_app_first_hour: 0.745,
+            obs12_suspicious_users: 16,
+            obs12_user_share: 0.5325,
+        }
+    }
+
+    #[test]
+    fn paper_shape_checks_pass_on_paperlike_numbers() {
+        let checks = dummy().check_against_paper();
+        assert_eq!(checks.len(), 14);
+        for c in &checks {
+            assert!(c.pass, "claim failed on paper-like numbers: {}", c.claim);
+        }
+        // Break one number, one check must fail.
+        let mut bad = dummy();
+        bad.obs5_corr_wide_workload = -0.9;
+        assert!(bad
+            .check_against_paper()
+            .iter()
+            .any(|c| c.observation == 5 && !c.pass));
+    }
+
+    #[test]
+    fn display_mentions_every_observation() {
+        let text = dummy().to_string();
+        for i in 1..=12 {
+            assert!(
+                text.contains(&format!("Obs {i}")) || text.contains(&format!("Obs {i} ")),
+                "missing observation {i}"
+            );
+        }
+        assert!(text.contains("20.84%"));
+        assert!(text.contains("4.07x"));
+        assert!(text.contains("k=3: n/a"));
+    }
+
+}

@@ -1,0 +1,318 @@
+//! The indexed in-memory job log container.
+
+use crate::record::{ExecId, JobRecord};
+use bgp_model::{topology, Duration, MidplaneId, Timestamp};
+use std::collections::HashMap;
+
+/// An immutable job log indexed for co-analysis queries.
+///
+/// Jobs are stored sorted by `start_time`. Two indices are maintained:
+///
+/// * per-midplane posting lists (job indices sorted by start time), for
+///   *occupancy* queries — which jobs ran at time t / window w on midplane m;
+/// * an end-time-sorted permutation, for *termination* queries — which jobs
+///   ended inside a window (the interruption-matching probe).
+///
+/// Occupancy lookups bound their scan with the maximum job duration, so a
+/// query is `O(log n + jobs-in-(t − max_dur, t])` rather than `O(n)`.
+#[derive(Debug, Clone)]
+pub struct JobLog {
+    jobs: Vec<JobRecord>,
+    by_midplane: Vec<Vec<u32>>,
+    by_end_time: Vec<u32>,
+    max_duration: Duration,
+}
+
+impl Default for JobLog {
+    /// An empty log with a fully-built (empty) midplane index.
+    fn default() -> JobLog {
+        JobLog::from_jobs(Vec::new())
+    }
+}
+
+impl JobLog {
+    /// Build from job records (any order; sorted internally).
+    pub fn from_jobs(mut jobs: Vec<JobRecord>) -> JobLog {
+        jobs.sort_by_key(|j| (j.start_time, j.job_id));
+        let mut by_midplane = vec![Vec::new(); usize::from(topology::NUM_MIDPLANES)];
+        let mut max_duration = Duration::ZERO;
+        for (i, j) in jobs.iter().enumerate() {
+            for m in j.partition.midplanes() {
+                by_midplane[m.index()].push(i as u32);
+            }
+            max_duration = max_duration.max(j.runtime());
+        }
+        let mut by_end_time: Vec<u32> = (0..jobs.len() as u32).collect();
+        by_end_time.sort_by_key(|&i| (jobs[i as usize].end_time, jobs[i as usize].job_id));
+        JobLog {
+            jobs,
+            by_midplane,
+            by_end_time,
+            max_duration,
+        }
+    }
+
+    /// All jobs, sorted by start time.
+    pub fn jobs(&self) -> &[JobRecord] {
+        &self.jobs
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Is the log empty?
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// The longest runtime in the log.
+    pub fn max_duration(&self) -> Duration {
+        self.max_duration
+    }
+
+    /// Jobs running at instant `t` on midplane `m`.
+    pub fn running_at(&self, m: MidplaneId, t: Timestamp) -> Vec<&JobRecord> {
+        self.overlapping(m, t, t + Duration::seconds(1))
+    }
+
+    /// Jobs on midplane `m` whose execution interval overlaps `[t0, t1)`.
+    pub fn overlapping(&self, m: MidplaneId, t0: Timestamp, t1: Timestamp) -> Vec<&JobRecord> {
+        let posting = &self.by_midplane[m.index()];
+        // Candidates must have start < t1 and start > t0 − max_duration.
+        let hi = posting.partition_point(|&i| self.jobs[i as usize].start_time < t1);
+        let cutoff = t0 - self.max_duration;
+        let mut out = Vec::new();
+        for &i in posting[..hi].iter().rev() {
+            let j = &self.jobs[i as usize];
+            if j.start_time < cutoff {
+                break;
+            }
+            if j.overlaps(t0, t1) {
+                out.push(j);
+            }
+        }
+        out.reverse();
+        out
+    }
+
+    /// Jobs (anywhere on the machine) with `t0 <= end_time < t1`, in end-time
+    /// order.
+    pub fn ended_in_window(&self, t0: Timestamp, t1: Timestamp) -> Vec<&JobRecord> {
+        let lo = self
+            .by_end_time
+            .partition_point(|&i| self.jobs[i as usize].end_time < t0);
+        let hi = self
+            .by_end_time
+            .partition_point(|&i| self.jobs[i as usize].end_time < t1);
+        self.by_end_time[lo..hi]
+            .iter()
+            .map(|&i| &self.jobs[i as usize])
+            .collect()
+    }
+
+    /// Group job indices by executable, each group in submission
+    /// (queue-time) order. This is the paper's "distinct job" notion.
+    pub fn by_exec(&self) -> HashMap<ExecId, Vec<&JobRecord>> {
+        let mut out: HashMap<ExecId, Vec<&JobRecord>> = HashMap::new();
+        for j in &self.jobs {
+            out.entry(j.exec).or_default().push(j);
+        }
+        for group in out.values_mut() {
+            group.sort_by_key(|j| (j.queue_time, j.job_id));
+        }
+        out
+    }
+
+    /// Number of distinct executables.
+    pub fn distinct_execs(&self) -> usize {
+        let mut execs: Vec<ExecId> = self.jobs.iter().map(|j| j.exec).collect();
+        execs.sort_unstable();
+        execs.dedup();
+        execs.len()
+    }
+
+    /// Number of executables submitted more than once.
+    pub fn resubmitted_execs(&self) -> usize {
+        self.by_exec().values().filter(|g| g.len() > 1).count()
+    }
+
+    /// Busy seconds on midplane `m` (sum of runtimes of jobs touching it) —
+    /// the "workload" series of Figure 4b.
+    pub fn midplane_busy_seconds(&self, m: MidplaneId) -> i64 {
+        self.by_midplane[m.index()]
+            .iter()
+            .map(|&i| self.jobs[i as usize].runtime().as_secs())
+            .sum()
+    }
+
+    /// Busy seconds on midplane `m` counting only jobs of at least
+    /// `min_midplanes` midplanes — the "wide-job workload" series of
+    /// Figure 4c.
+    pub fn midplane_busy_seconds_min_size(&self, m: MidplaneId, min_midplanes: u32) -> i64 {
+        self.by_midplane[m.index()]
+            .iter()
+            .map(|&i| &self.jobs[i as usize])
+            .filter(|j| j.size_midplanes() >= min_midplanes)
+            .map(|j| j.runtime().as_secs())
+            .sum()
+    }
+
+    /// A new log with only the jobs satisfying `pred`.
+    pub fn filtered<F: FnMut(&JobRecord) -> bool>(&self, mut pred: F) -> JobLog {
+        JobLog::from_jobs(self.jobs.iter().filter(|j| pred(j)).copied().collect())
+    }
+
+    /// Look up a job by id (linear scan; not on any hot path).
+    pub fn by_job_id(&self, job_id: u64) -> Option<&JobRecord> {
+        self.jobs.iter().find(|j| j.job_id == job_id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{ExecId, ExitStatus, ProjectId, UserId};
+
+    fn job(job_id: u64, exec: u32, start: i64, end: i64, part: &str) -> JobRecord {
+        JobRecord {
+            job_id,
+            exec: ExecId(exec),
+            user: UserId(1),
+            project: ProjectId(1),
+            queue_time: Timestamp::from_unix(start - 50),
+            start_time: Timestamp::from_unix(start),
+            end_time: Timestamp::from_unix(end),
+            partition: part.parse().unwrap(),
+            exit: ExitStatus::Completed,
+        }
+    }
+
+    fn sample() -> JobLog {
+        JobLog::from_jobs(vec![
+            job(1, 10, 100, 500, "R00-M0"),
+            job(2, 10, 600, 700, "R00-M0"),
+            job(3, 11, 200, 900, "R00-M1"),
+            job(4, 12, 50, 5000, "R10-R11"),
+        ])
+    }
+
+    #[test]
+    fn occupancy_queries() {
+        let log = sample();
+        let m0: MidplaneId = "R00-M0".parse().unwrap();
+        let hits = log.running_at(m0, Timestamp::from_unix(300));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].job_id, 1);
+        // Instant between jobs 1 and 2.
+        assert!(log.running_at(m0, Timestamp::from_unix(550)).is_empty());
+        // End-exclusive.
+        assert!(log.running_at(m0, Timestamp::from_unix(500)).is_empty());
+        // Window overlapping both.
+        let hits = log.overlapping(m0, Timestamp::from_unix(400), Timestamp::from_unix(650));
+        assert_eq!(hits.iter().map(|j| j.job_id).collect::<Vec<_>>(), vec![1, 2]);
+        // The wide job occupies R10..R11 midplanes.
+        let m20: MidplaneId = "R10-M0".parse().unwrap();
+        assert_eq!(log.running_at(m20, Timestamp::from_unix(1000)).len(), 1);
+    }
+
+    #[test]
+    fn termination_queries() {
+        let log = sample();
+        let ended = log.ended_in_window(Timestamp::from_unix(500), Timestamp::from_unix(901));
+        assert_eq!(ended.iter().map(|j| j.job_id).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert!(log
+            .ended_in_window(Timestamp::from_unix(0), Timestamp::from_unix(100))
+            .is_empty());
+    }
+
+    #[test]
+    fn exec_grouping() {
+        let log = sample();
+        let groups = log.by_exec();
+        assert_eq!(groups[&ExecId(10)].len(), 2);
+        // Submission order within the group.
+        assert_eq!(groups[&ExecId(10)][0].job_id, 1);
+        assert_eq!(log.distinct_execs(), 3);
+        assert_eq!(log.resubmitted_execs(), 1);
+    }
+
+    #[test]
+    fn busy_seconds() {
+        let log = sample();
+        let m0: MidplaneId = "R00-M0".parse().unwrap();
+        assert_eq!(log.midplane_busy_seconds(m0), 400 + 100);
+        let m20: MidplaneId = "R10-M0".parse().unwrap();
+        assert_eq!(log.midplane_busy_seconds(m20), 4950);
+        // Only the 4-midplane job counts at min size 4.
+        assert_eq!(log.midplane_busy_seconds_min_size(m20, 4), 4950);
+        assert_eq!(log.midplane_busy_seconds_min_size(m0, 4), 0);
+    }
+
+    #[test]
+    fn filtering_and_lookup() {
+        let log = sample();
+        assert_eq!(log.filtered(|j| j.exec == ExecId(10)).len(), 2);
+        assert_eq!(log.by_job_id(3).unwrap().exec, ExecId(11));
+        assert!(log.by_job_id(99).is_none());
+        assert_eq!(log.max_duration(), Duration::seconds(4950));
+        assert!(!log.is_empty());
+        assert!(JobLog::default().is_empty());
+    }
+
+    proptest::proptest! {
+        /// The interval index must agree exactly with a brute-force scan.
+        #[test]
+        fn overlapping_matches_brute_force(
+            jobs_spec in proptest::collection::vec(
+                (0u8..10, 1i64..50_000, 1i64..30_000), 1..40),
+            probe_mp in 0u8..10,
+            t0 in 0i64..80_000,
+            len in 1i64..20_000,
+        ) {
+            let jobs_vec: Vec<JobRecord> = jobs_spec
+                .iter()
+                .enumerate()
+                .map(|(i, &(mp, start, run))| JobRecord {
+                    job_id: i as u64,
+                    exec: crate::record::ExecId(i as u32),
+                    user: crate::record::UserId(0),
+                    project: crate::record::ProjectId(0),
+                    queue_time: Timestamp::from_unix(start - 1),
+                    start_time: Timestamp::from_unix(start),
+                    end_time: Timestamp::from_unix(start + run),
+                    partition: bgp_model::Partition::contiguous(mp, 2).unwrap(),
+                    exit: crate::record::ExitStatus::Completed,
+                })
+                .collect();
+            let log = JobLog::from_jobs(jobs_vec.clone());
+            let m = bgp_model::MidplaneId::from_index(probe_mp).unwrap();
+            let (a, b) = (Timestamp::from_unix(t0), Timestamp::from_unix(t0 + len));
+            let mut fast: Vec<u64> =
+                log.overlapping(m, a, b).iter().map(|j| j.job_id).collect();
+            fast.sort_unstable();
+            let mut brute: Vec<u64> = jobs_vec
+                .iter()
+                .filter(|j| j.partition.contains(m) && j.overlaps(a, b))
+                .map(|j| j.job_id)
+                .collect();
+            brute.sort_unstable();
+            proptest::prop_assert_eq!(fast, brute);
+        }
+    }
+
+    #[test]
+    fn overlap_scan_bounded_by_max_duration() {
+        // A long job far in the past must still be found (the cutoff uses
+        // max_duration), and short stale jobs must not be.
+        let log = JobLog::from_jobs(vec![
+            job(1, 1, 0, 1_000_000, "R00-M0"),
+            job(2, 2, 10, 20, "R00-M0"),
+        ]);
+        let m0: MidplaneId = "R00-M0".parse().unwrap();
+        let hits = log.running_at(m0, Timestamp::from_unix(500_000));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].job_id, 1);
+    }
+}

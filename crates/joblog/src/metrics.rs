@@ -1,0 +1,197 @@
+//! Systemwide scheduling metrics: utilization and bounded slowdown.
+//!
+//! Section VI-A of the paper argues interruptions are too rare to move
+//! "systemwide performance metrics, such as system utilization rate and
+//! bounded slowdown" — this module computes exactly those metrics so the
+//! claim can be checked rather than asserted.
+
+use crate::log::JobLog;
+use bgp_model::{topology::NUM_MIDPLANES, Timestamp};
+use serde::Serialize;
+
+/// Machine utilization over a window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Utilization {
+    /// Busy midplane-seconds delivered to jobs.
+    pub busy_midplane_secs: i64,
+    /// Total midplane-seconds in the window (80 × window length).
+    pub capacity_midplane_secs: i64,
+}
+
+impl Utilization {
+    /// Busy fraction of capacity.
+    pub fn fraction(&self) -> f64 {
+        if self.capacity_midplane_secs == 0 {
+            return 0.0;
+        }
+        self.busy_midplane_secs as f64 / self.capacity_midplane_secs as f64
+    }
+}
+
+/// Machine utilization of `jobs` over `[start, end)`, counting only the
+/// portion of each job inside the window.
+pub fn utilization(jobs: &JobLog, start: Timestamp, end: Timestamp) -> Utilization {
+    let mut busy = 0i64;
+    for j in jobs.jobs() {
+        let s = j.start_time.max(start);
+        let e = j.end_time.min(end);
+        if e > s {
+            busy += (e - s).as_secs() * i64::from(j.size_midplanes());
+        }
+    }
+    Utilization {
+        busy_midplane_secs: busy,
+        capacity_midplane_secs: (end - start).as_secs().max(0) * i64::from(NUM_MIDPLANES),
+    }
+}
+
+/// Bounded-slowdown statistics.
+///
+/// For a job with wait time *w* and runtime *r*, the bounded slowdown with
+/// bound τ is `max(1, (w + r) / max(r, τ))` — the classic metric that stops
+/// tiny jobs from dominating the average.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct BoundedSlowdown {
+    /// The runtime bound τ used (seconds; 10 s is the literature default).
+    pub bound_secs: i64,
+    /// Mean bounded slowdown over all jobs.
+    pub mean: f64,
+    /// Maximum bounded slowdown.
+    pub max: f64,
+    /// Jobs measured.
+    pub n: usize,
+}
+
+/// Compute bounded slowdown over every job in the log.
+///
+/// ```
+/// use joblog::{JobLog, JobReader};
+///
+/// let line = "8935|app00003.exe|user001|proj009|100|1100|2100|R10-R11|0";
+/// let jobs = JobLog::from_jobs(JobReader::new(line.as_bytes()).read_strict().unwrap());
+/// let s = joblog::metrics::bounded_slowdown(&jobs, 10);
+/// assert_eq!(s.n, 1);
+/// assert!((s.mean - 2.0).abs() < 1e-9); // 1000 s wait + 1000 s run
+/// ```
+pub fn bounded_slowdown(jobs: &JobLog, bound_secs: i64) -> BoundedSlowdown {
+    let mut sum = 0.0f64;
+    let mut max = 0.0f64;
+    let mut n = 0usize;
+    for j in jobs.jobs() {
+        let wait = j.queue_wait().as_secs().max(0) as f64;
+        let run = j.runtime().as_secs().max(0) as f64;
+        let denom = run.max(bound_secs as f64);
+        if denom <= 0.0 {
+            continue;
+        }
+        let s = ((wait + run) / denom).max(1.0);
+        sum += s;
+        max = max.max(s);
+        n += 1;
+    }
+    BoundedSlowdown {
+        bound_secs,
+        mean: if n == 0 { 0.0 } else { sum / n as f64 },
+        max,
+        n,
+    }
+}
+
+/// Mean queue wait per job-size class — the capability-scheduling signature
+/// (wide jobs wait for drains; narrow jobs backfill instantly).
+///
+/// Returns `(size_midplanes, jobs, mean_wait_secs)` rows for every size
+/// present in the log, ascending by size.
+pub fn wait_by_size(jobs: &JobLog) -> Vec<(u32, usize, f64)> {
+    use std::collections::BTreeMap;
+    let mut acc: BTreeMap<u32, (usize, i64)> = BTreeMap::new();
+    for j in jobs.jobs() {
+        let e = acc.entry(j.size_midplanes()).or_insert((0, 0));
+        e.0 += 1;
+        e.1 += j.queue_wait().as_secs().max(0);
+    }
+    acc.into_iter()
+        .map(|(size, (n, total))| (size, n, total as f64 / n.max(1) as f64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{ExecId, ExitStatus, JobRecord, ProjectId, UserId};
+
+    fn job(job_id: u64, queue: i64, start: i64, end: i64, size_anchor: (u8, u32)) -> JobRecord {
+        JobRecord {
+            job_id,
+            exec: ExecId(1),
+            user: UserId(0),
+            project: ProjectId(0),
+            queue_time: Timestamp::from_unix(queue),
+            start_time: Timestamp::from_unix(start),
+            end_time: Timestamp::from_unix(end),
+            partition: bgp_model::Partition::contiguous(size_anchor.0, size_anchor.1).unwrap(),
+            exit: ExitStatus::Completed,
+        }
+    }
+
+    #[test]
+    fn utilization_counts_midplane_seconds() {
+        let jobs = JobLog::from_jobs(vec![
+            job(1, 0, 0, 1_000, (0, 2)),   // 2 mp × 1000 s
+            job(2, 0, 500, 1_500, (4, 4)), // 4 mp × 1000 s
+        ]);
+        let u = utilization(&jobs, Timestamp::from_unix(0), Timestamp::from_unix(2_000));
+        assert_eq!(u.busy_midplane_secs, 2 * 1_000 + 4 * 1_000);
+        assert_eq!(u.capacity_midplane_secs, 2_000 * 80);
+        assert!((u.fraction() - 6_000.0 / 160_000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_clips_to_window() {
+        let jobs = JobLog::from_jobs(vec![job(1, 0, 0, 10_000, (0, 1))]);
+        let u = utilization(&jobs, Timestamp::from_unix(2_000), Timestamp::from_unix(4_000));
+        assert_eq!(u.busy_midplane_secs, 2_000);
+        // Degenerate window.
+        let u = utilization(&jobs, Timestamp::from_unix(4_000), Timestamp::from_unix(4_000));
+        assert_eq!(u.fraction(), 0.0);
+    }
+
+    #[test]
+    fn bounded_slowdown_basics() {
+        let jobs = JobLog::from_jobs(vec![
+            // No wait: slowdown 1.
+            job(1, 100, 100, 1_100, (0, 1)),
+            // 1000 s wait, 1000 s run: slowdown 2.
+            job(2, 0, 1_000, 2_000, (2, 1)),
+            // Tiny job with big wait: bounded by τ = 10 → (100+1)/10 = 10.1.
+            job(3, 0, 100, 101, (4, 1)),
+        ]);
+        let s = bounded_slowdown(&jobs, 10);
+        assert_eq!(s.n, 3);
+        assert!((s.max - 10.1).abs() < 1e-9);
+        assert!((s.mean - (1.0 + 2.0 + 10.1) / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wait_by_size_groups_and_averages() {
+        let jobs = JobLog::from_jobs(vec![
+            job(1, 0, 100, 1_100, (0, 1)),
+            job(2, 0, 300, 1_300, (2, 1)),
+            job(3, 0, 1_000, 2_000, (4, 4)),
+        ]);
+        let rows = wait_by_size(&jobs);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], (1, 2, 200.0));
+        assert_eq!(rows[1], (4, 1, 1_000.0));
+    }
+
+    #[test]
+    fn empty_log() {
+        let jobs = JobLog::default();
+        assert_eq!(bounded_slowdown(&jobs, 10).n, 0);
+        assert_eq!(
+            utilization(&jobs, Timestamp::from_unix(0), Timestamp::from_unix(100)).fraction(),
+            0.0
+        );
+    }
+}

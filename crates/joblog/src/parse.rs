@@ -1,0 +1,273 @@
+//! Parsing the job accounting format (tolerant, streaming).
+
+use crate::record::{ExecId, ExitStatus, JobRecord, ProjectId, UserId};
+use bgp_model::{Partition, Timestamp};
+use std::fmt;
+use std::io::BufRead;
+
+/// A parse failure for one line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobParseError {
+    /// 1-based line number (0 for standalone parses).
+    pub line: u64,
+    /// Which field was malformed and why.
+    pub message: String,
+}
+
+impl fmt::Display for JobParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for JobParseError {}
+
+fn field_err(what: &str, value: &str) -> JobParseError {
+    JobParseError {
+        line: 0,
+        message: format!("bad {what}: {value:?}"),
+    }
+}
+
+/// Parse an id token with a known prefix and suffix, e.g. `app00012.exe`.
+fn parse_prefixed(token: &str, prefix: &str, suffix: &str) -> Option<u32> {
+    token
+        .strip_prefix(prefix)?
+        .strip_suffix(suffix)?
+        .parse()
+        .ok()
+}
+
+/// Parse one accounting line into a [`JobRecord`].
+pub fn parse_line(line: &str) -> Result<JobRecord, JobParseError> {
+    let fields: Vec<&str> = line.split('|').collect();
+    if fields.len() != 9 {
+        return Err(JobParseError {
+            line: 0,
+            message: format!("expected 9 fields, found {}", fields.len()),
+        });
+    }
+    let job_id: u64 = fields[0]
+        .trim()
+        .parse()
+        .map_err(|_| field_err("JOBID", fields[0]))?;
+    let exec = ExecId(
+        parse_prefixed(fields[1].trim(), "app", ".exe")
+            .ok_or_else(|| field_err("EXEC", fields[1]))?,
+    );
+    let user = UserId(
+        parse_prefixed(fields[2].trim(), "user", "")
+            .ok_or_else(|| field_err("USER", fields[2]))?,
+    );
+    let project = ProjectId(
+        parse_prefixed(fields[3].trim(), "proj", "")
+            .ok_or_else(|| field_err("PROJECT", fields[3]))?,
+    );
+    // Unix-second fields; accept a fractional tail (Cobalt writes floats).
+    let unix = |s: &str, what| -> Result<Timestamp, JobParseError> {
+        let whole = s.trim().split('.').next().unwrap_or("");
+        whole
+            .parse::<i64>()
+            .map(Timestamp::from_unix)
+            .map_err(|_| field_err(what, s))
+    };
+    let queue_time = unix(fields[4], "QUEUE_TIME")?;
+    let start_time = unix(fields[5], "START_TIME")?;
+    let end_time = unix(fields[6], "END_TIME")?;
+    if end_time < start_time || start_time < queue_time {
+        return Err(JobParseError {
+            line: 0,
+            message: format!(
+                "non-monotone times: queue {} start {} end {}",
+                queue_time.as_unix(),
+                start_time.as_unix(),
+                end_time.as_unix()
+            ),
+        });
+    }
+    let partition: Partition = fields[7]
+        .trim()
+        .parse()
+        .map_err(|_| field_err("LOCATION", fields[7]))?;
+    let exit = match fields[8].trim() {
+        "cancelled" => ExitStatus::Cancelled,
+        "0" => ExitStatus::Completed,
+        other => ExitStatus::Failed(
+            other
+                .parse()
+                .map_err(|_| field_err("EXIT", fields[8]))?,
+        ),
+    };
+    Ok(JobRecord {
+        job_id,
+        exec,
+        user,
+        project,
+        queue_time,
+        start_time,
+        end_time,
+        partition,
+        exit,
+    })
+}
+
+/// Streaming reader: yields one `Result` per non-empty line.
+pub struct JobReader<R> {
+    inner: R,
+    line_no: u64,
+    buf: String,
+}
+
+impl<R: BufRead> JobReader<R> {
+    /// Wrap a buffered reader.
+    pub fn new(inner: R) -> Self {
+        JobReader {
+            inner,
+            line_no: 0,
+            buf: String::new(),
+        }
+    }
+
+    /// Read everything, skipping malformed lines.
+    pub fn read_tolerant(self) -> (Vec<JobRecord>, Vec<JobParseError>) {
+        let mut jobs = Vec::new();
+        let mut errors = Vec::new();
+        for item in self {
+            match item {
+                Ok(j) => jobs.push(j),
+                Err(e) => errors.push(e),
+            }
+        }
+        (jobs, errors)
+    }
+
+    /// Read everything, failing on the first malformed line.
+    pub fn read_strict(self) -> Result<Vec<JobRecord>, JobParseError> {
+        self.collect()
+    }
+}
+
+impl<R: BufRead> Iterator for JobReader<R> {
+    type Item = Result<JobRecord, JobParseError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            self.buf.clear();
+            match self.inner.read_line(&mut self.buf) {
+                Ok(0) => return None,
+                Ok(_) => {
+                    self.line_no += 1;
+                    let line = self.buf.trim_end_matches(['\n', '\r']);
+                    if line.is_empty() {
+                        continue;
+                    }
+                    return Some(parse_line(line).map_err(|mut e| {
+                        e.line = self.line_no;
+                        e
+                    }));
+                }
+                Err(_) => return None,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::write::format_record;
+    use proptest::prelude::*;
+
+    fn job() -> JobRecord {
+        JobRecord {
+            job_id: 8935,
+            exec: ExecId(3),
+            user: UserId(1),
+            project: ProjectId(9),
+            queue_time: Timestamp::from_unix(100),
+            start_time: Timestamp::from_unix(200),
+            end_time: Timestamp::from_unix(300),
+            partition: "R10-R11".parse().unwrap(),
+            exit: ExitStatus::Completed,
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let j = job();
+        assert_eq!(parse_line(&format_record(&j)).unwrap(), j);
+        let mut j2 = j;
+        j2.exit = ExitStatus::Failed(139);
+        assert_eq!(parse_line(&format_record(&j2)).unwrap(), j2);
+        let mut j3 = j;
+        j3.exit = ExitStatus::Cancelled;
+        assert_eq!(parse_line(&format_record(&j3)).unwrap(), j3);
+    }
+
+    #[test]
+    fn accepts_fractional_cobalt_times() {
+        let line = "8935|app00003.exe|user001|proj009|100.07|200.1|300.96|R10-R11|0";
+        let j = parse_line(line).unwrap();
+        assert_eq!(j.queue_time, Timestamp::from_unix(100));
+        assert_eq!(j.end_time, Timestamp::from_unix(300));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        let good = format_record(&job());
+        for bad in [
+            "a|b".to_owned(),
+            good.replacen("8935", "abc", 1),
+            good.replace("app00003.exe", "notanapp"),
+            good.replace("user001", "bob"),
+            good.replace("proj009", "lab"),
+            good.replace("R10-R11", "R99"),
+            good.replace("|0", "|zero"),
+            // end before start:
+            "1|app00001.exe|user001|proj001|100|200|150|R00-M0|0".to_owned(),
+            // start before queue:
+            "1|app00001.exe|user001|proj001|300|200|400|R00-M0|0".to_owned(),
+        ] {
+            assert!(parse_line(&bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn reader_tolerant_and_strict() {
+        let good = format_record(&job());
+        let text = format!("{good}\njunk\n{good}\n");
+        let (jobs, errs) = JobReader::new(text.as_bytes()).read_tolerant();
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(errs.len(), 1);
+        assert_eq!(errs[0].line, 2);
+        assert!(JobReader::new(text.as_bytes()).read_strict().is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn round_trip_arbitrary(
+            job_id in 0u64..1_000_000,
+            exec in 0u32..100_000,
+            user in 0u32..1000,
+            project in 0u32..1000,
+            t0 in 0i64..1_000_000_000,
+            wait in 0i64..100_000,
+            run in 0i64..500_000,
+            start_mp in 0u8..78,
+            exit_code in 0u16..255,
+        ) {
+            let j = JobRecord {
+                job_id,
+                exec: ExecId(exec),
+                user: UserId(user),
+                project: ProjectId(project),
+                queue_time: Timestamp::from_unix(t0),
+                start_time: Timestamp::from_unix(t0 + wait),
+                end_time: Timestamp::from_unix(t0 + wait + run),
+                partition: Partition::contiguous(start_mp, 2).unwrap(),
+                exit: if exit_code == 0 { ExitStatus::Completed } else { ExitStatus::Failed(exit_code) },
+            };
+            prop_assert_eq!(parse_line(&crate::write::format_record(&j)).unwrap(), j);
+        }
+    }
+}

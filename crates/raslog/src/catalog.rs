@@ -1,0 +1,431 @@
+//! The error-code catalogue: every ERRCODE the log can contain.
+//!
+//! The Intrepid RAS log reports FATAL events under **82 distinct ERRCODEs**
+//! drawn from six components (Section III-B of the paper). We reproduce a
+//! catalogue of the same size and composition: the paper's named codes
+//! (`BULK_POWER_FATAL`, `_bgp_err_torus_fatal_sum`,
+//! `_bgp_err_cns_ras_storm_fatal`, `CiodHungProxy`, `bg_code_script_error`,
+//! the L1-parity / DDR-controller / file-system-configuration / link-card
+//! system failures, the invalid-memory / out-of-memory / file-system /
+//! collective application errors) plus a realistic long tail, along with a
+//! set of non-FATAL background codes (ECC warnings, boot progress, …) that
+//! provide the log's bulk volume.
+//!
+//! A [`ErrCode`] is an index into the catalogue; records store the index, and
+//! everything static about a code (component, subcomponent, default
+//! severity, MSG_ID, message template) lives here exactly once.
+//!
+//! Note the catalogue is *descriptive*, not semantic: it says what a code
+//! looks like in the log, never whether it is "really" a system failure or an
+//! application error — discovering that is the co-analysis' job, and the
+//! ground truth lives only in the simulator's fault model.
+
+use crate::component::Component;
+use crate::severity::Severity;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::OnceLock;
+
+/// A compact reference to a catalogue entry (the ERRCODE of a record).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct ErrCode(pub u16);
+
+impl ErrCode {
+    /// The dense index of this code in the catalogue.
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+}
+
+impl fmt::Display for ErrCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", Catalog::standard().info(*self).name)
+    }
+}
+
+/// Everything static about one error code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodeInfo {
+    /// The ERRCODE token as it appears in the log.
+    pub name: &'static str,
+    /// Reporting component.
+    pub component: Component,
+    /// Functional area within the component (SUBCOMPONENT field).
+    pub subcomponent: &'static str,
+    /// Severity this code is reported at.
+    pub severity: Severity,
+    /// MSG_ID, e.g. `KERN_0807` (component prefix + catalogue ordinal).
+    pub msg_id: String,
+    /// MESSAGE template written to the log.
+    pub template: &'static str,
+}
+
+/// The error-code catalogue.
+#[derive(Debug)]
+pub struct Catalog {
+    entries: Vec<CodeInfo>,
+    by_name: HashMap<&'static str, ErrCode>,
+}
+
+/// `(name, component, subcomponent, severity, message template)` rows for
+/// the standard catalogue. FATAL rows first (all 82), then background codes.
+type Row = (&'static str, Component, &'static str, Severity, &'static str);
+
+use Component as C;
+use Severity as S;
+
+/// The 82 FATAL codes plus 14 background codes.
+#[rustfmt::skip]
+static TABLE: &[Row] = &[
+    // ------ kernel-reported application-side crashes (the co-analysis will
+    // have to *discover* these are application errors) ------
+    ("_bgp_err_app_invalid_mem_addr", C::Kernel, "CNS", S::Fatal,
+     "Kernel detected invalid memory address in application TLB miss handler"),
+    ("_bgp_err_app_out_of_memory", C::Kernel, "CNS", S::Fatal,
+     "Out of memory in application heap region: brk() beyond persistent limit"),
+    ("_bgp_err_fs_operation_error", C::Kernel, "CIOD", S::Fatal,
+     "CIOD file system operation failed: invalid request from compute node"),
+    ("_bgp_err_collective_op_error", C::Kernel, "MPI", S::Fatal,
+     "Collective operation mismatch detected on tree network"),
+    ("CiodHungProxy", C::Kernel, "CIOD", S::Fatal,
+     "CIOD proxy hung waiting for file system response"),
+    ("bg_code_script_error", C::Kernel, "CIOD", S::Fatal,
+     "Job control script error in shared file system"),
+    ("_bgp_err_app_alignment_trap", C::Kernel, "CNS", S::Fatal,
+     "Alignment exception in application code"),
+    ("_bgp_err_mpi_abort", C::Kernel, "MPI", S::Fatal,
+     "MPI_Abort called by rank on communicator"),
+    // ------ fatal-labeled but transient in practice (Observation 1) ------
+    ("BULK_POWER_FATAL", C::Card, "PALOMINO_B", S::Fatal,
+     "An error was detected in a bulk power module: environmental reading out of range"),
+    ("_bgp_err_torus_fatal_sum", C::Kernel, "TORUS", S::Fatal,
+     "Torus fatal summary: retransmission threshold crossed, recovered by protocol"),
+    // ------ interruption-related system failures ------
+    ("_bgp_err_cns_ras_storm_fatal", C::Kernel, "CNS", S::Fatal,
+     "L1 data cache parity error: RAS storm from compute node kernel"),
+    ("_bgp_err_ddr_controller", C::Kernel, "_bgp_unit_ddr", S::Fatal,
+     "DDR controller error: uncorrectable chipkill event"),
+    ("_bgp_err_fs_config", C::Kernel, "CIOD", S::Fatal,
+     "File system configuration error: mount map inconsistent"),
+    ("_bgp_err_linkcard_failure", C::Card, "PALOMINO_L", S::Fatal,
+     "Link card failure: optical module loss of signal"),
+    ("_bgp_err_kernel_panic", C::Kernel, "CNS", S::Fatal,
+     "Compute node kernel panic: unhandled machine check"),
+    ("_bgp_err_torus_sender_fifo", C::Kernel, "TORUS", S::Fatal,
+     "Torus sender FIFO parity error"),
+    ("_bgp_err_torus_receiver_parity", C::Kernel, "TORUS", S::Fatal,
+     "Torus receiver header parity error"),
+    ("_bgp_err_collective_net_hw", C::Kernel, "COLLECTIVE", S::Fatal,
+     "Collective network hardware error: class route corrupt"),
+    ("_bgp_err_ionode_crash", C::Kernel, "CIOD", S::Fatal,
+     "I/O node crashed: CIOD heartbeat lost"),
+    ("_bgp_err_gpfs_mount_failure", C::Kernel, "CIOD", S::Fatal,
+     "GPFS mount failure on I/O node"),
+    ("_bgp_err_node_ecc_uncorrectable", C::Kernel, "_bgp_unit_ddr", S::Fatal,
+     "Uncorrectable ECC error in compute node DRAM"),
+    ("_bgp_err_l2_cache_failure", C::Kernel, "CNS", S::Fatal,
+     "L2 cache failure: persistent line error"),
+    ("_bgp_err_l3_edram_failure", C::Kernel, "CNS", S::Fatal,
+     "L3 eDRAM failure: bank disabled"),
+    ("_bgp_err_fpu_unavailable", C::Kernel, "CNS", S::Fatal,
+     "Double hummer FPU unavailable exception"),
+    ("_bgp_err_nodecard_power", C::Card, "PALOMINO_N", S::Fatal,
+     "Node card power domain fault"),
+    ("_bgp_err_servicecard_comm", C::Card, "PALOMINO_S", S::Fatal,
+     "Service card communication failure"),
+    ("DetectedClockCardErrors", C::Card, "PALOMINO_S", S::Fatal,
+     "An error(s) was detected by the Clock card : Error=Loss of reference input"),
+    ("_bgp_err_mmcs_boot_failure", C::Mmcs, "MMCS_SERVER", S::Fatal,
+     "Partition boot failed: block initialization error"),
+    ("_bgp_err_mmcs_db_connection", C::Mmcs, "DB2", S::Fatal,
+     "MMCS lost connection to backend DB2 database"),
+    ("_bgp_err_mc_timeout", C::Mc, "MCSERVER", S::Fatal,
+     "Machine controller command timeout"),
+    ("_bgp_err_baremetal_svc", C::Baremetal, "SVC", S::Fatal,
+     "Bare metal service operation failed"),
+    ("_bgp_err_io_collective_sync", C::Kernel, "COLLECTIVE", S::Fatal,
+     "I/O collective synchronization lost"),
+    ("_bgp_err_eth_10g_link_down", C::Kernel, "ETH", S::Fatal,
+     "10-Gigabit Ethernet link down on I/O node"),
+    // ------ the long tail: codes that (in the Intrepid window) fired only on
+    // idle hardware, leaving their impact undetermined (49 codes) ------
+    ("_bgp_err_diag_memory_stress", C::Diags, "MEMDIAG", S::Fatal,
+     "Diagnostic memory stress test failed"),
+    ("_bgp_err_diag_torus_loopback", C::Diags, "NETDIAG", S::Fatal,
+     "Diagnostic torus loopback test failed"),
+    ("_bgp_err_diag_lane_calibration", C::Diags, "NETDIAG", S::Fatal,
+     "Diagnostic SerDes lane calibration failed"),
+    ("_bgp_err_diag_clock_jitter", C::Diags, "CLKDIAG", S::Fatal,
+     "Diagnostic clock jitter out of tolerance"),
+    ("_bgp_err_diag_power_rail", C::Diags, "PWRDIAG", S::Fatal,
+     "Diagnostic power rail margin test failed"),
+    ("_bgp_err_diag_thermal_sensor", C::Diags, "ENVDIAG", S::Fatal,
+     "Diagnostic thermal sensor readout invalid"),
+    ("_bgp_err_diag_sram_bist", C::Diags, "MEMDIAG", S::Fatal,
+     "Diagnostic SRAM built-in self test failed"),
+    ("_bgp_err_diag_eth_phy", C::Diags, "NETDIAG", S::Fatal,
+     "Diagnostic Ethernet PHY test failed"),
+    ("_bgp_err_card_temp_over", C::Card, "PALOMINO_S", S::Fatal,
+     "Card temperature exceeded critical threshold"),
+    ("_bgp_err_card_fan_failure", C::Card, "PALOMINO_S", S::Fatal,
+     "Fan assembly failure detected"),
+    ("_bgp_err_card_voltage_dip", C::Card, "PALOMINO_B", S::Fatal,
+     "Bulk power voltage dip below regulation"),
+    ("_bgp_err_card_current_spike", C::Card, "PALOMINO_B", S::Fatal,
+     "Bulk power current spike detected"),
+    ("_bgp_err_card_vpd_read", C::Card, "PALOMINO_S", S::Fatal,
+     "Vital product data read failure"),
+    ("_bgp_err_card_i2c_bus", C::Card, "PALOMINO_S", S::Fatal,
+     "I2C bus error on service card"),
+    ("_bgp_err_card_jtag_chain", C::Card, "PALOMINO_S", S::Fatal,
+     "JTAG chain integrity error"),
+    ("_bgp_err_card_power_seq", C::Card, "PALOMINO_N", S::Fatal,
+     "Node card power sequencing fault"),
+    ("_bgp_err_mc_heartbeat_lost", C::Mc, "MCSERVER", S::Fatal,
+     "Machine controller heartbeat lost"),
+    ("_bgp_err_mc_fw_checksum", C::Mc, "MCSERVER", S::Fatal,
+     "Firmware image checksum mismatch"),
+    ("_bgp_err_mc_cmd_reject", C::Mc, "MCSERVER", S::Fatal,
+     "Machine controller rejected malformed command"),
+    ("_bgp_err_mc_env_poll", C::Mc, "ENVMON", S::Fatal,
+     "Environmental polling failure"),
+    ("_bgp_err_mmcs_block_free", C::Mmcs, "MMCS_SERVER", S::Fatal,
+     "Block free operation failed"),
+    ("_bgp_err_mmcs_console_lost", C::Mmcs, "MMCS_SERVER", S::Fatal,
+     "Mailbox console connection lost"),
+    ("_bgp_err_mmcs_event_overflow", C::Mmcs, "MMCS_SERVER", S::Fatal,
+     "RAS event queue overflow in control system"),
+    ("_bgp_err_mmcs_partition_state", C::Mmcs, "MMCS_SERVER", S::Fatal,
+     "Partition state machine inconsistency"),
+    ("_bgp_err_baremetal_flash", C::Baremetal, "SVC", S::Fatal,
+     "Flash update failed on service node"),
+    ("_bgp_err_baremetal_netboot", C::Baremetal, "SVC", S::Fatal,
+     "Network boot image load failure"),
+    ("_bgp_err_baremetal_fw_load", C::Baremetal, "SVC", S::Fatal,
+     "Firmware load failure"),
+    ("_bgp_err_kernel_rtc_drift", C::Kernel, "CNS", S::Fatal,
+     "Real-time clock drift beyond correction limit"),
+    ("_bgp_err_kernel_tlb_parity", C::Kernel, "CNS", S::Fatal,
+     "TLB parity error"),
+    ("_bgp_err_kernel_dcr_timeout", C::Kernel, "CNS", S::Fatal,
+     "DCR access timeout"),
+    ("_bgp_err_kernel_bic_interrupt", C::Kernel, "CNS", S::Fatal,
+     "BIC spurious interrupt storm"),
+    ("_bgp_err_kernel_upc_overflow", C::Kernel, "CNS", S::Fatal,
+     "Universal performance counter overflow fault"),
+    ("_bgp_err_kernel_snoop_filter", C::Kernel, "CNS", S::Fatal,
+     "Snoop filter error"),
+    ("_bgp_err_kernel_dma_fifo", C::Kernel, "TORUS", S::Fatal,
+     "DMA injection FIFO error"),
+    ("_bgp_err_kernel_lockbox", C::Kernel, "CNS", S::Fatal,
+     "Lockbox allocation failure"),
+    ("_bgp_err_kernel_mailbox_timeout", C::Kernel, "CNS", S::Fatal,
+     "Mailbox to service node timeout"),
+    ("_bgp_err_kernel_barrier_net", C::Kernel, "COLLECTIVE", S::Fatal,
+     "Global barrier network error"),
+    ("_bgp_err_kernel_global_int", C::Kernel, "COLLECTIVE", S::Fatal,
+     "Global interrupt wire stuck"),
+    ("_bgp_err_kernel_serdes_retrain", C::Kernel, "TORUS", S::Fatal,
+     "SerDes link retrain limit exceeded"),
+    ("_bgp_err_diag_ddr_margin", C::Diags, "MEMDIAG", S::Fatal,
+     "Diagnostic DDR timing margin test failed"),
+    ("_bgp_err_diag_cache_scrub", C::Diags, "MEMDIAG", S::Fatal,
+     "Diagnostic cache scrub found persistent error"),
+    ("_bgp_err_diag_netbist", C::Diags, "NETDIAG", S::Fatal,
+     "Diagnostic network BIST failure"),
+    ("_bgp_err_diag_pll_lock", C::Diags, "CLKDIAG", S::Fatal,
+     "Diagnostic PLL failed to lock"),
+    ("_bgp_err_card_clock_mux", C::Card, "PALOMINO_S", S::Fatal,
+     "Clock multiplexer select error"),
+    ("_bgp_err_card_optic_module", C::Card, "PALOMINO_L", S::Fatal,
+     "Optical module degraded beyond threshold"),
+    ("_bgp_err_mc_scan_chain", C::Mc, "MCSERVER", S::Fatal,
+     "Scan chain read error"),
+    ("_bgp_err_mmcs_rm_sync", C::Mmcs, "MMCS_SERVER", S::Fatal,
+     "Resource manager synchronization failure"),
+    ("_bgp_err_baremetal_ipmi", C::Baremetal, "SVC", S::Fatal,
+     "IPMI transport failure on service node"),
+    ("_bgp_err_kernel_envmon_fatal", C::Kernel, "CNS", S::Fatal,
+     "Kernel environmental monitor raised fatal alert"),
+    // ------ background (non-FATAL) codes: the log's bulk volume ------
+    ("_bgp_info_boot_progress", C::Kernel, "CNS", S::Info,
+     "Boot progress: kernel initialized"),
+    ("_bgp_info_partition_boot", C::Mmcs, "MMCS_SERVER", S::Info,
+     "Partition boot initiated (reboot before execution)"),
+    ("_bgp_info_job_start", C::Mmcs, "MMCS_SERVER", S::Info,
+     "Job launched on partition"),
+    ("_bgp_info_recovery_progress", C::Mmcs, "MMCS_SERVER", S::Info,
+     "Automatic recovery in progress"),
+    ("_bgp_warn_ecc_corrected", C::Kernel, "_bgp_unit_ddr", S::Warning,
+     "Correctable ECC event (single symbol)"),
+    ("_bgp_warn_single_symbol_error", C::Kernel, "_bgp_unit_ddr", S::Warning,
+     "Single symbol error corrected by chipkill"),
+    ("_bgp_warn_torus_retransmit", C::Kernel, "TORUS", S::Warning,
+     "Torus packet retransmission"),
+    ("_bgp_warn_temp_high", C::Card, "PALOMINO_S", S::Warning,
+     "Temperature approaching threshold"),
+    ("_bgp_err_redundant_psu_loss", C::Card, "PALOMINO_B", S::Error,
+     "Loss of redundant power supply; running unprotected"),
+    ("_bgp_err_link_crc_retry", C::Kernel, "TORUS", S::Error,
+     "Link CRC error retry threshold warning"),
+    ("_bgp_err_io_retry_exhausted", C::Kernel, "CIOD", S::Error,
+     "I/O retry budget exhausted; degraded mode"),
+    ("_bgp_warn_fan_speed", C::Card, "PALOMINO_S", S::Warning,
+     "Fan speed outside nominal band"),
+    ("_bgp_info_env_poll", C::Mc, "ENVMON", S::Info,
+     "Environmental polling cycle complete"),
+    ("_bgp_err_spare_bit_steer", C::Kernel, "_bgp_unit_ddr", S::Error,
+     "Spare DRAM bit steering activated"),
+];
+
+impl Catalog {
+    /// The standard Intrepid-like catalogue (shared singleton).
+    pub fn standard() -> &'static Catalog {
+        static INSTANCE: OnceLock<Catalog> = OnceLock::new();
+        INSTANCE.get_or_init(|| {
+            let entries: Vec<CodeInfo> = TABLE
+                .iter()
+                .enumerate()
+                .map(|(i, &(name, component, subcomponent, severity, template))| CodeInfo {
+                    name,
+                    component,
+                    subcomponent,
+                    severity,
+                    msg_id: format!("{}_{:04}", component.msg_id_prefix(), i),
+                    template,
+                })
+                .collect();
+            let by_name = entries
+                .iter()
+                .enumerate()
+                .map(|(i, e)| (e.name, ErrCode(i as u16)))
+                .collect();
+            Catalog { entries, by_name }
+        })
+    }
+
+    /// Number of codes in the catalogue.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Never true for the standard catalogue.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Static information for a code.
+    ///
+    /// # Panics
+    /// Panics if `code` is out of range for this catalogue (codes are only
+    /// minted by [`Catalog::lookup`] / [`Catalog::codes`], so an out-of-range
+    /// code is a logic error, not an input error).
+    pub fn info(&self, code: ErrCode) -> &CodeInfo {
+        &self.entries[code.index()]
+    }
+
+    /// Resolve a code by its ERRCODE token.
+    pub fn lookup(&self, name: &str) -> Option<ErrCode> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Iterate over all codes.
+    pub fn codes(&self) -> impl Iterator<Item = ErrCode> + '_ {
+        (0..self.entries.len()).map(|i| ErrCode(i as u16))
+    }
+
+    /// Iterate over the codes reported at FATAL severity.
+    pub fn fatal_codes(&self) -> impl Iterator<Item = ErrCode> + '_ {
+        self.codes()
+            .filter(|&c| self.info(c).severity == Severity::Fatal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_82_fatal_codes() {
+        // The paper: "33,370 records with FATAL severity ... reported with 82
+        // types of ERRCODE from six types of COMPONENT".
+        let cat = Catalog::standard();
+        assert_eq!(cat.fatal_codes().count(), 82);
+        let components: std::collections::HashSet<Component> = cat
+            .fatal_codes()
+            .map(|c| cat.info(c).component)
+            .collect();
+        assert_eq!(components.len(), 6, "fatal codes span six components");
+        // No FATAL from the APPLICATION domain (paper, Section IV-B).
+        assert!(!components.contains(&Component::Application));
+    }
+
+    #[test]
+    fn names_are_unique_and_resolvable() {
+        let cat = Catalog::standard();
+        assert!(!cat.is_empty());
+        let mut seen = std::collections::HashSet::new();
+        for code in cat.codes() {
+            let info = cat.info(code);
+            assert!(seen.insert(info.name), "duplicate name {}", info.name);
+            assert_eq!(cat.lookup(info.name), Some(code));
+        }
+        assert_eq!(cat.lookup("no_such_code"), None);
+        assert_eq!(seen.len(), cat.len());
+    }
+
+    #[test]
+    fn paper_named_codes_present() {
+        let cat = Catalog::standard();
+        for name in [
+            "BULK_POWER_FATAL",
+            "_bgp_err_torus_fatal_sum",
+            "_bgp_err_cns_ras_storm_fatal",
+            "CiodHungProxy",
+            "bg_code_script_error",
+            "_bgp_err_ddr_controller",
+            "_bgp_err_fs_config",
+            "_bgp_err_linkcard_failure",
+            "_bgp_err_app_invalid_mem_addr",
+            "_bgp_err_app_out_of_memory",
+            "DetectedClockCardErrors",
+        ] {
+            let code = cat.lookup(name).unwrap_or_else(|| panic!("missing {name}"));
+            assert_eq!(cat.info(code).severity, Severity::Fatal);
+        }
+    }
+
+    #[test]
+    fn msg_ids_match_component_prefix() {
+        let cat = Catalog::standard();
+        for code in cat.codes() {
+            let info = cat.info(code);
+            assert!(
+                info.msg_id.starts_with(info.component.msg_id_prefix()),
+                "{} has msg_id {}",
+                info.name,
+                info.msg_id
+            );
+        }
+    }
+
+    #[test]
+    fn errcode_display_uses_name() {
+        let cat = Catalog::standard();
+        let code = cat.lookup("BULK_POWER_FATAL").unwrap();
+        assert_eq!(code.to_string(), "BULK_POWER_FATAL");
+    }
+
+    #[test]
+    fn background_codes_not_fatal() {
+        let cat = Catalog::standard();
+        let code = cat.lookup("_bgp_warn_ecc_corrected").unwrap();
+        assert_eq!(cat.info(code).severity, Severity::Warning);
+        let code = cat.lookup("_bgp_info_partition_boot").unwrap();
+        assert_eq!(cat.info(code).severity, Severity::Info);
+    }
+}

@@ -1,0 +1,134 @@
+//! The COMPONENT field: which software layer reported the event.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// The software component that detected and reported a RAS event.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[repr(u8)]
+pub enum Component {
+    /// The running job itself. (The paper notes that *no* FATAL event in the
+    /// Intrepid log is reported from this domain — which is precisely why the
+    /// COMPONENT field cannot separate application errors from system
+    /// failures, motivating co-analysis.)
+    Application = 0,
+    /// The compute/I-O node OS kernel domain (75 % of fatal events).
+    Kernel = 1,
+    /// The machine controller.
+    Mc = 2,
+    /// The control system on the service node.
+    Mmcs = 3,
+    /// Service-related facilities.
+    Baremetal = 4,
+    /// Card controllers (service cards, link cards, bulk power...).
+    Card = 5,
+    /// Diagnostic functions on compute or service nodes.
+    Diags = 6,
+}
+
+impl Component {
+    /// All components.
+    pub const ALL: [Component; 7] = [
+        Component::Application,
+        Component::Kernel,
+        Component::Mc,
+        Component::Mmcs,
+        Component::Baremetal,
+        Component::Card,
+        Component::Diags,
+    ];
+
+    /// The log-file token.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Component::Application => "APPLICATION",
+            Component::Kernel => "KERNEL",
+            Component::Mc => "MC",
+            Component::Mmcs => "MMCS",
+            Component::Baremetal => "BAREMETAL",
+            Component::Card => "CARD",
+            Component::Diags => "DIAGS",
+        }
+    }
+
+    /// The four-letter MSG_ID prefix used by this component
+    /// (e.g. `KERN_0807`, `CARD_0411`).
+    pub fn msg_id_prefix(self) -> &'static str {
+        match self {
+            Component::Application => "APPL",
+            Component::Kernel => "KERN",
+            Component::Mc => "MCTL",
+            Component::Mmcs => "MMCS",
+            Component::Baremetal => "BMTL",
+            Component::Card => "CARD",
+            Component::Diags => "DIAG",
+        }
+    }
+}
+
+impl fmt::Display for Component {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for Component {
+    type Err = UnknownComponent;
+
+    fn from_str(s: &str) -> Result<Component, UnknownComponent> {
+        Ok(match s {
+            "APPLICATION" => Component::Application,
+            "KERNEL" => Component::Kernel,
+            "MC" => Component::Mc,
+            "MMCS" => Component::Mmcs,
+            "BAREMETAL" => Component::Baremetal,
+            "CARD" => Component::Card,
+            "DIAGS" => Component::Diags,
+            _ => return Err(UnknownComponent(s.to_owned())),
+        })
+    }
+}
+
+/// Error for an unrecognized component token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownComponent(
+    /// The offending token.
+    pub String,
+);
+
+impl fmt::Display for UnknownComponent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown component {:?}", self.0)
+    }
+}
+
+impl std::error::Error for UnknownComponent {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all() {
+        for c in Component::ALL {
+            assert_eq!(c.as_str().parse::<Component>().unwrap(), c);
+        }
+    }
+
+    #[test]
+    fn prefixes_are_four_chars_and_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for c in Component::ALL {
+            assert_eq!(c.msg_id_prefix().len(), 4);
+            assert!(seen.insert(c.msg_id_prefix()), "duplicate prefix");
+        }
+    }
+
+    #[test]
+    fn unknown_rejected() {
+        assert!("LINUX".parse::<Component>().is_err());
+    }
+}

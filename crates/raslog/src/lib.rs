@@ -1,0 +1,39 @@
+//! # `raslog` — the Blue Gene/P RAS log substrate
+//!
+//! The Core Monitoring and Control System (CMCS) of a Blue Gene/P reports
+//! every hardware/software event as a *RAS record* (Table II of the paper):
+//! RECID, MSG_ID, COMPONENT, SUBCOMPONENT, ERRCODE, SEVERITY, EVENT_TIME,
+//! LOCATION, MESSAGE. This crate models those records, the error-code
+//! catalogue behind them, a line-oriented serialization, and an indexed
+//! in-memory log container.
+//!
+//! Performance notes (these records number in the millions):
+//!
+//! * [`RasRecord`] is a compact fixed-size value type (≤ 32 bytes): the
+//!   error code is a [`ErrCode`] index into the shared [`Catalog`], and the
+//!   free-text MESSAGE is *not stored* — it is materialized from the
+//!   catalogue template only when writing.
+//! * [`RasLog`] keeps records sorted by time and maintains a per-midplane
+//!   posting list, so "events at location ℓ within window w" — the inner
+//!   loop of co-analysis matching — is a binary search plus a short scan.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod component;
+pub mod log;
+pub mod parse;
+pub mod record;
+pub mod severity;
+pub mod summary;
+pub mod write;
+
+pub use catalog::{Catalog, CodeInfo, ErrCode};
+pub use component::Component;
+pub use log::RasLog;
+pub use parse::{parse_line, RasParseError, RasReader};
+pub use record::RasRecord;
+pub use severity::Severity;
+pub use summary::LogSummary;
+pub use write::{format_record, write_log};

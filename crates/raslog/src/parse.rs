@@ -1,0 +1,277 @@
+//! Parsing the pipe-separated log format (tolerant, streaming).
+//!
+//! Real RAS logs are dirty: truncated lines, unknown codes from firmware
+//! updates, clock skew. The parser therefore reports structured errors per
+//! line and the streaming [`RasReader`] lets the caller decide whether to
+//! skip or abort.
+
+use crate::catalog::{Catalog, ErrCode};
+use crate::record::RasRecord;
+use crate::severity::Severity;
+use bgp_model::{Location, Timestamp};
+use std::fmt;
+use std::io::BufRead;
+
+/// A parse failure for one line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RasParseError {
+    /// 1-based line number, when known (0 for standalone parses).
+    pub line: u64,
+    /// What went wrong.
+    pub kind: RasParseErrorKind,
+}
+
+/// The ways a line can be malformed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RasParseErrorKind {
+    /// Fewer than the nine `|`-separated fields.
+    WrongFieldCount(
+        /// Number of fields found.
+        usize,
+    ),
+    /// RECID was not an integer.
+    BadRecId(String),
+    /// ERRCODE not present in the catalogue.
+    UnknownErrCode(String),
+    /// SEVERITY token unrecognized.
+    BadSeverity(String),
+    /// EVENT_TIME malformed.
+    BadTimestamp(String),
+    /// LOCATION malformed.
+    BadLocation(String),
+}
+
+impl fmt::Display for RasParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: ", self.line)?;
+        match &self.kind {
+            RasParseErrorKind::WrongFieldCount(n) => {
+                write!(f, "expected 9 fields, found {n}")
+            }
+            RasParseErrorKind::BadRecId(s) => write!(f, "bad RECID {s:?}"),
+            RasParseErrorKind::UnknownErrCode(s) => write!(f, "unknown ERRCODE {s:?}"),
+            RasParseErrorKind::BadSeverity(s) => write!(f, "bad SEVERITY {s:?}"),
+            RasParseErrorKind::BadTimestamp(s) => write!(f, "bad EVENT_TIME {s:?}"),
+            RasParseErrorKind::BadLocation(s) => write!(f, "bad LOCATION {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for RasParseError {}
+
+/// Parse one log line into a record.
+///
+/// The MSG_ID / COMPONENT / SUBCOMPONENT / MESSAGE fields are validated for
+/// presence but their *content* is taken from the catalogue (the ERRCODE is
+/// authoritative), so logs written by other tools with slightly different
+/// message text still parse.
+pub fn parse_line(line: &str) -> Result<RasRecord, RasParseError> {
+    let err = |kind| RasParseError { line: 0, kind };
+    // MESSAGE may itself contain '|'; limit the split to 9 parts.
+    let fields: Vec<&str> = line.splitn(9, '|').collect();
+    if fields.len() != 9 {
+        return Err(err(RasParseErrorKind::WrongFieldCount(fields.len())));
+    }
+    let recid: u64 = fields[0]
+        .trim()
+        .parse()
+        .map_err(|_| err(RasParseErrorKind::BadRecId(fields[0].to_owned())))?;
+    let errcode: ErrCode = Catalog::standard()
+        .lookup(fields[4].trim())
+        .ok_or_else(|| err(RasParseErrorKind::UnknownErrCode(fields[4].to_owned())))?;
+    let severity: Severity = fields[5]
+        .trim()
+        .parse()
+        .map_err(|_| err(RasParseErrorKind::BadSeverity(fields[5].to_owned())))?;
+    let event_time: Timestamp = Timestamp::parse(fields[6].trim())
+        .map_err(|_| err(RasParseErrorKind::BadTimestamp(fields[6].to_owned())))?;
+    let location: Location = fields[7]
+        .trim()
+        .parse()
+        .map_err(|_| err(RasParseErrorKind::BadLocation(fields[7].to_owned())))?;
+    Ok(RasRecord {
+        recid,
+        event_time,
+        location,
+        errcode,
+        severity,
+    })
+}
+
+/// Streaming reader: yields one `Result` per non-empty line.
+///
+/// ```
+/// use raslog::RasReader;
+///
+/// let text = "\
+/// 1|KERN_0014|KERNEL|CNS|_bgp_err_kernel_panic|FATAL|2009-03-01-12.30.00|R12-M1-N07-J03|panic
+/// not a record
+/// ";
+/// let (records, errors) = RasReader::new(text.as_bytes()).read_tolerant();
+/// assert_eq!(records.len(), 1);
+/// assert_eq!(errors.len(), 1);
+/// assert_eq!(errors[0].line, 2);
+/// ```
+pub struct RasReader<R> {
+    inner: R,
+    line_no: u64,
+    buf: String,
+}
+
+impl<R: BufRead> RasReader<R> {
+    /// Wrap a buffered reader.
+    pub fn new(inner: R) -> Self {
+        RasReader {
+            inner,
+            line_no: 0,
+            buf: String::new(),
+        }
+    }
+
+    /// Read everything, skipping malformed lines; returns the records and the
+    /// errors encountered.
+    pub fn read_tolerant(self) -> (Vec<RasRecord>, Vec<RasParseError>) {
+        let mut records = Vec::new();
+        let mut errors = Vec::new();
+        for item in self {
+            match item {
+                Ok(r) => records.push(r),
+                Err(e) => errors.push(e),
+            }
+        }
+        (records, errors)
+    }
+
+    /// Read everything, failing on the first malformed line.
+    pub fn read_strict(self) -> Result<Vec<RasRecord>, RasParseError> {
+        self.collect()
+    }
+}
+
+impl<R: BufRead> Iterator for RasReader<R> {
+    type Item = Result<RasRecord, RasParseError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            self.buf.clear();
+            match self.inner.read_line(&mut self.buf) {
+                Ok(0) => return None,
+                Ok(_) => {
+                    self.line_no += 1;
+                    let line = self.buf.trim_end_matches(['\n', '\r']);
+                    if line.is_empty() {
+                        continue;
+                    }
+                    return Some(parse_line(line).map_err(|mut e| {
+                        e.line = self.line_no;
+                        e
+                    }));
+                }
+                Err(_) => return None,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::write::format_record;
+    use proptest::prelude::*;
+
+    fn sample_record() -> RasRecord {
+        RasRecord::new(
+            42,
+            Timestamp::from_civil(2009, 3, 1, 12, 30, 0),
+            "R12-M1-N07-J03".parse().unwrap(),
+            Catalog::standard().lookup("_bgp_err_kernel_panic").unwrap(),
+        )
+    }
+
+    #[test]
+    fn round_trip_single() {
+        let r = sample_record();
+        let parsed = parse_line(&format_record(&r)).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn message_with_pipes_survives() {
+        let r = sample_record();
+        let line = format!("{}| extra | pipes", format_record(&r));
+        let parsed = parse_line(&line).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn malformed_lines_rejected_with_kind() {
+        use RasParseErrorKind as K;
+        type Check = fn(&RasParseErrorKind) -> bool;
+        let good = format_record(&sample_record());
+        let cases: Vec<(String, Check)> = vec![
+            ("a|b|c".to_owned(), |k| matches!(k, K::WrongFieldCount(3))),
+            (good.replacen("42", "xx", 1), |k| {
+                matches!(k, K::BadRecId(_))
+            }),
+            (good.replace("_bgp_err_kernel_panic", "mystery_code"), |k| {
+                matches!(k, K::UnknownErrCode(_))
+            }),
+            (good.replace("FATAL", "SUPERFATAL"), |k| {
+                matches!(k, K::BadSeverity(_))
+            }),
+            (good.replace("2009-03-01-12.30.00", "yesterday"), |k| {
+                matches!(k, K::BadTimestamp(_))
+            }),
+            (good.replace("R12-M1-N07-J03", "R99-Z9"), |k| {
+                matches!(k, K::BadLocation(_))
+            }),
+        ];
+        for (line, check) in cases {
+            let e = parse_line(&line).unwrap_err();
+            assert!(check(&e.kind), "line {line:?} gave {e:?}");
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn reader_streams_and_numbers_lines() {
+        let r = sample_record();
+        let text = format!(
+            "{}\n\nnot a record\n{}\n",
+            format_record(&r),
+            format_record(&r)
+        );
+        let reader = RasReader::new(text.as_bytes());
+        let (records, errors) = reader.read_tolerant();
+        assert_eq!(records.len(), 2);
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors[0].line, 3); // blank line counted, bad line is #3
+    }
+
+    #[test]
+    fn strict_mode_fails_fast() {
+        let text = "garbage\n";
+        let reader = RasReader::new(text.as_bytes());
+        assert!(reader.read_strict().is_err());
+        let r = sample_record();
+        let text = format!("{}\n", format_record(&r));
+        let reader = RasReader::new(text.as_bytes());
+        assert_eq!(reader.read_strict().unwrap().len(), 1);
+    }
+
+    proptest! {
+        #[test]
+        fn round_trip_arbitrary_records(
+            recid in 0u64..u64::MAX / 2,
+            secs in 0i64..2_000_000_000,
+            code_idx in 0usize..Catalog::standard().len(),
+            mp in 0u8..80,
+        ) {
+            let code = ErrCode(code_idx as u16);
+            let loc = Location::Midplane(bgp_model::MidplaneId::from_index(mp).unwrap());
+            let r = RasRecord::new(recid, Timestamp::from_unix(secs), loc, code);
+            let parsed = parse_line(&format_record(&r)).unwrap();
+            prop_assert_eq!(parsed, r);
+        }
+    }
+}

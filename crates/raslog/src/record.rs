@@ -1,0 +1,103 @@
+//! The RAS record value type.
+
+use crate::catalog::{Catalog, ErrCode};
+use crate::component::Component;
+use crate::severity::Severity;
+use bgp_model::{Location, Timestamp};
+use serde::{Deserialize, Serialize};
+
+/// One RAS event record (one line of the log).
+///
+/// Compact by design: the ERRCODE is a catalogue index and the MESSAGE /
+/// MSG_ID / COMPONENT / SUBCOMPONENT strings are all derivable from it, so a
+/// record carries only what varies per event. The full Intrepid log holds
+/// two million records; at 32 bytes each that is a comfortable 64 MB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RasRecord {
+    /// Sequence number in the log (RECID), assigned in emission order.
+    pub recid: u64,
+    /// When the event started (EVENT_TIME).
+    pub event_time: Timestamp,
+    /// Where the event occurred (LOCATION).
+    pub location: Location,
+    /// What happened (ERRCODE) — index into [`Catalog::standard`].
+    pub errcode: ErrCode,
+    /// Reported severity. Usually the catalogue default, but kept per-record
+    /// because real CMCS logs occasionally escalate/demote.
+    pub severity: Severity,
+}
+
+impl RasRecord {
+    /// Create a record with the catalogue's default severity for `errcode`.
+    pub fn new(recid: u64, event_time: Timestamp, location: Location, errcode: ErrCode) -> Self {
+        RasRecord {
+            recid,
+            event_time,
+            location,
+            errcode,
+            severity: Catalog::standard().info(errcode).severity,
+        }
+    }
+
+    /// The reporting component (from the catalogue).
+    pub fn component(&self) -> Component {
+        Catalog::standard().info(self.errcode).component
+    }
+
+    /// The subcomponent token (from the catalogue).
+    pub fn subcomponent(&self) -> &'static str {
+        Catalog::standard().info(self.errcode).subcomponent
+    }
+
+    /// The ERRCODE token (from the catalogue).
+    pub fn errcode_name(&self) -> &'static str {
+        Catalog::standard().info(self.errcode).name
+    }
+
+    /// Is this a FATAL-severity record?
+    pub fn is_fatal(&self) -> bool {
+        self.severity == Severity::Fatal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code(name: &str) -> ErrCode {
+        Catalog::standard().lookup(name).unwrap()
+    }
+
+    #[test]
+    fn record_is_compact() {
+        // The perf-book discipline: assert hot types don't silently grow.
+        assert!(
+            std::mem::size_of::<RasRecord>() <= 32,
+            "RasRecord grew to {} bytes",
+            std::mem::size_of::<RasRecord>()
+        );
+    }
+
+    #[test]
+    fn defaults_come_from_catalog() {
+        let r = RasRecord::new(
+            7,
+            Timestamp::from_unix(1000),
+            "R00-M0".parse().unwrap(),
+            code("_bgp_err_ddr_controller"),
+        );
+        assert!(r.is_fatal());
+        assert_eq!(r.component(), Component::Kernel);
+        assert_eq!(r.subcomponent(), "_bgp_unit_ddr");
+        assert_eq!(r.errcode_name(), "_bgp_err_ddr_controller");
+
+        let r = RasRecord::new(
+            8,
+            Timestamp::from_unix(1001),
+            "R00-M0".parse().unwrap(),
+            code("_bgp_warn_ecc_corrected"),
+        );
+        assert!(!r.is_fatal());
+        assert_eq!(r.severity, Severity::Warning);
+    }
+}

@@ -1,0 +1,125 @@
+//! RAS severity levels.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// CMCS severity levels in increasing order of severity.
+///
+/// Per the paper: DEBUG/TRACE are for code debugging (absent from the
+/// Intrepid log); INFO reports system-software progress; WARNING covers
+/// recoverable soft errors (e.g. single-symbol ECC); ERROR is harmful but
+/// survivable (e.g. loss of a redundant component); only FATAL presumably
+/// crashes the application or system — and the whole point of co-analysis is
+/// that "presumably" is often wrong.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[repr(u8)]
+pub enum Severity {
+    /// Code-debugging chatter (not present in production logs).
+    Debug = 0,
+    /// Fine-grained tracing (not present in production logs).
+    Trace = 1,
+    /// Progress information (e.g. automatic recovery progress).
+    Info = 2,
+    /// Recoverable soft error.
+    Warning = 3,
+    /// Harmful but survivable error.
+    Error = 4,
+    /// Presumed to crash the application or system.
+    Fatal = 5,
+}
+
+impl Severity {
+    /// All severities, ascending.
+    pub const ALL: [Severity; 6] = [
+        Severity::Debug,
+        Severity::Trace,
+        Severity::Info,
+        Severity::Warning,
+        Severity::Error,
+        Severity::Fatal,
+    ];
+
+    /// The log-file token for this severity.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Debug => "DEBUG",
+            Severity::Trace => "TRACE",
+            Severity::Info => "INFO",
+            Severity::Warning => "WARNING",
+            Severity::Error => "ERROR",
+            Severity::Fatal => "FATAL",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for Severity {
+    type Err = UnknownSeverity;
+
+    fn from_str(s: &str) -> Result<Severity, UnknownSeverity> {
+        Ok(match s {
+            "DEBUG" => Severity::Debug,
+            "TRACE" => Severity::Trace,
+            "INFO" => Severity::Info,
+            "WARNING" | "WARN" => Severity::Warning,
+            "ERROR" => Severity::Error,
+            "FATAL" => Severity::Fatal,
+            _ => return Err(UnknownSeverity(s.to_owned())),
+        })
+    }
+}
+
+/// Error for an unrecognized severity token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownSeverity(
+    /// The offending token.
+    pub String,
+);
+
+impl fmt::Display for UnknownSeverity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown severity {:?}", self.0)
+    }
+}
+
+impl std::error::Error for UnknownSeverity {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_reflects_severity() {
+        assert!(Severity::Fatal > Severity::Error);
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Info);
+        assert!(Severity::Info > Severity::Trace);
+        assert!(Severity::Trace > Severity::Debug);
+    }
+
+    #[test]
+    fn round_trip_all() {
+        for s in Severity::ALL {
+            assert_eq!(s.as_str().parse::<Severity>().unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn warn_alias_accepted() {
+        assert_eq!("WARN".parse::<Severity>().unwrap(), Severity::Warning);
+    }
+
+    #[test]
+    fn unknown_rejected() {
+        let e = "CRITICAL".parse::<Severity>().unwrap_err();
+        assert!(e.to_string().contains("CRITICAL"));
+    }
+}

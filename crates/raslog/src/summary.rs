@@ -1,0 +1,219 @@
+//! Log exploration: the Section III-style breakdown of a RAS log by
+//! severity, component, code, location, and time.
+//!
+//! These are the first numbers anyone computes on a fresh RAS log ("how
+//! much of this is FATAL? which component talks the most? which midplane
+//! is noisiest?") and the inputs to Table I-style reporting.
+
+use crate::catalog::{Catalog, ErrCode};
+use crate::component::Component;
+use crate::log::RasLog;
+use crate::severity::Severity;
+use bgp_model::MidplaneId;
+use serde::Serialize;
+use std::collections::HashMap;
+
+/// Aggregate profile of one RAS log.
+#[derive(Debug, Clone, Serialize)]
+pub struct LogSummary {
+    /// Total records.
+    pub total: usize,
+    /// Records per severity, indexed by `Severity as usize`.
+    pub by_severity: [usize; 6],
+    /// Records per component, indexed by `Component as usize`.
+    pub by_component: [usize; 7],
+    /// FATAL records per component.
+    pub fatal_by_component: [usize; 7],
+    /// Distinct codes seen / distinct FATAL codes seen.
+    pub distinct_codes: usize,
+    /// Distinct FATAL codes seen.
+    pub distinct_fatal_codes: usize,
+    /// Records per day offset from the first record.
+    pub per_day: Vec<usize>,
+    /// The busiest (most-reporting) midplanes, descending.
+    pub noisiest_midplanes: Vec<(MidplaneId, usize)>,
+    /// The most frequent FATAL codes, descending.
+    pub top_fatal_codes: Vec<(ErrCode, usize)>,
+}
+
+impl LogSummary {
+    /// Profile a log. `top_k` bounds the two ranking lists.
+    pub fn of(log: &RasLog, top_k: usize) -> LogSummary {
+        let mut by_severity = [0usize; 6];
+        let mut by_component = [0usize; 7];
+        let mut fatal_by_component = [0usize; 7];
+        let mut per_code: HashMap<ErrCode, usize> = HashMap::new();
+        let mut per_midplane: HashMap<MidplaneId, usize> = HashMap::new();
+        let origin = log.time_span().map(|(s, _)| s);
+        let days = log
+            .time_span()
+            .map(|(s, e)| (e.days_since(s) + 1).max(1) as usize)
+            .unwrap_or(0);
+        let mut per_day = vec![0usize; days];
+        for r in log.records() {
+            by_severity[r.severity as usize] += 1;
+            by_component[r.component() as usize] += 1;
+            if r.severity == Severity::Fatal {
+                fatal_by_component[r.component() as usize] += 1;
+            }
+            *per_code.entry(r.errcode).or_insert(0) += 1;
+            for m in r.location.touched_midplanes() {
+                *per_midplane.entry(m).or_insert(0) += 1;
+            }
+            if let Some(origin) = origin {
+                let d = r.event_time.days_since(origin);
+                if (0..days as i64).contains(&d) {
+                    per_day[d as usize] += 1;
+                }
+            }
+        }
+        let cat = Catalog::standard();
+        let distinct_codes = per_code.len();
+        let mut fatal_codes: Vec<(ErrCode, usize)> = per_code
+            .iter()
+            .filter(|(c, _)| cat.info(**c).severity == Severity::Fatal)
+            .map(|(&c, &n)| (c, n))
+            .collect();
+        let distinct_fatal_codes = fatal_codes.len();
+        fatal_codes.sort_by_key(|&(c, n)| (std::cmp::Reverse(n), c));
+        fatal_codes.truncate(top_k);
+        let mut noisiest: Vec<(MidplaneId, usize)> =
+            per_midplane.into_iter().collect();
+        noisiest.sort_by_key(|&(m, n)| (std::cmp::Reverse(n), m));
+        noisiest.truncate(top_k);
+        LogSummary {
+            total: log.len(),
+            by_severity,
+            by_component,
+            fatal_by_component,
+            distinct_codes,
+            distinct_fatal_codes,
+            per_day,
+            noisiest_midplanes: noisiest,
+            top_fatal_codes: fatal_codes,
+        }
+    }
+
+    /// Fraction of FATAL records reported from a component — the paper's
+    /// "75 % of fatal events are reported from the KERNEL".
+    pub fn fatal_component_share(&self, c: Component) -> f64 {
+        let fatal: usize = self.fatal_by_component.iter().sum();
+        if fatal == 0 {
+            return 0.0;
+        }
+        self.fatal_by_component[c as usize] as f64 / fatal as f64
+    }
+
+    /// Records of a severity.
+    pub fn severity_count(&self, s: Severity) -> usize {
+        self.by_severity[s as usize]
+    }
+}
+
+impl std::fmt::Display for LogSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{} records over {} days", self.total, self.per_day.len())?;
+        write!(f, "severity:")?;
+        for s in Severity::ALL {
+            let n = self.severity_count(s);
+            if n > 0 {
+                write!(f, " {}={n}", s.as_str())?;
+            }
+        }
+        writeln!(f)?;
+        write!(f, "components (FATAL share):")?;
+        for c in Component::ALL {
+            let n = self.fatal_by_component[c as usize];
+            if n > 0 {
+                write!(
+                    f,
+                    " {}={:.0}%",
+                    c.as_str(),
+                    100.0 * self.fatal_component_share(c)
+                )?;
+            }
+        }
+        writeln!(f)?;
+        writeln!(
+            f,
+            "distinct codes: {} ({} FATAL)",
+            self.distinct_codes, self.distinct_fatal_codes
+        )?;
+        if let Some((m, n)) = self.noisiest_midplanes.first() {
+            writeln!(f, "noisiest midplane: {m} ({n} records)")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::RasRecord;
+    use bgp_model::Timestamp;
+
+    fn rec(recid: u64, t: i64, loc: &str, name: &str) -> RasRecord {
+        RasRecord::new(
+            recid,
+            Timestamp::from_unix(t),
+            loc.parse().unwrap(),
+            Catalog::standard().lookup(name).unwrap(),
+        )
+    }
+
+    fn sample() -> RasLog {
+        RasLog::from_records(vec![
+            rec(1, 0, "R00-M0", "_bgp_err_kernel_panic"),
+            rec(2, 3_600, "R00-M0", "_bgp_err_kernel_panic"),
+            rec(3, 86_500, "R01-M1", "_bgp_warn_ecc_corrected"),
+            rec(4, 90_000, "R01-M1", "BULK_POWER_FATAL"),
+            rec(5, 200_000, "R02-M0", "_bgp_info_env_poll"),
+        ])
+    }
+
+    #[test]
+    fn counts_and_shares() {
+        let s = LogSummary::of(&sample(), 3);
+        assert_eq!(s.total, 5);
+        assert_eq!(s.severity_count(Severity::Fatal), 3);
+        assert_eq!(s.severity_count(Severity::Warning), 1);
+        assert_eq!(s.severity_count(Severity::Info), 1);
+        assert_eq!(s.distinct_codes, 4);
+        assert_eq!(s.distinct_fatal_codes, 2);
+        // 2 of 3 FATALs from KERNEL, 1 from CARD.
+        assert!((s.fatal_component_share(Component::Kernel) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((s.fatal_component_share(Component::Card) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.fatal_component_share(Component::Mmcs), 0.0);
+    }
+
+    #[test]
+    fn per_day_binning() {
+        let s = LogSummary::of(&sample(), 3);
+        assert_eq!(s.per_day.len(), 3);
+        assert_eq!(s.per_day, vec![2, 2, 1]);
+    }
+
+    #[test]
+    fn rankings() {
+        let s = LogSummary::of(&sample(), 2);
+        assert_eq!(s.top_fatal_codes.len(), 2);
+        assert_eq!(
+            s.top_fatal_codes[0].0,
+            Catalog::standard().lookup("_bgp_err_kernel_panic").unwrap()
+        );
+        assert_eq!(s.top_fatal_codes[0].1, 2);
+        // R00-M0 saw 2 records; rack-scoped bulk power touches R01-M0 and
+        // R01-M1 — R01-M1 also has the ECC warning → 2.
+        assert_eq!(s.noisiest_midplanes[0].1, 2);
+        assert!(!s.to_string().is_empty());
+        assert!(s.to_string().contains("FATAL=3"));
+    }
+
+    #[test]
+    fn empty_log() {
+        let s = LogSummary::of(&RasLog::default(), 3);
+        assert_eq!(s.total, 0);
+        assert!(s.per_day.is_empty());
+        assert_eq!(s.fatal_component_share(Component::Kernel), 0.0);
+    }
+}

@@ -1,0 +1,88 @@
+//! Serializing records to the pipe-separated log format.
+//!
+//! The on-disk format mirrors the fields of the paper's Table II, one record
+//! per line:
+//!
+//! ```text
+//! RECID|MSG_ID|COMPONENT|SUBCOMPONENT|ERRCODE|SEVERITY|EVENT_TIME|LOCATION|MESSAGE
+//! ```
+
+use crate::catalog::Catalog;
+use crate::record::RasRecord;
+use std::io::{self, Write};
+
+/// Format a single record as a log line (no trailing newline).
+pub fn format_record(r: &RasRecord) -> String {
+    let info = Catalog::standard().info(r.errcode);
+    format!(
+        "{}|{}|{}|{}|{}|{}|{}|{}|{}",
+        r.recid,
+        info.msg_id,
+        info.component,
+        info.subcomponent,
+        info.name,
+        r.severity,
+        r.event_time,
+        r.location,
+        info.template,
+    )
+}
+
+/// Write records to `w`, one line each.
+pub fn write_log<'a, W: Write, I: IntoIterator<Item = &'a RasRecord>>(
+    w: &mut W,
+    records: I,
+) -> io::Result<()> {
+    for r in records {
+        writeln!(w, "{}", format_record(r))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+    use bgp_model::Timestamp;
+
+    #[test]
+    fn formats_all_nine_fields() {
+        let code = Catalog::standard().lookup("DetectedClockCardErrors").unwrap();
+        let r = RasRecord::new(
+            13_718_190,
+            Timestamp::from_civil(2008, 4, 14, 15, 8, 12),
+            "R-04-M0-S".parse().unwrap(),
+            code,
+        );
+        let line = format_record(&r);
+        let fields: Vec<&str> = line.split('|').collect();
+        assert_eq!(fields.len(), 9);
+        assert_eq!(fields[0], "13718190");
+        assert_eq!(fields[2], "CARD");
+        assert_eq!(fields[3], "PALOMINO_S");
+        assert_eq!(fields[4], "DetectedClockCardErrors");
+        assert_eq!(fields[5], "FATAL");
+        assert_eq!(fields[6], "2008-04-14-15.08.12");
+        assert_eq!(fields[7], "R04-M0-S");
+        assert!(fields[8].contains("Clock card"));
+    }
+
+    #[test]
+    fn write_log_emits_one_line_per_record() {
+        let code = Catalog::standard().lookup("_bgp_err_kernel_panic").unwrap();
+        let records: Vec<RasRecord> = (0..3)
+            .map(|i| {
+                RasRecord::new(
+                    i,
+                    Timestamp::from_unix(i as i64),
+                    "R00-M0".parse().unwrap(),
+                    code,
+                )
+            })
+            .collect();
+        let mut buf = Vec::new();
+        write_log(&mut buf, &records).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 3);
+    }
+}

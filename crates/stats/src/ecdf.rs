@@ -1,0 +1,178 @@
+//! Empirical cumulative distribution functions (Figures 3 and 6).
+
+use crate::StatsError;
+use serde::{Deserialize, Serialize};
+
+/// An empirical CDF built from a sample.
+///
+/// Evaluation is `O(log n)` by binary search over the sorted sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Build from a sample (unsorted input fine; NaN rejected).
+    pub fn new(xs: &[f64]) -> Result<Ecdf, StatsError> {
+        if xs.is_empty() {
+            return Err(StatsError::NotEnoughData { needed: 1, got: 0 });
+        }
+        if let Some(&nan) = xs.iter().find(|x| x.is_nan()) {
+            return Err(StatsError::InvalidSample(nan));
+        }
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        Ok(Ecdf { sorted })
+    }
+
+    /// `F̂(x)` = fraction of the sample ≤ `x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        // partition_point returns the count of elements <= x when we test <=.
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Always false by construction.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The sorted sample underlying the ECDF.
+    pub fn sample(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// The step points of the ECDF as `(x, F̂(x))` pairs, one per distinct
+    /// sample value — this is the series a Figure-3-style plot draws.
+    pub fn steps(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len() as f64;
+        let mut out = Vec::with_capacity(self.sorted.len());
+        let mut i = 0;
+        while i < self.sorted.len() {
+            let x = self.sorted[i];
+            let mut j = i + 1;
+            while j < self.sorted.len() && self.sorted[j] == x {
+                j += 1;
+            }
+            out.push((x, j as f64 / n));
+            i = j;
+        }
+        out
+    }
+
+    /// Evaluate at `k` log-spaced points spanning the sample range — the
+    /// natural x-axis for interarrival CDFs whose support spans 5 orders of
+    /// magnitude (as in the paper's Figure 3).
+    ///
+    /// Requires a strictly positive sample minimum; `k ≥ 2`.
+    pub fn log_spaced(&self, k: usize) -> Result<Vec<(f64, f64)>, StatsError> {
+        let lo = self.sorted[0];
+        let hi = self.sorted[self.sorted.len() - 1];
+        if !(lo > 0.0) {
+            return Err(StatsError::InvalidSample(lo));
+        }
+        if k < 2 {
+            return Err(StatsError::BadParameter {
+                name: "k",
+                value: k as f64,
+            });
+        }
+        let (llo, lhi) = (lo.ln(), hi.ln());
+        Ok((0..k)
+            .map(|i| {
+                let x = (llo + (lhi - llo) * i as f64 / (k - 1) as f64).exp();
+                (x, self.eval(x))
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_evaluation() {
+        let e = Ecdf::new(&[3.0, 1.0, 2.0, 2.0]).unwrap();
+        assert_eq!(e.eval(0.5), 0.0);
+        assert_eq!(e.eval(1.0), 0.25);
+        assert_eq!(e.eval(2.0), 0.75);
+        assert_eq!(e.eval(2.5), 0.75);
+        assert_eq!(e.eval(3.0), 1.0);
+        assert_eq!(e.eval(100.0), 1.0);
+        assert_eq!(e.len(), 4);
+        assert!(!e.is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(Ecdf::new(&[]).is_err());
+        assert!(Ecdf::new(&[1.0, f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn steps_deduplicate() {
+        let e = Ecdf::new(&[1.0, 2.0, 2.0, 5.0]).unwrap();
+        assert_eq!(
+            e.steps(),
+            vec![(1.0, 0.25), (2.0, 0.75), (5.0, 1.0)]
+        );
+    }
+
+    #[test]
+    fn log_spaced_spans_range() {
+        let e = Ecdf::new(&[10.0, 100.0, 1_000.0, 10_000.0]).unwrap();
+        let pts = e.log_spaced(5).unwrap();
+        assert_eq!(pts.len(), 5);
+        assert!((pts[0].0 - 10.0).abs() < 1e-9);
+        assert!((pts[4].0 - 10_000.0).abs() < 1e-6);
+        assert_eq!(pts[4].1, 1.0);
+        // Non-positive minimum rejected.
+        let e = Ecdf::new(&[0.0, 1.0]).unwrap();
+        assert!(e.log_spaced(5).is_err());
+        let e = Ecdf::new(&[1.0, 2.0]).unwrap();
+        assert!(e.log_spaced(1).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn monotone_and_bounded(
+            xs in proptest::collection::vec(-1e6..1e6f64, 1..200),
+            probe in proptest::collection::vec(-2e6..2e6f64, 2..20),
+        ) {
+            let e = Ecdf::new(&xs).unwrap();
+            let mut ps: Vec<f64> = probe.clone();
+            ps.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let mut prev = 0.0;
+            for p in ps {
+                let v = e.eval(p);
+                prop_assert!((0.0..=1.0).contains(&v));
+                prop_assert!(v >= prev);
+                prev = v;
+            }
+            // Below min → 0, at max → 1.
+            prop_assert_eq!(e.eval(e.sample()[0] - 1.0), 0.0);
+            prop_assert_eq!(e.eval(*e.sample().last().unwrap()), 1.0);
+        }
+
+        #[test]
+        fn dkw_style_agreement_with_true_cdf(seed in 0u64..500) {
+            // ECDF of a uniform sample stays within 0.12 of the true CDF
+            // for n = 400 (DKW bound with generous epsilon).
+            use rand::{RngExt, SeedableRng};
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+            let xs: Vec<f64> = (0..400).map(|_| rng.random::<f64>()).collect();
+            let e = Ecdf::new(&xs).unwrap();
+            for i in 1..10 {
+                let x = i as f64 / 10.0;
+                prop_assert!((e.eval(x) - x).abs() < 0.12);
+            }
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! The exponential distribution — the paper's baseline interarrival model.
+//!
+//! The exponential is the memoryless special case (Weibull shape = 1). The
+//! paper shows it fits failure interarrivals *worse* than Weibull on Blue
+//! Gene/P; we reproduce that comparison in [`crate::lrt`].
+
+use crate::StatsError;
+use serde::{Deserialize, Serialize};
+
+/// An exponential distribution with rate `λ`: `F(x) = 1 − e^{−λx}`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Exponential {
+    /// Rate parameter (> 0), reciprocal of the mean.
+    pub rate: f64,
+}
+
+impl Exponential {
+    /// Construct with validation.
+    pub fn new(rate: f64) -> Result<Exponential, StatsError> {
+        if !(rate > 0.0) || !rate.is_finite() {
+            return Err(StatsError::BadParameter {
+                name: "rate",
+                value: rate,
+            });
+        }
+        Ok(Exponential { rate })
+    }
+
+    /// Construct from the mean (`1/rate`).
+    pub fn from_mean(mean: f64) -> Result<Exponential, StatsError> {
+        if !(mean > 0.0) || !mean.is_finite() {
+            return Err(StatsError::BadParameter {
+                name: "mean",
+                value: mean,
+            });
+        }
+        Ok(Exponential { rate: 1.0 / mean })
+    }
+
+    /// Cumulative distribution function.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            1.0 - (-self.rate * x).exp()
+        }
+    }
+
+    /// Probability density function.
+    pub fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.0
+        } else {
+            self.rate * (-self.rate * x).exp()
+        }
+    }
+
+    /// Natural log of the density; `−∞` for `x < 0`.
+    pub fn ln_pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            f64::NEG_INFINITY
+        } else {
+            self.rate.ln() - self.rate * x
+        }
+    }
+
+    /// Mean `1/λ`.
+    pub fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+
+    /// Variance `1/λ²`.
+    pub fn variance(&self) -> f64 {
+        1.0 / (self.rate * self.rate)
+    }
+
+    /// Quantile function (inverse CDF).
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..1.0).contains(&p), "p must be in [0,1), got {p}");
+        -(1.0 - p).ln() / self.rate
+    }
+
+    /// Log-likelihood of a sample.
+    pub fn log_likelihood(&self, xs: &[f64]) -> f64 {
+        xs.iter().map(|&x| self.ln_pdf(x)).sum()
+    }
+
+    /// Maximum-likelihood fit: `λ̂ = n / Σ xᵢ`.
+    ///
+    /// Requires at least one strictly positive observation; all observations
+    /// must be non-negative and finite.
+    pub fn fit_mle(xs: &[f64]) -> Result<Exponential, StatsError> {
+        if xs.is_empty() {
+            return Err(StatsError::NotEnoughData { needed: 1, got: 0 });
+        }
+        let mut sum = 0.0;
+        for &x in xs {
+            if !(x >= 0.0) || !x.is_finite() {
+                return Err(StatsError::InvalidSample(x));
+            }
+            sum += x;
+        }
+        if sum <= 0.0 {
+            return Err(StatsError::InvalidSample(0.0));
+        }
+        Exponential::new(xs.len() as f64 / sum)
+    }
+}
+
+impl std::fmt::Display for Exponential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Exponential(rate={:.3e})", self.rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample::exponential as sample_exp;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn validation() {
+        assert!(Exponential::new(0.0).is_err());
+        assert!(Exponential::new(-1.0).is_err());
+        assert!(Exponential::new(f64::INFINITY).is_err());
+        assert!(Exponential::from_mean(0.0).is_err());
+        assert!(Exponential::from_mean(100.0).is_ok());
+    }
+
+    #[test]
+    fn moments() {
+        let e = Exponential::from_mean(250.0).unwrap();
+        assert!((e.mean() - 250.0).abs() < 1e-12);
+        assert!((e.variance() - 62_500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cdf_quantile_inverse() {
+        let e = Exponential::new(0.01).unwrap();
+        for &p in &[0.05, 0.5, 0.95] {
+            assert!((e.cdf(e.quantile(p)) - p).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn memorylessness() {
+        // P(X > s + t | X > s) = P(X > t).
+        let e = Exponential::new(0.2).unwrap();
+        let sf = |x: f64| 1.0 - e.cdf(x);
+        let (s, t) = (3.0, 5.0);
+        assert!((sf(s + t) / sf(s) - sf(t)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mle_recovers_rate() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let xs: Vec<f64> = (0..50_000).map(|_| sample_exp(&mut rng, 0.002)).collect();
+        let fit = Exponential::fit_mle(&xs).unwrap();
+        assert!((fit.rate - 0.002).abs() / 0.002 < 0.03, "rate {}", fit.rate);
+    }
+
+    #[test]
+    fn mle_validation() {
+        assert!(Exponential::fit_mle(&[]).is_err());
+        assert!(Exponential::fit_mle(&[1.0, -0.5]).is_err());
+        assert!(Exponential::fit_mle(&[0.0, 0.0]).is_err());
+        assert!(Exponential::fit_mle(&[0.0, 2.0]).is_ok()); // zeros tolerated
+    }
+
+    #[test]
+    fn matches_weibull_shape_one() {
+        let e = Exponential::new(0.5).unwrap();
+        let w = crate::Weibull::new(1.0, 2.0).unwrap();
+        for &x in &[0.1, 1.0, 3.0, 10.0] {
+            assert!((e.cdf(x) - w.cdf(x)).abs() < 1e-12);
+            assert!((e.ln_pdf(x) - w.ln_pdf(x)).abs() < 1e-9);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn mle_equals_inverse_mean(xs in proptest::collection::vec(0.001..1e5f64, 1..200)) {
+            let fit = Exponential::fit_mle(&xs).unwrap();
+            let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+            prop_assert!((fit.mean() - mean).abs() / mean < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Binning helpers: fixed-width histograms and edge-based bucketing.
+//!
+//! Used for Figure 5 (interruptions per day) and for discretizing execution
+//! time into the paper's Table VI bins (10–400 s, 400–1600 s, 1600–6400 s,
+//! ≥ 6400 s).
+
+use crate::StatsError;
+use serde::{Deserialize, Serialize};
+
+/// A histogram over `[lo, hi)` with equal-width bins.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    /// Observations below `lo`.
+    pub underflow: u64,
+    /// Observations at or above `hi`.
+    pub overflow: u64,
+}
+
+impl Histogram {
+    /// Create a histogram with `bins` equal-width bins over `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Histogram, StatsError> {
+        if !(hi > lo) || bins == 0 {
+            return Err(StatsError::BadParameter {
+                name: "histogram range/bins",
+                value: hi - lo,
+            });
+        }
+        Ok(Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        })
+    }
+
+    /// Add one observation.
+    pub fn add(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.counts.len() as f64;
+            let idx = (((x - self.lo) / w) as usize).min(self.counts.len() - 1);
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// `(bin_start, count)` pairs.
+    pub fn bins(&self) -> Vec<(f64, u64)> {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.lo + w * i as f64, c))
+            .collect()
+    }
+
+    /// Total in-range observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+/// Bucket a value against ascending edges: returns the index of the first
+/// interval containing `x` given edges `e₀ < e₁ < … < eₖ`, where interval
+/// `i` is `[eᵢ, eᵢ₊₁)`; values below `e₀` return `None`, values ≥ `eₖ`
+/// fall in the last (open-ended) bucket `k − 1`... i.e. edges define `k`
+/// buckets with the final one unbounded above.
+///
+/// This matches the paper's Table VI runtime groups: edges
+/// `[10, 400, 1600, 6400]` give buckets `10–400`, `400–1600`, `1600–6400`,
+/// `≥ 6400`.
+pub fn bucket_index(edges: &[f64], x: f64) -> Option<usize> {
+    if edges.is_empty() || x < edges[0] {
+        return None;
+    }
+    // Index of the last edge ≤ x.
+    let idx = edges.partition_point(|&e| e <= x) - 1;
+    Some(idx.min(edges.len() - 1))
+}
+
+/// The paper's Table VI execution-time bin edges, in seconds.
+pub const TABLE_VI_TIME_EDGES: [f64; 4] = [10.0, 400.0, 1600.0, 6400.0];
+
+/// Human-readable labels for [`TABLE_VI_TIME_EDGES`] buckets.
+pub const TABLE_VI_TIME_LABELS: [&str; 4] =
+    ["10-400 sec", "400-1600 sec", "1600-6400 sec", ">=6400 sec"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn histogram_basics() {
+        let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
+        for x in [0.0, 1.9, 2.0, 5.5, 9.999, -1.0, 10.0, 42.0] {
+            h.add(x);
+        }
+        assert_eq!(h.counts(), &[2, 1, 1, 0, 1]);
+        assert_eq!(h.underflow, 1);
+        assert_eq!(h.overflow, 2);
+        assert_eq!(h.total(), 5);
+        let bins = h.bins();
+        assert_eq!(bins[0], (0.0, 2));
+        assert_eq!(bins[4], (8.0, 1));
+    }
+
+    #[test]
+    fn histogram_validation() {
+        assert!(Histogram::new(1.0, 1.0, 4).is_err());
+        assert!(Histogram::new(2.0, 1.0, 4).is_err());
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+    }
+
+    #[test]
+    fn bucket_index_table_vi() {
+        let e = TABLE_VI_TIME_EDGES;
+        assert_eq!(bucket_index(&e, 5.0), None);
+        assert_eq!(bucket_index(&e, 10.0), Some(0));
+        assert_eq!(bucket_index(&e, 399.9), Some(0));
+        assert_eq!(bucket_index(&e, 400.0), Some(1));
+        assert_eq!(bucket_index(&e, 1599.0), Some(1));
+        assert_eq!(bucket_index(&e, 1600.0), Some(2));
+        assert_eq!(bucket_index(&e, 6399.0), Some(2));
+        assert_eq!(bucket_index(&e, 6400.0), Some(3));
+        assert_eq!(bucket_index(&e, 1e9), Some(3));
+        assert_eq!(bucket_index(&[], 1.0), None);
+    }
+
+    proptest! {
+        #[test]
+        fn every_in_range_value_lands_in_exactly_one_bin(x in 0.0..100.0f64) {
+            let mut h = Histogram::new(0.0, 100.0, 17).unwrap();
+            h.add(x);
+            prop_assert_eq!(h.total(), 1);
+            prop_assert_eq!(h.underflow + h.overflow, 0);
+        }
+
+        #[test]
+        fn bucket_index_is_monotone(x in 10.0..1e5f64, y in 10.0..1e5f64) {
+            let (lo, hi) = if x <= y { (x, y) } else { (y, x) };
+            let bi = bucket_index(&TABLE_VI_TIME_EDGES, lo).unwrap();
+            let bj = bucket_index(&TABLE_VI_TIME_EDGES, hi).unwrap();
+            prop_assert!(bi <= bj);
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Kolmogorov–Smirnov goodness-of-fit distance.
+//!
+//! A secondary check alongside the likelihood-ratio test: the one-sample KS
+//! statistic is the sup-distance between the empirical CDF and a fitted CDF.
+//! Smaller is better; comparing the Weibull and exponential KS distances on
+//! the same sample is a nonparametric way to see Figure 3's "Weibull hugs the
+//! empirical curve" claim.
+
+use crate::{Ecdf, StatsError};
+
+/// One-sample KS statistic: `sup_x |F̂(x) − F(x)|` where `F̂` is the sample
+/// ECDF and `F` the candidate CDF.
+///
+/// Evaluates the sup over the sample points (where the ECDF jumps), checking
+/// both sides of each jump — exact for a right-continuous step ECDF.
+pub fn ks_statistic<F: Fn(f64) -> f64>(xs: &[f64], cdf: F) -> Result<f64, StatsError> {
+    let ecdf = Ecdf::new(xs)?;
+    let n = ecdf.len() as f64;
+    let mut d: f64 = 0.0;
+    let mut below = 0.0; // ECDF value just left of the current jump
+    for (x, f_hat) in ecdf.steps() {
+        let f = cdf(x);
+        if !(0.0..=1.0).contains(&f) || f.is_nan() {
+            return Err(StatsError::InvalidSample(f));
+        }
+        d = d.max((f - below).abs()).max((f_hat - f).abs());
+        below = f_hat;
+    }
+    let _ = n;
+    Ok(d)
+}
+
+/// Approximate p-value of the one-sample KS test (Kolmogorov asymptotic
+/// series with the Stephens small-sample correction).
+pub fn ks_p_value(d: f64, n: usize) -> f64 {
+    if d <= 0.0 {
+        return 1.0;
+    }
+    let n = n as f64;
+    let lambda = (n.sqrt() + 0.12 + 0.11 / n.sqrt()) * d;
+    // Q(λ) = 2 Σ_{j≥1} (−1)^{j−1} e^{−2 j² λ²}
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for j in 1..=100 {
+        let term = (-2.0 * (j as f64) * (j as f64) * lambda * lambda).exp();
+        sum += sign * term;
+        if term < 1e-10 {
+            break;
+        }
+        sign = -sign;
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample::weibull as sample_weibull;
+    use crate::{Exponential, Weibull};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn minimal_distance_for_mid_jump_cdf() {
+        // A continuous CDF passing through the midpoint of every ECDF jump
+        // achieves the minimum possible distance for n points: 1/(2n).
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let d = ks_statistic(&xs, |x| ((2.0 * x - 1.0) / 8.0).clamp(0.0, 1.0)).unwrap();
+        assert!((d - 0.125).abs() < 1e-12, "d = {d}");
+    }
+
+    #[test]
+    fn weibull_fits_weibull_data_better_than_exponential() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let xs: Vec<f64> = (0..3_000)
+            .map(|_| sample_weibull(&mut rng, 0.45, 8_000.0))
+            .collect();
+        let w = Weibull::fit_mle(&xs).unwrap();
+        let e = Exponential::fit_mle(&xs).unwrap();
+        let dw = ks_statistic(&xs, |x| w.cdf(x)).unwrap();
+        let de = ks_statistic(&xs, |x| e.cdf(x)).unwrap();
+        assert!(dw < de, "KS(Weibull) = {dw} should beat KS(exp) = {de}");
+        assert!(dw < 0.05, "good fit expected, got {dw}");
+    }
+
+    #[test]
+    fn detects_wrong_cdf() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        // Uniform(0, 100) is the right model; Uniform(0, 1000) is not.
+        let good = ks_statistic(&xs, |x| (x / 100.0).clamp(0.0, 1.0)).unwrap();
+        let bad = ks_statistic(&xs, |x| (x / 1000.0).clamp(0.0, 1.0)).unwrap();
+        assert!(good < 0.02);
+        assert!(bad > 0.5);
+    }
+
+    #[test]
+    fn rejects_invalid_cdf_values() {
+        let xs = [1.0, 2.0];
+        assert!(ks_statistic(&xs, |_| 1.5).is_err());
+        assert!(ks_statistic(&xs, |_| f64::NAN).is_err());
+        assert!(ks_statistic(&[], |x| x).is_err());
+    }
+
+    #[test]
+    fn p_value_behaviour() {
+        assert_eq!(ks_p_value(0.0, 100), 1.0);
+        // Large distance, large n → tiny p.
+        assert!(ks_p_value(0.5, 1000) < 1e-6);
+        // Small distance, small n → large p.
+        assert!(ks_p_value(0.05, 20) > 0.5);
+        // Monotone in d.
+        assert!(ks_p_value(0.1, 100) > ks_p_value(0.2, 100));
+    }
+}

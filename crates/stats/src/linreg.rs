@@ -1,0 +1,133 @@
+//! Simple (ordinary-least-squares) linear regression.
+//!
+//! Used by trend analyses: is the failure rate drifting over the study
+//! window, or is the process stationary enough for a single Weibull fit to
+//! be honest?
+
+use crate::StatsError;
+use serde::{Deserialize, Serialize};
+
+/// An OLS fit of `y = intercept + slope · x`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearFit {
+    /// Slope per unit of `x`.
+    pub slope: f64,
+    /// Intercept at `x = 0`.
+    pub intercept: f64,
+    /// Pearson correlation between `x` and `y` (sign matches the slope).
+    pub r: f64,
+    /// Points fitted.
+    pub n: usize,
+}
+
+impl LinearFit {
+    /// Coefficient of determination `r²`.
+    pub fn r_squared(&self) -> f64 {
+        self.r * self.r
+    }
+
+    /// Predicted value at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+}
+
+/// Fit by ordinary least squares. Errors on length mismatch, < 3 points,
+/// NaN, or zero variance in `x`.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Result<LinearFit, StatsError> {
+    if xs.len() != ys.len() {
+        return Err(StatsError::NotEnoughData {
+            needed: xs.len(),
+            got: ys.len(),
+        });
+    }
+    if xs.len() < 3 {
+        return Err(StatsError::NotEnoughData {
+            needed: 3,
+            got: xs.len(),
+        });
+    }
+    let n = xs.len() as f64;
+    let (mut mx, mut my) = (0.0, 0.0);
+    for (&x, &y) in xs.iter().zip(ys) {
+        if x.is_nan() || y.is_nan() {
+            return Err(StatsError::InvalidSample(f64::NAN));
+        }
+        mx += x;
+        my += y;
+    }
+    mx /= n;
+    my /= n;
+    let (mut sxx, mut sxy, mut syy) = (0.0, 0.0, 0.0);
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxx += (x - mx) * (x - mx);
+        sxy += (x - mx) * (y - my);
+        syy += (y - my) * (y - my);
+    }
+    if sxx <= 0.0 {
+        return Err(StatsError::InvalidSample(xs[0]));
+    }
+    let slope = sxy / sxx;
+    let r = if syy <= 0.0 {
+        0.0 // constant y: slope 0, no correlation to speak of
+    } else {
+        (sxy / (sxx.sqrt() * syy.sqrt())).clamp(-1.0, 1.0)
+    };
+    Ok(LinearFit {
+        slope,
+        intercept: my - slope * mx,
+        r,
+        n: xs.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x - 2.0).collect();
+        let f = linear_fit(&xs, &ys).unwrap();
+        assert!((f.slope - 3.0).abs() < 1e-12);
+        assert!((f.intercept + 2.0).abs() < 1e-12);
+        assert!((f.r - 1.0).abs() < 1e-12);
+        assert!((f.predict(20.0) - 58.0).abs() < 1e-9);
+        assert!((f.r_squared() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_y_gives_zero_slope() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [5.0, 5.0, 5.0, 5.0];
+        let f = linear_fit(&xs, &ys).unwrap();
+        assert_eq!(f.slope, 0.0);
+        assert_eq!(f.intercept, 5.0);
+        assert_eq!(f.r, 0.0);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(linear_fit(&[1.0, 2.0], &[1.0, 2.0]).is_err());
+        assert!(linear_fit(&[1.0, 2.0, 3.0], &[1.0, 2.0]).is_err());
+        assert!(linear_fit(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]).is_err());
+        assert!(linear_fit(&[1.0, f64::NAN, 3.0], &[1.0, 2.0, 3.0]).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn residuals_sum_to_zero(
+            pairs in proptest::collection::vec((-1e3..1e3f64, -1e3..1e3f64), 3..50)
+        ) {
+            let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            if let Ok(f) = linear_fit(&xs, &ys) {
+                let resid: f64 = xs.iter().zip(&ys).map(|(&x, &y)| y - f.predict(x)).sum();
+                prop_assert!(resid.abs() < 1e-6 * (ys.len() as f64));
+                prop_assert!((-1.0..=1.0).contains(&f.r));
+            }
+        }
+    }
+}

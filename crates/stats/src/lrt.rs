@@ -1,0 +1,133 @@
+//! Likelihood-ratio comparison of exponential vs. Weibull interarrival fits.
+//!
+//! The exponential distribution is the `shape = 1` submodel of the Weibull,
+//! so the models are nested and Wilks' theorem applies: under the null
+//! (exponential is adequate) the statistic `D = 2 (ℓ_W − ℓ_E)` is
+//! asymptotically χ² with one degree of freedom. The paper uses exactly this
+//! test (citing Crowder et al. \[16\]) to conclude that Weibull fits better
+//! (Observations 4 and, implicitly, 10).
+
+use crate::special::chi2_sf;
+use crate::{Exponential, StatsError, Weibull};
+use serde::{Deserialize, Serialize};
+
+/// The outcome of fitting both models to a sample and comparing them.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FitComparison {
+    /// The fitted Weibull model.
+    pub weibull: Weibull,
+    /// The fitted exponential model.
+    pub exponential: Exponential,
+    /// Log-likelihood of the Weibull fit.
+    pub ll_weibull: f64,
+    /// Log-likelihood of the exponential fit.
+    pub ll_exponential: f64,
+    /// LRT statistic `D = 2 (ℓ_W − ℓ_E)` (≥ 0 up to numerical noise).
+    pub lrt_statistic: f64,
+    /// Asymptotic p-value of the null "exponential is adequate"
+    /// (χ²₁ survival function of `D`).
+    pub p_value: f64,
+    /// Sample size.
+    pub n: usize,
+}
+
+impl FitComparison {
+    /// Does the test reject the exponential at significance level `alpha`?
+    pub fn weibull_preferred(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+
+    /// Akaike information criterion of the Weibull fit (2 parameters).
+    pub fn aic_weibull(&self) -> f64 {
+        2.0 * 2.0 - 2.0 * self.ll_weibull
+    }
+
+    /// Akaike information criterion of the exponential fit (1 parameter).
+    pub fn aic_exponential(&self) -> f64 {
+        2.0 * 1.0 - 2.0 * self.ll_exponential
+    }
+}
+
+/// Fit both models by maximum likelihood and run the likelihood-ratio test.
+///
+/// Requires ≥ 2 strictly positive, non-degenerate observations (the Weibull
+/// MLE preconditions).
+pub fn compare_models(xs: &[f64]) -> Result<FitComparison, StatsError> {
+    let weibull = Weibull::fit_mle(xs)?;
+    let exponential = Exponential::fit_mle(xs)?;
+    let ll_weibull = weibull.log_likelihood(xs);
+    let ll_exponential = exponential.log_likelihood(xs);
+    // The exponential is nested in the Weibull, so ℓ_W ≥ ℓ_E; clamp tiny
+    // negative noise from the iterative shape solve.
+    let lrt_statistic = (2.0 * (ll_weibull - ll_exponential)).max(0.0);
+    let p_value = chi2_sf(lrt_statistic, 1.0);
+    Ok(FitComparison {
+        weibull,
+        exponential,
+        ll_weibull,
+        ll_exponential,
+        lrt_statistic,
+        p_value,
+        n: xs.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample::{exponential as sample_exp, weibull as sample_weibull};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn weibull_wins_on_weibull_data() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let xs: Vec<f64> = (0..5_000)
+            .map(|_| sample_weibull(&mut rng, 0.4, 10_000.0))
+            .collect();
+        let cmp = compare_models(&xs).unwrap();
+        assert!(cmp.ll_weibull > cmp.ll_exponential);
+        assert!(cmp.weibull_preferred(0.01));
+        assert!(cmp.aic_weibull() < cmp.aic_exponential());
+        assert!(cmp.weibull.shape < 1.0);
+    }
+
+    #[test]
+    fn exponential_not_rejected_on_exponential_data() {
+        // Aggregate over seeds: on truly exponential data the test should
+        // reject at the 1 % level only rarely.
+        let mut rejections = 0;
+        for seed in 0..40 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let xs: Vec<f64> = (0..800).map(|_| sample_exp(&mut rng, 0.001)).collect();
+            let cmp = compare_models(&xs).unwrap();
+            if cmp.weibull_preferred(0.01) {
+                rejections += 1;
+            }
+            // Shape estimate should hover near 1.
+            assert!((cmp.weibull.shape - 1.0).abs() < 0.25, "seed {seed}");
+        }
+        assert!(rejections <= 4, "too many false rejections: {rejections}");
+    }
+
+    #[test]
+    fn statistic_nonnegative_and_pvalue_bounded() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..10 {
+            let xs: Vec<f64> = (0..200)
+                .map(|_| sample_weibull(&mut rng, 1.2, 50.0))
+                .collect();
+            let cmp = compare_models(&xs).unwrap();
+            assert!(cmp.lrt_statistic >= 0.0);
+            assert!((0.0..=1.0).contains(&cmp.p_value));
+            assert_eq!(cmp.n, 200);
+        }
+    }
+
+    #[test]
+    fn propagates_fit_errors() {
+        assert!(compare_models(&[]).is_err());
+        assert!(compare_models(&[5.0, 5.0]).is_err());
+        assert!(compare_models(&[1.0, -1.0]).is_err());
+    }
+}

@@ -1,0 +1,117 @@
+//! Pearson's product-moment correlation coefficient.
+//!
+//! Used in two places, mirroring the paper:
+//!
+//! * the root-cause classifier assigns unlabeled fatal types to the
+//!   (system / application) category whose occurrence profile they correlate
+//!   with best (Section IV-B);
+//! * the midplane study correlates per-midplane failure counts with total
+//!   and wide-job workload (Figure 4 / Observation 5).
+
+use crate::StatsError;
+
+/// Pearson correlation of two equal-length samples, in `[-1, 1]`.
+///
+/// Errors on length mismatch, fewer than 2 points, NaN, or zero variance in
+/// either sample (correlation undefined).
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Result<f64, StatsError> {
+    if xs.len() != ys.len() {
+        return Err(StatsError::NotEnoughData {
+            needed: xs.len(),
+            got: ys.len(),
+        });
+    }
+    if xs.len() < 2 {
+        return Err(StatsError::NotEnoughData {
+            needed: 2,
+            got: xs.len(),
+        });
+    }
+    let n = xs.len() as f64;
+    let mut mx = 0.0;
+    let mut my = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        if x.is_nan() || y.is_nan() {
+            return Err(StatsError::InvalidSample(f64::NAN));
+        }
+        mx += x;
+        my += y;
+    }
+    mx /= n;
+    my /= n;
+    let (mut sxy, mut sxx, mut syy) = (0.0, 0.0, 0.0);
+    for (&x, &y) in xs.iter().zip(ys) {
+        let dx = x - mx;
+        let dy = y - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx <= 0.0 {
+        return Err(StatsError::InvalidSample(xs[0]));
+    }
+    if syy <= 0.0 {
+        return Err(StatsError::InvalidSample(ys[0]));
+    }
+    Ok((sxy / (sxx.sqrt() * syy.sqrt())).clamp(-1.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_correlation() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [10.0, 20.0, 30.0, 40.0];
+        assert!((pearson(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = ys.iter().map(|y| -y).collect();
+        assert!((pearson(&xs, &neg).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independence_near_zero() {
+        // A balanced orthogonal design has exactly zero correlation.
+        let xs = [1.0, 1.0, -1.0, -1.0];
+        let ys = [1.0, -1.0, 1.0, -1.0];
+        assert!(pearson(&xs, &ys).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(pearson(&[1.0], &[1.0]).is_err());
+        assert!(pearson(&[1.0, 2.0], &[1.0]).is_err());
+        assert!(pearson(&[1.0, 1.0], &[1.0, 2.0]).is_err()); // zero variance
+        assert!(pearson(&[1.0, 2.0], &[3.0, 3.0]).is_err());
+        assert!(pearson(&[1.0, f64::NAN], &[1.0, 2.0]).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn bounded_and_symmetric(
+            pairs in proptest::collection::vec((-1e3..1e3f64, -1e3..1e3f64), 3..50)
+        ) {
+            let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            if let (Ok(r1), Ok(r2)) = (pearson(&xs, &ys), pearson(&ys, &xs)) {
+                prop_assert!((-1.0..=1.0).contains(&r1));
+                prop_assert!((r1 - r2).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn invariant_under_affine_maps(
+            pairs in proptest::collection::vec((-1e3..1e3f64, -1e3..1e3f64), 3..50),
+            a in 0.1..10.0f64,
+            b in -100.0..100.0f64,
+        ) {
+            let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            let xs2: Vec<f64> = xs.iter().map(|x| a * x + b).collect();
+            if let (Ok(r1), Ok(r2)) = (pearson(&xs, &ys), pearson(&xs2, &ys)) {
+                prop_assert!((r1 - r2).abs() < 1e-6);
+            }
+        }
+    }
+}

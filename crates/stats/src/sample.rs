@@ -1,0 +1,250 @@
+//! Seeded random samplers used by the simulator.
+//!
+//! All samplers take a generic `rand::Rng` so the simulator can thread a
+//! single deterministic `SmallRng` through every component. Inverse-transform
+//! sampling everywhere — simple, branch-free, and exactly matched to the
+//! distributions fitted by [`crate::weibull`] / [`crate::exponential`].
+
+use rand::{Rng, RngExt};
+
+/// Draw from `Weibull(shape, scale)` by inverse transform:
+/// `x = scale · (−ln U)^{1/shape}`.
+pub fn weibull<R: Rng + ?Sized>(rng: &mut R, shape: f64, scale: f64) -> f64 {
+    debug_assert!(shape > 0.0 && scale > 0.0);
+    let u: f64 = rng.random::<f64>();
+    // Guard the log: random() is in [0, 1); use 1 − u ∈ (0, 1].
+    scale * (-(1.0 - u).ln()).powf(1.0 / shape)
+}
+
+/// Draw from `Exponential(rate)`.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    debug_assert!(rate > 0.0);
+    let u: f64 = rng.random::<f64>();
+    -(1.0 - u).ln() / rate
+}
+
+/// Draw from a log-normal with the given parameters of the underlying
+/// normal (`mu`, `sigma`). Uses Box–Muller.
+pub fn lognormal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    debug_assert!(sigma >= 0.0);
+    (mu + sigma * standard_normal(rng)).exp()
+}
+
+/// Draw a standard normal via Box–Muller (one value per call; the antithetic
+/// twin is discarded for simplicity — sampling is far from the hot path).
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-300);
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Draw an index from a discrete distribution given non-negative weights.
+///
+/// # Panics
+/// Panics if `weights` is empty or sums to a non-positive value.
+pub fn categorical<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    assert!(!weights.is_empty(), "categorical needs at least one weight");
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "categorical weights must sum to > 0");
+    let mut u = rng.random::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        u -= w;
+        if u <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+/// A precomputed Zipf(θ) sampler over ranks `1..=n` (returned 0-based).
+///
+/// Zipf activity models the paper's user/project populations: a few users
+/// submit most jobs. Uses a cached cumulative table, so each draw is a
+/// binary search.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler over `n` ranks with exponent `theta > 0`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `theta <= 0`.
+    pub fn new(n: usize, theta: f64) -> Zipf {
+        assert!(n > 0, "Zipf needs n > 0");
+        assert!(theta > 0.0, "Zipf needs theta > 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draw a 0-based rank (0 is the most popular).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random::<f64>();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Always false (n > 0 enforced at construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+}
+
+/// Draw from a Poisson with mean `lambda` (Knuth's method for small λ,
+/// normal approximation above 50 — adequate for arrival-count sampling).
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    debug_assert!(lambda >= 0.0);
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda > 50.0 {
+        let x = lambda + lambda.sqrt() * standard_normal(rng);
+        return x.max(0.0).round() as u64;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0u64;
+    let mut p = 1.0;
+    loop {
+        p *= rng.random::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(1234)
+    }
+
+    #[test]
+    fn weibull_sample_mean_matches_theory() {
+        let mut r = rng();
+        let (shape, scale) = (0.6, 1000.0);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| weibull(&mut r, shape, scale)).sum::<f64>() / n as f64;
+        let theory = crate::Weibull::new(shape, scale).unwrap().mean();
+        assert!(
+            (mean - theory).abs() / theory < 0.05,
+            "sample {mean} vs theory {theory}"
+        );
+    }
+
+    #[test]
+    fn exponential_sample_mean() {
+        let mut r = rng();
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| exponential(&mut r, 0.01)).sum::<f64>() / n as f64;
+        assert!((mean - 100.0).abs() < 3.0, "mean {mean}");
+    }
+
+    #[test]
+    fn samples_are_positive() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(weibull(&mut r, 0.3, 10.0) >= 0.0);
+            assert!(exponential(&mut r, 2.0) >= 0.0);
+            assert!(lognormal(&mut r, 0.0, 1.0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut r = rng();
+        let n = 100_000;
+        let xs: Vec<f64> = (0..n).map(|_| standard_normal(&mut r)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn categorical_respects_weights() {
+        let mut r = rng();
+        let weights = [1.0, 3.0, 6.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[categorical(&mut r, &weights)] += 1;
+        }
+        assert!((counts[0] as f64 / 30_000.0 - 0.1).abs() < 0.02);
+        assert!((counts[2] as f64 / 30_000.0 - 0.6).abs() < 0.02);
+    }
+
+    #[test]
+    fn categorical_zero_weight_skipped() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let i = categorical(&mut r, &[0.0, 1.0, 0.0]);
+            assert_eq!(i, 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weight")]
+    fn categorical_empty_panics() {
+        categorical(&mut rng(), &[]);
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_in_range() {
+        let mut r = rng();
+        let z = Zipf::new(100, 1.1);
+        assert_eq!(z.len(), 100);
+        assert!(!z.is_empty());
+        let mut counts = vec![0usize; 100];
+        for _ in 0..50_000 {
+            let k = z.sample(&mut r);
+            assert!(k < 100);
+            counts[k] += 1;
+        }
+        // Rank 0 should dominate rank 50 heavily.
+        assert!(counts[0] > counts[50] * 5, "{} vs {}", counts[0], counts[50]);
+        // Head heaviness: top-10 ranks should carry a large share.
+        let head: usize = counts[..10].iter().sum();
+        assert!(head as f64 / 50_000.0 > 0.4);
+    }
+
+    #[test]
+    fn poisson_mean_small_and_large_lambda() {
+        let mut r = rng();
+        for &lambda in &[0.5, 5.0, 80.0] {
+            let n = 20_000;
+            let mean: f64 = (0..n).map(|_| poisson(&mut r, lambda) as f64).sum::<f64>() / n as f64;
+            assert!(
+                (mean - lambda).abs() / lambda.max(1.0) < 0.06,
+                "lambda {lambda}: mean {mean}"
+            );
+        }
+        assert_eq!(poisson(&mut r, 0.0), 0);
+    }
+
+    #[test]
+    fn determinism_under_same_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(weibull(&mut a, 0.7, 3.0), weibull(&mut b, 0.7, 3.0));
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Special functions: log-gamma and the regularized incomplete gamma.
+//!
+//! These are the only transcendental functions the analysis needs beyond
+//! `libm`: Weibull moments need Γ(1 + k/α), and the likelihood-ratio test
+//! needs the χ² survival function, which is an upper regularized incomplete
+//! gamma.
+
+/// Natural log of the gamma function, `ln Γ(x)`, for `x > 0`.
+///
+/// Lanczos approximation (g = 7, n = 9); relative error below 1e-13 over the
+/// domain used here.
+pub fn ln_gamma(x: f64) -> f64 {
+    // Coefficients for g = 7, n = 9 (Godfrey / Press et al.), quoted at full
+    // published precision even where f64 rounds the tail.
+    #[allow(clippy::excessive_precision)]
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    const G: f64 = 7.0;
+    assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
+    if x < 0.5 {
+        // Reflection formula: Γ(x) Γ(1−x) = π / sin(πx).
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEFFS[0];
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + G + 0.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// The gamma function Γ(x) for `x > 0`.
+pub fn gamma(x: f64) -> f64 {
+    ln_gamma(x).exp()
+}
+
+/// Lower regularized incomplete gamma `P(a, x) = γ(a, x) / Γ(a)`,
+/// for `a > 0`, `x ≥ 0`.
+///
+/// Series expansion for `x < a + 1`, continued fraction otherwise
+/// (Numerical Recipes §6.2); absolute error ≲ 1e-12.
+pub fn gamma_p(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "gamma_p requires a > 0, got {a}");
+    assert!(x >= 0.0, "gamma_p requires x >= 0, got {x}");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        lower_series(a, x)
+    } else {
+        1.0 - upper_cf(a, x)
+    }
+}
+
+/// Upper regularized incomplete gamma `Q(a, x) = 1 − P(a, x)`.
+pub fn gamma_q(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "gamma_q requires a > 0, got {a}");
+    assert!(x >= 0.0, "gamma_q requires x >= 0, got {x}");
+    if x == 0.0 {
+        return 1.0;
+    }
+    if x < a + 1.0 {
+        1.0 - lower_series(a, x)
+    } else {
+        upper_cf(a, x)
+    }
+}
+
+/// Survival function of the χ² distribution with `k` degrees of freedom:
+/// `P(X > x)`.
+pub fn chi2_sf(x: f64, k: f64) -> f64 {
+    assert!(k > 0.0, "chi2_sf requires k > 0, got {k}");
+    if x <= 0.0 {
+        return 1.0;
+    }
+    gamma_q(k / 2.0, x / 2.0)
+}
+
+/// Series representation of P(a, x), valid (fast-converging) for x < a + 1.
+fn lower_series(a: f64, x: f64) -> f64 {
+    let mut term = 1.0 / a;
+    let mut sum = term;
+    let mut n = a;
+    for _ in 0..500 {
+        n += 1.0;
+        term *= x / n;
+        sum += term;
+        if term.abs() < sum.abs() * 1e-15 {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+/// Continued-fraction representation of Q(a, x) (modified Lentz), valid for
+/// x ≥ a + 1.
+fn upper_cf(a: f64, x: f64) -> f64 {
+    const TINY: f64 = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / TINY;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..500 {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = b + an / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let delta = d * c;
+        h *= delta;
+        if (delta - 1.0).abs() < 1e-15 {
+            break;
+        }
+    }
+    (-x + a * x.ln() - ln_gamma(a)).exp() * h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!(
+            (a - b).abs() <= tol * b.abs().max(1.0),
+            "{a} != {b} (tol {tol})"
+        );
+    }
+
+    #[test]
+    fn gamma_integer_values() {
+        // Γ(n) = (n−1)!
+        let mut fact = 1.0;
+        for n in 1..15 {
+            close(gamma(n as f64), fact, 1e-12);
+            fact *= n as f64;
+        }
+    }
+
+    #[test]
+    fn gamma_half() {
+        // Γ(1/2) = √π
+        close(gamma(0.5), std::f64::consts::PI.sqrt(), 1e-12);
+        // Γ(3/2) = √π / 2
+        close(gamma(1.5), std::f64::consts::PI.sqrt() / 2.0, 1e-12);
+    }
+
+    #[test]
+    fn ln_gamma_large_argument() {
+        // Stirling check at x = 100: ln Γ(100) = ln(99!)
+        let ln99fact: f64 = (1..=99).map(|i| (i as f64).ln()).sum();
+        close(ln_gamma(100.0), ln99fact, 1e-12);
+    }
+
+    #[test]
+    fn gamma_p_q_complementary() {
+        for &a in &[0.3, 1.0, 2.5, 10.0, 50.0] {
+            for &x in &[0.0, 0.1, 1.0, 5.0, 30.0, 100.0] {
+                let p = gamma_p(a, x);
+                let q = gamma_q(a, x);
+                close(p + q, 1.0, 1e-12);
+                assert!((0.0..=1.0).contains(&p), "P({a},{x}) = {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn gamma_p_exponential_special_case() {
+        // P(1, x) = 1 − e^{−x}.
+        for &x in &[0.1, 0.5, 1.0, 2.0, 10.0] {
+            close(gamma_p(1.0, x), 1.0 - (-x).exp(), 1e-12);
+        }
+    }
+
+    #[test]
+    fn gamma_p_monotone_in_x() {
+        let mut prev = 0.0;
+        for i in 0..200 {
+            let x = i as f64 * 0.1;
+            let p = gamma_p(2.7, x);
+            assert!(p >= prev - 1e-14, "not monotone at x={x}");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn chi2_sf_known_values() {
+        // χ²₁: P(X > 3.841) ≈ 0.05 (the 95 % critical value).
+        close(chi2_sf(3.841, 1.0), 0.05, 5e-3);
+        // χ²₁: P(X > 6.635) ≈ 0.01.
+        close(chi2_sf(6.635, 1.0), 0.01, 5e-3);
+        // χ²₂ has SF e^{−x/2}: P(X > 4) = e^{−2}.
+        close(chi2_sf(4.0, 2.0), (-2.0f64).exp(), 1e-12);
+        assert_eq!(chi2_sf(0.0, 1.0), 1.0);
+        assert_eq!(chi2_sf(-1.0, 1.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires x > 0")]
+    fn ln_gamma_rejects_nonpositive() {
+        ln_gamma(0.0);
+    }
+}

@@ -1,0 +1,458 @@
+//! The two-parameter Weibull distribution and its maximum-likelihood fit.
+//!
+//! The paper (Section V) fits Weibull distributions to failure and
+//! interruption interarrival times and reports shape, scale, mean, and
+//! variance (Tables IV and V). A shape < 1 means a *decreasing hazard rate* —
+//! the longer since the last failure, the less likely one is imminent — which
+//! drives Observation 10 (job length matters less than job size).
+
+use crate::special::{gamma, ln_gamma};
+use crate::StatsError;
+use serde::{Deserialize, Serialize};
+
+/// A two-parameter Weibull distribution with shape `k` and scale `λ`:
+///
+/// `F(x) = 1 − exp(−(x/λ)^k)` for `x ≥ 0`.
+///
+/// ```
+/// use bgp_stats::Weibull;
+///
+/// // Fit failure interarrivals by maximum likelihood (Schroeder & Gibson
+/// // style) and read off the hazard behaviour.
+/// let gaps = [120.0, 4_000.0, 90.0, 30_000.0, 800.0, 2_500.0, 60_000.0, 400.0];
+/// let w = Weibull::fit_mle(&gaps).unwrap();
+/// assert!(w.shape < 1.0, "bursty data has a decreasing hazard");
+/// assert!(w.cdf(w.mean()) > 0.5); // heavy right tail
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Weibull {
+    /// Shape parameter `k` (> 0). `k < 1`: decreasing hazard; `k = 1`:
+    /// exponential; `k > 1`: increasing hazard (wear-out).
+    pub shape: f64,
+    /// Scale parameter `λ` (> 0), in the same units as the data.
+    pub scale: f64,
+}
+
+impl Weibull {
+    /// Construct with validation.
+    pub fn new(shape: f64, scale: f64) -> Result<Weibull, StatsError> {
+        if !(shape > 0.0) || !shape.is_finite() {
+            return Err(StatsError::BadParameter {
+                name: "shape",
+                value: shape,
+            });
+        }
+        if !(scale > 0.0) || !scale.is_finite() {
+            return Err(StatsError::BadParameter {
+                name: "scale",
+                value: scale,
+            });
+        }
+        Ok(Weibull { shape, scale })
+    }
+
+    /// Cumulative distribution function.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            1.0 - (-(x / self.scale).powf(self.shape)).exp()
+        }
+    }
+
+    /// Probability density function.
+    pub fn pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            let z = x / self.scale;
+            (self.shape / self.scale) * z.powf(self.shape - 1.0) * (-z.powf(self.shape)).exp()
+        }
+    }
+
+    /// Natural log of the density (for likelihoods); `−∞` for `x ≤ 0`.
+    pub fn ln_pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            f64::NEG_INFINITY
+        } else {
+            let z = x / self.scale;
+            self.shape.ln() - self.scale.ln() + (self.shape - 1.0) * z.ln() - z.powf(self.shape)
+        }
+    }
+
+    /// Hazard (failure-rate) function `h(x) = pdf / (1 − cdf)`.
+    pub fn hazard(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        let z = x / self.scale;
+        (self.shape / self.scale) * z.powf(self.shape - 1.0)
+    }
+
+    /// Mean: `λ Γ(1 + 1/k)`.
+    pub fn mean(&self) -> f64 {
+        self.scale * gamma(1.0 + 1.0 / self.shape)
+    }
+
+    /// Variance: `λ² [Γ(1 + 2/k) − Γ(1 + 1/k)²]`.
+    pub fn variance(&self) -> f64 {
+        let g1 = ln_gamma(1.0 + 1.0 / self.shape).exp();
+        let g2 = ln_gamma(1.0 + 2.0 / self.shape).exp();
+        self.scale * self.scale * (g2 - g1 * g1)
+    }
+
+    /// Quantile function (inverse CDF).
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..1.0).contains(&p), "p must be in [0,1), got {p}");
+        self.scale * (-(1.0 - p).ln()).powf(1.0 / self.shape)
+    }
+
+    /// Log-likelihood of a sample under this distribution.
+    pub fn log_likelihood(&self, xs: &[f64]) -> f64 {
+        xs.iter().map(|&x| self.ln_pdf(x)).sum()
+    }
+
+    /// Maximum-likelihood fit.
+    ///
+    /// The profile-likelihood equation for the shape,
+    ///
+    /// `g(k) = Σ xᵢᵏ ln xᵢ / Σ xᵢᵏ − 1/k − (1/n) Σ ln xᵢ = 0`,
+    ///
+    /// is solved by Newton iteration with bisection safeguarding; the scale
+    /// then follows in closed form: `λ = ((1/n) Σ xᵢᵏ)^{1/k}`.
+    ///
+    /// Requires ≥ 2 strictly positive observations that are not all equal.
+    pub fn fit_mle(xs: &[f64]) -> Result<Weibull, StatsError> {
+        if xs.len() < 2 {
+            return Err(StatsError::NotEnoughData {
+                needed: 2,
+                got: xs.len(),
+            });
+        }
+        for &x in xs {
+            if !(x > 0.0) || !x.is_finite() {
+                return Err(StatsError::InvalidSample(x));
+            }
+        }
+        let n = xs.len() as f64;
+        // Work with scaled data to avoid overflow of x^k for large x:
+        // fitting x/c multiplies the scale by c and leaves the shape alone.
+        let c = crate::summary::Summary::of(xs).expect("validated").mean;
+        let scaled: Vec<f64> = xs.iter().map(|&x| x / c).collect();
+        let mean_ln: f64 = scaled.iter().map(|&x| x.ln()).sum::<f64>() / n;
+
+        if scaled.iter().all(|&x| (x - scaled[0]).abs() < 1e-12) {
+            return Err(StatsError::InvalidSample(xs[0]));
+        }
+
+        // g(k) and g'(k).
+        let g = |k: f64| -> (f64, f64) {
+            let mut s0 = 0.0; // Σ x^k
+            let mut s1 = 0.0; // Σ x^k ln x
+            let mut s2 = 0.0; // Σ x^k (ln x)^2
+            for &x in &scaled {
+                let lx = x.ln();
+                let xk = (k * lx).exp();
+                s0 += xk;
+                s1 += xk * lx;
+                s2 += xk * lx * lx;
+            }
+            let val = s1 / s0 - 1.0 / k - mean_ln;
+            let deriv = (s2 * s0 - s1 * s1) / (s0 * s0) + 1.0 / (k * k);
+            (val, deriv)
+        };
+
+        // g is increasing in k; bracket the root.
+        let (mut lo, mut hi) = (1e-3, 1.0);
+        while g(hi).0 < 0.0 {
+            hi *= 2.0;
+            if hi > 1e6 {
+                return Err(StatsError::NoConvergence {
+                    what: "Weibull shape bracketing",
+                    iterations: 0,
+                });
+            }
+        }
+        while g(lo).0 > 0.0 {
+            lo /= 2.0;
+            if lo < 1e-12 {
+                return Err(StatsError::NoConvergence {
+                    what: "Weibull shape bracketing",
+                    iterations: 0,
+                });
+            }
+        }
+
+        let mut k = 0.5 * (lo + hi);
+        const MAX_ITERS: usize = 200;
+        for _ in 0..MAX_ITERS {
+            let (val, deriv) = g(k);
+            if val > 0.0 {
+                hi = k;
+            } else {
+                lo = k;
+            }
+            let mut next = k - val / deriv;
+            if !(lo..=hi).contains(&next) || !next.is_finite() {
+                next = 0.5 * (lo + hi); // fall back to bisection
+            }
+            if (next - k).abs() <= 1e-12 * k.max(1.0) {
+                k = next;
+                let lambda = (scaled.iter().map(|&x| x.powf(k)).sum::<f64>() / n).powf(1.0 / k);
+                return Weibull::new(k, lambda * c);
+            }
+            k = next;
+        }
+        Err(StatsError::NoConvergence {
+            what: "Weibull shape Newton iteration",
+            iterations: MAX_ITERS,
+        })
+    }
+}
+
+/// A bootstrap confidence interval for the Weibull parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WeibullCi {
+    /// The point estimate (MLE on the full sample).
+    pub fit: Weibull,
+    /// Central 90 % interval for the shape.
+    pub shape_90: (f64, f64),
+    /// Central 90 % interval for the scale.
+    pub scale_90: (f64, f64),
+    /// Bootstrap resamples that produced a valid fit.
+    pub resamples: usize,
+}
+
+/// Nonparametric bootstrap for the Weibull MLE: refit `n_resamples`
+/// resamples (with replacement) and report central 90 % intervals.
+///
+/// Resamples whose MLE fails (degenerate draw) are skipped; the returned
+/// `resamples` says how many succeeded. Errors if the base fit fails or
+/// fewer than 20 resamples converge.
+pub fn fit_mle_bootstrap<R: rand::Rng>(
+    xs: &[f64],
+    n_resamples: usize,
+    rng: &mut R,
+) -> Result<WeibullCi, StatsError> {
+    use rand::RngExt;
+    let fit = Weibull::fit_mle(xs)?;
+    let mut shapes = Vec::with_capacity(n_resamples);
+    let mut scales = Vec::with_capacity(n_resamples);
+    let mut resample = vec![0.0f64; xs.len()];
+    for _ in 0..n_resamples {
+        for slot in resample.iter_mut() {
+            *slot = xs[rng.random_range(0..xs.len())];
+        }
+        if let Ok(w) = Weibull::fit_mle(&resample) {
+            shapes.push(w.shape);
+            scales.push(w.scale);
+        }
+    }
+    if shapes.len() < 20 {
+        return Err(StatsError::NotEnoughData {
+            needed: 20,
+            got: shapes.len(),
+        });
+    }
+    let q = |v: &[f64], p: f64| crate::summary::quantile(v, p).expect("non-empty");
+    Ok(WeibullCi {
+        fit,
+        shape_90: (q(&shapes, 0.05), q(&shapes, 0.95)),
+        scale_90: (q(&scales, 0.05), q(&scales, 0.95)),
+        resamples: shapes.len(),
+    })
+}
+
+impl std::fmt::Display for Weibull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Weibull(shape={:.6}, scale={:.1})", self.shape, self.scale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample::weibull as sample_weibull;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn validation() {
+        assert!(Weibull::new(0.0, 1.0).is_err());
+        assert!(Weibull::new(1.0, -1.0).is_err());
+        assert!(Weibull::new(f64::NAN, 1.0).is_err());
+        assert!(Weibull::new(0.5, 1e4).is_ok());
+    }
+
+    #[test]
+    fn exponential_special_case() {
+        // Weibull(1, λ) is Exponential(1/λ).
+        let w = Weibull::new(1.0, 2.0).unwrap();
+        assert!((w.cdf(2.0) - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+        assert!((w.mean() - 2.0).abs() < 1e-10);
+        assert!((w.variance() - 4.0).abs() < 1e-9);
+        // Constant hazard.
+        assert!((w.hazard(0.5) - w.hazard(5.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hazard_decreasing_for_shape_below_one() {
+        let w = Weibull::new(0.5, 1000.0).unwrap();
+        assert!(w.hazard(10.0) > w.hazard(100.0));
+        assert!(w.hazard(100.0) > w.hazard(1000.0));
+    }
+
+    #[test]
+    fn cdf_quantile_inverse() {
+        let w = Weibull::new(0.7, 5_000.0).unwrap();
+        for &p in &[0.01, 0.1, 0.5, 0.9, 0.99] {
+            let x = w.quantile(p);
+            assert!((w.cdf(x) - p).abs() < 1e-10, "p={p}");
+        }
+    }
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        // Trapezoidal integration of the pdf.
+        let w = Weibull::new(1.5, 3.0).unwrap();
+        let mut acc = 0.0;
+        let dx = 0.001;
+        let mut x = dx;
+        while x < 40.0 {
+            acc += w.pdf(x) * dx;
+            x += dx;
+        }
+        assert!((acc - 1.0).abs() < 1e-3, "integral = {acc}");
+    }
+
+    #[test]
+    fn mle_recovers_parameters() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let truth = Weibull::new(0.55, 40_000.0).unwrap();
+        let xs: Vec<f64> = (0..20_000)
+            .map(|_| sample_weibull(&mut rng, truth.shape, truth.scale))
+            .collect();
+        let fit = Weibull::fit_mle(&xs).unwrap();
+        assert!(
+            (fit.shape - truth.shape).abs() / truth.shape < 0.05,
+            "shape {} vs {}",
+            fit.shape,
+            truth.shape
+        );
+        assert!(
+            (fit.scale - truth.scale).abs() / truth.scale < 0.05,
+            "scale {} vs {}",
+            fit.scale,
+            truth.scale
+        );
+    }
+
+    #[test]
+    fn mle_shape_above_one_also_recovered() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let truth = Weibull::new(2.2, 10.0).unwrap();
+        let xs: Vec<f64> = (0..20_000)
+            .map(|_| sample_weibull(&mut rng, truth.shape, truth.scale))
+            .collect();
+        let fit = Weibull::fit_mle(&xs).unwrap();
+        assert!((fit.shape - truth.shape).abs() / truth.shape < 0.05);
+        assert!((fit.scale - truth.scale).abs() / truth.scale < 0.05);
+    }
+
+    #[test]
+    fn mle_input_validation() {
+        assert!(Weibull::fit_mle(&[]).is_err());
+        assert!(Weibull::fit_mle(&[1.0]).is_err());
+        assert!(Weibull::fit_mle(&[1.0, -2.0]).is_err());
+        assert!(Weibull::fit_mle(&[1.0, 0.0]).is_err());
+        assert!(Weibull::fit_mle(&[3.0, 3.0, 3.0]).is_err()); // degenerate
+    }
+
+    #[test]
+    fn mle_is_scale_equivariant() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let xs: Vec<f64> = (0..5_000)
+            .map(|_| sample_weibull(&mut rng, 0.8, 1.0))
+            .collect();
+        let base = Weibull::fit_mle(&xs).unwrap();
+        let scaled: Vec<f64> = xs.iter().map(|&x| x * 1e6).collect();
+        let fit = Weibull::fit_mle(&scaled).unwrap();
+        assert!((fit.shape - base.shape).abs() < 1e-6);
+        assert!((fit.scale / base.scale - 1e6).abs() / 1e6 < 1e-6);
+    }
+
+    #[test]
+    fn log_likelihood_peaks_at_mle() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let xs: Vec<f64> = (0..4_000)
+            .map(|_| sample_weibull(&mut rng, 0.6, 100.0))
+            .collect();
+        let fit = Weibull::fit_mle(&xs).unwrap();
+        let ll = fit.log_likelihood(&xs);
+        for (ds, dl) in [(1.05, 1.0), (0.95, 1.0), (1.0, 1.1), (1.0, 0.9)] {
+            let other = Weibull::new(fit.shape * ds, fit.scale * dl).unwrap();
+            assert!(
+                other.log_likelihood(&xs) <= ll + 1e-6,
+                "perturbation ({ds},{dl}) beat the MLE"
+            );
+        }
+    }
+
+    #[test]
+    fn bootstrap_interval_coverage() {
+        // A 90 % CI misses the truth ~10 % of the time by construction, so
+        // check *coverage* across independent samples rather than one draw.
+        let truth = Weibull::new(0.6, 20_000.0).unwrap();
+        let mut shape_hits = 0usize;
+        let trials = 10;
+        for seed in 0..trials {
+            let mut rng = SmallRng::seed_from_u64(700 + seed);
+            let xs: Vec<f64> = (0..800)
+                .map(|_| sample_weibull(&mut rng, truth.shape, truth.scale))
+                .collect();
+            let ci = fit_mle_bootstrap(&xs, 120, &mut rng).unwrap();
+            assert!(ci.resamples >= 100);
+            // The interval always brackets its own point estimate.
+            assert!(ci.shape_90.0 <= ci.fit.shape && ci.fit.shape <= ci.shape_90.1);
+            assert!(ci.scale_90.0 <= ci.fit.scale && ci.fit.scale <= ci.scale_90.1);
+            if ci.shape_90.0 <= truth.shape && truth.shape <= ci.shape_90.1 {
+                shape_hits += 1;
+            }
+        }
+        assert!(
+            shape_hits >= 7,
+            "shape CI covered truth only {shape_hits}/{trials} times"
+        );
+    }
+
+    #[test]
+    fn bootstrap_propagates_fit_errors() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(fit_mle_bootstrap(&[1.0], 50, &mut rng).is_err());
+        assert!(fit_mle_bootstrap(&[2.0, 2.0, 2.0], 50, &mut rng).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn cdf_is_monotone_and_bounded(
+            shape in 0.2..4.0f64,
+            scale in 0.5..1e5f64,
+            x1 in 0.0..1e6f64,
+            x2 in 0.0..1e6f64,
+        ) {
+            let w = Weibull::new(shape, scale).unwrap();
+            let (lo, hi) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
+            prop_assert!(w.cdf(lo) <= w.cdf(hi) + 1e-12);
+            prop_assert!((0.0..=1.0).contains(&w.cdf(x1)));
+        }
+
+        #[test]
+        fn mean_consistent_with_quantiles(shape in 0.3..3.0f64, scale in 1.0..1e4f64) {
+            // The mean lies between the 1st and 99th percentile for these shapes.
+            let w = Weibull::new(shape, scale).unwrap();
+            prop_assert!(w.mean() > w.quantile(0.01));
+            prop_assert!(w.mean() < w.quantile(0.999));
+        }
+    }
+}

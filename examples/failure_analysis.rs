@@ -1,0 +1,104 @@
+//! Failure-characteristics deep dive: fit interarrival models, compare
+//! Weibull vs. exponential with a likelihood-ratio test, and profile
+//! failures per midplane — the Section V study of the paper, on a fresh
+//! simulated system.
+//!
+//! ```text
+//! cargo run --release --example failure_analysis [seed]
+//! ```
+
+use bgp_coanalysis::bgp_sim::{SimConfig, Simulation};
+use bgp_coanalysis::coanalysis::CoAnalysis;
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7u64);
+
+    // A 60-day window gives the fits a few hundred events to chew on while
+    // staying fast.
+    let mut config = SimConfig::small_test(seed);
+    config.days = 60;
+    config.num_execs = 2_500;
+    println!("simulating {} days (seed {seed})...", config.days);
+    let out = Simulation::new(config).run();
+    let result = CoAnalysis::default().run(&out.ras, &out.jobs);
+
+    // ---- systemwide interarrival distribution (Table IV / Figure 3) ----
+    let Some(table_iv) = &result.table_iv else {
+        eprintln!("not enough fatal events to fit — try another seed");
+        std::process::exit(1);
+    };
+    println!("\n== systemwide failure interarrivals ==");
+    for (name, f) in [
+        ("with job-related redundancy   ", &table_iv.before),
+        ("without job-related redundancy", &table_iv.after),
+    ] {
+        println!(
+            "{name}: {} events, Weibull(shape {:.3}, scale {:.0}) mean {:.0} s;\n\
+             {:31}  LRT statistic {:.1} (p = {:.2e}) -> {}",
+            f.n_events,
+            f.fits.weibull.shape,
+            f.fits.weibull.scale,
+            f.fits.weibull.mean(),
+            "",
+            f.fits.lrt_statistic,
+            f.fits.p_value,
+            if f.fits.weibull_preferred(0.05) {
+                "Weibull preferred over exponential"
+            } else {
+                "exponential adequate"
+            }
+        );
+    }
+    println!(
+        "job-related filtering raises the fitted MTBF {:.2}x (Observation 4)",
+        table_iv.mtbf_ratio()
+    );
+
+    // Hazard-rate reading: shape < 1 means a failure makes the near future
+    // MORE dangerous, not less — the basis for Observation 10.
+    let w = table_iv.after.fits.weibull;
+    println!("\nhazard rate (after filtering): shape = {:.3} < 1 => decreasing hazard", w.shape);
+    for hours in [1i64, 6, 24, 96] {
+        let x = (hours * 3600) as f64;
+        println!(
+            "  h({hours:>3} h since last failure) = {:.3e} failures/s",
+            w.hazard(x)
+        );
+    }
+
+    // ---- per-midplane profile (Figure 4) ----
+    println!("\n== per-midplane failure profile ==");
+    let p = &result.midplane;
+    println!(
+        "correlation of per-midplane fatal counts with total workload: {:+.3}",
+        p.corr_with_workload().unwrap_or(f64::NAN)
+    );
+    println!(
+        "correlation with wide-job (>= {} midplane) workload:          {:+.3}",
+        p.wide_threshold,
+        p.corr_with_wide_workload().unwrap_or(f64::NAN)
+    );
+    println!("most-failing midplanes:");
+    for (m, count) in p.top_failing(5) {
+        println!(
+            "  {m}  {count} fatal events  (workload {:.0} h, wide workload {:.0} h)",
+            p.workload_secs[m.index()] as f64 / 3600.0,
+            p.wide_workload_secs[m.index()] as f64 / 3600.0,
+        );
+    }
+
+    // ---- burstiness (Figure 5 / Observation 6) ----
+    let b = &result.burst;
+    println!("\n== interruption burstiness ==");
+    println!(
+        "{} interruptions over {} days ({:.2}% of jobs); {} same-executable re-interruptions within {} s",
+        result.matching.interrupted_jobs(),
+        b.per_day.len(),
+        100.0 * b.interrupted_job_fraction,
+        b.quick_reinterruptions,
+        b.quick_window_secs,
+    );
+}

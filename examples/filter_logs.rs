@@ -1,0 +1,101 @@
+//! File-based workflow: write the simulated logs to disk in their native
+//! text formats, read them back with the streaming parsers, run the filter
+//! stack, and write a cleaned RAS log — the tool a site operator would run
+//! on real logs.
+//!
+//! ```text
+//! cargo run --release --example filter_logs [output-dir]
+//! ```
+
+use bgp_coanalysis::bgp_sim::{SimConfig, Simulation};
+use bgp_coanalysis::coanalysis::CoAnalysis;
+use bgp_coanalysis::joblog::{self, JobReader};
+use bgp_coanalysis::raslog::{self, RasReader};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::path::PathBuf;
+
+fn main() -> std::io::Result<()> {
+    let dir = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join("bgp-coanalysis-demo"));
+    std::fs::create_dir_all(&dir)?;
+
+    // --- produce the "site logs" (stand-in for real CMCS/Cobalt dumps) ---
+    let out = Simulation::new(SimConfig::small_test(3)).run();
+    let ras_path = dir.join("intrepid-ras.log");
+    let job_path = dir.join("intrepid-jobs.log");
+    {
+        let mut w = BufWriter::new(File::create(&ras_path)?);
+        raslog::write_log(&mut w, out.ras.records())?;
+        let mut w = BufWriter::new(File::create(&job_path)?);
+        joblog::write_log(&mut w, out.jobs.jobs())?;
+    }
+    println!(
+        "wrote {} ({} records) and {} ({} jobs)",
+        ras_path.display(),
+        out.ras.len(),
+        job_path.display(),
+        out.jobs.len()
+    );
+
+    // --- read them back through the tolerant streaming parsers ---
+    let (ras_records, ras_errors) =
+        RasReader::new(BufReader::new(File::open(&ras_path)?)).read_tolerant();
+    let (job_records, job_errors) =
+        JobReader::new(BufReader::new(File::open(&job_path)?)).read_tolerant();
+    println!(
+        "parsed back {} RAS records ({} bad lines), {} jobs ({} bad lines)",
+        ras_records.len(),
+        ras_errors.len(),
+        job_records.len(),
+        job_errors.len()
+    );
+    assert_eq!(ras_records.len(), out.ras.len(), "lossless round trip");
+    assert_eq!(job_records.len(), out.jobs.len());
+
+    let ras = raslog::RasLog::from_records(ras_records);
+    let jobs = joblog::JobLog::from_jobs(job_records);
+
+    // --- run the full filter stack via the pipeline ---
+    let result = CoAnalysis::default().run(&ras, &jobs);
+    let s = &result.filter_stats;
+    println!(
+        "\nfilter stack: {} FATAL -> {} temporal -> {} spatial -> {} causal -> {} job-related",
+        s.raw_fatal, s.after_temporal, s.after_spatial, s.after_causal, s.after_job_related
+    );
+    println!(
+        "learned {} causal rules; {} events flagged as job-related redundancy",
+        result.causal_rules.len(),
+        result.job_redundant.iter().filter(|&&f| f).count()
+    );
+
+    // --- write the cleaned event log: one representative record per event ---
+    let clean_path = dir.join("intrepid-ras.filtered.log");
+    {
+        let mut w = BufWriter::new(File::create(&clean_path)?);
+        writeln!(
+            w,
+            "# independent fatal events after temporal+spatial+causal+job-related filtering"
+        )?;
+        writeln!(w, "# columns: <merged record count> <representative record>")?;
+        let by_recid: std::collections::HashMap<u64, &raslog::RasRecord> = ras
+            .records()
+            .iter()
+            .map(|r| (r.recid, r))
+            .collect();
+        for e in &result.events_final {
+            if let Some(r) = by_recid.get(&e.first_recid) {
+                writeln!(w, "{:>6}x {}", e.merged, raslog::format_record(r))?;
+            }
+        }
+    }
+    println!(
+        "cleaned event log written to {} ({} events standing for {} records)",
+        clean_path.display(),
+        result.events_final.len(),
+        s.raw_fatal
+    );
+    Ok(())
+}

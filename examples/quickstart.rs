@@ -1,0 +1,68 @@
+//! Quickstart: simulate a small Blue Gene/P deployment, co-analyze its RAS
+//! and job logs, and print the twelve observations.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use bgp_coanalysis::bgp_sim::{SimConfig, Simulation};
+use bgp_coanalysis::coanalysis::CoAnalysis;
+
+fn main() {
+    // 1. Get a paired RAS log + job log. Here they come from the bundled
+    //    Intrepid simulator; with real logs you would use
+    //    `raslog::RasReader` / `joblog::JobReader` instead (see the
+    //    `filter_logs` example).
+    let config = SimConfig::small_test(2026);
+    println!(
+        "simulating {} days of Intrepid ({} executables)...",
+        config.days, config.num_execs
+    );
+    let out = Simulation::new(config).run();
+    println!(
+        "  -> {} RAS records ({} FATAL), {} jobs\n",
+        out.ras.len(),
+        out.ras.fatal().count(),
+        out.jobs.len()
+    );
+
+    // 2. Run the co-analysis pipeline: filtering, matching, classification,
+    //    characterization.
+    let result = CoAnalysis::default().run(&out.ras, &out.jobs);
+
+    // 3. The headline numbers.
+    let s = &result.filter_stats;
+    println!(
+        "filtering: {} raw FATAL records -> {} events (temporal-spatial-causal, {:.2}% compression)",
+        s.raw_fatal,
+        s.after_causal,
+        100.0 * s.ts_causal_compression()
+    );
+    println!(
+        "           -> {} events after job-related filtering (removed {} job-induced duplicates)",
+        s.after_job_related,
+        s.after_causal - s.after_job_related
+    );
+    println!(
+        "matching:  {} job interruptions identified\n",
+        result.matching.interrupted_jobs()
+    );
+
+    // 4. The twelve observations, computed from this run.
+    println!("{}", result.observations());
+
+    // 5. Because the logs are simulated, ground truth is available: how well
+    //    did the analysis recover it?
+    let truth = &out.truth;
+    let tp = result
+        .matching
+        .job_to_event
+        .keys()
+        .filter(|id| truth.job_cause.contains_key(id))
+        .count();
+    println!(
+        "\nground truth check: {}/{} true interruptions recovered",
+        tp,
+        truth.job_cause.len()
+    );
+}

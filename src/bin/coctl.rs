@@ -1,0 +1,287 @@
+//! `coctl` — co-analysis control: the operator-facing CLI.
+//!
+//! ```text
+//! coctl simulate --days 30 --seed 7 --out DIR     # produce synthetic site logs
+//! coctl summary RAS.log                           # profile a RAS log
+//! coctl analyze RAS.log JOBS.log                  # full co-analysis -> observations
+//! coctl filter RAS.log JOBS.log -o CLEAN.log      # write the deduplicated event log
+//! coctl outages RAS.log JOBS.log                  # reconstructed outage episodes
+//! ```
+//!
+//! Exit codes: 0 success, 1 usage error, 2 I/O or parse failure.
+
+use bgp_coanalysis::bgp_sim::{SimConfig, Simulation};
+use bgp_coanalysis::coanalysis::analysis::repair::{reconstruct_outages, summarize};
+use bgp_coanalysis::coanalysis::CoAnalysis;
+use bgp_coanalysis::joblog::{self, JobLog, JobReader};
+use bgp_coanalysis::raslog::{self, LogSummary, RasLog, RasReader};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        return usage("missing subcommand");
+    };
+    let rest = &args[1..];
+    let result = match command.as_str() {
+        "simulate" => cmd_simulate(rest),
+        "summary" => cmd_summary(rest),
+        "analyze" => cmd_analyze(rest),
+        "filter" => cmd_filter(rest),
+        "outages" => cmd_outages(rest),
+        "--help" | "-h" | "help" => return usage(""),
+        other => return usage(&format!("unknown subcommand {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(CliError::Usage(msg)) => usage(&msg),
+        Err(CliError::Io(msg)) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+enum CliError {
+    Usage(String),
+    Io(String),
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> CliError {
+        CliError::Io(e.to_string())
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!(
+        "coctl — RAS/job-log co-analysis for Blue Gene/P-style systems\n\
+         \n\
+         usage:\n\
+         \x20 coctl simulate [--days N] [--seed S] [--out DIR]\n\
+         \x20 coctl summary RAS.log\n\
+         \x20 coctl analyze RAS.log JOBS.log\n\
+         \x20 coctl filter RAS.log JOBS.log -o CLEAN.log\n\
+         \x20 coctl outages RAS.log JOBS.log"
+    );
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn load_ras(path: &str) -> Result<RasLog, CliError> {
+    let file = File::open(path)
+        .map_err(|e| CliError::Io(format!("cannot open {path}: {e}")))?;
+    let (records, errors) = RasReader::new(BufReader::new(file)).read_tolerant();
+    if !errors.is_empty() {
+        eprintln!("note: skipped {} malformed RAS lines in {path}", errors.len());
+    }
+    if records.is_empty() {
+        return Err(CliError::Io(format!("{path}: no parsable RAS records")));
+    }
+    Ok(RasLog::from_records(records))
+}
+
+fn load_jobs(path: &str) -> Result<JobLog, CliError> {
+    let file = File::open(path)
+        .map_err(|e| CliError::Io(format!("cannot open {path}: {e}")))?;
+    let (jobs, errors) = JobReader::new(BufReader::new(file)).read_tolerant();
+    if !errors.is_empty() {
+        eprintln!("note: skipped {} malformed job lines in {path}", errors.len());
+    }
+    if jobs.is_empty() {
+        return Err(CliError::Io(format!("{path}: no parsable job records")));
+    }
+    Ok(JobLog::from_jobs(jobs))
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), CliError> {
+    let mut days = 30u32;
+    let mut seed = 7u64;
+    let mut out = PathBuf::from("site-logs");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--days" => {
+                days = next_parsed(&mut it, "--days")?;
+            }
+            "--seed" => {
+                seed = next_parsed(&mut it, "--seed")?;
+            }
+            "--out" => {
+                out = PathBuf::from(
+                    it.next()
+                        .ok_or_else(|| CliError::Usage("--out needs a path".into()))?,
+                );
+            }
+            other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
+        }
+    }
+    let mut cfg = SimConfig::intrepid_2009(seed);
+    cfg.days = days;
+    cfg.num_execs = (9_664u64 * u64::from(days) / 237).max(50) as u32;
+    cfg.noise_scale = 0.05; // keep the files shippable
+    eprintln!("simulating {days} days (seed {seed})...");
+    let sim = Simulation::new(cfg).run();
+    std::fs::create_dir_all(&out)?;
+    let ras_path = out.join("ras.log");
+    let jobs_path = out.join("jobs.log");
+    let mut w = BufWriter::new(File::create(&ras_path)?);
+    raslog::write_log(&mut w, sim.ras.records())?;
+    let mut w = BufWriter::new(File::create(&jobs_path)?);
+    joblog::write_log(&mut w, sim.jobs.jobs())?;
+    println!(
+        "wrote {} ({} records) and {} ({} jobs)",
+        ras_path.display(),
+        sim.ras.len(),
+        jobs_path.display(),
+        sim.jobs.len()
+    );
+    Ok(())
+}
+
+fn next_parsed<'a, T: std::str::FromStr>(
+    it: &mut impl Iterator<Item = &'a String>,
+    flag: &str,
+) -> Result<T, CliError> {
+    it.next()
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| CliError::Usage(format!("{flag} needs a valid value")))
+}
+
+fn cmd_summary(args: &[String]) -> Result<(), CliError> {
+    let [path] = args else {
+        return Err(CliError::Usage("summary needs exactly one RAS log".into()));
+    };
+    let ras = load_ras(path)?;
+    let s = LogSummary::of(&ras, 5);
+    println!("{s}");
+    println!("top FATAL codes:");
+    let cat = raslog::Catalog::standard();
+    for (code, n) in &s.top_fatal_codes {
+        println!("  {:<34} {n}", cat.info(*code).name);
+    }
+    println!("noisiest midplanes:");
+    for (m, n) in &s.noisiest_midplanes {
+        println!("  {m}  {n} records");
+    }
+    Ok(())
+}
+
+fn cmd_analyze(args: &[String]) -> Result<(), CliError> {
+    let [ras_path, jobs_path] = args else {
+        return Err(CliError::Usage("analyze needs RAS.log and JOBS.log".into()));
+    };
+    let ras = load_ras(ras_path)?;
+    let jobs = load_jobs(jobs_path)?;
+    let r = CoAnalysis::default().run(&ras, &jobs);
+    let s = &r.filter_stats;
+    println!(
+        "filtering: {} FATAL -> {} events (-{:.2}%), job-related -> {} (-{:.2}%)",
+        s.raw_fatal,
+        s.after_causal,
+        100.0 * s.ts_causal_compression(),
+        s.after_job_related,
+        100.0 * s.job_related_compression()
+    );
+    println!(
+        "interruptions: {} jobs ({} system / {} application by cause)\n",
+        r.matching.interrupted_jobs(),
+        r.interruption.system.count,
+        r.interruption.application.count
+    );
+    println!("{}", r.observations());
+    Ok(())
+}
+
+fn cmd_filter(args: &[String]) -> Result<(), CliError> {
+    // Positional: RAS JOBS; flag: -o OUT.
+    let mut positional: Vec<&String> = Vec::new();
+    let mut out: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "-o" || a == "--out" {
+            out = Some(PathBuf::from(
+                it.next()
+                    .ok_or_else(|| CliError::Usage("-o needs a path".into()))?,
+            ));
+        } else {
+            positional.push(a);
+        }
+    }
+    let [ras_path, jobs_path] = positional[..] else {
+        return Err(CliError::Usage(
+            "filter needs RAS.log and JOBS.log (+ -o OUT)".into(),
+        ));
+    };
+    let out = out.ok_or_else(|| CliError::Usage("filter needs -o OUT".into()))?;
+    let ras = load_ras(ras_path)?;
+    let jobs = load_jobs(jobs_path)?;
+    let r = CoAnalysis::default().run(&ras, &jobs);
+    write_clean_log(&out, &ras, &r)?;
+    println!(
+        "{}: {} independent events standing for {} FATAL records",
+        out.display(),
+        r.events_final.len(),
+        r.filter_stats.raw_fatal
+    );
+    Ok(())
+}
+
+fn write_clean_log(
+    path: &Path,
+    ras: &RasLog,
+    r: &bgp_coanalysis::coanalysis::CoAnalysisResult,
+) -> Result<(), CliError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    writeln!(w, "# independent fatal events (temporal+spatial+causal+job-related filtered)")?;
+    let by_recid: std::collections::HashMap<u64, &raslog::RasRecord> =
+        ras.records().iter().map(|rec| (rec.recid, rec)).collect();
+    for e in &r.events_final {
+        if let Some(rec) = by_recid.get(&e.first_recid) {
+            writeln!(w, "{:>6}x {}", e.merged, raslog::format_record(rec))?;
+        }
+    }
+    Ok(())
+}
+
+fn cmd_outages(args: &[String]) -> Result<(), CliError> {
+    let [ras_path, jobs_path] = args else {
+        return Err(CliError::Usage("outages needs RAS.log and JOBS.log".into()));
+    };
+    let ras = load_ras(ras_path)?;
+    let jobs = load_jobs(jobs_path)?;
+    let r = CoAnalysis::default().run(&ras, &jobs);
+    let episodes = reconstruct_outages(&r.events, &r.matching, &jobs);
+    let cat = raslog::Catalog::standard();
+    println!("reconstructed outage episodes (chains of >= 2 interruptions):");
+    for e in &episodes {
+        println!(
+            "  {}  {:<30} {}  >= {:>6} s  {} victims{}",
+            e.midplane,
+            cat.info(e.errcode).name,
+            e.start,
+            e.min_duration_secs(),
+            e.victims,
+            if e.cleared_by.is_none() {
+                "  (never seen to clear)"
+            } else {
+                ""
+            }
+        );
+    }
+    let s = summarize(&episodes);
+    println!(
+        "\n{} episodes, median lower-bound duration {:?} s, {} victims total, {} censored",
+        s.episodes, s.median_min_duration_secs, s.total_victims, s.censored
+    );
+    Ok(())
+}

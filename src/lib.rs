@@ -1,0 +1,16 @@
+//! # `bgp-coanalysis` — facade crate
+//!
+//! Re-exports the whole workspace behind one dependency, so examples and
+//! downstream users can write `use bgp_coanalysis::coanalysis::...`.
+//!
+//! See the [README](https://example.org/bgp-coanalysis) for a tour, and
+//! `DESIGN.md` for the system inventory.
+
+#![forbid(unsafe_code)]
+
+pub use bgp_model;
+pub use bgp_sim;
+pub use bgp_stats;
+pub use coanalysis;
+pub use joblog;
+pub use raslog;

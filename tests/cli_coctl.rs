@@ -1,0 +1,123 @@
+//! End-to-end tests of the `coctl` binary: real process invocations over
+//! real files in a temp directory.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn coctl() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_coctl"))
+}
+
+fn workdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("coctl-test-{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Simulate once per test binary run; several tests share the files.
+fn site_logs() -> &'static PathBuf {
+    use std::sync::OnceLock;
+    static DIR: OnceLock<PathBuf> = OnceLock::new();
+    DIR.get_or_init(|| {
+        let dir = workdir("shared");
+        let status = coctl()
+            .args(["simulate", "--days", "15", "--seed", "5", "--out"])
+            .arg(&dir)
+            .status()
+            .expect("coctl runs");
+        assert!(status.success());
+        assert!(dir.join("ras.log").exists());
+        assert!(dir.join("jobs.log").exists());
+        dir
+    })
+}
+
+#[test]
+fn no_args_prints_usage_and_fails() {
+    let out = coctl().output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn unknown_subcommand_fails_cleanly() {
+    let out = coctl().arg("frobnicate").output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn summary_profiles_the_ras_log() {
+    let dir = site_logs();
+    let out = coctl()
+        .arg("summary")
+        .arg(dir.join("ras.log"))
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("records over"));
+    assert!(text.contains("FATAL"));
+    assert!(text.contains("top FATAL codes:"));
+}
+
+#[test]
+fn analyze_prints_the_observations() {
+    let dir = site_logs();
+    let out = coctl()
+        .arg("analyze")
+        .arg(dir.join("ras.log"))
+        .arg(dir.join("jobs.log"))
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Obs 12"));
+    assert!(text.contains("filtering:"));
+}
+
+#[test]
+fn filter_writes_a_clean_log() {
+    let dir = site_logs();
+    let clean = dir.join("clean.log");
+    let out = coctl()
+        .arg("filter")
+        .arg(dir.join("ras.log"))
+        .arg(dir.join("jobs.log"))
+        .arg("-o")
+        .arg(&clean)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = std::fs::read_to_string(&clean).unwrap();
+    assert!(text.starts_with("# independent fatal events"));
+    // The clean log is radically smaller than the input.
+    let raw_lines = std::fs::read_to_string(dir.join("ras.log"))
+        .unwrap()
+        .lines()
+        .count();
+    assert!(text.lines().count() * 10 < raw_lines);
+}
+
+#[test]
+fn outages_reports_episodes_or_none() {
+    let dir = site_logs();
+    let out = coctl()
+        .arg("outages")
+        .arg(dir.join("ras.log"))
+        .arg(dir.join("jobs.log"))
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("episodes"));
+}
+
+#[test]
+fn missing_file_exits_with_io_error_code() {
+    let out = coctl()
+        .args(["summary", "/nonexistent/ras.log"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}

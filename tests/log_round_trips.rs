@@ -1,0 +1,84 @@
+//! Cross-crate integration: simulated logs survive serialization to their
+//! native text formats and back, at realistic scale.
+
+use bgp_coanalysis::bgp_sim::{SimConfig, Simulation};
+use bgp_coanalysis::joblog::{self, JobReader};
+use bgp_coanalysis::raslog::{self, RasReader};
+use std::io::BufWriter;
+use std::sync::OnceLock;
+
+fn sim() -> &'static bgp_coanalysis::bgp_sim::SimOutput {
+    static OUT: OnceLock<bgp_coanalysis::bgp_sim::SimOutput> = OnceLock::new();
+    OUT.get_or_init(|| Simulation::new(SimConfig::small_test(17)).run())
+}
+
+#[test]
+fn ras_log_round_trips_losslessly() {
+    let out = sim();
+    let mut buf = Vec::new();
+    raslog::write_log(&mut BufWriter::new(&mut buf), out.ras.records()).unwrap();
+    let (records, errors) = RasReader::new(buf.as_slice()).read_tolerant();
+    assert!(errors.is_empty(), "parse errors: {errors:?}");
+    assert_eq!(records.len(), out.ras.len());
+    let rebuilt = raslog::RasLog::from_records(records);
+    assert_eq!(rebuilt.records(), out.ras.records());
+}
+
+#[test]
+fn job_log_round_trips_losslessly() {
+    let out = sim();
+    let mut buf = Vec::new();
+    joblog::write_log(&mut BufWriter::new(&mut buf), out.jobs.jobs()).unwrap();
+    let (jobs, errors) = JobReader::new(buf.as_slice()).read_tolerant();
+    assert!(errors.is_empty(), "parse errors: {errors:?}");
+    assert_eq!(jobs.len(), out.jobs.len());
+    let rebuilt = joblog::JobLog::from_jobs(jobs);
+    assert_eq!(rebuilt.jobs(), out.jobs.jobs());
+}
+
+#[test]
+fn corrupted_lines_are_isolated() {
+    let out = sim();
+    let mut buf = Vec::new();
+    raslog::write_log(&mut BufWriter::new(&mut buf), out.ras.records().iter().take(100))
+        .unwrap();
+    let mut text = String::from_utf8(buf).unwrap();
+    // Corrupt every 10th line.
+    let corrupted: Vec<String> = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| {
+            if i % 10 == 0 {
+                format!("CORRUPT{l}")
+            } else {
+                l.to_owned()
+            }
+        })
+        .collect();
+    text = corrupted.join("\n");
+    let (records, errors) = RasReader::new(text.as_bytes()).read_tolerant();
+    assert_eq!(records.len(), 90);
+    assert_eq!(errors.len(), 10);
+    // Errors carry the right line numbers.
+    assert_eq!(errors[0].line, 1);
+    assert_eq!(errors[1].line, 11);
+}
+
+#[test]
+fn analysis_results_identical_after_round_trip() {
+    use bgp_coanalysis::coanalysis::CoAnalysis;
+    let out = sim();
+    let direct = CoAnalysis::default().run(&out.ras, &out.jobs);
+
+    let mut rbuf = Vec::new();
+    raslog::write_log(&mut rbuf, out.ras.records()).unwrap();
+    let mut jbuf = Vec::new();
+    joblog::write_log(&mut jbuf, out.jobs.jobs()).unwrap();
+    let ras = raslog::RasLog::from_records(RasReader::new(rbuf.as_slice()).read_strict().unwrap());
+    let jobs = joblog::JobLog::from_jobs(JobReader::new(jbuf.as_slice()).read_strict().unwrap());
+    let reparsed = CoAnalysis::default().run(&ras, &jobs);
+
+    assert_eq!(direct.events, reparsed.events);
+    assert_eq!(direct.filter_stats, reparsed.filter_stats);
+    assert_eq!(direct.matching.job_to_event, reparsed.matching.job_to_event);
+}
