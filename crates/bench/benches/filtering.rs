@@ -2,6 +2,10 @@
 //! stages at two log scales, plus a temporal-threshold sweep (the paper's
 //! fixed-threshold choice vs. alternatives).
 
+// Bench harness code follows the test-code panic policy: a broken fixture
+// should abort the run loudly rather than thread Results through hot loops.
+#![allow(clippy::unwrap_used, clippy::expect_used, missing_docs)]
+
 use bgp_sim::{SimConfig, Simulation};
 use coanalysis::event::Event;
 use coanalysis::filter::{CausalFilter, JobRelatedFilter, SpatialFilter, TemporalFilter};
@@ -19,7 +23,7 @@ fn prepare(label: &'static str, days: u32, seed: u64) -> Prepared {
     let mut cfg = SimConfig::small_test(seed);
     cfg.days = days;
     cfg.num_execs = 500 * days / 12;
-    let out = Simulation::new(cfg).run();
+    let out = Simulation::new(cfg).expect("valid config").run();
     Prepared {
         label,
         raw: Event::from_fatal_records(&out.ras),

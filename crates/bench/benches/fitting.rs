@@ -1,6 +1,10 @@
 //! Statistical-kernel costs: Weibull/exponential MLE, ECDF evaluation,
 //! likelihood-ratio comparison, KS distance, information-gain ranking.
 
+// Bench harness code follows the test-code panic policy: a broken fixture
+// should abort the run loudly rather than thread Results through hot loops.
+#![allow(clippy::unwrap_used, clippy::expect_used, missing_docs)]
+
 use bgp_stats::infogain::{rank_features, FeatureColumn};
 use bgp_stats::sample::weibull as sample_weibull;
 use bgp_stats::{compare_models, Ecdf, Exponential, Weibull};

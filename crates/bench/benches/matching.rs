@@ -1,5 +1,9 @@
 //! Event↔job matching throughput and the interval-index queries behind it.
 
+// Bench harness code follows the test-code panic policy: a broken fixture
+// should abort the run loudly rather than thread Results through hot loops.
+#![allow(clippy::unwrap_used, clippy::expect_used, missing_docs)]
+
 use bgp_sim::{SimConfig, Simulation};
 use coanalysis::event::Event;
 use coanalysis::filter::{CausalFilter, SpatialFilter, TemporalFilter};
@@ -8,7 +12,9 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
 fn bench_matching(c: &mut Criterion) {
-    let out = Simulation::new(SimConfig::small_test(3)).run();
+    let out = Simulation::new(SimConfig::small_test(3))
+        .expect("valid config")
+        .run();
     let raw = Event::from_fatal_records(&out.ras);
     let ts = SpatialFilter::default().apply(&TemporalFilter::default().apply(&raw));
     let (events, _) = CausalFilter::default().filter(&ts);

@@ -1,7 +1,11 @@
 //! End-to-end co-analysis cost, and the parallel-vs-sequential ablation for
 //! the sharded filter stages.
 
-use bgp_sim::{SimConfig, Simulation, SimOutput};
+// Bench harness code follows the test-code panic policy: a broken fixture
+// should abort the run loudly rather than thread Results through hot loops.
+#![allow(clippy::unwrap_used, clippy::expect_used, missing_docs)]
+
+use bgp_sim::{SimConfig, SimOutput, Simulation};
 use coanalysis::{CoAnalysis, CoAnalysisConfig};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
@@ -12,7 +16,7 @@ fn prepare(days: u32, seed: u64) -> SimOutput {
     cfg.num_execs = 500 * days / 12;
     // More noise so the fatal stream is large enough for parallelism to pay.
     cfg.noise_scale = 0.05;
-    Simulation::new(cfg).run()
+    Simulation::new(cfg).expect("valid config").run()
 }
 
 fn bench_pipeline(c: &mut Criterion) {

@@ -1,6 +1,10 @@
 //! Simulator throughput: full discrete-event runs at increasing window
 //! lengths, and the RAS emission volume sweep.
 
+// Bench harness code follows the test-code panic policy: a broken fixture
+// should abort the run loudly rather than thread Results through hot loops.
+#![allow(clippy::unwrap_used, clippy::expect_used, missing_docs)]
+
 use bgp_sim::{SimConfig, Simulation};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
@@ -15,7 +19,7 @@ fn bench_simulator(c: &mut Criterion) {
         // Throughput in simulated days per iteration.
         g.throughput(Throughput::Elements(u64::from(days)));
         g.bench_with_input(BenchmarkId::new("days", days), &cfg, |b, cfg| {
-            b.iter(|| black_box(Simulation::new(cfg.clone()).run()));
+            b.iter(|| black_box(Simulation::new(cfg.clone()).expect("valid config").run()));
         });
     }
     g.finish();
@@ -30,7 +34,15 @@ fn bench_simulator(c: &mut Criterion) {
             BenchmarkId::new("noise_scale", format!("{scale}")),
             &cfg,
             |b, cfg| {
-                b.iter(|| black_box(Simulation::new(cfg.clone()).run().ras.len()));
+                b.iter(|| {
+                    black_box(
+                        Simulation::new(cfg.clone())
+                            .expect("valid config")
+                            .run()
+                            .ras
+                            .len(),
+                    )
+                });
             },
         );
     }

@@ -53,7 +53,11 @@ fn main() -> ExitCode {
 
     eprintln!(
         "simulating ({} preset, seed {seed}) and running co-analysis...",
-        if scale == Scale::Full { "full 237-day" } else { "small 12-day" }
+        if scale == Scale::Full {
+            "full 237-day"
+        } else {
+            "small 12-day"
+        }
     );
     let t0 = std::time::Instant::now();
     let e = Experiments::run(scale, seed);

@@ -34,7 +34,9 @@ impl Experiments {
             Scale::Full => SimConfig::intrepid_2009(seed),
             Scale::Small => SimConfig::small_test(seed),
         };
-        let out = Simulation::new(cfg).run();
+        // xtask-allow(no-panic): configs here are the crate's own presets; failing validation is a programmer error with no recovery in a report generator
+        #[allow(clippy::expect_used)]
+        let out = Simulation::new(cfg).expect("preset config is valid").run();
         let result = CoAnalysis::default().run(&out.ras, &out.jobs);
         Experiments { out, result }
     }
@@ -159,9 +161,7 @@ impl Experiments {
 
     /// Table IV: Weibull parameters before/after job-related filtering.
     pub fn table4(&self) -> String {
-        let mut s = String::from(
-            "== Table IV: Weibull fits of fatal-event interarrivals ==\n",
-        );
+        let mut s = String::from("== Table IV: Weibull fits of fatal-event interarrivals ==\n");
         let Some(t) = &self.result.table_iv else {
             return s + "(not enough events to fit)\n";
         };
@@ -198,9 +198,7 @@ impl Experiments {
         use rand::SeedableRng;
         let mut rng = rand::rngs::SmallRng::seed_from_u64(13);
         for (name, f) in [("before", &t.before), ("after", &t.after)] {
-            if let Ok(ci) =
-                bgp_stats::weibull::fit_mle_bootstrap(&f.interarrivals, 200, &mut rng)
-            {
+            if let Ok(ci) = bgp_stats::weibull::fit_mle_bootstrap(&f.interarrivals, 200, &mut rng) {
                 let _ = writeln!(
                     s,
                     "shape 90% bootstrap CI ({name}): [{:.3}, {:.3}]",
@@ -213,9 +211,7 @@ impl Experiments {
 
     /// Table V: Weibull parameters of interruption interarrivals by cause.
     pub fn table5(&self) -> String {
-        let mut s = String::from(
-            "== Table V: Weibull fits of job-interruption interarrivals ==\n",
-        );
+        let mut s = String::from("== Table V: Weibull fits of job-interruption interarrivals ==\n");
         let mut rows = vec![vec![
             "Interruption Cause".into(),
             "Shape".into(),
@@ -274,7 +270,10 @@ impl Experiments {
         );
         header.push("sum:proportion".into());
         rows.push(header);
-        for (r, &size) in coanalysis::analysis::vulnerability::SIZE_ROWS.iter().enumerate() {
+        for (r, &size) in coanalysis::analysis::vulnerability::SIZE_ROWS
+            .iter()
+            .enumerate()
+        {
             let mut row = vec![format!(
                 "{} midplane{}",
                 size,
@@ -300,9 +299,8 @@ impl Experiments {
             pct(f64::from(ti) / f64::from(ttot.max(1)))
         ));
         rows.push(footer);
-        let mut s = String::from(
-            "== Table VI: system interruptions / jobs, by size x execution time ==\n",
-        );
+        let mut s =
+            String::from("== Table VI: system interruptions / jobs, by size x execution time ==\n");
         s.push_str(&table(&rows));
         let _ = writeln!(
             s,
@@ -319,8 +317,10 @@ impl Experiments {
         let Some(t) = &self.result.table_iv else {
             return s + "(not enough events)\n";
         };
-        for (name, f) in [("(a) with job-related redundancy", &t.before),
-                          ("(b) without job-related redundancy", &t.after)] {
+        for (name, f) in [
+            ("(a) with job-related redundancy", &t.before),
+            ("(b) without job-related redundancy", &t.after),
+        ] {
             let _ = writeln!(s, "{name}:");
             let mut rows = vec![vec![
                 "interarrival (s)".into(),
@@ -341,10 +341,8 @@ impl Experiments {
             s.push_str(&table(&rows));
             let dw = bgp_stats::ks::ks_statistic(&f.interarrivals, |x| f.fits.weibull.cdf(x))
                 .unwrap_or(f64::NAN);
-            let de = bgp_stats::ks::ks_statistic(&f.interarrivals, |x| {
-                f.fits.exponential.cdf(x)
-            })
-            .unwrap_or(f64::NAN);
+            let de = bgp_stats::ks::ks_statistic(&f.interarrivals, |x| f.fits.exponential.cdf(x))
+                .unwrap_or(f64::NAN);
             let _ = writeln!(s, "KS distance: Weibull {dw:.4} vs exponential {de:.4}\n");
         }
         s
@@ -387,8 +385,7 @@ impl Experiments {
             pct(p.middle_band_share())
         );
         // Section V-B: Weibull still fits at midplane level.
-        let fits =
-            coanalysis::analysis::midplane::per_midplane_fits(&self.result.events, 8);
+        let fits = coanalysis::analysis::midplane::per_midplane_fits(&self.result.events, 8);
         if !fits.is_empty() {
             let weibull_wins = fits
                 .iter()
@@ -423,7 +420,9 @@ impl Experiments {
                 Scale::Small => SimConfig::small_test(seed),
             };
             cfg.same_partition_prob = prob;
-            let out = Simulation::new(cfg).run();
+            // xtask-allow(no-panic): preset config with one probability tweaked; still valid by construction
+            #[allow(clippy::expect_used)]
+            let out = Simulation::new(cfg).expect("preset config is valid").run();
             let interrupted_execs: std::collections::HashSet<_> = out
                 .truth
                 .job_cause
@@ -467,11 +466,8 @@ impl Experiments {
         );
         // Stationarity sanity check behind the single-fit assumption.
         if let Some(span) = self.out.ras.time_span() {
-            let trend = coanalysis::analysis::trend::FailureTrend::new(
-                &self.result.events,
-                span.0,
-                span.1,
-            );
+            let trend =
+                coanalysis::analysis::trend::FailureTrend::new(&self.result.events, span.0, span.1);
             if let Some(f) = &trend.fit {
                 let _ = writeln!(
                     s,
@@ -493,7 +489,10 @@ impl Experiments {
     pub fn fig6(&self) -> String {
         let mut s = String::from("== Figure 6: interruption interarrival CDFs ==\n");
         for (name, c) in [
-            ("(a) due to system failures", &self.result.interruption.system),
+            (
+                "(a) due to system failures",
+                &self.result.interruption.system,
+            ),
             (
                 "(b) due to application errors",
                 &self.result.interruption.application,
@@ -545,9 +544,8 @@ impl Experiments {
             };
             rows.push(vec![k.to_string(), cell(&r.system), cell(&r.application)]);
         }
-        let mut s = String::from(
-            "== Figure 7: P(interrupted | k consecutive prior interruptions) ==\n",
-        );
+        let mut s =
+            String::from("== Figure 7: P(interrupted | k consecutive prior interruptions) ==\n");
         s.push_str(&table(&rows));
         s
     }
@@ -618,7 +616,10 @@ impl Experiments {
                 score.gain_ratio, score.gain
             );
         }
-        let _ = writeln!(s, "Feature ranking, category 2 (application) interruptions:");
+        let _ = writeln!(
+            s,
+            "Feature ranking, category 2 (application) interruptions:"
+        );
         for (name, score) in &self.result.vulnerability.ranking_application {
             let _ = writeln!(
                 s,
@@ -675,12 +676,7 @@ impl Experiments {
         );
         // Chain (job-related redundancy) detection.
         let true_chains = truth.chain_faults();
-        let flagged = self
-            .result
-            .job_redundant
-            .iter()
-            .filter(|&&f| f)
-            .count();
+        let flagged = self.result.job_redundant.iter().filter(|&&f| f).count();
         let _ = writeln!(
             s,
             "job-related redundancy: flagged {flagged} events (ground truth: {true_chains} chain faults)",
@@ -696,7 +692,12 @@ impl Experiments {
         use coanalysis::matching::EventCase;
         let mut per_code: std::collections::HashMap<raslog::ErrCode, (usize, usize)> =
             std::collections::HashMap::new();
-        for (e, m) in self.result.events.iter().zip(&self.result.matching.per_event) {
+        for (e, m) in self
+            .result
+            .events
+            .iter()
+            .zip(&self.result.matching.per_event)
+        {
             let entry = per_code.entry(e.errcode).or_insert((0, 0));
             entry.0 += 1;
             if m.case == EventCase::Interrupted {
@@ -779,8 +780,7 @@ impl Experiments {
                 "co-analysis removes {} of {} false alarms ({}) at {} recall",
                 base.false_alarms() - best.false_alarms(),
                 base.false_alarms(),
-                pct(1.0
-                    - best.false_alarms() as f64 / base.false_alarms().max(1) as f64),
+                pct(1.0 - best.false_alarms() as f64 / base.false_alarms().max(1) as f64),
                 pct(best.recall()),
             );
         }
@@ -829,12 +829,7 @@ impl Experiments {
                 )
             })
             .collect();
-        let mtti = self
-            .result
-            .interruption
-            .system
-            .mtti()
-            .unwrap_or(100_000.0);
+        let mtti = self.result.interruption.system.mtti().unwrap_or(100_000.0);
         let outcomes = standard_study(&self.out.jobs, &causes, mtti, 300.0, 32);
         let mut rows = vec![vec![
             "policy".into(),
@@ -870,7 +865,9 @@ impl Experiments {
     pub fn ablation(&self) -> String {
         let mut cfg = self.out.config.clone();
         cfg.fault_aware_scheduler = true;
-        let aware = Simulation::new(cfg).run();
+        // xtask-allow(no-panic): rerun of a config that already validated, with one flag flipped
+        #[allow(clippy::expect_used)]
+        let aware = Simulation::new(cfg).expect("validated config").run();
         let blind = &self.out;
         let mut rows = vec![
             vec![
@@ -937,25 +934,25 @@ impl Experiments {
     /// plotting).
     pub fn export_json(&self, dir: &Path) -> io::Result<()> {
         std::fs::create_dir_all(dir)?;
-        let write = |name: &str, value: serde_json::Value| -> io::Result<()> {
-            std::fs::write(dir.join(name), serde_json::to_vec_pretty(&value)?)
+        let write = |name: &str, value: crate::json::Json| -> io::Result<()> {
+            std::fs::write(dir.join(name), value.pretty())
         };
         if let Some(t) = &self.result.table_iv {
             write(
                 "fig3.json",
-                serde_json::json!({
+                crate::json!({
                     "before": t.before.cdf_series(64).ok(),
                     "after": t.after.cdf_series(64).ok(),
-                    "weibull_before": {"shape": t.before.fits.weibull.shape,
-                                        "scale": t.before.fits.weibull.scale},
-                    "weibull_after": {"shape": t.after.fits.weibull.shape,
-                                       "scale": t.after.fits.weibull.scale},
+                    "weibull_before": crate::json!({"shape": t.before.fits.weibull.shape,
+                                        "scale": t.before.fits.weibull.scale}),
+                    "weibull_after": crate::json!({"shape": t.after.fits.weibull.shape,
+                                       "scale": t.after.fits.weibull.scale}),
                 }),
             )?;
         }
         write(
             "fig4.json",
-            serde_json::json!({
+            crate::json!({
                 "fatal_counts": self.result.midplane.fatal_counts,
                 "workload_secs": self.result.midplane.workload_secs,
                 "wide_workload_secs": self.result.midplane.wide_workload_secs,
@@ -963,33 +960,32 @@ impl Experiments {
         )?;
         write(
             "fig5.json",
-            serde_json::json!({ "per_day": self.result.burst.per_day }),
+            crate::json!({ "per_day": self.result.burst.per_day }),
         )?;
         write(
             "fig6.json",
-            serde_json::json!({
+            crate::json!({
                 "system": self.result.interruption.system.cdf_series(64).ok(),
                 "application": self.result.interruption.application.cdf_series(64).ok(),
             }),
         )?;
         write(
             "fig7.json",
-            serde_json::json!({
+            crate::json!({
                 "system": self.result.vulnerability.resubmission.system,
                 "application": self.result.vulnerability.resubmission.application,
             }),
         )?;
         write(
             "table6.json",
-            serde_json::json!({
+            crate::json!({
                 "interrupted": self.result.vulnerability.table.interrupted,
                 "total": self.result.vulnerability.table.total,
             }),
         )?;
         write(
             "observations.json",
-            serde_json::to_value(self.result.observations())
-                .map_err(io::Error::other)?,
+            crate::json::ToJson::to_json(&self.result.observations()),
         )?;
         Ok(())
     }
@@ -1080,7 +1076,13 @@ mod tests {
         let dir = std::env::temp_dir().join("bgp_bench_json_test");
         let _ = std::fs::remove_dir_all(&dir);
         e.export_json(&dir).unwrap();
-        for f in ["fig4.json", "fig5.json", "fig7.json", "table6.json", "observations.json"] {
+        for f in [
+            "fig4.json",
+            "fig5.json",
+            "fig7.json",
+            "table6.json",
+            "observations.json",
+        ] {
             assert!(dir.join(f).exists(), "missing {f}");
         }
         let _ = std::fs::remove_dir_all(&dir);

@@ -13,6 +13,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod json;
 pub mod render;
 
 pub use experiments::{Experiments, Scale};

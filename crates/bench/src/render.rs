@@ -60,11 +60,7 @@ pub fn bars(values: &[f64], height: usize) -> String {
             out.push_str(&format!("{:>10} |{row}|\n", ""));
         }
     }
-    out.push_str(&format!(
-        "{:>10} +{}+\n",
-        0,
-        "-".repeat(values.len())
-    ));
+    out.push_str(&format!("{:>10} +{}+\n", 0, "-".repeat(values.len())));
     out
 }
 

@@ -25,14 +25,11 @@
 
 use crate::error::ModelError;
 use crate::topology;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
 
 /// A rack, identified by row (0–4 on Intrepid) and column (0–7).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RackId {
     row: u8,
     col: u8,
@@ -72,6 +69,18 @@ impl RackId {
             row: idx / topology::RACKS_PER_ROW,
             col: idx % topology::RACKS_PER_ROW,
         })
+    }
+
+    /// Total variant of [`RackId::from_index`]: reduces `idx` modulo
+    /// `NUM_RACKS` first. For callers whose index is already bounded by
+    /// construction (dense loops, bounded RNG draws), where the fallible
+    /// constructor would only add an unreachable error path.
+    pub fn from_index_wrapping(idx: u8) -> RackId {
+        let idx = idx % topology::NUM_RACKS;
+        RackId {
+            row: idx / topology::RACKS_PER_ROW,
+            col: idx % topology::RACKS_PER_ROW,
+        }
     }
 
     /// Dense index in `0..NUM_RACKS` (row-major: `R00`=0, `R01`=1, … `R47`=39).
@@ -122,9 +131,7 @@ macro_rules! impl_fromstr_via_location {
 }
 
 /// A midplane: half a rack, 512 compute nodes. The unit of job scheduling.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct MidplaneId {
     rack: RackId,
     m: u8,
@@ -160,6 +167,18 @@ impl MidplaneId {
         })
     }
 
+    /// Total variant of [`MidplaneId::from_index`]: reduces `idx` modulo
+    /// `NUM_MIDPLANES` first. For callers whose index is already bounded by
+    /// construction (dense loops, bounded RNG draws), where the fallible
+    /// constructor would only add an unreachable error path.
+    pub fn from_index_wrapping(idx: u8) -> MidplaneId {
+        let idx = idx % topology::NUM_MIDPLANES;
+        MidplaneId {
+            rack: RackId::from_index_wrapping(idx / topology::MIDPLANES_PER_RACK),
+            m: idx % topology::MIDPLANES_PER_RACK,
+        }
+    }
+
     /// Dense index in `0..NUM_MIDPLANES` (see [`MidplaneId::from_index`]).
     pub fn index(self) -> usize {
         self.rack.index() * usize::from(topology::MIDPLANES_PER_RACK) + usize::from(self.m)
@@ -177,7 +196,7 @@ impl MidplaneId {
 
     /// Iterate over all midplanes of the machine in index order.
     pub fn all() -> impl Iterator<Item = MidplaneId> {
-        (0..topology::NUM_MIDPLANES).map(|i| MidplaneId::from_index(i).expect("index in range"))
+        (0..topology::NUM_MIDPLANES).filter_map(|i| MidplaneId::from_index(i).ok())
     }
 }
 
@@ -188,9 +207,7 @@ impl fmt::Display for MidplaneId {
 }
 
 /// A node card: 32 compute nodes; 16 per midplane.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeCardId {
     midplane: MidplaneId,
     card: u8,
@@ -207,6 +224,16 @@ impl NodeCardId {
             });
         }
         Ok(NodeCardId { midplane, card })
+    }
+
+    /// Total variant of [`NodeCardId::new`]: reduces `card` modulo the
+    /// cards-per-midplane count first. For callers whose card number is
+    /// already bounded by construction.
+    pub fn new_wrapping(midplane: MidplaneId, card: u8) -> NodeCardId {
+        NodeCardId {
+            midplane,
+            card: card % topology::NODE_CARDS_PER_MIDPLANE,
+        }
     }
 
     /// The midplane housing this node card.
@@ -227,9 +254,7 @@ impl fmt::Display for NodeCardId {
 }
 
 /// A single compute node (one quad-core PowerPC 450).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ComputeNodeId {
     node_card: NodeCardId,
     j: u8,
@@ -246,6 +271,16 @@ impl ComputeNodeId {
             });
         }
         Ok(ComputeNodeId { node_card, j })
+    }
+
+    /// Total variant of [`ComputeNodeId::new`]: reduces `j` modulo the
+    /// slots-per-card count first. For callers whose slot number is already
+    /// bounded by construction.
+    pub fn new_wrapping(node_card: NodeCardId, j: u8) -> ComputeNodeId {
+        ComputeNodeId {
+            node_card,
+            j: j % topology::NODES_PER_NODE_CARD,
+        }
     }
 
     /// The node card housing this node.
@@ -270,9 +305,7 @@ impl fmt::Display for ComputeNodeId {
 /// Ordered so that coarser locations sort before finer ones within the same
 /// hardware (the derived order is sufficient for deterministic sorting; it is
 /// not a containment order — use [`Location::contains`] for that).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Location {
     /// A whole rack.
     Rack(RackId),
@@ -557,7 +590,10 @@ mod tests {
             assert_eq!(m.index(), usize::from(i));
         }
         assert!(MidplaneId::from_index(topology::NUM_MIDPLANES).is_err());
-        assert_eq!(MidplaneId::all().count(), usize::from(topology::NUM_MIDPLANES));
+        assert_eq!(
+            MidplaneId::all().count(),
+            usize::from(topology::NUM_MIDPLANES)
+        );
     }
 
     #[test]
@@ -593,12 +629,12 @@ mod tests {
             "R234",
             "Q23",
             "R23-X1",
-            "R23-M2",          // midplane out of range
-            "R53-M0",          // row out of range
-            "R23-M1-N16",      // node card out of range
-            "R23-M1-N04-J32",  // slot out of range
-            "R23-M1-I8",       // I/O node out of range
-            "R23-M1-L4",       // link card out of range
+            "R23-M2",         // midplane out of range
+            "R53-M0",         // row out of range
+            "R23-M1-N16",     // node card out of range
+            "R23-M1-N04-J32", // slot out of range
+            "R23-M1-I8",      // I/O node out of range
+            "R23-M1-L4",      // link card out of range
             "R23-M1-N04-J12-X",
             "R23-B-M0",
             "R23-M1-S-X",

@@ -13,7 +13,6 @@
 use crate::error::ModelError;
 use crate::location::{Location, MidplaneId};
 use crate::topology::NUM_MIDPLANES;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
 
@@ -21,7 +20,7 @@ use std::str::FromStr;
 pub const LEGAL_SIZES: [u32; 9] = [1, 2, 4, 8, 16, 32, 48, 64, 80];
 
 /// A validated legal partition size.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PartitionSize(u32);
 
 impl PartitionSize {
@@ -75,7 +74,7 @@ impl fmt::Display for PartitionSize {
 /// let node: Location = "R10-M1-N04-J12".parse().unwrap();
 /// assert!(p.covers_location(node));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Partition {
     mask: u128,
 }
@@ -181,7 +180,7 @@ impl Partition {
         let mask = self.mask;
         (0..NUM_MIDPLANES)
             .filter(move |i| mask & (1u128 << i) != 0)
-            .map(|i| MidplaneId::from_index(i).expect("index in range"))
+            .filter_map(|i| MidplaneId::from_index(i).ok())
     }
 
     /// The lowest-index midplane, if any. This is the partition's "anchor"
@@ -234,15 +233,19 @@ impl fmt::Display for Partition {
         }
         let n = self.len();
         if n == 1 {
-            return write!(f, "{}", self.first().expect("non-empty"));
+            if let Some(only) = self.first() {
+                return write!(f, "{only}");
+            }
         }
         if self.is_contiguous() && n.is_multiple_of(2) {
             let lo = self.mask.trailing_zeros() as u8;
+            let hi = (127 - self.mask.leading_zeros()) as u8;
             if lo.is_multiple_of(2) {
-                let first = MidplaneId::from_index(lo).expect("in range");
-                let hi = (127 - self.mask.leading_zeros()) as u8;
-                let last = MidplaneId::from_index(hi).expect("in range");
-                return write!(f, "{}-{}", first.rack(), last.rack());
+                if let (Ok(first), Ok(last)) =
+                    (MidplaneId::from_index(lo), MidplaneId::from_index(hi))
+                {
+                    return write!(f, "{}-{}", first.rack(), last.rack());
+                }
             }
         }
         let mut sep = "";
@@ -401,10 +404,7 @@ mod tests {
 
     fn arb_partition() -> impl Strategy<Value = Partition> {
         proptest::collection::vec(0u8..NUM_MIDPLANES, 1..16).prop_map(|idxs| {
-            Partition::from_midplanes(
-                idxs.into_iter()
-                    .map(|i| MidplaneId::from_index(i).unwrap()),
-            )
+            Partition::from_midplanes(idxs.into_iter().map(|i| MidplaneId::from_index(i).unwrap()))
         })
     }
 

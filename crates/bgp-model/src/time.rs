@@ -10,7 +10,6 @@
 //! fractional-second field is accepted on input and ignored).
 
 use crate::error::ModelError;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub, SubAssign};
 
@@ -18,18 +17,12 @@ use std::ops::{Add, AddAssign, Sub, SubAssign};
 ///
 /// Ordered, copy, 8 bytes. All simulator and analysis code uses this type —
 /// never raw integers — so that the unit (seconds) is carried by the type.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Timestamp(pub i64);
 
 /// A span of time in whole seconds. May be negative (the difference of two
 /// [`Timestamp`]s).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Duration(pub i64);
 
 impl Duration {
@@ -137,12 +130,7 @@ impl Timestamp {
         let hh = num(11..13)?;
         let mm = num(14..16)?;
         let ss = num(17..19)?;
-        if !(1..=12).contains(&month)
-            || !(1..=31).contains(&day)
-            || hh > 23
-            || mm > 59
-            || ss > 60
-        {
+        if !(1..=12).contains(&month) || !(1..=31).contains(&day) || hh > 23 || mm > 59 || ss > 60 {
             return Err(err());
         }
         Ok(Timestamp::from_civil(year, month, day, hh, mm, ss))

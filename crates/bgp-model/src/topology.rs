@@ -6,7 +6,6 @@
 //! I/O node per 64 compute nodes.
 
 use crate::location::{MidplaneId, RackId};
-use serde::{Deserialize, Serialize};
 
 /// Number of rack rows on Intrepid (R0x … R4x).
 pub const NUM_ROWS: u8 = 5;
@@ -23,8 +22,7 @@ pub const NODE_CARDS_PER_MIDPLANE: u8 = 16;
 /// Compute nodes per node card.
 pub const NODES_PER_NODE_CARD: u8 = 32;
 /// Compute nodes per midplane.
-pub const NODES_PER_MIDPLANE: u16 =
-    NODE_CARDS_PER_MIDPLANE as u16 * NODES_PER_NODE_CARD as u16;
+pub const NODES_PER_MIDPLANE: u16 = NODE_CARDS_PER_MIDPLANE as u16 * NODES_PER_NODE_CARD as u16;
 /// PowerPC 450 cores per compute node.
 pub const CORES_PER_NODE: u8 = 4;
 /// Compute nodes served by a single I/O node on Intrepid (64:1 ratio).
@@ -41,7 +39,7 @@ pub const LINK_CARDS_PER_MIDPLANE: u8 = 4;
 /// be simulated quickly in tests. The *location grammar* always validates
 /// against the full Intrepid geometry — a smaller machine is a machine where
 /// only a prefix of the midplanes is populated.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Machine {
     /// Number of populated midplanes, `1..=NUM_MIDPLANES`. Populated
     /// midplanes are the first `midplanes` in [`MidplaneId`] index order.
@@ -105,12 +103,12 @@ impl Machine {
 
     /// Iterate over the populated midplanes in index order.
     pub fn midplanes(self) -> impl Iterator<Item = MidplaneId> {
-        (0..self.midplanes).map(|i| MidplaneId::from_index(i).expect("index in range"))
+        (0..self.midplanes).filter_map(|i| MidplaneId::from_index(i).ok())
     }
 
     /// Iterate over the populated racks in index order.
     pub fn racks(self) -> impl Iterator<Item = RackId> {
-        (0..self.num_racks()).map(|i| RackId::from_index(i).expect("index in range"))
+        (0..self.num_racks()).filter_map(|i| RackId::from_index(i).ok())
     }
 }
 

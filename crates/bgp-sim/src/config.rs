@@ -1,7 +1,6 @@
 //! Simulation configuration and the calibrated presets.
 
 use bgp_model::Timestamp;
-use serde::{Deserialize, Serialize};
 
 /// All knobs of the simulator.
 ///
@@ -10,7 +9,7 @@ use serde::{Deserialize, Serialize};
 /// aggregates on the full 237-day window; see `DESIGN.md` §4 for the target
 /// list. [`SimConfig::small_test`] is the same model at ~1/20 duration for
 /// fast tests.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
     /// Master seed; every random stream in the run derives from it.
     pub seed: u64,

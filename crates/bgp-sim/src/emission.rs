@@ -42,7 +42,7 @@ pub fn detail_location<R: Rng>(rng: &mut R, m: MidplaneId, code: ErrCode) -> Loc
                 index: rng.random_range(0..4),
             },
             "PALOMINO_N" => {
-                let card = NodeCardId::new(m, rng.random_range(0..16)).expect("card in range");
+                let card = NodeCardId::new_wrapping(m, rng.random_range(0..16));
                 Location::NodeCard(card)
             }
             _ => Location::ServiceCard(m),
@@ -52,8 +52,8 @@ pub fn detail_location<R: Rng>(rng: &mut R, m: MidplaneId, code: ErrCode) -> Loc
             index: rng.random_range(0..8),
         },
         Component::Kernel | Component::Diags => {
-            let card = NodeCardId::new(m, rng.random_range(0..16)).expect("card in range");
-            let node = ComputeNodeId::new(card, rng.random_range(0..32)).expect("slot in range");
+            let card = NodeCardId::new_wrapping(m, rng.random_range(0..16));
+            let node = ComputeNodeId::new_wrapping(card, rng.random_range(0..32));
             Location::ComputeNode(node)
         }
         // Control-system codes report at midplane granularity.
@@ -83,11 +83,9 @@ pub fn emit_storm<R: Rng>(
     // CRC-retry records too.
     if Catalog::standard().info(code).subcomponent == "PALOMINO_L" {
         let neighbors = bgp_model::torus::midplane_neighbors(epicenter);
-        if !neighbors.is_empty() {
+        let echo = Catalog::standard().lookup("_bgp_err_link_crc_retry");
+        if let (false, Some(echo)) = (neighbors.is_empty(), echo) {
             let other = neighbors[rng.random_range(0..neighbors.len())];
-            let echo = Catalog::standard()
-                .lookup("_bgp_err_link_crc_retry")
-                .expect("in catalogue");
             let reduced = StormShape {
                 temporal_mean: 2.0,
                 spatial_mean: 1.0,
@@ -162,11 +160,13 @@ pub fn emit_precursors<R: Rng>(
         return;
     }
     let cat = Catalog::standard();
-    let codes = [
-        cat.lookup("_bgp_warn_ecc_corrected").expect("in catalogue"),
-        cat.lookup("_bgp_warn_single_symbol_error")
-            .expect("in catalogue"),
-    ];
+    let (Some(ecc), Some(symbol)) = (
+        cat.lookup("_bgp_warn_ecc_corrected"),
+        cat.lookup("_bgp_warn_single_symbol_error"),
+    ) else {
+        return; // catalog consistency is enforced by the errcode-catalog lint
+    };
+    let codes = [ecc, symbol];
     let n = (1 + poisson(rng, (mean_count - 1.0).max(0.0))) as usize;
     // Correctable-error rate accelerates toward the failure: draw lead
     // times from an exponential so most precursors crowd the final hour,
@@ -175,7 +175,12 @@ pub fn emit_precursors<R: Rng>(
         let lead = 60.0 + exponential(rng, 1.0 / 4_000.0);
         let t = fault_time - bgp_model::Duration::seconds(lead.min(6.0 * 3600.0) as i64);
         let code = codes[rng.random_range(0..codes.len())];
-        out.push(RasRecord::new(0, t, detail_location(rng, midplane, code), code));
+        out.push(RasRecord::new(
+            0,
+            t,
+            detail_location(rng, midplane, code),
+            code,
+        ));
     }
 }
 
@@ -194,8 +199,12 @@ pub fn emit_background<R: Rng>(
     noise_scale: f64,
 ) {
     let cat = Catalog::standard();
-    let boot_code = cat.lookup("_bgp_info_partition_boot").expect("in catalogue");
-    let progress_code = cat.lookup("_bgp_info_boot_progress").expect("in catalogue");
+    let (Some(boot_code), Some(progress_code)) = (
+        cat.lookup("_bgp_info_partition_boot"),
+        cat.lookup("_bgp_info_boot_progress"),
+    ) else {
+        return; // catalog consistency is enforced by the errcode-catalog lint
+    };
     // Reboot-before-execution: every midplane of the partition boots and
     // reports, shortly before the job's start.
     for &(start, partition) in job_boots {
@@ -216,26 +225,30 @@ pub fn emit_background<R: Rng>(
         }
     }
     // Ambient noise: correctable ECC, environmental polls, fan warnings...
-    let ambient: Vec<ErrCode> = [
-        "_bgp_warn_ecc_corrected",
-        "_bgp_warn_single_symbol_error",
-        "_bgp_warn_torus_retransmit",
-        "_bgp_warn_temp_high",
-        "_bgp_err_redundant_psu_loss",
-        "_bgp_err_link_crc_retry",
-        "_bgp_err_io_retry_exhausted",
-        "_bgp_warn_fan_speed",
-        "_bgp_info_env_poll",
-        "_bgp_err_spare_bit_steer",
-        "_bgp_info_recovery_progress",
-        "_bgp_info_job_start",
-    ]
-    .iter()
-    .map(|n| cat.lookup(n).expect("in catalogue"))
-    .collect();
-    let weights = [
-        30.0, 12.0, 10.0, 3.0, 0.5, 4.0, 1.0, 2.0, 8.0, 0.5, 1.0, 6.0,
+    // Names zip with their weights so a missing catalog entry (impossible —
+    // the errcode-catalog lint checks these literals) drops the pair, never
+    // desynchronising code from weight.
+    let named_weights = [
+        ("_bgp_warn_ecc_corrected", 30.0),
+        ("_bgp_warn_single_symbol_error", 12.0),
+        ("_bgp_warn_torus_retransmit", 10.0),
+        ("_bgp_warn_temp_high", 3.0),
+        ("_bgp_err_redundant_psu_loss", 0.5),
+        ("_bgp_err_link_crc_retry", 4.0),
+        ("_bgp_err_io_retry_exhausted", 1.0),
+        ("_bgp_warn_fan_speed", 2.0),
+        ("_bgp_info_env_poll", 8.0),
+        ("_bgp_err_spare_bit_steer", 0.5),
+        ("_bgp_info_recovery_progress", 1.0),
+        ("_bgp_info_job_start", 6.0),
     ];
+    let (ambient, weights): (Vec<ErrCode>, Vec<f64>) = named_weights
+        .iter()
+        .filter_map(|&(n, w)| cat.lookup(n).map(|c| (c, w)))
+        .unzip();
+    if ambient.is_empty() {
+        return;
+    }
     // Full scale ≈ 1.6 M ambient records over the paper's 237-day window.
     let secs = (window.1 - window.0).as_secs().max(1);
     let rate = 0.08 * noise_scale;
@@ -246,7 +259,7 @@ pub fn emit_background<R: Rng>(
             break;
         }
         let code = ambient[bgp_stats::sample::categorical(rng, &weights)];
-        let m = MidplaneId::from_index(rng.random_range(0..80)).expect("in range");
+        let m = MidplaneId::from_index_wrapping(rng.random_range(0..80));
         out.push(RasRecord::new(0, t, detail_location(rng, m, code), code));
     }
     let _ = secs;

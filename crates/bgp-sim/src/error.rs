@@ -1,0 +1,22 @@
+//! Error type surfaced by the simulator's public API.
+
+use std::fmt;
+
+/// Errors the simulator can report instead of panicking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The provided configuration failed [`crate::SimConfig::validate`].
+    InvalidConfig(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig(reason) => {
+                write!(f, "invalid simulation config: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

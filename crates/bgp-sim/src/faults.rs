@@ -112,8 +112,10 @@ impl FaultModel {
     /// Resolve the standard model against [`Catalog::standard`].
     pub fn standard() -> FaultModel {
         let cat = Catalog::standard();
+        #[allow(clippy::panic)]
         let resolve = |name: &str| {
             cat.lookup(name)
+                // xtask-allow(no-panic): every name in the static tables is proven to exist in the catalog by the errcode-catalog lint; dropping entries would desynchronise the parallel weight arrays
                 .unwrap_or_else(|| panic!("fault model references unknown code {name}"))
         };
         let app_codes: Vec<ErrCode> = APP_ERROR_CODES.iter().map(|n| resolve(n)).collect();
@@ -127,10 +129,7 @@ impl FaultModel {
         let mut other: Vec<ErrCode> = app_codes.clone();
         other.extend(TRANSIENT_CODES.iter().map(|n| resolve(n)));
         other.extend(system_codes.iter().copied());
-        let idle_codes: Vec<ErrCode> = cat
-            .fatal_codes()
-            .filter(|c| !other.contains(c))
-            .collect();
+        let idle_codes: Vec<ErrCode> = cat.fatal_codes().filter(|c| !other.contains(c)).collect();
         let mut companions: HashMap<ErrCode, Vec<ErrCode>> = HashMap::new();
         for (key, companion) in COMPANIONS {
             companions
@@ -145,7 +144,10 @@ impl FaultModel {
             transient_codes: TRANSIENT_CODES.iter().map(|n| resolve(n)).collect(),
             system_codes,
             system_weights,
-            persistent_capable: PERSISTENT_CAPABLE_CODES.iter().map(|n| resolve(n)).collect(),
+            persistent_capable: PERSISTENT_CAPABLE_CODES
+                .iter()
+                .map(|n| resolve(n))
+                .collect(),
             idle_codes,
             companions,
         }
@@ -213,8 +215,7 @@ mod tests {
         assert_eq!(m.system_codes.len(), 23);
         assert_eq!(m.idle_codes.len(), 49);
         assert_eq!(
-            m.app_codes.len() + m.transient_codes.len() + m.system_codes.len()
-                + m.idle_codes.len(),
+            m.app_codes.len() + m.transient_codes.len() + m.system_codes.len() + m.idle_codes.len(),
             82
         );
         assert_eq!(m.app_weights.len(), m.app_codes.len());

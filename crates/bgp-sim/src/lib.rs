@@ -46,6 +46,7 @@
 pub mod config;
 pub mod emission;
 pub mod engine;
+pub mod error;
 pub mod faults;
 pub mod scheduler;
 pub mod truth;
@@ -53,4 +54,5 @@ pub mod workload;
 
 pub use config::SimConfig;
 pub use engine::{SimOutput, Simulation};
+pub use error::SimError;
 pub use truth::{FaultId, FaultNature, GroundTruth, TrueFault};

@@ -86,10 +86,7 @@ impl Scheduler {
     ) -> Option<Partition> {
         let usable = |p: Partition| self.all_free(p) && !p.overlaps(avoid);
         if let Some(&prev) = self.last_partition.get(&exec) {
-            if prev.len() == size
-                && rng.random::<f64>() < same_partition_prob
-                && usable(prev)
-            {
+            if prev.len() == size && rng.random::<f64>() < same_partition_prob && usable(prev) {
                 return Some(prev);
             }
         }
@@ -102,8 +99,9 @@ impl Scheduler {
             let rot = if n > 1 { rng.random_range(0..n) } else { 0 };
             for k in 0..n {
                 let anchor = region[(k + rot) % n];
-                let p =
-                    Partition::contiguous(anchor, size).expect("anchor table is in range");
+                let Ok(p) = Partition::contiguous(anchor, size) else {
+                    continue; // anchor table entries are in range; skip rather than die
+                };
                 if usable(p) {
                     return Some(p);
                 }
@@ -113,7 +111,8 @@ impl Scheduler {
     }
 
     fn all_free(&self, p: Partition) -> bool {
-        p.midplanes().all(|m| self.slots[m.index()] == SlotState::Free)
+        p.midplanes()
+            .all(|m| self.slots[m.index()] == SlotState::Free)
     }
 
     /// Mark a partition as running `job_id` and remember it for `exec`.
@@ -156,7 +155,7 @@ impl Scheduler {
     pub fn idle_midplanes(&self) -> Vec<MidplaneId> {
         (0..NUM_MIDPLANES)
             .filter(|&i| !matches!(self.slots[i as usize], SlotState::Busy(_)))
-            .map(|i| MidplaneId::from_index(i).expect("in range"))
+            .map(MidplaneId::from_index_wrapping)
             .collect()
     }
 
@@ -164,9 +163,7 @@ impl Scheduler {
     pub fn busy_midplanes(&self) -> Vec<(MidplaneId, u64)> {
         (0..NUM_MIDPLANES)
             .filter_map(|i| match self.slots[i as usize] {
-                SlotState::Busy(j) => {
-                    Some((MidplaneId::from_index(i).expect("in range"), j))
-                }
+                SlotState::Busy(j) => Some((MidplaneId::from_index_wrapping(i), j)),
                 _ => None,
             })
             .collect()
@@ -216,12 +213,7 @@ fn anchor_preference(size: u32) -> Vec<Vec<u8>> {
         out
     };
     let regions: Vec<Vec<u8>> = match size {
-        1 | 2 => vec![
-            range(64, 80),
-            range(0, 4),
-            range(4, 32),
-            range(32, 64),
-        ],
+        1 | 2 => vec![range(64, 80), range(0, 4), range(4, 32), range(32, 64)],
         4 | 8 | 16 => vec![range(64, 80), range(0, 32), range(32, 64)],
         32 => vec![range(32, 80), range(0, 32)],
         48 => vec![vec![24, 32], range(0, 80)],

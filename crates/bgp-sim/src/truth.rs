@@ -11,18 +11,14 @@
 use bgp_model::{Location, Timestamp};
 use joblog::ExecId;
 use raslog::ErrCode;
-use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
 /// Identifier of a true fault occurrence.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FaultId(pub u64);
 
 /// The true nature of a fault occurrence.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FaultNature {
     /// Hardware or system-software failure — the system's fault.
     SystemFailure,
@@ -34,7 +30,7 @@ pub enum FaultNature {
 }
 
 /// One true fault occurrence.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrueFault {
     /// Unique id, in occurrence order.
     pub id: FaultId,
@@ -69,7 +65,7 @@ impl TrueFault {
 }
 
 /// Everything true about one simulation run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct GroundTruth {
     /// All fault occurrences, in time order.
     pub faults: Vec<TrueFault>,

@@ -31,8 +31,8 @@ pub const TABLE_VI_JOB_COUNTS: [[u32; 4]; 9] = [
     [20, 362, 195, 79],             // 32
     [3, 1, 1, 1],                   // 48 (paper has 3/1/0/0; zeros nudged so
     //                                  every legal size stays sampleable)
-    [12, 147, 143, 39],             // 64
-    [11, 33, 27, 2],                // 80
+    [12, 147, 143, 39], // 64
+    [11, 33, 27, 2],    // 80
 ];
 
 /// Legal job sizes in midplanes, parallel to [`TABLE_VI_JOB_COUNTS`] rows.
@@ -251,16 +251,19 @@ mod tests {
             *subs.entry(a.exec_idx).or_insert(0usize) += 1;
         }
         let resub = subs.values().filter(|&&c| c > 1).count() as f64 / subs.len() as f64;
-        assert!((0.50..0.65).contains(&resub), "resubmitted fraction {resub}");
+        assert!(
+            (0.50..0.65).contains(&resub),
+            "resubmitted fraction {resub}"
+        );
     }
 
     #[test]
     fn size_distribution_tracks_table_vi() {
         let (_, w) = workload(2);
         let total: u32 = TABLE_VI_JOB_COUNTS.iter().flatten().sum();
-        let narrow_expected = f64::from(TABLE_VI_JOB_COUNTS[0].iter().sum::<u32>()) / f64::from(total);
-        let narrow = w.execs.iter().filter(|e| e.size() == 1).count() as f64
-            / w.execs.len() as f64;
+        let narrow_expected =
+            f64::from(TABLE_VI_JOB_COUNTS[0].iter().sum::<u32>()) / f64::from(total);
+        let narrow = w.execs.iter().filter(|e| e.size() == 1).count() as f64 / w.execs.len() as f64;
         assert!(
             (narrow - narrow_expected).abs() < 0.05,
             "1-midplane share {narrow} vs Table VI {narrow_expected}"

@@ -3,11 +3,10 @@
 
 use bgp_model::{Duration, Timestamp};
 use joblog::{JobLog, JobRecord};
-use serde::Serialize;
 use std::collections::HashMap;
 
 /// Burst statistics over the interrupted-job population.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct BurstAnalysis {
     /// Interruptions per day over the study window (Figure 5's series),
     /// indexed by day offset from the window start.

@@ -25,11 +25,10 @@
 
 use crate::classify::root_cause::RootCause;
 use joblog::{ExecId, JobLog, JobRecord};
-use serde::Serialize;
 use std::collections::{HashMap, HashSet};
 
 /// A checkpointing policy to replay.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum CheckpointPolicy {
     /// No checkpoints at all.
     None,
@@ -61,7 +60,7 @@ impl CheckpointPolicy {
 }
 
 /// Node-second accounting for one policy.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CheckpointOutcome {
     /// Which policy.
     pub policy: CheckpointPolicy,

@@ -3,10 +3,9 @@
 
 use crate::event::{interarrivals, Event};
 use bgp_stats::{compare_models, Ecdf, FitComparison, StatsError};
-use serde::Serialize;
 
 /// Interarrival fits for one event stream.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct FailureStats {
     /// Number of events in the stream.
     pub n_events: usize,
@@ -54,7 +53,7 @@ impl FailureStats {
 }
 
 /// Table IV: before vs. after job-related filtering.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct TableIv {
     /// Fatal-event interarrival fits before job-related filtering.
     pub before: FailureStats,
@@ -93,7 +92,13 @@ mod tests {
         (0..n)
             .map(|i| {
                 t += sample_weibull(&mut rng, shape, scale).max(1.0) as i64;
-                Event::synthetic(Timestamp::from_unix(t), "R00-M0".parse().unwrap(), code, 1, i as u64)
+                Event::synthetic(
+                    Timestamp::from_unix(t),
+                    "R00-M0".parse().unwrap(),
+                    code,
+                    1,
+                    i as u64,
+                )
             })
             .collect()
     }

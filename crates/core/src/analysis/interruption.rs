@@ -6,10 +6,9 @@ use crate::event::Event;
 use crate::matching::Matching;
 use bgp_stats::{compare_models, Ecdf, FitComparison, StatsError};
 use joblog::JobLog;
-use serde::Serialize;
 
 /// Interarrival fits of job interruptions, split by root cause.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct InterruptionStats {
     /// Interruptions attributed to system failures.
     pub system: CauseStats,
@@ -18,7 +17,7 @@ pub struct InterruptionStats {
 }
 
 /// One cause category's interruption statistics.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct CauseStats {
     /// Number of interruptions.
     pub count: usize,
@@ -113,7 +112,13 @@ mod tests {
     use raslog::Catalog;
 
     fn ev(t: i64, name: &str) -> Event {
-        Event::synthetic(Timestamp::from_unix(t), "R00-M0".parse().unwrap(), Catalog::standard().lookup(name).unwrap(), 1, t as u64)
+        Event::synthetic(
+            Timestamp::from_unix(t),
+            "R00-M0".parse().unwrap(),
+            Catalog::standard().lookup(name).unwrap(),
+            1,
+            t as u64,
+        )
     }
 
     fn job(job_id: u64, end: i64) -> JobRecord {
@@ -158,7 +163,10 @@ mod tests {
         );
         rc.per_code.insert(
             app_code,
-            (RootCause::ApplicationError, RootCauseRule::FollowsExecutable),
+            (
+                RootCause::ApplicationError,
+                RootCauseRule::FollowsExecutable,
+            ),
         );
         let stats = InterruptionStats::new(&events, &matching, &rc, &jobs);
         assert_eq!(stats.system.count, 15);
@@ -176,7 +184,10 @@ mod tests {
 
     #[test]
     fn unclassified_codes_default_to_system() {
-        let events = vec![ev(100, "_bgp_err_kernel_panic"), ev(9_000, "_bgp_err_kernel_panic")];
+        let events = vec![
+            ev(100, "_bgp_err_kernel_panic"),
+            ev(9_000, "_bgp_err_kernel_panic"),
+        ];
         let jobs = JobLog::from_jobs(vec![job(1, 100), job(2, 9_000)]);
         let mut matching = Matching::default();
         matching.job_to_event.insert(1, 0);

@@ -10,10 +10,9 @@ use crate::event::Event;
 use bgp_model::{topology::NUM_MIDPLANES, MidplaneId};
 use bgp_stats::pearson::pearson;
 use joblog::JobLog;
-use serde::Serialize;
 
 /// Per-midplane profile.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct MidplaneProfile {
     /// Fatal events per midplane (Figure 4a).
     pub fatal_counts: Vec<u32>,
@@ -38,8 +37,7 @@ impl MidplaneProfile {
         let mut wide_workload_secs = vec![0i64; n];
         for m in MidplaneId::all() {
             workload_secs[m.index()] = jobs.midplane_busy_seconds(m);
-            wide_workload_secs[m.index()] =
-                jobs.midplane_busy_seconds_min_size(m, wide_threshold);
+            wide_workload_secs[m.index()] = jobs.midplane_busy_seconds_min_size(m, wide_threshold);
         }
         MidplaneProfile {
             fatal_counts,
@@ -69,11 +67,9 @@ impl MidplaneProfile {
         idx.sort_by_key(|&i| std::cmp::Reverse(self.fatal_counts[i]));
         idx.into_iter()
             .take(k)
-            .map(|i| {
-                (
-                    MidplaneId::from_index(i as u8).expect("in range"),
-                    self.fatal_counts[i],
-                )
+            .filter_map(|i| {
+                let m = MidplaneId::from_index(i as u8).ok()?;
+                Some((m, self.fatal_counts[i]))
             })
             .collect()
     }
@@ -114,8 +110,11 @@ pub fn per_midplane_fits(
             .map(|w| (w[1] - w[0]) as f64)
             .filter(|&g| g > 0.0)
             .collect();
-        if let Ok(cmp) = bgp_stats::compare_models(&gaps) {
-            out.push((MidplaneId::from_index(i as u8).expect("in range"), cmp));
+        if let (Ok(cmp), Ok(m)) = (
+            bgp_stats::compare_models(&gaps),
+            MidplaneId::from_index(i as u8),
+        ) {
+            out.push((m, cmp));
         }
     }
     out
@@ -129,7 +128,13 @@ mod tests {
     use raslog::Catalog;
 
     fn ev(t: i64, loc: &str) -> Event {
-        Event::synthetic(Timestamp::from_unix(t), loc.parse().unwrap(), Catalog::standard().lookup("_bgp_err_kernel_panic").unwrap(), 1, t as u64)
+        Event::synthetic(
+            Timestamp::from_unix(t),
+            loc.parse().unwrap(),
+            Catalog::standard().lookup("_bgp_err_kernel_panic").unwrap(),
+            1,
+            t as u64,
+        )
     }
 
     fn job(job_id: u64, start: i64, end: i64, part: &str) -> JobRecord {

@@ -3,11 +3,11 @@
 pub mod burst;
 pub mod checkpoint;
 pub mod failure_stats;
-pub mod repair;
-pub mod trend;
 pub mod interruption;
 pub mod midplane;
 pub mod propagation;
+pub mod repair;
+pub mod trend;
 pub mod vulnerability;
 
 pub use burst::BurstAnalysis;

@@ -10,11 +10,10 @@ use crate::event::Event;
 use crate::matching::Matching;
 use joblog::JobLog;
 use raslog::ErrCode;
-use serde::Serialize;
 use std::collections::HashMap;
 
 /// Spatial/temporal propagation statistics.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct PropagationAnalysis {
     /// Events that interrupted ≥ 2 jobs on non-overlapping partitions.
     pub spatial_events: usize,
@@ -95,7 +94,13 @@ mod tests {
     use raslog::Catalog;
 
     fn ev(t: i64, name: &str) -> Event {
-        Event::synthetic(Timestamp::from_unix(t), "R00-M0-I0".parse().unwrap(), Catalog::standard().lookup(name).unwrap(), 1, t as u64)
+        Event::synthetic(
+            Timestamp::from_unix(t),
+            "R00-M0-I0".parse().unwrap(),
+            Catalog::standard().lookup(name).unwrap(),
+            1,
+            t as u64,
+        )
     }
 
     fn job(job_id: u64, part: &str) -> JobRecord {

@@ -21,11 +21,10 @@ use crate::matching::Matching;
 use bgp_model::{MidplaneId, Timestamp};
 use joblog::JobLog;
 use raslog::ErrCode;
-use serde::Serialize;
 use std::collections::HashMap;
 
 /// One reconstructed outage episode.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OutageEpisode {
     /// The error code reported throughout the episode.
     pub errcode: ErrCode,
@@ -86,9 +85,7 @@ pub fn reconstruct_outages(
         };
         let clean_between = |a: Timestamp, b: Timestamp| {
             jobs.overlapping(mp, a, b).iter().any(|j| {
-                j.start_time > a
-                    && j.end_time < b
-                    && !matching.job_to_event.contains_key(&j.job_id)
+                j.start_time > a && j.end_time < b && !matching.job_to_event.contains_key(&j.job_id)
             })
         };
         let mut i = 0usize;
@@ -130,7 +127,7 @@ pub fn reconstruct_outages(
 }
 
 /// Summary statistics over reconstructed episodes.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OutageSummary {
     /// Number of episodes (chains of ≥ 2 interruptions).
     pub episodes: usize,
@@ -148,8 +145,7 @@ pub fn summarize(episodes: &[OutageEpisode]) -> OutageSummary {
     durations.sort_unstable();
     OutageSummary {
         episodes: episodes.len(),
-        median_min_duration_secs: (!durations.is_empty())
-            .then(|| durations[durations.len() / 2]),
+        median_min_duration_secs: (!durations.is_empty()).then(|| durations[durations.len() / 2]),
         total_victims: episodes.iter().map(|e| e.victims).sum(),
         censored: episodes.iter().filter(|e| e.cleared_by.is_none()).count(),
     }
@@ -275,7 +271,7 @@ mod tests {
         let mut cfg = SimConfig::small_test(61);
         cfg.days = 30;
         cfg.num_execs = 1_200;
-        let out = Simulation::new(cfg).run();
+        let out = Simulation::new(cfg).expect("valid config").run();
         let r = crate::pipeline::CoAnalysis::default().run(&out.ras, &out.jobs);
         let episodes = reconstruct_outages(&r.events, &r.matching, &out.jobs);
         if episodes.is_empty() {
@@ -297,8 +293,7 @@ mod tests {
             .filter(|e| {
                 out.truth.faults.iter().any(|f| {
                     f.persistent
-                        && f.location.midplane().map(|m| m.index())
-                            == Some(e.midplane.index())
+                        && f.location.midplane().map(|m| m.index()) == Some(e.midplane.index())
                 })
             })
             .count();

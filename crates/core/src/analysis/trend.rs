@@ -10,10 +10,9 @@
 use crate::event::Event;
 use bgp_model::Timestamp;
 use bgp_stats::linreg::{linear_fit, LinearFit};
-use serde::Serialize;
 
 /// Weekly event counts and their trend.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct FailureTrend {
     /// Events per week, week 0 first.
     pub weekly_counts: Vec<u32>,
@@ -133,7 +132,7 @@ mod tests {
         let mut cfg = SimConfig::small_test(88);
         cfg.days = 35; // 5 weeks
         cfg.num_execs = 1_400;
-        let out = Simulation::new(cfg).run();
+        let out = Simulation::new(cfg).expect("valid config").run();
         let r = crate::pipeline::CoAnalysis::default().run(&out.ras, &out.jobs);
         let span = out.ras.time_span().unwrap();
         let t = FailureTrend::new(&r.events, span.0, span.1);

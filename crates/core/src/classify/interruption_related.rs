@@ -17,11 +17,10 @@
 use crate::event::Event;
 use crate::matching::{EventCase, Matching};
 use raslog::ErrCode;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// The per-code impact verdict.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CodeImpact {
     /// Events of this code interrupt jobs.
     InterruptionRelated,
@@ -42,7 +41,7 @@ impl CodeImpact {
 }
 
 /// Classification output plus headline counts.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ImpactSummary {
     /// Verdict per error code (codes with at least one event).
     pub per_code: HashMap<ErrCode, CodeImpact>,
@@ -70,6 +69,10 @@ impl ImpactSummary {
 }
 
 /// Classify every code appearing in the event stream.
+///
+/// Contract: `events` and `matching.per_event` are parallel arrays of equal
+/// length; returns a summary covering every distinct code in the input, with
+/// each event counted exactly once.
 pub fn classify_impact(events: &[Event], matching: &Matching) -> ImpactSummary {
     assert_eq!(events.len(), matching.per_event.len());
     #[derive(Default)]
@@ -118,7 +121,13 @@ mod tests {
     use raslog::Catalog;
 
     fn ev(t: i64, name: &str) -> Event {
-        Event::synthetic(Timestamp::from_unix(t), "R00-M0".parse().unwrap(), Catalog::standard().lookup(name).unwrap(), 1, t as u64)
+        Event::synthetic(
+            Timestamp::from_unix(t),
+            "R00-M0".parse().unwrap(),
+            Catalog::standard().lookup(name).unwrap(),
+            1,
+            t as u64,
+        )
     }
 
     fn m(case: EventCase) -> EventMatch {
@@ -164,7 +173,10 @@ mod tests {
         ]);
         let cat = Catalog::standard();
         let get = |n: &str| s.per_code[&cat.lookup(n).unwrap()];
-        assert_eq!(get("_bgp_err_ddr_controller"), CodeImpact::InterruptionRelated);
+        assert_eq!(
+            get("_bgp_err_ddr_controller"),
+            CodeImpact::InterruptionRelated
+        );
         assert_eq!(get("BULK_POWER_FATAL"), CodeImpact::NonFatal);
         assert_eq!(get("_bgp_err_diag_netbist"), CodeImpact::UndeterminedIdle);
         assert_eq!(get("_bgp_err_kernel_panic"), CodeImpact::UndeterminedMixed);

@@ -20,11 +20,10 @@ use crate::matching::Matching;
 use bgp_stats::pearson::pearson;
 use joblog::JobLog;
 use raslog::ErrCode;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// The root-cause verdict for a code.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RootCause {
     /// Hardware / system software.
     SystemFailure,
@@ -33,7 +32,7 @@ pub enum RootCause {
 }
 
 /// Which rule produced a verdict (for reporting and debugging).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RootCauseRule {
     /// Rule 1: only ever fired on idle hardware.
     IdleOnly,
@@ -46,7 +45,7 @@ pub enum RootCauseRule {
 }
 
 /// Classification output.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RootCauseSummary {
     /// Verdict and the rule that decided it, per code.
     pub per_code: HashMap<ErrCode, (RootCause, RootCauseRule)>,
@@ -86,6 +85,9 @@ impl RootCauseSummary {
 ///
 /// `window` is the whole log's time span, used to build daily occurrence
 /// profiles for the correlation fallback.
+///
+/// Contract: input events may arrive in any order; returns one verdict per
+/// distinct code in the stream, and never invents codes absent from it.
 pub fn classify_root_cause(
     events: &[Event],
     matching: &Matching,
@@ -108,8 +110,11 @@ pub fn classify_root_cause(
         for &job_id in &m.victims {
             if let Some(job) = jobs.by_job_id(job_id) {
                 ev.interrupts = true;
-                ev.hits
-                    .push((job.partition.first().map_or(0, |m| m.index()) as u8, job.exec, e.time));
+                ev.hits.push((
+                    job.partition.first().map_or(0, |m| m.index()) as u8,
+                    job.exec,
+                    e.time,
+                ));
             }
         }
     }
@@ -166,8 +171,7 @@ pub fn classify_root_cause(
         // across locations, AND the old location goes quiet — if the code
         // keeps firing at the old location after the executable has moved
         // on, the hardware there is suspect, not the executable.
-        let mut by_exec: HashMap<joblog::ExecId, Vec<(u8, bgp_model::Timestamp)>> =
-            HashMap::new();
+        let mut by_exec: HashMap<joblog::ExecId, Vec<(u8, bgp_model::Timestamp)>> = HashMap::new();
         for &(mp, exec, t) in &ev.hits {
             by_exec.entry(exec).or_default().push((mp, t));
         }
@@ -181,10 +185,7 @@ pub fn classify_root_cause(
                 }
                 // Old location quiet: no interruption of this code at m1
                 // after t1 (by anyone).
-                let old_location_quiet = !ev
-                    .hits
-                    .iter()
-                    .any(|&(mp, _, t)| mp == m1 && t > t1);
+                let old_location_quiet = !ev.hits.iter().any(|&(mp, _, t)| mp == m1 && t > t1);
                 if old_location_quiet {
                     follows = true;
                     break 'exec_scan;
@@ -194,7 +195,10 @@ pub fn classify_root_cause(
         if follows {
             summary.per_code.insert(
                 code,
-                (RootCause::ApplicationError, RootCauseRule::FollowsExecutable),
+                (
+                    RootCause::ApplicationError,
+                    RootCauseRule::FollowsExecutable,
+                ),
             );
             continue;
         }
@@ -270,7 +274,13 @@ mod tests {
     use raslog::Catalog;
 
     fn ev(t: i64, loc: &str, name: &str) -> Event {
-        Event::synthetic(Timestamp::from_unix(t), loc.parse().unwrap(), Catalog::standard().lookup(name).unwrap(), 1, t as u64)
+        Event::synthetic(
+            Timestamp::from_unix(t),
+            loc.parse().unwrap(),
+            Catalog::standard().lookup(name).unwrap(),
+            1,
+            t as u64,
+        )
     }
 
     fn job(job_id: u64, exec: u32, start: i64, end: i64, part: &str) -> JobRecord {
@@ -320,7 +330,9 @@ mod tests {
                 job(2, 11, 2_000, 3_000, "R00-M0"),
             ],
         );
-        let code = Catalog::standard().lookup("_bgp_err_ddr_controller").unwrap();
+        let code = Catalog::standard()
+            .lookup("_bgp_err_ddr_controller")
+            .unwrap();
         assert_eq!(
             s.per_code[&code],
             (RootCause::SystemFailure, RootCauseRule::StickyLocation)
@@ -346,7 +358,10 @@ mod tests {
             .unwrap();
         assert_eq!(
             s.per_code[&code],
-            (RootCause::ApplicationError, RootCauseRule::FollowsExecutable)
+            (
+                RootCause::ApplicationError,
+                RootCauseRule::FollowsExecutable
+            )
         );
         let (sys, app) = s.counts();
         assert_eq!((sys, app), (0, 1));
@@ -381,7 +396,13 @@ mod tests {
         for d in 6..12i64 {
             let t = d * day;
             events.push(ev(t + 500, "R20-M0", "_bgp_err_ddr_controller"));
-            jobs.push(job(300 + d as u64, (d % 2) as u32 + 900, t, t + 500, "R20-M0"));
+            jobs.push(job(
+                300 + d as u64,
+                (d % 2) as u32 + 900,
+                t,
+                t + 500,
+                "R20-M0",
+            ));
         }
         events.sort_by_key(|e| e.time);
         let s = classify(events, jobs);

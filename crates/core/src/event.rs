@@ -2,7 +2,6 @@
 
 use bgp_model::{Location, MidplaneId, Partition, Timestamp};
 use raslog::{ErrCode, RasLog, RasRecord};
-use serde::{Deserialize, Serialize};
 
 /// One fatal event, possibly representing many merged raw records.
 ///
@@ -13,7 +12,7 @@ use serde::{Deserialize, Serialize};
 /// midplanes, and a shared-file-system failure from every victim's
 /// partition, so matching against job locations must consider the whole
 /// footprint, not just the representative record's location.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Event {
     /// Time of the earliest merged record.
     pub time: Timestamp,

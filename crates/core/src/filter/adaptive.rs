@@ -67,7 +67,7 @@ impl AdaptiveTemporalFilter {
                 let threshold = if g.len() < 4 {
                     self.fallback
                 } else {
-                    g.sort_by(|a, b| a.partial_cmp(b).expect("gaps are finite"));
+                    g.sort_by(f64::total_cmp);
                     let mut best_jump = 0.0f64;
                     let mut split = None;
                     for w in g.windows(2) {
@@ -86,13 +86,19 @@ impl AdaptiveTemporalFilter {
                         _ => self.fallback,
                     }
                 };
-                (code, clamp(threshold, self.min_threshold, self.max_threshold))
+                (
+                    code,
+                    clamp(threshold, self.min_threshold, self.max_threshold),
+                )
             })
             .collect()
     }
 
     /// Learn thresholds and filter, in one step. Codes never seen in
     /// learning (impossible here, same stream) use the fallback.
+    ///
+    /// Contract: input must be time-sorted; output is a subsequence of the
+    /// input (original order, no duplication, no new events).
     pub fn apply(&self, events: &[Event]) -> Vec<Event> {
         let thresholds = self.learn(events);
         // Same rolling-window semantics as the fixed filter, but the window
@@ -192,9 +198,8 @@ mod tests {
     #[test]
     fn mixed_stream_filters_each_code_by_its_own_clock() {
         let mut stream = storms("_bgp_err_kernel_panic", "R00-M0-N00-J00", 4, 10);
-        stream.extend(
-            (0..12).map(|i| ev(i * 480 + 7, "R01-M0-N00-J00", "_bgp_err_ddr_controller")),
-        );
+        stream
+            .extend((0..12).map(|i| ev(i * 480 + 7, "R01-M0-N00-J00", "_bgp_err_ddr_controller")));
         stream.sort_by_key(|e| e.time);
         let out = AdaptiveTemporalFilter::default().apply(&stream);
         let cat = Catalog::standard();

@@ -21,7 +21,7 @@ use raslog::ErrCode;
 use std::collections::HashMap;
 
 /// A learned causal rule: `consequence` follows `cause`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CausalRule {
     /// The root code.
     pub cause: ErrCode,
@@ -32,8 +32,6 @@ pub struct CausalRule {
     /// P(consequence follows | cause fired).
     pub confidence: f64,
 }
-
-use serde::{Deserialize, Serialize};
 
 /// Causality-related filter.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -99,8 +97,7 @@ impl CausalFilter {
         // with higher confidence so applying rules cannot delete both sides.
         rules.sort_by(|a, b| {
             b.confidence
-                .partial_cmp(&a.confidence)
-                .expect("confidence is finite")
+                .total_cmp(&a.confidence)
                 .then_with(|| (a.cause, a.consequence).cmp(&(b.cause, b.consequence)))
         });
         let mut kept: Vec<CausalRule> = Vec::new();
@@ -117,11 +114,12 @@ impl CausalFilter {
 
     /// Apply rules to the stream: consequence events merge into the nearest
     /// preceding cause event (same midplane, within gap).
+    ///
+    /// Contract: input must be time-sorted; output is a subsequence of the
+    /// input — only consequence events covered by a rule are dropped.
     pub fn apply(&self, events: &[Event], rules: &[CausalRule]) -> Vec<Event> {
-        let rule_set: std::collections::HashSet<(ErrCode, ErrCode)> = rules
-            .iter()
-            .map(|r| (r.cause, r.consequence))
-            .collect();
+        let rule_set: std::collections::HashSet<(ErrCode, ErrCode)> =
+            rules.iter().map(|r| (r.cause, r.consequence)).collect();
         let mut absorbed_into: Vec<Option<usize>> = vec![None; events.len()];
         for (i, b) in events.iter().enumerate() {
             // Scan backwards for a cause.
@@ -157,6 +155,9 @@ impl CausalFilter {
     }
 
     /// Learn and apply in one step.
+    ///
+    /// Contract: input must be time-sorted; returns the filtered subsequence
+    /// plus the rules learned from this same stream.
     pub fn filter(&self, events: &[Event]) -> (Vec<Event>, Vec<CausalRule>) {
         let rules = self.learn(events);
         let filtered = self.apply(events, &rules);
@@ -171,7 +172,13 @@ mod tests {
     use raslog::Catalog;
 
     fn ev(t: i64, loc: &str, name: &str) -> Event {
-        Event::synthetic(Timestamp::from_unix(t), loc.parse().unwrap(), Catalog::standard().lookup(name).unwrap(), 1, t as u64)
+        Event::synthetic(
+            Timestamp::from_unix(t),
+            loc.parse().unwrap(),
+            Catalog::standard().lookup(name).unwrap(),
+            1,
+            t as u64,
+        )
     }
 
     /// Build a stream where `panic` reliably follows `l1` on the same
@@ -186,7 +193,11 @@ mod tests {
         // Unrelated kernel panics elsewhere (keep panic's marginal high
         // enough that the reverse rule panic→l1 has low confidence).
         for k in 0..6 {
-            events.push(ev(5_000 + k * 90_000, "R11-M1-N00-J00", "_bgp_err_kernel_panic"));
+            events.push(ev(
+                5_000 + k * 90_000,
+                "R11-M1-N00-J00",
+                "_bgp_err_kernel_panic",
+            ));
         }
         events.sort_by_key(|e| e.time);
         events

@@ -52,6 +52,10 @@ impl JobRelatedFilter {
     /// "Executed successfully in between" is decided from the co-analysis
     /// itself: a job on the same midplane, wholly inside the gap, that no
     /// fatal event interrupted.
+    ///
+    /// Contract: `events` is time-sorted and parallel to
+    /// `matching.per_event`; the outcome's kept stream is a subsequence of
+    /// the input.
     pub fn apply(&self, events: &[Event], matching: &Matching, jobs: &JobLog) -> JobRelatedOutcome {
         assert_eq!(events.len(), matching.per_event.len());
         let mut redundant = vec![false; events.len()];
@@ -72,14 +76,14 @@ impl JobRelatedFilter {
 
             // --- Rule 1 ---
             if let Some(&j) = last_at.get(&key) {
-                let clean_run_between = jobs
-                    .overlapping(mp, events[j].time, e.time)
-                    .iter()
-                    .any(|job| {
-                        job.start_time > events[j].time
-                            && job.end_time < e.time
-                            && !matching.job_to_event.contains_key(&job.job_id)
-                    });
+                let clean_run_between =
+                    jobs.overlapping(mp, events[j].time, e.time)
+                        .iter()
+                        .any(|job| {
+                            job.start_time > events[j].time
+                                && job.end_time < e.time
+                                && !matching.job_to_event.contains_key(&job.job_id)
+                        });
                 if !clean_run_between {
                     redundant[i] = true;
                     root[i] = root[j]; // transitive
@@ -143,7 +147,13 @@ mod tests {
     use raslog::Catalog;
 
     fn ev(t: i64, loc: &str, name: &str) -> Event {
-        Event::synthetic(Timestamp::from_unix(t), loc.parse().unwrap(), Catalog::standard().lookup(name).unwrap(), 1, t as u64)
+        Event::synthetic(
+            Timestamp::from_unix(t),
+            loc.parse().unwrap(),
+            Catalog::standard().lookup(name).unwrap(),
+            1,
+            t as u64,
+        )
     }
 
     fn job(job_id: u64, exec: u32, start: i64, end: i64, part: &str, failed: bool) -> JobRecord {

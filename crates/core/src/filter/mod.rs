@@ -22,7 +22,7 @@ pub use spatial::SpatialFilter;
 pub use temporal::TemporalFilter;
 
 /// Record/event counts through the filtering stack.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct FilterStats {
     /// Raw FATAL records.
     pub raw_fatal: usize,

@@ -29,6 +29,9 @@ impl Default for SpatialFilter {
 
 impl SpatialFilter {
     /// Apply to a time-sorted event stream.
+    ///
+    /// Contract: input must be time-sorted; output is a subsequence of the
+    /// input keeping the first event of each spatial burst per code.
     pub fn apply(&self, events: &[Event]) -> Vec<Event> {
         debug_assert!(events.windows(2).all(|w| w[0].time <= w[1].time));
         let mut last: HashMap<ErrCode, (usize, bgp_model::Timestamp)> = HashMap::new();
@@ -56,7 +59,13 @@ mod tests {
     use raslog::Catalog;
 
     fn ev(t: i64, loc: &str, name: &str) -> Event {
-        Event::synthetic(Timestamp::from_unix(t), loc.parse().unwrap(), Catalog::standard().lookup(name).unwrap(), 1, t as u64)
+        Event::synthetic(
+            Timestamp::from_unix(t),
+            loc.parse().unwrap(),
+            Catalog::standard().lookup(name).unwrap(),
+            1,
+            t as u64,
+        )
     }
 
     #[test]

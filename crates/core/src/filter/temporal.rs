@@ -47,12 +47,14 @@ impl Default for TemporalFilter {
 
 impl TemporalFilter {
     /// Apply to a time-sorted event stream.
+    ///
+    /// Contract: input must be time-sorted; output is a subsequence of the
+    /// input keeping the first event of each same-location burst per code.
     pub fn apply(&self, events: &[Event]) -> Vec<Event> {
         debug_assert!(events.windows(2).all(|w| w[0].time <= w[1].time));
         // Index of the last kept event per (code, exact location), plus the
         // rolling "last seen" time so storms extend their own window.
-        let mut last: HashMap<(ErrCode, Location), (usize, bgp_model::Timestamp)> =
-            HashMap::new();
+        let mut last: HashMap<(ErrCode, Location), (usize, bgp_model::Timestamp)> = HashMap::new();
         let mut out: Vec<Event> = Vec::new();
         for e in events {
             match last.get_mut(&(e.errcode, e.location)) {
@@ -77,7 +79,13 @@ mod tests {
     use raslog::Catalog;
 
     fn ev(t: i64, loc: &str, name: &str) -> Event {
-        Event::synthetic(Timestamp::from_unix(t), loc.parse().unwrap(), Catalog::standard().lookup(name).unwrap(), 1, t as u64)
+        Event::synthetic(
+            Timestamp::from_unix(t),
+            loc.parse().unwrap(),
+            Catalog::standard().lookup(name).unwrap(),
+            1,
+            t as u64,
+        )
     }
 
     #[test]

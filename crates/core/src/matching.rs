@@ -12,11 +12,10 @@
 use crate::event::Event;
 use bgp_model::Duration;
 use joblog::{JobLog, JobRecord};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// The paper's three event-vs-jobs cases.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EventCase {
     /// Interrupted at least one job.
     Interrupted,
@@ -27,7 +26,7 @@ pub enum EventCase {
 }
 
 /// Per-event match result.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EventMatch {
     /// Jobs whose termination this event explains (job ids).
     pub victims: Vec<u64>,
@@ -38,7 +37,7 @@ pub struct EventMatch {
 }
 
 /// The full matching between an event stream and a job log.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Matching {
     /// Parallel to the event stream.
     pub per_event: Vec<EventMatch>,
@@ -75,6 +74,9 @@ impl Default for Matcher {
 
 impl Matcher {
     /// Match a time-sorted event stream against the job log.
+    ///
+    /// Contract: returns `per_event` exactly parallel to `events` (same
+    /// length, same order); every match points at a job in `jobs`.
     pub fn run(&self, events: &[Event], jobs: &JobLog) -> Matching {
         let mut per_event = Vec::with_capacity(events.len());
         // job id → (event index, |end − event time|), best so far.
@@ -100,7 +102,10 @@ impl Matcher {
                 .map(|j| j.job_id)
                 .collect();
             for &job_id in &victims {
-                let dist = (jobs_end(jobs, job_id) - e.time).abs().as_secs();
+                let Some(end) = jobs_end(jobs, job_id) else {
+                    continue; // victim ids come from this log; nothing to rank otherwise
+                };
+                let dist = (end - e.time).abs().as_secs();
                 match best.get(&job_id) {
                     Some(&(_, d)) if d <= dist => {}
                     _ => {
@@ -143,10 +148,8 @@ impl Matcher {
     }
 }
 
-fn jobs_end(jobs: &JobLog, job_id: u64) -> bgp_model::Timestamp {
-    jobs.by_job_id(job_id)
-        .expect("victim came from this log")
-        .end_time
+fn jobs_end(jobs: &JobLog, job_id: u64) -> Option<bgp_model::Timestamp> {
+    Some(jobs.by_job_id(job_id)?.end_time)
 }
 
 impl Matching {
@@ -188,7 +191,13 @@ mod tests {
     use raslog::Catalog;
 
     fn ev(t: i64, loc: &str, name: &str) -> Event {
-        Event::synthetic(Timestamp::from_unix(t), loc.parse().unwrap(), Catalog::standard().lookup(name).unwrap(), 1, t as u64)
+        Event::synthetic(
+            Timestamp::from_unix(t),
+            loc.parse().unwrap(),
+            Catalog::standard().lookup(name).unwrap(),
+            1,
+            t as u64,
+        )
     }
 
     fn job(job_id: u64, start: i64, end: i64, part: &str, failed: bool) -> joblog::JobRecord {
@@ -286,8 +295,8 @@ mod tests {
             job(2, 0, 50_000, "R01-M0", false),
         ]);
         let events = vec![
-            ev(5_010, "R00-M0", "_bgp_err_kernel_panic"), // case 1
-            ev(20_000, "R01-M0", "BULK_POWER_FATAL"),     // case 3
+            ev(5_010, "R00-M0", "_bgp_err_kernel_panic"),  // case 1
+            ev(20_000, "R01-M0", "BULK_POWER_FATAL"),      // case 3
             ev(20_000, "R30-M0", "_bgp_err_diag_netbist"), // case 2
         ];
         let m = Matcher::default().run(&events, &jobs);

@@ -5,15 +5,14 @@
 //!
 //! The temporal stage is embarrassingly parallel across `(code, location)`
 //! streams and the spatial/causal stages across codes; [`CoAnalysis::run`]
-//! shards the fatal stream by error code across threads (crossbeam scoped
+//! shards the fatal stream by error code across threads (std::thread::scope
 //! threads, fork-join, no shared mutable state) and merges. Use
 //! [`CoAnalysisConfig::sequential`] to force the single-threaded path (the
 //! ablation benchmarked in `benches/pipeline.rs`).
 
 use crate::analysis::failure_stats::TableIv;
 use crate::analysis::{
-    BurstAnalysis, InterruptionStats, MidplaneProfile, PropagationAnalysis,
-    VulnerabilityAnalysis,
+    BurstAnalysis, InterruptionStats, MidplaneProfile, PropagationAnalysis, VulnerabilityAnalysis,
 };
 use crate::classify::{classify_impact, classify_root_cause, ImpactSummary, RootCauseSummary};
 use crate::event::Event;
@@ -119,6 +118,10 @@ impl CoAnalysis {
     }
 
     /// Run the full pipeline.
+    ///
+    /// Contract: consumes the raw RAS and job logs and returns per-stage
+    /// event counts plus classification summaries; deterministic for a given
+    /// input (no clock or entropy reads).
     pub fn run(&self, ras: &RasLog, jobs: &JobLog) -> CoAnalysisResult {
         let cfg = &self.config;
         let raw: Vec<Event> = Event::from_fatal_records(ras);
@@ -161,8 +164,7 @@ impl CoAnalysis {
             .unwrap_or((bgp_model::Timestamp::EPOCH, bgp_model::Timestamp::EPOCH));
         let burst = BurstAnalysis::new(&victims, jobs, window, cfg.quick_window);
         let interruption = InterruptionStats::new(&events, &matching, &root_cause, jobs);
-        let propagation =
-            PropagationAnalysis::new(&events, &matching, jobs, &outcome.redundant);
+        let propagation = PropagationAnalysis::new(&events, &matching, jobs, &outcome.redundant);
         let vulnerability = VulnerabilityAnalysis::new(
             &events,
             &matching,
@@ -213,18 +215,21 @@ impl CoAnalysis {
             shard_list.iter().map(worker).collect()
         } else {
             let chunk = shard_list.len().div_ceil(cfg.threads);
-            let mut results: Vec<Vec<(Vec<Event>, usize)>> =
-                Vec::with_capacity(cfg.threads);
-            crossbeam::scope(|scope| {
+            let mut results: Vec<Vec<(Vec<Event>, usize)>> = Vec::with_capacity(cfg.threads);
+            std::thread::scope(|scope| {
                 let handles: Vec<_> = shard_list
                     .chunks(chunk)
-                    .map(|chunk| scope.spawn(move |_| chunk.iter().map(worker).collect::<Vec<_>>()))
+                    .map(|chunk| scope.spawn(move || chunk.iter().map(worker).collect::<Vec<_>>()))
                     .collect();
                 for h in handles {
-                    results.push(h.join().expect("filter worker panicked"));
+                    match h.join() {
+                        Ok(part) => results.push(part),
+                        // Re-raise the worker's panic on the calling thread so
+                        // the failure keeps its original message.
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    }
                 }
-            })
-            .expect("crossbeam scope");
+            });
             results.into_iter().flatten().collect()
         };
 
@@ -288,7 +293,9 @@ mod tests {
     use bgp_sim::{SimConfig, Simulation};
 
     fn small_run(seed: u64) -> (bgp_sim::SimOutput, CoAnalysisResult) {
-        let out = Simulation::new(SimConfig::small_test(seed)).run();
+        let out = Simulation::new(SimConfig::small_test(seed))
+            .expect("valid config")
+            .run();
         let result = CoAnalysis::default().run(&out.ras, &out.jobs);
         (out, result)
     }
@@ -310,10 +317,11 @@ mod tests {
 
     #[test]
     fn parallel_and_sequential_agree() {
-        let out = Simulation::new(SimConfig::small_test(2)).run();
+        let out = Simulation::new(SimConfig::small_test(2))
+            .expect("valid config")
+            .run();
         let par = CoAnalysis::default().run(&out.ras, &out.jobs);
-        let seq =
-            CoAnalysis::with_config(CoAnalysisConfig::sequential()).run(&out.ras, &out.jobs);
+        let seq = CoAnalysis::with_config(CoAnalysisConfig::sequential()).run(&out.ras, &out.jobs);
         assert_eq!(par.events, seq.events);
         assert_eq!(par.filter_stats, seq.filter_stats);
         assert_eq!(par.matching, seq.matching);
@@ -327,10 +335,7 @@ mod tests {
         let found = r.matching.interrupted_jobs();
         assert!(truth > 0);
         let recall = found as f64 / truth as f64;
-        assert!(
-            recall > 0.8,
-            "found {found} of {truth} true interruptions"
-        );
+        assert!(recall > 0.8, "found {found} of {truth} true interruptions");
     }
 
     #[test]

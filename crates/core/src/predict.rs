@@ -26,10 +26,9 @@
 use crate::classify::ImpactSummary;
 use crate::event::Event;
 use crate::matching::{EventCase, Matching};
-use serde::Serialize;
 
 /// The three warning policies, weakest filter first.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WarningPolicy {
     /// Warn on every FATAL-severity event.
     SeverityOnly,
@@ -58,7 +57,12 @@ impl WarningPolicy {
     }
 
     /// Does this policy warn on the given event?
-    pub fn warns(self, event: &Event, m: &crate::matching::EventMatch, impact: &ImpactSummary) -> bool {
+    pub fn warns(
+        self,
+        event: &Event,
+        m: &crate::matching::EventMatch,
+        impact: &ImpactSummary,
+    ) -> bool {
         match self {
             WarningPolicy::SeverityOnly => true,
             WarningPolicy::ImpactFiltered => impact
@@ -79,7 +83,7 @@ impl WarningPolicy {
 }
 
 /// The outcome of evaluating one policy.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PolicyScore {
     /// Which policy.
     pub policy: WarningPolicy,
@@ -222,7 +226,7 @@ impl Default for PrecursorPredictor {
 }
 
 /// The outcome of a precursor-prediction evaluation.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PrecursorScore {
     /// Alerts raised.
     pub alerts: usize,
@@ -267,10 +271,11 @@ impl PrecursorPredictor {
     ) -> PrecursorScore {
         use raslog::Severity;
         use std::collections::HashMap;
-        let warn_codes: Vec<raslog::ErrCode> = ["_bgp_warn_ecc_corrected", "_bgp_warn_single_symbol_error"]
-            .iter()
-            .filter_map(|n| raslog::Catalog::standard().lookup(n))
-            .collect();
+        let warn_codes: Vec<raslog::ErrCode> =
+            ["_bgp_warn_ecc_corrected", "_bgp_warn_single_symbol_error"]
+                .iter()
+                .filter_map(|n| raslog::Catalog::standard().lookup(n))
+                .collect();
 
         // Per-midplane warning times.
         let mut warns: HashMap<u8, Vec<bgp_model::Timestamp>> = HashMap::new();
@@ -318,8 +323,7 @@ impl PrecursorPredictor {
         let mut hits = 0usize;
         let mut total_alerts = 0usize;
         let mut leads: Vec<i64> = Vec::new();
-        let mut predicted: std::collections::HashSet<(u8, i64)> =
-            std::collections::HashSet::new();
+        let mut predicted: std::collections::HashSet<(u8, i64)> = std::collections::HashSet::new();
         for (&mp, alert_times) in &alerts {
             total_alerts += alert_times.len();
             let Some(event_times) = targets.get(&mp) else {
@@ -449,7 +453,7 @@ mod tests {
         let mut cfg = SimConfig::small_test(41);
         cfg.days = 30;
         cfg.num_execs = 1_200;
-        let out = Simulation::new(cfg).run();
+        let out = Simulation::new(cfg).expect("valid config").run();
         let r = crate::pipeline::CoAnalysis::default().run(&out.ras, &out.jobs);
         let score = PrecursorPredictor::default().evaluate(&out.ras, &r.events, &r.matching);
         // Persistent hardware faults carry a precursor trail, so some

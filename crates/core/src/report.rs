@@ -2,16 +2,14 @@
 
 use crate::analysis::failure_stats::TableIv;
 use crate::analysis::{
-    BurstAnalysis, InterruptionStats, MidplaneProfile, PropagationAnalysis,
-    VulnerabilityAnalysis,
+    BurstAnalysis, InterruptionStats, MidplaneProfile, PropagationAnalysis, VulnerabilityAnalysis,
 };
 use crate::classify::{CodeImpact, ImpactSummary, RootCauseSummary};
 use crate::filter::FilterStats;
-use serde::Serialize;
 use std::fmt;
 
 /// Everything quantitative behind Observations 1–12.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Observations {
     // Obs 1
     /// Non-fatal-in-practice code count and the event fraction (paper:
@@ -176,7 +174,7 @@ impl Observations {
 }
 
 /// One shape claim from the paper checked against a run.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ShapeCheck {
     /// Which observation the claim belongs to.
     pub observation: u8,
@@ -348,7 +346,11 @@ impl fmt::Display for Observations {
         )?;
         writeln!(f, "Obs 9  P(interrupt | k consecutive interruptions):")?;
         writeln!(f, "        system:      {}", p3(&self.obs9_system_probs))?;
-        writeln!(f, "        application: {}", p3(&self.obs9_application_probs))?;
+        writeln!(
+            f,
+            "        application: {}",
+            p3(&self.obs9_application_probs)
+        )?;
         writeln!(
             f,
             "Obs 10 gain ratio (system interruptions): size {:.4} vs execution time {:.4}",
@@ -433,5 +435,4 @@ mod tests {
         assert!(text.contains("4.07x"));
         assert!(text.contains("k=3: n/a"));
     }
-
 }

@@ -256,7 +256,9 @@ mod tests {
     fn equivalent_to_batch_temporal_spatial() {
         // Feed a whole simulated log through the online analyzer: the event
         // count must equal the batch temporal→spatial stack's.
-        let out = Simulation::new(SimConfig::small_test(21)).run();
+        let out = Simulation::new(SimConfig::small_test(21))
+            .expect("valid config")
+            .run();
         let mut online = OnlineAnalyzer::new();
         for r in out.ras.records() {
             online.push(r);

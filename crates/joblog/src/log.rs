@@ -211,7 +211,10 @@ mod tests {
         assert!(log.running_at(m0, Timestamp::from_unix(500)).is_empty());
         // Window overlapping both.
         let hits = log.overlapping(m0, Timestamp::from_unix(400), Timestamp::from_unix(650));
-        assert_eq!(hits.iter().map(|j| j.job_id).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(
+            hits.iter().map(|j| j.job_id).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
         // The wide job occupies R10..R11 midplanes.
         let m20: MidplaneId = "R10-M0".parse().unwrap();
         assert_eq!(log.running_at(m20, Timestamp::from_unix(1000)).len(), 1);
@@ -221,7 +224,10 @@ mod tests {
     fn termination_queries() {
         let log = sample();
         let ended = log.ended_in_window(Timestamp::from_unix(500), Timestamp::from_unix(901));
-        assert_eq!(ended.iter().map(|j| j.job_id).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(
+            ended.iter().map(|j| j.job_id).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
         assert!(log
             .ended_in_window(Timestamp::from_unix(0), Timestamp::from_unix(100))
             .is_empty());

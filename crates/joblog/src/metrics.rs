@@ -7,10 +7,9 @@
 
 use crate::log::JobLog;
 use bgp_model::{topology::NUM_MIDPLANES, Timestamp};
-use serde::Serialize;
 
 /// Machine utilization over a window.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Utilization {
     /// Busy midplane-seconds delivered to jobs.
     pub busy_midplane_secs: i64,
@@ -50,7 +49,7 @@ pub fn utilization(jobs: &JobLog, start: Timestamp, end: Timestamp) -> Utilizati
 /// For a job with wait time *w* and runtime *r*, the bounded slowdown with
 /// bound τ is `max(1, (w + r) / max(r, τ))` — the classic metric that stops
 /// tiny jobs from dominating the average.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BoundedSlowdown {
     /// The runtime bound τ used (seconds; 10 s is the literature default).
     pub bound_secs: i64,
@@ -149,10 +148,18 @@ mod tests {
     #[test]
     fn utilization_clips_to_window() {
         let jobs = JobLog::from_jobs(vec![job(1, 0, 0, 10_000, (0, 1))]);
-        let u = utilization(&jobs, Timestamp::from_unix(2_000), Timestamp::from_unix(4_000));
+        let u = utilization(
+            &jobs,
+            Timestamp::from_unix(2_000),
+            Timestamp::from_unix(4_000),
+        );
         assert_eq!(u.busy_midplane_secs, 2_000);
         // Degenerate window.
-        let u = utilization(&jobs, Timestamp::from_unix(4_000), Timestamp::from_unix(4_000));
+        let u = utilization(
+            &jobs,
+            Timestamp::from_unix(4_000),
+            Timestamp::from_unix(4_000),
+        );
         assert_eq!(u.fraction(), 0.0);
     }
 

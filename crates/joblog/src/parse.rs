@@ -56,8 +56,7 @@ pub fn parse_line(line: &str) -> Result<JobRecord, JobParseError> {
             .ok_or_else(|| field_err("EXEC", fields[1]))?,
     );
     let user = UserId(
-        parse_prefixed(fields[2].trim(), "user", "")
-            .ok_or_else(|| field_err("USER", fields[2]))?,
+        parse_prefixed(fields[2].trim(), "user", "").ok_or_else(|| field_err("USER", fields[2]))?,
     );
     let project = ProjectId(
         parse_prefixed(fields[3].trim(), "proj", "")
@@ -92,11 +91,7 @@ pub fn parse_line(line: &str) -> Result<JobRecord, JobParseError> {
     let exit = match fields[8].trim() {
         "cancelled" => ExitStatus::Cancelled,
         "0" => ExitStatus::Completed,
-        other => ExitStatus::Failed(
-            other
-                .parse()
-                .map_err(|_| field_err("EXIT", fields[8]))?,
-        ),
+        other => ExitStatus::Failed(other.parse().map_err(|_| field_err("EXIT", fields[8]))?),
     };
     Ok(JobRecord {
         job_id,

@@ -1,30 +1,20 @@
 //! The job record value type and its small id types.
 
 use bgp_model::{Duration, Partition, Timestamp};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A distinct executable ("execution file"). The paper treats jobs with the
 /// same execution file as one *distinct job*; resubmissions share an
 /// [`ExecId`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ExecId(pub u32);
 
 /// A user (Intrepid had 236 in the study window).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct UserId(pub u32);
 
 /// A project/allocation (91 in the study window).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ProjectId(pub u32);
 
 impl fmt::Display for ExecId {
@@ -50,7 +40,7 @@ impl fmt::Display for ProjectId {
 /// The exit code alone cannot distinguish a system failure from an
 /// application error — that disambiguation is the whole point of co-analysis
 /// — so analysis code treats this as a hint, never as ground truth.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ExitStatus {
     /// Exited with code 0.
     Completed,
@@ -82,7 +72,7 @@ impl fmt::Display for ExitStatus {
 }
 
 /// One job accounting record.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct JobRecord {
     /// Cobalt job id (unique per submission).
     pub job_id: u64,

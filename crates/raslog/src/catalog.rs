@@ -22,16 +22,12 @@
 
 use crate::component::Component;
 use crate::severity::Severity;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::OnceLock;
 
 /// A compact reference to a catalogue entry (the ERRCODE of a record).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ErrCode(pub u16);
 
 impl ErrCode {
@@ -73,7 +69,13 @@ pub struct Catalog {
 
 /// `(name, component, subcomponent, severity, message template)` rows for
 /// the standard catalogue. FATAL rows first (all 82), then background codes.
-type Row = (&'static str, Component, &'static str, Severity, &'static str);
+type Row = (
+    &'static str,
+    Component,
+    &'static str,
+    Severity,
+    &'static str,
+);
 
 use Component as C;
 use Severity as S;
@@ -290,14 +292,16 @@ impl Catalog {
             let entries: Vec<CodeInfo> = TABLE
                 .iter()
                 .enumerate()
-                .map(|(i, &(name, component, subcomponent, severity, template))| CodeInfo {
-                    name,
-                    component,
-                    subcomponent,
-                    severity,
-                    msg_id: format!("{}_{:04}", component.msg_id_prefix(), i),
-                    template,
-                })
+                .map(
+                    |(i, &(name, component, subcomponent, severity, template))| CodeInfo {
+                        name,
+                        component,
+                        subcomponent,
+                        severity,
+                        msg_id: format!("{}_{:04}", component.msg_id_prefix(), i),
+                        template,
+                    },
+                )
                 .collect();
             let by_name = entries
                 .iter()
@@ -355,10 +359,8 @@ mod tests {
         // types of ERRCODE from six types of COMPONENT".
         let cat = Catalog::standard();
         assert_eq!(cat.fatal_codes().count(), 82);
-        let components: std::collections::HashSet<Component> = cat
-            .fatal_codes()
-            .map(|c| cat.info(c).component)
-            .collect();
+        let components: std::collections::HashSet<Component> =
+            cat.fatal_codes().map(|c| cat.info(c).component).collect();
         assert_eq!(components.len(), 6, "fatal codes span six components");
         // No FATAL from the APPLICATION domain (paper, Section IV-B).
         assert!(!components.contains(&Component::Application));

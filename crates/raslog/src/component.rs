@@ -1,13 +1,10 @@
 //! The COMPONENT field: which software layer reported the event.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
 
 /// The software component that detected and reported a RAS event.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[repr(u8)]
 pub enum Component {
     /// The running job itself. (The paper notes that *no* FATAL event in the

@@ -97,7 +97,9 @@ impl RasLog {
         let posting = &self.by_midplane[m.index()];
         let lo = posting.partition_point(|&i| self.records[i as usize].event_time < t0);
         let hi = posting.partition_point(|&i| self.records[i as usize].event_time < t1);
-        posting[lo..hi].iter().map(move |&i| &self.records[i as usize])
+        posting[lo..hi]
+            .iter()
+            .map(move |&i| &self.records[i as usize])
     }
 
     /// Count of records per error code.
@@ -168,7 +170,11 @@ mod tests {
     #[test]
     fn sorted_by_time() {
         let log = sample_log();
-        let times: Vec<i64> = log.records().iter().map(|r| r.event_time.as_unix()).collect();
+        let times: Vec<i64> = log
+            .records()
+            .iter()
+            .map(|r| r.event_time.as_unix())
+            .collect();
         assert_eq!(times, vec![100, 200, 300, 400, 500]);
         assert_eq!(
             log.time_span(),
@@ -183,10 +189,22 @@ mod tests {
     #[test]
     fn window_queries() {
         let log = sample_log();
-        assert_eq!(log.in_window(Timestamp::from_unix(150), Timestamp::from_unix(400)).len(), 2);
+        assert_eq!(
+            log.in_window(Timestamp::from_unix(150), Timestamp::from_unix(400))
+                .len(),
+            2
+        );
         // Half-open: excludes t1.
-        assert_eq!(log.in_window(Timestamp::from_unix(100), Timestamp::from_unix(100)).len(), 0);
-        assert_eq!(log.in_window(Timestamp::from_unix(0), Timestamp::from_unix(1000)).len(), 5);
+        assert_eq!(
+            log.in_window(Timestamp::from_unix(100), Timestamp::from_unix(100))
+                .len(),
+            0
+        );
+        assert_eq!(
+            log.in_window(Timestamp::from_unix(0), Timestamp::from_unix(1000))
+                .len(),
+            5
+        );
     }
 
     #[test]

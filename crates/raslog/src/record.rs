@@ -4,7 +4,6 @@ use crate::catalog::{Catalog, ErrCode};
 use crate::component::Component;
 use crate::severity::Severity;
 use bgp_model::{Location, Timestamp};
-use serde::{Deserialize, Serialize};
 
 /// One RAS event record (one line of the log).
 ///
@@ -12,7 +11,7 @@ use serde::{Deserialize, Serialize};
 /// MSG_ID / COMPONENT / SUBCOMPONENT strings are all derivable from it, so a
 /// record carries only what varies per event. The full Intrepid log holds
 /// two million records; at 32 bytes each that is a comfortable 64 MB.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RasRecord {
     /// Sequence number in the log (RECID), assigned in emission order.
     pub recid: u64,

@@ -1,6 +1,5 @@
 //! RAS severity levels.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
 
@@ -12,9 +11,7 @@ use std::str::FromStr;
 /// survivable (e.g. loss of a redundant component); only FATAL presumably
 /// crashes the application or system — and the whole point of co-analysis is
 /// that "presumably" is often wrong.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[repr(u8)]
 pub enum Severity {
     /// Code-debugging chatter (not present in production logs).

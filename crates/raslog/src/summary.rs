@@ -10,11 +10,10 @@ use crate::component::Component;
 use crate::log::RasLog;
 use crate::severity::Severity;
 use bgp_model::MidplaneId;
-use serde::Serialize;
 use std::collections::HashMap;
 
 /// Aggregate profile of one RAS log.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct LogSummary {
     /// Total records.
     pub total: usize,
@@ -77,8 +76,7 @@ impl LogSummary {
         let distinct_fatal_codes = fatal_codes.len();
         fatal_codes.sort_by_key(|&(c, n)| (std::cmp::Reverse(n), c));
         fatal_codes.truncate(top_k);
-        let mut noisiest: Vec<(MidplaneId, usize)> =
-            per_midplane.into_iter().collect();
+        let mut noisiest: Vec<(MidplaneId, usize)> = per_midplane.into_iter().collect();
         noisiest.sort_by_key(|&(m, n)| (std::cmp::Reverse(n), m));
         noisiest.truncate(top_k);
         LogSummary {

@@ -47,7 +47,9 @@ mod tests {
 
     #[test]
     fn formats_all_nine_fields() {
-        let code = Catalog::standard().lookup("DetectedClockCardErrors").unwrap();
+        let code = Catalog::standard()
+            .lookup("DetectedClockCardErrors")
+            .unwrap();
         let r = RasRecord::new(
             13_718_190,
             Timestamp::from_civil(2008, 4, 14, 15, 8, 12),

@@ -1,12 +1,11 @@
 //! Empirical cumulative distribution functions (Figures 3 and 6).
 
 use crate::StatsError;
-use serde::{Deserialize, Serialize};
 
 /// An empirical CDF built from a sample.
 ///
 /// Evaluation is `O(log n)` by binary search over the sorted sample.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Ecdf {
     sorted: Vec<f64>,
 }
@@ -21,7 +20,7 @@ impl Ecdf {
             return Err(StatsError::InvalidSample(nan));
         }
         let mut sorted = xs.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        sorted.sort_by(f64::total_cmp);
         Ok(Ecdf { sorted })
     }
 
@@ -119,10 +118,7 @@ mod tests {
     #[test]
     fn steps_deduplicate() {
         let e = Ecdf::new(&[1.0, 2.0, 2.0, 5.0]).unwrap();
-        assert_eq!(
-            e.steps(),
-            vec![(1.0, 0.25), (2.0, 0.75), (5.0, 1.0)]
-        );
+        assert_eq!(e.steps(), vec![(1.0, 0.25), (2.0, 0.75), (5.0, 1.0)]);
     }
 
     #[test]

@@ -5,10 +5,9 @@
 //! Gene/P; we reproduce that comparison in [`crate::lrt`].
 
 use crate::StatsError;
-use serde::{Deserialize, Serialize};
 
 /// An exponential distribution with rate `λ`: `F(x) = 1 − e^{−λx}`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Exponential {
     /// Rate parameter (> 0), reciprocal of the mean.
     pub rate: f64,

@@ -5,10 +5,9 @@
 //! ≥ 6400 s).
 
 use crate::StatsError;
-use serde::{Deserialize, Serialize};
 
 /// A histogram over `[lo, hi)` with equal-width bins.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     lo: f64,
     hi: f64,

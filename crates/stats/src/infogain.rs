@@ -10,7 +10,6 @@
 //! sheer fragmentation — which is exactly the effect behind Observation 12.
 
 use crate::StatsError;
-use serde::{Deserialize, Serialize};
 
 /// Shannon entropy (base 2) of a discrete label sample given as class counts.
 pub fn entropy_from_counts(counts: &[usize]) -> f64 {
@@ -39,7 +38,7 @@ pub fn entropy(labels: &[usize], num_classes: usize) -> f64 {
 }
 
 /// The result of evaluating one feature against the labels.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FeatureScore {
     /// Information gain `H(labels) − H(labels | feature)` in bits.
     pub gain: f64,
@@ -129,8 +128,7 @@ pub fn rank_features(
     }
     out.sort_by(|a, b| {
         b.1.gain_ratio
-            .partial_cmp(&a.1.gain_ratio)
-            .expect("no NaN in scores")
+            .total_cmp(&a.1.gain_ratio)
             .then_with(|| a.0.cmp(&b.0))
     });
     Ok(out)

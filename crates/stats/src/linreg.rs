@@ -5,10 +5,9 @@
 //! be honest?
 
 use crate::StatsError;
-use serde::{Deserialize, Serialize};
 
 /// An OLS fit of `y = intercept + slope · x`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinearFit {
     /// Slope per unit of `x`.
     pub slope: f64,

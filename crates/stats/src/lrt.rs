@@ -9,10 +9,9 @@
 
 use crate::special::chi2_sf;
 use crate::{Exponential, StatsError, Weibull};
-use serde::{Deserialize, Serialize};
 
 /// The outcome of fitting both models to a sample and comparing them.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FitComparison {
     /// The fitted Weibull model.
     pub weibull: Weibull,

@@ -219,7 +219,12 @@ mod tests {
             counts[k] += 1;
         }
         // Rank 0 should dominate rank 50 heavily.
-        assert!(counts[0] > counts[50] * 5, "{} vs {}", counts[0], counts[50]);
+        assert!(
+            counts[0] > counts[50] * 5,
+            "{} vs {}",
+            counts[0],
+            counts[50]
+        );
         // Head heaviness: top-10 ranks should carry a large share.
         let head: usize = counts[..10].iter().sum();
         assert!(head as f64 / 50_000.0 > 0.4);

@@ -73,7 +73,7 @@ pub fn quantile(xs: &[f64], q: f64) -> Result<f64, StatsError> {
     if sorted.iter().any(|x| x.is_nan()) {
         return Err(StatsError::InvalidSample(f64::NAN));
     }
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    sorted.sort_by(f64::total_cmp);
     let h = q * (sorted.len() as f64 - 1.0);
     let lo = h.floor() as usize;
     let hi = h.ceil() as usize;

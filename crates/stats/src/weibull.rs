@@ -8,7 +8,6 @@
 
 use crate::special::{gamma, ln_gamma};
 use crate::StatsError;
-use serde::{Deserialize, Serialize};
 
 /// A two-parameter Weibull distribution with shape `k` and scale `λ`:
 ///
@@ -24,7 +23,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(w.shape < 1.0, "bursty data has a decreasing hazard");
 /// assert!(w.cdf(w.mean()) > 0.5); // heavy right tail
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Weibull {
     /// Shape parameter `k` (> 0). `k < 1`: decreasing hazard; `k = 1`:
     /// exponential; `k > 1`: increasing hazard (wear-out).
@@ -137,7 +136,7 @@ impl Weibull {
         let n = xs.len() as f64;
         // Work with scaled data to avoid overflow of x^k for large x:
         // fitting x/c multiplies the scale by c and leaves the shape alone.
-        let c = crate::summary::Summary::of(xs).expect("validated").mean;
+        let c = crate::summary::Summary::of(xs)?.mean;
         let scaled: Vec<f64> = xs.iter().map(|&x| x / c).collect();
         let mean_ln: f64 = scaled.iter().map(|&x| x.ln()).sum::<f64>() / n;
 
@@ -211,7 +210,7 @@ impl Weibull {
 }
 
 /// A bootstrap confidence interval for the Weibull parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WeibullCi {
     /// The point estimate (MLE on the full sample).
     pub fit: Weibull,
@@ -254,18 +253,22 @@ pub fn fit_mle_bootstrap<R: rand::Rng>(
             got: shapes.len(),
         });
     }
-    let q = |v: &[f64], p: f64| crate::summary::quantile(v, p).expect("non-empty");
+    let q = |v: &[f64], p: f64| crate::summary::quantile(v, p);
     Ok(WeibullCi {
         fit,
-        shape_90: (q(&shapes, 0.05), q(&shapes, 0.95)),
-        scale_90: (q(&scales, 0.05), q(&scales, 0.95)),
+        shape_90: (q(&shapes, 0.05)?, q(&shapes, 0.95)?),
+        scale_90: (q(&scales, 0.05)?, q(&scales, 0.95)?),
         resamples: shapes.len(),
     })
 }
 
 impl std::fmt::Display for Weibull {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Weibull(shape={:.6}, scale={:.1})", self.shape, self.scale)
+        write!(
+            f,
+            "Weibull(shape={:.6}, scale={:.1})",
+            self.shape, self.scale
+        )
     }
 }
 

@@ -1,0 +1,648 @@
+//! The domain lint rules.
+//!
+//! Each rule is a pure function from analyzed sources ([`SourceFile`]) to
+//! [`Finding`]s, so the unit tests can drive every rule with small in-memory
+//! fixtures. Scoping — which files each rule sees — is the runner's job
+//! (`crate::workspace`); suppression (`xtask-allow`) is applied there too, so
+//! rules report every violation they see.
+//!
+//! The rule catalog, with ids as used in `xtask-allow(<id>): <why>`:
+//!
+//! | id | enforces |
+//! |----|----------|
+//! | `determinism` | no ambient clocks/entropy in `core`/`stats` |
+//! | `no-panic` | no `unwrap`/`expect`/`panic!` in non-test library code |
+//! | `severity-wildcard` | `match` over `Severity` lists variants explicitly |
+//! | `errcode-catalog` | classify's ERRCODE strings exist in the catalog |
+//! | `crate-attrs` | crate roots forbid `unsafe_code`, warn `missing_docs` |
+//! | `stage-contract` | public pipeline stages document their contract |
+//! | `dep-versions` | no duplicate major versions in `Cargo.lock` |
+//! | `allow-syntax` | every `xtask-allow` carries a justification |
+
+use crate::source::SourceFile;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// One lint violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id (see module docs).
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub path: String,
+    /// 1-based line number (0 for file- or workspace-level findings).
+    pub line: usize,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}: [{}] {}", self.path, self.rule, self.message)
+        } else {
+            write!(
+                f,
+                "{}:{}: [{}] {}",
+                self.path, self.line, self.rule, self.message
+            )
+        }
+    }
+}
+
+/// Static description of a rule, for `cargo xtask lint --list`.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Rule id as accepted by `--only` and `xtask-allow`.
+    pub id: &'static str,
+    /// One-line summary of what the rule enforces.
+    pub summary: &'static str,
+}
+
+/// Every rule the harness knows, in reporting order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "determinism",
+        summary: "deny ambient clocks and entropy (SystemTime::now, Instant::now, thread RNGs) in crates/core and crates/stats",
+    },
+    RuleInfo {
+        id: "no-panic",
+        summary: "deny unwrap()/expect()/panic! in non-test library code",
+    },
+    RuleInfo {
+        id: "severity-wildcard",
+        summary: "matches over raslog::Severity must list variants explicitly (no `_` arm)",
+    },
+    RuleInfo {
+        id: "errcode-catalog",
+        summary: "every ERRCODE string referenced by crates/core/src/classify must exist in crates/raslog/src/catalog.rs",
+    },
+    RuleInfo {
+        id: "crate-attrs",
+        summary: "crate roots carry #![forbid(unsafe_code)] and #![warn(missing_docs)]",
+    },
+    RuleInfo {
+        id: "stage-contract",
+        summary: "public pipeline stage entry points document their input/output contract (a `Contract:` doc line)",
+    },
+    RuleInfo {
+        id: "dep-versions",
+        summary: "Cargo.lock carries no duplicate major versions of any dependency",
+    },
+    RuleInfo {
+        id: "allow-syntax",
+        summary: "xtask-allow suppressions carry a non-empty justification",
+    },
+];
+
+/// Ambient time / entropy sources that break pipeline reproducibility.
+const NONDETERMINISM: &[(&str, &str)] = &[
+    ("SystemTime::now", "ambient wall-clock read"),
+    ("Instant::now", "ambient monotonic-clock read"),
+    ("thread_rng", "thread-local RNG (unseeded)"),
+    ("rand::rng(", "ambient RNG constructor (unseeded)"),
+    ("from_entropy", "OS-entropy RNG seeding"),
+    ("from_os_rng", "OS-entropy RNG seeding"),
+];
+
+/// `determinism`: the analysis pipeline (`crates/core`) and the statistics
+/// substrate (`crates/stats`) must be pure functions of their inputs and
+/// explicit seeds — the paper's results are only reproducible if the same
+/// logs always produce the same tables.
+pub fn determinism(file: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (lineno, line) in file.numbered() {
+        if line.in_test {
+            continue;
+        }
+        for (pattern, what) in NONDETERMINISM {
+            if line.code.contains(pattern) {
+                out.push(Finding {
+                    rule: "determinism",
+                    path: file.path.clone(),
+                    line: lineno,
+                    message: format!(
+                        "{what} (`{pattern}`) in deterministic pipeline code; \
+                         thread an explicit seed or timestamp through the call graph"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Panic paths denied in library code.
+const PANIC_PATTERNS: &[(&str, &str)] = &[
+    (".unwrap()", "unwrap()"),
+    (".expect(", "expect()"),
+    ("panic!(", "panic!"),
+];
+
+/// `no-panic`: library code must return typed errors, not abort the process.
+/// Test code is exempt (the runner only feeds non-test lines would be wrong —
+/// the exemption is per line, handled here via `in_test`).
+pub fn no_panic(file: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (lineno, line) in file.numbered() {
+        if line.in_test {
+            continue;
+        }
+        for (pattern, what) in PANIC_PATTERNS {
+            if line.code.contains(pattern) {
+                out.push(Finding {
+                    rule: "no-panic",
+                    path: file.path.clone(),
+                    line: lineno,
+                    message: format!(
+                        "{what} in library code; return a typed error \
+                         (or justify with `xtask-allow(no-panic): <why>`)"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// `severity-wildcard`: a `match` over `raslog::Severity` with a `_` arm
+/// silently absorbs any future severity level; the catalog gained levels
+/// before and will again. Requires every variant listed.
+pub fn severity_wildcard(file: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    // Stack of open match blocks: (line of `match`, depth of its arms,
+    // saw a Severity:: pattern, saw a wildcard arm).
+    let mut depth: i64 = 0;
+    let mut matches: Vec<(usize, i64, bool, bool)> = Vec::new();
+    for (lineno, line) in file.numbered() {
+        if line.in_test {
+            continue;
+        }
+        let code = &line.code;
+        // Arm inspection happens before brace bookkeeping so `Severity::X =>`
+        // patterns are attributed to the innermost open match.
+        if let Some((arm_line, arm_depth, saw_sev, saw_wild)) = matches.last_mut() {
+            let _ = arm_line;
+            if depth == *arm_depth + 1 {
+                if let Some(pat) = code.split_once("=>").map(|(p, _)| p.trim()) {
+                    if pat.contains("Severity::") {
+                        *saw_sev = true;
+                    }
+                    if pat == "_" || pat.ends_with("| _") || pat.starts_with("_ if") {
+                        *saw_wild = true;
+                    }
+                }
+            }
+        }
+        let opens_match = code.contains("match ") && code.trim_end().ends_with('{');
+        for c in code.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    if opens_match && matches.last().map(|m| m.1) != Some(depth - 1) {
+                        // Attribute the first `{` on a `match ... {` line to
+                        // the match itself.
+                        matches.push((lineno, depth - 1, false, false));
+                    }
+                }
+                '}' => {
+                    depth -= 1;
+                    if let Some(&(mline, mdepth, saw_sev, saw_wild)) = matches.last() {
+                        if depth == mdepth {
+                            matches.pop();
+                            if saw_sev && saw_wild {
+                                out.push(Finding {
+                                    rule: "severity-wildcard",
+                                    path: file.path.clone(),
+                                    line: mline,
+                                    message: "match over Severity uses a wildcard arm; \
+                                              list every variant so new severity levels \
+                                              fail to compile instead of being absorbed"
+                                        .to_owned(),
+                                });
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// True for strings shaped like Blue Gene/P error-code names: the lowercase
+/// `_bgp_*` family or upper-snake-case hardware codes (`BULK_POWER_FATAL`).
+fn looks_like_errcode(s: &str) -> bool {
+    // Every catalog code is `_bgp_` + lower_snake; subcomponent names are
+    // UPPER_SNAKE and deliberately not matched.
+    if let Some(rest) = s.strip_prefix("_bgp_") {
+        return !rest.is_empty()
+            && rest
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_');
+    }
+    false
+}
+
+/// Extract the set of code names defined by `catalog.rs`: the first string
+/// of every `("name", C::Component, ...)` catalog entry.
+pub fn catalog_names(catalog: &SourceFile) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for (_, line) in catalog.numbered() {
+        // After string-blanking a catalog entry reads `("", C::Kernel, ...)`.
+        if line.code.contains("(\"\", C::") {
+            if let Some(first) = line.strings.first() {
+                names.insert(first.clone());
+            }
+        }
+    }
+    names
+}
+
+/// `errcode-catalog`: every ERRCODE-shaped string in the classify sources
+/// must name a code the catalog actually defines — classification decisions
+/// keyed on a typo would silently never fire. Test code is checked too: a
+/// test asserting on a phantom code is equally wrong.
+pub fn errcode_catalog(catalog: &SourceFile, classify: &[&SourceFile]) -> Vec<Finding> {
+    let names = catalog_names(catalog);
+    let mut out = Vec::new();
+    if names.is_empty() {
+        out.push(Finding {
+            rule: "errcode-catalog",
+            path: catalog.path.clone(),
+            line: 0,
+            message: "no catalog entries recognized; catalog.rs format changed?".to_owned(),
+        });
+        return out;
+    }
+    for file in classify {
+        for (lineno, line) in file.numbered() {
+            for s in &line.strings {
+                if looks_like_errcode(s) && !names.contains(s) {
+                    out.push(Finding {
+                        rule: "errcode-catalog",
+                        path: file.path.clone(),
+                        line: lineno,
+                        message: format!(
+                            "ERRCODE `{s}` is not defined in raslog's catalog \
+                             (crates/raslog/src/catalog.rs); classification keyed \
+                             on it can never fire"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Crate-root attributes every workspace crate must carry.
+const REQUIRED_ATTRS: &[&str] = &["#![forbid(unsafe_code)]", "#![warn(missing_docs)]"];
+
+/// `crate-attrs`: belt and braces with `[workspace.lints]` — the attributes
+/// keep the guarantees visible in the source and survive being compiled
+/// outside this workspace.
+pub fn crate_attrs(root: &SourceFile) -> Vec<Finding> {
+    let squashed: Vec<String> = root
+        .lines
+        .iter()
+        .map(|l| l.code.chars().filter(|c| !c.is_whitespace()).collect())
+        .collect();
+    REQUIRED_ATTRS
+        .iter()
+        .filter(|attr| {
+            let want: String = attr.chars().filter(|c| !c.is_whitespace()).collect();
+            !squashed.iter().any(|l| l.contains(&want))
+        })
+        .map(|attr| Finding {
+            rule: "crate-attrs",
+            path: root.path.clone(),
+            line: 0,
+            message: format!("crate root is missing `{attr}`"),
+        })
+        .collect()
+}
+
+/// Names of public entry points that constitute pipeline stages.
+const STAGE_FNS: &[&str] = &[
+    "apply",
+    "run",
+    "filter",
+    "classify_impact",
+    "classify_root_cause",
+];
+
+/// `stage-contract`: every public stage entry point must carry a doc line
+/// starting `Contract:` stating its input → output obligation (e.g. that
+/// filtering is monotone: output count ≤ input count). The paper's pipeline
+/// is a chain of such contracts; making them greppable text keeps them
+/// reviewable.
+pub fn stage_contract(file: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (lineno, line) in file.numbered() {
+        if line.in_test {
+            continue;
+        }
+        let code = line.code.trim_start();
+        let Some(rest) = code.strip_prefix("pub fn ") else {
+            continue;
+        };
+        let name: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        if !STAGE_FNS.contains(&name.as_str()) {
+            continue;
+        }
+        // Walk upward over attributes and doc comments.
+        let mut has_contract = false;
+        let mut idx = lineno - 1; // 0-based index of the fn line
+        while idx > 0 {
+            idx -= 1;
+            let Some(above) = file.lines.get(idx) else {
+                break;
+            };
+            // The lexer strips comments out of `code`: a `/// doc` line has
+            // empty code and comment text beginning with `/`.
+            let trimmed = above.code.trim();
+            if trimmed.is_empty() && !above.comment.is_empty() {
+                if let Some(doc) = above.comment.strip_prefix('/') {
+                    if doc.trim().starts_with("Contract:") {
+                        has_contract = true;
+                    }
+                }
+            } else if trimmed.starts_with("#[") || trimmed.ends_with(']') {
+                continue; // attribute (possibly multi-line)
+            } else {
+                break;
+            }
+        }
+        if !has_contract {
+            out.push(Finding {
+                rule: "stage-contract",
+                path: file.path.clone(),
+                line: lineno,
+                message: format!(
+                    "public stage entry point `{name}` has no `/// Contract:` doc line \
+                     stating its input/output obligation"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// `dep-versions`: parse `Cargo.lock` and flag any package name resolved at
+/// two different major versions (for `0.x` crates the minor is the
+/// compatibility axis, per Cargo semantics).
+pub fn dup_major_versions(lock_text: &str) -> Vec<Finding> {
+    let mut versions: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let mut name: Option<String> = None;
+    for raw in lock_text.lines() {
+        let line = raw.trim();
+        if line == "[[package]]" {
+            name = None;
+        } else if let Some(v) = line.strip_prefix("name = ") {
+            name = Some(v.trim_matches('"').to_owned());
+        } else if let Some(v) = line.strip_prefix("version = ") {
+            if let Some(n) = name.clone() {
+                let ver = v.trim_matches('"');
+                let mut parts = ver.split('.');
+                let major = parts.next().unwrap_or("0");
+                let minor = parts.next().unwrap_or("0");
+                let key = if major == "0" {
+                    format!("0.{minor}")
+                } else {
+                    major.to_owned()
+                };
+                versions.entry(n).or_default().insert(key);
+            }
+        }
+    }
+    versions
+        .into_iter()
+        .filter(|(_, majors)| majors.len() > 1)
+        .map(|(n, majors)| Finding {
+            rule: "dep-versions",
+            path: "Cargo.lock".to_owned(),
+            line: 0,
+            message: format!(
+                "dependency `{n}` resolves at {} incompatible versions ({}); \
+                 converge on one to keep builds lean and types unifiable",
+                majors.len(),
+                majors.into_iter().collect::<Vec<_>>().join(", ")
+            ),
+        })
+        .collect()
+}
+
+/// `allow-syntax`: a suppression without a justification is itself a finding;
+/// the whole point of `xtask-allow` is the recorded reason.
+pub fn allow_syntax(file: &SourceFile) -> Vec<Finding> {
+    file.numbered()
+        .filter(|(_, l)| l.malformed_allow)
+        .map(|(lineno, _)| Finding {
+            rule: "allow-syntax",
+            path: file.path.clone(),
+            line: lineno,
+            message: "malformed xtask-allow: use `xtask-allow(<rule>): <justification>`".to_owned(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+#[allow(clippy::indexing_slicing)] // fixture access; a miss is a test failure
+mod tests {
+    use super::*;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::parse("fixture.rs", src)
+    }
+
+    // -- determinism ------------------------------------------------------
+
+    #[test]
+    fn determinism_fires_on_ambient_clock_and_rng() {
+        let f = file("let t = std::time::SystemTime::now();\nlet r = rand::rng();\n");
+        let found = determinism(&f);
+        assert_eq!(found.len(), 2);
+        assert_eq!(found[0].line, 1);
+        assert!(found[0].message.contains("wall-clock"));
+        assert_eq!(found[1].line, 2);
+    }
+
+    #[test]
+    fn determinism_is_quiet_on_seeded_code_and_test_code() {
+        let clean = file("let rng = SmallRng::seed_from_u64(seed);\n");
+        assert!(determinism(&clean).is_empty());
+        let test_only = file("#[cfg(test)]\nmod tests {\n let t = Instant::now();\n}\n");
+        assert!(determinism(&test_only).is_empty());
+    }
+
+    // -- no-panic ---------------------------------------------------------
+
+    #[test]
+    fn no_panic_fires_on_unwrap_expect_panic() {
+        let f = file("a.unwrap();\nb.expect(\"msg\");\npanic!(\"boom\");\n");
+        let rules: Vec<usize> = no_panic(&f).iter().map(|f| f.line).collect();
+        assert_eq!(rules, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn no_panic_is_quiet_in_tests_strings_and_comments() {
+        let f = file(
+            "#[cfg(test)]\nmod tests {\n x.unwrap();\n}\n\
+             let s = \"don't .unwrap() here\"; // .unwrap() in prose\n",
+        );
+        assert!(no_panic(&f).is_empty());
+    }
+
+    // -- severity-wildcard ------------------------------------------------
+
+    #[test]
+    fn severity_wildcard_fires_on_wildcard_arm() {
+        let f = file(
+            "match sev {\n\
+                 Severity::Fatal => 1,\n\
+                 _ => 0,\n\
+             }\n",
+        );
+        let found = severity_wildcard(&f);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].line, 1, "finding points at the match itself");
+    }
+
+    #[test]
+    fn severity_wildcard_is_quiet_when_exhaustive_or_unrelated() {
+        let exhaustive = file(
+            "match sev {\n\
+                 Severity::Fatal => 1,\n\
+                 Severity::Error | Severity::Warn => 2,\n\
+                 Severity::Info | Severity::Debug | Severity::Trace => 3,\n\
+             }\n",
+        );
+        assert!(severity_wildcard(&exhaustive).is_empty());
+        let unrelated = file("match n {\n 0 => a,\n _ => b,\n}\n");
+        assert!(severity_wildcard(&unrelated).is_empty());
+    }
+
+    // -- errcode-catalog --------------------------------------------------
+
+    fn catalog_fixture() -> SourceFile {
+        SourceFile::parse(
+            "crates/raslog/src/catalog.rs",
+            "(\"_bgp_err_ddr_single\", C::Kernel, S::Warn),\n\
+             (\"_bgp_err_torus_retrans\", C::Kernel, S::Error),\n",
+        )
+    }
+
+    #[test]
+    fn errcode_catalog_fires_on_unknown_code() {
+        let cat = catalog_fixture();
+        let classify = file("map(\"_bgp_err_ddr_single\");\nmap(\"_bgp_err_no_such\");\n");
+        let found = errcode_catalog(&cat, &[&classify]);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].line, 2);
+        assert!(found[0].message.contains("_bgp_err_no_such"));
+    }
+
+    #[test]
+    fn errcode_catalog_is_quiet_on_known_codes_and_non_codes() {
+        let cat = catalog_fixture();
+        let classify = file("map(\"_bgp_err_torus_retrans\");\nlabel(\"PALOMINO_N\");\n");
+        assert!(errcode_catalog(&cat, &[&classify]).is_empty());
+    }
+
+    #[test]
+    fn errcode_catalog_reports_empty_catalog_as_format_drift() {
+        let cat = file("// nothing shaped like an entry\n");
+        let found = errcode_catalog(&cat, &[]);
+        assert_eq!(found.len(), 1);
+        assert!(found[0].message.contains("format changed"));
+    }
+
+    #[test]
+    fn errcode_shapes() {
+        assert!(looks_like_errcode("_bgp_err_x"));
+        assert!(!looks_like_errcode("_bgp_"));
+        assert!(!looks_like_errcode("_bgp_ERR"));
+        assert!(!looks_like_errcode("BULK_POWER_FATAL"));
+        assert!(!looks_like_errcode("plain_ident"));
+    }
+
+    // -- crate-attrs ------------------------------------------------------
+
+    #[test]
+    fn crate_attrs_fires_per_missing_attribute() {
+        let f = file("#![forbid(unsafe_code)]\npub mod x;\n");
+        let found = crate_attrs(&f);
+        assert_eq!(found.len(), 1);
+        assert!(found[0].message.contains("missing_docs"));
+    }
+
+    #[test]
+    fn crate_attrs_is_quiet_when_both_present() {
+        let f = file("#![forbid(unsafe_code)]\n#![warn(missing_docs)]\n");
+        assert!(crate_attrs(&f).is_empty());
+    }
+
+    // -- stage-contract ---------------------------------------------------
+
+    #[test]
+    fn stage_contract_fires_on_undocumented_stage() {
+        let f = file("/// Filters records.\npub fn apply(&self) -> Vec<R> {}\n");
+        let found = stage_contract(&f);
+        assert_eq!(found.len(), 1);
+        assert!(found[0].message.contains("`apply`"));
+    }
+
+    #[test]
+    fn stage_contract_sees_contract_doc_above_attributes() {
+        let f = file(
+            "/// Contract: output is a subsequence of input.\n\
+             /// More prose.\n\
+             #[must_use]\n\
+             pub fn apply(&self) -> Vec<R> {}\n\
+             pub fn helper() {}\n",
+        );
+        assert!(stage_contract(&f).is_empty(), "helper is not a stage fn");
+    }
+
+    // -- dep-versions -----------------------------------------------------
+
+    #[test]
+    fn dep_versions_fires_on_duplicate_major() {
+        let lock = "[[package]]\nname = \"syn\"\nversion = \"1.0.3\"\n\n\
+                    [[package]]\nname = \"syn\"\nversion = \"2.0.1\"\n";
+        let found = dup_major_versions(lock);
+        assert_eq!(found.len(), 1);
+        assert!(found[0].message.contains("`syn`"));
+    }
+
+    #[test]
+    fn dep_versions_treats_zero_x_minor_as_the_compat_axis() {
+        let two_minors = "[[package]]\nname = \"rand\"\nversion = \"0.8.5\"\n\n\
+                          [[package]]\nname = \"rand\"\nversion = \"0.9.0\"\n";
+        assert_eq!(dup_major_versions(two_minors).len(), 1);
+        let patch_only = "[[package]]\nname = \"rand\"\nversion = \"0.8.4\"\n\n\
+                          [[package]]\nname = \"rand\"\nversion = \"0.8.5\"\n";
+        assert!(dup_major_versions(patch_only).is_empty());
+    }
+
+    // -- allow-syntax -----------------------------------------------------
+
+    #[test]
+    fn allow_syntax_fires_on_missing_justification() {
+        let f = file("x(); // xtask-allow(no-panic)\n");
+        let found = allow_syntax(&f);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].line, 1);
+    }
+
+    #[test]
+    fn allow_syntax_is_quiet_on_justified_use() {
+        let f = file("x(); // xtask-allow(no-panic): poisoned mutex is fatal by design\n");
+        assert!(allow_syntax(&f).is_empty());
+    }
+}

@@ -1,0 +1,197 @@
+//! Workspace discovery and the lint runner.
+//!
+//! Walks the workspace the same way Cargo sees it (members listed in the
+//! root `Cargo.toml`), loads library sources, scopes each rule to the files
+//! it governs, applies `xtask-allow` suppressions, and returns the surviving
+//! findings.
+
+use crate::rules::{self, Finding};
+use crate::source::SourceFile;
+use std::collections::BTreeSet;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Find the workspace root by walking up from `start` until a `Cargo.toml`
+/// containing a `[workspace]` table appears.
+pub fn find_root(start: &Path) -> io::Result<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = fs::read_to_string(&manifest)?;
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                "no workspace root (Cargo.toml with [workspace]) above the current directory",
+            ));
+        }
+    }
+}
+
+/// Parse the `members = [...]` list out of the root manifest.
+pub fn members(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let text = fs::read_to_string(root.join("Cargo.toml"))?;
+    let mut out = vec![PathBuf::from(".")]; // the root facade package
+    let mut in_members = false;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.starts_with("members = [") {
+            in_members = true;
+        }
+        if in_members {
+            for piece in line.split('"').skip(1).step_by(2) {
+                out.push(PathBuf::from(piece));
+            }
+            if line.ends_with(']') {
+                break;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Recursively collect `.rs` files under `dir`, sorted for stable output.
+fn rust_files(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    if !dir.is_dir() {
+        return Ok(out);
+    }
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let mut entries: Vec<_> = fs::read_dir(&d)?.collect::<Result<_, _>>()?;
+        entries.sort_by_key(|e| e.path());
+        for entry in entries {
+            let p = entry.path();
+            if p.is_dir() {
+                stack.push(p);
+            } else if p.extension().is_some_and(|e| e == "rs") {
+                out.push(p);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// All library sources of the workspace: `(member dir, src file)` pairs.
+/// Library code means everything under each member's `src/` — unit tests
+/// inside those files are excluded line-wise by the `cfg(test)` mask, while
+/// `tests/`, `benches/`, and `examples/` directories are not library code
+/// and are skipped entirely.
+pub fn library_sources(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut out = Vec::new();
+    for member in members(root)? {
+        for file in rust_files(&root.join(&member).join("src"))? {
+            let text = fs::read_to_string(&file)?;
+            let rel = file
+                .strip_prefix(root)
+                .unwrap_or(&file)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push(SourceFile::parse(&rel, &text));
+        }
+    }
+    Ok(out)
+}
+
+/// Crate-root files (`src/lib.rs`, or `src/main.rs` for bin-only members).
+fn is_crate_root(path: &str) -> bool {
+    path.ends_with("src/lib.rs") || (path.ends_with("src/main.rs") && !path.contains("/bin/"))
+}
+
+/// True for sources the `determinism` rule governs.
+fn in_deterministic_scope(path: &str) -> bool {
+    path.starts_with("crates/core/src") || path.starts_with("crates/stats/src")
+}
+
+/// True for sources the `stage-contract` rule governs: the pipeline stage
+/// modules of the core crate.
+fn in_stage_scope(path: &str) -> bool {
+    (path.starts_with("crates/core/src/filter/")
+        || path == "crates/core/src/matching.rs"
+        || path == "crates/core/src/pipeline.rs"
+        || path.starts_with("crates/core/src/classify/"))
+        && !path.ends_with("proptests.rs")
+}
+
+/// Run every rule (or the subset in `only`) over the workspace at `root`.
+/// Returns `(surviving findings, suppressed count)`.
+pub fn run_lint(root: &Path, only: Option<&BTreeSet<String>>) -> io::Result<(Vec<Finding>, usize)> {
+    let sources = library_sources(root)?;
+    let enabled = |rule: &str| only.is_none_or(|set| set.contains(rule));
+
+    let mut findings: Vec<Finding> = Vec::new();
+
+    for file in &sources {
+        if enabled("determinism") && in_deterministic_scope(&file.path) {
+            findings.extend(rules::determinism(file));
+        }
+        if enabled("no-panic") {
+            findings.extend(rules::no_panic(file));
+        }
+        if enabled("severity-wildcard") {
+            findings.extend(rules::severity_wildcard(file));
+        }
+        if enabled("crate-attrs") && is_crate_root(&file.path) {
+            findings.extend(rules::crate_attrs(file));
+        }
+        if enabled("stage-contract") && in_stage_scope(&file.path) {
+            findings.extend(rules::stage_contract(file));
+        }
+        if enabled("allow-syntax") {
+            findings.extend(rules::allow_syntax(file));
+        }
+    }
+
+    if enabled("errcode-catalog") {
+        let catalog = sources
+            .iter()
+            .find(|f| f.path == "crates/raslog/src/catalog.rs");
+        // The classifier keys decisions on code names, and the simulator
+        // emits records by name — both must agree with the catalog.
+        let classify: Vec<&SourceFile> = sources
+            .iter()
+            .filter(|f| {
+                f.path.starts_with("crates/core/src/classify/")
+                    || f.path.starts_with("crates/bgp-sim/src/")
+            })
+            .collect();
+        match catalog {
+            Some(cat) => findings.extend(rules::errcode_catalog(cat, &classify)),
+            None => findings.push(Finding {
+                rule: "errcode-catalog",
+                path: "crates/raslog/src/catalog.rs".to_owned(),
+                line: 0,
+                message: "catalog source not found".to_owned(),
+            }),
+        }
+    }
+
+    if enabled("dep-versions") {
+        let lock = root.join("Cargo.lock");
+        if lock.is_file() {
+            findings.extend(rules::dup_major_versions(&fs::read_to_string(lock)?));
+        }
+    }
+
+    // Apply suppressions (never for allow-syntax: a malformed suppression
+    // cannot suppress itself).
+    let by_path: std::collections::BTreeMap<&str, &SourceFile> =
+        sources.iter().map(|f| (f.path.as_str(), f)).collect();
+    let before = findings.len();
+    findings.retain(|f| {
+        f.rule == "allow-syntax"
+            || !by_path
+                .get(f.path.as_str())
+                .is_some_and(|src| src.is_allowed(f.rule, f.line))
+    });
+    let suppressed = before - findings.len();
+
+    findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok((findings, suppressed))
+}

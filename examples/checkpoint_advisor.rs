@@ -28,12 +28,15 @@ struct PlannedJob {
     prior_app_error_history: bool,
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut config = SimConfig::small_test(11);
     config.days = 60;
     config.num_execs = 2_500;
-    println!("learning failure model from {} days of logs...\n", config.days);
-    let out = Simulation::new(config).run();
+    println!(
+        "learning failure model from {} days of logs...\n",
+        config.days
+    );
+    let out = Simulation::new(config)?.run();
     let result = CoAnalysis::default().run(&out.ras, &out.jobs);
 
     let jobs = [
@@ -62,6 +65,7 @@ fn main() {
     for job in &jobs {
         advise(&result, job);
     }
+    Ok(())
 }
 
 fn advise(result: &CoAnalysisResult, job: &PlannedJob) {
@@ -77,7 +81,10 @@ fn advise(result: &CoAnalysisResult, job: &PlannedJob) {
         .position(|&s| s == job.size_midplanes)
         .unwrap_or(0);
     let (_, _, size_rate) = rows[row];
-    println!("  system-interruption rate at this size: {:.2}%", 100.0 * size_rate);
+    println!(
+        "  system-interruption rate at this size: {:.2}%",
+        100.0 * size_rate
+    );
 
     // Resubmission risk (Figure 7).
     let k = job.prior_consecutive_interruptions.clamp(0, 3);
@@ -96,8 +103,8 @@ fn advise(result: &CoAnalysisResult, job: &PlannedJob) {
     }
 
     // The recommendation.
-    let early_risky = job.prior_app_error_history
-        && result.vulnerability.app_interruptions_first_hour > 0.5;
+    let early_risky =
+        job.prior_app_error_history && result.vulnerability.app_interruptions_first_hour > 0.5;
     let wide = job.size_midplanes >= 32;
     println!("  advice:");
     if early_risky {

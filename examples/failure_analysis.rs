@@ -10,7 +10,7 @@
 use bgp_coanalysis::bgp_sim::{SimConfig, Simulation};
 use bgp_coanalysis::coanalysis::CoAnalysis;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let seed = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
@@ -22,7 +22,7 @@ fn main() {
     config.days = 60;
     config.num_execs = 2_500;
     println!("simulating {} days (seed {seed})...", config.days);
-    let out = Simulation::new(config).run();
+    let out = Simulation::new(config)?.run();
     let result = CoAnalysis::default().run(&out.ras, &out.jobs);
 
     // ---- systemwide interarrival distribution (Table IV / Figure 3) ----
@@ -60,7 +60,10 @@ fn main() {
     // Hazard-rate reading: shape < 1 means a failure makes the near future
     // MORE dangerous, not less — the basis for Observation 10.
     let w = table_iv.after.fits.weibull;
-    println!("\nhazard rate (after filtering): shape = {:.3} < 1 => decreasing hazard", w.shape);
+    println!(
+        "\nhazard rate (after filtering): shape = {:.3} < 1 => decreasing hazard",
+        w.shape
+    );
     for hours in [1i64, 6, 24, 96] {
         let x = (hours * 3600) as f64;
         println!(
@@ -101,4 +104,5 @@ fn main() {
         b.quick_reinterruptions,
         b.quick_window_secs,
     );
+    Ok(())
 }

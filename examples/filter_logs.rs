@@ -15,7 +15,7 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
 use std::path::PathBuf;
 
-fn main() -> std::io::Result<()> {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dir = std::env::args()
         .nth(1)
         .map(PathBuf::from)
@@ -23,7 +23,7 @@ fn main() -> std::io::Result<()> {
     std::fs::create_dir_all(&dir)?;
 
     // --- produce the "site logs" (stand-in for real CMCS/Cobalt dumps) ---
-    let out = Simulation::new(SimConfig::small_test(3)).run();
+    let out = Simulation::new(SimConfig::small_test(3))?.run();
     let ras_path = dir.join("intrepid-ras.log");
     let job_path = dir.join("intrepid-jobs.log");
     {
@@ -79,12 +79,12 @@ fn main() -> std::io::Result<()> {
             w,
             "# independent fatal events after temporal+spatial+causal+job-related filtering"
         )?;
-        writeln!(w, "# columns: <merged record count> <representative record>")?;
-        let by_recid: std::collections::HashMap<u64, &raslog::RasRecord> = ras
-            .records()
-            .iter()
-            .map(|r| (r.recid, r))
-            .collect();
+        writeln!(
+            w,
+            "# columns: <merged record count> <representative record>"
+        )?;
+        let by_recid: std::collections::HashMap<u64, &raslog::RasRecord> =
+            ras.records().iter().map(|r| (r.recid, r)).collect();
         for e in &result.events_final {
             if let Some(r) = by_recid.get(&e.first_recid) {
                 writeln!(w, "{:>6}x {}", e.merged, raslog::format_record(r))?;

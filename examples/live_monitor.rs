@@ -16,15 +16,18 @@ use bgp_coanalysis::coanalysis::stream::{OnlineAnalyzer, StreamDecision};
 use bgp_coanalysis::coanalysis::CoAnalysis;
 use bgp_coanalysis::raslog::RasLog;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut config = SimConfig::small_test(31);
     config.days = 40;
     config.num_execs = 1_600;
     println!("simulating {} days...", config.days);
-    let out = Simulation::new(config).run();
+    let out = Simulation::new(config)?.run();
 
     // --- split the window in half ---
-    let (start, end) = out.ras.time_span().expect("non-empty log");
+    let (start, end) = out
+        .ras
+        .time_span()
+        .ok_or("simulation produced an empty RAS log")?;
     let mid = start + bgp_model_duration_half(start, end);
     let history = RasLog::from_records(
         out.ras
@@ -82,6 +85,7 @@ fn main() {
         "  -> the learned verdicts silence {} warning(s) on the live stream",
         naive.warnings() - informed.warnings()
     );
+    Ok(())
 }
 
 /// Half the span between two timestamps.

@@ -8,7 +8,7 @@
 use bgp_coanalysis::bgp_sim::{SimConfig, Simulation};
 use bgp_coanalysis::coanalysis::CoAnalysis;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Get a paired RAS log + job log. Here they come from the bundled
     //    Intrepid simulator; with real logs you would use
     //    `raslog::RasReader` / `joblog::JobReader` instead (see the
@@ -18,7 +18,7 @@ fn main() {
         "simulating {} days of Intrepid ({} executables)...",
         config.days, config.num_execs
     );
-    let out = Simulation::new(config).run();
+    let out = Simulation::new(config)?.run();
     println!(
         "  -> {} RAS records ({} FATAL), {} jobs\n",
         out.ras.len(),
@@ -65,4 +65,5 @@ fn main() {
         tp,
         truth.job_cause.len()
     );
+    Ok(())
 }

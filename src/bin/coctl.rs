@@ -78,11 +78,13 @@ fn usage(err: &str) -> ExitCode {
 }
 
 fn load_ras(path: &str) -> Result<RasLog, CliError> {
-    let file = File::open(path)
-        .map_err(|e| CliError::Io(format!("cannot open {path}: {e}")))?;
+    let file = File::open(path).map_err(|e| CliError::Io(format!("cannot open {path}: {e}")))?;
     let (records, errors) = RasReader::new(BufReader::new(file)).read_tolerant();
     if !errors.is_empty() {
-        eprintln!("note: skipped {} malformed RAS lines in {path}", errors.len());
+        eprintln!(
+            "note: skipped {} malformed RAS lines in {path}",
+            errors.len()
+        );
     }
     if records.is_empty() {
         return Err(CliError::Io(format!("{path}: no parsable RAS records")));
@@ -91,11 +93,13 @@ fn load_ras(path: &str) -> Result<RasLog, CliError> {
 }
 
 fn load_jobs(path: &str) -> Result<JobLog, CliError> {
-    let file = File::open(path)
-        .map_err(|e| CliError::Io(format!("cannot open {path}: {e}")))?;
+    let file = File::open(path).map_err(|e| CliError::Io(format!("cannot open {path}: {e}")))?;
     let (jobs, errors) = JobReader::new(BufReader::new(file)).read_tolerant();
     if !errors.is_empty() {
-        eprintln!("note: skipped {} malformed job lines in {path}", errors.len());
+        eprintln!(
+            "note: skipped {} malformed job lines in {path}",
+            errors.len()
+        );
     }
     if jobs.is_empty() {
         return Err(CliError::Io(format!("{path}: no parsable job records")));
@@ -130,7 +134,9 @@ fn cmd_simulate(args: &[String]) -> Result<(), CliError> {
     cfg.num_execs = (9_664u64 * u64::from(days) / 237).max(50) as u32;
     cfg.noise_scale = 0.05; // keep the files shippable
     eprintln!("simulating {days} days (seed {seed})...");
-    let sim = Simulation::new(cfg).run();
+    let sim = Simulation::new(cfg)
+        .map_err(|e| CliError::Usage(e.to_string()))?
+        .run();
     std::fs::create_dir_all(&out)?;
     let ras_path = out.join("ras.log");
     let jobs_path = out.join("jobs.log");
@@ -242,7 +248,10 @@ fn write_clean_log(
     r: &bgp_coanalysis::coanalysis::CoAnalysisResult,
 ) -> Result<(), CliError> {
     let mut w = BufWriter::new(File::create(path)?);
-    writeln!(w, "# independent fatal events (temporal+spatial+causal+job-related filtered)")?;
+    writeln!(
+        w,
+        "# independent fatal events (temporal+spatial+causal+job-related filtered)"
+    )?;
     let by_recid: std::collections::HashMap<u64, &raslog::RasRecord> =
         ras.records().iter().map(|rec| (rec.recid, rec)).collect();
     for e in &r.events_final {

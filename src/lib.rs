@@ -7,6 +7,7 @@
 //! `DESIGN.md` for the system inventory.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub use bgp_model;
 pub use bgp_sim;

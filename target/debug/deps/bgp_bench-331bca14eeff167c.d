@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/bgp_bench-331bca14eeff167c.d: /root/repo/clippy.toml crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/json.rs crates/bench/src/render.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbgp_bench-331bca14eeff167c.rmeta: /root/repo/clippy.toml crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/json.rs crates/bench/src/render.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/json.rs:
+crates/bench/src/render.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

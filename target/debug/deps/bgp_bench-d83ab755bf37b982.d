@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bgp_bench-d83ab755bf37b982.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/json.rs crates/bench/src/render.rs
+
+/root/repo/target/debug/deps/libbgp_bench-d83ab755bf37b982.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/json.rs crates/bench/src/render.rs
+
+/root/repo/target/debug/deps/libbgp_bench-d83ab755bf37b982.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/json.rs crates/bench/src/render.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/json.rs:
+crates/bench/src/render.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/bgp_bench-f8f58acb82a95824.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/json.rs crates/bench/src/render.rs
+
+/root/repo/target/debug/deps/bgp_bench-f8f58acb82a95824: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/json.rs crates/bench/src/render.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/json.rs:
+crates/bench/src/render.rs:

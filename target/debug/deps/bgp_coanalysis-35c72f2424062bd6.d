@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bgp_coanalysis-35c72f2424062bd6.d: /root/repo/clippy.toml src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbgp_coanalysis-35c72f2424062bd6.rmeta: /root/repo/clippy.toml src/lib.rs Cargo.toml
+
+/root/repo/clippy.toml:
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bgp_coanalysis-76d58724ad64d258.d: src/lib.rs
+
+/root/repo/target/debug/deps/libbgp_coanalysis-76d58724ad64d258.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libbgp_coanalysis-76d58724ad64d258.rmeta: src/lib.rs
+
+src/lib.rs:

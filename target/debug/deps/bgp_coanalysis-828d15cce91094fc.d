@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bgp_coanalysis-828d15cce91094fc.d: /root/repo/clippy.toml src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbgp_coanalysis-828d15cce91094fc.rmeta: /root/repo/clippy.toml src/lib.rs Cargo.toml
+
+/root/repo/clippy.toml:
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

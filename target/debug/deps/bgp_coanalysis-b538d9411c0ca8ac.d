@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bgp_coanalysis-b538d9411c0ca8ac.d: src/lib.rs
+
+/root/repo/target/debug/deps/bgp_coanalysis-b538d9411c0ca8ac: src/lib.rs
+
+src/lib.rs:

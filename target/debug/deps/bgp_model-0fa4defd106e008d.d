@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/bgp_model-0fa4defd106e008d.d: crates/bgp-model/src/lib.rs crates/bgp-model/src/error.rs crates/bgp-model/src/location.rs crates/bgp-model/src/partition.rs crates/bgp-model/src/time.rs crates/bgp-model/src/topology.rs crates/bgp-model/src/torus.rs
+
+/root/repo/target/debug/deps/libbgp_model-0fa4defd106e008d.rlib: crates/bgp-model/src/lib.rs crates/bgp-model/src/error.rs crates/bgp-model/src/location.rs crates/bgp-model/src/partition.rs crates/bgp-model/src/time.rs crates/bgp-model/src/topology.rs crates/bgp-model/src/torus.rs
+
+/root/repo/target/debug/deps/libbgp_model-0fa4defd106e008d.rmeta: crates/bgp-model/src/lib.rs crates/bgp-model/src/error.rs crates/bgp-model/src/location.rs crates/bgp-model/src/partition.rs crates/bgp-model/src/time.rs crates/bgp-model/src/topology.rs crates/bgp-model/src/torus.rs
+
+crates/bgp-model/src/lib.rs:
+crates/bgp-model/src/error.rs:
+crates/bgp-model/src/location.rs:
+crates/bgp-model/src/partition.rs:
+crates/bgp-model/src/time.rs:
+crates/bgp-model/src/topology.rs:
+crates/bgp-model/src/torus.rs:

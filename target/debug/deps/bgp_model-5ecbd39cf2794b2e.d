@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/bgp_model-5ecbd39cf2794b2e.d: crates/bgp-model/src/lib.rs crates/bgp-model/src/error.rs crates/bgp-model/src/location.rs crates/bgp-model/src/partition.rs crates/bgp-model/src/time.rs crates/bgp-model/src/topology.rs crates/bgp-model/src/torus.rs
+
+/root/repo/target/debug/deps/bgp_model-5ecbd39cf2794b2e: crates/bgp-model/src/lib.rs crates/bgp-model/src/error.rs crates/bgp-model/src/location.rs crates/bgp-model/src/partition.rs crates/bgp-model/src/time.rs crates/bgp-model/src/topology.rs crates/bgp-model/src/torus.rs
+
+crates/bgp-model/src/lib.rs:
+crates/bgp-model/src/error.rs:
+crates/bgp-model/src/location.rs:
+crates/bgp-model/src/partition.rs:
+crates/bgp-model/src/time.rs:
+crates/bgp-model/src/topology.rs:
+crates/bgp-model/src/torus.rs:

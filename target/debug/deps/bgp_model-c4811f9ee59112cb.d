@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/bgp_model-c4811f9ee59112cb.d: /root/repo/clippy.toml crates/bgp-model/src/lib.rs crates/bgp-model/src/error.rs crates/bgp-model/src/location.rs crates/bgp-model/src/partition.rs crates/bgp-model/src/time.rs crates/bgp-model/src/topology.rs crates/bgp-model/src/torus.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbgp_model-c4811f9ee59112cb.rmeta: /root/repo/clippy.toml crates/bgp-model/src/lib.rs crates/bgp-model/src/error.rs crates/bgp-model/src/location.rs crates/bgp-model/src/partition.rs crates/bgp-model/src/time.rs crates/bgp-model/src/topology.rs crates/bgp-model/src/torus.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bgp-model/src/lib.rs:
+crates/bgp-model/src/error.rs:
+crates/bgp-model/src/location.rs:
+crates/bgp-model/src/partition.rs:
+crates/bgp-model/src/time.rs:
+crates/bgp-model/src/topology.rs:
+crates/bgp-model/src/torus.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

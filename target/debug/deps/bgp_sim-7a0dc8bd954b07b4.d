@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/bgp_sim-7a0dc8bd954b07b4.d: /root/repo/clippy.toml crates/bgp-sim/src/lib.rs crates/bgp-sim/src/config.rs crates/bgp-sim/src/emission.rs crates/bgp-sim/src/error.rs crates/bgp-sim/src/engine.rs crates/bgp-sim/src/faults.rs crates/bgp-sim/src/scheduler.rs crates/bgp-sim/src/truth.rs crates/bgp-sim/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbgp_sim-7a0dc8bd954b07b4.rmeta: /root/repo/clippy.toml crates/bgp-sim/src/lib.rs crates/bgp-sim/src/config.rs crates/bgp-sim/src/emission.rs crates/bgp-sim/src/error.rs crates/bgp-sim/src/engine.rs crates/bgp-sim/src/faults.rs crates/bgp-sim/src/scheduler.rs crates/bgp-sim/src/truth.rs crates/bgp-sim/src/workload.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bgp-sim/src/lib.rs:
+crates/bgp-sim/src/config.rs:
+crates/bgp-sim/src/emission.rs:
+crates/bgp-sim/src/error.rs:
+crates/bgp-sim/src/engine.rs:
+crates/bgp-sim/src/faults.rs:
+crates/bgp-sim/src/scheduler.rs:
+crates/bgp-sim/src/truth.rs:
+crates/bgp-sim/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

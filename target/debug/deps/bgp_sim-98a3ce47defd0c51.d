@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/bgp_sim-98a3ce47defd0c51.d: crates/bgp-sim/src/lib.rs crates/bgp-sim/src/config.rs crates/bgp-sim/src/emission.rs crates/bgp-sim/src/engine.rs crates/bgp-sim/src/error.rs crates/bgp-sim/src/faults.rs crates/bgp-sim/src/scheduler.rs crates/bgp-sim/src/truth.rs crates/bgp-sim/src/workload.rs
+
+/root/repo/target/debug/deps/libbgp_sim-98a3ce47defd0c51.rlib: crates/bgp-sim/src/lib.rs crates/bgp-sim/src/config.rs crates/bgp-sim/src/emission.rs crates/bgp-sim/src/engine.rs crates/bgp-sim/src/error.rs crates/bgp-sim/src/faults.rs crates/bgp-sim/src/scheduler.rs crates/bgp-sim/src/truth.rs crates/bgp-sim/src/workload.rs
+
+/root/repo/target/debug/deps/libbgp_sim-98a3ce47defd0c51.rmeta: crates/bgp-sim/src/lib.rs crates/bgp-sim/src/config.rs crates/bgp-sim/src/emission.rs crates/bgp-sim/src/engine.rs crates/bgp-sim/src/error.rs crates/bgp-sim/src/faults.rs crates/bgp-sim/src/scheduler.rs crates/bgp-sim/src/truth.rs crates/bgp-sim/src/workload.rs
+
+crates/bgp-sim/src/lib.rs:
+crates/bgp-sim/src/config.rs:
+crates/bgp-sim/src/emission.rs:
+crates/bgp-sim/src/engine.rs:
+crates/bgp-sim/src/error.rs:
+crates/bgp-sim/src/faults.rs:
+crates/bgp-sim/src/scheduler.rs:
+crates/bgp-sim/src/truth.rs:
+crates/bgp-sim/src/workload.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/bgp_sim-a8f6c8cc85ee098d.d: crates/bgp-sim/src/lib.rs crates/bgp-sim/src/config.rs crates/bgp-sim/src/emission.rs crates/bgp-sim/src/engine.rs crates/bgp-sim/src/error.rs crates/bgp-sim/src/faults.rs crates/bgp-sim/src/scheduler.rs crates/bgp-sim/src/truth.rs crates/bgp-sim/src/workload.rs
+
+/root/repo/target/debug/deps/bgp_sim-a8f6c8cc85ee098d: crates/bgp-sim/src/lib.rs crates/bgp-sim/src/config.rs crates/bgp-sim/src/emission.rs crates/bgp-sim/src/engine.rs crates/bgp-sim/src/error.rs crates/bgp-sim/src/faults.rs crates/bgp-sim/src/scheduler.rs crates/bgp-sim/src/truth.rs crates/bgp-sim/src/workload.rs
+
+crates/bgp-sim/src/lib.rs:
+crates/bgp-sim/src/config.rs:
+crates/bgp-sim/src/emission.rs:
+crates/bgp-sim/src/engine.rs:
+crates/bgp-sim/src/error.rs:
+crates/bgp-sim/src/faults.rs:
+crates/bgp-sim/src/scheduler.rs:
+crates/bgp-sim/src/truth.rs:
+crates/bgp-sim/src/workload.rs:

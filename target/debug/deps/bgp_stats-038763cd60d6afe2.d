@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/bgp_stats-038763cd60d6afe2.d: /root/repo/clippy.toml crates/stats/src/lib.rs crates/stats/src/ecdf.rs crates/stats/src/exponential.rs crates/stats/src/hist.rs crates/stats/src/infogain.rs crates/stats/src/ks.rs crates/stats/src/linreg.rs crates/stats/src/lrt.rs crates/stats/src/pearson.rs crates/stats/src/sample.rs crates/stats/src/special.rs crates/stats/src/summary.rs crates/stats/src/weibull.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbgp_stats-038763cd60d6afe2.rmeta: /root/repo/clippy.toml crates/stats/src/lib.rs crates/stats/src/ecdf.rs crates/stats/src/exponential.rs crates/stats/src/hist.rs crates/stats/src/infogain.rs crates/stats/src/ks.rs crates/stats/src/linreg.rs crates/stats/src/lrt.rs crates/stats/src/pearson.rs crates/stats/src/sample.rs crates/stats/src/special.rs crates/stats/src/summary.rs crates/stats/src/weibull.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/stats/src/lib.rs:
+crates/stats/src/ecdf.rs:
+crates/stats/src/exponential.rs:
+crates/stats/src/hist.rs:
+crates/stats/src/infogain.rs:
+crates/stats/src/ks.rs:
+crates/stats/src/linreg.rs:
+crates/stats/src/lrt.rs:
+crates/stats/src/pearson.rs:
+crates/stats/src/sample.rs:
+crates/stats/src/special.rs:
+crates/stats/src/summary.rs:
+crates/stats/src/weibull.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/bgp_stats-aa4ae6e673005821.d: crates/stats/src/lib.rs crates/stats/src/ecdf.rs crates/stats/src/exponential.rs crates/stats/src/hist.rs crates/stats/src/infogain.rs crates/stats/src/ks.rs crates/stats/src/linreg.rs crates/stats/src/lrt.rs crates/stats/src/pearson.rs crates/stats/src/sample.rs crates/stats/src/special.rs crates/stats/src/summary.rs crates/stats/src/weibull.rs
+
+/root/repo/target/debug/deps/libbgp_stats-aa4ae6e673005821.rlib: crates/stats/src/lib.rs crates/stats/src/ecdf.rs crates/stats/src/exponential.rs crates/stats/src/hist.rs crates/stats/src/infogain.rs crates/stats/src/ks.rs crates/stats/src/linreg.rs crates/stats/src/lrt.rs crates/stats/src/pearson.rs crates/stats/src/sample.rs crates/stats/src/special.rs crates/stats/src/summary.rs crates/stats/src/weibull.rs
+
+/root/repo/target/debug/deps/libbgp_stats-aa4ae6e673005821.rmeta: crates/stats/src/lib.rs crates/stats/src/ecdf.rs crates/stats/src/exponential.rs crates/stats/src/hist.rs crates/stats/src/infogain.rs crates/stats/src/ks.rs crates/stats/src/linreg.rs crates/stats/src/lrt.rs crates/stats/src/pearson.rs crates/stats/src/sample.rs crates/stats/src/special.rs crates/stats/src/summary.rs crates/stats/src/weibull.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/ecdf.rs:
+crates/stats/src/exponential.rs:
+crates/stats/src/hist.rs:
+crates/stats/src/infogain.rs:
+crates/stats/src/ks.rs:
+crates/stats/src/linreg.rs:
+crates/stats/src/lrt.rs:
+crates/stats/src/pearson.rs:
+crates/stats/src/sample.rs:
+crates/stats/src/special.rs:
+crates/stats/src/summary.rs:
+crates/stats/src/weibull.rs:

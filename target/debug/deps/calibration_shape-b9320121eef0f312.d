@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibration_shape-b9320121eef0f312.d: tests/calibration_shape.rs
+
+/root/repo/target/debug/deps/calibration_shape-b9320121eef0f312: tests/calibration_shape.rs
+
+tests/calibration_shape.rs:

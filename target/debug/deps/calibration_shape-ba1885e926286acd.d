@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/calibration_shape-ba1885e926286acd.d: /root/repo/clippy.toml tests/calibration_shape.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcalibration_shape-ba1885e926286acd.rmeta: /root/repo/clippy.toml tests/calibration_shape.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/calibration_shape.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli_coctl-0be8fe3c9addbbfc.d: tests/cli_coctl.rs
+
+/root/repo/target/debug/deps/cli_coctl-0be8fe3c9addbbfc: tests/cli_coctl.rs
+
+tests/cli_coctl.rs:
+
+# env-dep:CARGO_BIN_EXE_coctl=/root/repo/target/debug/coctl

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cli_coctl-3554ce0a88604718.d: /root/repo/clippy.toml tests/cli_coctl.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli_coctl-3554ce0a88604718.rmeta: /root/repo/clippy.toml tests/cli_coctl.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/cli_coctl.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_coctl=placeholder:coctl
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,36 @@
+/root/repo/target/debug/deps/coanalysis-3ad594275d6ca8a9.d: /root/repo/clippy.toml crates/core/src/lib.rs crates/core/src/analysis/mod.rs crates/core/src/analysis/burst.rs crates/core/src/analysis/checkpoint.rs crates/core/src/analysis/failure_stats.rs crates/core/src/analysis/repair.rs crates/core/src/analysis/trend.rs crates/core/src/analysis/interruption.rs crates/core/src/analysis/midplane.rs crates/core/src/analysis/propagation.rs crates/core/src/analysis/vulnerability.rs crates/core/src/classify/mod.rs crates/core/src/classify/interruption_related.rs crates/core/src/classify/root_cause.rs crates/core/src/event.rs crates/core/src/filter/mod.rs crates/core/src/filter/adaptive.rs crates/core/src/filter/causal.rs crates/core/src/filter/job_related.rs crates/core/src/filter/proptests.rs crates/core/src/filter/spatial.rs crates/core/src/filter/temporal.rs crates/core/src/matching.rs crates/core/src/pipeline.rs crates/core/src/predict.rs crates/core/src/report.rs crates/core/src/stream.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoanalysis-3ad594275d6ca8a9.rmeta: /root/repo/clippy.toml crates/core/src/lib.rs crates/core/src/analysis/mod.rs crates/core/src/analysis/burst.rs crates/core/src/analysis/checkpoint.rs crates/core/src/analysis/failure_stats.rs crates/core/src/analysis/repair.rs crates/core/src/analysis/trend.rs crates/core/src/analysis/interruption.rs crates/core/src/analysis/midplane.rs crates/core/src/analysis/propagation.rs crates/core/src/analysis/vulnerability.rs crates/core/src/classify/mod.rs crates/core/src/classify/interruption_related.rs crates/core/src/classify/root_cause.rs crates/core/src/event.rs crates/core/src/filter/mod.rs crates/core/src/filter/adaptive.rs crates/core/src/filter/causal.rs crates/core/src/filter/job_related.rs crates/core/src/filter/proptests.rs crates/core/src/filter/spatial.rs crates/core/src/filter/temporal.rs crates/core/src/matching.rs crates/core/src/pipeline.rs crates/core/src/predict.rs crates/core/src/report.rs crates/core/src/stream.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/core/src/lib.rs:
+crates/core/src/analysis/mod.rs:
+crates/core/src/analysis/burst.rs:
+crates/core/src/analysis/checkpoint.rs:
+crates/core/src/analysis/failure_stats.rs:
+crates/core/src/analysis/repair.rs:
+crates/core/src/analysis/trend.rs:
+crates/core/src/analysis/interruption.rs:
+crates/core/src/analysis/midplane.rs:
+crates/core/src/analysis/propagation.rs:
+crates/core/src/analysis/vulnerability.rs:
+crates/core/src/classify/mod.rs:
+crates/core/src/classify/interruption_related.rs:
+crates/core/src/classify/root_cause.rs:
+crates/core/src/event.rs:
+crates/core/src/filter/mod.rs:
+crates/core/src/filter/adaptive.rs:
+crates/core/src/filter/causal.rs:
+crates/core/src/filter/job_related.rs:
+crates/core/src/filter/proptests.rs:
+crates/core/src/filter/spatial.rs:
+crates/core/src/filter/temporal.rs:
+crates/core/src/matching.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/predict.rs:
+crates/core/src/report.rs:
+crates/core/src/stream.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

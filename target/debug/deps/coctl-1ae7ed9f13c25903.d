@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/coctl-1ae7ed9f13c25903.d: src/bin/coctl.rs
+
+/root/repo/target/debug/deps/coctl-1ae7ed9f13c25903: src/bin/coctl.rs
+
+src/bin/coctl.rs:

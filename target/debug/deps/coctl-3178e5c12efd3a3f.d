@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/coctl-3178e5c12efd3a3f.d: /root/repo/clippy.toml src/bin/coctl.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoctl-3178e5c12efd3a3f.rmeta: /root/repo/clippy.toml src/bin/coctl.rs Cargo.toml
+
+/root/repo/clippy.toml:
+src/bin/coctl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/coctl-5a214850176cdd0d.d: src/bin/coctl.rs
+
+/root/repo/target/debug/deps/coctl-5a214850176cdd0d: src/bin/coctl.rs
+
+src/bin/coctl.rs:

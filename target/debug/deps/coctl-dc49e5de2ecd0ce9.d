@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/coctl-dc49e5de2ecd0ce9.d: /root/repo/clippy.toml src/bin/coctl.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoctl-dc49e5de2ecd0ce9.rmeta: /root/repo/clippy.toml src/bin/coctl.rs Cargo.toml
+
+/root/repo/clippy.toml:
+src/bin/coctl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

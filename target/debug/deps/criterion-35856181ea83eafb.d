@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/criterion-35856181ea83eafb.d: /root/repo/clippy.toml vendor/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcriterion-35856181ea83eafb.rmeta: /root/repo/clippy.toml vendor/criterion/src/lib.rs Cargo.toml
+
+/root/repo/clippy.toml:
+vendor/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/experiments-01121818bf8a9b2a.d: /root/repo/clippy.toml crates/bench/src/bin/experiments.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexperiments-01121818bf8a9b2a.rmeta: /root/repo/clippy.toml crates/bench/src/bin/experiments.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

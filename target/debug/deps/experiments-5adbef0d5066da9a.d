@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/experiments-5adbef0d5066da9a.d: /root/repo/clippy.toml crates/bench/src/bin/experiments.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexperiments-5adbef0d5066da9a.rmeta: /root/repo/clippy.toml crates/bench/src/bin/experiments.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

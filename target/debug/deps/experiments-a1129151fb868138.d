@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-a1129151fb868138.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-a1129151fb868138: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-bcd360a2422981ce.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-bcd360a2422981ce: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

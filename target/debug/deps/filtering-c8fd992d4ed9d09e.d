@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/filtering-c8fd992d4ed9d09e.d: /root/repo/clippy.toml crates/bench/benches/filtering.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfiltering-c8fd992d4ed9d09e.rmeta: /root/repo/clippy.toml crates/bench/benches/filtering.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/filtering.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

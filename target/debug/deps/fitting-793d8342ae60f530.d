@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fitting-793d8342ae60f530.d: /root/repo/clippy.toml crates/bench/benches/fitting.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfitting-793d8342ae60f530.rmeta: /root/repo/clippy.toml crates/bench/benches/fitting.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/fitting.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ground_truth_recovery-c382552f9ed59b5c.d: /root/repo/clippy.toml tests/ground_truth_recovery.rs Cargo.toml
+
+/root/repo/target/debug/deps/libground_truth_recovery-c382552f9ed59b5c.rmeta: /root/repo/clippy.toml tests/ground_truth_recovery.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/ground_truth_recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

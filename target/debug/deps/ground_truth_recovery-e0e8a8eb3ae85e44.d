@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ground_truth_recovery-e0e8a8eb3ae85e44.d: tests/ground_truth_recovery.rs
+
+/root/repo/target/debug/deps/ground_truth_recovery-e0e8a8eb3ae85e44: tests/ground_truth_recovery.rs
+
+tests/ground_truth_recovery.rs:

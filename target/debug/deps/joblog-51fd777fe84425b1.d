@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/joblog-51fd777fe84425b1.d: /root/repo/clippy.toml crates/joblog/src/lib.rs crates/joblog/src/log.rs crates/joblog/src/metrics.rs crates/joblog/src/parse.rs crates/joblog/src/record.rs crates/joblog/src/write.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjoblog-51fd777fe84425b1.rmeta: /root/repo/clippy.toml crates/joblog/src/lib.rs crates/joblog/src/log.rs crates/joblog/src/metrics.rs crates/joblog/src/parse.rs crates/joblog/src/record.rs crates/joblog/src/write.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/joblog/src/lib.rs:
+crates/joblog/src/log.rs:
+crates/joblog/src/metrics.rs:
+crates/joblog/src/parse.rs:
+crates/joblog/src/record.rs:
+crates/joblog/src/write.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

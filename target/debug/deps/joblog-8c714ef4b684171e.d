@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/joblog-8c714ef4b684171e.d: crates/joblog/src/lib.rs crates/joblog/src/log.rs crates/joblog/src/metrics.rs crates/joblog/src/parse.rs crates/joblog/src/record.rs crates/joblog/src/write.rs
+
+/root/repo/target/debug/deps/libjoblog-8c714ef4b684171e.rlib: crates/joblog/src/lib.rs crates/joblog/src/log.rs crates/joblog/src/metrics.rs crates/joblog/src/parse.rs crates/joblog/src/record.rs crates/joblog/src/write.rs
+
+/root/repo/target/debug/deps/libjoblog-8c714ef4b684171e.rmeta: crates/joblog/src/lib.rs crates/joblog/src/log.rs crates/joblog/src/metrics.rs crates/joblog/src/parse.rs crates/joblog/src/record.rs crates/joblog/src/write.rs
+
+crates/joblog/src/lib.rs:
+crates/joblog/src/log.rs:
+crates/joblog/src/metrics.rs:
+crates/joblog/src/parse.rs:
+crates/joblog/src/record.rs:
+crates/joblog/src/write.rs:

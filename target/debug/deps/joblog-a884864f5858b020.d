@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/joblog-a884864f5858b020.d: crates/joblog/src/lib.rs crates/joblog/src/log.rs crates/joblog/src/metrics.rs crates/joblog/src/parse.rs crates/joblog/src/record.rs crates/joblog/src/write.rs
+
+/root/repo/target/debug/deps/joblog-a884864f5858b020: crates/joblog/src/lib.rs crates/joblog/src/log.rs crates/joblog/src/metrics.rs crates/joblog/src/parse.rs crates/joblog/src/record.rs crates/joblog/src/write.rs
+
+crates/joblog/src/lib.rs:
+crates/joblog/src/log.rs:
+crates/joblog/src/metrics.rs:
+crates/joblog/src/parse.rs:
+crates/joblog/src/record.rs:
+crates/joblog/src/write.rs:

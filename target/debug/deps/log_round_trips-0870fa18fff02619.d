@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/log_round_trips-0870fa18fff02619.d: tests/log_round_trips.rs
+
+/root/repo/target/debug/deps/log_round_trips-0870fa18fff02619: tests/log_round_trips.rs
+
+tests/log_round_trips.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/log_round_trips-5e7d10381e78f3d9.d: /root/repo/clippy.toml tests/log_round_trips.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblog_round_trips-5e7d10381e78f3d9.rmeta: /root/repo/clippy.toml tests/log_round_trips.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/log_round_trips.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/matching-ed8fb752aa236ee1.d: /root/repo/clippy.toml crates/bench/benches/matching.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmatching-ed8fb752aa236ee1.rmeta: /root/repo/clippy.toml crates/bench/benches/matching.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/matching.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

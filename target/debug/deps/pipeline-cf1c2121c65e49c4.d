@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pipeline-cf1c2121c65e49c4.d: /root/repo/clippy.toml crates/bench/benches/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline-cf1c2121c65e49c4.rmeta: /root/repo/clippy.toml crates/bench/benches/pipeline.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pipeline_determinism-370ca98cabc8e13f.d: /root/repo/clippy.toml tests/pipeline_determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline_determinism-370ca98cabc8e13f.rmeta: /root/repo/clippy.toml tests/pipeline_determinism.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/pipeline_determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

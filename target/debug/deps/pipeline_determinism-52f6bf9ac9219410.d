@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_determinism-52f6bf9ac9219410.d: tests/pipeline_determinism.rs
+
+/root/repo/target/debug/deps/pipeline_determinism-52f6bf9ac9219410: tests/pipeline_determinism.rs
+
+tests/pipeline_determinism.rs:

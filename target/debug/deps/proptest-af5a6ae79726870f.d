@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-af5a6ae79726870f.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-af5a6ae79726870f.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-af5a6ae79726870f.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

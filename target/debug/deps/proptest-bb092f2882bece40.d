@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-bb092f2882bece40.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-bb092f2882bece40: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

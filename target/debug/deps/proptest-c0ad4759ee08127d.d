@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/proptest-c0ad4759ee08127d.d: /root/repo/clippy.toml vendor/proptest/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-c0ad4759ee08127d.rmeta: /root/repo/clippy.toml vendor/proptest/src/lib.rs Cargo.toml
+
+/root/repo/clippy.toml:
+vendor/proptest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

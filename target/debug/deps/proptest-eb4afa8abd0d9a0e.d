@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/proptest-eb4afa8abd0d9a0e.d: /root/repo/clippy.toml vendor/proptest/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-eb4afa8abd0d9a0e.rmeta: /root/repo/clippy.toml vendor/proptest/src/lib.rs Cargo.toml
+
+/root/repo/clippy.toml:
+vendor/proptest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rand-0cceb4f6a0201655.d: /root/repo/clippy.toml vendor/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-0cceb4f6a0201655.rmeta: /root/repo/clippy.toml vendor/rand/src/lib.rs Cargo.toml
+
+/root/repo/clippy.toml:
+vendor/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

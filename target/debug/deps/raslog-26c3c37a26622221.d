@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/raslog-26c3c37a26622221.d: crates/raslog/src/lib.rs crates/raslog/src/catalog.rs crates/raslog/src/component.rs crates/raslog/src/log.rs crates/raslog/src/parse.rs crates/raslog/src/record.rs crates/raslog/src/severity.rs crates/raslog/src/summary.rs crates/raslog/src/write.rs
+
+/root/repo/target/debug/deps/raslog-26c3c37a26622221: crates/raslog/src/lib.rs crates/raslog/src/catalog.rs crates/raslog/src/component.rs crates/raslog/src/log.rs crates/raslog/src/parse.rs crates/raslog/src/record.rs crates/raslog/src/severity.rs crates/raslog/src/summary.rs crates/raslog/src/write.rs
+
+crates/raslog/src/lib.rs:
+crates/raslog/src/catalog.rs:
+crates/raslog/src/component.rs:
+crates/raslog/src/log.rs:
+crates/raslog/src/parse.rs:
+crates/raslog/src/record.rs:
+crates/raslog/src/severity.rs:
+crates/raslog/src/summary.rs:
+crates/raslog/src/write.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/raslog-5984a1c84a30bacf.d: /root/repo/clippy.toml crates/raslog/src/lib.rs crates/raslog/src/catalog.rs crates/raslog/src/component.rs crates/raslog/src/log.rs crates/raslog/src/parse.rs crates/raslog/src/record.rs crates/raslog/src/severity.rs crates/raslog/src/summary.rs crates/raslog/src/write.rs Cargo.toml
+
+/root/repo/target/debug/deps/libraslog-5984a1c84a30bacf.rmeta: /root/repo/clippy.toml crates/raslog/src/lib.rs crates/raslog/src/catalog.rs crates/raslog/src/component.rs crates/raslog/src/log.rs crates/raslog/src/parse.rs crates/raslog/src/record.rs crates/raslog/src/severity.rs crates/raslog/src/summary.rs crates/raslog/src/write.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/raslog/src/lib.rs:
+crates/raslog/src/catalog.rs:
+crates/raslog/src/component.rs:
+crates/raslog/src/log.rs:
+crates/raslog/src/parse.rs:
+crates/raslog/src/record.rs:
+crates/raslog/src/severity.rs:
+crates/raslog/src/summary.rs:
+crates/raslog/src/write.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/raslog-7654f41dd90aaaa5.d: crates/raslog/src/lib.rs crates/raslog/src/catalog.rs crates/raslog/src/component.rs crates/raslog/src/log.rs crates/raslog/src/parse.rs crates/raslog/src/record.rs crates/raslog/src/severity.rs crates/raslog/src/summary.rs crates/raslog/src/write.rs
+
+/root/repo/target/debug/deps/libraslog-7654f41dd90aaaa5.rlib: crates/raslog/src/lib.rs crates/raslog/src/catalog.rs crates/raslog/src/component.rs crates/raslog/src/log.rs crates/raslog/src/parse.rs crates/raslog/src/record.rs crates/raslog/src/severity.rs crates/raslog/src/summary.rs crates/raslog/src/write.rs
+
+/root/repo/target/debug/deps/libraslog-7654f41dd90aaaa5.rmeta: crates/raslog/src/lib.rs crates/raslog/src/catalog.rs crates/raslog/src/component.rs crates/raslog/src/log.rs crates/raslog/src/parse.rs crates/raslog/src/record.rs crates/raslog/src/severity.rs crates/raslog/src/summary.rs crates/raslog/src/write.rs
+
+crates/raslog/src/lib.rs:
+crates/raslog/src/catalog.rs:
+crates/raslog/src/component.rs:
+crates/raslog/src/log.rs:
+crates/raslog/src/parse.rs:
+crates/raslog/src/record.rs:
+crates/raslog/src/severity.rs:
+crates/raslog/src/summary.rs:
+crates/raslog/src/write.rs:

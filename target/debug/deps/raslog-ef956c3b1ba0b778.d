@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/raslog-ef956c3b1ba0b778.d: /root/repo/clippy.toml crates/raslog/src/lib.rs crates/raslog/src/catalog.rs crates/raslog/src/component.rs crates/raslog/src/log.rs crates/raslog/src/parse.rs crates/raslog/src/record.rs crates/raslog/src/severity.rs crates/raslog/src/summary.rs crates/raslog/src/write.rs Cargo.toml
+
+/root/repo/target/debug/deps/libraslog-ef956c3b1ba0b778.rmeta: /root/repo/clippy.toml crates/raslog/src/lib.rs crates/raslog/src/catalog.rs crates/raslog/src/component.rs crates/raslog/src/log.rs crates/raslog/src/parse.rs crates/raslog/src/record.rs crates/raslog/src/severity.rs crates/raslog/src/summary.rs crates/raslog/src/write.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/raslog/src/lib.rs:
+crates/raslog/src/catalog.rs:
+crates/raslog/src/component.rs:
+crates/raslog/src/log.rs:
+crates/raslog/src/parse.rs:
+crates/raslog/src/record.rs:
+crates/raslog/src/severity.rs:
+crates/raslog/src/summary.rs:
+crates/raslog/src/write.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

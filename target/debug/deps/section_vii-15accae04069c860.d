@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/section_vii-15accae04069c860.d: /root/repo/clippy.toml tests/section_vii.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsection_vii-15accae04069c860.rmeta: /root/repo/clippy.toml tests/section_vii.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/section_vii.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/section_vii-506ee13405f4eb0c.d: tests/section_vii.rs
+
+/root/repo/target/debug/deps/section_vii-506ee13405f4eb0c: tests/section_vii.rs
+
+tests/section_vii.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/simulator-56440f45fb2c1a95.d: /root/repo/clippy.toml crates/bench/benches/simulator.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimulator-56440f45fb2c1a95.rmeta: /root/repo/clippy.toml crates/bench/benches/simulator.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/simulator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

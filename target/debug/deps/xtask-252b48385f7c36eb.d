@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/xtask-252b48385f7c36eb.d: /root/repo/clippy.toml crates/xtask/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxtask-252b48385f7c36eb.rmeta: /root/repo/clippy.toml crates/xtask/src/main.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/xtask/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

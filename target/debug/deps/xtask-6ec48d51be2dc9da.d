@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xtask-6ec48d51be2dc9da.d: crates/xtask/src/main.rs
+
+/root/repo/target/debug/deps/xtask-6ec48d51be2dc9da: crates/xtask/src/main.rs
+
+crates/xtask/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xtask-72f387773c87a59d.d: crates/xtask/src/main.rs
+
+/root/repo/target/debug/deps/xtask-72f387773c87a59d: crates/xtask/src/main.rs
+
+crates/xtask/src/main.rs:

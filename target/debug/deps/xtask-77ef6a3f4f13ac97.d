@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/xtask-77ef6a3f4f13ac97.d: /root/repo/clippy.toml crates/xtask/src/lib.rs crates/xtask/src/rules.rs crates/xtask/src/source.rs crates/xtask/src/workspace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxtask-77ef6a3f4f13ac97.rmeta: /root/repo/clippy.toml crates/xtask/src/lib.rs crates/xtask/src/rules.rs crates/xtask/src/source.rs crates/xtask/src/workspace.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/xtask/src/lib.rs:
+crates/xtask/src/rules.rs:
+crates/xtask/src/source.rs:
+crates/xtask/src/workspace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

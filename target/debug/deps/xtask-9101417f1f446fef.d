@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/xtask-9101417f1f446fef.d: /root/repo/clippy.toml crates/xtask/src/lib.rs crates/xtask/src/rules.rs crates/xtask/src/source.rs crates/xtask/src/workspace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxtask-9101417f1f446fef.rmeta: /root/repo/clippy.toml crates/xtask/src/lib.rs crates/xtask/src/rules.rs crates/xtask/src/source.rs crates/xtask/src/workspace.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/xtask/src/lib.rs:
+crates/xtask/src/rules.rs:
+crates/xtask/src/source.rs:
+crates/xtask/src/workspace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/xtask-e9cda8f165ea47d2.d: /root/repo/clippy.toml crates/xtask/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxtask-e9cda8f165ea47d2.rmeta: /root/repo/clippy.toml crates/xtask/src/main.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/xtask/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/xtask-f8af905e1e49101f.d: crates/xtask/src/lib.rs crates/xtask/src/rules.rs crates/xtask/src/source.rs crates/xtask/src/workspace.rs
+
+/root/repo/target/debug/deps/xtask-f8af905e1e49101f: crates/xtask/src/lib.rs crates/xtask/src/rules.rs crates/xtask/src/source.rs crates/xtask/src/workspace.rs
+
+crates/xtask/src/lib.rs:
+crates/xtask/src/rules.rs:
+crates/xtask/src/source.rs:
+crates/xtask/src/workspace.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/checkpoint_advisor-1ed8219d1e053cf9.d: /root/repo/clippy.toml examples/checkpoint_advisor.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcheckpoint_advisor-1ed8219d1e053cf9.rmeta: /root/repo/clippy.toml examples/checkpoint_advisor.rs Cargo.toml
+
+/root/repo/clippy.toml:
+examples/checkpoint_advisor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/checkpoint_advisor-d85160641972d21a.d: examples/checkpoint_advisor.rs
+
+/root/repo/target/debug/examples/checkpoint_advisor-d85160641972d21a: examples/checkpoint_advisor.rs
+
+examples/checkpoint_advisor.rs:

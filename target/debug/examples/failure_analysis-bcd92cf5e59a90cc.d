@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/failure_analysis-bcd92cf5e59a90cc.d: examples/failure_analysis.rs
+
+/root/repo/target/debug/examples/failure_analysis-bcd92cf5e59a90cc: examples/failure_analysis.rs
+
+examples/failure_analysis.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/failure_analysis-e9c536d07008354e.d: /root/repo/clippy.toml examples/failure_analysis.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfailure_analysis-e9c536d07008354e.rmeta: /root/repo/clippy.toml examples/failure_analysis.rs Cargo.toml
+
+/root/repo/clippy.toml:
+examples/failure_analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/filter_logs-835daf9cf2ac94f5.d: examples/filter_logs.rs
+
+/root/repo/target/debug/examples/filter_logs-835daf9cf2ac94f5: examples/filter_logs.rs
+
+examples/filter_logs.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/filter_logs-9bcf8bf118f2da9e.d: /root/repo/clippy.toml examples/filter_logs.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfilter_logs-9bcf8bf118f2da9e.rmeta: /root/repo/clippy.toml examples/filter_logs.rs Cargo.toml
+
+/root/repo/clippy.toml:
+examples/filter_logs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/live_monitor-223247ff1d06f53b.d: examples/live_monitor.rs
+
+/root/repo/target/debug/examples/live_monitor-223247ff1d06f53b: examples/live_monitor.rs
+
+examples/live_monitor.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/live_monitor-3523f4213861732e.d: /root/repo/clippy.toml examples/live_monitor.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblive_monitor-3523f4213861732e.rmeta: /root/repo/clippy.toml examples/live_monitor.rs Cargo.toml
+
+/root/repo/clippy.toml:
+examples/live_monitor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

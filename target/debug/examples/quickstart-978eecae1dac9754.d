@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/quickstart-978eecae1dac9754.d: /root/repo/clippy.toml examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-978eecae1dac9754.rmeta: /root/repo/clippy.toml examples/quickstart.rs Cargo.toml
+
+/root/repo/clippy.toml:
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-c73ddd8c00dffff0.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-c73ddd8c00dffff0: examples/quickstart.rs
+
+examples/quickstart.rs:

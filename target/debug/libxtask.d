@@ -1,0 +1,1 @@
+/root/repo/target/debug/libxtask.rlib: /root/repo/crates/xtask/src/lib.rs /root/repo/crates/xtask/src/rules.rs /root/repo/crates/xtask/src/source.rs /root/repo/crates/xtask/src/workspace.rs

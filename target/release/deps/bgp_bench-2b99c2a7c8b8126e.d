@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/bgp_bench-2b99c2a7c8b8126e.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/json.rs crates/bench/src/render.rs
+
+/root/repo/target/release/deps/libbgp_bench-2b99c2a7c8b8126e.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/json.rs crates/bench/src/render.rs
+
+/root/repo/target/release/deps/libbgp_bench-2b99c2a7c8b8126e.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/json.rs crates/bench/src/render.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/json.rs:
+crates/bench/src/render.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bgp_coanalysis-39a4f67de5c213b6.d: src/lib.rs
+
+/root/repo/target/release/deps/libbgp_coanalysis-39a4f67de5c213b6.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libbgp_coanalysis-39a4f67de5c213b6.rmeta: src/lib.rs
+
+src/lib.rs:

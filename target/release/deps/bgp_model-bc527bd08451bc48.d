@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/bgp_model-bc527bd08451bc48.d: crates/bgp-model/src/lib.rs crates/bgp-model/src/error.rs crates/bgp-model/src/location.rs crates/bgp-model/src/partition.rs crates/bgp-model/src/time.rs crates/bgp-model/src/topology.rs crates/bgp-model/src/torus.rs
+
+/root/repo/target/release/deps/libbgp_model-bc527bd08451bc48.rlib: crates/bgp-model/src/lib.rs crates/bgp-model/src/error.rs crates/bgp-model/src/location.rs crates/bgp-model/src/partition.rs crates/bgp-model/src/time.rs crates/bgp-model/src/topology.rs crates/bgp-model/src/torus.rs
+
+/root/repo/target/release/deps/libbgp_model-bc527bd08451bc48.rmeta: crates/bgp-model/src/lib.rs crates/bgp-model/src/error.rs crates/bgp-model/src/location.rs crates/bgp-model/src/partition.rs crates/bgp-model/src/time.rs crates/bgp-model/src/topology.rs crates/bgp-model/src/torus.rs
+
+crates/bgp-model/src/lib.rs:
+crates/bgp-model/src/error.rs:
+crates/bgp-model/src/location.rs:
+crates/bgp-model/src/partition.rs:
+crates/bgp-model/src/time.rs:
+crates/bgp-model/src/topology.rs:
+crates/bgp-model/src/torus.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/bgp_sim-6821ccc543eb08c4.d: crates/bgp-sim/src/lib.rs crates/bgp-sim/src/config.rs crates/bgp-sim/src/emission.rs crates/bgp-sim/src/engine.rs crates/bgp-sim/src/error.rs crates/bgp-sim/src/faults.rs crates/bgp-sim/src/scheduler.rs crates/bgp-sim/src/truth.rs crates/bgp-sim/src/workload.rs
+
+/root/repo/target/release/deps/libbgp_sim-6821ccc543eb08c4.rlib: crates/bgp-sim/src/lib.rs crates/bgp-sim/src/config.rs crates/bgp-sim/src/emission.rs crates/bgp-sim/src/engine.rs crates/bgp-sim/src/error.rs crates/bgp-sim/src/faults.rs crates/bgp-sim/src/scheduler.rs crates/bgp-sim/src/truth.rs crates/bgp-sim/src/workload.rs
+
+/root/repo/target/release/deps/libbgp_sim-6821ccc543eb08c4.rmeta: crates/bgp-sim/src/lib.rs crates/bgp-sim/src/config.rs crates/bgp-sim/src/emission.rs crates/bgp-sim/src/engine.rs crates/bgp-sim/src/error.rs crates/bgp-sim/src/faults.rs crates/bgp-sim/src/scheduler.rs crates/bgp-sim/src/truth.rs crates/bgp-sim/src/workload.rs
+
+crates/bgp-sim/src/lib.rs:
+crates/bgp-sim/src/config.rs:
+crates/bgp-sim/src/emission.rs:
+crates/bgp-sim/src/engine.rs:
+crates/bgp-sim/src/error.rs:
+crates/bgp-sim/src/faults.rs:
+crates/bgp-sim/src/scheduler.rs:
+crates/bgp-sim/src/truth.rs:
+crates/bgp-sim/src/workload.rs:

@@ -1,0 +1,33 @@
+/root/repo/target/release/deps/coanalysis-206a77a59b837639.d: crates/core/src/lib.rs crates/core/src/analysis/mod.rs crates/core/src/analysis/burst.rs crates/core/src/analysis/checkpoint.rs crates/core/src/analysis/failure_stats.rs crates/core/src/analysis/interruption.rs crates/core/src/analysis/midplane.rs crates/core/src/analysis/propagation.rs crates/core/src/analysis/repair.rs crates/core/src/analysis/trend.rs crates/core/src/analysis/vulnerability.rs crates/core/src/classify/mod.rs crates/core/src/classify/interruption_related.rs crates/core/src/classify/root_cause.rs crates/core/src/event.rs crates/core/src/filter/mod.rs crates/core/src/filter/adaptive.rs crates/core/src/filter/causal.rs crates/core/src/filter/job_related.rs crates/core/src/filter/proptests.rs crates/core/src/filter/spatial.rs crates/core/src/filter/temporal.rs crates/core/src/matching.rs crates/core/src/pipeline.rs crates/core/src/predict.rs crates/core/src/report.rs crates/core/src/stream.rs
+
+/root/repo/target/release/deps/libcoanalysis-206a77a59b837639.rlib: crates/core/src/lib.rs crates/core/src/analysis/mod.rs crates/core/src/analysis/burst.rs crates/core/src/analysis/checkpoint.rs crates/core/src/analysis/failure_stats.rs crates/core/src/analysis/interruption.rs crates/core/src/analysis/midplane.rs crates/core/src/analysis/propagation.rs crates/core/src/analysis/repair.rs crates/core/src/analysis/trend.rs crates/core/src/analysis/vulnerability.rs crates/core/src/classify/mod.rs crates/core/src/classify/interruption_related.rs crates/core/src/classify/root_cause.rs crates/core/src/event.rs crates/core/src/filter/mod.rs crates/core/src/filter/adaptive.rs crates/core/src/filter/causal.rs crates/core/src/filter/job_related.rs crates/core/src/filter/proptests.rs crates/core/src/filter/spatial.rs crates/core/src/filter/temporal.rs crates/core/src/matching.rs crates/core/src/pipeline.rs crates/core/src/predict.rs crates/core/src/report.rs crates/core/src/stream.rs
+
+/root/repo/target/release/deps/libcoanalysis-206a77a59b837639.rmeta: crates/core/src/lib.rs crates/core/src/analysis/mod.rs crates/core/src/analysis/burst.rs crates/core/src/analysis/checkpoint.rs crates/core/src/analysis/failure_stats.rs crates/core/src/analysis/interruption.rs crates/core/src/analysis/midplane.rs crates/core/src/analysis/propagation.rs crates/core/src/analysis/repair.rs crates/core/src/analysis/trend.rs crates/core/src/analysis/vulnerability.rs crates/core/src/classify/mod.rs crates/core/src/classify/interruption_related.rs crates/core/src/classify/root_cause.rs crates/core/src/event.rs crates/core/src/filter/mod.rs crates/core/src/filter/adaptive.rs crates/core/src/filter/causal.rs crates/core/src/filter/job_related.rs crates/core/src/filter/proptests.rs crates/core/src/filter/spatial.rs crates/core/src/filter/temporal.rs crates/core/src/matching.rs crates/core/src/pipeline.rs crates/core/src/predict.rs crates/core/src/report.rs crates/core/src/stream.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analysis/mod.rs:
+crates/core/src/analysis/burst.rs:
+crates/core/src/analysis/checkpoint.rs:
+crates/core/src/analysis/failure_stats.rs:
+crates/core/src/analysis/interruption.rs:
+crates/core/src/analysis/midplane.rs:
+crates/core/src/analysis/propagation.rs:
+crates/core/src/analysis/repair.rs:
+crates/core/src/analysis/trend.rs:
+crates/core/src/analysis/vulnerability.rs:
+crates/core/src/classify/mod.rs:
+crates/core/src/classify/interruption_related.rs:
+crates/core/src/classify/root_cause.rs:
+crates/core/src/event.rs:
+crates/core/src/filter/mod.rs:
+crates/core/src/filter/adaptive.rs:
+crates/core/src/filter/causal.rs:
+crates/core/src/filter/job_related.rs:
+crates/core/src/filter/proptests.rs:
+crates/core/src/filter/spatial.rs:
+crates/core/src/filter/temporal.rs:
+crates/core/src/matching.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/predict.rs:
+crates/core/src/report.rs:
+crates/core/src/stream.rs:

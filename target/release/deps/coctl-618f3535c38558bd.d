@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/coctl-618f3535c38558bd.d: src/bin/coctl.rs
+
+/root/repo/target/release/deps/coctl-618f3535c38558bd: src/bin/coctl.rs
+
+src/bin/coctl.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-39e306da9854e8bf.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-39e306da9854e8bf.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-39e306da9854e8bf.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-16ff0cd9b658c1dd.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-16ff0cd9b658c1dd: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/joblog-59cfd676d78d2081.d: crates/joblog/src/lib.rs crates/joblog/src/log.rs crates/joblog/src/metrics.rs crates/joblog/src/parse.rs crates/joblog/src/record.rs crates/joblog/src/write.rs
+
+/root/repo/target/release/deps/libjoblog-59cfd676d78d2081.rlib: crates/joblog/src/lib.rs crates/joblog/src/log.rs crates/joblog/src/metrics.rs crates/joblog/src/parse.rs crates/joblog/src/record.rs crates/joblog/src/write.rs
+
+/root/repo/target/release/deps/libjoblog-59cfd676d78d2081.rmeta: crates/joblog/src/lib.rs crates/joblog/src/log.rs crates/joblog/src/metrics.rs crates/joblog/src/parse.rs crates/joblog/src/record.rs crates/joblog/src/write.rs
+
+crates/joblog/src/lib.rs:
+crates/joblog/src/log.rs:
+crates/joblog/src/metrics.rs:
+crates/joblog/src/parse.rs:
+crates/joblog/src/record.rs:
+crates/joblog/src/write.rs:

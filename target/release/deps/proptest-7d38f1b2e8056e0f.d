@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-7d38f1b2e8056e0f.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-7d38f1b2e8056e0f.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-7d38f1b2e8056e0f.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

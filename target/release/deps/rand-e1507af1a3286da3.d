@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-e1507af1a3286da3.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-e1507af1a3286da3.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-e1507af1a3286da3.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

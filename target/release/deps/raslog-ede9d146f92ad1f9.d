@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/raslog-ede9d146f92ad1f9.d: crates/raslog/src/lib.rs crates/raslog/src/catalog.rs crates/raslog/src/component.rs crates/raslog/src/log.rs crates/raslog/src/parse.rs crates/raslog/src/record.rs crates/raslog/src/severity.rs crates/raslog/src/summary.rs crates/raslog/src/write.rs
+
+/root/repo/target/release/deps/libraslog-ede9d146f92ad1f9.rlib: crates/raslog/src/lib.rs crates/raslog/src/catalog.rs crates/raslog/src/component.rs crates/raslog/src/log.rs crates/raslog/src/parse.rs crates/raslog/src/record.rs crates/raslog/src/severity.rs crates/raslog/src/summary.rs crates/raslog/src/write.rs
+
+/root/repo/target/release/deps/libraslog-ede9d146f92ad1f9.rmeta: crates/raslog/src/lib.rs crates/raslog/src/catalog.rs crates/raslog/src/component.rs crates/raslog/src/log.rs crates/raslog/src/parse.rs crates/raslog/src/record.rs crates/raslog/src/severity.rs crates/raslog/src/summary.rs crates/raslog/src/write.rs
+
+crates/raslog/src/lib.rs:
+crates/raslog/src/catalog.rs:
+crates/raslog/src/component.rs:
+crates/raslog/src/log.rs:
+crates/raslog/src/parse.rs:
+crates/raslog/src/record.rs:
+crates/raslog/src/severity.rs:
+crates/raslog/src/summary.rs:
+crates/raslog/src/write.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/xtask-34f7d781b42867db.d: crates/xtask/src/lib.rs crates/xtask/src/rules.rs crates/xtask/src/source.rs crates/xtask/src/workspace.rs
+
+/root/repo/target/release/deps/libxtask-34f7d781b42867db.rlib: crates/xtask/src/lib.rs crates/xtask/src/rules.rs crates/xtask/src/source.rs crates/xtask/src/workspace.rs
+
+/root/repo/target/release/deps/libxtask-34f7d781b42867db.rmeta: crates/xtask/src/lib.rs crates/xtask/src/rules.rs crates/xtask/src/source.rs crates/xtask/src/workspace.rs
+
+crates/xtask/src/lib.rs:
+crates/xtask/src/rules.rs:
+crates/xtask/src/source.rs:
+crates/xtask/src/workspace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/xtask-385927f40fb77753.d: crates/xtask/src/main.rs
+
+/root/repo/target/release/deps/xtask-385927f40fb77753: crates/xtask/src/main.rs
+
+crates/xtask/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/live_monitor-20e3ee49ef6aa9b6.d: examples/live_monitor.rs
+
+/root/repo/target/release/examples/live_monitor-20e3ee49ef6aa9b6: examples/live_monitor.rs
+
+examples/live_monitor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-93ecd101566b5a1b.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-93ecd101566b5a1b: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -4,6 +4,10 @@
 //! These run on a 60-day window (about a quarter of the paper's) so that the
 //! statistics are stable but the suite stays fast.
 
+// Integration-test helpers follow the test-code panic policy: a broken
+// fixture should fail the test loudly, not thread Results around.
+#![allow(clippy::unwrap_used, clippy::expect_used, missing_docs)]
+
 use bgp_coanalysis::bgp_sim::{SimConfig, SimOutput, Simulation};
 use bgp_coanalysis::coanalysis::{CoAnalysis, CoAnalysisResult};
 use std::sync::OnceLock;
@@ -14,7 +18,7 @@ fn run() -> &'static (SimOutput, CoAnalysisResult) {
         let mut cfg = SimConfig::small_test(2009);
         cfg.days = 60;
         cfg.num_execs = 2_500;
-        let out = Simulation::new(cfg).run();
+        let out = Simulation::new(cfg).expect("valid config").run();
         let result = CoAnalysis::default().run(&out.ras, &out.jobs);
         (out, result)
     })

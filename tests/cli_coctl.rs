@@ -1,6 +1,10 @@
 //! End-to-end tests of the `coctl` binary: real process invocations over
 //! real files in a temp directory.
 
+// Integration-test helpers follow the test-code panic policy: a broken
+// fixture should fail the test loudly, not thread Results around.
+#![allow(clippy::unwrap_used, clippy::expect_used, missing_docs)]
+
 use std::path::PathBuf;
 use std::process::Command;
 
@@ -54,7 +58,11 @@ fn summary_profiles_the_ras_log() {
         .arg(dir.join("ras.log"))
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("records over"));
     assert!(text.contains("FATAL"));

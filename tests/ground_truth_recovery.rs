@@ -4,6 +4,10 @@
 //! against ground truth. These are the repository's core correctness claims
 //! for the methodology.
 
+// Integration-test helpers follow the test-code panic policy: a broken
+// fixture should fail the test loudly, not thread Results around.
+#![allow(clippy::unwrap_used, clippy::expect_used, missing_docs)]
+
 use bgp_coanalysis::bgp_sim::{FaultNature, SimConfig, SimOutput, Simulation};
 use bgp_coanalysis::coanalysis::classify::RootCause;
 use bgp_coanalysis::coanalysis::{CoAnalysis, CoAnalysisResult};
@@ -17,7 +21,7 @@ fn runs() -> &'static Vec<(SimOutput, CoAnalysisResult)> {
                 let mut cfg = SimConfig::small_test(100 + seed);
                 cfg.days = 20;
                 cfg.num_execs = 800;
-                let out = Simulation::new(cfg).run();
+                let out = Simulation::new(cfg).expect("valid config").run();
                 let result = CoAnalysis::default().run(&out.ras, &out.jobs);
                 (out, result)
             })
@@ -125,12 +129,7 @@ fn job_related_filter_tracks_true_chains() {
 #[test]
 fn idle_fatal_events_match_truth_fraction() {
     for (out, result) in runs() {
-        let truth_idle = out
-            .truth
-            .faults
-            .iter()
-            .filter(|f| f.idle_location)
-            .count() as f64
+        let truth_idle = out.truth.faults.iter().filter(|f| f.idle_location).count() as f64
             / out.truth.faults.len().max(1) as f64;
         let analysis_idle = result.idle_event_fraction();
         assert!(

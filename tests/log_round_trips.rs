@@ -1,6 +1,10 @@
 //! Cross-crate integration: simulated logs survive serialization to their
 //! native text formats and back, at realistic scale.
 
+// Integration-test helpers follow the test-code panic policy: a broken
+// fixture should fail the test loudly, not thread Results around.
+#![allow(clippy::unwrap_used, clippy::expect_used, missing_docs)]
+
 use bgp_coanalysis::bgp_sim::{SimConfig, Simulation};
 use bgp_coanalysis::joblog::{self, JobReader};
 use bgp_coanalysis::raslog::{self, RasReader};
@@ -9,7 +13,11 @@ use std::sync::OnceLock;
 
 fn sim() -> &'static bgp_coanalysis::bgp_sim::SimOutput {
     static OUT: OnceLock<bgp_coanalysis::bgp_sim::SimOutput> = OnceLock::new();
-    OUT.get_or_init(|| Simulation::new(SimConfig::small_test(17)).run())
+    OUT.get_or_init(|| {
+        Simulation::new(SimConfig::small_test(17))
+            .expect("valid config")
+            .run()
+    })
 }
 
 #[test]
@@ -40,8 +48,11 @@ fn job_log_round_trips_losslessly() {
 fn corrupted_lines_are_isolated() {
     let out = sim();
     let mut buf = Vec::new();
-    raslog::write_log(&mut BufWriter::new(&mut buf), out.ras.records().iter().take(100))
-        .unwrap();
+    raslog::write_log(
+        &mut BufWriter::new(&mut buf),
+        out.ras.records().iter().take(100),
+    )
+    .unwrap();
     let mut text = String::from_utf8(buf).unwrap();
     // Corrupt every 10th line.
     let corrupted: Vec<String> = text

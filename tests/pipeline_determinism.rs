@@ -5,8 +5,12 @@ use bgp_coanalysis::coanalysis::{CoAnalysis, CoAnalysisConfig};
 
 #[test]
 fn same_seed_same_everything() {
-    let a = Simulation::new(SimConfig::small_test(55)).run();
-    let b = Simulation::new(SimConfig::small_test(55)).run();
+    let a = Simulation::new(SimConfig::small_test(55))
+        .expect("valid config")
+        .run();
+    let b = Simulation::new(SimConfig::small_test(55))
+        .expect("valid config")
+        .run();
     assert_eq!(a.ras.records(), b.ras.records());
     assert_eq!(a.jobs.jobs(), b.jobs.jobs());
     assert_eq!(a.truth.faults, b.truth.faults);
@@ -24,7 +28,9 @@ fn same_seed_same_everything() {
 
 #[test]
 fn parallel_filtering_equals_sequential() {
-    let out = Simulation::new(SimConfig::small_test(56)).run();
+    let out = Simulation::new(SimConfig::small_test(56))
+        .expect("valid config")
+        .run();
     let par = CoAnalysis::default().run(&out.ras, &out.jobs);
     let seq = CoAnalysis::with_config(CoAnalysisConfig::sequential()).run(&out.ras, &out.jobs);
     assert_eq!(par.events, seq.events);
@@ -36,14 +42,20 @@ fn parallel_filtering_equals_sequential() {
 
 #[test]
 fn different_seeds_differ() {
-    let a = Simulation::new(SimConfig::small_test(57)).run();
-    let b = Simulation::new(SimConfig::small_test(58)).run();
+    let a = Simulation::new(SimConfig::small_test(57))
+        .expect("valid config")
+        .run();
+    let b = Simulation::new(SimConfig::small_test(58))
+        .expect("valid config")
+        .run();
     assert_ne!(a.ras.len(), b.ras.len());
 }
 
 #[test]
 fn merged_record_counts_conserved_through_filters() {
-    let out = Simulation::new(SimConfig::small_test(59)).run();
+    let out = Simulation::new(SimConfig::small_test(59))
+        .expect("valid config")
+        .run();
     let r = CoAnalysis::default().run(&out.ras, &out.jobs);
     let total_final: u32 = r.events_final.iter().map(|e| e.merged).sum();
     let total_mid: u32 = r.events.iter().map(|e| e.merged).sum();

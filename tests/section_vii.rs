@@ -2,6 +2,10 @@
 //! of the core methodology: warning policies, precursor prediction,
 //! checkpoint replay, outage reconstruction, and the online analyzer.
 
+// Integration-test helpers follow the test-code panic policy: a broken
+// fixture should fail the test loudly, not thread Results around.
+#![allow(clippy::unwrap_used, clippy::expect_used, missing_docs)]
+
 use bgp_coanalysis::bgp_sim::{SimConfig, SimOutput, Simulation};
 use bgp_coanalysis::coanalysis::analysis::checkpoint::standard_study;
 use bgp_coanalysis::coanalysis::analysis::repair::{reconstruct_outages, summarize};
@@ -17,7 +21,7 @@ fn run() -> &'static (SimOutput, CoAnalysisResult) {
         let mut cfg = SimConfig::small_test(77);
         cfg.days = 45;
         cfg.num_execs = 1_800;
-        let out = Simulation::new(cfg).run();
+        let out = Simulation::new(cfg).expect("valid config").run();
         let result = CoAnalysis::default().run(&out.ras, &out.jobs);
         (out, result)
     })
@@ -122,7 +126,7 @@ fn fault_aware_rerun_reduces_interruptions_same_seed() {
     let (out, _) = run();
     let mut cfg = out.config.clone();
     cfg.fault_aware_scheduler = true;
-    let aware = Simulation::new(cfg).run();
+    let aware = Simulation::new(cfg).expect("valid config").run();
     assert!(aware.truth.chain_faults() <= out.truth.chain_faults());
     assert!(aware.truth.total_interruptions() <= out.truth.total_interruptions());
 }

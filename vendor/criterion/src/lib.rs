@@ -1,0 +1,268 @@
+//! Offline vendored mini benchmark harness.
+//!
+//! The build environment cannot reach crates.io, so this crate implements the
+//! subset of the Criterion API the workspace's benches use: benchmark groups,
+//! per-input benchmarks, element throughput, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement model (simpler than real Criterion, good enough for relative
+//! comparisons): after a short warm-up, each benchmark runs batches of
+//! iterations until ~200 ms of wall time or a batch cap is reached, and the
+//! mean per-iteration time (plus derived throughput) is printed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], which real Criterion also offers.
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// A compound id: `function_name/parameter`.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter's display form.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { name: s.to_owned() }
+    }
+}
+
+/// The per-benchmark timing driver handed to `iter` closures.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+    target: Duration,
+}
+
+impl Bencher {
+    fn new(target: Duration) -> Self {
+        Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+            target,
+        }
+    }
+
+    /// Run `f` repeatedly, timing each call, until the time budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: a few untimed calls so lazy init and caches settle.
+        for _ in 0..3 {
+            black_box(f());
+        }
+        let budget = self.target;
+        let started = Instant::now();
+        while started.elapsed() < budget && self.iters < 1_000_000 {
+            let t0 = Instant::now();
+            black_box(f());
+            self.total += t0.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    fn mean(&self) -> Option<Duration> {
+        (self.iters > 0).then(|| {
+            self.total / u32::try_from(self.iters.min(u64::from(u32::MAX))).unwrap_or(u32::MAX)
+        })
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Override the sample count (accepted for API compatibility; the
+    /// time-budget model makes it advisory).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmark `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id);
+        let tp = self.throughput;
+        self.criterion.run_one(&full, tp, |b| f(b));
+        self
+    }
+
+    /// Benchmark `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id);
+        let tp = self.throughput;
+        self.criterion.run_one(&full, tp, |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (prints nothing extra; exists for API parity).
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    time_budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            time_budget: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility with real Criterion; returns `self`.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            criterion: self,
+            throughput: None,
+        }
+    }
+
+    /// Benchmark a standalone function.
+    pub fn bench_function<F>(&mut self, name: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.to_string();
+        self.run_one(&name, None, |b| f(b));
+        self
+    }
+
+    fn run_one(
+        &mut self,
+        name: &str,
+        throughput: Option<Throughput>,
+        mut f: impl FnMut(&mut Bencher),
+    ) {
+        let mut b = Bencher::new(self.time_budget);
+        f(&mut b);
+        match b.mean() {
+            Some(mean) => {
+                let rate = match throughput {
+                    Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
+                        let per_sec = n as f64 / mean.as_secs_f64();
+                        format!("  ({per_sec:.0} elem/s)")
+                    }
+                    Some(Throughput::Bytes(n)) if mean > Duration::ZERO => {
+                        let per_sec = n as f64 / mean.as_secs_f64() / (1 << 20) as f64;
+                        format!("  ({per_sec:.1} MiB/s)")
+                    }
+                    _ => String::new(),
+                };
+                println!("{name:<50} {mean:>12.3?}/iter over {} iters{rate}", b.iters);
+            }
+            None => println!("{name:<50} (no iterations executed)"),
+        }
+    }
+}
+
+/// Declare a benchmark group: `criterion_group!(name, target_fn, ...)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declare the bench `main` that runs the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion {
+            time_budget: Duration::from_millis(5),
+        };
+        let mut g = c.benchmark_group("smoke");
+        g.throughput(Throughput::Elements(10));
+        g.bench_with_input(BenchmarkId::from_parameter("x"), &3u64, |b, &x| {
+            b.iter(|| x * 2);
+        });
+        g.finish();
+        c.bench_function("standalone", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn benchmark_id_forms() {
+        assert_eq!(BenchmarkId::new("f", 12).to_string(), "f/12");
+        assert_eq!(BenchmarkId::from_parameter("48d").to_string(), "48d");
+    }
+}

@@ -1,0 +1,389 @@
+//! Offline vendored mini property-testing harness.
+//!
+//! The build environment cannot reach crates.io, so this crate reimplements
+//! the subset of the `proptest` API the workspace's property tests use:
+//!
+//! * [`Strategy`] with range, tuple, and mapped strategies;
+//! * [`collection::vec`] for variable-length vectors;
+//! * the [`proptest!`], [`prop_compose!`], and [`prop_oneof!`] macros;
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` / `prop_assume!`.
+//!
+//! Differences from real proptest, on purpose:
+//!
+//! * **No shrinking.** A failing case reports its test name, case index, and
+//!   seed; re-running is exactly reproducible (seeds derive from the test
+//!   path, not ambient entropy), which substitutes for minimization well
+//!   enough at this scale.
+//! * **Deterministic by default.** `PROPTEST_SEED` perturbs the base seed and
+//!   `PROPTEST_CASES` overrides the per-test case count (default 64).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::{Rng, RngExt, SeedableRng};
+use std::rc::Rc;
+
+/// The RNG threaded through strategies during generation.
+#[derive(Debug, Clone)]
+pub struct TestRng(rand::rngs::SmallRng);
+
+impl TestRng {
+    /// Build the RNG for one test case from a base seed and case index.
+    pub fn from_parts(base: u64, case: u64) -> Self {
+        TestRng(rand::rngs::SmallRng::seed_from_u64(
+            base ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ))
+    }
+}
+
+impl Rng for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// Derive a stable base seed for a test from its fully qualified name.
+///
+/// FNV-1a over the name, XORed with the optional `PROPTEST_SEED` environment
+/// variable so a whole run can be perturbed without touching code.
+pub fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    let env = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0);
+    h ^ env
+}
+
+/// Number of cases each property runs (`PROPTEST_CASES` overrides, default 64).
+pub fn case_count() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse::<u32>().ok())
+        .unwrap_or(64)
+}
+
+/// A generator of values of one type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// A strategy transformed by a mapping function. See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )+};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.random_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!(
+    (A.0),
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+    (A.0, B.1, C.2, D.3, E.4, F.5),
+);
+
+/// A type-erased, reference-counted strategy; what [`prop_oneof!`] arms and
+/// [`prop_compose!`] bodies become.
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> std::fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+impl<T> BoxedStrategy<T> {
+    /// Wrap a generation closure.
+    pub fn from_fn(f: impl Fn(&mut TestRng) -> T + 'static) -> Self {
+        BoxedStrategy(Rc::new(f))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Erase a strategy's type so heterogeneous strategies can share a vec.
+pub fn boxed<S: Strategy + 'static>(s: S) -> BoxedStrategy<S::Value> {
+    BoxedStrategy(Rc::new(move |rng| s.generate(rng)))
+}
+
+/// A uniform choice among type-erased strategies. See [`prop_oneof!`].
+#[derive(Debug, Clone)]
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Build a union; panics if `arms` is empty.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.random_range(0..self.arms.len());
+        self.arms[i].generate(rng)
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::RngExt;
+
+    /// Strategy for variable-length `Vec`s. See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: core::ops::Range<usize>,
+    }
+
+    /// Generate `Vec`s whose length is drawn from `len` and whose elements
+    /// come from `elem`.
+    pub fn vec<S: Strategy>(elem: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.random_range(self.len.clone());
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property-test module typically imports.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        boxed, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_compose, prop_oneof,
+        proptest, BoxedStrategy, Strategy, TestRng, Union,
+    };
+}
+
+/// Assert a condition inside a property; failure fails the whole case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Skip the current case when a precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::boxed($arm)),+])
+    };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running [`case_count`] cases with deterministic seeds.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$attr:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )+) => {$(
+        $(#[$attr])*
+        fn $name() {
+            let base = $crate::seed_for(concat!(module_path!(), "::", stringify!($name)));
+            let cases = $crate::case_count();
+            for case in 0..cases {
+                let mut rng = $crate::TestRng::from_parts(base, u64::from(case));
+                let run = || {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    $body
+                };
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(run));
+                if let Err(payload) = outcome {
+                    eprintln!(
+                        "proptest failure: {}::{} case {case}/{cases} (base seed {base}; \
+                         rerun is deterministic, set PROPTEST_SEED to perturb)",
+                        module_path!(),
+                        stringify!($name),
+                    );
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    )+};
+}
+
+/// Define a named composite strategy:
+/// `prop_compose! { fn name()(a in s1, b in s2) -> T { body } }` expands to
+/// `fn name() -> impl Strategy<Value = T>`.
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $(#[$attr:meta])*
+        $vis:vis fn $name:ident($($param:ident: $pty:ty),* $(,)?)
+            ($($arg:ident in $strat:expr),+ $(,)?)
+            -> $out:ty $body:block
+    ) => {
+        $(#[$attr])*
+        $vis fn $name($($param: $pty),*) -> impl $crate::Strategy<Value = $out> {
+            $crate::BoxedStrategy::from_fn(move |rng: &mut $crate::TestRng| {
+                $(let $arg = $crate::Strategy::generate(&($strat), rng);)+
+                $body
+            })
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 0u8..10, y in -5i64..5, f in 0.0..1.0f64) {
+            prop_assert!(x < 10);
+            prop_assert!((-5..5).contains(&y));
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(xs in collection::vec(0u32..100, 2..7)) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 7);
+            prop_assert!(xs.iter().all(|&v| v < 100));
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(p in (0u8..4, 0u8..4).prop_map(|(a, b)| (a, b, a + b)) ) {
+            prop_assert_eq!(p.2, p.0 + p.1);
+        }
+
+        #[test]
+        fn oneof_picks_every_arm(v in prop_oneof![0u8..1, 10u8..11, 20u8..21]) {
+            prop_assert!(v == 0 || v == 10 || v == 20);
+        }
+    }
+
+    prop_compose! {
+        fn arb_pair()(a in 0u8..8, b in 0u8..8) -> (u8, u8) {
+            (a.min(b), a.max(b))
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn composed_strategy_orders_pair(p in arb_pair()) {
+            prop_assert!(p.0 <= p.1);
+        }
+    }
+
+    #[test]
+    fn seeds_are_stable_per_name() {
+        assert_eq!(crate::seed_for("a::b"), crate::seed_for("a::b"));
+        assert_ne!(crate::seed_for("a::b"), crate::seed_for("a::c"));
+    }
+}
