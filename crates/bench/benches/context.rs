@@ -1,0 +1,99 @@
+//! Cost of building the shared [`AnalysisContext`] index layer once vs.
+//! what the passes used to pay rebuilding indexes on the fly.
+//!
+//! Before the stage graph, every pass re-derived its own view: the
+//! matcher and classifiers did linear `by_job_id` scans per lookup, the
+//! burst/vulnerability passes rebuilt the per-executable grouping with
+//! `by_exec`, and the temporal/spatial filters re-extracted and re-sharded
+//! the fatal stream. The context builds all of that exactly once.
+
+// Bench harness code follows the test-code panic policy: a broken fixture
+// should abort the run loudly rather than thread Results through hot loops.
+#![allow(clippy::unwrap_used, clippy::expect_used, missing_docs)]
+
+use bgp_sim::{SimConfig, Simulation};
+use coanalysis::event::Event;
+use coanalysis::AnalysisContext;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::collections::HashMap;
+use std::hint::black_box;
+
+fn bench_context(c: &mut Criterion) {
+    let out = Simulation::new(SimConfig::small_test(3))
+        .expect("valid config")
+        .run();
+
+    let mut g = c.benchmark_group("context_build");
+    g.throughput(Throughput::Elements(
+        (out.ras.len() + out.jobs.len()) as u64,
+    ));
+    g.bench_function("analysis_context_new", |b| {
+        b.iter(|| black_box(AnalysisContext::new(&out.ras, &out.jobs)));
+    });
+    g.finish();
+
+    // The legacy per-pass rebuild, approximated by the index work the old
+    // monolithic run repeated: event extraction + per-code sharding (the
+    // filter stage), a by_exec rebuild (burst + resubmission +
+    // history-coverage passes each did one), and the linear job-id scans
+    // the matcher and classifiers performed per attribution lookup.
+    let ctx = AnalysisContext::for_jobs(&out.jobs);
+    let job_ids: Vec<u64> = ctx.job_records().iter().map(|j| j.job_id).collect();
+
+    let mut g = c.benchmark_group("per_pass_rebuild");
+    g.bench_function("event_extract_and_shard", |b| {
+        b.iter(|| {
+            let raw = Event::from_fatal_records(&out.ras);
+            let mut shards: HashMap<raslog::ErrCode, Vec<Event>> = HashMap::new();
+            for e in &raw {
+                shards.entry(e.errcode).or_default().push(*e);
+            }
+            black_box(shards.len())
+        });
+    });
+    g.bench_function("by_exec_rebuild_x3", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for _ in 0..3 {
+                n += out.jobs.by_exec().len();
+            }
+            black_box(n)
+        });
+    });
+    g.bench_function("by_job_id_linear_scans", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for &id in &job_ids {
+                hits += usize::from(out.jobs.by_job_id(id).is_some());
+            }
+            black_box(hits)
+        });
+    });
+    g.finish();
+
+    // The indexed equivalents of the same lookups, for the direct
+    // comparison.
+    let mut g = c.benchmark_group("context_lookup");
+    g.bench_function("job_index_lookups", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for &id in &job_ids {
+                hits += usize::from(ctx.job(id).is_some());
+            }
+            black_box(hits)
+        });
+    });
+    g.bench_function("exec_groups_reuse_x3", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for _ in 0..3 {
+                n += ctx.exec_groups().len();
+            }
+            black_box(n)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_context);
+criterion_main!(benches);

@@ -10,6 +10,7 @@ use bgp_sim::{SimConfig, Simulation};
 use coanalysis::event::Event;
 use coanalysis::filter::{CausalFilter, JobRelatedFilter, SpatialFilter, TemporalFilter};
 use coanalysis::matching::Matcher;
+use coanalysis::AnalysisContext;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
@@ -70,13 +71,14 @@ fn bench_filters(c: &mut Criterion) {
     for p in &sets {
         let ts = SpatialFilter::default().apply(&TemporalFilter::default().apply(&p.raw));
         let (events, _) = CausalFilter::default().filter(&ts);
-        let matching = Matcher::default().run(&events, &p.jobs);
+        let ctx = AnalysisContext::for_jobs(&p.jobs);
+        let matching = Matcher::default().run(&events, &ctx);
         g.throughput(Throughput::Elements(events.len() as u64));
         g.bench_with_input(
             BenchmarkId::from_parameter(p.label),
             &(events, matching),
             |b, (events, matching)| {
-                b.iter(|| black_box(JobRelatedFilter.apply(events, matching, &p.jobs)));
+                b.iter(|| black_box(JobRelatedFilter.apply(events, matching, &ctx)));
             },
         );
     }

@@ -8,6 +8,7 @@ use bgp_sim::{SimConfig, Simulation};
 use coanalysis::event::Event;
 use coanalysis::filter::{CausalFilter, SpatialFilter, TemporalFilter};
 use coanalysis::matching::Matcher;
+use coanalysis::AnalysisContext;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
@@ -23,7 +24,8 @@ fn bench_matching(c: &mut Criterion) {
     g.throughput(Throughput::Elements(events.len() as u64));
     g.bench_function("match_events_to_jobs", |b| {
         let m = Matcher::default();
-        b.iter(|| black_box(m.run(&events, &out.jobs)));
+        let ctx = AnalysisContext::for_jobs(&out.jobs);
+        b.iter(|| black_box(m.run(&events, &ctx)));
     });
     g.finish();
 

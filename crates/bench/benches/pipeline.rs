@@ -6,7 +6,7 @@
 #![allow(clippy::unwrap_used, clippy::expect_used, missing_docs)]
 
 use bgp_sim::{SimConfig, SimOutput, Simulation};
-use coanalysis::{CoAnalysis, CoAnalysisConfig};
+use coanalysis::{AnalysisSet, CoAnalysis, CoAnalysisConfig, StageId};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
@@ -46,6 +46,25 @@ fn bench_pipeline(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::from_parameter(label), &config, |b, config| {
             let ca = CoAnalysis::with_config(*config);
             b.iter(|| black_box(ca.run(&large.ras, &large.jobs)));
+        });
+    }
+    g.finish();
+
+    // Ablation: how much of the full run each analysis selection costs —
+    // the stage graph only executes the dependency closure of the
+    // requested set.
+    let mut g = c.benchmark_group("pipeline_analysis_sets");
+    g.sample_size(20);
+    let selections: [(&str, AnalysisSet); 4] = [
+        ("filters_only", AnalysisSet::of(&[StageId::JobRelated])),
+        ("matching_only", AnalysisSet::of(&[StageId::Matching])),
+        ("impact_only", AnalysisSet::of(&[StageId::Impact])),
+        ("full", AnalysisSet::all()),
+    ];
+    for (label, set) in selections {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &set, |b, set| {
+            let ca = CoAnalysis::default();
+            b.iter(|| black_box(ca.run_selected(&large.ras, &large.jobs, *set)));
         });
     }
     g.finish();

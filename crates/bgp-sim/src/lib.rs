@@ -32,7 +32,7 @@
 //! use bgp_sim::{SimConfig, Simulation};
 //!
 //! let cfg = SimConfig::small_test(42);
-//! let out = Simulation::new(cfg).run();
+//! let out = Simulation::new(cfg).expect("valid config").run();
 //! assert!(out.jobs.len() > 100);
 //! assert!(out.ras.fatal().count() > 50);
 //! ```

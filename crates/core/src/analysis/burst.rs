@@ -1,12 +1,13 @@
 //! Burstiness of job interruptions (Section VI-A: Figure 5,
 //! Observation 6).
 
+use crate::context::AnalysisContext;
 use bgp_model::{Duration, Timestamp};
-use joblog::{JobLog, JobRecord};
+use joblog::JobRecord;
 use std::collections::HashMap;
 
 /// Burst statistics over the interrupted-job population.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BurstAnalysis {
     /// Interruptions per day over the study window (Figure 5's series),
     /// indexed by day offset from the window start.
@@ -28,10 +29,10 @@ pub struct BurstAnalysis {
 
 impl BurstAnalysis {
     /// Analyze the interrupted jobs (`victims`, resolved job records)
-    /// against the full log and window.
+    /// against the indexed job log and window (the `Burst` stage).
     pub fn new(
         victims: &[&JobRecord],
-        jobs: &JobLog,
+        ctx: &AnalysisContext<'_>,
         window: (Timestamp, Timestamp),
         quick_window: Duration,
     ) -> BurstAnalysis {
@@ -63,7 +64,7 @@ impl BurstAnalysis {
         let interrupted_ids: std::collections::HashSet<u64> =
             victims.iter().map(|j| j.job_id).collect();
         let mut max_run = 0usize;
-        for group in jobs.by_exec().values() {
+        for (_, group) in ctx.exec_groups() {
             let mut run = 0usize;
             for j in group {
                 if interrupted_ids.contains(&j.job_id) {
@@ -78,15 +79,15 @@ impl BurstAnalysis {
         let interrupted_execs = per_exec.len();
         BurstAnalysis {
             per_day,
-            interrupted_job_fraction: if jobs.is_empty() {
+            interrupted_job_fraction: if ctx.job_count() == 0 {
                 0.0
             } else {
-                victims.len() as f64 / jobs.len() as f64
+                victims.len() as f64 / ctx.job_count() as f64
             },
-            interrupted_exec_fraction: if jobs.distinct_execs() == 0 {
+            interrupted_exec_fraction: if ctx.distinct_execs() == 0 {
                 0.0
             } else {
-                interrupted_execs as f64 / jobs.distinct_execs() as f64
+                interrupted_execs as f64 / ctx.distinct_execs() as f64
             },
             quick_reinterruptions: quick,
             quick_window_secs: quick_window.as_secs(),
@@ -109,7 +110,7 @@ impl BurstAnalysis {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use joblog::{ExecId, ExitStatus, ProjectId, UserId};
+    use joblog::{ExecId, ExitStatus, JobLog, ProjectId, UserId};
 
     fn job(job_id: u64, exec: u32, end: i64) -> JobRecord {
         JobRecord {
@@ -131,10 +132,11 @@ mod tests {
             .map(|i| job(i, i as u32, 1_000 + i as i64))
             .collect();
         let log = JobLog::from_jobs(all);
+        let ctx = AnalysisContext::for_jobs(&log);
         let victims: Vec<&JobRecord> = log.jobs().iter().take(2).collect();
         let b = BurstAnalysis::new(
             &victims,
-            &log,
+            &ctx,
             (Timestamp::from_unix(0), Timestamp::from_unix(3 * 86_400)),
             Duration::seconds(1_000),
         );
@@ -156,6 +158,7 @@ mod tests {
         ];
         all[3].exit = ExitStatus::Completed;
         let log = JobLog::from_jobs(all);
+        let ctx = AnalysisContext::for_jobs(&log);
         let victims: Vec<&JobRecord> = log
             .jobs()
             .iter()
@@ -163,7 +166,7 @@ mod tests {
             .collect();
         let b = BurstAnalysis::new(
             &victims,
-            &log,
+            &ctx,
             (Timestamp::from_unix(0), Timestamp::from_unix(2 * 86_400)),
             Duration::seconds(1_000),
         );

@@ -5,7 +5,7 @@ use crate::event::{interarrivals, Event};
 use bgp_stats::{compare_models, Ecdf, FitComparison, StatsError};
 
 /// Interarrival fits for one event stream.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FailureStats {
     /// Number of events in the stream.
     pub n_events: usize,
@@ -53,7 +53,7 @@ impl FailureStats {
 }
 
 /// Table IV: before vs. after job-related filtering.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TableIv {
     /// Fatal-event interarrival fits before job-related filtering.
     pub before: FailureStats,

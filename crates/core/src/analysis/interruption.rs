@@ -2,13 +2,13 @@
 //! Observation 7).
 
 use crate::classify::root_cause::{RootCause, RootCauseSummary};
+use crate::context::AnalysisContext;
 use crate::event::Event;
 use crate::matching::Matching;
 use bgp_stats::{compare_models, Ecdf, FitComparison, StatsError};
-use joblog::JobLog;
 
 /// Interarrival fits of job interruptions, split by root cause.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InterruptionStats {
     /// Interruptions attributed to system failures.
     pub system: CauseStats,
@@ -17,7 +17,7 @@ pub struct InterruptionStats {
 }
 
 /// One cause category's interruption statistics.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CauseStats {
     /// Number of interruptions.
     pub count: usize,
@@ -66,17 +66,17 @@ impl CauseStats {
 
 impl InterruptionStats {
     /// Split interruptions by the root cause of their events and fit each
-    /// stream.
+    /// stream (the `Interruption` stage).
     pub fn new(
         events: &[Event],
         matching: &Matching,
         root_cause: &RootCauseSummary,
-        jobs: &JobLog,
+        ctx: &AnalysisContext<'_>,
     ) -> InterruptionStats {
         let mut sys_times = Vec::new();
         let mut app_times = Vec::new();
         for (&job_id, &event_idx) in &matching.job_to_event {
-            let Some(job) = jobs.by_job_id(job_id) else {
+            let Some(job) = ctx.job(job_id) else {
                 continue;
             };
             let code = events[event_idx].errcode;
@@ -108,7 +108,7 @@ mod tests {
     use super::*;
     use crate::classify::root_cause::{RootCauseRule, RootCauseSummary};
     use bgp_model::Timestamp;
-    use joblog::{ExecId, ExitStatus, JobRecord, ProjectId, UserId};
+    use joblog::{ExecId, ExitStatus, JobLog, JobRecord, ProjectId, UserId};
     use raslog::Catalog;
 
     fn ev(t: i64, name: &str) -> Event {
@@ -168,7 +168,8 @@ mod tests {
                 RootCauseRule::FollowsExecutable,
             ),
         );
-        let stats = InterruptionStats::new(&events, &matching, &rc, &jobs);
+        let ctx = AnalysisContext::for_jobs(&jobs);
+        let stats = InterruptionStats::new(&events, &matching, &rc, &ctx);
         assert_eq!(stats.system.count, 15);
         assert_eq!(stats.application.count, 15);
         assert_eq!(stats.total(), 30);
@@ -192,7 +193,8 @@ mod tests {
         let mut matching = Matching::default();
         matching.job_to_event.insert(1, 0);
         matching.job_to_event.insert(2, 1);
-        let stats = InterruptionStats::new(&events, &matching, &RootCauseSummary::default(), &jobs);
+        let ctx = AnalysisContext::for_jobs(&jobs);
+        let stats = InterruptionStats::new(&events, &matching, &RootCauseSummary::default(), &ctx);
         assert_eq!(stats.system.count, 2);
         assert_eq!(stats.application.count, 0);
         assert!(stats.application.fits.is_none());

@@ -6,13 +6,13 @@
 //! Observation 5 quantitative: failure counts track *wide-job* workload,
 //! not total workload.
 
+use crate::context::AnalysisContext;
 use crate::event::Event;
 use bgp_model::{topology::NUM_MIDPLANES, MidplaneId};
 use bgp_stats::pearson::pearson;
-use joblog::JobLog;
 
 /// Per-midplane profile.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MidplaneProfile {
     /// Fatal events per midplane (Figure 4a).
     pub fatal_counts: Vec<u32>,
@@ -26,8 +26,13 @@ pub struct MidplaneProfile {
 }
 
 impl MidplaneProfile {
-    /// Build the three series.
-    pub fn new(events: &[Event], jobs: &JobLog, wide_threshold: u32) -> MidplaneProfile {
+    /// Build the three series (the `Midplane` stage; `events` is the fully
+    /// filtered stream).
+    pub fn new(
+        events: &[Event],
+        ctx: &AnalysisContext<'_>,
+        wide_threshold: u32,
+    ) -> MidplaneProfile {
         let n = usize::from(NUM_MIDPLANES);
         let mut fatal_counts = vec![0u32; n];
         for e in events {
@@ -36,8 +41,8 @@ impl MidplaneProfile {
         let mut workload_secs = vec![0i64; n];
         let mut wide_workload_secs = vec![0i64; n];
         for m in MidplaneId::all() {
-            workload_secs[m.index()] = jobs.midplane_busy_seconds(m);
-            wide_workload_secs[m.index()] = jobs.midplane_busy_seconds_min_size(m, wide_threshold);
+            workload_secs[m.index()] = ctx.midplane_busy_seconds(m);
+            wide_workload_secs[m.index()] = ctx.midplane_busy_seconds_min_size(m, wide_threshold);
         }
         MidplaneProfile {
             fatal_counts,
@@ -124,7 +129,7 @@ pub fn per_midplane_fits(
 mod tests {
     use super::*;
     use bgp_model::Timestamp;
-    use joblog::{ExecId, ExitStatus, JobRecord, ProjectId, UserId};
+    use joblog::{ExecId, ExitStatus, JobLog, JobRecord, ProjectId, UserId};
     use raslog::Catalog;
 
     fn ev(t: i64, loc: &str) -> Event {
@@ -172,7 +177,8 @@ mod tests {
             // Narrow job with huge runtime at the head.
             job(2, 0, 500_000, "R00-M0"),
         ]);
-        let p = MidplaneProfile::new(&events, &jobs, 32);
+        let ctx = AnalysisContext::for_jobs(&jobs);
+        let p = MidplaneProfile::new(&events, &ctx, 32);
         assert_eq!(p.fatal_counts.iter().sum::<u32>(), 20);
         assert_eq!(p.fatal_counts[32], 5); // R20-M0 is index 32
         assert_eq!(p.workload_secs[0], 500_000);
@@ -191,7 +197,9 @@ mod tests {
 
     #[test]
     fn empty_inputs() {
-        let p = MidplaneProfile::new(&[], &JobLog::default(), 32);
+        let empty = JobLog::default();
+        let ctx = AnalysisContext::for_jobs(&empty);
+        let p = MidplaneProfile::new(&[], &ctx, 32);
         assert_eq!(p.middle_band_share(), 0.0);
         // Zero-variance series make correlation undefined.
         assert!(p.corr_with_workload().is_none());

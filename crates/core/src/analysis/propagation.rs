@@ -6,14 +6,14 @@
 //! jobs running at different locations at the same time — on Intrepid only
 //! the shared-file-system codes do this (7.22 % of fatal events).
 
+use crate::context::AnalysisContext;
 use crate::event::Event;
 use crate::matching::Matching;
-use joblog::JobLog;
 use raslog::ErrCode;
 use std::collections::HashMap;
 
 /// Spatial/temporal propagation statistics.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PropagationAnalysis {
     /// Events that interrupted ≥ 2 jobs on non-overlapping partitions.
     pub spatial_events: usize,
@@ -26,12 +26,13 @@ pub struct PropagationAnalysis {
 }
 
 impl PropagationAnalysis {
-    /// Analyze an event stream with its matching; `chain_flags` is the
-    /// job-related filter's redundancy marking (temporal propagation).
+    /// Analyze an event stream with its matching (the `Propagation` stage);
+    /// `chain_flags` is the job-related filter's redundancy marking
+    /// (temporal propagation).
     pub fn new(
         events: &[Event],
         matching: &Matching,
-        jobs: &JobLog,
+        ctx: &AnalysisContext<'_>,
         chain_flags: &[bool],
     ) -> PropagationAnalysis {
         assert_eq!(events.len(), matching.per_event.len());
@@ -50,7 +51,7 @@ impl PropagationAnalysis {
                 let partitions: Vec<_> = m
                     .victims
                     .iter()
-                    .filter_map(|&id| jobs.by_job_id(id))
+                    .filter_map(|&id| ctx.job(id))
                     .map(|j| j.partition)
                     .collect();
                 let mut disjoint = false;
@@ -90,7 +91,7 @@ mod tests {
     use super::*;
     use crate::matching::{EventCase, EventMatch};
     use bgp_model::Timestamp;
-    use joblog::{ExecId, ExitStatus, JobRecord, ProjectId, UserId};
+    use joblog::{ExecId, ExitStatus, JobLog, JobRecord, ProjectId, UserId};
     use raslog::Catalog;
 
     fn ev(t: i64, name: &str) -> Event {
@@ -139,7 +140,8 @@ mod tests {
             ],
             job_to_event: [(1, 0), (2, 0), (3, 1)].into_iter().collect(),
         };
-        let p = PropagationAnalysis::new(&events, &matching, &jobs, &[false, false]);
+        let ctx = AnalysisContext::for_jobs(&jobs);
+        let p = PropagationAnalysis::new(&events, &matching, &ctx, &[false, false]);
         assert_eq!(p.spatial_events, 1);
         assert_eq!(p.interrupting_events, 2);
         assert!((p.spatial_fraction() - 0.5).abs() < 1e-12);
@@ -161,14 +163,17 @@ mod tests {
             }],
             job_to_event: [(1, 0), (2, 0)].into_iter().collect(),
         };
-        let p = PropagationAnalysis::new(&events, &matching, &jobs, &[true]);
+        let ctx = AnalysisContext::for_jobs(&jobs);
+        let p = PropagationAnalysis::new(&events, &matching, &ctx, &[true]);
         assert_eq!(p.spatial_events, 0);
         assert_eq!(p.temporal_chain_events, 1);
     }
 
     #[test]
     fn empty() {
-        let p = PropagationAnalysis::new(&[], &Matching::default(), &JobLog::default(), &[]);
+        let empty = JobLog::default();
+        let ctx = AnalysisContext::for_jobs(&empty);
+        let p = PropagationAnalysis::new(&[], &Matching::default(), &ctx, &[]);
         assert_eq!(p.spatial_fraction(), 0.0);
     }
 }

@@ -15,10 +15,10 @@
 //! 4. anything still unlabeled → assign the label of the labeled code whose
 //!    occurrence profile it best **Pearson-correlates** with.
 
+use crate::context::AnalysisContext;
 use crate::event::Event;
 use crate::matching::Matching;
 use bgp_stats::pearson::pearson;
-use joblog::JobLog;
 use raslog::ErrCode;
 use std::collections::HashMap;
 
@@ -81,17 +81,17 @@ impl RootCauseSummary {
     }
 }
 
-/// Classify every code in the event stream.
+/// Classify every code in the event stream (the `RootCause` stage).
 ///
-/// `window` is the whole log's time span, used to build daily occurrence
-/// profiles for the correlation fallback.
+/// Daily occurrence profiles for the correlation fallback are built from
+/// the event stream itself.
 ///
 /// Contract: input events may arrive in any order; returns one verdict per
 /// distinct code in the stream, and never invents codes absent from it.
 pub fn classify_root_cause(
     events: &[Event],
     matching: &Matching,
-    jobs: &JobLog,
+    ctx: &AnalysisContext<'_>,
 ) -> RootCauseSummary {
     assert_eq!(events.len(), matching.per_event.len());
     let mut summary = RootCauseSummary::default();
@@ -108,7 +108,7 @@ pub fn classify_root_cause(
     for (e, m) in events.iter().zip(&matching.per_event) {
         let ev = evidence.entry(e.errcode).or_default();
         for &job_id in &m.victims {
-            if let Some(job) = jobs.by_job_id(job_id) {
+            if let Some(job) = ctx.job(job_id) {
                 ev.interrupts = true;
                 ev.hits.push((
                     job.partition.first().map_or(0, |m| m.index()) as u8,
@@ -149,7 +149,7 @@ pub fn classify_root_cause(
                 if exec_a == exec_b {
                     continue; // same executable: could be its own bug
                 }
-                let clean_between = jobs.overlapping(mp, t_a, t_b).iter().any(|j| {
+                let clean_between = ctx.overlapping(mp, t_a, t_b).iter().any(|j| {
                     j.start_time > t_a
                         && j.end_time < t_b
                         && !matching.job_to_event.contains_key(&j.job_id)
@@ -270,7 +270,7 @@ mod tests {
     use super::*;
     use crate::matching::Matcher;
     use bgp_model::Timestamp;
-    use joblog::{ExecId, ExitStatus, JobRecord, ProjectId, UserId};
+    use joblog::{ExecId, ExitStatus, JobLog, JobRecord, ProjectId, UserId};
     use raslog::Catalog;
 
     fn ev(t: i64, loc: &str, name: &str) -> Event {
@@ -299,8 +299,9 @@ mod tests {
 
     fn classify(events: Vec<Event>, jobs: Vec<JobRecord>) -> RootCauseSummary {
         let log = JobLog::from_jobs(jobs);
-        let matching = Matcher::default().run(&events, &log);
-        classify_root_cause(&events, &matching, &log)
+        let ctx = AnalysisContext::for_jobs(&log);
+        let matching = Matcher::default().run(&events, &ctx);
+        classify_root_cause(&events, &matching, &ctx)
     }
 
     #[test]
@@ -425,8 +426,9 @@ mod tests {
             job(2, 42, 2_000, 3_000, "R07-M1"),
         ];
         let log = JobLog::from_jobs(jobs);
-        let matching = Matcher::default().run(&events, &log);
-        let s = classify_root_cause(&events, &matching, &log);
+        let ctx = AnalysisContext::for_jobs(&log);
+        let matching = Matcher::default().run(&events, &ctx);
+        let s = classify_root_cause(&events, &matching, &ctx);
         assert!((s.app_event_fraction(&events) - 2.0 / 3.0).abs() < 1e-12);
     }
 }

@@ -1,0 +1,270 @@
+//! The shared, immutable index layer every pipeline stage reads.
+//!
+//! Before the stage graph existed, each analysis constructor took `&JobLog`
+//! and rebuilt its own lookups from scratch — `by_exec()` hash groupings,
+//! linear `by_job_id` scans, ad-hoc per-code event shards. An
+//! [`AnalysisContext`] precomputes all of them once per run:
+//!
+//! * the **raw fatal event stream**, in time order (the filters' input);
+//! * **per-code event shards**, sorted by [`ErrCode`] so parallel filtering
+//!   has a deterministic shard → thread assignment;
+//! * a **job-id index** making job lookup O(1) instead of a linear scan;
+//! * **executable groups** (the paper's "distinct job" notion), sorted by
+//!   [`ExecId`] with each group in submission order;
+//! * the RAS log's **time span**, for burst-rate denominators.
+//!
+//! Occupancy and termination queries (`running_at`, `overlapping`,
+//! `ended_in_window`, busy-seconds series) delegate to the [`JobLog`]'s own
+//! interval indexes, which are already built once at log construction; the
+//! context re-exposes them so stages depend on one type only.
+
+use crate::event::Event;
+use bgp_model::{MidplaneId, Timestamp};
+use joblog::{ExecId, JobLog, JobRecord};
+use raslog::{ErrCode, RasLog};
+use std::collections::HashMap;
+
+/// Immutable per-run indexes shared by every stage of the pipeline.
+///
+/// Borrowing (rather than owning) the [`JobLog`] keeps construction cheap
+/// and lets callers reuse one log across many contexts (e.g. benchmark
+/// ablations re-running the pipeline with different stage sets).
+#[derive(Debug, Clone)]
+pub struct AnalysisContext<'a> {
+    jobs: &'a JobLog,
+    raw_events: Vec<Event>,
+    code_shards: Vec<(ErrCode, Vec<Event>)>,
+    job_index: HashMap<u64, u32>,
+    exec_groups: Vec<(ExecId, Vec<&'a JobRecord>)>,
+    span: Option<(Timestamp, Timestamp)>,
+}
+
+impl<'a> AnalysisContext<'a> {
+    /// Build the full context for one co-analysis run: extract the fatal
+    /// event stream from `ras` and index `jobs`.
+    pub fn new(ras: &RasLog, jobs: &'a JobLog) -> AnalysisContext<'a> {
+        AnalysisContext::from_events(Event::from_fatal_records(ras), ras.time_span(), jobs)
+    }
+
+    /// Build a context from an already-extracted event stream. `span` is the
+    /// observation window of the underlying log (not just the fatal subset).
+    pub fn from_events(
+        raw_events: Vec<Event>,
+        span: Option<(Timestamp, Timestamp)>,
+        jobs: &'a JobLog,
+    ) -> AnalysisContext<'a> {
+        let mut shards: HashMap<ErrCode, Vec<Event>> = HashMap::new();
+        for e in &raw_events {
+            shards.entry(e.errcode).or_default().push(*e);
+        }
+        let mut code_shards: Vec<(ErrCode, Vec<Event>)> = shards.into_iter().collect();
+        // Deterministic shard → thread assignment: sort by code, never by
+        // hash-map iteration order.
+        code_shards.sort_by_key(|(code, _)| *code);
+
+        let mut job_index = HashMap::with_capacity(jobs.len());
+        for (i, j) in jobs.jobs().iter().enumerate() {
+            job_index.insert(j.job_id, i as u32);
+        }
+
+        let mut groups: HashMap<ExecId, Vec<&'a JobRecord>> = HashMap::new();
+        for j in jobs.jobs() {
+            groups.entry(j.exec).or_default().push(j);
+        }
+        let mut exec_groups: Vec<(ExecId, Vec<&'a JobRecord>)> = groups.into_iter().collect();
+        exec_groups.sort_by_key(|(exec, _)| *exec);
+        for (_, group) in &mut exec_groups {
+            group.sort_by_key(|j| (j.queue_time, j.job_id));
+        }
+
+        AnalysisContext {
+            jobs,
+            raw_events,
+            code_shards,
+            job_index,
+            exec_groups,
+            span,
+        }
+    }
+
+    /// A context with no RAS events — job-side indexes only. Convenient for
+    /// unit tests exercising a single stage against a hand-built job log.
+    pub fn for_jobs(jobs: &'a JobLog) -> AnalysisContext<'a> {
+        AnalysisContext::from_events(Vec::new(), None, jobs)
+    }
+
+    /// The raw fatal event stream, in time order.
+    pub fn raw_events(&self) -> &[Event] {
+        &self.raw_events
+    }
+
+    /// Raw fatal events grouped by error code, shards sorted by code.
+    pub fn code_shards(&self) -> &[(ErrCode, Vec<Event>)] {
+        &self.code_shards
+    }
+
+    /// The observation window of the underlying RAS log, if known.
+    pub fn span(&self) -> Option<(Timestamp, Timestamp)> {
+        self.span
+    }
+
+    /// All jobs, sorted by start time.
+    pub fn job_records(&self) -> &'a [JobRecord] {
+        self.jobs.jobs()
+    }
+
+    /// Number of jobs.
+    pub fn job_count(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Look up a job by id — O(1), unlike [`JobLog::by_job_id`]'s scan.
+    pub fn job(&self, job_id: u64) -> Option<&'a JobRecord> {
+        self.job_index
+            .get(&job_id)
+            .and_then(|&i| self.jobs.jobs().get(i as usize))
+    }
+
+    /// Jobs grouped by executable, groups sorted by [`ExecId`] and each
+    /// group in submission (queue-time) order.
+    pub fn exec_groups(&self) -> &[(ExecId, Vec<&'a JobRecord>)] {
+        &self.exec_groups
+    }
+
+    /// Number of distinct executables.
+    pub fn distinct_execs(&self) -> usize {
+        self.exec_groups.len()
+    }
+
+    /// Jobs running at instant `t` on midplane `m`.
+    pub fn running_at(&self, m: MidplaneId, t: Timestamp) -> Vec<&'a JobRecord> {
+        self.jobs.running_at(m, t)
+    }
+
+    /// Jobs on midplane `m` whose execution interval overlaps `[t0, t1)`.
+    pub fn overlapping(&self, m: MidplaneId, t0: Timestamp, t1: Timestamp) -> Vec<&'a JobRecord> {
+        self.jobs.overlapping(m, t0, t1)
+    }
+
+    /// Jobs anywhere on the machine with `t0 <= end_time < t1`.
+    pub fn ended_in_window(&self, t0: Timestamp, t1: Timestamp) -> Vec<&'a JobRecord> {
+        self.jobs.ended_in_window(t0, t1)
+    }
+
+    /// Busy seconds on midplane `m` (the Figure 4b workload series).
+    pub fn midplane_busy_seconds(&self, m: MidplaneId) -> i64 {
+        self.jobs.midplane_busy_seconds(m)
+    }
+
+    /// Busy seconds on midplane `m` counting only jobs of at least
+    /// `min_midplanes` midplanes (the Figure 4c wide-job series).
+    pub fn midplane_busy_seconds_min_size(&self, m: MidplaneId, min_midplanes: u32) -> i64 {
+        self.jobs.midplane_busy_seconds_min_size(m, min_midplanes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use joblog::{ExitStatus, ProjectId, UserId};
+    use raslog::{Catalog, RasRecord};
+
+    fn job(job_id: u64, exec: u32, start: i64, end: i64, part: &str) -> JobRecord {
+        JobRecord {
+            job_id,
+            exec: ExecId(exec),
+            user: UserId(1),
+            project: ProjectId(1),
+            queue_time: Timestamp::from_unix(start - 50),
+            start_time: Timestamp::from_unix(start),
+            end_time: Timestamp::from_unix(end),
+            partition: part.parse().unwrap(),
+            exit: ExitStatus::Completed,
+        }
+    }
+
+    fn rec(recid: u64, t: i64, loc: &str, name: &str) -> RasRecord {
+        RasRecord::new(
+            recid,
+            Timestamp::from_unix(t),
+            loc.parse().unwrap(),
+            Catalog::standard().lookup(name).unwrap(),
+        )
+    }
+
+    #[test]
+    fn shards_are_sorted_by_code_and_cover_all_events() {
+        let log = RasLog::from_records(vec![
+            rec(1, 100, "R00-M0", "_bgp_err_kernel_panic"),
+            rec(2, 200, "R00-M1", "_bgp_err_ddr_controller"),
+            rec(3, 300, "R00-M0", "_bgp_err_kernel_panic"),
+            rec(4, 400, "R01-M0", "_bgp_warn_ecc_corrected"),
+        ]);
+        let jobs = JobLog::default();
+        let ctx = AnalysisContext::new(&log, &jobs);
+        assert_eq!(ctx.raw_events().len(), 3);
+        let shards = ctx.code_shards();
+        assert!(shards.windows(2).all(|w| w[0].0 < w[1].0));
+        let total: usize = shards.iter().map(|(_, s)| s.len()).sum();
+        assert_eq!(total, ctx.raw_events().len());
+        assert_eq!(ctx.span(), log.time_span());
+    }
+
+    #[test]
+    fn job_lookup_matches_linear_scan() {
+        let jobs = JobLog::from_jobs(vec![
+            job(7, 1, 100, 500, "R00-M0"),
+            job(3, 1, 600, 700, "R00-M1"),
+            job(9, 2, 50, 5000, "R01-M0"),
+        ]);
+        let ctx = AnalysisContext::for_jobs(&jobs);
+        for id in [3u64, 7, 9] {
+            assert_eq!(
+                ctx.job(id).map(|j| j.job_id),
+                jobs.by_job_id(id).map(|j| j.job_id)
+            );
+        }
+        assert!(ctx.job(42).is_none());
+        assert_eq!(ctx.job_count(), 3);
+        assert_eq!(ctx.job_records().len(), 3);
+    }
+
+    #[test]
+    fn exec_groups_sorted_and_in_submission_order() {
+        let jobs = JobLog::from_jobs(vec![
+            job(1, 10, 100, 500, "R00-M0"),
+            job(2, 10, 600, 700, "R00-M0"),
+            job(3, 5, 200, 900, "R00-M1"),
+        ]);
+        let ctx = AnalysisContext::for_jobs(&jobs);
+        let groups = ctx.exec_groups();
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].0, ExecId(5));
+        assert_eq!(groups[1].0, ExecId(10));
+        assert_eq!(
+            groups[1].1.iter().map(|j| j.job_id).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+        assert_eq!(ctx.distinct_execs(), 2);
+    }
+
+    #[test]
+    fn occupancy_queries_delegate_to_the_job_log() {
+        let jobs = JobLog::from_jobs(vec![job(1, 1, 100, 500, "R00-M0")]);
+        let ctx = AnalysisContext::for_jobs(&jobs);
+        let m0: MidplaneId = "R00-M0".parse().unwrap();
+        assert_eq!(ctx.running_at(m0, Timestamp::from_unix(300)).len(), 1);
+        assert_eq!(
+            ctx.overlapping(m0, Timestamp::from_unix(0), Timestamp::from_unix(1000))
+                .len(),
+            1
+        );
+        assert_eq!(
+            ctx.ended_in_window(Timestamp::from_unix(0), Timestamp::from_unix(1000))
+                .len(),
+            1
+        );
+        assert_eq!(ctx.midplane_busy_seconds(m0), 400);
+        assert_eq!(ctx.midplane_busy_seconds_min_size(m0, 4), 0);
+    }
+}

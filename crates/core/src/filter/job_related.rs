@@ -18,9 +18,10 @@
 //!    redundant if a job with the same execution file was interrupted by the
 //!    same code before, regardless of location.
 
+use crate::context::AnalysisContext;
 use crate::event::Event;
 use crate::matching::Matching;
-use joblog::{ExecId, JobLog};
+use joblog::ExecId;
 use raslog::ErrCode;
 use std::collections::HashMap;
 
@@ -47,7 +48,8 @@ impl JobRelatedOutcome {
 pub struct JobRelatedFilter;
 
 impl JobRelatedFilter {
-    /// Apply to a time-sorted event stream with its job matching.
+    /// Apply to a time-sorted event stream with its job matching (the
+    /// `JobRelated` stage).
     ///
     /// "Executed successfully in between" is decided from the co-analysis
     /// itself: a job on the same midplane, wholly inside the gap, that no
@@ -56,7 +58,12 @@ impl JobRelatedFilter {
     /// Contract: `events` is time-sorted and parallel to
     /// `matching.per_event`; the outcome's kept stream is a subsequence of
     /// the input.
-    pub fn apply(&self, events: &[Event], matching: &Matching, jobs: &JobLog) -> JobRelatedOutcome {
+    pub fn apply(
+        &self,
+        events: &[Event],
+        matching: &Matching,
+        ctx: &AnalysisContext<'_>,
+    ) -> JobRelatedOutcome {
         assert_eq!(events.len(), matching.per_event.len());
         let mut redundant = vec![false; events.len()];
         let mut root: Vec<usize> = (0..events.len()).collect();
@@ -77,7 +84,7 @@ impl JobRelatedFilter {
             // --- Rule 1 ---
             if let Some(&j) = last_at.get(&key) {
                 let clean_run_between =
-                    jobs.overlapping(mp, events[j].time, e.time)
+                    ctx.overlapping(mp, events[j].time, e.time)
                         .iter()
                         .any(|job| {
                             job.start_time > events[j].time
@@ -93,7 +100,7 @@ impl JobRelatedFilter {
             // --- Rule 2 (application resubmissions) ---
             if !redundant[i] {
                 for &job_id in victims {
-                    let Some(job) = jobs.by_job_id(job_id) else {
+                    let Some(job) = ctx.job(job_id) else {
                         continue;
                     };
                     if let Some(&j) = seen_exec.get(&(e.errcode, job.exec)) {
@@ -111,7 +118,7 @@ impl JobRelatedFilter {
             // its first event via `root`).
             last_at.insert(key, i);
             for &job_id in victims {
-                if let Some(job) = jobs.by_job_id(job_id) {
+                if let Some(job) = ctx.job(job_id) {
                     seen_exec.entry((e.errcode, job.exec)).or_insert(i);
                 }
             }
@@ -143,7 +150,7 @@ mod tests {
     use super::*;
     use crate::matching::Matcher;
     use bgp_model::Timestamp;
-    use joblog::{ExitStatus, JobRecord, ProjectId, UserId};
+    use joblog::{ExitStatus, JobLog, JobRecord, ProjectId, UserId};
     use raslog::Catalog;
 
     fn ev(t: i64, loc: &str, name: &str) -> Event {
@@ -176,8 +183,9 @@ mod tests {
 
     fn run(events: Vec<Event>, jobs: Vec<JobRecord>) -> (JobRelatedOutcome, Vec<Event>) {
         let log = JobLog::from_jobs(jobs);
-        let matching = Matcher::default().run(&events, &log);
-        let out = JobRelatedFilter.apply(&events, &matching, &log);
+        let ctx = AnalysisContext::for_jobs(&log);
+        let matching = Matcher::default().run(&events, &ctx);
+        let out = JobRelatedFilter.apply(&events, &matching, &ctx);
         (out, events)
     }
 

@@ -9,6 +9,7 @@
 
 pub mod adaptive;
 pub mod causal;
+pub mod dedup;
 pub mod job_related;
 mod proptests;
 pub mod spatial;
@@ -17,6 +18,7 @@ pub mod temporal;
 pub use adaptive::AdaptiveTemporalFilter;
 
 pub use causal::{CausalFilter, CausalRule};
+pub use dedup::{DedupDecision, DedupWindow};
 pub use job_related::JobRelatedFilter;
 pub use spatial::SpatialFilter;
 pub use temporal::TemporalFilter;

@@ -7,9 +7,8 @@
 //! midplanes of a partition is one event.
 
 use crate::event::Event;
+use crate::filter::dedup::{DedupDecision, DedupWindow};
 use bgp_model::Duration;
-use raslog::ErrCode;
-use std::collections::HashMap;
 
 /// Spatial filter with a configurable threshold (default 300 s).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,24 +27,20 @@ impl Default for SpatialFilter {
 }
 
 impl SpatialFilter {
-    /// Apply to a time-sorted event stream.
+    /// Apply to a time-sorted event stream (the `TemporalSpatial` stage's
+    /// second half, fed the temporal filter's survivors).
     ///
     /// Contract: input must be time-sorted; output is a subsequence of the
     /// input keeping the first event of each spatial burst per code.
     pub fn apply(&self, events: &[Event]) -> Vec<Event> {
         debug_assert!(events.windows(2).all(|w| w[0].time <= w[1].time));
-        let mut last: HashMap<ErrCode, (usize, bgp_model::Timestamp)> = HashMap::new();
+        // Shared rolling-window core, keyed by code alone.
+        let mut window = DedupWindow::new(self.threshold);
         let mut out: Vec<Event> = Vec::new();
         for e in events {
-            match last.get_mut(&e.errcode) {
-                Some((idx, seen)) if e.time - *seen <= self.threshold => {
-                    out[*idx].absorb(e);
-                    *seen = e.time;
-                }
-                _ => {
-                    last.insert(e.errcode, (out.len(), e.time));
-                    out.push(*e);
-                }
+            match window.observe(e.errcode, e.time, out.len() as u32) {
+                DedupDecision::Merged(slot) => out[slot as usize].absorb(e),
+                DedupDecision::Fresh => out.push(*e),
             }
         }
         out

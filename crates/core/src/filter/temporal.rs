@@ -8,9 +8,8 @@
 //! the storm runs — the classic behaviour of \[12\].
 
 use crate::event::Event;
-use bgp_model::{Duration, Location};
-use raslog::ErrCode;
-use std::collections::HashMap;
+use crate::filter::dedup::{DedupDecision, DedupWindow};
+use bgp_model::Duration;
 
 /// Temporal filter with a configurable threshold (default 300 s, the common
 /// choice in the Blue Gene literature).
@@ -46,26 +45,20 @@ impl Default for TemporalFilter {
 }
 
 impl TemporalFilter {
-    /// Apply to a time-sorted event stream.
+    /// Apply to a time-sorted event stream (the `TemporalSpatial` stage's
+    /// first half, run per error-code shard).
     ///
     /// Contract: input must be time-sorted; output is a subsequence of the
     /// input keeping the first event of each same-location burst per code.
     pub fn apply(&self, events: &[Event]) -> Vec<Event> {
         debug_assert!(events.windows(2).all(|w| w[0].time <= w[1].time));
-        // Index of the last kept event per (code, exact location), plus the
-        // rolling "last seen" time so storms extend their own window.
-        let mut last: HashMap<(ErrCode, Location), (usize, bgp_model::Timestamp)> = HashMap::new();
+        // Shared rolling-window core, keyed by (code, exact location).
+        let mut window = DedupWindow::new(self.threshold);
         let mut out: Vec<Event> = Vec::new();
         for e in events {
-            match last.get_mut(&(e.errcode, e.location)) {
-                Some((idx, seen)) if e.time - *seen <= self.threshold => {
-                    out[*idx].absorb(e);
-                    *seen = e.time;
-                }
-                _ => {
-                    last.insert((e.errcode, e.location), (out.len(), e.time));
-                    out.push(*e);
-                }
+            match window.observe((e.errcode, e.location), e.time, out.len() as u32) {
+                DedupDecision::Merged(slot) => out[slot as usize].absorb(e),
+                DedupDecision::Fresh => out.push(*e),
             }
         }
         out

@@ -25,7 +25,7 @@
 //! use bgp_sim::{SimConfig, Simulation};
 //! use coanalysis::pipeline::CoAnalysis;
 //!
-//! let out = Simulation::new(SimConfig::small_test(7)).run();
+//! let out = Simulation::new(SimConfig::small_test(7)).expect("valid config").run();
 //! let result = CoAnalysis::default().run(&out.ras, &out.jobs);
 //! println!("{}", result.observations());
 //! ```
@@ -35,13 +35,17 @@
 
 pub mod analysis;
 pub mod classify;
+pub mod context;
 pub mod event;
 pub mod filter;
 pub mod matching;
 pub mod pipeline;
 pub mod predict;
 pub mod report;
+pub mod stage;
 pub mod stream;
 
+pub use context::AnalysisContext;
 pub use event::Event;
 pub use pipeline::{CoAnalysis, CoAnalysisConfig, CoAnalysisResult};
+pub use stage::{AnalysisProducts, AnalysisSet, Stage, StageId};

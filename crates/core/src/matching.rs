@@ -9,6 +9,7 @@
 //! * **case 2** — no job was running at the event's location (idle);
 //! * **case 3** — jobs were running there, but none was interrupted.
 
+use crate::context::AnalysisContext;
 use crate::event::Event;
 use bgp_model::Duration;
 use joblog::{JobLog, JobRecord};
@@ -73,11 +74,12 @@ impl Default for Matcher {
 }
 
 impl Matcher {
-    /// Match a time-sorted event stream against the job log.
+    /// Match a time-sorted event stream against the indexed job log (the
+    /// `Matching` stage).
     ///
     /// Contract: returns `per_event` exactly parallel to `events` (same
-    /// length, same order); every match points at a job in `jobs`.
-    pub fn run(&self, events: &[Event], jobs: &JobLog) -> Matching {
+    /// length, same order); every match points at a job in `ctx`.
+    pub fn run(&self, events: &[Event], ctx: &AnalysisContext<'_>) -> Matching {
         let mut per_event = Vec::with_capacity(events.len());
         // job id → (event index, |end − event time|), best so far.
         let mut best: HashMap<u64, (usize, i64)> = HashMap::new();
@@ -87,14 +89,14 @@ impl Matcher {
             let mut running = 0usize;
             let mut seen: Vec<u64> = Vec::new();
             for m in e.footprint.midplanes() {
-                for j in jobs.running_at(m, e.time) {
+                for j in ctx.running_at(m, e.time) {
                     if !seen.contains(&j.job_id) {
                         seen.push(j.job_id);
                         running += 1;
                     }
                 }
             }
-            let ended = jobs.ended_in_window(e.time - self.window, e.time + self.window);
+            let ended = ctx.ended_in_window(e.time - self.window, e.time + self.window);
             let victims: Vec<u64> = ended
                 .iter()
                 .filter(|j| j.partition.overlaps(e.footprint))
@@ -102,7 +104,7 @@ impl Matcher {
                 .map(|j| j.job_id)
                 .collect();
             for &job_id in &victims {
-                let Some(end) = jobs_end(jobs, job_id) else {
+                let Some(end) = ctx.job(job_id).map(|j| j.end_time) else {
                     continue; // victim ids come from this log; nothing to rank otherwise
                 };
                 let dist = (end - e.time).abs().as_secs();
@@ -146,10 +148,6 @@ impl Matcher {
             job_to_event,
         }
     }
-}
-
-fn jobs_end(jobs: &JobLog, job_id: u64) -> Option<bgp_model::Timestamp> {
-    Some(jobs.by_job_id(job_id)?.end_time)
 }
 
 impl Matching {
@@ -200,6 +198,11 @@ mod tests {
         )
     }
 
+    fn matched(events: &[Event], jobs: &JobLog) -> Matching {
+        let ctx = AnalysisContext::for_jobs(jobs);
+        Matcher::default().run(events, &ctx)
+    }
+
     fn job(job_id: u64, start: i64, end: i64, part: &str, failed: bool) -> joblog::JobRecord {
         joblog::JobRecord {
             job_id,
@@ -222,7 +225,7 @@ mod tests {
     fn interruption_matched_by_time_and_location() {
         let jobs = JobLog::from_jobs(vec![job(1, 0, 5_000, "R00-M0", true)]);
         let events = vec![ev(5_010, "R00-M0-N01-J05", "_bgp_err_kernel_panic")];
-        let m = Matcher::default().run(&events, &jobs);
+        let m = matched(&events, &jobs);
         assert_eq!(m.per_event[0].victims, vec![1]);
         assert_eq!(m.per_event[0].case, EventCase::Interrupted);
         assert_eq!(m.job_to_event[&1], 0);
@@ -234,7 +237,7 @@ mod tests {
     fn wrong_location_is_not_a_victim() {
         let jobs = JobLog::from_jobs(vec![job(1, 0, 5_000, "R00-M0", true)]);
         let events = vec![ev(5_010, "R20-M1", "_bgp_err_kernel_panic")];
-        let m = Matcher::default().run(&events, &jobs);
+        let m = matched(&events, &jobs);
         assert!(m.per_event[0].victims.is_empty());
         assert_eq!(m.per_event[0].case, EventCase::IdleLocation);
     }
@@ -244,7 +247,7 @@ mod tests {
         // Job runs across the event time but does not end near it.
         let jobs = JobLog::from_jobs(vec![job(1, 0, 50_000, "R00-M0", false)]);
         let events = vec![ev(20_000, "R00-M0", "BULK_POWER_FATAL")];
-        let m = Matcher::default().run(&events, &jobs);
+        let m = matched(&events, &jobs);
         assert_eq!(m.per_event[0].case, EventCase::NotInterrupted);
         assert_eq!(m.per_event[0].running, 1);
     }
@@ -253,7 +256,7 @@ mod tests {
     fn outside_window_not_matched() {
         let jobs = JobLog::from_jobs(vec![job(1, 0, 5_000, "R00-M0", true)]);
         let events = vec![ev(5_000 + 1_000, "R00-M0", "_bgp_err_kernel_panic")];
-        let m = Matcher::default().run(&events, &jobs);
+        let m = matched(&events, &jobs);
         assert!(m.per_event[0].victims.is_empty());
     }
 
@@ -264,7 +267,7 @@ mod tests {
             ev(4_950, "R00-M0", "_bgp_err_kernel_panic"),
             ev(5_005, "R00-M0", "_bgp_err_ddr_controller"),
         ];
-        let m = Matcher::default().run(&events, &jobs);
+        let m = matched(&events, &jobs);
         assert_eq!(m.job_to_event[&1], 1, "closer event should win");
         assert!(m.per_event[0].victims.is_empty());
         assert_eq!(m.per_event[1].victims, vec![1]);
@@ -282,7 +285,7 @@ mod tests {
             job(2, 0, 5_001, "R00-M1", true),
         ]);
         let events = vec![ev(5_000, "R00", "_bgp_err_fs_config")];
-        let m = Matcher::default().run(&events, &jobs);
+        let m = matched(&events, &jobs);
         // Rack-scoped location covers both midplanes.
         assert_eq!(m.per_event[0].victims.len(), 2);
         assert_eq!(m.interrupted_jobs(), 2);
@@ -299,7 +302,7 @@ mod tests {
             ev(20_000, "R01-M0", "BULK_POWER_FATAL"),      // case 3
             ev(20_000, "R30-M0", "_bgp_err_diag_netbist"), // case 2
         ];
-        let m = Matcher::default().run(&events, &jobs);
+        let m = matched(&events, &jobs);
         assert_eq!(m.case_counts(), (1, 1, 1));
     }
 }

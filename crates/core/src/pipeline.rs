@@ -3,24 +3,27 @@
 //! `RAS log ─→ temporal ─→ spatial ─→ causal ─→ (match with job log)
 //! ─→ job-related filter ─→ classification ─→ characterization`.
 //!
-//! The temporal stage is embarrassingly parallel across `(code, location)`
-//! streams and the spatial/causal stages across codes; [`CoAnalysis::run`]
-//! shards the fatal stream by error code across threads (std::thread::scope
-//! threads, fork-join, no shared mutable state) and merges. Use
-//! [`CoAnalysisConfig::sequential`] to force the single-threaded path (the
-//! ablation benchmarked in `benches/pipeline.rs`).
+//! [`CoAnalysis::run`] is a thin driver: it builds one
+//! [`AnalysisContext`](crate::context::AnalysisContext) (the shared index
+//! layer) and hands the full [`AnalysisSet`] to the stage-graph executor in
+//! [`crate::stage`], which runs independent stages of each dependency wave
+//! concurrently and shards the temporal/spatial filters per error code
+//! through the same fork-join point. Use [`CoAnalysis::run_selected`] to
+//! run only the stages you need, and [`CoAnalysisConfig::sequential`] to
+//! force the single-threaded path (the ablation benchmarked in
+//! `benches/pipeline.rs`).
 
 use crate::analysis::failure_stats::TableIv;
 use crate::analysis::{
     BurstAnalysis, InterruptionStats, MidplaneProfile, PropagationAnalysis, VulnerabilityAnalysis,
 };
-use crate::classify::{classify_impact, classify_root_cause, ImpactSummary, RootCauseSummary};
+use crate::classify::{ImpactSummary, RootCauseSummary};
+use crate::context::AnalysisContext;
 use crate::event::Event;
-use crate::filter::{
-    CausalFilter, CausalRule, FilterStats, JobRelatedFilter, SpatialFilter, TemporalFilter,
-};
+use crate::filter::{CausalFilter, CausalRule, FilterStats, SpatialFilter, TemporalFilter};
 use crate::matching::{EventCase, Matcher, Matching};
 use crate::report::Observations;
+use crate::stage::{self, AnalysisProducts, AnalysisSet};
 use bgp_model::Duration;
 use joblog::JobLog;
 use raslog::RasLog;
@@ -123,124 +126,31 @@ impl CoAnalysis {
     /// event counts plus classification summaries; deterministic for a given
     /// input (no clock or entropy reads).
     pub fn run(&self, ras: &RasLog, jobs: &JobLog) -> CoAnalysisResult {
-        let cfg = &self.config;
-        let raw: Vec<Event> = Event::from_fatal_records(ras);
-
-        // --- temporal + spatial, sharded by error code ---
-        let after_spatial = self.filter_ts(&raw);
-        let after_temporal_count = after_spatial.1;
-        let after_spatial = after_spatial.0;
-
-        // --- causal (global: learns cross-code rules) ---
-        let (events, causal_rules) = cfg.causal.filter(&after_spatial);
-
-        // --- matching ---
-        let matching = cfg.matcher.run(&events, jobs);
-
-        // --- job-related filtering ---
-        let outcome = JobRelatedFilter.apply(&events, &matching, jobs);
-
-        let filter_stats = FilterStats {
-            raw_fatal: raw.len(),
-            after_temporal: after_temporal_count,
-            after_spatial: after_spatial.len(),
-            after_causal: events.len(),
-            after_job_related: outcome.events.len(),
-        };
-
-        // --- classification ---
-        let impact = classify_impact(&events, &matching);
-        let root_cause = classify_root_cause(&events, &matching, jobs);
-
-        // --- characterization ---
-        let table_iv = TableIv::new(&events, &outcome.events).ok();
-        // The per-midplane profile uses the fully filtered events: a
-        // ten-job chain at one broken midplane is one fault there, not ten
-        // (job-related filtering exists precisely to fix such counts).
-        let midplane = MidplaneProfile::new(&outcome.events, jobs, cfg.wide_threshold);
-        let victims = matching.interrupted_records(jobs);
-        let window = ras
-            .time_span()
-            .unwrap_or((bgp_model::Timestamp::EPOCH, bgp_model::Timestamp::EPOCH));
-        let burst = BurstAnalysis::new(&victims, jobs, window, cfg.quick_window);
-        let interruption = InterruptionStats::new(&events, &matching, &root_cause, jobs);
-        let propagation = PropagationAnalysis::new(&events, &matching, jobs, &outcome.redundant);
-        let vulnerability = VulnerabilityAnalysis::new(
-            &events,
-            &matching,
-            &root_cause,
-            jobs,
-            &midplane.fatal_counts,
-        );
-
-        CoAnalysisResult {
-            events,
-            causal_rules,
-            matching,
-            job_redundant: outcome.redundant,
-            events_final: outcome.events,
-            filter_stats,
-            impact,
-            root_cause,
-            table_iv,
-            midplane,
-            burst,
-            interruption,
-            propagation,
-            vulnerability,
-        }
+        let ctx = AnalysisContext::new(ras, jobs);
+        let full = self.run_on(&ctx, AnalysisSet::all()).into_result();
+        #[allow(clippy::expect_used)]
+        // xtask-allow(no-panic): the full set runs every stage, so every product is present
+        full.expect("full analysis set fills every product")
     }
 
-    /// Temporal then spatial filtering, sharded by error code across
-    /// `config.threads` workers. Returns the merged spatial output and the
-    /// post-temporal count.
-    fn filter_ts(&self, raw: &[Event]) -> (Vec<Event>, usize) {
-        let cfg = &self.config;
-        // Shard: both filters only ever merge events of the *same* code, so
-        // per-code sharding is exact.
-        let mut shards: std::collections::HashMap<raslog::ErrCode, Vec<Event>> =
-            std::collections::HashMap::new();
-        for e in raw {
-            shards.entry(e.errcode).or_default().push(*e);
-        }
-        let shard_list: Vec<Vec<Event>> = shards.into_values().collect();
+    /// Run only `set` (closed over its dependencies) on freshly indexed
+    /// logs.
+    ///
+    /// Contract: products of stages inside the closed set come back `Some`
+    /// and agree exactly with a full [`CoAnalysis::run`] on the same input;
+    /// everything else is `None`.
+    pub fn run_selected(&self, ras: &RasLog, jobs: &JobLog, set: AnalysisSet) -> AnalysisProducts {
+        let ctx = AnalysisContext::new(ras, jobs);
+        self.run_on(&ctx, set)
+    }
 
-        let worker = |shard: &Vec<Event>| -> (Vec<Event>, usize) {
-            let t = cfg.temporal.apply(shard);
-            let n = t.len();
-            (cfg.spatial.apply(&t), n)
-        };
-
-        let results: Vec<(Vec<Event>, usize)> = if cfg.threads <= 1 || shard_list.len() <= 1 {
-            shard_list.iter().map(worker).collect()
-        } else {
-            let chunk = shard_list.len().div_ceil(cfg.threads);
-            let mut results: Vec<Vec<(Vec<Event>, usize)>> = Vec::with_capacity(cfg.threads);
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = shard_list
-                    .chunks(chunk)
-                    .map(|chunk| scope.spawn(move || chunk.iter().map(worker).collect::<Vec<_>>()))
-                    .collect();
-                for h in handles {
-                    match h.join() {
-                        Ok(part) => results.push(part),
-                        // Re-raise the worker's panic on the calling thread so
-                        // the failure keeps its original message.
-                        Err(payload) => std::panic::resume_unwind(payload),
-                    }
-                }
-            });
-            results.into_iter().flatten().collect()
-        };
-
-        let mut temporal_count = 0usize;
-        let mut merged: Vec<Event> = Vec::new();
-        for (events, n) in results {
-            temporal_count += n;
-            merged.extend(events);
-        }
-        merged.sort_by_key(|e| (e.time, e.first_recid));
-        (merged, temporal_count)
+    /// Run `set` (closed over its dependencies) on an existing context —
+    /// the cheapest way to run several selections over the same logs.
+    ///
+    /// Contract: pure function of `ctx`, the configuration, and `set`;
+    /// deterministic for a given input and independent of thread count.
+    pub fn run_on(&self, ctx: &AnalysisContext<'_>, set: AnalysisSet) -> AnalysisProducts {
+        stage::execute(ctx, &self.config, set).into_products()
     }
 }
 

@@ -1,0 +1,886 @@
+//! Stage graph: named pipeline passes over a shared [`AnalysisContext`].
+//!
+//! Every pass of the paper's Figure-1 dataflow is a [`Stage`] with an
+//! explicit identity ([`StageId`]) and declared dependencies
+//! ([`StageId::deps`]). The executor ([`execute`]) walks the graph in
+//! dependency waves and runs independent stages of a wave concurrently —
+//! the per-code sharding of the temporal/spatial filters and the fan-out
+//! of the characterization passes go through the same fork-join point
+//! ([`fork_join`]). Callers choose which passes to run with an
+//! [`AnalysisSet`]; dependencies are closed over automatically, so asking
+//! for `Midplane` alone pulls in filtering, matching, and job-related
+//! filtering but skips the other characterization passes.
+
+use crate::analysis::failure_stats::TableIv;
+use crate::analysis::{
+    BurstAnalysis, InterruptionStats, MidplaneProfile, PropagationAnalysis, VulnerabilityAnalysis,
+};
+use crate::classify::{classify_impact, classify_root_cause, ImpactSummary, RootCauseSummary};
+use crate::context::AnalysisContext;
+use crate::event::Event;
+use crate::filter::job_related::JobRelatedOutcome;
+use crate::filter::{CausalRule, FilterStats, JobRelatedFilter};
+use crate::matching::Matching;
+use crate::pipeline::{CoAnalysisConfig, CoAnalysisResult};
+use joblog::JobRecord;
+
+/// Identity of one pipeline pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u16)]
+pub enum StageId {
+    /// Temporal + spatial dedup, sharded per error code.
+    TemporalSpatial = 0,
+    /// Causal (cross-code) filtering.
+    Causal = 1,
+    /// Event ↔ job matching.
+    Matching = 2,
+    /// Job-related redundancy filtering.
+    JobRelated = 3,
+    /// Impact classification (Section IV-A).
+    Impact = 4,
+    /// Root-cause classification (Section IV-B).
+    RootCause = 5,
+    /// Table IV interarrival fits.
+    TableIv = 6,
+    /// Figure 4 midplane profile.
+    Midplane = 7,
+    /// Figure 5 / Observation 6 burst analysis.
+    Burst = 8,
+    /// Table V / Figure 6 interruption statistics.
+    Interruption = 9,
+    /// Observation 8 propagation analysis.
+    Propagation = 10,
+    /// Section VI-D vulnerability analysis.
+    Vulnerability = 11,
+}
+
+impl StageId {
+    /// Every stage, in declaration (= topological) order.
+    pub const ALL: [StageId; 12] = [
+        StageId::TemporalSpatial,
+        StageId::Causal,
+        StageId::Matching,
+        StageId::JobRelated,
+        StageId::Impact,
+        StageId::RootCause,
+        StageId::TableIv,
+        StageId::Midplane,
+        StageId::Burst,
+        StageId::Interruption,
+        StageId::Propagation,
+        StageId::Vulnerability,
+    ];
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            StageId::TemporalSpatial => "temporal-spatial",
+            StageId::Causal => "causal",
+            StageId::Matching => "matching",
+            StageId::JobRelated => "job-related",
+            StageId::Impact => "impact",
+            StageId::RootCause => "root-cause",
+            StageId::TableIv => "table-iv",
+            StageId::Midplane => "midplane",
+            StageId::Burst => "burst",
+            StageId::Interruption => "interruption",
+            StageId::Propagation => "propagation",
+            StageId::Vulnerability => "vulnerability",
+        }
+    }
+
+    /// Direct dependencies: stages whose products this stage reads.
+    pub fn deps(self) -> &'static [StageId] {
+        match self {
+            StageId::TemporalSpatial => &[],
+            StageId::Causal => &[StageId::TemporalSpatial],
+            StageId::Matching => &[StageId::Causal],
+            StageId::JobRelated | StageId::Impact | StageId::RootCause | StageId::Burst => {
+                &[StageId::Matching]
+            }
+            StageId::TableIv | StageId::Midplane | StageId::Propagation => &[StageId::JobRelated],
+            StageId::Interruption => &[StageId::RootCause],
+            StageId::Vulnerability => &[StageId::RootCause, StageId::Midplane],
+        }
+    }
+
+    fn bit(self) -> u16 {
+        1 << (self as u16)
+    }
+}
+
+/// A selection of stages to run (a bitset over [`StageId`]).
+///
+/// The executor always closes a set over its dependencies, so a set names
+/// the *products you want*, not the work to schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnalysisSet(u16);
+
+impl AnalysisSet {
+    /// No stages.
+    pub fn empty() -> AnalysisSet {
+        AnalysisSet(0)
+    }
+
+    /// Every stage (the full Figure-1 run).
+    pub fn all() -> AnalysisSet {
+        let mut s = AnalysisSet::empty();
+        for id in StageId::ALL {
+            s = s.with(id);
+        }
+        s
+    }
+
+    /// The set containing exactly `stages` (before dependency closure).
+    pub fn of(stages: &[StageId]) -> AnalysisSet {
+        let mut s = AnalysisSet::empty();
+        for &id in stages {
+            s = s.with(id);
+        }
+        s
+    }
+
+    /// This set plus one stage.
+    #[must_use]
+    pub fn with(self, id: StageId) -> AnalysisSet {
+        AnalysisSet(self.0 | id.bit())
+    }
+
+    /// Does the set contain `id`?
+    pub fn contains(self, id: StageId) -> bool {
+        self.0 & id.bit() != 0
+    }
+
+    /// The transitive dependency closure: the stages that actually run.
+    #[must_use]
+    pub fn closure(self) -> AnalysisSet {
+        let mut cur = self;
+        loop {
+            let mut next = cur;
+            for id in StageId::ALL {
+                if cur.contains(id) {
+                    for &d in id.deps() {
+                        next = next.with(d);
+                    }
+                }
+            }
+            if next == cur {
+                return cur;
+            }
+            cur = next;
+        }
+    }
+
+    /// The member stages, in topological order.
+    pub fn stages(self) -> Vec<StageId> {
+        StageId::ALL
+            .iter()
+            .copied()
+            .filter(|&id| self.contains(id))
+            .collect()
+    }
+
+    /// Number of member stages.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Default for AnalysisSet {
+    /// The default set is the full pipeline — `CoAnalysis::run` semantics.
+    fn default() -> AnalysisSet {
+        AnalysisSet::all()
+    }
+}
+
+/// The product of one stage run, tagged by stage.
+#[derive(Debug)]
+pub enum StageOutput {
+    /// Post-spatial events plus the post-temporal survivor count.
+    TemporalSpatial {
+        /// Merged, time-sorted events after temporal + spatial dedup.
+        after_spatial: Vec<Event>,
+        /// Events surviving the temporal filter (pre-spatial), summed over
+        /// shards.
+        after_temporal: usize,
+    },
+    /// Causally filtered events plus the learned rules.
+    Causal {
+        /// Events after causal filtering.
+        events: Vec<Event>,
+        /// Learned cross-code rules.
+        rules: Vec<CausalRule>,
+    },
+    /// Event ↔ job matching.
+    Matching(Matching),
+    /// Job-related filter outcome (final events + redundancy flags).
+    JobRelated(JobRelatedOutcome),
+    /// Impact classification.
+    Impact(ImpactSummary),
+    /// Root-cause classification.
+    RootCause(RootCauseSummary),
+    /// Table IV fits (`None` when a stream is too small to fit).
+    TableIv(Option<TableIv>),
+    /// Midplane profile.
+    Midplane(MidplaneProfile),
+    /// Burst analysis.
+    Burst(BurstAnalysis),
+    /// Interruption statistics.
+    Interruption(InterruptionStats),
+    /// Propagation analysis.
+    Propagation(PropagationAnalysis),
+    /// Vulnerability analysis (boxed: by far the largest payload).
+    Vulnerability(Box<VulnerabilityAnalysis>),
+}
+
+/// Accumulated products while the graph executes.
+///
+/// Stages read earlier products through the accessors; absent products
+/// (possible only if a stage is run without its dependencies, which the
+/// executor never does) degrade to empty defaults rather than panicking.
+#[derive(Debug, Default)]
+pub struct PipelineState {
+    raw_fatal: usize,
+    after_temporal: usize,
+    after_spatial: Option<Vec<Event>>,
+    events: Option<Vec<Event>>,
+    causal_rules: Option<Vec<CausalRule>>,
+    matching: Option<Matching>,
+    job_related: Option<JobRelatedOutcome>,
+    impact: Option<ImpactSummary>,
+    root_cause: Option<RootCauseSummary>,
+    table_iv: Option<Option<TableIv>>,
+    midplane: Option<MidplaneProfile>,
+    burst: Option<BurstAnalysis>,
+    interruption: Option<InterruptionStats>,
+    propagation: Option<PropagationAnalysis>,
+    vulnerability: Option<VulnerabilityAnalysis>,
+}
+
+impl PipelineState {
+    fn new(raw_fatal: usize) -> PipelineState {
+        PipelineState {
+            raw_fatal,
+            ..PipelineState::default()
+        }
+    }
+
+    /// Events after causal filtering (the matching/classification input).
+    fn events(&self) -> &[Event] {
+        self.events.as_deref().unwrap_or(&[])
+    }
+
+    /// Events after job-related filtering (the characterization input).
+    fn final_events(&self) -> &[Event] {
+        self.job_related
+            .as_ref()
+            .map(|o| o.events.as_slice())
+            .unwrap_or(&[])
+    }
+
+    fn install(&mut self, out: StageOutput) {
+        match out {
+            StageOutput::TemporalSpatial {
+                after_spatial,
+                after_temporal,
+            } => {
+                self.after_temporal = after_temporal;
+                self.after_spatial = Some(after_spatial);
+            }
+            StageOutput::Causal { events, rules } => {
+                self.events = Some(events);
+                self.causal_rules = Some(rules);
+            }
+            StageOutput::Matching(m) => self.matching = Some(m),
+            StageOutput::JobRelated(o) => self.job_related = Some(o),
+            StageOutput::Impact(i) => self.impact = Some(i),
+            StageOutput::RootCause(r) => self.root_cause = Some(r),
+            StageOutput::TableIv(t) => self.table_iv = Some(t),
+            StageOutput::Midplane(m) => self.midplane = Some(m),
+            StageOutput::Burst(b) => self.burst = Some(b),
+            StageOutput::Interruption(i) => self.interruption = Some(i),
+            StageOutput::Propagation(p) => self.propagation = Some(p),
+            StageOutput::Vulnerability(v) => self.vulnerability = Some(*v),
+        }
+    }
+
+    pub(crate) fn into_products(self) -> AnalysisProducts {
+        let filter_stats = match (&self.after_spatial, &self.events, &self.job_related) {
+            (Some(s), Some(ev), Some(o)) => Some(FilterStats {
+                raw_fatal: self.raw_fatal,
+                after_temporal: self.after_temporal,
+                after_spatial: s.len(),
+                after_causal: ev.len(),
+                after_job_related: o.events.len(),
+            }),
+            _ => None,
+        };
+        let (job_redundant, events_final) = match self.job_related {
+            Some(o) => (Some(o.redundant), Some(o.events)),
+            None => (None, None),
+        };
+        AnalysisProducts {
+            events: self.events,
+            causal_rules: self.causal_rules,
+            matching: self.matching,
+            job_redundant,
+            events_final,
+            filter_stats,
+            impact: self.impact,
+            root_cause: self.root_cause,
+            table_iv: self.table_iv,
+            midplane: self.midplane,
+            burst: self.burst,
+            interruption: self.interruption,
+            propagation: self.propagation,
+            vulnerability: self.vulnerability,
+        }
+    }
+}
+
+/// The products of a (possibly partial) pipeline run.
+///
+/// A field is `Some` exactly when its producing stage was in the closed
+/// [`AnalysisSet`]; `filter_stats` additionally needs the whole filter
+/// stack (temporal/spatial + causal + job-related) to have run.
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisProducts {
+    /// Events after temporal + spatial + causal filtering (`Causal`).
+    pub events: Option<Vec<Event>>,
+    /// Learned causal rules (`Causal`).
+    pub causal_rules: Option<Vec<CausalRule>>,
+    /// Matching of `events` against the job log (`Matching`).
+    pub matching: Option<Matching>,
+    /// Per-event job-related redundancy flags (`JobRelated`).
+    pub job_redundant: Option<Vec<bool>>,
+    /// Events after job-related filtering (`JobRelated`).
+    pub events_final: Option<Vec<Event>>,
+    /// Counts through the filter stack (needs the full filter stack).
+    pub filter_stats: Option<FilterStats>,
+    /// Impact classification (`Impact`).
+    pub impact: Option<ImpactSummary>,
+    /// Root-cause classification (`RootCause`).
+    pub root_cause: Option<RootCauseSummary>,
+    /// Table IV fits; inner `None` means a stream was too small (`TableIv`).
+    pub table_iv: Option<Option<TableIv>>,
+    /// Midplane profile (`Midplane`).
+    pub midplane: Option<MidplaneProfile>,
+    /// Burst analysis (`Burst`).
+    pub burst: Option<BurstAnalysis>,
+    /// Interruption statistics (`Interruption`).
+    pub interruption: Option<InterruptionStats>,
+    /// Propagation analysis (`Propagation`).
+    pub propagation: Option<PropagationAnalysis>,
+    /// Vulnerability analysis (`Vulnerability`).
+    pub vulnerability: Option<VulnerabilityAnalysis>,
+}
+
+impl AnalysisProducts {
+    /// Assemble the legacy full-run result; `None` unless every product is
+    /// present (i.e. the run covered [`AnalysisSet::all`]).
+    pub fn into_result(self) -> Option<CoAnalysisResult> {
+        Some(CoAnalysisResult {
+            events: self.events?,
+            causal_rules: self.causal_rules?,
+            matching: self.matching?,
+            job_redundant: self.job_redundant?,
+            events_final: self.events_final?,
+            filter_stats: self.filter_stats?,
+            impact: self.impact?,
+            root_cause: self.root_cause?,
+            table_iv: self.table_iv?,
+            midplane: self.midplane?,
+            burst: self.burst?,
+            interruption: self.interruption?,
+            propagation: self.propagation?,
+            vulnerability: self.vulnerability?,
+        })
+    }
+}
+
+/// One pipeline pass: an identity plus a pure function from the shared
+/// context, the configuration, and earlier products to this stage's
+/// product.
+pub trait Stage: Sync {
+    /// Which stage this is.
+    fn id(&self) -> StageId;
+
+    /// Run the pass.
+    ///
+    /// Contract: reads only [`AnalysisContext`] indexes and products of
+    /// stages named in [`StageId::deps`]; returns the [`StageOutput`]
+    /// variant matching [`Stage::id`]; deterministic for a given input.
+    fn run(
+        &self,
+        ctx: &AnalysisContext<'_>,
+        cfg: &CoAnalysisConfig,
+        state: &PipelineState,
+    ) -> StageOutput;
+}
+
+/// Contract: dedups each error-code shard temporally then spatially (shards
+/// are independent by construction) and merges time-sorted.
+struct TemporalSpatialStage;
+
+impl Stage for TemporalSpatialStage {
+    fn id(&self) -> StageId {
+        StageId::TemporalSpatial
+    }
+
+    fn run(
+        &self,
+        ctx: &AnalysisContext<'_>,
+        cfg: &CoAnalysisConfig,
+        _state: &PipelineState,
+    ) -> StageOutput {
+        // Both filters only ever merge events of the *same* code, so
+        // per-code sharding is exact; shards come pre-sorted by code from
+        // the context, so chunk→thread assignment is deterministic.
+        let results: Vec<(Vec<Event>, usize)> =
+            fork_join(ctx.code_shards(), cfg.threads, &|(_, shard)| {
+                let t = cfg.temporal.apply(shard);
+                let n = t.len();
+                (cfg.spatial.apply(&t), n)
+            });
+        let mut after_temporal = 0usize;
+        let mut merged: Vec<Event> = Vec::new();
+        for (events, n) in results {
+            after_temporal += n;
+            merged.extend(events);
+        }
+        merged.sort_by_key(|e| (e.time, e.first_recid));
+        StageOutput::TemporalSpatial {
+            after_spatial: merged,
+            after_temporal,
+        }
+    }
+}
+
+/// Contract: learns cross-code rules over the whole post-spatial stream
+/// (global by design — rules connect different codes).
+struct CausalStage;
+
+impl Stage for CausalStage {
+    fn id(&self) -> StageId {
+        StageId::Causal
+    }
+
+    fn run(
+        &self,
+        _ctx: &AnalysisContext<'_>,
+        cfg: &CoAnalysisConfig,
+        state: &PipelineState,
+    ) -> StageOutput {
+        let input = state.after_spatial.as_deref().unwrap_or(&[]);
+        let (events, rules) = cfg.causal.filter(input);
+        StageOutput::Causal { events, rules }
+    }
+}
+
+/// Contract: matches the causally filtered stream against the job index;
+/// produces per-event cases and the job → event attribution.
+struct MatchingStage;
+
+impl Stage for MatchingStage {
+    fn id(&self) -> StageId {
+        StageId::Matching
+    }
+
+    fn run(
+        &self,
+        ctx: &AnalysisContext<'_>,
+        cfg: &CoAnalysisConfig,
+        state: &PipelineState,
+    ) -> StageOutput {
+        StageOutput::Matching(cfg.matcher.run(state.events(), ctx))
+    }
+}
+
+/// Contract: flags job-related redundancy over the matched stream; final
+/// events are a subsequence of the causal stage's output.
+struct JobRelatedStage;
+
+impl Stage for JobRelatedStage {
+    fn id(&self) -> StageId {
+        StageId::JobRelated
+    }
+
+    fn run(
+        &self,
+        ctx: &AnalysisContext<'_>,
+        _cfg: &CoAnalysisConfig,
+        state: &PipelineState,
+    ) -> StageOutput {
+        let binding = Matching::default();
+        let matching = state.matching.as_ref().unwrap_or(&binding);
+        StageOutput::JobRelated(JobRelatedFilter.apply(state.events(), matching, ctx))
+    }
+}
+
+/// Contract: classifies per-code interruption impact from the matching
+/// cases alone.
+struct ImpactStage;
+
+impl Stage for ImpactStage {
+    fn id(&self) -> StageId {
+        StageId::Impact
+    }
+
+    fn run(
+        &self,
+        _ctx: &AnalysisContext<'_>,
+        _cfg: &CoAnalysisConfig,
+        state: &PipelineState,
+    ) -> StageOutput {
+        let binding = Matching::default();
+        let matching = state.matching.as_ref().unwrap_or(&binding);
+        StageOutput::Impact(classify_impact(state.events(), matching))
+    }
+}
+
+/// Contract: classifies per-code root cause using the matching and the
+/// job index (executable-following vs. location-sticky evidence).
+struct RootCauseStage;
+
+impl Stage for RootCauseStage {
+    fn id(&self) -> StageId {
+        StageId::RootCause
+    }
+
+    fn run(
+        &self,
+        ctx: &AnalysisContext<'_>,
+        _cfg: &CoAnalysisConfig,
+        state: &PipelineState,
+    ) -> StageOutput {
+        let binding = Matching::default();
+        let matching = state.matching.as_ref().unwrap_or(&binding);
+        StageOutput::RootCause(classify_root_cause(state.events(), matching, ctx))
+    }
+}
+
+/// Contract: fits interarrival models before/after job-related filtering;
+/// `None` when a stream is too small to fit.
+struct TableIvStage;
+
+impl Stage for TableIvStage {
+    fn id(&self) -> StageId {
+        StageId::TableIv
+    }
+
+    fn run(
+        &self,
+        _ctx: &AnalysisContext<'_>,
+        _cfg: &CoAnalysisConfig,
+        state: &PipelineState,
+    ) -> StageOutput {
+        StageOutput::TableIv(TableIv::new(state.events(), state.final_events()).ok())
+    }
+}
+
+/// Contract: builds the per-midplane fatal/workload/wide-workload series
+/// from the fully filtered events (a chain at one broken midplane is one
+/// fault there, not ten).
+struct MidplaneStage;
+
+impl Stage for MidplaneStage {
+    fn id(&self) -> StageId {
+        StageId::Midplane
+    }
+
+    fn run(
+        &self,
+        ctx: &AnalysisContext<'_>,
+        cfg: &CoAnalysisConfig,
+        state: &PipelineState,
+    ) -> StageOutput {
+        StageOutput::Midplane(MidplaneProfile::new(
+            state.final_events(),
+            ctx,
+            cfg.wide_threshold,
+        ))
+    }
+}
+
+/// Contract: analyzes interruption burstiness over the matched victims and
+/// the RAS time span.
+struct BurstStage;
+
+impl Stage for BurstStage {
+    fn id(&self) -> StageId {
+        StageId::Burst
+    }
+
+    fn run(
+        &self,
+        ctx: &AnalysisContext<'_>,
+        cfg: &CoAnalysisConfig,
+        state: &PipelineState,
+    ) -> StageOutput {
+        let binding = Matching::default();
+        let matching = state.matching.as_ref().unwrap_or(&binding);
+        let mut victims: Vec<&JobRecord> = matching
+            .job_to_event
+            .keys()
+            .filter_map(|&id| ctx.job(id))
+            .collect();
+        victims.sort_by_key(|j| (j.end_time, j.job_id));
+        let window = ctx
+            .span()
+            .unwrap_or((bgp_model::Timestamp::EPOCH, bgp_model::Timestamp::EPOCH));
+        StageOutput::Burst(BurstAnalysis::new(&victims, ctx, window, cfg.quick_window))
+    }
+}
+
+/// Contract: splits interruption interarrivals by root cause and fits each
+/// stream.
+struct InterruptionStage;
+
+impl Stage for InterruptionStage {
+    fn id(&self) -> StageId {
+        StageId::Interruption
+    }
+
+    fn run(
+        &self,
+        ctx: &AnalysisContext<'_>,
+        _cfg: &CoAnalysisConfig,
+        state: &PipelineState,
+    ) -> StageOutput {
+        let m_binding = Matching::default();
+        let matching = state.matching.as_ref().unwrap_or(&m_binding);
+        let rc_binding = RootCauseSummary::default();
+        let root_cause = state.root_cause.as_ref().unwrap_or(&rc_binding);
+        StageOutput::Interruption(InterruptionStats::new(
+            state.events(),
+            matching,
+            root_cause,
+            ctx,
+        ))
+    }
+}
+
+/// Contract: measures spatial propagation from multi-victim events and
+/// temporal propagation from the job-related redundancy flags.
+struct PropagationStage;
+
+impl Stage for PropagationStage {
+    fn id(&self) -> StageId {
+        StageId::Propagation
+    }
+
+    fn run(
+        &self,
+        ctx: &AnalysisContext<'_>,
+        _cfg: &CoAnalysisConfig,
+        state: &PipelineState,
+    ) -> StageOutput {
+        let binding = Matching::default();
+        let matching = state.matching.as_ref().unwrap_or(&binding);
+        let chain_flags = state
+            .job_related
+            .as_ref()
+            .map(|o| o.redundant.as_slice())
+            .unwrap_or(&[]);
+        StageOutput::Propagation(PropagationAnalysis::new(
+            state.events(),
+            matching,
+            ctx,
+            chain_flags,
+        ))
+    }
+}
+
+/// Contract: runs the Section VI-D vulnerability study over the matched
+/// stream, the root-cause labels, and the midplane fatal counts.
+struct VulnerabilityStage;
+
+impl Stage for VulnerabilityStage {
+    fn id(&self) -> StageId {
+        StageId::Vulnerability
+    }
+
+    fn run(
+        &self,
+        ctx: &AnalysisContext<'_>,
+        _cfg: &CoAnalysisConfig,
+        state: &PipelineState,
+    ) -> StageOutput {
+        let m_binding = Matching::default();
+        let matching = state.matching.as_ref().unwrap_or(&m_binding);
+        let rc_binding = RootCauseSummary::default();
+        let root_cause = state.root_cause.as_ref().unwrap_or(&rc_binding);
+        let fatal_counts = state
+            .midplane
+            .as_ref()
+            .map(|m| m.fatal_counts.as_slice())
+            .unwrap_or(&[]);
+        StageOutput::Vulnerability(Box::new(VulnerabilityAnalysis::new(
+            state.events(),
+            matching,
+            root_cause,
+            ctx,
+            fatal_counts,
+        )))
+    }
+}
+
+fn stage(id: StageId) -> &'static dyn Stage {
+    match id {
+        StageId::TemporalSpatial => &TemporalSpatialStage,
+        StageId::Causal => &CausalStage,
+        StageId::Matching => &MatchingStage,
+        StageId::JobRelated => &JobRelatedStage,
+        StageId::Impact => &ImpactStage,
+        StageId::RootCause => &RootCauseStage,
+        StageId::TableIv => &TableIvStage,
+        StageId::Midplane => &MidplaneStage,
+        StageId::Burst => &BurstStage,
+        StageId::Interruption => &InterruptionStage,
+        StageId::Propagation => &PropagationStage,
+        StageId::Vulnerability => &VulnerabilityStage,
+    }
+}
+
+/// Execute the dependency closure of `set` over `ctx` in waves; stages in
+/// the same wave run concurrently (up to `cfg.threads`).
+pub(crate) fn execute(
+    ctx: &AnalysisContext<'_>,
+    cfg: &CoAnalysisConfig,
+    set: AnalysisSet,
+) -> PipelineState {
+    let set = set.closure();
+    let mut state = PipelineState::new(ctx.raw_events().len());
+    let mut done = AnalysisSet::empty();
+    loop {
+        let ready: Vec<StageId> = StageId::ALL
+            .iter()
+            .copied()
+            .filter(|&id| {
+                set.contains(id)
+                    && !done.contains(id)
+                    && id.deps().iter().all(|&d| done.contains(d))
+            })
+            .collect();
+        if ready.is_empty() {
+            break;
+        }
+        let outputs = fork_join(&ready, cfg.threads, &|&id| stage(id).run(ctx, cfg, &state));
+        for out in outputs {
+            state.install(out);
+        }
+        for &id in &ready {
+            done = done.with(id);
+        }
+    }
+    state
+}
+
+/// The pipeline's one fork-join point: apply `f` to every item, splitting
+/// the slice into up to `threads` contiguous chunks on scoped threads.
+///
+/// Results come back in item order regardless of thread count, and a panic
+/// in any worker is re-raised on the calling thread with its original
+/// payload.
+pub(crate) fn fork_join<T, R, F>(items: &[T], threads: usize, f: &F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut results: Vec<Vec<R>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|chunk| scope.spawn(move || chunk.iter().map(f).collect::<Vec<_>>()))
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(part) => results.push(part),
+                // Re-raise the worker's panic on the calling thread so the
+                // failure keeps its original message.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    results.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deps_are_topological() {
+        // Every dependency appears earlier in ALL than its dependent.
+        for (i, id) in StageId::ALL.iter().enumerate() {
+            for d in id.deps() {
+                let j = StageId::ALL.iter().position(|x| x == d).unwrap();
+                assert!(j < i, "{:?} depends on later {:?}", id, d);
+            }
+        }
+    }
+
+    #[test]
+    fn closure_pulls_transitive_deps() {
+        let s = AnalysisSet::of(&[StageId::Midplane]).closure();
+        for need in [
+            StageId::TemporalSpatial,
+            StageId::Causal,
+            StageId::Matching,
+            StageId::JobRelated,
+            StageId::Midplane,
+        ] {
+            assert!(s.contains(need), "missing {need:?}");
+        }
+        assert_eq!(s.len(), 5);
+        assert!(!s.contains(StageId::Vulnerability));
+    }
+
+    #[test]
+    fn vulnerability_closure_is_almost_everything() {
+        let s = AnalysisSet::of(&[StageId::Vulnerability]).closure();
+        assert!(s.contains(StageId::Midplane));
+        assert!(s.contains(StageId::RootCause));
+        assert!(s.contains(StageId::JobRelated));
+        assert!(!s.contains(StageId::Burst));
+        assert!(!s.contains(StageId::Impact));
+    }
+
+    #[test]
+    fn set_operations() {
+        assert!(AnalysisSet::empty().is_empty());
+        assert_eq!(AnalysisSet::all().len(), StageId::ALL.len());
+        assert_eq!(AnalysisSet::default(), AnalysisSet::all());
+        let s = AnalysisSet::of(&[StageId::Burst, StageId::Impact]);
+        assert_eq!(s.stages(), vec![StageId::Impact, StageId::Burst]);
+        assert_eq!(s.with(StageId::Impact), s);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = StageId::ALL.iter().map(|id| id.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), StageId::ALL.len());
+    }
+
+    #[test]
+    fn fork_join_preserves_order() {
+        let items: Vec<u32> = (0..100).collect();
+        let seq = fork_join(&items, 1, &|&x| x * 2);
+        let par = fork_join(&items, 7, &|&x| x * 2);
+        assert_eq!(seq, par);
+        assert_eq!(seq[0], 0);
+        assert_eq!(seq[99], 198);
+    }
+}

@@ -4,10 +4,12 @@
 //! needs the same filters applied to records *as they arrive*. This module
 //! provides an incremental analyzer that:
 //!
-//! * deduplicates the FATAL stream online with the same rolling-window
-//!   temporal and spatial logic as the batch filters (fed the same records
-//!   in the same order, it surfaces exactly the events the batch
-//!   temporal+spatial stack keeps — see the equivalence test);
+//! * deduplicates the FATAL stream online with the *same*
+//!   [`DedupWindow`](crate::filter::DedupWindow) rolling-window core the
+//!   batch `TemporalSpatial` stage instantiates (fed the same records in
+//!   the same order, it surfaces exactly the events the batch
+//!   temporal+spatial stack keeps — the equivalence is structural, and the
+//!   test pins it);
 //! * optionally applies a per-code impact map learned from an earlier
 //!   offline run, so warnings skip the codes co-analysis has shown to be
 //!   harmless (Observation 1 in production).
@@ -17,9 +19,9 @@
 //! temporal+spatial — the stages that kill 95+ % of the volume.
 
 use crate::classify::ImpactSummary;
+use crate::filter::{DedupDecision, DedupWindow};
 use bgp_model::{Duration, Location, Timestamp};
 use raslog::{ErrCode, RasRecord, Severity};
-use std::collections::HashMap;
 
 /// What the analyzer did with one record.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,13 +57,11 @@ pub enum StreamDecision {
 /// ```
 #[derive(Debug, Clone)]
 pub struct OnlineAnalyzer {
-    temporal_threshold: Duration,
-    spatial_threshold: Duration,
-    /// Rolling last-seen per (code, exact location).
-    temporal_seen: HashMap<(ErrCode, Location), Timestamp>,
-    /// Rolling last-event per code (updated by temporal survivors only,
-    /// mirroring the batch stack).
-    spatial_seen: HashMap<ErrCode, Timestamp>,
+    /// Rolling window per (code, exact location) — the temporal half.
+    temporal: DedupWindow<(ErrCode, Location)>,
+    /// Rolling window per code (fed temporal survivors only, mirroring the
+    /// batch stack) — the spatial half.
+    spatial: DedupWindow<ErrCode>,
     /// Optional per-code impact verdicts from an offline run.
     impact: Option<ImpactSummary>,
     records_in: u64,
@@ -80,10 +80,8 @@ impl OnlineAnalyzer {
     /// Custom thresholds.
     pub fn with_thresholds(temporal: Duration, spatial: Duration) -> OnlineAnalyzer {
         OnlineAnalyzer {
-            temporal_threshold: temporal,
-            spatial_threshold: spatial,
-            temporal_seen: HashMap::new(),
-            spatial_seen: HashMap::new(),
+            temporal: DedupWindow::new(temporal),
+            spatial: DedupWindow::new(spatial),
             impact: None,
             records_in: 0,
             fatal_in: 0,
@@ -108,24 +106,17 @@ impl OnlineAnalyzer {
         self.fatal_in += 1;
 
         // Temporal: same code at the same exact location, rolling window.
+        // A stream keeps no output buffer, so the slot argument is unused.
         let tkey = (r.errcode, r.location);
-        if let Some(last) = self.temporal_seen.get_mut(&tkey) {
-            if r.event_time - *last <= self.temporal_threshold {
-                *last = r.event_time;
-                return StreamDecision::MergedTemporal;
-            }
+        if let DedupDecision::Merged(_) = self.temporal.observe(tkey, r.event_time, 0) {
+            return StreamDecision::MergedTemporal;
         }
-        self.temporal_seen.insert(tkey, r.event_time);
 
         // Spatial: same code anywhere, rolling window over temporal
         // survivors.
-        if let Some(last) = self.spatial_seen.get_mut(&r.errcode) {
-            if r.event_time - *last <= self.spatial_threshold {
-                *last = r.event_time;
-                return StreamDecision::MergedSpatial;
-            }
+        if let DedupDecision::Merged(_) = self.spatial.observe(r.errcode, r.event_time, 0) {
+            return StreamDecision::MergedSpatial;
         }
-        self.spatial_seen.insert(r.errcode, r.event_time);
 
         self.events_out += 1;
         let warn = self
@@ -171,8 +162,8 @@ impl OnlineAnalyzer {
     /// periodically on a long-running stream to bound memory.
     pub fn evict_before(&mut self, now: Timestamp, horizon: Duration) {
         let cutoff = now - horizon;
-        self.temporal_seen.retain(|_, &mut t| t >= cutoff);
-        self.spatial_seen.retain(|_, &mut t| t >= cutoff);
+        self.temporal.evict_before(cutoff);
+        self.spatial.evict_before(cutoff);
     }
 }
 
@@ -319,10 +310,10 @@ mod tests {
                 "_bgp_err_kernel_panic",
             ));
         }
-        assert_eq!(a.temporal_seen.len(), 1);
+        assert_eq!(a.temporal.len(), 1);
         a.evict_before(Timestamp::from_unix(2_000_000), Duration::hours(1));
-        assert!(a.temporal_seen.is_empty());
-        assert!(a.spatial_seen.is_empty());
+        assert!(a.temporal.is_empty());
+        assert!(a.spatial.is_empty());
         // Fresh records still processed normally after eviction.
         assert!(matches!(
             a.push(&rec(999, 2_000_001, "R00-M0", "_bgp_err_kernel_panic")),

@@ -15,7 +15,7 @@
 //! | `severity-wildcard` | `match` over `Severity` lists variants explicitly |
 //! | `errcode-catalog` | classify's ERRCODE strings exist in the catalog |
 //! | `crate-attrs` | crate roots forbid `unsafe_code`, warn `missing_docs` |
-//! | `stage-contract` | public pipeline stages document their contract |
+//! | `stage-contract` | public pipeline stages and `Stage` impls document their contract |
 //! | `dep-versions` | no duplicate major versions in `Cargo.lock` |
 //! | `allow-syntax` | every `xtask-allow` carries a justification |
 
@@ -83,7 +83,7 @@ pub const RULES: &[RuleInfo] = &[
     },
     RuleInfo {
         id: "stage-contract",
-        summary: "public pipeline stage entry points document their input/output contract (a `Contract:` doc line)",
+        summary: "public pipeline stage entry points and `Stage` impls document their input/output contract (a `Contract:` doc line)",
     },
     RuleInfo {
         id: "dep-versions",
@@ -333,11 +333,11 @@ const STAGE_FNS: &[&str] = &[
     "classify_root_cause",
 ];
 
-/// `stage-contract`: every public stage entry point must carry a doc line
-/// starting `Contract:` stating its input → output obligation (e.g. that
-/// filtering is monotone: output count ≤ input count). The paper's pipeline
-/// is a chain of such contracts; making them greppable text keeps them
-/// reviewable.
+/// `stage-contract`: every public stage entry point — and every `Stage`
+/// trait implementation — must carry a doc line starting `Contract:`
+/// stating its input → output obligation (e.g. that filtering is monotone:
+/// output count ≤ input count). The paper's pipeline is a chain of such
+/// contracts; making them greppable text keeps them reviewable.
 pub fn stage_contract(file: &SourceFile) -> Vec<Finding> {
     let mut out = Vec::new();
     for (lineno, line) in file.numbered() {
@@ -345,52 +345,77 @@ pub fn stage_contract(file: &SourceFile) -> Vec<Finding> {
             continue;
         }
         let code = line.code.trim_start();
-        let Some(rest) = code.strip_prefix("pub fn ") else {
+        let subject = if let Some(rest) = code.strip_prefix("pub fn ") {
+            let name: String = rest
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            if !STAGE_FNS.contains(&name.as_str()) {
+                continue;
+            }
+            format!("public stage entry point `{name}`")
+        } else if code.contains("impl Stage for ") {
+            // A `Stage` trait impl is a named pipeline pass; the contract
+            // doc sits on the struct declaration directly above it.
+            let name: String = code
+                .split("impl Stage for ")
+                .nth(1)
+                .unwrap_or("")
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            format!("stage implementation `{name}`")
+        } else {
             continue;
         };
-        let name: String = rest
-            .chars()
-            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
-            .collect();
-        if !STAGE_FNS.contains(&name.as_str()) {
-            continue;
-        }
-        // Walk upward over attributes and doc comments.
-        let mut has_contract = false;
-        let mut idx = lineno - 1; // 0-based index of the fn line
-        while idx > 0 {
-            idx -= 1;
-            let Some(above) = file.lines.get(idx) else {
-                break;
-            };
-            // The lexer strips comments out of `code`: a `/// doc` line has
-            // empty code and comment text beginning with `/`.
-            let trimmed = above.code.trim();
-            if trimmed.is_empty() && !above.comment.is_empty() {
-                if let Some(doc) = above.comment.strip_prefix('/') {
-                    if doc.trim().starts_with("Contract:") {
-                        has_contract = true;
-                    }
-                }
-            } else if trimmed.starts_with("#[") || trimmed.ends_with(']') {
-                continue; // attribute (possibly multi-line)
-            } else {
-                break;
-            }
-        }
-        if !has_contract {
+        if !has_contract_above(file, lineno) {
             out.push(Finding {
                 rule: "stage-contract",
                 path: file.path.clone(),
                 line: lineno,
                 message: format!(
-                    "public stage entry point `{name}` has no `/// Contract:` doc line \
-                     stating its input/output obligation"
+                    "{subject} has no `/// Contract:` doc line stating its \
+                     input/output obligation"
                 ),
             });
         }
     }
     out
+}
+
+/// Walk upward from `lineno` (1-based) over attributes, doc comments, and
+/// — for `impl` blocks — the struct declaration the docs sit on, looking
+/// for a doc line starting `Contract:`.
+fn has_contract_above(file: &SourceFile, lineno: usize) -> bool {
+    let mut idx = lineno - 1; // 0-based index of the subject line
+    while idx > 0 {
+        idx -= 1;
+        let Some(above) = file.lines.get(idx) else {
+            break;
+        };
+        // The lexer strips comments out of `code`: a `/// doc` line has
+        // empty code and comment text beginning with `/`.
+        let trimmed = above.code.trim();
+        if trimmed.is_empty() && !above.comment.is_empty() {
+            if let Some(doc) = above.comment.strip_prefix('/') {
+                if doc.trim().starts_with("Contract:") {
+                    return true;
+                }
+            }
+        } else if trimmed.starts_with("#[")
+            || trimmed.ends_with(']')
+            || trimmed.is_empty()
+            || (trimmed.starts_with("struct ") || trimmed.starts_with("pub struct "))
+                && trimmed.ends_with(';')
+        {
+            // Attributes (possibly multi-line), blank separators, and the
+            // unit-struct declaration an `impl Stage for` sits beneath.
+            continue;
+        } else {
+            break;
+        }
+    }
+    false
 }
 
 /// `dep-versions`: parse `Cargo.lock` and flag any package name resolved at
@@ -607,6 +632,35 @@ mod tests {
              pub fn helper() {}\n",
         );
         assert!(stage_contract(&f).is_empty(), "helper is not a stage fn");
+    }
+
+    #[test]
+    fn stage_contract_fires_on_undocumented_stage_impl() {
+        let f = file(
+            "/// A pass.\n\
+             struct FooStage;\n\
+             \n\
+             impl Stage for FooStage {\n\
+             }\n",
+        );
+        let found = stage_contract(&f);
+        assert_eq!(found.len(), 1);
+        assert!(found[0].message.contains("`FooStage`"));
+    }
+
+    #[test]
+    fn stage_contract_accepts_documented_stage_impl() {
+        let f = file(
+            "/// Contract: dedups the shard; output count <= input count.\n\
+             struct FooStage;\n\
+             \n\
+             impl Stage for FooStage {\n\
+             }\n",
+        );
+        assert!(
+            stage_contract(&f).is_empty(),
+            "contract doc above the struct declaration covers the impl"
+        );
     }
 
     // -- dep-versions -----------------------------------------------------

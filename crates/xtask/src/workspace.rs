@@ -115,6 +115,8 @@ fn in_stage_scope(path: &str) -> bool {
     (path.starts_with("crates/core/src/filter/")
         || path == "crates/core/src/matching.rs"
         || path == "crates/core/src/pipeline.rs"
+        || path == "crates/core/src/stage.rs"
+        || path == "crates/core/src/context.rs"
         || path.starts_with("crates/core/src/classify/"))
         && !path.ends_with("proptests.rs")
 }

@@ -8,7 +8,7 @@
 //! ```
 
 use bgp_coanalysis::bgp_sim::{SimConfig, Simulation};
-use bgp_coanalysis::coanalysis::CoAnalysis;
+use bgp_coanalysis::coanalysis::{AnalysisSet, CoAnalysis, StageId};
 use bgp_coanalysis::joblog::{self, JobReader};
 use bgp_coanalysis::raslog::{self, RasReader};
 use std::fs::File;
@@ -58,17 +58,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ras = raslog::RasLog::from_records(ras_records);
     let jobs = joblog::JobLog::from_jobs(job_records);
 
-    // --- run the full filter stack via the pipeline ---
-    let result = CoAnalysis::default().run(&ras, &jobs);
-    let s = &result.filter_stats;
+    // --- run just the filter stack via the stage graph ---
+    let result =
+        CoAnalysis::default().run_selected(&ras, &jobs, AnalysisSet::of(&[StageId::JobRelated]));
+    let s = result.filter_stats.unwrap_or_default();
+    let events_final = result.events_final.unwrap_or_default();
     println!(
         "\nfilter stack: {} FATAL -> {} temporal -> {} spatial -> {} causal -> {} job-related",
         s.raw_fatal, s.after_temporal, s.after_spatial, s.after_causal, s.after_job_related
     );
     println!(
         "learned {} causal rules; {} events flagged as job-related redundancy",
-        result.causal_rules.len(),
-        result.job_redundant.iter().filter(|&&f| f).count()
+        result.causal_rules.as_deref().unwrap_or_default().len(),
+        result
+            .job_redundant
+            .iter()
+            .flatten()
+            .filter(|&&f| f)
+            .count()
     );
 
     // --- write the cleaned event log: one representative record per event ---
@@ -85,7 +92,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         )?;
         let by_recid: std::collections::HashMap<u64, &raslog::RasRecord> =
             ras.records().iter().map(|r| (r.recid, r)).collect();
-        for e in &result.events_final {
+        for e in &events_final {
             if let Some(r) = by_recid.get(&e.first_recid) {
                 writeln!(w, "{:>6}x {}", e.merged, raslog::format_record(r))?;
             }
@@ -94,7 +101,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "cleaned event log written to {} ({} events standing for {} records)",
         clean_path.display(),
-        result.events_final.len(),
+        events_final.len(),
         s.raw_fatal
     );
     Ok(())

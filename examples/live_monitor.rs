@@ -13,7 +13,7 @@
 
 use bgp_coanalysis::bgp_sim::{SimConfig, Simulation};
 use bgp_coanalysis::coanalysis::stream::{OnlineAnalyzer, StreamDecision};
-use bgp_coanalysis::coanalysis::CoAnalysis;
+use bgp_coanalysis::coanalysis::{AnalysisSet, CoAnalysis, StageId};
 use bgp_coanalysis::raslog::RasLog;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -45,19 +45,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         history.len(),
         history_jobs.len()
     );
-    let trained = CoAnalysis::default().run(&history, &history_jobs);
-    let nonfatal = trained
-        .impact
-        .count(bgp_coanalysis::coanalysis::classify::CodeImpact::NonFatal);
+    // Only the impact classifier is needed — the stage graph skips the
+    // characterization passes entirely.
+    let trained = CoAnalysis::default().run_selected(
+        &history,
+        &history_jobs,
+        AnalysisSet::of(&[StageId::Impact]),
+    );
+    let impact = trained.impact.unwrap_or_default();
+    let nonfatal = impact.count(bgp_coanalysis::coanalysis::classify::CodeImpact::NonFatal);
     println!(
         "  learned verdicts for {} codes ({} non-fatal in practice)\n",
-        trained.impact.per_code.len(),
+        impact.per_code.len(),
         nonfatal
     );
 
     // --- phase 2: stream the live half ---
     let mut naive = OnlineAnalyzer::new();
-    let mut informed = OnlineAnalyzer::new().with_impact(trained.impact.clone());
+    let mut informed = OnlineAnalyzer::new().with_impact(impact);
     let mut merged_t = 0u64;
     let mut merged_s = 0u64;
     for r in out.ras.records().iter().filter(|r| r.event_time >= mid) {

@@ -12,7 +12,7 @@
 
 use bgp_coanalysis::bgp_sim::{SimConfig, Simulation};
 use bgp_coanalysis::coanalysis::analysis::repair::{reconstruct_outages, summarize};
-use bgp_coanalysis::coanalysis::CoAnalysis;
+use bgp_coanalysis::coanalysis::{AnalysisSet, CoAnalysis, Event, StageId};
 use bgp_coanalysis::joblog::{self, JobLog, JobReader};
 use bgp_coanalysis::raslog::{self, LogSummary, RasLog, RasReader};
 use std::fs::File;
@@ -231,22 +231,23 @@ fn cmd_filter(args: &[String]) -> Result<(), CliError> {
     let out = out.ok_or_else(|| CliError::Usage("filter needs -o OUT".into()))?;
     let ras = load_ras(ras_path)?;
     let jobs = load_jobs(jobs_path)?;
-    let r = CoAnalysis::default().run(&ras, &jobs);
-    write_clean_log(&out, &ras, &r)?;
+    // Only the filter stack is needed here — skip classification and
+    // characterization entirely.
+    let r =
+        CoAnalysis::default().run_selected(&ras, &jobs, AnalysisSet::of(&[StageId::JobRelated]));
+    let events_final = r.events_final.unwrap_or_default();
+    let raw_fatal = r.filter_stats.map_or(0, |s| s.raw_fatal);
+    write_clean_log(&out, &ras, &events_final)?;
     println!(
         "{}: {} independent events standing for {} FATAL records",
         out.display(),
-        r.events_final.len(),
-        r.filter_stats.raw_fatal
+        events_final.len(),
+        raw_fatal
     );
     Ok(())
 }
 
-fn write_clean_log(
-    path: &Path,
-    ras: &RasLog,
-    r: &bgp_coanalysis::coanalysis::CoAnalysisResult,
-) -> Result<(), CliError> {
+fn write_clean_log(path: &Path, ras: &RasLog, events_final: &[Event]) -> Result<(), CliError> {
     let mut w = BufWriter::new(File::create(path)?);
     writeln!(
         w,
@@ -254,7 +255,7 @@ fn write_clean_log(
     )?;
     let by_recid: std::collections::HashMap<u64, &raslog::RasRecord> =
         ras.records().iter().map(|rec| (rec.recid, rec)).collect();
-    for e in &r.events_final {
+    for e in events_final {
         if let Some(rec) = by_recid.get(&e.first_recid) {
             writeln!(w, "{:>6}x {}", e.merged, raslog::format_record(rec))?;
         }
@@ -268,8 +269,11 @@ fn cmd_outages(args: &[String]) -> Result<(), CliError> {
     };
     let ras = load_ras(ras_path)?;
     let jobs = load_jobs(jobs_path)?;
-    let r = CoAnalysis::default().run(&ras, &jobs);
-    let episodes = reconstruct_outages(&r.events, &r.matching, &jobs);
+    // Outage reconstruction only needs filtering + matching.
+    let r = CoAnalysis::default().run_selected(&ras, &jobs, AnalysisSet::of(&[StageId::Matching]));
+    let events = r.events.unwrap_or_default();
+    let matching = r.matching.unwrap_or_default();
+    let episodes = reconstruct_outages(&events, &matching, &jobs);
     let cat = raslog::Catalog::standard();
     println!("reconstructed outage episodes (chains of >= 2 interruptions):");
     for e in &episodes {
