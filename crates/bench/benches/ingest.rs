@@ -1,0 +1,107 @@
+//! Log-ingestion throughput: the serial streaming readers vs. the parallel
+//! byte-chunk parsers (at 1, 2, and all-cores chunks) vs. decoding a
+//! `.bgpsnap` snapshot of the same log — the three ways a 48-day site log
+//! gets into memory.
+
+// Bench harness code follows the test-code panic policy: a broken fixture
+// should abort the run loudly rather than thread Results through hot loops.
+#![allow(clippy::unwrap_used, clippy::expect_used, missing_docs)]
+
+use bgp_model::bytes::content_hash_64;
+use bgp_sim::{SimConfig, Simulation};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use joblog::JobReader;
+use raslog::RasReader;
+use std::hint::black_box;
+
+struct Prepared {
+    ras_text: Vec<u8>,
+    job_text: Vec<u8>,
+    ras_snap: Vec<u8>,
+    job_snap: Vec<u8>,
+    n_ras: u64,
+    n_jobs: u64,
+}
+
+/// A 48-day simulated site log (the paper analyzes a 48-day window),
+/// serialized to the native text formats, plus its `.bgpsnap` encoding.
+fn prepare() -> Prepared {
+    let mut cfg = SimConfig::small_test(9);
+    cfg.days = 48;
+    cfg.num_execs = 500 * 48 / 12;
+    let out = Simulation::new(cfg).expect("valid config").run();
+    let mut ras_text = Vec::new();
+    raslog::write_log(&mut ras_text, out.ras.records()).unwrap();
+    let mut job_text = Vec::new();
+    joblog::write_log(&mut job_text, out.jobs.jobs()).unwrap();
+    let ras_snap = raslog::snapshot::encode_snapshot(out.ras.records(), content_hash_64(&ras_text));
+    let job_snap = joblog::snapshot::encode_snapshot(out.jobs.jobs(), content_hash_64(&job_text));
+    Prepared {
+        ras_text,
+        job_text,
+        ras_snap,
+        job_snap,
+        n_ras: out.ras.len() as u64,
+        n_jobs: out.jobs.len() as u64,
+    }
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let p = prepare();
+    let ncpu = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut thread_counts = vec![1, 2, ncpu];
+    thread_counts.sort_unstable();
+    thread_counts.dedup();
+
+    let mut g = c.benchmark_group("ras_ingest");
+    g.throughput(Throughput::Elements(p.n_ras));
+    g.bench_function("serial_reader", |b| {
+        b.iter(|| black_box(RasReader::new(p.ras_text.as_slice()).read_tolerant()));
+    });
+    for &threads in &thread_counts {
+        g.bench_with_input(
+            BenchmarkId::new("parallel_bytes", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| black_box(raslog::parse_log_bytes(&p.ras_text, threads)));
+            },
+        );
+    }
+    g.bench_function("snapshot_decode", |b| {
+        let hash = content_hash_64(&p.ras_text);
+        b.iter(|| black_box(raslog::snapshot::decode_snapshot(&p.ras_snap, Some(hash)).unwrap()));
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("job_ingest");
+    g.throughput(Throughput::Elements(p.n_jobs));
+    g.bench_function("serial_reader", |b| {
+        b.iter(|| black_box(JobReader::new(p.job_text.as_slice()).read_tolerant()));
+    });
+    for &threads in &thread_counts {
+        g.bench_with_input(
+            BenchmarkId::new("parallel_bytes", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| black_box(joblog::parse_log_bytes(&p.job_text, threads)));
+            },
+        );
+    }
+    g.bench_function("snapshot_decode", |b| {
+        let hash = content_hash_64(&p.job_text);
+        b.iter(|| black_box(joblog::snapshot::decode_snapshot(&p.job_snap, Some(hash)).unwrap()));
+    });
+    g.finish();
+
+    // The hash that guards snapshot reuse runs on every snapshot load; it
+    // must stay a small fraction of the decode it gates.
+    let mut g = c.benchmark_group("source_hash");
+    g.throughput(Throughput::Bytes(p.ras_text.len() as u64));
+    g.bench_function("content_hash_64", |b| {
+        b.iter(|| black_box(content_hash_64(&p.ras_text)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ingest);
+criterion_main!(benches);

@@ -1,0 +1,185 @@
+//! Byte-level helpers shared by the log ingestion layer.
+//!
+//! Both log crates parse the same way: a whole file is read into memory once,
+//! split into newline-aligned chunks, and the chunks are parsed concurrently
+//! on scoped threads. The helpers here are the deterministic substrate for
+//! that: chunking that never splits a line, a fork-join map over chunks, and
+//! a content hash used by the `.bgpsnap` snapshot cache to detect stale
+//! snapshots.
+
+/// Position of the first occurrence of `needle` in `hay`.
+pub fn find_byte(needle: u8, hay: &[u8]) -> Option<usize> {
+    hay.iter().position(|&b| b == needle)
+}
+
+/// Split `data` into at most `chunks` pieces whose boundaries fall just
+/// *after* a `\n`, so no line ever spans two chunks.
+///
+/// The concatenation of the returned slices is exactly `data`; empty pieces
+/// are omitted (so fewer than `chunks` slices may come back, and an empty
+/// input yields none at all). `chunks == 0` is treated as 1.
+pub fn line_chunks(data: &[u8], chunks: usize) -> Vec<&[u8]> {
+    let n = chunks.max(1);
+    let mut out = Vec::with_capacity(n);
+    let mut start = 0usize;
+    for i in 1..=n {
+        if start >= data.len() {
+            break;
+        }
+        // Ideal boundary for the i-th piece, then advance past the next '\n'.
+        let mut end = if i == n {
+            data.len()
+        } else {
+            data.len() * i / n
+        };
+        if end <= start {
+            continue;
+        }
+        if end < data.len() {
+            end = match find_byte(b'\n', &data[end..]) {
+                Some(off) => end + off + 1,
+                None => data.len(),
+            };
+        }
+        out.push(&data[start..end]);
+        start = end;
+    }
+    out
+}
+
+/// Apply `f` to every chunk on its own scoped thread and collect the results
+/// in input order.
+///
+/// Single-chunk inputs run inline on the caller's thread. A panicking worker
+/// is re-raised on the caller, mirroring the stage-graph fork-join point.
+pub fn map_chunks_parallel<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let f = &f;
+    let mut results = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .iter()
+            .map(|item| scope.spawn(move || f(item)))
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(r) => results.push(r),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    results
+}
+
+/// FNV-1a offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// 64-bit FNV-1a hash of `data`, byte at a time.
+///
+/// Deterministic across platforms and runs (unlike `std`'s keyed hasher);
+/// used where a stable fingerprint of a short byte string is needed.
+pub fn fnv1a_64(data: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &b in data {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Stable 64-bit content hash of a (potentially large) byte buffer.
+///
+/// FNV-1a-style mixing over little-endian 8-byte words with the length folded
+/// into the initial state — roughly 8× faster than [`fnv1a_64`] on big
+/// buffers, which matters because the snapshot cache hashes the whole source
+/// log on every run to validate its snapshot. Not interchangeable with
+/// [`fnv1a_64`]; the snapshot format pins this exact function.
+pub fn content_hash_64(data: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET ^ (data.len() as u64).wrapping_mul(FNV_PRIME);
+    let mut words = data.chunks_exact(8);
+    for word in &mut words {
+        hash ^= u64::from_le_bytes(word.try_into().unwrap_or([0; 8]));
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    let rem = words.remainder();
+    if !rem.is_empty() {
+        let mut tail = [0u8; 8];
+        tail[..rem.len()].copy_from_slice(rem);
+        hash ^= u64::from_le_bytes(tail);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn find_byte_basic() {
+        assert_eq!(find_byte(b'|', b"ab|cd"), Some(2));
+        assert_eq!(find_byte(b'|', b"abcd"), None);
+        assert_eq!(find_byte(b'|', b""), None);
+    }
+
+    #[test]
+    fn chunks_concatenate_to_input() {
+        let data = b"one\ntwo\nthree\nfour\nfive";
+        for n in 0..=8 {
+            let chunks = line_chunks(data, n);
+            let joined: Vec<u8> = chunks.iter().flat_map(|c| c.iter().copied()).collect();
+            assert_eq!(joined, data, "chunks={n}");
+            // Every chunk but the last ends right after a newline.
+            for c in chunks.iter().take(chunks.len().saturating_sub(1)) {
+                assert_eq!(c.last(), Some(&b'\n'), "chunks={n}");
+            }
+            assert!(chunks.iter().all(|c| !c.is_empty()));
+        }
+    }
+
+    #[test]
+    fn chunks_edge_cases() {
+        assert!(line_chunks(b"", 4).is_empty());
+        // No newline at all: one chunk regardless of the requested count.
+        assert_eq!(line_chunks(b"no newline here", 4).len(), 1);
+        // All newlines.
+        let data = b"\n\n\n\n";
+        let chunks = line_chunks(data, 2);
+        let joined: Vec<u8> = chunks.iter().flat_map(|c| c.iter().copied()).collect();
+        assert_eq!(joined, data);
+    }
+
+    #[test]
+    fn map_preserves_order() {
+        let items: Vec<usize> = (0..13).collect();
+        let out = map_chunks_parallel(&items, |&i| i * 2);
+        assert_eq!(out, (0..13).map(|i| i * 2).collect::<Vec<_>>());
+        // Inline path.
+        let out = map_chunks_parallel(&items[..1], |&i| i + 1);
+        assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    fn hashes_are_stable_and_discriminating() {
+        // Pinned values: these must never change across releases, or every
+        // snapshot in the field silently invalidates.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        let h = content_hash_64(b"hello snapshot world");
+        assert_eq!(h, content_hash_64(b"hello snapshot world"));
+        assert_ne!(h, content_hash_64(b"hello snapshot worle"));
+        // Length is part of the state: a buffer of zeros is distinguished
+        // from a shorter one.
+        assert_ne!(content_hash_64(&[0u8; 8]), content_hash_64(&[0u8; 16]));
+        assert_ne!(content_hash_64(&[0u8; 7]), content_hash_64(&[0u8; 8]));
+    }
+}

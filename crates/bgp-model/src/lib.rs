@@ -28,9 +28,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bytes;
 pub mod error;
 pub mod location;
 pub mod partition;
+pub mod snapshot;
 pub mod time;
 pub mod topology;
 pub mod torus;

@@ -38,6 +38,7 @@ pub mod classify;
 pub mod context;
 pub mod event;
 pub mod filter;
+pub mod load;
 pub mod matching;
 pub mod pipeline;
 pub mod predict;
@@ -47,5 +48,8 @@ pub mod stream;
 
 pub use context::AnalysisContext;
 pub use event::Event;
+pub use load::{
+    load_jobs, load_pair, load_ras, LoadError, LoadOptions, LoadedJobs, LoadedRas, SnapshotStatus,
+};
 pub use pipeline::{CoAnalysis, CoAnalysisConfig, CoAnalysisResult};
 pub use stage::{AnalysisProducts, AnalysisSet, Stage, StageId};

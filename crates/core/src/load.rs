@@ -1,0 +1,326 @@
+//! Loading logs from disk: the parallel ingestion front door plus the
+//! transparent `.bgpsnap` snapshot cache.
+//!
+//! This module is the one place that decides *how* log text becomes records:
+//!
+//! 1. read the whole file once;
+//! 2. if a snapshot directory is configured, try the matching `.bgpsnap`
+//!    (validated by format version and a content hash of the source text) —
+//!    a hit skips parsing entirely;
+//! 3. otherwise parse in parallel on newline-aligned byte chunks
+//!    (`raslog::ingest` / `joblog::ingest`) and, if configured, write the
+//!    snapshot for next time.
+//!
+//! Every snapshot failure — stale hash, old format version, truncation,
+//! corruption — is recoverable: the loader falls back to re-parsing and
+//! rewrites the snapshot, reporting what happened in [`SnapshotStatus`].
+
+use bgp_model::bytes::content_hash_64;
+use bgp_model::snapshot::SnapshotError;
+use joblog::{JobLog, JobParseError};
+use raslog::{RasLog, RasParseError};
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// How to load a log file.
+#[derive(Debug, Clone, Default)]
+pub struct LoadOptions {
+    /// Worker threads for parallel parsing; `0` means one per available CPU.
+    pub threads: usize,
+    /// Directory for `.bgpsnap` snapshots; `None` disables the cache.
+    pub snapshot_dir: Option<PathBuf>,
+}
+
+impl LoadOptions {
+    fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        }
+    }
+}
+
+/// What the snapshot cache did during one load.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotStatus {
+    /// No snapshot directory was configured.
+    Disabled,
+    /// A valid snapshot was loaded; parsing was skipped.
+    Loaded,
+    /// No snapshot existed; one was written after parsing.
+    Written,
+    /// A snapshot existed but was unusable; the log was re-parsed and the
+    /// snapshot rewritten.
+    Rewritten {
+        /// Why the existing snapshot was rejected.
+        reason: String,
+    },
+    /// Parsing succeeded but the snapshot could not be written (the load
+    /// itself still succeeds; caching is best-effort).
+    WriteFailed {
+        /// The I/O error that prevented the write.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SnapshotStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotStatus::Disabled => write!(f, "disabled"),
+            SnapshotStatus::Loaded => write!(f, "loaded (parse skipped)"),
+            SnapshotStatus::Written => write!(f, "written"),
+            SnapshotStatus::Rewritten { reason } => write!(f, "rewritten ({reason})"),
+            SnapshotStatus::WriteFailed { reason } => write!(f, "write failed ({reason})"),
+        }
+    }
+}
+
+/// A loaded RAS log with its parse diagnostics.
+#[derive(Debug)]
+pub struct LoadedRas {
+    /// The indexed log.
+    pub log: RasLog,
+    /// Malformed lines skipped during parsing (empty on a snapshot hit —
+    /// snapshots only store records, and their line numbers are meaningless
+    /// once the source text changes anyway).
+    pub parse_errors: Vec<RasParseError>,
+    /// What the snapshot cache did.
+    pub snapshot: SnapshotStatus,
+}
+
+/// A loaded job log with its parse diagnostics.
+#[derive(Debug)]
+pub struct LoadedJobs {
+    /// The indexed log.
+    pub log: JobLog,
+    /// Malformed lines skipped during parsing (empty on a snapshot hit).
+    pub parse_errors: Vec<JobParseError>,
+    /// What the snapshot cache did.
+    pub snapshot: SnapshotStatus,
+}
+
+/// A load failure: the source file itself could not be read.
+#[derive(Debug)]
+pub struct LoadError {
+    /// The file that failed.
+    pub path: PathBuf,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.path.display(), self.message)
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+/// The snapshot file for `source` inside `dir`: `<file-name>.bgpsnap`.
+pub fn snapshot_file(dir: &Path, source: &Path) -> PathBuf {
+    let name = source
+        .file_name()
+        .map_or_else(|| "log".to_owned(), |n| n.to_string_lossy().into_owned());
+    dir.join(format!("{name}.bgpsnap"))
+}
+
+/// The shared load skeleton; record-type specifics come in as closures.
+fn load_generic<R, E>(
+    path: &Path,
+    opts: &LoadOptions,
+    decode: impl Fn(&[u8], u64) -> Result<Vec<R>, SnapshotError>,
+    parse: impl Fn(&[u8], usize) -> (Vec<R>, Vec<E>),
+    encode: impl Fn(&[R], u64) -> Vec<u8>,
+) -> Result<(Vec<R>, Vec<E>, SnapshotStatus), LoadError> {
+    let data = fs::read(path).map_err(|e| LoadError {
+        path: path.to_owned(),
+        message: format!("cannot read: {e}"),
+    })?;
+    let hash = content_hash_64(&data);
+    let snap_path = opts.snapshot_dir.as_deref().map(|d| snapshot_file(d, path));
+    let mut stale_reason = None;
+    if let Some(sp) = &snap_path {
+        if let Ok(snap_bytes) = fs::read(sp) {
+            match decode(&snap_bytes, hash) {
+                Ok(records) => return Ok((records, Vec::new(), SnapshotStatus::Loaded)),
+                Err(e) => stale_reason = Some(e.to_string()),
+            }
+        }
+    }
+    let (records, errors) = parse(&data, opts.effective_threads());
+    let status = match (&snap_path, opts.snapshot_dir.as_deref()) {
+        (Some(sp), Some(dir)) => {
+            let write =
+                fs::create_dir_all(dir).and_then(|()| fs::write(sp, encode(&records, hash)));
+            match (write, stale_reason) {
+                (Ok(()), None) => SnapshotStatus::Written,
+                (Ok(()), Some(reason)) => SnapshotStatus::Rewritten { reason },
+                (Err(e), _) => SnapshotStatus::WriteFailed {
+                    reason: e.to_string(),
+                },
+            }
+        }
+        _ => SnapshotStatus::Disabled,
+    };
+    Ok((records, errors, status))
+}
+
+/// Load a RAS log (parallel parse + optional snapshot cache).
+pub fn load_ras(path: &Path, opts: &LoadOptions) -> Result<LoadedRas, LoadError> {
+    let (records, parse_errors, snapshot) = load_generic(
+        path,
+        opts,
+        |b, h| raslog::snapshot::decode_snapshot(b, Some(h)),
+        raslog::ingest::parse_log_bytes,
+        raslog::snapshot::encode_snapshot,
+    )?;
+    Ok(LoadedRas {
+        log: RasLog::from_records(records),
+        parse_errors,
+        snapshot,
+    })
+}
+
+/// Load a job log (parallel parse + optional snapshot cache).
+pub fn load_jobs(path: &Path, opts: &LoadOptions) -> Result<LoadedJobs, LoadError> {
+    let (jobs, parse_errors, snapshot) = load_generic(
+        path,
+        opts,
+        |b, h| joblog::snapshot::decode_snapshot(b, Some(h)),
+        joblog::ingest::parse_log_bytes,
+        joblog::snapshot::encode_snapshot,
+    )?;
+    Ok(LoadedJobs {
+        log: JobLog::from_jobs(jobs),
+        parse_errors,
+        snapshot,
+    })
+}
+
+/// Load both logs concurrently on two scoped threads — co-analysis always
+/// needs both, and neither depends on the other.
+pub fn load_pair(
+    ras_path: &Path,
+    jobs_path: &Path,
+    opts: &LoadOptions,
+) -> Result<(LoadedRas, LoadedJobs), LoadError> {
+    std::thread::scope(|scope| {
+        let ras = scope.spawn(|| load_ras(ras_path, opts));
+        let jobs = scope.spawn(|| load_jobs(jobs_path, opts));
+        let ras = match ras.join() {
+            Ok(r) => r,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        let jobs = match jobs.join() {
+            Ok(j) => j,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        Ok((ras?, jobs?))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_fixture(dir: &Path) -> (PathBuf, PathBuf) {
+        let ras = raslog::RasRecord::new(
+            1,
+            bgp_model::Timestamp::from_unix(1_236_000_000),
+            "R00-M0".parse().unwrap(),
+            raslog::Catalog::standard()
+                .lookup("_bgp_err_kernel_panic")
+                .unwrap(),
+        );
+        let ras_path = dir.join("ras.log");
+        fs::write(
+            &ras_path,
+            format!("{}\ngarbage\n", raslog::format_record(&ras)),
+        )
+        .unwrap();
+        let job = joblog::JobRecord {
+            job_id: 1,
+            exec: joblog::ExecId(1),
+            user: joblog::UserId(1),
+            project: joblog::ProjectId(1),
+            queue_time: bgp_model::Timestamp::from_unix(100),
+            start_time: bgp_model::Timestamp::from_unix(200),
+            end_time: bgp_model::Timestamp::from_unix(300),
+            partition: "R00-M0".parse().unwrap(),
+            exit: joblog::ExitStatus::Completed,
+        };
+        let jobs_path = dir.join("jobs.log");
+        fs::write(&jobs_path, format!("{}\n", joblog::format_record(&job))).unwrap();
+        (ras_path, jobs_path)
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("coanalysis-load-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn pair_load_without_snapshots() {
+        let dir = tmpdir("plain");
+        let (ras_path, jobs_path) = write_fixture(&dir);
+        let (ras, jobs) = load_pair(&ras_path, &jobs_path, &LoadOptions::default()).unwrap();
+        assert_eq!(ras.log.len(), 1);
+        assert_eq!(ras.parse_errors.len(), 1);
+        assert_eq!(ras.parse_errors[0].line, 2);
+        assert_eq!(ras.snapshot, SnapshotStatus::Disabled);
+        assert_eq!(jobs.log.len(), 1);
+        assert!(jobs.parse_errors.is_empty());
+        let missing = dir.join("nope.log");
+        assert!(load_ras(&missing, &LoadOptions::default()).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_write_load_invalidate_cycle() {
+        let dir = tmpdir("snap");
+        let (ras_path, jobs_path) = write_fixture(&dir);
+        let opts = LoadOptions {
+            threads: 2,
+            snapshot_dir: Some(dir.join("snaps")),
+        };
+        // First load parses and writes.
+        let first = load_ras(&ras_path, &opts).unwrap();
+        assert_eq!(first.snapshot, SnapshotStatus::Written);
+        assert!(dir.join("snaps").join("ras.log.bgpsnap").exists());
+        // Second load hits the snapshot; records identical, errors elided.
+        let second = load_ras(&ras_path, &opts).unwrap();
+        assert_eq!(second.snapshot, SnapshotStatus::Loaded);
+        assert_eq!(second.log.records(), first.log.records());
+        assert!(second.parse_errors.is_empty());
+        // Appending to the source invalidates by hash → re-parse + rewrite.
+        let mut text = fs::read_to_string(&ras_path).unwrap();
+        let dup = text.lines().next().unwrap().to_owned();
+        text.push_str(&dup);
+        text.push('\n');
+        fs::write(&ras_path, &text).unwrap();
+        let third = load_ras(&ras_path, &opts).unwrap();
+        assert!(
+            matches!(&third.snapshot, SnapshotStatus::Rewritten { reason } if reason.contains("hash")),
+            "got {:?}",
+            third.snapshot
+        );
+        assert_eq!(third.log.len(), 2);
+        // And the rewritten snapshot is immediately valid again.
+        let fourth = load_ras(&ras_path, &opts).unwrap();
+        assert_eq!(fourth.snapshot, SnapshotStatus::Loaded);
+        // Corrupting the snapshot file also falls back to re-parse.
+        let snap = dir.join("snaps").join("jobs.log.bgpsnap");
+        let j1 = load_jobs(&jobs_path, &opts).unwrap();
+        assert_eq!(j1.snapshot, SnapshotStatus::Written);
+        fs::write(&snap, b"BGPSNAP\0 garbage").unwrap();
+        let j2 = load_jobs(&jobs_path, &opts).unwrap();
+        assert!(matches!(j2.snapshot, SnapshotStatus::Rewritten { .. }));
+        assert_eq!(j2.log.len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -18,13 +18,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ingest;
 pub mod log;
 pub mod metrics;
 pub mod parse;
 pub mod record;
+pub mod snapshot;
 pub mod write;
 
+pub use ingest::{parse_log_bytes, parse_log_bytes_strict};
 pub use log::JobLog;
-pub use parse::{parse_line, JobParseError, JobReader};
+pub use parse::{parse_line, parse_line_bytes, JobParseError, JobParseErrorKind, JobReader};
 pub use record::{ExecId, ExitStatus, JobRecord, ProjectId, UserId};
 pub use write::{format_record, write_log};

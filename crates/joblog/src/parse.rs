@@ -12,6 +12,18 @@ pub struct JobParseError {
     pub line: u64,
     /// Which field was malformed and why.
     pub message: String,
+    /// Broad failure class (malformed line vs. reader failure).
+    pub kind: JobParseErrorKind,
+}
+
+/// Broad class of a job-log parse failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobParseErrorKind {
+    /// The line was present but malformed.
+    Format,
+    /// The underlying reader failed mid-stream (the log is truncated from
+    /// this line on, not merely malformed).
+    Io,
 }
 
 impl fmt::Display for JobParseError {
@@ -22,11 +34,20 @@ impl fmt::Display for JobParseError {
 
 impl std::error::Error for JobParseError {}
 
-fn field_err(what: &str, value: &str) -> JobParseError {
+fn format_err(message: String) -> JobParseError {
     JobParseError {
         line: 0,
-        message: format!("bad {what}: {value:?}"),
+        message,
+        kind: JobParseErrorKind::Format,
     }
+}
+
+fn field_err(what: &str, value: &str) -> JobParseError {
+    format_err(format!("bad {what}: {value:?}"))
+}
+
+fn field_err_bytes(what: &str, value: &[u8]) -> JobParseError {
+    field_err(what, &String::from_utf8_lossy(value))
 }
 
 /// Parse an id token with a known prefix and suffix, e.g. `app00012.exe`.
@@ -40,58 +61,95 @@ fn parse_prefixed(token: &str, prefix: &str, suffix: &str) -> Option<u32> {
 
 /// Parse one accounting line into a [`JobRecord`].
 pub fn parse_line(line: &str) -> Result<JobRecord, JobParseError> {
-    let fields: Vec<&str> = line.split('|').collect();
-    if fields.len() != 9 {
-        return Err(JobParseError {
-            line: 0,
-            message: format!("expected 9 fields, found {}", fields.len()),
-        });
+    parse_line_bytes(line.as_bytes())
+}
+
+/// Parse one accounting line given as raw bytes — the allocation-free hot
+/// path used by the parallel ingestion layer (`crate::ingest`).
+///
+/// For any valid-UTF-8 line this behaves *identically* to [`parse_line`]
+/// (same record, or same error message). Unlike the RAS format, every job
+/// field is parsed, so each field is UTF-8-transcoded individually; a field
+/// with invalid UTF-8 reports the same error as an unparseable value, with a
+/// lossy payload.
+pub fn parse_line_bytes(line: &[u8]) -> Result<JobRecord, JobParseError> {
+    // Unlike RAS MESSAGE, no field may contain '|': unlimited `split('|')`
+    // semantics, counting every separator.
+    let mut fields: [&[u8]; 9] = [b""; 9];
+    let mut count = 0usize;
+    let mut rest = line;
+    loop {
+        match bgp_model::bytes::find_byte(b'|', rest) {
+            Some(i) => {
+                if count < 9 {
+                    fields[count] = &rest[..i];
+                }
+                count += 1;
+                rest = &rest[i + 1..];
+            }
+            None => {
+                if count < 9 {
+                    fields[count] = rest;
+                }
+                count += 1;
+                break;
+            }
+        }
     }
-    let job_id: u64 = fields[0]
-        .trim()
-        .parse()
-        .map_err(|_| field_err("JOBID", fields[0]))?;
+    if count != 9 {
+        return Err(format_err(format!("expected 9 fields, found {count}")));
+    }
+    fn text(f: &[u8]) -> Option<&str> {
+        std::str::from_utf8(f).ok().map(str::trim)
+    }
+    let job_id: u64 = text(fields[0])
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| field_err_bytes("JOBID", fields[0]))?;
     let exec = ExecId(
-        parse_prefixed(fields[1].trim(), "app", ".exe")
-            .ok_or_else(|| field_err("EXEC", fields[1]))?,
+        text(fields[1])
+            .and_then(|s| parse_prefixed(s, "app", ".exe"))
+            .ok_or_else(|| field_err_bytes("EXEC", fields[1]))?,
     );
     let user = UserId(
-        parse_prefixed(fields[2].trim(), "user", "").ok_or_else(|| field_err("USER", fields[2]))?,
+        text(fields[2])
+            .and_then(|s| parse_prefixed(s, "user", ""))
+            .ok_or_else(|| field_err_bytes("USER", fields[2]))?,
     );
     let project = ProjectId(
-        parse_prefixed(fields[3].trim(), "proj", "")
-            .ok_or_else(|| field_err("PROJECT", fields[3]))?,
+        text(fields[3])
+            .and_then(|s| parse_prefixed(s, "proj", ""))
+            .ok_or_else(|| field_err_bytes("PROJECT", fields[3]))?,
     );
     // Unix-second fields; accept a fractional tail (Cobalt writes floats).
-    let unix = |s: &str, what| -> Result<Timestamp, JobParseError> {
-        let whole = s.trim().split('.').next().unwrap_or("");
-        whole
-            .parse::<i64>()
+    let unix = |f: &[u8], what| -> Result<Timestamp, JobParseError> {
+        text(f)
+            .and_then(|s| s.split('.').next())
+            .and_then(|whole| whole.parse::<i64>().ok())
             .map(Timestamp::from_unix)
-            .map_err(|_| field_err(what, s))
+            .ok_or_else(|| field_err_bytes(what, f))
     };
     let queue_time = unix(fields[4], "QUEUE_TIME")?;
     let start_time = unix(fields[5], "START_TIME")?;
     let end_time = unix(fields[6], "END_TIME")?;
     if end_time < start_time || start_time < queue_time {
-        return Err(JobParseError {
-            line: 0,
-            message: format!(
-                "non-monotone times: queue {} start {} end {}",
-                queue_time.as_unix(),
-                start_time.as_unix(),
-                end_time.as_unix()
-            ),
-        });
+        return Err(format_err(format!(
+            "non-monotone times: queue {} start {} end {}",
+            queue_time.as_unix(),
+            start_time.as_unix(),
+            end_time.as_unix()
+        )));
     }
-    let partition: Partition = fields[7]
-        .trim()
-        .parse()
-        .map_err(|_| field_err("LOCATION", fields[7]))?;
-    let exit = match fields[8].trim() {
-        "cancelled" => ExitStatus::Cancelled,
-        "0" => ExitStatus::Completed,
-        other => ExitStatus::Failed(other.parse().map_err(|_| field_err("EXIT", fields[8]))?),
+    let partition: Partition = text(fields[7])
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| field_err_bytes("LOCATION", fields[7]))?;
+    let exit = match text(fields[8]) {
+        Some("cancelled") => ExitStatus::Cancelled,
+        Some("0") => ExitStatus::Completed,
+        other => ExitStatus::Failed(
+            other
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| field_err_bytes("EXIT", fields[8]))?,
+        ),
     };
     Ok(JobRecord {
         job_id,
@@ -111,6 +169,7 @@ pub struct JobReader<R> {
     inner: R,
     line_no: u64,
     buf: String,
+    failed: bool,
 }
 
 impl<R: BufRead> JobReader<R> {
@@ -120,6 +179,7 @@ impl<R: BufRead> JobReader<R> {
             inner,
             line_no: 0,
             buf: String::new(),
+            failed: false,
         }
     }
 
@@ -146,6 +206,9 @@ impl<R: BufRead> Iterator for JobReader<R> {
     type Item = Result<JobRecord, JobParseError>;
 
     fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
         loop {
             self.buf.clear();
             match self.inner.read_line(&mut self.buf) {
@@ -161,7 +224,17 @@ impl<R: BufRead> Iterator for JobReader<R> {
                         e
                     }));
                 }
-                Err(_) => return None,
+                Err(e) => {
+                    // Surface the failure once (the log is truncated here),
+                    // then fuse: a persistent error must not loop forever.
+                    self.failed = true;
+                    self.line_no += 1;
+                    return Some(Err(JobParseError {
+                        line: self.line_no,
+                        message: format!("I/O error: {e}"),
+                        kind: JobParseErrorKind::Io,
+                    }));
+                }
             }
         }
     }
@@ -225,6 +298,32 @@ mod tests {
         ] {
             assert!(parse_line(&bad).is_err(), "should reject {bad:?}");
         }
+    }
+
+    struct FailingReader;
+
+    impl std::io::Read for FailingReader {
+        fn read(&mut self, _buf: &mut [u8]) -> std::io::Result<usize> {
+            Err(std::io::Error::other("disk on fire"))
+        }
+    }
+
+    #[test]
+    fn io_errors_surface_once_with_line_number() {
+        let text = format!("{}\n", format_record(&job()));
+        let chained = std::io::Read::chain(text.as_bytes(), FailingReader);
+        let (jobs, errors) = JobReader::new(std::io::BufReader::new(chained)).read_tolerant();
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(errors.len(), 1, "I/O error must surface exactly once");
+        assert_eq!(errors[0].line, 2);
+        assert_eq!(errors[0].kind, JobParseErrorKind::Io);
+        assert!(errors[0].message.contains("disk on fire"));
+    }
+
+    #[test]
+    fn format_errors_carry_format_kind() {
+        let e = parse_line("a|b").unwrap_err();
+        assert_eq!(e.kind, JobParseErrorKind::Format);
     }
 
     #[test]

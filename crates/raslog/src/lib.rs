@@ -16,23 +16,30 @@
 //! * [`RasLog`] keeps records sorted by time and maintains a per-midplane
 //!   posting list, so "events at location ℓ within window w" — the inner
 //!   loop of co-analysis matching — is a binary search plus a short scan.
+//! * [`ingest`] parses a whole in-memory log on newline-aligned byte chunks
+//!   across scoped threads, bit-identical to [`RasReader`]; [`snapshot`]
+//!   caches the parsed columns on disk (`.bgpsnap`) so re-runs skip parsing
+//!   entirely.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod catalog;
 pub mod component;
+pub mod ingest;
 pub mod log;
 pub mod parse;
 pub mod record;
 pub mod severity;
+pub mod snapshot;
 pub mod summary;
 pub mod write;
 
 pub use catalog::{Catalog, CodeInfo, ErrCode};
 pub use component::Component;
+pub use ingest::{parse_log_bytes, parse_log_bytes_strict};
 pub use log::RasLog;
-pub use parse::{parse_line, RasParseError, RasReader};
+pub use parse::{parse_line, parse_line_bytes, RasParseError, RasReader};
 pub use record::RasRecord;
 pub use severity::Severity;
 pub use summary::LogSummary;

@@ -39,6 +39,9 @@ pub enum RasParseErrorKind {
     BadTimestamp(String),
     /// LOCATION malformed.
     BadLocation(String),
+    /// The underlying reader failed mid-stream (the log is truncated from
+    /// this line on, not merely malformed).
+    Io(String),
 }
 
 impl fmt::Display for RasParseError {
@@ -53,6 +56,7 @@ impl fmt::Display for RasParseError {
             RasParseErrorKind::BadSeverity(s) => write!(f, "bad SEVERITY {s:?}"),
             RasParseErrorKind::BadTimestamp(s) => write!(f, "bad EVENT_TIME {s:?}"),
             RasParseErrorKind::BadLocation(s) => write!(f, "bad LOCATION {s:?}"),
+            RasParseErrorKind::Io(s) => write!(f, "I/O error: {s}"),
         }
     }
 }
@@ -66,29 +70,72 @@ impl std::error::Error for RasParseError {}
 /// authoritative), so logs written by other tools with slightly different
 /// message text still parse.
 pub fn parse_line(line: &str) -> Result<RasRecord, RasParseError> {
+    parse_line_bytes(line.as_bytes())
+}
+
+/// Parse one log line given as raw bytes — the allocation-free hot path used
+/// by the parallel ingestion layer (`crate::ingest`).
+///
+/// For any valid-UTF-8 line this behaves *identically* to [`parse_line`]
+/// (same record or same error kind and payload). The line as a whole is never
+/// UTF-8-validated: only the five fields that are actually parsed are
+/// transcoded, so a multi-gigabyte MESSAGE column costs nothing. A parsed
+/// field containing invalid UTF-8 reports the same error kind as an
+/// unparseable value, with a lossy payload.
+pub fn parse_line_bytes(line: &[u8]) -> Result<RasRecord, RasParseError> {
     let err = |kind| RasParseError { line: 0, kind };
-    // MESSAGE may itself contain '|'; limit the split to 9 parts.
-    let fields: Vec<&str> = line.splitn(9, '|').collect();
-    if fields.len() != 9 {
-        return Err(err(RasParseErrorKind::WrongFieldCount(fields.len())));
+    // MESSAGE may itself contain '|'; limit the split to 9 parts
+    // (`splitn(9, '|')` semantics, without materializing a Vec).
+    let mut fields: [&[u8]; 9] = [b""; 9];
+    let mut count = 0usize;
+    let mut rest = line;
+    loop {
+        if count == 8 {
+            fields[8] = rest;
+            count = 9;
+            break;
+        }
+        match bgp_model::bytes::find_byte(b'|', rest) {
+            Some(i) => {
+                fields[count] = &rest[..i];
+                rest = &rest[i + 1..];
+                count += 1;
+            }
+            None => {
+                fields[count] = rest;
+                count += 1;
+                break;
+            }
+        }
     }
-    let recid: u64 = fields[0]
-        .trim()
-        .parse()
-        .map_err(|_| err(RasParseErrorKind::BadRecId(fields[0].to_owned())))?;
-    let errcode: ErrCode = Catalog::standard()
-        .lookup(fields[4].trim())
-        .ok_or_else(|| err(RasParseErrorKind::UnknownErrCode(fields[4].to_owned())))?;
-    let severity: Severity = fields[5]
-        .trim()
-        .parse()
-        .map_err(|_| err(RasParseErrorKind::BadSeverity(fields[5].to_owned())))?;
-    let event_time: Timestamp = Timestamp::parse(fields[6].trim())
-        .map_err(|_| err(RasParseErrorKind::BadTimestamp(fields[6].to_owned())))?;
-    let location: Location = fields[7]
-        .trim()
-        .parse()
-        .map_err(|_| err(RasParseErrorKind::BadLocation(fields[7].to_owned())))?;
+    if count != 9 {
+        return Err(err(RasParseErrorKind::WrongFieldCount(count)));
+    }
+    // Error payloads carry the raw (untrimmed) field, like the &str parser.
+    let lossy = |f: &[u8]| String::from_utf8_lossy(f).into_owned();
+    fn text(f: &[u8]) -> Option<&str> {
+        std::str::from_utf8(f).ok().map(str::trim)
+    }
+    let recid: u64 = match text(fields[0]).and_then(|s| s.parse().ok()) {
+        Some(v) => v,
+        None => return Err(err(RasParseErrorKind::BadRecId(lossy(fields[0])))),
+    };
+    let errcode: ErrCode = match text(fields[4]).and_then(|s| Catalog::standard().lookup(s)) {
+        Some(c) => c,
+        None => return Err(err(RasParseErrorKind::UnknownErrCode(lossy(fields[4])))),
+    };
+    let severity: Severity = match text(fields[5]).and_then(|s| s.parse().ok()) {
+        Some(s) => s,
+        None => return Err(err(RasParseErrorKind::BadSeverity(lossy(fields[5])))),
+    };
+    let event_time: Timestamp = match text(fields[6]).and_then(|s| Timestamp::parse(s).ok()) {
+        Some(t) => t,
+        None => return Err(err(RasParseErrorKind::BadTimestamp(lossy(fields[6])))),
+    };
+    let location: Location = match text(fields[7]).and_then(|s| s.parse().ok()) {
+        Some(l) => l,
+        None => return Err(err(RasParseErrorKind::BadLocation(lossy(fields[7])))),
+    };
     Ok(RasRecord {
         recid,
         event_time,
@@ -116,6 +163,7 @@ pub struct RasReader<R> {
     inner: R,
     line_no: u64,
     buf: String,
+    failed: bool,
 }
 
 impl<R: BufRead> RasReader<R> {
@@ -125,6 +173,7 @@ impl<R: BufRead> RasReader<R> {
             inner,
             line_no: 0,
             buf: String::new(),
+            failed: false,
         }
     }
 
@@ -152,6 +201,9 @@ impl<R: BufRead> Iterator for RasReader<R> {
     type Item = Result<RasRecord, RasParseError>;
 
     fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
         loop {
             self.buf.clear();
             match self.inner.read_line(&mut self.buf) {
@@ -167,7 +219,16 @@ impl<R: BufRead> Iterator for RasReader<R> {
                         e
                     }));
                 }
-                Err(_) => return None,
+                Err(e) => {
+                    // Surface the failure once (the log is truncated here),
+                    // then fuse: a persistent error must not loop forever.
+                    self.failed = true;
+                    self.line_no += 1;
+                    return Some(Err(RasParseError {
+                        line: self.line_no,
+                        kind: RasParseErrorKind::Io(e.to_string()),
+                    }));
+                }
             }
         }
     }
@@ -246,6 +307,41 @@ mod tests {
         assert_eq!(records.len(), 2);
         assert_eq!(errors.len(), 1);
         assert_eq!(errors[0].line, 3); // blank line counted, bad line is #3
+    }
+
+    struct FailingReader;
+
+    impl std::io::Read for FailingReader {
+        fn read(&mut self, _buf: &mut [u8]) -> std::io::Result<usize> {
+            Err(std::io::Error::other("disk on fire"))
+        }
+    }
+
+    #[test]
+    fn io_errors_surface_once_with_line_number() {
+        let text = format!("{}\n", format_record(&sample_record()));
+        let chained = std::io::Read::chain(text.as_bytes(), FailingReader);
+        let (records, errors) = RasReader::new(std::io::BufReader::new(chained)).read_tolerant();
+        assert_eq!(records.len(), 1);
+        assert_eq!(errors.len(), 1, "I/O error must surface exactly once");
+        assert_eq!(errors[0].line, 2);
+        assert!(matches!(errors[0].kind, RasParseErrorKind::Io(_)));
+        assert!(errors[0].to_string().contains("disk on fire"));
+    }
+
+    #[test]
+    fn byte_parser_never_validates_message() {
+        let good = format_record(&sample_record());
+        let mut line = good.clone().into_bytes();
+        line.extend_from_slice(b" \xff\xfe binary | junk");
+        assert_eq!(parse_line_bytes(&line).unwrap(), sample_record());
+        // ...but a parsed field with invalid UTF-8 errors like a bad value.
+        let mut bad = good.into_bytes();
+        bad[0] = 0xff; // first byte of RECID
+        assert!(matches!(
+            parse_line_bytes(&bad).unwrap_err().kind,
+            RasParseErrorKind::BadRecId(_)
+        ));
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! | `errcode-catalog` | classify's ERRCODE strings exist in the catalog |
 //! | `crate-attrs` | crate roots forbid `unsafe_code`, warn `missing_docs` |
 //! | `stage-contract` | public pipeline stages and `Stage` impls document their contract |
+//! | `snapshot-version` | `.bgpsnap` layout fingerprints track the record structs |
 //! | `dep-versions` | no duplicate major versions in `Cargo.lock` |
 //! | `allow-syntax` | every `xtask-allow` carries a justification |
 
@@ -84,6 +85,10 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         id: "stage-contract",
         summary: "public pipeline stage entry points and `Stage` impls document their input/output contract (a `Contract:` doc line)",
+    },
+    RuleInfo {
+        id: "snapshot-version",
+        summary: "snapshot LAYOUT_FINGERPRINT matches the record struct's field list, so layout changes force a FORMAT_VERSION bump",
     },
     RuleInfo {
         id: "dep-versions",
@@ -418,6 +423,156 @@ fn has_contract_above(file: &SourceFile, lineno: usize) -> bool {
     false
 }
 
+/// FNV-1a 64 over `bytes` — the same function `bgp_model::bytes::fnv1a_64`
+/// implements; duplicated here so the lint harness stays dependency-free.
+fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0100_0000_01b3);
+    }
+    hash
+}
+
+/// Extract `(name, type)` pairs of the `pub` fields of `pub struct
+/// <struct_name> { ... }` from a source file. Types are normalized
+/// whitespace-free so formatting churn never changes the fingerprint.
+pub fn record_fields(file: &SourceFile, struct_name: &str) -> Vec<(String, String)> {
+    let header = format!("pub struct {struct_name}");
+    let mut out = Vec::new();
+    let mut inside = false;
+    for (_, line) in file.numbered() {
+        let code = line.code.trim();
+        if !inside {
+            inside = code.starts_with(&header) && code.ends_with('{');
+            continue;
+        }
+        if code.starts_with('}') {
+            break;
+        }
+        if let Some(rest) = code.strip_prefix("pub ") {
+            if let Some((name, ty)) = rest.split_once(':') {
+                let name = name.trim();
+                let named_field =
+                    !name.is_empty() && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_');
+                if named_field {
+                    let ty: String = ty
+                        .trim()
+                        .trim_end_matches(',')
+                        .chars()
+                        .filter(|c| !c.is_whitespace())
+                        .collect();
+                    out.push((name.to_owned(), ty));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Find `pub const <name>: <ty> = <int literal>;` in a source file and return
+/// `(line, value)`. Accepts decimal and `0x` hex with `_` separators.
+fn const_u64(file: &SourceFile, name: &str) -> Option<(usize, u64)> {
+    for (lineno, line) in file.numbered() {
+        let code = line.code.trim();
+        let Some(rest) = code.strip_prefix("pub const ") else {
+            continue;
+        };
+        let Some(rest) = rest.strip_prefix(name) else {
+            continue;
+        };
+        if !rest.starts_with(':') {
+            continue; // a longer const name sharing the prefix
+        }
+        let Some((_, value)) = rest.split_once('=') else {
+            continue;
+        };
+        let cleaned: String = value
+            .trim()
+            .trim_end_matches(';')
+            .chars()
+            .filter(|c| *c != '_')
+            .collect();
+        let parsed = match cleaned
+            .strip_prefix("0x")
+            .or_else(|| cleaned.strip_prefix("0X"))
+        {
+            Some(hex) => u64::from_str_radix(hex, 16).ok(),
+            None => cleaned.parse().ok(),
+        };
+        if let Some(v) = parsed {
+            return Some((lineno, v));
+        }
+    }
+    None
+}
+
+/// `snapshot-version`: the `.bgpsnap` on-disk codec serializes the record
+/// struct field by field, so any change to the struct's field list is a
+/// layout change that stale snapshots on operators' disks will not survive.
+/// The snapshot module pins a `LAYOUT_FINGERPRINT` (FNV-1a 64 over the
+/// `name:type` field list); this rule recomputes it from `record.rs` and
+/// fails on drift — forcing whoever changes the record to update the
+/// fingerprint and bump `FORMAT_VERSION` in the same commit.
+pub fn snapshot_version(
+    record: &SourceFile,
+    struct_name: &str,
+    snapshot: &SourceFile,
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let fields = record_fields(record, struct_name);
+    if fields.is_empty() {
+        out.push(Finding {
+            rule: "snapshot-version",
+            path: record.path.clone(),
+            line: 0,
+            message: format!(
+                "no fields recognized for `pub struct {struct_name}`; record.rs format changed?"
+            ),
+        });
+        return out;
+    }
+    let joined = fields
+        .iter()
+        .map(|(name, ty)| format!("{name}:{ty}"))
+        .collect::<Vec<_>>()
+        .join(";");
+    let computed = fnv1a_64(joined.as_bytes());
+    match const_u64(snapshot, "LAYOUT_FINGERPRINT") {
+        None => out.push(Finding {
+            rule: "snapshot-version",
+            path: snapshot.path.clone(),
+            line: 0,
+            message: format!(
+                "no `pub const LAYOUT_FINGERPRINT: u64 = ...;` found; the snapshot \
+                 codec for `{struct_name}` must pin its layout fingerprint"
+            ),
+        }),
+        Some((lineno, declared)) if declared != computed => out.push(Finding {
+            rule: "snapshot-version",
+            path: snapshot.path.clone(),
+            line: lineno,
+            message: format!(
+                "`{struct_name}` field list changed: computed fingerprint {computed:#018x} \
+                 != declared {declared:#018x}; the on-disk layout moved, so update \
+                 LAYOUT_FINGERPRINT and bump FORMAT_VERSION together"
+            ),
+        }),
+        Some(_) => {}
+    }
+    if const_u64(snapshot, "FORMAT_VERSION").is_none() {
+        out.push(Finding {
+            rule: "snapshot-version",
+            path: snapshot.path.clone(),
+            line: 0,
+            message: "no `pub const FORMAT_VERSION: u32 = ...;` found; snapshot readers \
+                      cannot reject incompatible files without a pinned version"
+                .to_owned(),
+        });
+    }
+    out
+}
+
 /// `dep-versions`: parse `Cargo.lock` and flag any package name resolved at
 /// two different major versions (for `0.x` crates the minor is the
 /// compatibility axis, per Cargo semantics).
@@ -660,6 +815,102 @@ mod tests {
         assert!(
             stage_contract(&f).is_empty(),
             "contract doc above the struct declaration covers the impl"
+        );
+    }
+
+    // -- snapshot-version -------------------------------------------------
+
+    fn record_fixture() -> SourceFile {
+        SourceFile::parse(
+            "crates/raslog/src/record.rs",
+            "/// One record.\n\
+             pub struct RasRecord {\n\
+                 /// Sequence number.\n\
+                 pub recid: u64,\n\
+                 /// Where.\n\
+                 pub location: Location,\n\
+             }\n",
+        )
+    }
+
+    fn snapshot_fixture(fingerprint: u64) -> SourceFile {
+        SourceFile::parse(
+            "crates/raslog/src/snapshot.rs",
+            &format!(
+                "pub const FORMAT_VERSION: u32 = 1;\n\
+                 pub const LAYOUT_FINGERPRINT: u64 = {fingerprint:#018x};\n"
+            ),
+        )
+    }
+
+    #[test]
+    fn snapshot_version_is_quiet_when_fingerprint_matches() {
+        let expected = fnv1a_64(b"recid:u64;location:Location");
+        let found = snapshot_version(&record_fixture(), "RasRecord", &snapshot_fixture(expected));
+        assert!(found.is_empty(), "unexpected findings: {found:?}");
+    }
+
+    #[test]
+    fn snapshot_version_fires_on_layout_drift() {
+        let stale = fnv1a_64(b"recid:u64"); // as if `location` was added later
+        let found = snapshot_version(&record_fixture(), "RasRecord", &snapshot_fixture(stale));
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].line, 2, "finding points at LAYOUT_FINGERPRINT");
+        assert!(found[0].message.contains("bump FORMAT_VERSION"));
+    }
+
+    #[test]
+    fn snapshot_version_fires_on_missing_consts() {
+        let expected = fnv1a_64(b"recid:u64;location:Location");
+        let no_consts = file("pub fn unrelated() {}\n");
+        let found = snapshot_version(&record_fixture(), "RasRecord", &no_consts);
+        assert_eq!(found.len(), 2);
+        assert!(found[0].message.contains("LAYOUT_FINGERPRINT"));
+        assert!(found[1].message.contains("FORMAT_VERSION"));
+        let _ = expected;
+    }
+
+    #[test]
+    fn snapshot_version_reports_unrecognizable_struct() {
+        let empty = file("// no struct here\n");
+        let found = snapshot_version(&empty, "RasRecord", &snapshot_fixture(0));
+        assert_eq!(found.len(), 1);
+        assert!(found[0].message.contains("format changed"));
+    }
+
+    #[test]
+    fn record_fields_normalize_types_and_skip_private() {
+        let f = file(
+            "pub struct R {\n\
+                 pub a: Vec< u8 >,\n\
+                 b: usize,\n\
+                 pub c: u64,\n\
+             }\n\
+             pub struct Other {\n\
+                 pub d: u8,\n\
+             }\n",
+        );
+        let fields = record_fields(&f, "R");
+        assert_eq!(
+            fields,
+            vec![
+                ("a".to_owned(), "Vec<u8>".to_owned()),
+                ("c".to_owned(), "u64".to_owned())
+            ]
+        );
+    }
+
+    #[test]
+    fn pinned_fingerprints_match_the_live_structs() {
+        // The constants shipped in raslog/joblog `snapshot.rs` were computed
+        // from these exact field lists; if this test fails the helper
+        // changed, not the structs.
+        assert_eq!(
+            fnv1a_64(
+                b"recid:u64;event_time:Timestamp;location:Location;\
+                  errcode:ErrCode;severity:Severity"
+            ),
+            0x37f1_fcf3_b1a3_e2e7u64
         );
     }
 

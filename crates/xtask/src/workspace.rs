@@ -104,10 +104,35 @@ fn is_crate_root(path: &str) -> bool {
     path.ends_with("src/lib.rs") || (path.ends_with("src/main.rs") && !path.contains("/bin/"))
 }
 
-/// True for sources the `determinism` rule governs.
+/// True for sources the `determinism` rule governs. Besides the analysis
+/// pipeline and statistics substrate, the ingestion and snapshot layers must
+/// be deterministic: a parallel parse must yield the same records in the
+/// same order as a serial one, and snapshot bytes must be reproducible.
 fn in_deterministic_scope(path: &str) -> bool {
-    path.starts_with("crates/core/src") || path.starts_with("crates/stats/src")
+    path.starts_with("crates/core/src")
+        || path.starts_with("crates/stats/src")
+        || path == "crates/bgp-model/src/bytes.rs"
+        || path == "crates/bgp-model/src/snapshot.rs"
+        || path.ends_with("raslog/src/ingest.rs")
+        || path.ends_with("raslog/src/snapshot.rs")
+        || path.ends_with("joblog/src/ingest.rs")
+        || path.ends_with("joblog/src/snapshot.rs")
 }
+
+/// The `(record source, struct, snapshot codec)` triples the
+/// `snapshot-version` rule ties together.
+const SNAPSHOT_PAIRS: &[(&str, &str, &str)] = &[
+    (
+        "crates/raslog/src/record.rs",
+        "RasRecord",
+        "crates/raslog/src/snapshot.rs",
+    ),
+    (
+        "crates/joblog/src/record.rs",
+        "JobRecord",
+        "crates/joblog/src/snapshot.rs",
+    ),
+];
 
 /// True for sources the `stage-contract` rule governs: the pipeline stage
 /// modules of the core crate.
@@ -171,6 +196,24 @@ pub fn run_lint(root: &Path, only: Option<&BTreeSet<String>>) -> io::Result<(Vec
                 line: 0,
                 message: "catalog source not found".to_owned(),
             }),
+        }
+    }
+
+    if enabled("snapshot-version") {
+        for &(record_path, struct_name, snap_path) in SNAPSHOT_PAIRS {
+            let record = sources.iter().find(|f| f.path == record_path);
+            let snap = sources.iter().find(|f| f.path == snap_path);
+            match (record, snap) {
+                (Some(r), Some(s)) => findings.extend(rules::snapshot_version(r, struct_name, s)),
+                _ => findings.push(Finding {
+                    rule: "snapshot-version",
+                    path: record_path.to_owned(),
+                    line: 0,
+                    message: format!(
+                        "expected sources `{record_path}` and `{snap_path}` not both found"
+                    ),
+                }),
+            }
         }
     }
 

@@ -1,18 +1,18 @@
 //! File-based workflow: write the simulated logs to disk in their native
-//! text formats, read them back with the streaming parsers, run the filter
-//! stack, and write a cleaned RAS log — the tool a site operator would run
-//! on real logs.
+//! text formats, read them back with the parallel byte parsers (caching the
+//! parsed form as `.bgpsnap` snapshots), run the filter stack, and write a
+//! cleaned RAS log — the tool a site operator would run on real logs.
 //!
 //! ```text
 //! cargo run --release --example filter_logs [output-dir]
 //! ```
 
 use bgp_coanalysis::bgp_sim::{SimConfig, Simulation};
-use bgp_coanalysis::coanalysis::{AnalysisSet, CoAnalysis, StageId};
-use bgp_coanalysis::joblog::{self, JobReader};
-use bgp_coanalysis::raslog::{self, RasReader};
+use bgp_coanalysis::coanalysis::{load, AnalysisSet, CoAnalysis, LoadOptions, StageId};
+use bgp_coanalysis::joblog;
+use bgp_coanalysis::raslog;
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Write};
+use std::io::{BufWriter, Write};
 use std::path::PathBuf;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -40,23 +40,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         out.jobs.len()
     );
 
-    // --- read them back through the tolerant streaming parsers ---
-    let (ras_records, ras_errors) =
-        RasReader::new(BufReader::new(File::open(&ras_path)?)).read_tolerant();
-    let (job_records, job_errors) =
-        JobReader::new(BufReader::new(File::open(&job_path)?)).read_tolerant();
+    // --- read both back concurrently through the tolerant byte parsers,
+    //     caching the parsed form as .bgpsnap snapshots for re-runs ---
+    let opts = LoadOptions {
+        snapshot_dir: Some(dir.join("snapshots")),
+        ..LoadOptions::default()
+    };
+    let (loaded_ras, loaded_jobs) = load::load_pair(&ras_path, &job_path, &opts)?;
     println!(
-        "parsed back {} RAS records ({} bad lines), {} jobs ({} bad lines)",
-        ras_records.len(),
-        ras_errors.len(),
-        job_records.len(),
-        job_errors.len()
+        "parsed back {} RAS records ({} bad lines, snapshot {}), {} jobs ({} bad lines, snapshot {})",
+        loaded_ras.log.len(),
+        loaded_ras.parse_errors.len(),
+        loaded_ras.snapshot,
+        loaded_jobs.log.len(),
+        loaded_jobs.parse_errors.len(),
+        loaded_jobs.snapshot
     );
-    assert_eq!(ras_records.len(), out.ras.len(), "lossless round trip");
-    assert_eq!(job_records.len(), out.jobs.len());
+    assert_eq!(loaded_ras.log.len(), out.ras.len(), "lossless round trip");
+    assert_eq!(loaded_jobs.log.len(), out.jobs.len());
 
-    let ras = raslog::RasLog::from_records(ras_records);
-    let jobs = joblog::JobLog::from_jobs(job_records);
+    let ras = loaded_ras.log;
+    let jobs = loaded_jobs.log;
 
     // --- run just the filter stack via the stage graph ---
     let result =

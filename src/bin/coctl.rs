@@ -8,15 +8,20 @@
 //! coctl outages RAS.log JOBS.log                  # reconstructed outage episodes
 //! ```
 //!
+//! Log-reading subcommands accept `--snapshot DIR`: parsed logs are cached
+//! there as `.bgpsnap` files and transparently reused on re-runs (stale or
+//! corrupt snapshots fall back to re-parsing and are rewritten).
+//!
 //! Exit codes: 0 success, 1 usage error, 2 I/O or parse failure.
 
 use bgp_coanalysis::bgp_sim::{SimConfig, Simulation};
 use bgp_coanalysis::coanalysis::analysis::repair::{reconstruct_outages, summarize};
-use bgp_coanalysis::coanalysis::{AnalysisSet, CoAnalysis, Event, StageId};
-use bgp_coanalysis::joblog::{self, JobLog, JobReader};
-use bgp_coanalysis::raslog::{self, LogSummary, RasLog, RasReader};
+use bgp_coanalysis::coanalysis::{load, AnalysisSet, CoAnalysis, Event, StageId};
+use bgp_coanalysis::coanalysis::{LoadOptions, SnapshotStatus};
+use bgp_coanalysis::joblog::{self, JobLog};
+use bgp_coanalysis::raslog::{self, LogSummary, RasLog};
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Write};
+use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -65,10 +70,13 @@ fn usage(err: &str) -> ExitCode {
          \n\
          usage:\n\
          \x20 coctl simulate [--days N] [--seed S] [--out DIR]\n\
-         \x20 coctl summary RAS.log\n\
-         \x20 coctl analyze RAS.log JOBS.log\n\
-         \x20 coctl filter RAS.log JOBS.log -o CLEAN.log\n\
-         \x20 coctl outages RAS.log JOBS.log"
+         \x20 coctl summary RAS.log [--snapshot DIR]\n\
+         \x20 coctl analyze RAS.log JOBS.log [--snapshot DIR]\n\
+         \x20 coctl filter RAS.log JOBS.log -o CLEAN.log [--snapshot DIR]\n\
+         \x20 coctl outages RAS.log JOBS.log [--snapshot DIR]\n\
+         \n\
+         --snapshot DIR caches parsed logs as .bgpsnap files in DIR and\n\
+         reuses them on re-runs (stale snapshots are re-parsed and rewritten)."
     );
     if err.is_empty() {
         ExitCode::SUCCESS
@@ -77,34 +85,62 @@ fn usage(err: &str) -> ExitCode {
     }
 }
 
-fn load_ras(path: &str) -> Result<RasLog, CliError> {
-    let file = File::open(path).map_err(|e| CliError::Io(format!("cannot open {path}: {e}")))?;
-    let (records, errors) = RasReader::new(BufReader::new(file)).read_tolerant();
-    if !errors.is_empty() {
-        eprintln!(
-            "note: skipped {} malformed RAS lines in {path}",
-            errors.len()
-        );
+/// Split a `--snapshot DIR` flag out of `args`, leaving the rest in order.
+fn snapshot_opts(args: &[String]) -> Result<(Vec<String>, LoadOptions), CliError> {
+    let mut rest = Vec::new();
+    let mut opts = LoadOptions::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--snapshot" {
+            let dir = it
+                .next()
+                .ok_or_else(|| CliError::Usage("--snapshot needs a directory".into()))?;
+            opts.snapshot_dir = Some(PathBuf::from(dir));
+        } else {
+            rest.push(a.clone());
+        }
     }
-    if records.is_empty() {
-        return Err(CliError::Io(format!("{path}: no parsable RAS records")));
-    }
-    Ok(RasLog::from_records(records))
+    Ok((rest, opts))
 }
 
-fn load_jobs(path: &str) -> Result<JobLog, CliError> {
-    let file = File::open(path).map_err(|e| CliError::Io(format!("cannot open {path}: {e}")))?;
-    let (jobs, errors) = JobReader::new(BufReader::new(file)).read_tolerant();
-    if !errors.is_empty() {
-        eprintln!(
-            "note: skipped {} malformed job lines in {path}",
-            errors.len()
-        );
+fn report_load(path: &str, what: &str, n_errors: usize, status: &SnapshotStatus) {
+    if n_errors > 0 {
+        eprintln!("note: skipped {n_errors} malformed {what} lines in {path}");
     }
-    if jobs.is_empty() {
-        return Err(CliError::Io(format!("{path}: no parsable job records")));
+    if *status != SnapshotStatus::Disabled {
+        eprintln!("note: {path}: snapshot {status}");
     }
-    Ok(JobLog::from_jobs(jobs))
+}
+
+fn load_ras(path: &str, opts: &LoadOptions) -> Result<RasLog, CliError> {
+    let loaded = load::load_ras(Path::new(path), opts).map_err(|e| CliError::Io(e.to_string()))?;
+    report_load(path, "RAS", loaded.parse_errors.len(), &loaded.snapshot);
+    if loaded.log.is_empty() {
+        return Err(CliError::Io(format!("{path}: no parsable RAS records")));
+    }
+    Ok(loaded.log)
+}
+
+/// Load both logs concurrently (two scoped threads) — every co-analysis
+/// subcommand needs both, and neither depends on the other.
+fn load_both(
+    ras_path: &str,
+    jobs_path: &str,
+    opts: &LoadOptions,
+) -> Result<(RasLog, JobLog), CliError> {
+    let (ras, jobs) = load::load_pair(Path::new(ras_path), Path::new(jobs_path), opts)
+        .map_err(|e| CliError::Io(e.to_string()))?;
+    report_load(ras_path, "RAS", ras.parse_errors.len(), &ras.snapshot);
+    report_load(jobs_path, "job", jobs.parse_errors.len(), &jobs.snapshot);
+    if ras.log.is_empty() {
+        return Err(CliError::Io(format!("{ras_path}: no parsable RAS records")));
+    }
+    if jobs.log.is_empty() {
+        return Err(CliError::Io(format!(
+            "{jobs_path}: no parsable job records"
+        )));
+    }
+    Ok((ras.log, jobs.log))
 }
 
 fn cmd_simulate(args: &[String]) -> Result<(), CliError> {
@@ -164,10 +200,11 @@ fn next_parsed<'a, T: std::str::FromStr>(
 }
 
 fn cmd_summary(args: &[String]) -> Result<(), CliError> {
-    let [path] = args else {
+    let (rest, opts) = snapshot_opts(args)?;
+    let [path] = &rest[..] else {
         return Err(CliError::Usage("summary needs exactly one RAS log".into()));
     };
-    let ras = load_ras(path)?;
+    let ras = load_ras(path, &opts)?;
     let s = LogSummary::of(&ras, 5);
     println!("{s}");
     println!("top FATAL codes:");
@@ -183,11 +220,11 @@ fn cmd_summary(args: &[String]) -> Result<(), CliError> {
 }
 
 fn cmd_analyze(args: &[String]) -> Result<(), CliError> {
-    let [ras_path, jobs_path] = args else {
+    let (rest, opts) = snapshot_opts(args)?;
+    let [ras_path, jobs_path] = &rest[..] else {
         return Err(CliError::Usage("analyze needs RAS.log and JOBS.log".into()));
     };
-    let ras = load_ras(ras_path)?;
-    let jobs = load_jobs(jobs_path)?;
+    let (ras, jobs) = load_both(ras_path, jobs_path, &opts)?;
     let r = CoAnalysis::default().run(&ras, &jobs);
     let s = &r.filter_stats;
     println!(
@@ -209,10 +246,11 @@ fn cmd_analyze(args: &[String]) -> Result<(), CliError> {
 }
 
 fn cmd_filter(args: &[String]) -> Result<(), CliError> {
-    // Positional: RAS JOBS; flag: -o OUT.
+    // Positional: RAS JOBS; flags: -o OUT, --snapshot DIR.
+    let (rest, opts) = snapshot_opts(args)?;
     let mut positional: Vec<&String> = Vec::new();
     let mut out: Option<PathBuf> = None;
-    let mut it = args.iter();
+    let mut it = rest.iter();
     while let Some(a) = it.next() {
         if a == "-o" || a == "--out" {
             out = Some(PathBuf::from(
@@ -229,8 +267,7 @@ fn cmd_filter(args: &[String]) -> Result<(), CliError> {
         ));
     };
     let out = out.ok_or_else(|| CliError::Usage("filter needs -o OUT".into()))?;
-    let ras = load_ras(ras_path)?;
-    let jobs = load_jobs(jobs_path)?;
+    let (ras, jobs) = load_both(ras_path, jobs_path, &opts)?;
     // Only the filter stack is needed here — skip classification and
     // characterization entirely.
     let r =
@@ -264,11 +301,11 @@ fn write_clean_log(path: &Path, ras: &RasLog, events_final: &[Event]) -> Result<
 }
 
 fn cmd_outages(args: &[String]) -> Result<(), CliError> {
-    let [ras_path, jobs_path] = args else {
+    let (rest, opts) = snapshot_opts(args)?;
+    let [ras_path, jobs_path] = &rest[..] else {
         return Err(CliError::Usage("outages needs RAS.log and JOBS.log".into()));
     };
-    let ras = load_ras(ras_path)?;
-    let jobs = load_jobs(jobs_path)?;
+    let (ras, jobs) = load_both(ras_path, jobs_path, &opts)?;
     // Outage reconstruction only needs filtering + matching.
     let r = CoAnalysis::default().run_selected(&ras, &jobs, AnalysisSet::of(&[StageId::Matching]));
     let events = r.events.unwrap_or_default();

@@ -122,6 +122,82 @@ fn outages_reports_episodes_or_none() {
 }
 
 #[test]
+fn snapshot_flag_writes_then_reuses_the_cache() {
+    let dir = site_logs();
+    let cache = workdir("snap-reuse");
+    let run = || {
+        coctl()
+            .arg("summary")
+            .arg(dir.join("ras.log"))
+            .arg("--snapshot")
+            .arg(&cache)
+            .output()
+            .unwrap()
+    };
+    let first = run();
+    assert!(
+        first.status.success(),
+        "{}",
+        String::from_utf8_lossy(&first.stderr)
+    );
+    assert!(String::from_utf8_lossy(&first.stderr).contains("snapshot written"));
+    assert!(cache.join("ras.log.bgpsnap").exists());
+    // Second run loads the snapshot instead of re-parsing, and the report
+    // is byte-for-byte the same either way.
+    let second = run();
+    assert!(second.status.success());
+    assert!(String::from_utf8_lossy(&second.stderr).contains("snapshot loaded"));
+    assert_eq!(first.stdout, second.stdout);
+}
+
+#[test]
+fn corrupt_snapshot_falls_back_to_reparsing() {
+    let dir = site_logs();
+    let cache = workdir("snap-corrupt");
+    let run = |sub: &str| {
+        coctl()
+            .arg(sub)
+            .arg(dir.join("ras.log"))
+            .arg(dir.join("jobs.log"))
+            .arg("--snapshot")
+            .arg(&cache)
+            .output()
+            .unwrap()
+    };
+    let first = run("analyze");
+    assert!(
+        first.status.success(),
+        "{}",
+        String::from_utf8_lossy(&first.stderr)
+    );
+    // Flip a payload byte in the RAS snapshot: the next run must detect the
+    // damage, re-parse the source, rewrite the cache, and still succeed.
+    let snap = cache.join("ras.log.bgpsnap");
+    let mut bytes = std::fs::read(&snap).unwrap();
+    *bytes.last_mut().unwrap() ^= 0xff;
+    std::fs::write(&snap, &bytes).unwrap();
+    let second = run("analyze");
+    assert!(
+        second.status.success(),
+        "{}",
+        String::from_utf8_lossy(&second.stderr)
+    );
+    let notes = String::from_utf8_lossy(&second.stderr);
+    assert!(notes.contains("rewritten"), "stderr: {notes}");
+    assert_eq!(first.stdout, second.stdout);
+}
+
+#[test]
+fn snapshot_flag_without_directory_is_a_usage_error() {
+    let out = coctl()
+        .args(["summary", "ras.log", "--snapshot"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--snapshot needs a directory"));
+}
+
+#[test]
 fn missing_file_exits_with_io_error_code() {
     let out = coctl()
         .args(["summary", "/nonexistent/ras.log"])

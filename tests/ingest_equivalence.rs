@@ -1,0 +1,155 @@
+//! Golden equivalence at realistic scale: the parallel byte-chunk ingest
+//! must be bit-identical to the serial streaming readers — same records in
+//! the same order, same errors with the same line numbers — for every chunk
+//! count; and `.bgpsnap` snapshots must hand back exactly the parsed log
+//! through the `coanalysis::load` layer.
+
+// Integration-test helpers follow the test-code panic policy: a broken
+// fixture should fail the test loudly, not thread Results around.
+#![allow(clippy::unwrap_used, clippy::expect_used, missing_docs)]
+
+use bgp_coanalysis::bgp_sim::{SimConfig, Simulation};
+use bgp_coanalysis::coanalysis::{load, LoadOptions, SnapshotStatus};
+use bgp_coanalysis::joblog::{self, JobReader};
+use bgp_coanalysis::raslog::{self, RasReader};
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+/// Chunk counts worth probing: serial, the smallest parallel split, a count
+/// that never divides the input evenly, and whatever this machine offers.
+fn chunk_counts() -> Vec<usize> {
+    let ncpu = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut counts = vec![1, 2, 7, ncpu];
+    counts.dedup();
+    counts
+}
+
+/// Simulated site logs serialized to their native text formats, with
+/// deliberate damage: corrupted lines, blank lines, and a truncated final
+/// line, so the equivalence check covers the tolerant paths too.
+fn texts() -> &'static (String, String) {
+    static TEXTS: OnceLock<(String, String)> = OnceLock::new();
+    TEXTS.get_or_init(|| {
+        let out = Simulation::new(SimConfig::small_test(23))
+            .expect("valid config")
+            .run();
+        let mut rbuf = Vec::new();
+        raslog::write_log(&mut rbuf, out.ras.records()).unwrap();
+        let mut jbuf = Vec::new();
+        joblog::write_log(&mut jbuf, out.jobs.jobs()).unwrap();
+        let damage = |buf: Vec<u8>| {
+            let text = String::from_utf8(buf).unwrap();
+            let mut lines: Vec<String> = text.lines().map(str::to_owned).collect();
+            for (i, line) in lines.iter_mut().enumerate() {
+                match i % 97 {
+                    13 => *line = format!("CORRUPT{line}"),
+                    41 => line.clear(),
+                    67 => *line = format!("{line}\r"), // CRLF survivor
+                    _ => {}
+                }
+            }
+            let mut text = lines.join("\n");
+            text.push('\n');
+            text.truncate(text.len() - 20); // truncated final line
+            text
+        };
+        (damage(rbuf), damage(jbuf))
+    })
+}
+
+#[test]
+fn ras_parallel_ingest_matches_serial_reader_at_scale() {
+    let (ras_text, _) = texts();
+    let (serial_records, serial_errors) = RasReader::new(ras_text.as_bytes()).read_tolerant();
+    assert!(!serial_records.is_empty());
+    assert!(!serial_errors.is_empty(), "damage produced no errors?");
+    for threads in chunk_counts() {
+        let (records, errors) = raslog::parse_log_bytes(ras_text.as_bytes(), threads);
+        assert_eq!(
+            records, serial_records,
+            "records differ at {threads} chunks"
+        );
+        assert_eq!(
+            errors.len(),
+            serial_errors.len(),
+            "error count differs at {threads} chunks"
+        );
+        for (par, ser) in errors.iter().zip(&serial_errors) {
+            assert_eq!(par.line, ser.line, "error line differs at {threads} chunks");
+            assert_eq!(par.kind, ser.kind);
+        }
+    }
+}
+
+#[test]
+fn job_parallel_ingest_matches_serial_reader_at_scale() {
+    let (_, job_text) = texts();
+    let (serial_jobs, serial_errors) = JobReader::new(job_text.as_bytes()).read_tolerant();
+    assert!(!serial_jobs.is_empty());
+    assert!(!serial_errors.is_empty(), "damage produced no errors?");
+    for threads in chunk_counts() {
+        let (jobs, errors) = joblog::parse_log_bytes(job_text.as_bytes(), threads);
+        assert_eq!(jobs, serial_jobs, "jobs differ at {threads} chunks");
+        let lines: Vec<u64> = errors.iter().map(|e| e.line).collect();
+        let serial_lines: Vec<u64> = serial_errors.iter().map(|e| e.line).collect();
+        assert_eq!(
+            lines, serial_lines,
+            "error lines differ at {threads} chunks"
+        );
+    }
+}
+
+#[test]
+fn strict_parse_reports_the_first_error_like_the_serial_reader() {
+    let (ras_text, job_text) = texts();
+    let serial = RasReader::new(ras_text.as_bytes())
+        .read_strict()
+        .unwrap_err();
+    for threads in chunk_counts() {
+        let err = raslog::parse_log_bytes_strict(ras_text.as_bytes(), threads).unwrap_err();
+        assert_eq!(err.line, serial.line);
+    }
+    let serial = JobReader::new(job_text.as_bytes())
+        .read_strict()
+        .unwrap_err();
+    for threads in chunk_counts() {
+        let err = joblog::parse_log_bytes_strict(job_text.as_bytes(), threads).unwrap_err();
+        assert_eq!(err.line, serial.line);
+    }
+}
+
+fn workdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ingest-eq-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn snapshot_cycle_preserves_the_parsed_log_exactly() {
+    let (ras_text, job_text) = texts();
+    let dir = workdir("snap");
+    let ras_path = dir.join("ras.log");
+    let job_path = dir.join("jobs.log");
+    std::fs::write(&ras_path, ras_text).unwrap();
+    std::fs::write(&job_path, job_text).unwrap();
+
+    let plain = LoadOptions::default();
+    let snap = LoadOptions {
+        snapshot_dir: Some(dir.join("cache")),
+        ..LoadOptions::default()
+    };
+
+    let (base_ras, base_jobs) = load::load_pair(&ras_path, &job_path, &plain).unwrap();
+    assert_eq!(base_ras.snapshot, SnapshotStatus::Disabled);
+
+    // First snapshot-enabled load parses and writes; second skips the parse.
+    let written = load::load_ras(&ras_path, &snap).unwrap();
+    assert_eq!(written.snapshot, SnapshotStatus::Written);
+    let (ras2, jobs2) = load::load_pair(&ras_path, &job_path, &snap).unwrap();
+    assert_eq!(ras2.snapshot, SnapshotStatus::Loaded);
+    assert_eq!(ras2.log.records(), base_ras.log.records());
+    assert_eq!(jobs2.log.jobs(), base_jobs.log.jobs());
+    // A snapshot load cannot reproduce parse errors — it stores records only.
+    assert!(ras2.parse_errors.is_empty());
+}
