@@ -1,0 +1,65 @@
+//! Daemon ingest throughput: records/second through the sharded analyzer
+//! pool at 1, 2, 4, and 8 shards, exercising the same route-by-errcode →
+//! bounded queue → per-shard `OnlineAnalyzer` path the `coserved` daemon
+//! runs, minus the sockets (framing and parsing are benched in `ingest`).
+
+// Bench harness code follows the test-code panic policy: a broken fixture
+// should abort the run loudly rather than thread Results through hot loops.
+#![allow(clippy::unwrap_used, clippy::expect_used, missing_docs)]
+
+use bgp_serve::{EventRing, Registry, ServeMetrics, ShardConfig, ShardPool};
+use bgp_sim::{SimConfig, Simulation};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use raslog::RasRecord;
+use std::hint::black_box;
+use std::sync::Arc;
+
+/// A simulated site log to stream through the pool.
+fn prepare() -> Vec<RasRecord> {
+    let mut cfg = SimConfig::small_test(9);
+    cfg.days = 30;
+    cfg.num_execs = 1_200;
+    let out = Simulation::new(cfg).expect("valid config").run();
+    out.ras.records().to_vec()
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let records = prepare();
+    let mut g = c.benchmark_group("serve_ingest");
+    g.throughput(Throughput::Elements(records.len() as u64));
+    for shards in [1usize, 2, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("shard_pool", shards),
+            &shards,
+            |b, &shards| {
+                b.iter(|| {
+                    let registry = Registry::new();
+                    let metrics = Arc::new(ServeMetrics::register(&registry));
+                    let ring = Arc::new(EventRing::new(256));
+                    let pool = ShardPool::start(
+                        &ShardConfig {
+                            shards,
+                            queue_capacity: 4_096,
+                            temporal: bgp_model::Duration::minutes(5),
+                            spatial: bgp_model::Duration::minutes(5),
+                            impact: None,
+                        },
+                        &metrics,
+                        &ring,
+                    )
+                    .expect("pool starts");
+                    for r in &records {
+                        pool.push(*r, &metrics).expect("pool accepts");
+                    }
+                    pool.close();
+                    pool.join();
+                    black_box(pool.counters())
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

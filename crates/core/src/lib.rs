@@ -52,4 +52,5 @@ pub use load::{
     load_jobs, load_pair, load_ras, LoadError, LoadOptions, LoadedJobs, LoadedRas, SnapshotStatus,
 };
 pub use pipeline::{CoAnalysis, CoAnalysisConfig, CoAnalysisResult};
-pub use stage::{AnalysisProducts, AnalysisSet, Stage, StageId};
+pub use stage::{AnalysisProducts, AnalysisSet, Stage, StageId, StageObserver};
+pub use stream::StreamCounters;

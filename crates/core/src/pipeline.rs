@@ -23,7 +23,7 @@ use crate::event::Event;
 use crate::filter::{CausalFilter, CausalRule, FilterStats, SpatialFilter, TemporalFilter};
 use crate::matching::{EventCase, Matcher, Matching};
 use crate::report::Observations;
-use crate::stage::{self, AnalysisProducts, AnalysisSet};
+use crate::stage::{self, AnalysisProducts, AnalysisSet, StageObserver};
 use bgp_model::Duration;
 use joblog::JobLog;
 use raslog::RasLog;
@@ -150,7 +150,23 @@ impl CoAnalysis {
     /// Contract: pure function of `ctx`, the configuration, and `set`;
     /// deterministic for a given input and independent of thread count.
     pub fn run_on(&self, ctx: &AnalysisContext<'_>, set: AnalysisSet) -> AnalysisProducts {
-        stage::execute(ctx, &self.config, set).into_products()
+        stage::execute(ctx, &self.config, set, None).into_products()
+    }
+
+    /// [`CoAnalysis::run_on`] with a [`StageObserver`] notified around every
+    /// stage — the hook the `bgp-serve` metrics registry (and
+    /// `coctl analyze --timings`) uses to record per-stage wall-clock.
+    ///
+    /// Contract: produces exactly the products of [`CoAnalysis::run_on`] on
+    /// the same input; the observer sees one started/finished pair per stage
+    /// in the closed set and cannot affect the results.
+    pub fn run_on_observed(
+        &self,
+        ctx: &AnalysisContext<'_>,
+        set: AnalysisSet,
+        observer: &dyn StageObserver,
+    ) -> AnalysisProducts {
+        stage::execute(ctx, &self.config, set, Some(observer)).into_products()
     }
 }
 
@@ -255,6 +271,38 @@ mod tests {
         let text = obs.to_string();
         assert!(text.contains("Obs 12"));
         assert!(obs.obs3_ts_compression > 0.5);
+    }
+
+    #[test]
+    fn observed_run_matches_unobserved_and_brackets_every_stage() {
+        use crate::context::AnalysisContext;
+        use crate::stage::{StageId, StageObserver};
+        use std::sync::Mutex;
+        struct Recorder(Mutex<Vec<(StageId, bool)>>);
+        impl StageObserver for Recorder {
+            fn stage_started(&self, id: StageId) {
+                self.0.lock().unwrap().push((id, false));
+            }
+            fn stage_finished(&self, id: StageId) {
+                self.0.lock().unwrap().push((id, true));
+            }
+        }
+        let out = Simulation::new(SimConfig::small_test(6))
+            .expect("valid config")
+            .run();
+        let ctx = AnalysisContext::new(&out.ras, &out.jobs);
+        let set = AnalysisSet::of(&[StageId::Midplane]);
+        let rec = Recorder(Mutex::new(Vec::new()));
+        let observed = CoAnalysis::default().run_on_observed(&ctx, set, &rec);
+        let plain = CoAnalysis::default().run_on(&ctx, set);
+        assert_eq!(observed.events_final, plain.events_final);
+        assert_eq!(observed.midplane.is_some(), plain.midplane.is_some());
+        let calls = rec.0.into_inner().unwrap();
+        // One started + one finished per stage of the closed set (5 stages).
+        assert_eq!(calls.len(), 2 * set.closure().len());
+        for id in set.closure().stages() {
+            assert!(calls.contains(&(id, false)) && calls.contains(&(id, true)));
+        }
     }
 
     #[test]

@@ -730,6 +730,21 @@ impl Stage for VulnerabilityStage {
     }
 }
 
+/// Observer of stage execution, called by the executor around every stage.
+///
+/// The executor itself is clock-free (the `determinism` lint guarantee);
+/// callers that want wall-clock per stage — the metrics registry in
+/// `bgp-serve`, `coctl analyze --timings` — read their own clock inside
+/// these callbacks. Stages of one wave run concurrently, so callbacks must
+/// tolerate interleaving across stages (they are never interleaved for one
+/// stage: started and finished bracket the run on the same thread).
+pub trait StageObserver: Sync {
+    /// A stage is about to run on the current thread.
+    fn stage_started(&self, id: StageId);
+    /// The stage finished on the same thread.
+    fn stage_finished(&self, id: StageId);
+}
+
 fn stage(id: StageId) -> &'static dyn Stage {
     match id {
         StageId::TemporalSpatial => &TemporalSpatialStage,
@@ -753,6 +768,7 @@ pub(crate) fn execute(
     ctx: &AnalysisContext<'_>,
     cfg: &CoAnalysisConfig,
     set: AnalysisSet,
+    observer: Option<&dyn StageObserver>,
 ) -> PipelineState {
     let set = set.closure();
     let mut state = PipelineState::new(ctx.raw_events().len());
@@ -770,7 +786,16 @@ pub(crate) fn execute(
         if ready.is_empty() {
             break;
         }
-        let outputs = fork_join(&ready, cfg.threads, &|&id| stage(id).run(ctx, cfg, &state));
+        let outputs = fork_join(&ready, cfg.threads, &|&id| {
+            if let Some(o) = observer {
+                o.stage_started(id);
+            }
+            let out = stage(id).run(ctx, cfg, &state);
+            if let Some(o) = observer {
+                o.stage_finished(id);
+            }
+            out
+        });
         for out in outputs {
             state.install(out);
         }

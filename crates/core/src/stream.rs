@@ -23,6 +23,60 @@ use crate::filter::{DedupDecision, DedupWindow};
 use bgp_model::{Duration, Location, Timestamp};
 use raslog::{ErrCode, RasRecord, Severity};
 
+/// One coherent snapshot of an [`OnlineAnalyzer`]'s counters.
+///
+/// The daemon and the tests read a single snapshot instead of four separate
+/// getters, so the numbers are guaranteed to describe the same instant. The
+/// struct is also the unit of **shard merging**: a pool of analyzers sharded
+/// by error code sums its per-shard snapshots with [`StreamCounters::merge`]
+/// to recover the global stream totals (both dedup keys include the error
+/// code, so per-code sharding partitions the counter space exactly).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamCounters {
+    /// Records consumed (any severity).
+    pub records_in: u64,
+    /// FATAL records consumed.
+    pub fatal_in: u64,
+    /// Fatal records absorbed by the temporal window (same code + location).
+    pub merged_temporal: u64,
+    /// Temporal survivors absorbed by the spatial window (same code anywhere).
+    pub merged_spatial: u64,
+    /// Independent events surfaced.
+    pub events_out: u64,
+    /// Events that warranted a warning under the impact map.
+    pub warnings: u64,
+}
+
+impl StreamCounters {
+    /// Sum two snapshots field-wise — the shard-merge operation.
+    #[must_use]
+    pub fn merge(self, other: StreamCounters) -> StreamCounters {
+        StreamCounters {
+            records_in: self.records_in + other.records_in,
+            fatal_in: self.fatal_in + other.fatal_in,
+            merged_temporal: self.merged_temporal + other.merged_temporal,
+            merged_spatial: self.merged_spatial + other.merged_spatial,
+            events_out: self.events_out + other.events_out,
+            warnings: self.warnings + other.warnings,
+        }
+    }
+
+    /// Compression ratio over the fatal stream (0 when no fatals seen).
+    pub fn compression(&self) -> f64 {
+        if self.fatal_in == 0 {
+            return 0.0;
+        }
+        1.0 - self.events_out as f64 / self.fatal_in as f64
+    }
+
+    /// Internal consistency: every fatal record is merged or surfaced.
+    pub fn is_consistent(&self) -> bool {
+        self.fatal_in == self.merged_temporal + self.merged_spatial + self.events_out
+            && self.fatal_in <= self.records_in
+            && self.warnings <= self.events_out
+    }
+}
+
 /// What the analyzer did with one record.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StreamDecision {
@@ -64,10 +118,7 @@ pub struct OnlineAnalyzer {
     spatial: DedupWindow<ErrCode>,
     /// Optional per-code impact verdicts from an offline run.
     impact: Option<ImpactSummary>,
-    records_in: u64,
-    fatal_in: u64,
-    events_out: u64,
-    warnings: u64,
+    counters: StreamCounters,
 }
 
 impl OnlineAnalyzer {
@@ -83,10 +134,7 @@ impl OnlineAnalyzer {
             temporal: DedupWindow::new(temporal),
             spatial: DedupWindow::new(spatial),
             impact: None,
-            records_in: 0,
-            fatal_in: 0,
-            events_out: 0,
-            warnings: 0,
+            counters: StreamCounters::default(),
         }
     }
 
@@ -99,63 +147,67 @@ impl OnlineAnalyzer {
 
     /// Process one record.
     pub fn push(&mut self, r: &RasRecord) -> StreamDecision {
-        self.records_in += 1;
+        self.counters.records_in += 1;
         if r.severity != Severity::Fatal {
             return StreamDecision::NotFatal;
         }
-        self.fatal_in += 1;
+        self.counters.fatal_in += 1;
 
         // Temporal: same code at the same exact location, rolling window.
         // A stream keeps no output buffer, so the slot argument is unused.
         let tkey = (r.errcode, r.location);
         if let DedupDecision::Merged(_) = self.temporal.observe(tkey, r.event_time, 0) {
+            self.counters.merged_temporal += 1;
             return StreamDecision::MergedTemporal;
         }
 
         // Spatial: same code anywhere, rolling window over temporal
         // survivors.
         if let DedupDecision::Merged(_) = self.spatial.observe(r.errcode, r.event_time, 0) {
+            self.counters.merged_spatial += 1;
             return StreamDecision::MergedSpatial;
         }
 
-        self.events_out += 1;
+        self.counters.events_out += 1;
         let warn = self
             .impact
             .as_ref()
             .and_then(|i| i.per_code.get(&r.errcode))
             .is_none_or(|v| v.treat_as_fatal());
         if warn {
-            self.warnings += 1;
+            self.counters.warnings += 1;
         }
         StreamDecision::NewEvent { warn }
     }
 
+    /// One coherent snapshot of every counter.
+    pub fn counters(&self) -> StreamCounters {
+        self.counters
+    }
+
     /// Records consumed so far.
     pub fn records_in(&self) -> u64 {
-        self.records_in
+        self.counters.records_in
     }
 
     /// FATAL records consumed so far.
     pub fn fatal_in(&self) -> u64 {
-        self.fatal_in
+        self.counters.fatal_in
     }
 
     /// Independent events surfaced so far.
     pub fn events_out(&self) -> u64 {
-        self.events_out
+        self.counters.events_out
     }
 
     /// Warnings raised so far.
     pub fn warnings(&self) -> u64 {
-        self.warnings
+        self.counters.warnings
     }
 
     /// Running compression ratio over the fatal stream.
     pub fn compression(&self) -> f64 {
-        if self.fatal_in == 0 {
-            return 0.0;
-        }
-        1.0 - self.events_out as f64 / self.fatal_in as f64
+        self.counters.compression()
     }
 
     /// Drop rolling state older than `horizon` before `now` — call
@@ -221,6 +273,47 @@ mod tests {
         assert_eq!(a.events_out(), 2);
         assert_eq!(a.warnings(), 2);
         assert!(a.compression() > 0.4);
+        // The snapshot agrees with the getters and tracks the merges.
+        let c = a.counters();
+        assert_eq!(
+            c,
+            StreamCounters {
+                records_in: 5,
+                fatal_in: 4,
+                merged_temporal: 1,
+                merged_spatial: 1,
+                events_out: 2,
+                warnings: 2,
+            }
+        );
+        assert!(c.is_consistent());
+    }
+
+    #[test]
+    fn counters_merge_recovers_per_code_sharded_totals() {
+        // Shard by error code: the merged snapshot equals the single
+        // analyzer's because both dedup keys include the code.
+        let pool = ["_bgp_err_kernel_panic", "_bgp_err_ddr_controller"];
+        let records: Vec<RasRecord> = (0..60)
+            .map(|i| rec(i, i as i64 * 40, "R00-M0", pool[i as usize % 2]))
+            .collect();
+        let mut single = OnlineAnalyzer::new();
+        let mut shards = [OnlineAnalyzer::new(), OnlineAnalyzer::new()];
+        for r in &records {
+            single.push(r);
+            shards[r.errcode.index() % 2].push(r);
+        }
+        assert_ne!(
+            records[0].errcode.index() % 2,
+            records[1].errcode.index() % 2,
+            "fixture should actually split across shards"
+        );
+        let merged = shards[0].counters().merge(shards[1].counters());
+        assert_eq!(merged.fatal_in, single.counters().fatal_in);
+        assert_eq!(merged.events_out, single.counters().events_out);
+        assert_eq!(merged.merged_temporal, single.counters().merged_temporal);
+        assert_eq!(merged.merged_spatial, single.counters().merged_spatial);
+        assert!(merged.is_consistent());
     }
 
     #[test]

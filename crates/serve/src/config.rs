@@ -1,0 +1,325 @@
+//! Daemon configuration: flag parsing shared by `coserved` and
+//! `coctl serve`, plus the on-disk impact-verdict format.
+//!
+//! The impact file is how an offline co-analysis run informs the online
+//! daemon (Observation 1 in production): `coctl analyze --impact-out FILE`
+//! writes the per-code verdicts, `coserved --impact FILE` loads them, and
+//! new events of codes classified non-fatal stop warning.
+
+use crate::error::ServeError;
+use bgp_model::Duration;
+use coanalysis::classify::{CodeImpact, ImpactSummary};
+use raslog::Catalog;
+use std::io::{Read, Write};
+use std::path::PathBuf;
+
+/// Everything the daemon needs to start.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Ingest (line-delimited TCP) listen address. Port 0 picks a free port.
+    pub ingest_addr: String,
+    /// HTTP front-end listen address. Port 0 picks a free port.
+    pub http_addr: String,
+    /// Number of analyzer shards (records are routed by error code).
+    pub shards: usize,
+    /// Bounded per-shard queue capacity, in records.
+    pub queue_capacity: usize,
+    /// Capacity of the recent-events ring served at `/events`.
+    pub ring_capacity: usize,
+    /// Ingest lines longer than this are rejected (and counted).
+    pub max_line_bytes: usize,
+    /// Per-connection socket read timeout.
+    pub read_timeout: std::time::Duration,
+    /// Per-connection socket write timeout (slow clients are disconnected).
+    pub write_timeout: std::time::Duration,
+    /// Optional log file to tail as a second ingest source.
+    pub tail: Option<PathBuf>,
+    /// Poll interval for the tailer.
+    pub tail_poll: std::time::Duration,
+    /// Temporal dedup threshold (same code + location).
+    pub temporal: Duration,
+    /// Spatial dedup threshold (same code, any location).
+    pub spatial: Duration,
+    /// Per-code impact verdicts from an offline run, if any.
+    pub impact: Option<ImpactSummary>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            ingest_addr: "127.0.0.1:7070".to_owned(),
+            http_addr: "127.0.0.1:7071".to_owned(),
+            shards: 2,
+            queue_capacity: 4_096,
+            ring_capacity: 256,
+            max_line_bytes: 64 * 1024,
+            read_timeout: std::time::Duration::from_millis(250),
+            write_timeout: std::time::Duration::from_secs(5),
+            tail: None,
+            tail_poll: std::time::Duration::from_millis(100),
+            temporal: Duration::minutes(5),
+            spatial: Duration::minutes(5),
+            impact: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Parse daemon flags (everything after the program name / subcommand).
+    ///
+    /// ```text
+    /// --ingest ADDR      TCP ingest listen address   (default 127.0.0.1:7070)
+    /// --http ADDR        HTTP listen address         (default 127.0.0.1:7071)
+    /// --shards N         analyzer shards             (default 2)
+    /// --queue-cap N      per-shard queue capacity    (default 4096)
+    /// --ring N           /events ring capacity       (default 256)
+    /// --max-line BYTES   ingest line length limit    (default 65536)
+    /// --impact FILE      offline impact verdicts
+    /// --tail FILE        also tail FILE for records
+    /// --temporal-secs S  temporal dedup threshold    (default 300)
+    /// --spatial-secs S   spatial dedup threshold     (default 300)
+    /// ```
+    pub fn from_args(args: &[String]) -> Result<ServeConfig, ServeError> {
+        let mut cfg = ServeConfig::default();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--ingest" => cfg.ingest_addr = take(&mut it, "--ingest")?,
+                "--http" => cfg.http_addr = take(&mut it, "--http")?,
+                "--shards" => cfg.shards = take_parsed(&mut it, "--shards")?,
+                "--queue-cap" => cfg.queue_capacity = take_parsed(&mut it, "--queue-cap")?,
+                "--ring" => cfg.ring_capacity = take_parsed(&mut it, "--ring")?,
+                "--max-line" => cfg.max_line_bytes = take_parsed(&mut it, "--max-line")?,
+                "--impact" => {
+                    let path = take(&mut it, "--impact")?;
+                    cfg.impact = Some(read_impact_file(&path)?);
+                }
+                "--tail" => cfg.tail = Some(PathBuf::from(take(&mut it, "--tail")?)),
+                "--temporal-secs" => {
+                    cfg.temporal = Duration::seconds(take_parsed(&mut it, "--temporal-secs")?);
+                }
+                "--spatial-secs" => {
+                    cfg.spatial = Duration::seconds(take_parsed(&mut it, "--spatial-secs")?);
+                }
+                other => {
+                    return Err(ServeError::Config(format!("unknown flag {other:?}")));
+                }
+            }
+        }
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// Reject inconsistent settings before any socket is bound.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        if self.shards == 0 {
+            return Err(ServeError::Config("--shards must be at least 1".into()));
+        }
+        if self.queue_capacity == 0 {
+            return Err(ServeError::Config("--queue-cap must be at least 1".into()));
+        }
+        if self.ring_capacity == 0 {
+            return Err(ServeError::Config("--ring must be at least 1".into()));
+        }
+        if self.max_line_bytes < 64 {
+            return Err(ServeError::Config(
+                "--max-line must be at least 64 bytes (a minimal record line)".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+fn take<'a>(it: &mut impl Iterator<Item = &'a String>, flag: &str) -> Result<String, ServeError> {
+    it.next()
+        .cloned()
+        .ok_or_else(|| ServeError::Config(format!("{flag} needs a value")))
+}
+
+fn take_parsed<'a, T: std::str::FromStr>(
+    it: &mut impl Iterator<Item = &'a String>,
+    flag: &str,
+) -> Result<T, ServeError> {
+    let v = take(it, flag)?;
+    v.parse()
+        .map_err(|_| ServeError::Config(format!("{flag}: invalid value {v:?}")))
+}
+
+/// Header line of the impact-verdict format.
+pub const IMPACT_HEADER: &str = "# bgp-impact v1";
+
+fn verdict_token(v: CodeImpact) -> &'static str {
+    match v {
+        CodeImpact::InterruptionRelated => "interruption-related",
+        CodeImpact::NonFatal => "non-fatal",
+        CodeImpact::UndeterminedIdle => "undetermined-idle",
+        CodeImpact::UndeterminedMixed => "undetermined-mixed",
+    }
+}
+
+fn parse_verdict(s: &str) -> Option<CodeImpact> {
+    match s {
+        "interruption-related" => Some(CodeImpact::InterruptionRelated),
+        "non-fatal" => Some(CodeImpact::NonFatal),
+        "undetermined-idle" => Some(CodeImpact::UndeterminedIdle),
+        "undetermined-mixed" => Some(CodeImpact::UndeterminedMixed),
+        _ => None,
+    }
+}
+
+/// Write an [`ImpactSummary`]'s per-code verdicts in the `# bgp-impact v1`
+/// text format: one `CODE_NAME verdict` line per code, sorted by name for
+/// reproducible output.
+pub fn write_impact(w: &mut impl Write, impact: &ImpactSummary) -> std::io::Result<()> {
+    writeln!(w, "{IMPACT_HEADER}")?;
+    let cat = Catalog::standard();
+    let mut rows: Vec<(&'static str, CodeImpact)> = impact
+        .per_code
+        .iter()
+        .map(|(&code, &v)| (cat.info(code).name, v))
+        .collect();
+    rows.sort_unstable_by_key(|&(name, _)| name);
+    for (name, v) in rows {
+        writeln!(w, "{name} {}", verdict_token(v))?;
+    }
+    Ok(())
+}
+
+/// Parse the `# bgp-impact v1` format back into an [`ImpactSummary`].
+///
+/// Only the per-code verdicts travel through the file — the event counts of
+/// the offline run stay offline, so `nonfatal_events` / `total_events` come
+/// back zero. Unknown code names and malformed lines are errors: a typo'd
+/// impact file silently arming or disarming warnings would be worse than a
+/// refusal to start.
+pub fn parse_impact(text: &str, path: &str) -> Result<ImpactSummary, ServeError> {
+    let err = |line: usize, msg: String| ServeError::Impact {
+        path: path.to_owned(),
+        line,
+        msg,
+    };
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, first)) if first.trim() == IMPACT_HEADER => {}
+        Some((_, first)) => {
+            return Err(err(
+                1,
+                format!("expected {IMPACT_HEADER:?}, found {first:?}"),
+            ));
+        }
+        None => return Err(err(0, "empty file".into())),
+    }
+    let cat = Catalog::standard();
+    let mut impact = ImpactSummary::default();
+    for (idx, line) in lines {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let lineno = idx + 1;
+        let Some((name, verdict)) = line.split_once(' ') else {
+            return Err(err(
+                lineno,
+                format!("expected `CODE verdict`, found {line:?}"),
+            ));
+        };
+        let Some(code) = cat.lookup(name.trim()) else {
+            return Err(err(lineno, format!("unknown error code {name:?}")));
+        };
+        let Some(v) = parse_verdict(verdict.trim()) else {
+            return Err(err(lineno, format!("unknown verdict {verdict:?}")));
+        };
+        if impact.per_code.insert(code, v).is_some() {
+            return Err(err(lineno, format!("duplicate code {name:?}")));
+        }
+    }
+    Ok(impact)
+}
+
+/// Read and parse an impact file from disk.
+pub fn read_impact_file(path: &str) -> Result<ImpactSummary, ServeError> {
+    let file = std::fs::File::open(path).map_err(|e| ServeError::Impact {
+        path: path.to_owned(),
+        line: 0,
+        msg: e.to_string(),
+    })?;
+    let mut text = String::new();
+    std::io::BufReader::new(file)
+        .read_to_string(&mut text)
+        .map_err(|e| ServeError::Impact {
+            path: path.to_owned(),
+            line: 0,
+            msg: e.to_string(),
+        })?;
+    parse_impact(&text, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn flags_parse_and_validate() {
+        let cfg = ServeConfig::from_args(&args(&[
+            "--ingest",
+            "127.0.0.1:0",
+            "--shards",
+            "4",
+            "--queue-cap",
+            "16",
+            "--temporal-secs",
+            "60",
+        ]))
+        .unwrap();
+        assert_eq!(cfg.ingest_addr, "127.0.0.1:0");
+        assert_eq!(cfg.shards, 4);
+        assert_eq!(cfg.queue_capacity, 16);
+        assert_eq!(cfg.temporal, Duration::seconds(60));
+        assert!(ServeConfig::from_args(&args(&["--shards", "0"])).is_err());
+        assert!(ServeConfig::from_args(&args(&["--bogus"])).is_err());
+        assert!(ServeConfig::from_args(&args(&["--shards"])).is_err());
+    }
+
+    #[test]
+    fn impact_round_trips_through_text() {
+        let cat = Catalog::standard();
+        let mut impact = ImpactSummary::default();
+        impact.per_code.insert(
+            cat.lookup("BULK_POWER_FATAL").unwrap(),
+            CodeImpact::NonFatal,
+        );
+        impact.per_code.insert(
+            cat.lookup("_bgp_err_kernel_panic").unwrap(),
+            CodeImpact::InterruptionRelated,
+        );
+        impact.per_code.insert(
+            cat.lookup("_bgp_err_diag_netbist").unwrap(),
+            CodeImpact::UndeterminedIdle,
+        );
+        let mut buf = Vec::new();
+        write_impact(&mut buf, &impact).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with(IMPACT_HEADER));
+        let back = parse_impact(&text, "mem").unwrap();
+        assert_eq!(back.per_code, impact.per_code);
+    }
+
+    #[test]
+    fn impact_rejects_garbage() {
+        assert!(parse_impact("", "p").is_err());
+        assert!(parse_impact("# wrong header\n", "p").is_err());
+        let hdr = format!("{IMPACT_HEADER}\n");
+        assert!(parse_impact(&format!("{hdr}no_such_code non-fatal\n"), "p").is_err());
+        assert!(parse_impact(&format!("{hdr}BULK_POWER_FATAL sideways\n"), "p").is_err());
+        assert!(parse_impact(&format!("{hdr}BULK_POWER_FATAL\n"), "p").is_err());
+        let dup = format!("{hdr}BULK_POWER_FATAL non-fatal\nBULK_POWER_FATAL non-fatal\n");
+        assert!(parse_impact(&dup, "p").is_err());
+        // Comments and blank lines are fine.
+        let ok = format!("{hdr}\n# a comment\nBULK_POWER_FATAL non-fatal\n");
+        assert_eq!(parse_impact(&ok, "p").unwrap().per_code.len(), 1);
+    }
+}

@@ -1,0 +1,52 @@
+//! `bgp-serve`: a long-running co-analysis daemon over `std::net`.
+//!
+//! The batch pipeline in [`coanalysis`] answers "what happened in this
+//! log?"; this crate answers "what is happening right now?". A daemon
+//! ([`Server`]) ingests RAS records over a line-delimited TCP protocol
+//! and/or by tailing a log file, fans them out to N sharded
+//! [`OnlineAnalyzer`](coanalysis::stream::OnlineAnalyzer) workers (routed
+//! by error code, which keeps dedup semantics exactly equal to a single
+//! analyzer), and serves live results over a hand-rolled HTTP/1.1
+//! front-end: `/healthz`, `/metrics` (Prometheus text), `/events` (JSON
+//! ring of recent independent events), `/summary` (merged counters), and
+//! `/shutdown` (graceful drain).
+//!
+//! Module map:
+//!
+//! * [`protocol`] — newline framing with length limits, line classification;
+//! * [`source`] — the TCP ingest listener and the optional file tailer;
+//! * [`shard`] — the bounded-queue shard pool and its merge layer;
+//! * [`ring`] — the recent-events ring served at `/events`;
+//! * [`metrics`] — counters/gauges/histograms + Prometheus rendering;
+//! * [`http`] — the minimal HTTP front-end;
+//! * [`server`] — assembly, two-phase graceful shutdown, final summary;
+//! * [`timing`] — [`StageTimer`], wiring the same metrics registry into the
+//!   batch pipeline via [`CoAnalysis::run_on_observed`](coanalysis::CoAnalysis::run_on_observed);
+//! * [`config`] — flag parsing and the on-disk impact-verdict format;
+//! * [`error`] — the typed error for everything above.
+//!
+//! Everything here is dependency-free by design: `std::net`, `std::sync`,
+//! and the workspace crates. No async runtime, no web framework.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod error;
+pub mod http;
+pub mod metrics;
+pub mod protocol;
+pub mod ring;
+pub mod server;
+pub mod shard;
+pub mod source;
+pub mod timing;
+
+pub use config::{parse_impact, read_impact_file, write_impact, ServeConfig, IMPACT_HEADER};
+pub use error::ServeError;
+pub use metrics::{Counter, Gauge, Histogram, Registry, ServeMetrics};
+pub use protocol::{classify_line, Frame, LineFramer};
+pub use ring::{EventEntry, EventRing};
+pub use server::{run, FinalSummary, Server, Shutdown};
+pub use shard::{ShardConfig, ShardPool};
+pub use timing::StageTimer;

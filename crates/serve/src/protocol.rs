@@ -1,0 +1,193 @@
+//! The line-delimited ingest protocol.
+//!
+//! A client streams RAS records to the daemon as ordinary log lines — the
+//! same nine-field pipe format `raslog` reads from disk — one record per
+//! `\n`-terminated line, optionally with a trailing `\r`. Blank lines and
+//! `#` comments are ignored, so `cat ras.log | nc HOST PORT` is a valid
+//! client. The protocol is one-way: the daemon never writes on the ingest
+//! socket; results are observed through the HTTP front-end.
+//!
+//! Robustness rules, enforced here and accounted in the metrics registry:
+//!
+//! * a line longer than the configured limit is dropped whole and the
+//!   framer resynchronizes at the next newline (a malicious or corrupt
+//!   client cannot balloon daemon memory);
+//! * an unparsable line is counted and skipped — one bad record must not
+//!   poison the stream.
+//!
+//! The framer is a pure byte-in/frame-out state machine (no sockets, no
+//! clocks), which keeps it inside the determinism lint scope and makes the
+//! edge cases unit-testable.
+
+use raslog::{parse_line_bytes, RasRecord};
+
+/// What one complete ingest line turned out to be.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// A parsed record, ready for the shard pool.
+    Record(Box<RasRecord>),
+    /// A blank line or `#` comment — ignored, not an error.
+    Skip,
+    /// An unparsable line, with the parser's description.
+    Malformed(String),
+}
+
+/// Classify one complete line (without its newline terminator).
+pub fn classify_line(line: &[u8]) -> Frame {
+    let line = match line.split_last() {
+        Some((b'\r', rest)) => rest,
+        _ => line,
+    };
+    if line.is_empty() || line.first() == Some(&b'#') {
+        return Frame::Skip;
+    }
+    match parse_line_bytes(line) {
+        Ok(r) => Frame::Record(Box::new(r)),
+        Err(e) => Frame::Malformed(e.to_string()),
+    }
+}
+
+/// Incremental newline framer with a hard per-line length limit.
+///
+/// Feed it arbitrary byte chunks as they arrive from a socket or file tail;
+/// it invokes the sink once per complete line and reports how many lines it
+/// had to drop for exceeding the limit.
+#[derive(Debug)]
+pub struct LineFramer {
+    carry: Vec<u8>,
+    max_line_bytes: usize,
+    /// Inside an over-limit line, discarding until the next newline.
+    skipping: bool,
+}
+
+impl LineFramer {
+    /// A framer enforcing `max_line_bytes` per line.
+    pub fn new(max_line_bytes: usize) -> LineFramer {
+        LineFramer {
+            carry: Vec::new(),
+            max_line_bytes,
+            skipping: false,
+        }
+    }
+
+    /// Feed one chunk; complete lines go to `sink`. Returns the number of
+    /// oversized lines dropped within this chunk.
+    pub fn feed(&mut self, chunk: &[u8], sink: &mut impl FnMut(&[u8])) -> u64 {
+        let mut dropped = 0u64;
+        let mut rest = chunk;
+        while let Some(nl) = bgp_model::bytes::find_byte(b'\n', rest) {
+            let (head, tail) = rest.split_at(nl);
+            rest = &tail[1..];
+            if self.skipping {
+                // The tail end of an over-limit line: swallow it.
+                self.skipping = false;
+                self.carry.clear();
+                continue;
+            }
+            if self.carry.len() + head.len() > self.max_line_bytes {
+                dropped += 1;
+                self.carry.clear();
+                continue;
+            }
+            if self.carry.is_empty() {
+                sink(head);
+            } else {
+                self.carry.extend_from_slice(head);
+                sink(&std::mem::take(&mut self.carry));
+            }
+        }
+        if self.skipping {
+            return dropped;
+        }
+        if self.carry.len() + rest.len() > self.max_line_bytes {
+            // The line is already over the limit without a newline in
+            // sight: drop it now and discard until the next newline.
+            dropped += 1;
+            self.carry.clear();
+            self.skipping = true;
+        } else {
+            self.carry.extend_from_slice(rest);
+        }
+        dropped
+    }
+
+    /// Flush a trailing unterminated line at end of stream (EOF).
+    pub fn finish(&mut self, sink: &mut impl FnMut(&[u8])) {
+        if !self.skipping && !self.carry.is_empty() {
+            sink(&std::mem::take(&mut self.carry));
+        }
+        self.skipping = false;
+        self.carry.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raslog::Catalog;
+
+    fn collect(framer: &mut LineFramer, chunks: &[&[u8]]) -> (Vec<Vec<u8>>, u64) {
+        let mut lines = Vec::new();
+        let mut dropped = 0;
+        for c in chunks {
+            dropped += framer.feed(c, &mut |l: &[u8]| lines.push(l.to_vec()));
+        }
+        framer.finish(&mut |l: &[u8]| lines.push(l.to_vec()));
+        (lines, dropped)
+    }
+
+    #[test]
+    fn frames_lines_across_arbitrary_chunk_boundaries() {
+        let mut f = LineFramer::new(100);
+        let (lines, dropped) = collect(&mut f, &[b"ab", b"c\nde", b"\n\nfg"]);
+        assert_eq!(dropped, 0);
+        assert_eq!(
+            lines,
+            vec![b"abc".to_vec(), b"de".to_vec(), vec![], b"fg".to_vec()]
+        );
+    }
+
+    #[test]
+    fn oversized_lines_are_dropped_and_resynchronized() {
+        let mut f = LineFramer::new(4);
+        // "longline" exceeds 4 bytes mid-chunk; "ok" after the newline must
+        // still be delivered, as must short lines split across chunks.
+        let (lines, dropped) = collect(&mut f, &[b"longl", b"ine\nok\n", b"toolong\n", b"ab\n"]);
+        assert_eq!(dropped, 2);
+        assert_eq!(lines, vec![b"ok".to_vec(), b"ab".to_vec()]);
+    }
+
+    #[test]
+    fn oversized_line_at_eof_stays_dropped() {
+        let mut f = LineFramer::new(4);
+        let (lines, dropped) = collect(&mut f, &[b"abcdefgh"]);
+        assert_eq!(dropped, 1);
+        assert!(lines.is_empty());
+    }
+
+    #[test]
+    fn classifies_records_comments_and_garbage() {
+        let code = Catalog::standard().lookup("_bgp_err_kernel_panic").unwrap();
+        let rec = raslog::RasRecord::new(
+            7,
+            bgp_model::Timestamp::from_unix(1_000),
+            "R00-M0-N00-J00".parse().unwrap(),
+            code,
+        );
+        let line = raslog::format_record(&rec);
+        match classify_line(line.as_bytes()) {
+            Frame::Record(r) => assert_eq!(*r, rec),
+            other => panic!("expected record, got {other:?}"),
+        }
+        // CRLF is tolerated.
+        let crlf = format!("{line}\r");
+        assert!(matches!(classify_line(crlf.as_bytes()), Frame::Record(_)));
+        assert_eq!(classify_line(b""), Frame::Skip);
+        assert_eq!(classify_line(b"\r"), Frame::Skip);
+        assert_eq!(classify_line(b"# comment"), Frame::Skip);
+        assert!(matches!(
+            classify_line(b"not|a|record"),
+            Frame::Malformed(_)
+        ));
+    }
+}

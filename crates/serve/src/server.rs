@@ -1,0 +1,341 @@
+//! Daemon assembly and lifecycle: bind, spawn, drain, report.
+//!
+//! Shutdown is two-phase so results stay observable while the pipeline
+//! drains: phase one (the `/shutdown` endpoint or [`Server::shutdown`])
+//! stops the ingest sources and lets the shard pool drain every queued
+//! record; the HTTP front-end keeps answering during the drain so a client
+//! can watch `/summary` converge. Phase two, entered by [`Server::wait`]
+//! once the pool has drained, stops the front-end and yields the final
+//! [`FinalSummary`].
+
+use crate::config::ServeConfig;
+use crate::error::ServeError;
+use crate::http::{spawn_http_listener, HttpState};
+use crate::metrics::{Registry, ServeMetrics};
+use crate::ring::EventRing;
+use crate::shard::{ShardConfig, ShardPool};
+use crate::source::{spawn_ingest_listener, spawn_tailer, SourceCtx};
+use coanalysis::stream::StreamCounters;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+
+/// Two-phase shutdown latch shared by every component.
+#[derive(Debug, Default)]
+pub struct Shutdown {
+    /// Phase one: stop ingesting, start draining.
+    drain: AtomicBool,
+    /// Phase two: everything drained, stop serving.
+    stop: AtomicBool,
+}
+
+impl Shutdown {
+    /// A latch with neither phase requested.
+    pub fn new() -> Shutdown {
+        Shutdown::default()
+    }
+
+    /// Request phase one (idempotent).
+    pub fn request(&self) {
+        self.drain.store(true, Ordering::SeqCst);
+    }
+
+    /// Has phase one been requested?
+    pub fn requested(&self) -> bool {
+        self.drain.load(Ordering::SeqCst)
+    }
+
+    /// Request phase two (idempotent). Implies phase one.
+    pub fn request_final(&self) {
+        self.drain.store(true, Ordering::SeqCst);
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Has phase two been requested?
+    pub fn requested_final(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+}
+
+/// What the daemon counted over its lifetime, reported after the drain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FinalSummary {
+    /// Merged per-shard stream counters.
+    pub counters: StreamCounters,
+    /// Shards the pool ran.
+    pub shards: usize,
+    /// Unparsable ingest lines rejected.
+    pub rejected_malformed: u64,
+    /// Over-limit ingest lines rejected.
+    pub rejected_oversized: u64,
+    /// Sends that blocked on a full shard queue.
+    pub backpressure_stalls: u64,
+    /// Ingest connections accepted.
+    pub ingest_connections: u64,
+    /// HTTP requests served.
+    pub http_requests: u64,
+    /// HTTP clients disconnected for being too slow.
+    pub slow_disconnects: u64,
+}
+
+impl std::fmt::Display for FinalSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let c = &self.counters;
+        writeln!(
+            f,
+            "final: {} records in ({} fatal) -> {} events ({} warnings) across {} shards",
+            c.records_in, c.fatal_in, c.events_out, c.warnings, self.shards
+        )?;
+        writeln!(
+            f,
+            "final: merged {} temporal + {} spatial (compression {:.2}x)",
+            c.merged_temporal,
+            c.merged_spatial,
+            c.compression()
+        )?;
+        write!(
+            f,
+            "final: rejected {} malformed / {} oversized; {} stalls; \
+             {} ingest conns; {} http requests ({} slow)",
+            self.rejected_malformed,
+            self.rejected_oversized,
+            self.backpressure_stalls,
+            self.ingest_connections,
+            self.http_requests,
+            self.slow_disconnects
+        )
+    }
+}
+
+/// A running daemon: sockets bound, workers up.
+#[derive(Debug)]
+pub struct Server {
+    ingest_addr: SocketAddr,
+    http_addr: SocketAddr,
+    shutdown: Arc<Shutdown>,
+    pool: Arc<ShardPool>,
+    metrics: Arc<ServeMetrics>,
+    registry: Arc<Registry>,
+    ring: Arc<EventRing>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Server {
+    /// Bind both listeners, start the shard pool and all source threads.
+    pub fn start(cfg: &ServeConfig) -> Result<Server, ServeError> {
+        let ingest_listener =
+            TcpListener::bind(&cfg.ingest_addr).map_err(|e| ServeError::Bind {
+                what: "ingest",
+                addr: cfg.ingest_addr.clone(),
+                source: e,
+            })?;
+        let http_listener = TcpListener::bind(&cfg.http_addr).map_err(|e| ServeError::Bind {
+            what: "http",
+            addr: cfg.http_addr.clone(),
+            source: e,
+        })?;
+        let ingest_addr = ingest_listener.local_addr().map_err(ServeError::Io)?;
+        let http_addr = http_listener.local_addr().map_err(ServeError::Io)?;
+
+        let registry = Arc::new(Registry::new());
+        let metrics = Arc::new(ServeMetrics::register(&registry));
+        let ring = Arc::new(EventRing::new(cfg.ring_capacity));
+        let shutdown = Arc::new(Shutdown::new());
+        let pool = Arc::new(ShardPool::start(
+            &ShardConfig {
+                shards: cfg.shards,
+                queue_capacity: cfg.queue_capacity,
+                temporal: cfg.temporal,
+                spatial: cfg.spatial,
+                impact: cfg.impact.clone(),
+            },
+            &metrics,
+            &ring,
+        )?);
+
+        let source_ctx = SourceCtx {
+            pool: Arc::clone(&pool),
+            metrics: Arc::clone(&metrics),
+            shutdown: Arc::clone(&shutdown),
+            max_line_bytes: cfg.max_line_bytes,
+            read_timeout: cfg.read_timeout,
+        };
+        let mut threads = Vec::new();
+        threads.push(
+            spawn_ingest_listener(ingest_listener, source_ctx.clone())
+                .map_err(ServeError::Spawn)?,
+        );
+        if let Some(path) = &cfg.tail {
+            threads.push(
+                spawn_tailer(path.clone(), cfg.tail_poll, source_ctx.clone())
+                    .map_err(ServeError::Spawn)?,
+            );
+        }
+        threads.push(
+            spawn_http_listener(
+                http_listener,
+                HttpState {
+                    registry: Arc::clone(&registry),
+                    ring: Arc::clone(&ring),
+                    pool: Arc::clone(&pool),
+                    metrics: Arc::clone(&metrics),
+                    shutdown: Arc::clone(&shutdown),
+                    read_timeout: cfg.read_timeout,
+                    write_timeout: cfg.write_timeout,
+                },
+            )
+            .map_err(ServeError::Spawn)?,
+        );
+
+        Ok(Server {
+            ingest_addr,
+            http_addr,
+            shutdown,
+            pool,
+            metrics,
+            registry,
+            ring,
+            threads: Mutex::new(threads),
+        })
+    }
+
+    /// Actual ingest address (useful with port 0).
+    pub fn ingest_addr(&self) -> SocketAddr {
+        self.ingest_addr
+    }
+
+    /// Actual HTTP address (useful with port 0).
+    pub fn http_addr(&self) -> SocketAddr {
+        self.http_addr
+    }
+
+    /// The daemon's metrics registry (shared with the HTTP front-end).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// The recent-events ring.
+    pub fn ring(&self) -> &Arc<EventRing> {
+        &self.ring
+    }
+
+    /// Merged live counters (also served at `/summary`).
+    pub fn counters(&self) -> StreamCounters {
+        self.pool.counters()
+    }
+
+    /// Request a graceful shutdown (same as `GET /shutdown`).
+    pub fn shutdown(&self) {
+        self.shutdown.request();
+    }
+
+    /// Has a shutdown been requested (by either API or HTTP)?
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.requested()
+    }
+
+    /// Block until shutdown is requested, drain everything, and return the
+    /// final tallies. Every record accepted before the ingest sources closed
+    /// is analyzed before this returns.
+    pub fn wait(self) -> FinalSummary {
+        while !self.shutdown.requested() {
+            std::thread::sleep(crate::source::POLL_SLEEP);
+        }
+        let threads: Vec<JoinHandle<()>> = {
+            let mut guard = self.threads.lock().unwrap_or_else(PoisonError::into_inner);
+            guard.drain(..).collect()
+        };
+        // The ingest listener and tailer observe phase one and join once
+        // their connections drain; the pool then drains its queues; only
+        // after that does phase two stop the HTTP thread.
+        let mut http_threads = Vec::new();
+        for t in threads {
+            if t.thread().name() == Some("bgp-serve-http") {
+                http_threads.push(t);
+                continue;
+            }
+            let _ = t.join();
+        }
+        self.pool.close();
+        self.pool.join();
+        self.shutdown.request_final();
+        for t in http_threads {
+            let _ = t.join();
+        }
+        FinalSummary {
+            counters: self.pool.counters(),
+            shards: self.pool.shards(),
+            rejected_malformed: self.metrics.rejected_malformed.get(),
+            rejected_oversized: self.metrics.rejected_oversized.get(),
+            backpressure_stalls: self.metrics.backpressure_stalls.get(),
+            ingest_connections: self.metrics.ingest_connections.get(),
+            http_requests: self.metrics.http_requests.get(),
+            slow_disconnects: self.metrics.slow_disconnects.get(),
+        }
+    }
+}
+
+/// Run a daemon to completion: bind, announce, wait for `/shutdown`, drain,
+/// and print the final summary. This is the whole of `coserved` and
+/// `coctl serve`.
+pub fn run(cfg: &ServeConfig, out: &mut impl std::io::Write) -> Result<FinalSummary, ServeError> {
+    let server = Server::start(cfg)?;
+    writeln!(out, "bgp-serve: ingest on {}", server.ingest_addr()).map_err(ServeError::Io)?;
+    writeln!(out, "bgp-serve: http   on {}", server.http_addr()).map_err(ServeError::Io)?;
+    writeln!(
+        out,
+        "bgp-serve: {} shards; GET /healthz /metrics /events /summary /shutdown",
+        cfg.shards
+    )
+    .map_err(ServeError::Io)?;
+    out.flush().map_err(ServeError::Io)?;
+    let summary = server.wait();
+    writeln!(out, "{summary}").map_err(ServeError::Io)?;
+    out.flush().map_err(ServeError::Io)?;
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shutdown_latch_is_two_phase() {
+        let s = Shutdown::new();
+        assert!(!s.requested() && !s.requested_final());
+        s.request();
+        assert!(s.requested() && !s.requested_final());
+        s.request_final();
+        assert!(s.requested() && s.requested_final());
+        // request_final alone implies phase one.
+        let s2 = Shutdown::new();
+        s2.request_final();
+        assert!(s2.requested());
+    }
+
+    #[test]
+    fn final_summary_displays_every_counter() {
+        let summary = FinalSummary {
+            counters: StreamCounters {
+                records_in: 10,
+                fatal_in: 8,
+                merged_temporal: 3,
+                merged_spatial: 2,
+                events_out: 3,
+                warnings: 1,
+            },
+            shards: 4,
+            rejected_malformed: 5,
+            rejected_oversized: 6,
+            backpressure_stalls: 7,
+            ingest_connections: 2,
+            http_requests: 9,
+            slow_disconnects: 1,
+        };
+        let text = summary.to_string();
+        assert!(text.contains("10 records in (8 fatal) -> 3 events"));
+        assert!(text.contains("3 temporal + 2 spatial"));
+        assert!(text.contains("5 malformed / 6 oversized; 7 stalls"));
+    }
+}

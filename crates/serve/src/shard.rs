@@ -1,0 +1,309 @@
+//! The sharded analyzer pool: N worker threads, each owning one
+//! [`OnlineAnalyzer`], fed through bounded queues.
+//!
+//! Records are routed by error code (`errcode.index() % shards`). Both
+//! dedup keys — `(code, location)` for the temporal window and `code` for
+//! the spatial window — include the error code, so per-code sharding
+//! partitions the dedup state exactly: a pool of N shards surfaces the
+//! *same* independent-event set as a single analyzer fed the same ordered
+//! stream (the proptest in `tests/serve_http.rs` pins this). The merge
+//! layer is [`ShardPool::counters`], which sums per-shard
+//! [`StreamCounters`] snapshots back into the global stream totals.
+//!
+//! Backpressure is explicit: queues are bounded, a full queue first counts
+//! a stall and then blocks the ingest source (records are never silently
+//! dropped — drop accounting lives at the protocol layer, where malformed
+//! and oversized lines are rejected). Closing the pool drops the senders;
+//! workers drain every queued record before exiting, which is what makes
+//! graceful shutdown lossless.
+
+use crate::error::ServeError;
+use crate::metrics::ServeMetrics;
+use crate::ring::{EventEntry, EventRing};
+use bgp_model::Duration;
+use coanalysis::classify::ImpactSummary;
+use coanalysis::stream::{OnlineAnalyzer, StreamCounters, StreamDecision};
+use raslog::{Catalog, RasRecord};
+use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+
+/// Evict rolling dedup state every this many records per shard.
+const EVICT_EVERY: u64 = 8_192;
+
+/// Tunables the pool needs (a subset of the daemon config).
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// Number of shards (≥ 1).
+    pub shards: usize,
+    /// Bounded queue capacity per shard, in records.
+    pub queue_capacity: usize,
+    /// Temporal dedup threshold.
+    pub temporal: Duration,
+    /// Spatial dedup threshold.
+    pub spatial: Duration,
+    /// Offline impact verdicts, shared by every shard.
+    pub impact: Option<ImpactSummary>,
+}
+
+/// The pool. Shareable across ingest sources via `Arc`.
+#[derive(Debug)]
+pub struct ShardPool {
+    /// `None` once closed; dropping the senders lets workers drain and exit.
+    senders: Mutex<Option<Vec<SyncSender<RasRecord>>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    analyzers: Vec<Arc<Mutex<OnlineAnalyzer>>>,
+    shards: usize,
+}
+
+fn lock_analyzer(a: &Mutex<OnlineAnalyzer>) -> std::sync::MutexGuard<'_, OnlineAnalyzer> {
+    a.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl ShardPool {
+    /// Spawn the workers and return the running pool.
+    pub fn start(
+        cfg: &ShardConfig,
+        metrics: &Arc<ServeMetrics>,
+        ring: &Arc<EventRing>,
+    ) -> Result<ShardPool, ServeError> {
+        let shards = cfg.shards.max(1);
+        // Eviction horizon: far beyond both windows, so dropping state
+        // cannot change any dedup decision.
+        let horizon = Duration::seconds(cfg.temporal.as_secs().max(cfg.spatial.as_secs()) * 4 + 1);
+        let mut senders = Vec::with_capacity(shards);
+        let mut workers = Vec::with_capacity(shards);
+        let mut analyzers = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let (tx, rx) = sync_channel::<RasRecord>(cfg.queue_capacity.max(1));
+            let mut analyzer = OnlineAnalyzer::with_thresholds(cfg.temporal, cfg.spatial);
+            if let Some(impact) = &cfg.impact {
+                analyzer = analyzer.with_impact(impact.clone());
+            }
+            let analyzer = Arc::new(Mutex::new(analyzer));
+            let worker_analyzer = Arc::clone(&analyzer);
+            let worker_metrics = Arc::clone(metrics);
+            let worker_ring = Arc::clone(ring);
+            let handle = std::thread::Builder::new()
+                .name(format!("bgp-serve-shard-{shard}"))
+                .spawn(move || {
+                    let mut since_evict = 0u64;
+                    while let Ok(rec) = rx.recv() {
+                        worker_metrics.queue_depth.add(-1);
+                        let decision = lock_analyzer(&worker_analyzer).push(&rec);
+                        worker_metrics.records_in.inc();
+                        match decision {
+                            StreamDecision::NotFatal => {}
+                            StreamDecision::MergedTemporal => {
+                                worker_metrics.fatal_in.inc();
+                                worker_metrics.merged_temporal.inc();
+                            }
+                            StreamDecision::MergedSpatial => {
+                                worker_metrics.fatal_in.inc();
+                                worker_metrics.merged_spatial.inc();
+                            }
+                            StreamDecision::NewEvent { warn } => {
+                                worker_metrics.fatal_in.inc();
+                                worker_metrics.events_out.inc();
+                                if warn {
+                                    worker_metrics.warnings.inc();
+                                }
+                                worker_ring.push(EventEntry {
+                                    recid: rec.recid,
+                                    time: rec.event_time,
+                                    location: rec.location.to_string(),
+                                    code: Catalog::standard().info(rec.errcode).name.to_owned(),
+                                    warn,
+                                    shard,
+                                });
+                            }
+                        }
+                        since_evict += 1;
+                        if since_evict >= EVICT_EVERY {
+                            since_evict = 0;
+                            lock_analyzer(&worker_analyzer).evict_before(rec.event_time, horizon);
+                        }
+                    }
+                })
+                .map_err(ServeError::Spawn)?;
+            senders.push(tx);
+            workers.push(handle);
+            analyzers.push(analyzer);
+        }
+        Ok(ShardPool {
+            senders: Mutex::new(Some(senders)),
+            workers: Mutex::new(workers),
+            analyzers,
+            shards,
+        })
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Route one record to its shard.
+    ///
+    /// Bounded-queue semantics: a full queue counts one backpressure stall
+    /// on `metrics` and then blocks until the worker catches up — the record
+    /// is never dropped. Returns [`ServeError::PoolClosed`] after
+    /// [`ShardPool::close`].
+    pub fn push(&self, rec: RasRecord, metrics: &ServeMetrics) -> Result<(), ServeError> {
+        let sender = {
+            let guard = self.senders.lock().unwrap_or_else(PoisonError::into_inner);
+            let Some(senders) = guard.as_ref() else {
+                return Err(ServeError::PoolClosed);
+            };
+            senders
+                .get(rec.errcode.index() % self.shards)
+                .cloned()
+                .ok_or(ServeError::PoolClosed)?
+        };
+        metrics.queue_depth.add(1);
+        match sender.try_send(rec) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(rec)) => {
+                metrics.backpressure_stalls.inc();
+                sender.send(rec).map_err(|_| {
+                    metrics.queue_depth.add(-1);
+                    ServeError::PoolClosed
+                })
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                metrics.queue_depth.add(-1);
+                Err(ServeError::PoolClosed)
+            }
+        }
+    }
+
+    /// Merged snapshot across all shards — the global stream totals.
+    pub fn counters(&self) -> StreamCounters {
+        self.analyzers
+            .iter()
+            .map(|a| lock_analyzer(a).counters())
+            .fold(StreamCounters::default(), StreamCounters::merge)
+    }
+
+    /// Per-shard snapshots (diagnostics, tests).
+    pub fn shard_counters(&self) -> Vec<StreamCounters> {
+        self.analyzers
+            .iter()
+            .map(|a| lock_analyzer(a).counters())
+            .collect()
+    }
+
+    /// Stop accepting records. Queued records are still drained.
+    pub fn close(&self) {
+        let mut guard = self.senders.lock().unwrap_or_else(PoisonError::into_inner);
+        *guard = None;
+    }
+
+    /// Is the pool closed?
+    pub fn is_closed(&self) -> bool {
+        self.senders
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .is_none()
+    }
+
+    /// Wait for every worker to drain its queue and exit. Call after
+    /// [`ShardPool::close`]; the merged [`ShardPool::counters`] afterwards
+    /// reflect every record ever accepted by [`ShardPool::push`].
+    pub fn join(&self) {
+        let workers: Vec<JoinHandle<()>> = {
+            let mut guard = self.workers.lock().unwrap_or_else(PoisonError::into_inner);
+            guard.drain(..).collect()
+        };
+        for h in workers {
+            if let Err(payload) = h.join() {
+                // A worker panicked (impossible by construction — the loop
+                // has no panic paths). Re-raise rather than swallow.
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+    use bgp_model::Timestamp;
+
+    fn pool_fixture(shards: usize, cap: usize) -> (ShardPool, Arc<ServeMetrics>, Arc<EventRing>) {
+        let registry = Registry::new();
+        let metrics = Arc::new(ServeMetrics::register(&registry));
+        let ring = Arc::new(EventRing::new(64));
+        let cfg = ShardConfig {
+            shards,
+            queue_capacity: cap,
+            temporal: Duration::minutes(5),
+            spatial: Duration::minutes(5),
+            impact: None,
+        };
+        let pool = ShardPool::start(&cfg, &metrics, &ring).expect("pool starts");
+        (pool, metrics, ring)
+    }
+
+    fn rec(recid: u64, t: i64, name: &str) -> RasRecord {
+        RasRecord::new(
+            recid,
+            Timestamp::from_unix(t),
+            "R00-M0-N00-J00".parse().unwrap(),
+            Catalog::standard().lookup(name).unwrap(),
+        )
+    }
+
+    #[test]
+    fn pool_matches_single_analyzer_and_drains_on_close() {
+        let (pool, metrics, ring) = pool_fixture(4, 8);
+        let mut single = OnlineAnalyzer::new();
+        let names = [
+            "_bgp_err_kernel_panic",
+            "_bgp_err_ddr_controller",
+            "BULK_POWER_FATAL",
+            "_bgp_warn_ecc_corrected",
+        ];
+        let records: Vec<RasRecord> = (0..500)
+            .map(|i| rec(i, i as i64 * 120, names[i as usize % names.len()]))
+            .collect();
+        for r in &records {
+            single.push(r);
+            pool.push(*r, &metrics).expect("pool accepts");
+        }
+        pool.close();
+        pool.join();
+        assert!(pool.push(records[0], &metrics).is_err());
+        let merged = pool.counters();
+        assert_eq!(merged.records_in, single.counters().records_in);
+        assert_eq!(merged.fatal_in, single.counters().fatal_in);
+        assert_eq!(merged.events_out, single.counters().events_out);
+        assert_eq!(merged.merged_temporal, single.counters().merged_temporal);
+        assert_eq!(merged.merged_spatial, single.counters().merged_spatial);
+        // Atomic metrics agree with the analyzer-side merge.
+        assert_eq!(metrics.records_in.get(), merged.records_in);
+        assert_eq!(metrics.events_out.get(), merged.events_out);
+        assert_eq!(metrics.queue_depth.get(), 0);
+        assert_eq!(ring.total_pushed(), merged.events_out);
+    }
+
+    #[test]
+    fn full_queue_counts_backpressure_but_loses_nothing() {
+        // One shard, tiny queue, slow consumer: the pusher must stall, the
+        // stall must be counted, and every record must still arrive.
+        let (pool, metrics, _ring) = pool_fixture(1, 2);
+        for i in 0..200 {
+            pool.push(rec(i, i as i64 * 7_000, "_bgp_err_kernel_panic"), &metrics)
+                .expect("push succeeds");
+        }
+        pool.close();
+        pool.join();
+        assert_eq!(pool.counters().records_in, 200);
+        assert!(
+            metrics.backpressure_stalls.get() > 0,
+            "a 2-slot queue fed 200 records back-to-back must stall"
+        );
+        assert_eq!(metrics.queue_depth.get(), 0);
+    }
+}

@@ -6,18 +6,21 @@
 //! coctl analyze RAS.log JOBS.log                  # full co-analysis -> observations
 //! coctl filter RAS.log JOBS.log -o CLEAN.log      # write the deduplicated event log
 //! coctl outages RAS.log JOBS.log                  # reconstructed outage episodes
+//! coctl serve --ingest ADDR --http ADDR           # streaming daemon (alias of coserved)
 //! ```
 //!
 //! Log-reading subcommands accept `--snapshot DIR`: parsed logs are cached
 //! there as `.bgpsnap` files and transparently reused on re-runs (stale or
 //! corrupt snapshots fall back to re-parsing and are rewritten).
 //!
-//! Exit codes: 0 success, 1 usage error, 2 I/O or parse failure.
+//! Exit codes: 0 success, 1 usage error, 2 I/O or parse failure,
+//! 3 unknown subcommand.
 
+use bgp_coanalysis::bgp_serve::{self, ServeConfig, ServeError, StageTimer};
 use bgp_coanalysis::bgp_sim::{SimConfig, Simulation};
 use bgp_coanalysis::coanalysis::analysis::repair::{reconstruct_outages, summarize};
 use bgp_coanalysis::coanalysis::{load, AnalysisSet, CoAnalysis, Event, StageId};
-use bgp_coanalysis::coanalysis::{LoadOptions, SnapshotStatus};
+use bgp_coanalysis::coanalysis::{AnalysisContext, LoadOptions, SnapshotStatus};
 use bgp_coanalysis::joblog::{self, JobLog};
 use bgp_coanalysis::raslog::{self, LogSummary, RasLog};
 use std::fs::File;
@@ -37,8 +40,14 @@ fn main() -> ExitCode {
         "analyze" => cmd_analyze(rest),
         "filter" => cmd_filter(rest),
         "outages" => cmd_outages(rest),
+        "serve" => cmd_serve(rest),
         "--help" | "-h" | "help" => return usage(""),
-        other => return usage(&format!("unknown subcommand {other:?}")),
+        other => {
+            // Distinct exit code so scripts can tell a typo'd subcommand
+            // from an ordinary usage error.
+            let _ = usage(&format!("unknown subcommand {other:?}"));
+            return ExitCode::from(3);
+        }
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -71,12 +80,14 @@ fn usage(err: &str) -> ExitCode {
          usage:\n\
          \x20 coctl simulate [--days N] [--seed S] [--out DIR]\n\
          \x20 coctl summary RAS.log [--snapshot DIR]\n\
-         \x20 coctl analyze RAS.log JOBS.log [--snapshot DIR]\n\
+         \x20 coctl analyze RAS.log JOBS.log [--snapshot DIR] [--timings] [--impact-out FILE]\n\
          \x20 coctl filter RAS.log JOBS.log -o CLEAN.log [--snapshot DIR]\n\
          \x20 coctl outages RAS.log JOBS.log [--snapshot DIR]\n\
+         \x20 coctl serve [--ingest ADDR] [--http ADDR] [--shards N] [--impact FILE] ...\n\
          \n\
          --snapshot DIR caches parsed logs as .bgpsnap files in DIR and\n\
-         reuses them on re-runs (stale snapshots are re-parsed and rewritten)."
+         reuses them on re-runs (stale snapshots are re-parsed and rewritten).\n\
+         serve runs the streaming daemon (see `coserved --help` for its flags)."
     );
     if err.is_empty() {
         ExitCode::SUCCESS
@@ -221,11 +232,52 @@ fn cmd_summary(args: &[String]) -> Result<(), CliError> {
 
 fn cmd_analyze(args: &[String]) -> Result<(), CliError> {
     let (rest, opts) = snapshot_opts(args)?;
-    let [ras_path, jobs_path] = &rest[..] else {
-        return Err(CliError::Usage("analyze needs RAS.log and JOBS.log".into()));
+    let mut timings = false;
+    let mut impact_out: Option<PathBuf> = None;
+    let mut positional: Vec<&String> = Vec::new();
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--timings" => timings = true,
+            "--impact-out" => {
+                impact_out =
+                    Some(PathBuf::from(it.next().ok_or_else(|| {
+                        CliError::Usage("--impact-out needs a path".into())
+                    })?));
+            }
+            _ => positional.push(a),
+        }
+    }
+    let [ras_path, jobs_path] = positional[..] else {
+        return Err(CliError::Usage(
+            "analyze needs RAS.log and JOBS.log (+ optional --timings, --impact-out FILE)".into(),
+        ));
     };
     let (ras, jobs) = load_both(ras_path, jobs_path, &opts)?;
-    let r = CoAnalysis::default().run(&ras, &jobs);
+    let registry = bgp_serve::Registry::new();
+    let r = if timings {
+        // Observed run: same products, plus per-stage wall-clock published
+        // into the same registry kind the daemon serves at /metrics.
+        let timer = StageTimer::new(&registry);
+        let ctx = AnalysisContext::new(&ras, &jobs);
+        CoAnalysis::default()
+            .run_on_observed(&ctx, AnalysisSet::all(), &timer)
+            .into_result()
+            .ok_or_else(|| CliError::Io("full analysis set left a product empty".into()))
+            .inspect(|_| print!("{}", timer.report()))?
+    } else {
+        CoAnalysis::default().run(&ras, &jobs)
+    };
+    if let Some(path) = impact_out {
+        let mut w = BufWriter::new(File::create(&path)?);
+        bgp_serve::write_impact(&mut w, &r.impact)?;
+        w.flush()?;
+        println!(
+            "wrote {} impact verdicts to {} (load with coserved --impact)",
+            r.impact.per_code.len(),
+            path.display()
+        );
+    }
     let s = &r.filter_stats;
     println!(
         "filtering: {} FATAL -> {} events (-{:.2}%), job-related -> {} (-{:.2}%)",
@@ -242,6 +294,15 @@ fn cmd_analyze(args: &[String]) -> Result<(), CliError> {
         r.interruption.application.count
     );
     println!("{}", r.observations());
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), CliError> {
+    let cfg = ServeConfig::from_args(args).map_err(|e| CliError::Usage(e.to_string()))?;
+    bgp_serve::run(&cfg, &mut std::io::stdout()).map_err(|e| match e {
+        ServeError::Config(_) => CliError::Usage(e.to_string()),
+        other => CliError::Io(other.to_string()),
+    })?;
     Ok(())
 }
 

@@ -45,9 +45,45 @@ fn no_args_prints_usage_and_fails() {
 }
 
 #[test]
-fn unknown_subcommand_fails_cleanly() {
+fn unknown_subcommand_exits_with_distinct_code_and_lists_serve() {
     let out = coctl().arg("frobnicate").output().unwrap();
+    // 3, not the generic usage error 1: scripts can tell a typo'd
+    // subcommand from bad flags.
+    assert_eq!(out.status.code(), Some(3));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown subcommand"));
+    assert!(err.contains("coctl serve"), "usage must list serve: {err}");
+}
+
+#[test]
+fn missing_subcommand_usage_lists_serve() {
+    let out = coctl().output().unwrap();
     assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("missing subcommand"));
+    assert!(err.contains("coctl serve"), "usage must list serve: {err}");
+}
+
+#[test]
+fn serve_with_bad_flags_is_a_usage_error() {
+    let out = coctl().args(["serve", "--bogus"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag"));
+    let out = coctl().args(["serve", "--shards", "0"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--shards"));
+}
+
+#[test]
+fn coserved_help_and_bad_flags() {
+    let coserved = || Command::new(env!("CARGO_BIN_EXE_coserved"));
+    let out = coserved().arg("--help").output().unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--ingest") && err.contains("/metrics"));
+    let out = coserved().args(["--queue-cap", "zero"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--queue-cap"));
 }
 
 #[test]
@@ -82,6 +118,36 @@ fn analyze_prints_the_observations() {
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("Obs 12"));
     assert!(text.contains("filtering:"));
+}
+
+#[test]
+fn analyze_timings_and_impact_out() {
+    let dir = site_logs();
+    let impact = dir.join("impact.txt");
+    let out = coctl()
+        .arg("analyze")
+        .arg(dir.join("ras.log"))
+        .arg(dir.join("jobs.log"))
+        .arg("--timings")
+        .arg("--impact-out")
+        .arg(&impact)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    // The observed run produces the same report plus per-stage wall times.
+    assert!(text.contains("Obs 12"));
+    assert!(text.contains("stage timings:"));
+    assert!(text.contains("temporal-spatial"));
+    // The impact file round-trips through the serve-side parser.
+    let written = std::fs::read_to_string(&impact).unwrap();
+    assert!(written.starts_with("# bgp-impact v1"));
+    let parsed = bgp_coanalysis::bgp_serve::parse_impact(&written, "impact.txt").unwrap();
+    assert!(!parsed.per_code.is_empty());
 }
 
 #[test]
