@@ -1,0 +1,238 @@
+//! The `--bench-json` pipeline benchmark behind `BENCH_PIPELINE.json`.
+//!
+//! Simulates Intrepid at paper scale (the 237-day calibrated window) and at
+//! 10× that, runs the full pipeline once with a wall-clock stage observer,
+//! then times the three rewritten kernels — matching, root-cause
+//! classification, vulnerability ranking — head-to-head against the
+//! pre-optimization reference implementations in [`crate::baseline`] on the
+//! exact same inputs. Kernel times are the minimum over several repetitions
+//! (the honest estimate on a noisy machine); every head-to-head also checks
+//! the optimized output equals the baseline output and records the verdict
+//! in the JSON, so a regression in either speed or semantics shows up in
+//! the committed artifact.
+//!
+//! Schema (`"schema": "bench-pipeline/v1"`): see the README "Benchmarks"
+//! section for the field-by-field description and how to regenerate.
+
+use crate::baseline;
+use crate::json::Json;
+use bgp_sim::{SimConfig, Simulation};
+use coanalysis::analysis::VulnerabilityAnalysis;
+use coanalysis::classify::{classify_root_cause_with_threads, RootCauseSummary};
+use coanalysis::matching::Matching;
+use coanalysis::{
+    AnalysisContext, AnalysisSet, CoAnalysis, CoAnalysisConfig, StageId, StageObserver,
+};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// How many times each kernel is run per measurement; the reported time is
+/// the minimum (then the pair is measured again, interleaved, to keep a
+/// frequency ramp from favoring whichever ran last). The paper-scale
+/// matching and classification kernels finish in well under a millisecond,
+/// so the min needs a healthy sample to shed scheduler noise.
+const REPS: usize = 15;
+
+/// One kernel's head-to-head result.
+struct KernelResult {
+    name: &'static str,
+    baseline_ms: f64,
+    optimized_ms: f64,
+    matches_baseline: bool,
+}
+
+impl KernelResult {
+    fn speedup(&self) -> f64 {
+        if self.optimized_ms > 0.0 {
+            self.baseline_ms / self.optimized_ms
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Records per-stage wall clock, in execution order.
+#[derive(Default)]
+struct WallClockObserver {
+    started: Mutex<Vec<(StageId, Instant)>>,
+    finished: Mutex<Vec<(StageId, f64)>>,
+}
+
+impl StageObserver for WallClockObserver {
+    fn stage_started(&self, id: StageId) {
+        if let Ok(mut s) = self.started.lock() {
+            s.push((id, Instant::now()));
+        }
+    }
+
+    fn stage_finished(&self, id: StageId) {
+        let t0 = self.started.lock().ok().and_then(|s| {
+            s.iter()
+                .rev()
+                .find(|(sid, _)| sid.name() == id.name())
+                .map(|&(_, t)| t)
+        });
+        if let (Some(t0), Ok(mut f)) = (t0, self.finished.lock()) {
+            f.push((id, t0.elapsed().as_secs_f64() * 1e3));
+        }
+    }
+}
+
+/// Time `f` as the minimum wall clock over `reps` runs, returning
+/// (min milliseconds, last output).
+fn time_min<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, Option<T>) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        let v = f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+        out = Some(v);
+    }
+    (best, out)
+}
+
+/// Benchmark one simulated scale end to end; `label` names it in the JSON.
+fn bench_scale(label: &str, cfg: SimConfig, threads: usize, reps: usize) -> Json {
+    let days = cfg.days;
+    let out = match Simulation::new(cfg) {
+        Ok(sim) => sim.run(),
+        Err(e) => {
+            return crate::json!({ "name": label, "error": format!("sim config: {e}") });
+        }
+    };
+    let records = out.ras.len() + out.jobs.len();
+
+    // One observed full-pipeline run for the per-stage wall clock.
+    let observer = WallClockObserver::default();
+    let pipeline = CoAnalysis::with_config(CoAnalysisConfig {
+        threads,
+        ..CoAnalysisConfig::default()
+    });
+    let ctx = AnalysisContext::new(&out.ras, &out.jobs);
+    let t_run = Instant::now();
+    let products = pipeline.run_on_observed(&ctx, AnalysisSet::all(), &observer);
+    let analyze_ms = t_run.elapsed().as_secs_f64() * 1e3;
+    let Some(r) = products.into_result() else {
+        return crate::json!({ "name": label, "error": "pipeline left a product empty" });
+    };
+    let stage_ms: Vec<(StageId, f64)> = observer
+        .finished
+        .into_inner()
+        .unwrap_or_else(|e| e.into_inner());
+    let stages: Vec<Json> = stage_ms
+        .iter()
+        .map(|&(id, ms)| crate::json!({ "stage": id.name(), "ms": ms }))
+        .collect();
+
+    // Kernel head-to-heads on the pipeline's own intermediate products.
+    let matcher = pipeline.config.matcher;
+    let events = &r.events;
+    let fatal_counts = r.midplane.fatal_counts.as_slice();
+
+    let (base_ms, base_out) = time_min(reps, || baseline::match_events(&matcher, events, &ctx));
+    let (opt_ms, opt_out) = time_min(reps, || matcher.run_with_threads(events, &ctx, threads));
+    let matching_kernel = KernelResult {
+        name: "matching",
+        baseline_ms: base_ms,
+        optimized_ms: opt_ms,
+        matches_baseline: matches(&base_out, &opt_out),
+    };
+    let matching: Matching = opt_out.unwrap_or_default();
+
+    let (base_ms, base_out) = time_min(reps, || {
+        baseline::classify_root_cause(events, &matching, &ctx)
+    });
+    let (opt_ms, opt_out) = time_min(reps, || {
+        classify_root_cause_with_threads(events, &matching, &ctx, threads)
+    });
+    let root_cause_kernel = KernelResult {
+        name: "root-cause",
+        baseline_ms: base_ms,
+        optimized_ms: opt_ms,
+        matches_baseline: matches(&base_out, &opt_out),
+    };
+    let root_cause: RootCauseSummary = opt_out.unwrap_or_default();
+
+    let (base_ms, base_out) = time_min(reps, || {
+        baseline::vulnerability(events, &matching, &root_cause, &ctx, fatal_counts)
+    });
+    let (opt_ms, opt_out) = time_min(reps, || {
+        VulnerabilityAnalysis::new_with_threads(
+            events,
+            &matching,
+            &root_cause,
+            &ctx,
+            fatal_counts,
+            threads,
+        )
+    });
+    let vulnerability_kernel = KernelResult {
+        name: "vulnerability",
+        baseline_ms: base_ms,
+        optimized_ms: opt_ms,
+        matches_baseline: matches(&base_out, &opt_out),
+    };
+
+    let kernels: Vec<Json> = [matching_kernel, root_cause_kernel, vulnerability_kernel]
+        .iter()
+        .map(|k| {
+            crate::json!({
+                "kernel": k.name,
+                "baseline_ms": k.baseline_ms,
+                "optimized_ms": k.optimized_ms,
+                "speedup": k.speedup(),
+                "matches_baseline": k.matches_baseline,
+            })
+        })
+        .collect();
+
+    let analyze_secs = analyze_ms / 1e3;
+    crate::json!({
+        "name": label,
+        "sim_days": days,
+        "ras_records": out.ras.len(),
+        "jobs": out.jobs.len(),
+        "filtered_events": r.events.len(),
+        "analyze_ms": analyze_ms,
+        "records_per_sec": if analyze_secs > 0.0 { records as f64 / analyze_secs } else { 0.0 },
+        "stages": Json::Arr(stages),
+        "kernels": Json::Arr(kernels),
+    })
+}
+
+fn matches<T: PartialEq>(a: &Option<T>, b: &Option<T>) -> bool {
+    match (a, b) {
+        (Some(a), Some(b)) => a == b,
+        _ => false,
+    }
+}
+
+/// Run the pipeline benchmark and return the `BENCH_PIPELINE.json` tree.
+///
+/// `quick` benches only the 12-day test preset (the CI smoke mode);
+/// otherwise the paper-scale window and a 10× window are both measured.
+pub fn run(quick: bool, threads: usize, seed: u64) -> Json {
+    let scales: Vec<Json> = if quick {
+        vec![bench_scale(
+            "quick",
+            SimConfig::small_test(seed),
+            threads,
+            3,
+        )]
+    } else {
+        let mut ten_x = SimConfig::intrepid_2009(seed);
+        ten_x.days *= 10;
+        vec![
+            bench_scale("paper", SimConfig::intrepid_2009(seed), threads, REPS),
+            bench_scale("10x", ten_x, threads, 5),
+        ]
+    };
+    crate::json!({
+        "schema": "bench-pipeline/v1",
+        "threads": threads,
+        "seed": seed,
+        "quick": quick,
+        "scales": Json::Arr(scales),
+    })
+}

@@ -12,6 +12,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
+pub mod bench_pipeline;
 pub mod experiments;
 pub mod json;
 pub mod render;

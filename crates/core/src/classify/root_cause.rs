@@ -18,9 +18,14 @@
 use crate::context::AnalysisContext;
 use crate::event::Event;
 use crate::matching::Matching;
-use bgp_stats::pearson::pearson;
 use raslog::ErrCode;
 use std::collections::HashMap;
+
+/// Below this many codes per thread the per-code loops run serially:
+/// spawning a worker costs more than classifying a handful of codes, and
+/// the output is bit-identical either way (sharding is a pure performance
+/// policy).
+const MIN_CODES_PER_THREAD: usize = 32;
 
 /// The root-cause verdict for a code.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -93,126 +98,120 @@ pub fn classify_root_cause(
     matching: &Matching,
     ctx: &AnalysisContext<'_>,
 ) -> RootCauseSummary {
+    classify_root_cause_with_threads(events, matching, ctx, 1)
+}
+
+/// One interruption attributed to a code: (midplane index, executable,
+/// event time).
+type Hit = (u8, joblog::ExecId, bgp_model::Timestamp);
+
+/// A code paired with its slice of the code-sorted hit list.
+type CodeHits<'a> = (ErrCode, &'a [(ErrCode, Hit)]);
+
+/// [`classify_root_cause`] with the per-code rule loops sharded over up to
+/// `threads` chunks of the code-sorted evidence list.
+///
+/// Contract: bit-identical to the single-threaded classification at every
+/// thread count — each code's verdict is a pure function of its own
+/// evidence (rules 1–3) or of the rule-1–3 labeled set (rule 4), so
+/// sharding codes across threads cannot change any verdict.
+pub fn classify_root_cause_with_threads(
+    events: &[Event],
+    matching: &Matching,
+    ctx: &AnalysisContext<'_>,
+    threads: usize,
+) -> RootCauseSummary {
     assert_eq!(events.len(), matching.per_event.len());
     let mut summary = RootCauseSummary::default();
 
-    // Gather per-code evidence.
-    #[derive(Default)]
-    struct Evidence {
-        /// Did any event of this code have a victim?
-        interrupts: bool,
-        /// (midplane, executable, time) triples of interruptions.
-        hits: Vec<(u8, joblog::ExecId, bgp_model::Timestamp)>,
-    }
-    let mut evidence: HashMap<ErrCode, Evidence> = HashMap::new();
+    // Gather per-code evidence: every distinct code (even victimless ones)
+    // and its interruption hits, grouped by code via one stable sort
+    // instead of a hash map of per-code vectors.
+    let mut codes: Vec<ErrCode> = events.iter().map(|e| e.errcode).collect();
+    codes.sort_unstable();
+    codes.dedup();
+    let mut hits: Vec<(ErrCode, Hit)> = Vec::new();
     for (e, m) in events.iter().zip(&matching.per_event) {
-        let ev = evidence.entry(e.errcode).or_default();
         for &job_id in &m.victims {
             if let Some(job) = ctx.job(job_id) {
-                ev.interrupts = true;
-                ev.hits.push((
-                    job.partition.first().map_or(0, |m| m.index()) as u8,
-                    job.exec,
-                    e.time,
+                hits.push((
+                    e.errcode,
+                    (
+                        job.partition.first().map_or(0, |m| m.index()) as u8,
+                        job.exec,
+                        e.time,
+                    ),
                 ));
             }
         }
     }
+    hits.sort_by_key(|&(code, _)| code); // stable: keeps event order per code
 
-    for (&code, ev) in &evidence {
-        // Rule 1.
-        if !ev.interrupts {
-            summary
-                .per_code
-                .insert(code, (RootCause::SystemFailure, RootCauseRule::IdleOnly));
-            continue;
-        }
-        // Rule 2: *consecutive* interruptions of different executables at
-        // one location, with no clean run there in between — the scheduler
-        // feeding fresh jobs to broken hardware. Without the
-        // consecutiveness requirement, two unrelated buggy executables that
-        // happen to share a popular midplane would mislabel an application
-        // code as a system failure.
-        let mut by_location: HashMap<u8, Vec<(joblog::ExecId, bgp_model::Timestamp)>> =
-            HashMap::new();
-        for &(mp, exec, t) in &ev.hits {
-            by_location.entry(mp).or_default().push((exec, t));
-        }
-        let mut sticky = false;
-        'outer: for (&mp_idx, hits) in by_location.iter_mut() {
-            hits.sort_by_key(|&(_, t)| t);
-            let Ok(mp) = bgp_model::MidplaneId::from_index(mp_idx) else {
-                continue;
-            };
-            for pair in hits.windows(2) {
-                let ((exec_a, t_a), (exec_b, t_b)) = (pair[0], pair[1]);
-                if exec_a == exec_b {
-                    continue; // same executable: could be its own bug
-                }
-                let clean_between = ctx.overlapping(mp, t_a, t_b).iter().any(|j| {
-                    j.start_time > t_a
-                        && j.end_time < t_b
-                        && !matching.job_to_event.contains_key(&j.job_id)
-                });
-                if !clean_between {
-                    sticky = true;
-                    break 'outer;
-                }
-            }
-        }
-        if sticky {
-            summary.per_code.insert(
-                code,
-                (RootCause::SystemFailure, RootCauseRule::StickyLocation),
-            );
-            continue;
-        }
-        // Rule 3 (the paper's Figure 2): the code follows one executable
-        // across locations, AND the old location goes quiet — if the code
-        // keeps firing at the old location after the executable has moved
-        // on, the hardware there is suspect, not the executable.
-        let mut by_exec: HashMap<joblog::ExecId, Vec<(u8, bgp_model::Timestamp)>> = HashMap::new();
-        for &(mp, exec, t) in &ev.hits {
-            by_exec.entry(exec).or_default().push((mp, t));
-        }
-        let mut follows = false;
-        'exec_scan: for hits in by_exec.values_mut() {
-            hits.sort_by_key(|&(_, t)| t);
-            for w in hits.windows(2) {
-                let ((m1, t1), (m2, _t2)) = (w[0], w[1]);
-                if m1 == m2 {
-                    continue;
-                }
-                // Old location quiet: no interruption of this code at m1
-                // after t1 (by anyone).
-                let old_location_quiet = !ev.hits.iter().any(|&(mp, _, t)| mp == m1 && t > t1);
-                if old_location_quiet {
-                    follows = true;
-                    break 'exec_scan;
-                }
-            }
-        }
-        if follows {
-            summary.per_code.insert(
-                code,
-                (
-                    RootCause::ApplicationError,
-                    RootCauseRule::FollowsExecutable,
-                ),
-            );
-            continue;
-        }
-        // Defer to the correlation fallback.
+    // Pair each code with its hit slice (codes and hits are both sorted).
+    let mut per_code_hits: Vec<CodeHits<'_>> = Vec::with_capacity(codes.len());
+    let mut lo = 0usize;
+    for &code in &codes {
+        let start = lo
+            + hits
+                .get(lo..)
+                .map_or(0, |rest| rest.partition_point(|&(c, _)| c < code));
+        let end = start
+            + hits
+                .get(start..)
+                .map_or(0, |rest| rest.partition_point(|&(c, _)| c <= code));
+        per_code_hits.push((code, hits.get(start..end).unwrap_or(&[])));
+        lo = end;
     }
 
-    // Rule 4: Pearson fallback over daily occurrence profiles.
-    let unlabeled: Vec<ErrCode> = evidence
-        .keys()
+    // Rules 1–3, sharded over contiguous chunks of the code-sorted list;
+    // every chunk reuses its own grouping scratch across codes.
+    let verdicts: Vec<Option<(RootCause, RootCauseRule)>> =
+        if threads <= 1 || per_code_hits.len() < threads.saturating_mul(MIN_CODES_PER_THREAD) {
+            let mut scratch = RuleScratch::default();
+            per_code_hits
+                .iter()
+                .map(|&(_, h)| classify_one(h, matching, ctx, &mut scratch))
+                .collect()
+        } else {
+            let size = per_code_hits.len().div_ceil(threads).max(1);
+            let chunks: Vec<&[CodeHits<'_>]> = per_code_hits.chunks(size).collect();
+            bgp_model::bytes::map_chunks_parallel(&chunks, |chunk| {
+                let mut scratch = RuleScratch::default();
+                chunk
+                    .iter()
+                    .map(|&(_, h)| classify_one(h, matching, ctx, &mut scratch))
+                    .collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect()
+        };
+    for (&code, verdict) in codes.iter().zip(&verdicts) {
+        if let Some(v) = verdict {
+            summary.per_code.insert(code, *v);
+        }
+    }
+
+    // Rule 4: Pearson fallback over daily occurrence profiles. Each
+    // unlabeled code's decision reads only the rule-1–3 labeled set, so
+    // the per-code loop shards exactly.
+    let unlabeled: Vec<ErrCode> = codes
+        .iter()
         .filter(|c| !summary.per_code.contains_key(c))
         .copied()
         .collect();
     if !unlabeled.is_empty() {
         let profiles = daily_profiles(events);
+        // Center every usable profile once: each pairwise Pearson then
+        // costs a single dot product instead of two full passes (means and
+        // moments) over both vectors. Profiles `pearson` would reject
+        // (too short, NaN, zero variance) are not centered at all, so
+        // pairs involving them are skipped exactly where the `pearson`
+        // errors used to be — the surviving correlations are bit-identical.
+        let centered: HashMap<ErrCode, Centered> = profiles
+            .iter()
+            .filter_map(|(&c, v)| center(v).map(|cen| (c, cen)))
+            .collect();
         let mut labeled: Vec<(ErrCode, RootCause)> = summary
             .per_code
             .iter()
@@ -221,23 +220,43 @@ pub fn classify_root_cause(
         // Deterministic order so equal correlations always pick the same
         // winner (HashMap iteration order must not leak into results).
         labeled.sort_by_key(|&(c, _)| c);
-        for code in unlabeled {
+        let labeled_profiles: Vec<(RootCause, &Centered)> = labeled
+            .iter()
+            .filter_map(|&(other, cause)| centered.get(&other).map(|q| (cause, q)))
+            .collect();
+        let fallback_one = |code: ErrCode| {
             let mut best: Option<(f64, RootCause)> = None;
-            if let Some(p) = profiles.get(&code) {
-                for &(other, cause) in &labeled {
-                    if let Some(q) = profiles.get(&other) {
-                        if let Ok(r) = pearson(p, q) {
-                            if best.is_none_or(|(b, _)| r > b) {
-                                best = Some((r, cause));
-                            }
-                        }
+            if let Some(p) = centered.get(&code) {
+                for &(cause, q) in &labeled_profiles {
+                    let mut sxy = 0.0;
+                    for (dx, dy) in p.dxs.iter().zip(&q.dxs) {
+                        sxy += dx * dy;
+                    }
+                    let r = (sxy / (p.norm * q.norm)).clamp(-1.0, 1.0);
+                    if best.is_none_or(|(b, _)| r > b) {
+                        best = Some((r, cause));
                     }
                 }
             }
             // With no usable correlation, fall back to the pessimistic
             // default: treat it as a system failure (an administrator can
             // act on that; blaming a user needs positive evidence).
-            let cause = best.map_or(RootCause::SystemFailure, |(_, c)| c);
+            best.map_or(RootCause::SystemFailure, |(_, c)| c)
+        };
+        let causes: Vec<RootCause> =
+            if threads <= 1 || unlabeled.len() < threads.saturating_mul(MIN_CODES_PER_THREAD) {
+                unlabeled.iter().map(|&c| fallback_one(c)).collect()
+            } else {
+                let size = unlabeled.len().div_ceil(threads).max(1);
+                let chunks: Vec<&[ErrCode]> = unlabeled.chunks(size).collect();
+                bgp_model::bytes::map_chunks_parallel(&chunks, |chunk| {
+                    chunk.iter().map(|&c| fallback_one(c)).collect::<Vec<_>>()
+                })
+                .into_iter()
+                .flatten()
+                .collect()
+            };
+        for (&code, &cause) in unlabeled.iter().zip(&causes) {
             summary
                 .per_code
                 .insert(code, (cause, RootCauseRule::CorrelationFallback));
@@ -246,16 +265,170 @@ pub fn classify_root_cause(
     summary
 }
 
+/// Reusable grouping buffers for the rule-2/rule-3 scans — one allocation
+/// per chunk instead of two hash maps of vectors per code.
+#[derive(Default)]
+struct RuleScratch {
+    /// Hits keyed for rule 2: sorted by (midplane, time).
+    by_location: Vec<Hit>,
+    /// Hits keyed for rule 3: (exec, midplane, time), sorted by (exec, time).
+    by_exec: Vec<(joblog::ExecId, u8, bgp_model::Timestamp)>,
+}
+
+/// Rules 1–3 for one code; `None` defers to the correlation fallback.
+fn classify_one(
+    code_hits: &[(ErrCode, Hit)],
+    matching: &Matching,
+    ctx: &AnalysisContext<'_>,
+    scratch: &mut RuleScratch,
+) -> Option<(RootCause, RootCauseRule)> {
+    // Rule 1: never interrupted anything.
+    if code_hits.is_empty() {
+        return Some((RootCause::SystemFailure, RootCauseRule::IdleOnly));
+    }
+    // Rule 2: *consecutive* interruptions of different executables at
+    // one location, with no clean run there in between — the scheduler
+    // feeding fresh jobs to broken hardware. Without the
+    // consecutiveness requirement, two unrelated buggy executables that
+    // happen to share a popular midplane would mislabel an application
+    // code as a system failure.
+    scratch.by_location.clear();
+    scratch
+        .by_location
+        .extend(code_hits.iter().map(|&(_, h)| h));
+    scratch.by_location.sort_by_key(|&(mp, _, t)| (mp, t));
+    let mut sticky = false;
+    'outer: for group in chunk_by_key(&scratch.by_location, |&(mp, _, _)| mp) {
+        let Some(&(mp_idx, _, _)) = group.first() else {
+            continue;
+        };
+        let Ok(mp) = bgp_model::MidplaneId::from_index(mp_idx) else {
+            continue;
+        };
+        for pair in group.windows(2) {
+            let ((_, exec_a, t_a), (_, exec_b, t_b)) = (pair[0], pair[1]);
+            if exec_a == exec_b {
+                continue; // same executable: could be its own bug
+            }
+            let mut clean_between = false;
+            ctx.for_each_overlapping(mp, t_a, t_b, |j| {
+                clean_between = clean_between
+                    || (j.start_time > t_a
+                        && j.end_time < t_b
+                        && !matching.job_to_event.contains_key(&j.job_id));
+            });
+            if !clean_between {
+                sticky = true;
+                break 'outer;
+            }
+        }
+    }
+    if sticky {
+        return Some((RootCause::SystemFailure, RootCauseRule::StickyLocation));
+    }
+    // Rule 3 (the paper's Figure 2): the code follows one executable
+    // across locations, AND the old location goes quiet — if the code
+    // keeps firing at the old location after the executable has moved
+    // on, the hardware there is suspect, not the executable.
+    scratch.by_exec.clear();
+    scratch
+        .by_exec
+        .extend(code_hits.iter().map(|&(_, (mp, exec, t))| (exec, mp, t)));
+    scratch.by_exec.sort_by_key(|&(exec, _, t)| (exec, t));
+    for group in chunk_by_key(&scratch.by_exec, |&(exec, _, _)| exec) {
+        for w in group.windows(2) {
+            let ((_, m1, t1), (_, m2, _t2)) = (w[0], w[1]);
+            if m1 == m2 {
+                continue;
+            }
+            // Old location quiet: no interruption of this code at m1
+            // after t1 (by anyone).
+            let old_location_quiet = !code_hits.iter().any(|&(_, (mp, _, t))| mp == m1 && t > t1);
+            if old_location_quiet {
+                return Some((
+                    RootCause::ApplicationError,
+                    RootCauseRule::FollowsExecutable,
+                ));
+            }
+        }
+    }
+    None // defer to the correlation fallback
+}
+
+/// Iterate maximal runs of items sharing a key (the slice must already be
+/// sorted/grouped by that key).
+fn chunk_by_key<'s, T, K: PartialEq, F: FnMut(&T) -> K + 's>(
+    slice: &'s [T],
+    mut key: F,
+) -> impl Iterator<Item = &'s [T]> {
+    let mut start = 0usize;
+    std::iter::from_fn(move || {
+        if start >= slice.len() {
+            return None;
+        }
+        let first = slice.get(start).map(&mut key)?;
+        let mut end = start + 1;
+        while slice.get(end).is_some_and(|t| key(t) == first) {
+            end += 1;
+        }
+        let out = slice.get(start..end);
+        start = end;
+        out
+    })
+}
+
+/// A mean-centered daily profile: `dxs[i] = x[i] − mean` and
+/// `norm = sqrt(Σ dxs²)`, the per-vector halves of Pearson's formula.
+/// With both sides precomputed, `pearson(p, q)` reduces to
+/// `(Σ p.dxs[i]·q.dxs[i]) / (p.norm · q.norm)` — the exact same floating-
+/// point operations in the same order, evaluated once per profile instead
+/// of once per pair.
+struct Centered {
+    dxs: Vec<f64>,
+    norm: f64,
+}
+
+/// Center a profile, or `None` where [`bgp_stats::pearson::pearson`] would
+/// reject it (fewer than 2 points, NaN, zero variance) so that skipped
+/// pairs coincide exactly with the fallback's former `pearson` errors.
+fn center(xs: &[f64]) -> Option<Centered> {
+    if xs.len() < 2 {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let mut mean = 0.0;
+    for &x in xs {
+        if x.is_nan() {
+            return None;
+        }
+        mean += x;
+    }
+    mean /= n;
+    let dxs: Vec<f64> = xs.iter().map(|&x| x - mean).collect();
+    let mut sxx = 0.0;
+    for &d in &dxs {
+        sxx += d * d;
+    }
+    (sxx > 0.0).then(|| Centered {
+        dxs,
+        norm: sxx.sqrt(),
+    })
+}
+
 /// Daily occurrence-count vectors per code, over the event stream's span.
+///
+/// The span bounds are computed over the whole stream (not `first`/`last`),
+/// so an unsorted stream cannot index a day outside the vectors; for the
+/// pipeline's time-sorted streams the result is unchanged.
 fn daily_profiles(events: &[Event]) -> HashMap<ErrCode, Vec<f64>> {
     let mut out: HashMap<ErrCode, Vec<f64>> = HashMap::new();
-    let Some(first) = events.first() else {
+    let Some(t0) = events.iter().map(|e| e.time).min() else {
         return out;
     };
-    let t0 = first.time;
     let days = events
-        .last()
+        .iter()
         .map(|e| e.time.days_since(t0) as usize + 1)
+        .max()
         .unwrap_or(1);
     for e in events {
         let day = e.time.days_since(t0) as usize;

@@ -6,11 +6,16 @@
 //! [`AnalysisContext`] precomputes all of them once per run:
 //!
 //! * the **raw fatal event stream**, in time order (the filters' input);
-//! * **per-code event shards**, sorted by [`ErrCode`] so parallel filtering
-//!   has a deterministic shard → thread assignment;
+//! * **per-code event shards** — one code-sorted event buffer with
+//!   `(ErrCode, Range)` slices into it, sorted by [`ErrCode`] so parallel
+//!   filtering has a deterministic shard → thread assignment without
+//!   duplicating every event;
 //! * a **job-id index** making job lookup O(1) instead of a linear scan;
 //! * **executable groups** (the paper's "distinct job" notion), sorted by
 //!   [`ExecId`] with each group in submission order;
+//! * a **per-midplane job-termination index** (end-time-sorted ranks) that
+//!   the matching sweep walks with monotone cursors instead of re-scanning
+//!   a machine-wide termination window per event;
 //! * the RAS log's **time span**, for burst-rate denominators.
 //!
 //! Occupancy and termination queries (`running_at`, `overlapping`,
@@ -19,10 +24,11 @@
 //! context re-exposes them so stages depend on one type only.
 
 use crate::event::Event;
-use bgp_model::{MidplaneId, Timestamp};
+use bgp_model::{Duration, MidplaneId, Timestamp};
 use joblog::{ExecId, JobLog, JobRecord};
 use raslog::{ErrCode, RasLog};
 use std::collections::HashMap;
+use std::ops::Range;
 
 /// Immutable per-run indexes shared by every stage of the pipeline.
 ///
@@ -33,9 +39,18 @@ use std::collections::HashMap;
 pub struct AnalysisContext<'a> {
     jobs: &'a JobLog,
     raw_events: Vec<Event>,
-    code_shards: Vec<(ErrCode, Vec<Event>)>,
+    /// All raw events, stably sorted by error code (time order within a
+    /// code is preserved). `code_slices` carves this single buffer into
+    /// per-code shards, so no event is ever stored twice.
+    code_events: Vec<Event>,
+    code_slices: Vec<(ErrCode, Range<usize>)>,
     job_index: HashMap<u64, u32>,
     exec_groups: Vec<(ExecId, Vec<&'a JobRecord>)>,
+    /// Job indices sorted by `(end_time, job_id)` — the machine-wide
+    /// termination order. A position in this permutation is a *rank*;
+    /// because rank order is end-time order, a time-sorted event sweep can
+    /// walk it with monotone cursors.
+    end_order: Vec<u32>,
     span: Option<(Timestamp, Timestamp)>,
 }
 
@@ -53,19 +68,38 @@ impl<'a> AnalysisContext<'a> {
         span: Option<(Timestamp, Timestamp)>,
         jobs: &'a JobLog,
     ) -> AnalysisContext<'a> {
-        let mut shards: HashMap<ErrCode, Vec<Event>> = HashMap::new();
-        for e in &raw_events {
-            shards.entry(e.errcode).or_default().push(*e);
+        // One code-sorted copy of the stream; the stable sort keeps each
+        // code's events in time order, matching what per-code accumulation
+        // used to produce. Slices (not per-code Vecs) mean the events are
+        // stored once, and sorting by code keeps the shard → thread
+        // assignment deterministic.
+        let mut code_events = raw_events.clone();
+        code_events.sort_by_key(|e| e.errcode);
+        let mut code_slices: Vec<(ErrCode, Range<usize>)> = Vec::new();
+        let mut start = 0usize;
+        for (i, e) in code_events.iter().enumerate() {
+            if e.errcode != code_events[start].errcode {
+                code_slices.push((code_events[start].errcode, start..i));
+                start = i;
+            }
+            if i + 1 == code_events.len() {
+                code_slices.push((e.errcode, start..i + 1));
+            }
         }
-        let mut code_shards: Vec<(ErrCode, Vec<Event>)> = shards.into_iter().collect();
-        // Deterministic shard → thread assignment: sort by code, never by
-        // hash-map iteration order.
-        code_shards.sort_by_key(|(code, _)| *code);
 
         let mut job_index = HashMap::with_capacity(jobs.len());
         for (i, j) in jobs.jobs().iter().enumerate() {
             job_index.insert(j.job_id, i as u32);
         }
+
+        // Termination index: rank = position in the machine-wide
+        // (end_time, job_id) order (identical to JobLog::ended_in_window's
+        // iteration order).
+        let mut end_order: Vec<u32> = (0..jobs.len() as u32).collect();
+        end_order.sort_by_key(|&i| {
+            let j = &jobs.jobs()[i as usize];
+            (j.end_time, j.job_id)
+        });
 
         let mut groups: HashMap<ExecId, Vec<&'a JobRecord>> = HashMap::new();
         for j in jobs.jobs() {
@@ -80,9 +114,11 @@ impl<'a> AnalysisContext<'a> {
         AnalysisContext {
             jobs,
             raw_events,
-            code_shards,
+            code_events,
+            code_slices,
             job_index,
             exec_groups,
+            end_order,
             span,
         }
     }
@@ -99,8 +135,20 @@ impl<'a> AnalysisContext<'a> {
     }
 
     /// Raw fatal events grouped by error code, shards sorted by code.
-    pub fn code_shards(&self) -> &[(ErrCode, Vec<Event>)] {
-        &self.code_shards
+    /// Each shard borrows a slice of the single code-sorted buffer.
+    pub fn code_shards(&self) -> Vec<(ErrCode, &[Event])> {
+        self.code_slices
+            .iter()
+            .filter_map(|(code, r)| self.code_events.get(r.clone()).map(|s| (*code, s)))
+            .collect()
+    }
+
+    /// The job at machine-wide termination rank `rank` (a position in the
+    /// `(end_time, job_id)` permutation of the job table).
+    pub(crate) fn job_by_end_rank(&self, rank: u32) -> Option<&'a JobRecord> {
+        self.end_order
+            .get(rank as usize)
+            .and_then(|&i| self.jobs.jobs().get(i as usize))
     }
 
     /// The observation window of the underlying RAS log, if known.
@@ -125,6 +173,23 @@ impl<'a> AnalysisContext<'a> {
             .and_then(|&i| self.jobs.jobs().get(i as usize))
     }
 
+    /// Index (into [`AnalysisContext::job_records`]) of a record borrowed
+    /// *from that slice* — e.g. via [`AnalysisContext::exec_groups`] — by
+    /// pointer offset: O(1) with no hashing. Returns `None` for a record
+    /// that does not live in the slice.
+    pub(crate) fn record_index(&self, j: &JobRecord) -> Option<usize> {
+        let base = self.jobs.jobs().as_ptr() as usize;
+        let off = (std::ptr::from_ref(j) as usize).checked_sub(base)?;
+        let size = std::mem::size_of::<JobRecord>();
+        (off % size == 0 && off / size < self.jobs.len()).then(|| off / size)
+    }
+
+    /// Duration of the longest job in the log — the lookback bound for
+    /// overlap scans on the start-sorted job table.
+    pub(crate) fn max_job_duration(&self) -> Duration {
+        self.jobs.max_duration()
+    }
+
     /// Jobs grouped by executable, groups sorted by [`ExecId`] and each
     /// group in submission (queue-time) order.
     pub fn exec_groups(&self) -> &[(ExecId, Vec<&'a JobRecord>)] {
@@ -144,6 +209,18 @@ impl<'a> AnalysisContext<'a> {
     /// Jobs on midplane `m` whose execution interval overlaps `[t0, t1)`.
     pub fn overlapping(&self, m: MidplaneId, t0: Timestamp, t1: Timestamp) -> Vec<&'a JobRecord> {
         self.jobs.overlapping(m, t0, t1)
+    }
+
+    /// Visit jobs on midplane `m` overlapping `[t0, t1)` without allocating
+    /// (descending start-time order).
+    pub(crate) fn for_each_overlapping<F: FnMut(&'a JobRecord)>(
+        &self,
+        m: MidplaneId,
+        t0: Timestamp,
+        t1: Timestamp,
+        f: F,
+    ) {
+        self.jobs.for_each_overlapping(m, t0, t1, f);
     }
 
     /// Jobs anywhere on the machine with `t0 <= end_time < t1`.
@@ -246,6 +323,28 @@ mod tests {
             vec![1, 2]
         );
         assert_eq!(ctx.distinct_execs(), 2);
+    }
+
+    #[test]
+    fn record_index_round_trips_for_borrowed_records() {
+        let jobs = JobLog::from_jobs(vec![
+            job(7, 1, 100, 500, "R00-M0"),
+            job(3, 1, 600, 700, "R00-M1"),
+        ]);
+        let ctx = AnalysisContext::for_jobs(&jobs);
+        for (i, j) in ctx.job_records().iter().enumerate() {
+            assert_eq!(ctx.record_index(j), Some(i));
+        }
+        for (_, group) in ctx.exec_groups() {
+            for j in group {
+                let i = ctx
+                    .record_index(j)
+                    .expect("exec_groups borrows from job_records");
+                assert_eq!(ctx.job_records()[i].job_id, j.job_id);
+            }
+        }
+        let outside = job(9, 2, 0, 1, "R01-M0");
+        assert_eq!(ctx.record_index(&outside), None);
     }
 
     #[test]

@@ -8,10 +8,25 @@
 //! * **case 1** — the event interrupted one or more jobs;
 //! * **case 2** — no job was running at the event's location (idle);
 //! * **case 3** — jobs were running there, but none was interrupted.
+//!
+//! The kernel is a *sweep*: the event stream is time-sorted, so a
+//! machine-wide cursor into the [`AnalysisContext`]'s termination rank
+//! order advances monotonically instead of re-filtering an end-time window
+//! per event, and a machine-wide occupancy active set is maintained
+//! incrementally from the start-sorted job table instead of re-probing the
+//! interval index per event. Partitions are bitmasks, so restricting
+//! either machine-wide structure to an event's footprint costs one mask
+//! intersection per candidate — Blue Gene/P partitions are exclusive, so
+//! the active set never exceeds one job per midplane.
+//! [`Matcher::run_with_threads`] shards the sweep over contiguous
+//! event chunks (each chunk re-anchors its cursors by binary search, so the
+//! per-event results are independent of chunk boundaries) and then runs the
+//! best-attribution-per-job reduction serially — output is bit-identical to
+//! the single-threaded kernel at any thread count.
 
 use crate::context::AnalysisContext;
 use crate::event::Event;
-use bgp_model::Duration;
+use bgp_model::{Duration, Timestamp};
 use joblog::{JobLog, JobRecord};
 use std::collections::HashMap;
 
@@ -73,6 +88,115 @@ impl Default for Matcher {
     }
 }
 
+/// Below this many events per thread the sweep runs serially: spawning a
+/// worker costs more than sweeping a small chunk, and the output is
+/// bit-identical either way (sharding is a pure performance policy).
+const MIN_EVENTS_PER_THREAD: usize = 2048;
+
+/// When the sweep time jumps far enough that more than this many pending
+/// ranks would be replayed to advance the termination cursor
+/// incrementally, re-anchor it by binary search instead. Sparse event
+/// streams (hundreds of events over months of jobs) would otherwise pay
+/// for every termination between events; dense streams stay on the
+/// amortized-O(1) incremental path.
+const TERM_REANCHOR_GAP: usize = 64;
+
+/// Same policy for the occupancy active set. Its re-anchor replays a
+/// `max_duration`-bounded backward scan (typically a few hundred records),
+/// so the break-even gap is larger than the termination cursor's.
+const OCC_REANCHOR_GAP: usize = 512;
+
+/// Per-chunk sweep state: a machine-wide occupancy active set and a
+/// machine-wide termination-window cursor, plus reusable scratch, so the
+/// per-event loop allocates nothing but each event's `victims` vector.
+///
+/// Both structures are global rather than per-midplane: partitions are
+/// bitmasks, so restricting a machine-wide candidate to an event's
+/// footprint is one mask intersection — far cheaper than walking 80
+/// per-midplane indexes when an event's footprint is wide.
+struct SweepState {
+    /// Next record (in the job table's start order) not yet admitted to
+    /// `active`.
+    occ_pos: usize,
+    /// `(end_time, job_id, partition mask)` of every job overlapping the
+    /// sweep's current `[t, t + 1 s)` instant, machine-wide. Blue Gene/P
+    /// partitions are exclusive, so this holds at most one job per
+    /// midplane — it fits in cache.
+    active: Vec<(Timestamp, u64, u128)>,
+    occ_anchored: bool,
+    /// Termination ranks `lo..hi` bracket the end times inside the current
+    /// `[t − w, t + w)` window, in the machine-wide `(end_time, job_id)`
+    /// rank order.
+    term_lo: usize,
+    term_hi: usize,
+    term_anchored: bool,
+    /// Job ids running on the footprint (deduped by sort).
+    running_ids: Vec<u64>,
+    /// Previous event time — a regression (unsorted input) re-anchors
+    /// everything, so the sweep stays exact for arbitrary event order.
+    prev_time: Option<Timestamp>,
+}
+
+impl SweepState {
+    fn new() -> SweepState {
+        SweepState {
+            occ_pos: 0,
+            active: Vec::new(),
+            occ_anchored: false,
+            term_lo: 0,
+            term_hi: 0,
+            term_anchored: false,
+            running_ids: Vec::new(),
+            prev_time: None,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.occ_pos = 0;
+        self.active.clear();
+        self.occ_anchored = false;
+        self.term_lo = 0;
+        self.term_hi = 0;
+        self.term_anchored = false;
+    }
+}
+
+/// End time of the job at machine-wide termination rank `rank`.
+fn rank_end(ctx: &AnalysisContext<'_>, rank: usize) -> Option<Timestamp> {
+    u32::try_from(rank)
+        .ok()
+        .and_then(|r| ctx.job_by_end_rank(r))
+        .map(|j| j.end_time)
+}
+
+/// First termination rank whose end time is ≥ `t` (binary search over the
+/// machine-wide `(end_time, job_id)` rank order).
+fn rank_lower_bound(ctx: &AnalysisContext<'_>, t: Timestamp) -> usize {
+    let (mut lo, mut hi) = (0usize, ctx.job_count());
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if rank_end(ctx, mid).is_some_and(|end| end < t) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// Advance one termination bound to the first rank with end time ≥ `t`:
+/// incrementally when the jump is small, by binary search when it is not
+/// (both land on the same partition point of the end-sorted rank order).
+fn advance_term_bound(ctx: &AnalysisContext<'_>, bound: &mut usize, t: Timestamp) {
+    if rank_end(ctx, bound.saturating_add(TERM_REANCHOR_GAP)).is_some_and(|end| end < t) {
+        *bound = rank_lower_bound(ctx, t);
+    } else {
+        while rank_end(ctx, *bound).is_some_and(|end| end < t) {
+            *bound += 1;
+        }
+    }
+}
+
 impl Matcher {
     /// Match a time-sorted event stream against the indexed job log (the
     /// `Matching` stage).
@@ -80,30 +204,41 @@ impl Matcher {
     /// Contract: returns `per_event` exactly parallel to `events` (same
     /// length, same order); every match points at a job in `ctx`.
     pub fn run(&self, events: &[Event], ctx: &AnalysisContext<'_>) -> Matching {
-        let mut per_event = Vec::with_capacity(events.len());
-        // job id → (event index, |end − event time|), best so far.
-        let mut best: HashMap<u64, (usize, i64)> = HashMap::new();
+        self.run_with_threads(events, ctx, 1)
+    }
 
-        for (i, e) in events.iter().enumerate() {
-            // Jobs running anywhere on the event's footprint at event time.
-            let mut running = 0usize;
-            let mut seen: Vec<u64> = Vec::new();
-            for m in e.footprint.midplanes() {
-                for j in ctx.running_at(m, e.time) {
-                    if !seen.contains(&j.job_id) {
-                        seen.push(j.job_id);
-                        running += 1;
-                    }
-                }
-            }
-            let ended = ctx.ended_in_window(e.time - self.window, e.time + self.window);
-            let victims: Vec<u64> = ended
-                .iter()
-                .filter(|j| j.partition.overlaps(e.footprint))
-                .filter(|j| !self.require_failed_exit || !j.exit.is_success())
-                .map(|j| j.job_id)
-                .collect();
-            for &job_id in &victims {
+    /// [`Matcher::run`] with the per-event sweep sharded over up to
+    /// `threads` contiguous event chunks.
+    ///
+    /// Contract: bit-identical to `run` on the same input for every thread
+    /// count — each chunk re-anchors its termination cursors by binary
+    /// search (per-event results never depend on chunk boundaries), and the
+    /// best-attribution-per-job pass runs as a serial reduction over the
+    /// merged per-event results.
+    pub fn run_with_threads(
+        &self,
+        events: &[Event],
+        ctx: &AnalysisContext<'_>,
+        threads: usize,
+    ) -> Matching {
+        let serial = threads <= 1 || events.len() < threads.saturating_mul(MIN_EVENTS_PER_THREAD);
+        let mut per_event = if serial {
+            self.sweep_chunk(events, ctx)
+        } else {
+            let chunk = events.len().div_ceil(threads);
+            let chunks: Vec<&[Event]> = events.chunks(chunk).collect();
+            bgp_model::bytes::map_chunks_parallel(&chunks, |c| self.sweep_chunk(c, ctx))
+                .into_iter()
+                .flatten()
+                .collect()
+        };
+
+        // Serial reduction: job id → (event index, |end − event time|),
+        // best so far. Iterating in event order with a strict `<` on the
+        // distance reproduces the serial tie-break (earlier event wins).
+        let mut best: HashMap<u64, (usize, i64)> = HashMap::new();
+        for (i, (e, m)) in events.iter().zip(&per_event).enumerate() {
+            for &job_id in &m.victims {
                 let Some(end) = ctx.job(job_id).map(|j| j.end_time) else {
                     continue; // victim ids come from this log; nothing to rank otherwise
                 };
@@ -115,18 +250,6 @@ impl Matcher {
                     }
                 }
             }
-            let case = if !victims.is_empty() {
-                EventCase::Interrupted
-            } else if running == 0 {
-                EventCase::IdleLocation
-            } else {
-                EventCase::NotInterrupted
-            };
-            per_event.push(EventMatch {
-                victims,
-                running,
-                case,
-            });
         }
 
         // Keep only the best attribution per job, and drop victims that a
@@ -147,6 +270,114 @@ impl Matcher {
             per_event,
             job_to_event,
         }
+    }
+
+    /// The per-event sweep over one contiguous, time-sorted event chunk.
+    /// Victims here are *pre-reduction*: every job ending in the window on
+    /// the footprint (exit-filtered), before best-attribution pruning.
+    fn sweep_chunk(&self, events: &[Event], ctx: &AnalysisContext<'_>) -> Vec<EventMatch> {
+        let mut state = SweepState::new();
+        let records = ctx.job_records();
+        let max_duration = ctx.max_job_duration();
+        let mut per_event = Vec::with_capacity(events.len());
+        for e in events {
+            // Cursors only ever advance; if the stream is not time-sorted
+            // after all, drop back to binary-search anchoring rather than
+            // silently missing earlier jobs.
+            if state.prev_time.is_some_and(|p| e.time < p) {
+                state.reset();
+            }
+            state.prev_time = Some(e.time);
+            let footprint = e.footprint.mask();
+
+            // Jobs running anywhere on the event's footprint at event time,
+            // deduped by job id. "Running at t" means overlapping
+            // [t, t + 1 s): a job is admitted to the machine-wide active
+            // set once its start time drops below t + 1 s and expired once
+            // its end time is no longer after t — exactly the `overlapping`
+            // predicate, paid incrementally as the sweep time advances.
+            // Re-anchor on first touch, and whenever the time jump has
+            // queued more than `OCC_REANCHOR_GAP` admissions (replaying
+            // them one by one would cost more than rebuilding the set).
+            let t1 = e.time + Duration::seconds(1);
+            let far_jump = records
+                .get(state.occ_pos.saturating_add(OCC_REANCHOR_GAP))
+                .is_some_and(|j| j.start_time < t1);
+            if !state.occ_anchored || far_jump {
+                state.occ_pos = records.partition_point(|j| j.start_time < t1);
+                state.active.clear();
+                // Backward scan bounded by the longest job: anything
+                // starting before `t − max_duration` has already ended.
+                let cutoff = e.time - max_duration;
+                for j in records.get(..state.occ_pos).unwrap_or(&[]).iter().rev() {
+                    if j.start_time < cutoff {
+                        break;
+                    }
+                    if j.overlaps(e.time, t1) {
+                        state
+                            .active
+                            .push((j.end_time, j.job_id, j.partition.mask()));
+                    }
+                }
+                state.occ_anchored = true;
+            } else {
+                while let Some(j) = records.get(state.occ_pos) {
+                    if j.start_time >= t1 {
+                        break;
+                    }
+                    if j.end_time > e.time {
+                        state
+                            .active
+                            .push((j.end_time, j.job_id, j.partition.mask()));
+                    }
+                    state.occ_pos += 1;
+                }
+                state.active.retain(|&(end, _, _)| end > e.time);
+            }
+            state.running_ids.clear();
+            for &(_, id, mask) in &state.active {
+                if mask & footprint != 0 {
+                    state.running_ids.push(id);
+                }
+            }
+            state.running_ids.sort_unstable();
+            state.running_ids.dedup();
+            let running = state.running_ids.len();
+
+            // Candidate terminations: the machine-wide (end_time, job_id)
+            // rank order restricted to the window, filtered to jobs whose
+            // partition touches the footprint — the same set, in the same
+            // rank order, as the old per-midplane rank-list union.
+            let (t0, t1) = (e.time - self.window, e.time + self.window);
+            if !state.term_anchored {
+                state.term_lo = rank_lower_bound(ctx, t0);
+                state.term_hi = rank_lower_bound(ctx, t1);
+                state.term_anchored = true;
+            } else {
+                advance_term_bound(ctx, &mut state.term_lo, t0);
+                advance_term_bound(ctx, &mut state.term_hi, t1);
+            }
+            let victims: Vec<u64> = (state.term_lo..state.term_hi)
+                .filter_map(|r| u32::try_from(r).ok().and_then(|r| ctx.job_by_end_rank(r)))
+                .filter(|j| j.partition.mask() & footprint != 0)
+                .filter(|j| !self.require_failed_exit || !j.exit.is_success())
+                .map(|j| j.job_id)
+                .collect();
+
+            let case = if !victims.is_empty() {
+                EventCase::Interrupted
+            } else if running == 0 {
+                EventCase::IdleLocation
+            } else {
+                EventCase::NotInterrupted
+            };
+            per_event.push(EventMatch {
+                victims,
+                running,
+                case,
+            });
+        }
+        per_event
     }
 }
 

@@ -43,8 +43,9 @@ pub struct CoAnalysisConfig {
     pub wide_threshold: u32,
     /// Window for "re-interrupted quickly" (Observation 6; paper: 1000 s).
     pub quick_window: Duration,
-    /// Number of worker threads for the sharded filter stages; 1 = fully
-    /// sequential.
+    /// Number of worker threads for the sharded stages (filters, matching,
+    /// root-cause classification, vulnerability ranking); 1 = fully
+    /// sequential. Every stage is bit-identical at any thread count.
     pub threads: usize,
 }
 

@@ -15,7 +15,9 @@ use crate::analysis::failure_stats::TableIv;
 use crate::analysis::{
     BurstAnalysis, InterruptionStats, MidplaneProfile, PropagationAnalysis, VulnerabilityAnalysis,
 };
-use crate::classify::{classify_impact, classify_root_cause, ImpactSummary, RootCauseSummary};
+use crate::classify::{
+    classify_impact, classify_root_cause_with_threads, ImpactSummary, RootCauseSummary,
+};
 use crate::context::AnalysisContext;
 use crate::event::Event;
 use crate::filter::job_related::JobRelatedOutcome;
@@ -441,12 +443,12 @@ impl Stage for TemporalSpatialStage {
         // Both filters only ever merge events of the *same* code, so
         // per-code sharding is exact; shards come pre-sorted by code from
         // the context, so chunk→thread assignment is deterministic.
-        let results: Vec<(Vec<Event>, usize)> =
-            fork_join(ctx.code_shards(), cfg.threads, &|(_, shard)| {
-                let t = cfg.temporal.apply(shard);
-                let n = t.len();
-                (cfg.spatial.apply(&t), n)
-            });
+        let shards = ctx.code_shards();
+        let results: Vec<(Vec<Event>, usize)> = fork_join(&shards, cfg.threads, &|(_, shard)| {
+            let t = cfg.temporal.apply(shard);
+            let n = t.len();
+            (cfg.spatial.apply(&t), n)
+        });
         let mut after_temporal = 0usize;
         let mut merged: Vec<Event> = Vec::new();
         for (events, n) in results {
@@ -497,7 +499,10 @@ impl Stage for MatchingStage {
         cfg: &CoAnalysisConfig,
         state: &PipelineState,
     ) -> StageOutput {
-        StageOutput::Matching(cfg.matcher.run(state.events(), ctx))
+        StageOutput::Matching(
+            cfg.matcher
+                .run_with_threads(state.events(), ctx, cfg.threads),
+        )
     }
 }
 
@@ -555,12 +560,17 @@ impl Stage for RootCauseStage {
     fn run(
         &self,
         ctx: &AnalysisContext<'_>,
-        _cfg: &CoAnalysisConfig,
+        cfg: &CoAnalysisConfig,
         state: &PipelineState,
     ) -> StageOutput {
         let binding = Matching::default();
         let matching = state.matching.as_ref().unwrap_or(&binding);
-        StageOutput::RootCause(classify_root_cause(state.events(), matching, ctx))
+        StageOutput::RootCause(classify_root_cause_with_threads(
+            state.events(),
+            matching,
+            ctx,
+            cfg.threads,
+        ))
     }
 }
 
@@ -708,7 +718,7 @@ impl Stage for VulnerabilityStage {
     fn run(
         &self,
         ctx: &AnalysisContext<'_>,
-        _cfg: &CoAnalysisConfig,
+        cfg: &CoAnalysisConfig,
         state: &PipelineState,
     ) -> StageOutput {
         let m_binding = Matching::default();
@@ -720,12 +730,13 @@ impl Stage for VulnerabilityStage {
             .as_ref()
             .map(|m| m.fatal_counts.as_slice())
             .unwrap_or(&[]);
-        StageOutput::Vulnerability(Box::new(VulnerabilityAnalysis::new(
+        StageOutput::Vulnerability(Box::new(VulnerabilityAnalysis::new_with_threads(
             state.events(),
             matching,
             root_cause,
             ctx,
             fatal_counts,
+            cfg.threads,
         )))
     }
 }

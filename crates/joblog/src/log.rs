@@ -72,6 +72,14 @@ impl JobLog {
         self.max_duration
     }
 
+    /// Per-midplane posting list: indices into [`JobLog::jobs`] of the jobs
+    /// whose partition covers `m`, in `(start_time, job_id)` order. This is
+    /// the raw occupancy index behind [`JobLog::overlapping`]; sweeps that
+    /// maintain their own incremental active set walk it directly.
+    pub fn midplane_postings(&self, m: MidplaneId) -> &[u32] {
+        self.by_midplane.get(m.index()).map_or(&[], Vec::as_slice)
+    }
+
     /// Jobs running at instant `t` on midplane `m`.
     pub fn running_at(&self, m: MidplaneId, t: Timestamp) -> Vec<&JobRecord> {
         self.overlapping(m, t, t + Duration::seconds(1))
@@ -79,22 +87,43 @@ impl JobLog {
 
     /// Jobs on midplane `m` whose execution interval overlaps `[t0, t1)`.
     pub fn overlapping(&self, m: MidplaneId, t0: Timestamp, t1: Timestamp) -> Vec<&JobRecord> {
-        let posting = &self.by_midplane[m.index()];
-        // Candidates must have start < t1 and start > t0 − max_duration.
-        let hi = posting.partition_point(|&i| self.jobs[i as usize].start_time < t1);
-        let cutoff = t0 - self.max_duration;
         let mut out = Vec::new();
-        for &i in posting[..hi].iter().rev() {
-            let j = &self.jobs[i as usize];
+        self.for_each_overlapping(m, t0, t1, |j| out.push(j));
+        out.reverse();
+        out
+    }
+
+    /// Visit jobs on midplane `m` overlapping `[t0, t1)` without allocating,
+    /// in *descending* start-time order (the index scan order). Hot loops
+    /// (the matching sweep's occupancy count, the root-cause rule-2 probe)
+    /// use this to avoid building a `Vec` per query; for early exits, note
+    /// every overlapping job is visited — collect-then-test instead when
+    /// only existence matters and the window is wide.
+    pub fn for_each_overlapping<'a, F: FnMut(&'a JobRecord)>(
+        &'a self,
+        m: MidplaneId,
+        t0: Timestamp,
+        t1: Timestamp,
+        mut f: F,
+    ) {
+        let Some(posting) = self.by_midplane.get(m.index()) else {
+            return;
+        };
+        // Candidates must have start < t1 and start > t0 − max_duration.
+        let hi = posting
+            .partition_point(|&i| self.jobs.get(i as usize).is_some_and(|j| j.start_time < t1));
+        let cutoff = t0 - self.max_duration;
+        for &i in posting.get(..hi).unwrap_or(&[]).iter().rev() {
+            let Some(j) = self.jobs.get(i as usize) else {
+                continue;
+            };
             if j.start_time < cutoff {
                 break;
             }
             if j.overlaps(t0, t1) {
-                out.push(j);
+                f(j);
             }
         }
-        out.reverse();
-        out
     }
 
     /// Jobs (anywhere on the machine) with `t0 <= end_time < t1`, in end-time
@@ -254,6 +283,21 @@ mod tests {
         // Only the 4-midplane job counts at min size 4.
         assert_eq!(log.midplane_busy_seconds_min_size(m20, 4), 4950);
         assert_eq!(log.midplane_busy_seconds_min_size(m0, 4), 0);
+    }
+
+    #[test]
+    fn midplane_postings_are_start_sorted() {
+        let log = sample();
+        let m0: MidplaneId = "R00-M0".parse().unwrap();
+        let posting = log.midplane_postings(m0);
+        assert_eq!(posting.len(), 2);
+        let starts: Vec<_> = posting
+            .iter()
+            .map(|&i| log.jobs()[i as usize].start_time)
+            .collect();
+        assert!(starts.windows(2).all(|w| w[0] <= w[1]));
+        let m_empty: MidplaneId = "R40-M1".parse().unwrap();
+        assert!(log.midplane_postings(m_empty).is_empty());
     }
 
     #[test]

@@ -49,6 +49,19 @@ pub struct FeatureScore {
     pub gain_ratio: f64,
 }
 
+/// Reusable count buffers for [`evaluate_feature_with_scratch`] — lets a
+/// caller ranking many features amortize the contingency-table allocations
+/// instead of paying a fresh `Vec<Vec<usize>>` per feature.
+#[derive(Debug, Clone, Default)]
+pub struct GainScratch {
+    /// Flattened joint counts: `joint[v * num_classes + l]`.
+    joint: Vec<usize>,
+    /// Marginal counts per feature value.
+    per_value: Vec<usize>,
+    /// Marginal counts per class.
+    label_counts: Vec<usize>,
+}
+
 /// Evaluate a categorical feature against categorical labels.
 ///
 /// `feature[i]` is the feature value (0-based category id) of observation
@@ -58,6 +71,26 @@ pub fn evaluate_feature(
     num_feature_values: usize,
     labels: &[usize],
     num_classes: usize,
+) -> Result<FeatureScore, StatsError> {
+    evaluate_feature_with_scratch(
+        feature,
+        num_feature_values,
+        labels,
+        num_classes,
+        &mut GainScratch::default(),
+    )
+}
+
+/// [`evaluate_feature`] with caller-owned count buffers.
+///
+/// Numerically identical to [`evaluate_feature`] — the scratch only changes
+/// where the counts live, never the order they are accumulated or summed in.
+pub fn evaluate_feature_with_scratch(
+    feature: &[usize],
+    num_feature_values: usize,
+    labels: &[usize],
+    num_classes: usize,
+    scratch: &mut GainScratch,
 ) -> Result<FeatureScore, StatsError> {
     if feature.len() != labels.len() {
         return Err(StatsError::NotEnoughData {
@@ -70,27 +103,32 @@ pub fn evaluate_feature(
     }
     let n = feature.len() as f64;
 
-    // Joint counts: per feature value, per class.
-    let mut per_value_class = vec![vec![0usize; num_classes]; num_feature_values];
-    let mut per_value = vec![0usize; num_feature_values];
+    // Joint counts: per feature value, per class (flattened row-major).
+    scratch.joint.clear();
+    scratch.joint.resize(num_feature_values * num_classes, 0);
+    scratch.per_value.clear();
+    scratch.per_value.resize(num_feature_values, 0);
+    scratch.label_counts.clear();
+    scratch.label_counts.resize(num_classes, 0);
     for (&f, &l) in feature.iter().zip(labels) {
         assert!(f < num_feature_values, "feature value {f} out of range");
         assert!(l < num_classes, "label {l} out of range");
-        per_value_class[f][l] += 1;
-        per_value[f] += 1;
+        scratch.joint[f * num_classes + l] += 1;
+        scratch.per_value[f] += 1;
+        scratch.label_counts[l] += 1;
     }
 
-    let h_labels = entropy(labels, num_classes);
+    let h_labels = entropy_from_counts(&scratch.label_counts);
     let mut h_cond = 0.0;
-    for (v, counts) in per_value_class.iter().enumerate() {
-        if per_value[v] == 0 {
+    for (v, counts) in scratch.joint.chunks(num_classes).enumerate() {
+        if scratch.per_value[v] == 0 {
             continue;
         }
-        let w = per_value[v] as f64 / n;
+        let w = scratch.per_value[v] as f64 / n;
         h_cond += w * entropy_from_counts(counts);
     }
     let gain = (h_labels - h_cond).max(0.0);
-    let split_info = entropy_from_counts(&per_value);
+    let split_info = entropy_from_counts(&scratch.per_value);
     let gain_ratio = if split_info > 0.0 {
         gain / split_info
     } else {
@@ -206,6 +244,22 @@ mod tests {
         let ranked = rank_features(&features, &labels, 2).unwrap();
         assert_eq!(ranked[0].0, "signal");
         assert!(ranked[0].1.gain_ratio > ranked[1].1.gain_ratio);
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical() {
+        let labels = [0, 1, 0, 1, 1, 0, 0, 1, 1];
+        let feats: [(&[usize], usize); 3] = [
+            (&[0, 0, 1, 1, 2, 2, 0, 1, 2], 3),
+            (&[0, 1, 0, 1, 1, 0, 0, 1, 1], 2),
+            (&[4, 3, 2, 1, 0, 1, 2, 3, 4], 5),
+        ];
+        let mut scratch = GainScratch::default();
+        for (f, card) in feats {
+            let fresh = evaluate_feature(f, card, &labels, 2).unwrap();
+            let reused = evaluate_feature_with_scratch(f, card, &labels, 2, &mut scratch).unwrap();
+            assert_eq!(fresh, reused);
+        }
     }
 
     #[test]

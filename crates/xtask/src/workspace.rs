@@ -130,6 +130,11 @@ fn in_deterministic_scope(path: &str) -> bool {
         || path.starts_with("crates/stats/src")
         || path == "crates/bgp-model/src/bytes.rs"
         || path == "crates/bgp-model/src/snapshot.rs"
+        // The bench crate's timing harness reads clocks by design, but its
+        // frozen serial reference kernels must not: BENCH_PIPELINE.json's
+        // `matches_baseline` flags compare their output bit-for-bit against
+        // the parallel kernels.
+        || path == "crates/bench/src/baseline.rs"
         || path.ends_with("raslog/src/ingest.rs")
         || path.ends_with("raslog/src/snapshot.rs")
         || path.ends_with("joblog/src/ingest.rs")
@@ -284,5 +289,30 @@ mod tests {
         // The long-standing members are unaffected.
         assert!(in_deterministic_scope("crates/core/src/stream.rs"));
         assert!(!in_deterministic_scope("crates/bgp-sim/src/engine.rs"));
+    }
+
+    #[test]
+    fn determinism_scope_covers_bench_baseline_but_not_timers() {
+        // The parallel kernels and the frozen serial references they are
+        // compared against are both governed...
+        for path in [
+            "crates/core/src/matching.rs",
+            "crates/core/src/classify/root_cause.rs",
+            "crates/core/src/analysis/vulnerability.rs",
+            "crates/bench/src/baseline.rs",
+        ] {
+            assert!(in_deterministic_scope(path), "{path} should be in scope");
+        }
+        // ...while the bench harness itself times things on purpose.
+        for path in [
+            "crates/bench/src/bench_pipeline.rs",
+            "crates/bench/src/experiments.rs",
+            "crates/bench/src/lib.rs",
+        ] {
+            assert!(
+                !in_deterministic_scope(path),
+                "{path} must stay out of scope"
+            );
+        }
     }
 }

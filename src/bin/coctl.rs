@@ -80,7 +80,8 @@ fn usage(err: &str) -> ExitCode {
          usage:\n\
          \x20 coctl simulate [--days N] [--seed S] [--out DIR]\n\
          \x20 coctl summary RAS.log [--snapshot DIR]\n\
-         \x20 coctl analyze RAS.log JOBS.log [--snapshot DIR] [--timings] [--impact-out FILE]\n\
+         \x20 coctl analyze RAS.log JOBS.log [--snapshot DIR] [--timings] [--threads N]\n\
+         \x20 \x20 \x20 \x20 \x20 \x20 \x20 [--impact-out FILE]\n\
          \x20 coctl filter RAS.log JOBS.log -o CLEAN.log [--snapshot DIR]\n\
          \x20 coctl outages RAS.log JOBS.log [--snapshot DIR]\n\
          \x20 coctl serve [--ingest ADDR] [--http ADDR] [--shards N] [--impact FILE] ...\n\
@@ -234,6 +235,7 @@ fn cmd_analyze(args: &[String]) -> Result<(), CliError> {
     let (rest, opts) = snapshot_opts(args)?;
     let mut timings = false;
     let mut impact_out: Option<PathBuf> = None;
+    let mut threads: Option<usize> = None;
     let mut positional: Vec<&String> = Vec::new();
     let mut it = rest.iter();
     while let Some(a) = it.next() {
@@ -245,28 +247,46 @@ fn cmd_analyze(args: &[String]) -> Result<(), CliError> {
                         CliError::Usage("--impact-out needs a path".into())
                     })?));
             }
+            "--threads" => {
+                let n = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--threads needs a count".into()))?;
+                let n: usize = n
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("--threads: bad count {n:?}")))?;
+                if n == 0 {
+                    return Err(CliError::Usage("--threads must be >= 1".into()));
+                }
+                threads = Some(n);
+            }
             _ => positional.push(a),
         }
     }
     let [ras_path, jobs_path] = positional[..] else {
         return Err(CliError::Usage(
-            "analyze needs RAS.log and JOBS.log (+ optional --timings, --impact-out FILE)".into(),
+            "analyze needs RAS.log and JOBS.log (+ optional --timings, --threads N, \
+             --impact-out FILE)"
+                .into(),
         ));
     };
     let (ras, jobs) = load_both(ras_path, jobs_path, &opts)?;
+    let mut pipeline = CoAnalysis::default();
+    if let Some(n) = threads {
+        pipeline.config.threads = n;
+    }
     let registry = bgp_serve::Registry::new();
     let r = if timings {
         // Observed run: same products, plus per-stage wall-clock published
         // into the same registry kind the daemon serves at /metrics.
         let timer = StageTimer::new(&registry);
         let ctx = AnalysisContext::new(&ras, &jobs);
-        CoAnalysis::default()
+        pipeline
             .run_on_observed(&ctx, AnalysisSet::all(), &timer)
             .into_result()
             .ok_or_else(|| CliError::Io("full analysis set left a product empty".into()))
             .inspect(|_| print!("{}", timer.report()))?
     } else {
-        CoAnalysis::default().run(&ras, &jobs)
+        pipeline.run(&ras, &jobs)
     };
     if let Some(path) = impact_out {
         let mut w = BufWriter::new(File::create(&path)?);
