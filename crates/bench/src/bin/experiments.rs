@@ -12,6 +12,9 @@
 //! `--bench-json` runs the pipeline benchmark (paper scale + 10×, or the
 //! 12-day preset with `--quick`) and writes `BENCH_PIPELINE.json`.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use bgp_bench::{bench_pipeline, Experiments, Scale};
 use std::path::PathBuf;
 use std::process::ExitCode;

@@ -25,6 +25,7 @@ use crate::filter::{CausalRule, FilterStats, JobRelatedFilter};
 use crate::matching::Matching;
 use crate::pipeline::{CoAnalysisConfig, CoAnalysisResult};
 use joblog::JobRecord;
+use std::sync::atomic::{AtomicU16, Ordering};
 
 /// Identity of one pipeline pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -245,8 +246,15 @@ pub enum StageOutput {
 /// Stages read earlier products through the accessors; absent products
 /// (possible only if a stage is run without its dependencies, which the
 /// executor never does) degrade to empty defaults rather than panicking.
+/// Every accessor records the producing stage in `reads` — the runtime
+/// twin of the `stage-deps` lint, which statically cross-checks the same
+/// accessor calls against [`StageId::deps`]. Direct field access from a
+/// stage would bypass both; keep reads going through the accessors.
 #[derive(Debug, Default)]
 pub struct PipelineState {
+    /// Bitmask of producers whose products have been read (as
+    /// `StageId::bit` bits) since the last `take_observed_reads`.
+    reads: AtomicU16,
     raw_fatal: usize,
     after_temporal: usize,
     after_spatial: Option<Vec<Event>>,
@@ -272,17 +280,63 @@ impl PipelineState {
         }
     }
 
+    /// Record that `producer`'s product was read.
+    fn note_read(&self, producer: StageId) {
+        self.reads.fetch_or(producer.bit(), Ordering::Relaxed);
+    }
+
+    /// Take (and clear) the bitmask of producers read since the last call.
+    #[cfg(test)]
+    fn take_observed_reads(&self) -> u16 {
+        self.reads.swap(0, Ordering::Relaxed)
+    }
+
+    /// Events after temporal + spatial filtering (the causal input).
+    fn after_spatial(&self) -> &[Event] {
+        self.note_read(StageId::TemporalSpatial);
+        self.after_spatial.as_deref().unwrap_or(&[])
+    }
+
     /// Events after causal filtering (the matching/classification input).
     fn events(&self) -> &[Event] {
+        self.note_read(StageId::Causal);
         self.events.as_deref().unwrap_or(&[])
+    }
+
+    /// The event ↔ job matching.
+    fn matching(&self) -> Option<&Matching> {
+        self.note_read(StageId::Matching);
+        self.matching.as_ref()
     }
 
     /// Events after job-related filtering (the characterization input).
     fn final_events(&self) -> &[Event] {
+        self.note_read(StageId::JobRelated);
         self.job_related
             .as_ref()
             .map(|o| o.events.as_slice())
             .unwrap_or(&[])
+    }
+
+    /// Per-event redundancy flags from job-related filtering.
+    fn redundant_flags(&self) -> &[bool] {
+        self.note_read(StageId::JobRelated);
+        self.job_related
+            .as_ref()
+            .map(|o| o.redundant.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// The root-cause classification.
+    fn root_cause(&self) -> Option<&RootCauseSummary> {
+        self.note_read(StageId::RootCause);
+        self.root_cause.as_ref()
+    }
+
+    /// The per-midplane fatal/workload profile.
+    fn midplane(&self) -> Option<&MidplaneProfile> {
+        self.note_read(StageId::Midplane);
+        self.midplane.as_ref()
     }
 
     fn install(&mut self, out: StageOutput) {
@@ -427,6 +481,8 @@ pub trait Stage: Sync {
 
 /// Contract: dedups each error-code shard temporally then spatially (shards
 /// are independent by construction) and merges time-sorted.
+///
+/// Reads: state{}; ctx{code_shards}
 struct TemporalSpatialStage;
 
 impl Stage for TemporalSpatialStage {
@@ -465,6 +521,8 @@ impl Stage for TemporalSpatialStage {
 
 /// Contract: learns cross-code rules over the whole post-spatial stream
 /// (global by design — rules connect different codes).
+///
+/// Reads: state{after_spatial}; ctx{}
 struct CausalStage;
 
 impl Stage for CausalStage {
@@ -478,7 +536,7 @@ impl Stage for CausalStage {
         cfg: &CoAnalysisConfig,
         state: &PipelineState,
     ) -> StageOutput {
-        let input = state.after_spatial.as_deref().unwrap_or(&[]);
+        let input = state.after_spatial();
         let (events, rules) = cfg.causal.filter(input);
         StageOutput::Causal { events, rules }
     }
@@ -486,6 +544,8 @@ impl Stage for CausalStage {
 
 /// Contract: matches the causally filtered stream against the job index;
 /// produces per-event cases and the job → event attribution.
+///
+/// Reads: state{events}; ctx{job, job_by_end_rank, job_count, job_records, max_job_duration}
 struct MatchingStage;
 
 impl Stage for MatchingStage {
@@ -508,6 +568,8 @@ impl Stage for MatchingStage {
 
 /// Contract: flags job-related redundancy over the matched stream; final
 /// events are a subsequence of the causal stage's output.
+///
+/// Reads: state{events, matching}; ctx{job, overlapping}
 struct JobRelatedStage;
 
 impl Stage for JobRelatedStage {
@@ -522,13 +584,15 @@ impl Stage for JobRelatedStage {
         state: &PipelineState,
     ) -> StageOutput {
         let binding = Matching::default();
-        let matching = state.matching.as_ref().unwrap_or(&binding);
+        let matching = state.matching().unwrap_or(&binding);
         StageOutput::JobRelated(JobRelatedFilter.apply(state.events(), matching, ctx))
     }
 }
 
 /// Contract: classifies per-code interruption impact from the matching
 /// cases alone.
+///
+/// Reads: state{events, matching}; ctx{}
 struct ImpactStage;
 
 impl Stage for ImpactStage {
@@ -543,13 +607,15 @@ impl Stage for ImpactStage {
         state: &PipelineState,
     ) -> StageOutput {
         let binding = Matching::default();
-        let matching = state.matching.as_ref().unwrap_or(&binding);
+        let matching = state.matching().unwrap_or(&binding);
         StageOutput::Impact(classify_impact(state.events(), matching))
     }
 }
 
 /// Contract: classifies per-code root cause using the matching and the
 /// job index (executable-following vs. location-sticky evidence).
+///
+/// Reads: state{events, matching}; ctx{for_each_overlapping, job}
 struct RootCauseStage;
 
 impl Stage for RootCauseStage {
@@ -564,7 +630,7 @@ impl Stage for RootCauseStage {
         state: &PipelineState,
     ) -> StageOutput {
         let binding = Matching::default();
-        let matching = state.matching.as_ref().unwrap_or(&binding);
+        let matching = state.matching().unwrap_or(&binding);
         StageOutput::RootCause(classify_root_cause_with_threads(
             state.events(),
             matching,
@@ -576,6 +642,8 @@ impl Stage for RootCauseStage {
 
 /// Contract: fits interarrival models before/after job-related filtering;
 /// `None` when a stream is too small to fit.
+///
+/// Reads: state{events, final_events}; ctx{}
 struct TableIvStage;
 
 impl Stage for TableIvStage {
@@ -596,6 +664,8 @@ impl Stage for TableIvStage {
 /// Contract: builds the per-midplane fatal/workload/wide-workload series
 /// from the fully filtered events (a chain at one broken midplane is one
 /// fault there, not ten).
+///
+/// Reads: state{final_events}; ctx{midplane_busy_seconds, midplane_busy_seconds_min_size}
 struct MidplaneStage;
 
 impl Stage for MidplaneStage {
@@ -619,6 +689,8 @@ impl Stage for MidplaneStage {
 
 /// Contract: analyzes interruption burstiness over the matched victims and
 /// the RAS time span.
+///
+/// Reads: state{matching}; ctx{distinct_execs, exec_groups, job, job_count, span}
 struct BurstStage;
 
 impl Stage for BurstStage {
@@ -633,7 +705,7 @@ impl Stage for BurstStage {
         state: &PipelineState,
     ) -> StageOutput {
         let binding = Matching::default();
-        let matching = state.matching.as_ref().unwrap_or(&binding);
+        let matching = state.matching().unwrap_or(&binding);
         let mut victims: Vec<&JobRecord> = matching
             .job_to_event
             .keys()
@@ -649,6 +721,8 @@ impl Stage for BurstStage {
 
 /// Contract: splits interruption interarrivals by root cause and fits each
 /// stream.
+///
+/// Reads: state{events, matching, root_cause}; ctx{job}
 struct InterruptionStage;
 
 impl Stage for InterruptionStage {
@@ -663,9 +737,9 @@ impl Stage for InterruptionStage {
         state: &PipelineState,
     ) -> StageOutput {
         let m_binding = Matching::default();
-        let matching = state.matching.as_ref().unwrap_or(&m_binding);
+        let matching = state.matching().unwrap_or(&m_binding);
         let rc_binding = RootCauseSummary::default();
-        let root_cause = state.root_cause.as_ref().unwrap_or(&rc_binding);
+        let root_cause = state.root_cause().unwrap_or(&rc_binding);
         StageOutput::Interruption(InterruptionStats::new(
             state.events(),
             matching,
@@ -677,6 +751,8 @@ impl Stage for InterruptionStage {
 
 /// Contract: measures spatial propagation from multi-victim events and
 /// temporal propagation from the job-related redundancy flags.
+///
+/// Reads: state{events, matching, redundant_flags}; ctx{job}
 struct PropagationStage;
 
 impl Stage for PropagationStage {
@@ -691,12 +767,8 @@ impl Stage for PropagationStage {
         state: &PipelineState,
     ) -> StageOutput {
         let binding = Matching::default();
-        let matching = state.matching.as_ref().unwrap_or(&binding);
-        let chain_flags = state
-            .job_related
-            .as_ref()
-            .map(|o| o.redundant.as_slice())
-            .unwrap_or(&[]);
+        let matching = state.matching().unwrap_or(&binding);
+        let chain_flags = state.redundant_flags();
         StageOutput::Propagation(PropagationAnalysis::new(
             state.events(),
             matching,
@@ -708,6 +780,8 @@ impl Stage for PropagationStage {
 
 /// Contract: runs the Section VI-D vulnerability study over the matched
 /// stream, the root-cause labels, and the midplane fatal counts.
+///
+/// Reads: state{events, matching, midplane, root_cause}; ctx{distinct_execs, exec_groups, job, job_count, job_records, midplane_busy_seconds, midplane_busy_seconds_min_size, record_index}
 struct VulnerabilityStage;
 
 impl Stage for VulnerabilityStage {
@@ -722,12 +796,11 @@ impl Stage for VulnerabilityStage {
         state: &PipelineState,
     ) -> StageOutput {
         let m_binding = Matching::default();
-        let matching = state.matching.as_ref().unwrap_or(&m_binding);
+        let matching = state.matching().unwrap_or(&m_binding);
         let rc_binding = RootCauseSummary::default();
-        let root_cause = state.root_cause.as_ref().unwrap_or(&rc_binding);
+        let root_cause = state.root_cause().unwrap_or(&rc_binding);
         let fatal_counts = state
-            .midplane
-            .as_ref()
+            .midplane()
             .map(|m| m.fatal_counts.as_slice())
             .unwrap_or(&[]);
         StageOutput::Vulnerability(Box::new(VulnerabilityAnalysis::new_with_threads(
@@ -918,5 +991,47 @@ mod tests {
         assert_eq!(seq, par);
         assert_eq!(seq[0], 0);
         assert_eq!(seq[99], 198);
+    }
+
+    /// One small simulated site, shared across proptest cases.
+    fn sim() -> &'static bgp_sim::SimOutput {
+        static SIM: std::sync::OnceLock<bgp_sim::SimOutput> = std::sync::OnceLock::new();
+        SIM.get_or_init(|| {
+            bgp_sim::Simulation::new(bgp_sim::SimConfig::small_test(11))
+                .expect("valid config")
+                .run()
+        })
+    }
+
+    proptest::proptest! {
+        /// The dynamic twin of the `stage-deps` lint: run random stage
+        /// subsets sequentially and assert every product each stage
+        /// actually reads (recorded by the `PipelineState` accessors) lies
+        /// inside the transitive closure of its *declared* dependencies.
+        /// The lint proves this for the code as written; this proves it for
+        /// the code as executed, on real pipeline data.
+        #[test]
+        fn observed_reads_stay_inside_declared_closure(mask in 0u16..(1 << 12)) {
+            let out = sim();
+            let ctx = AnalysisContext::new(&out.ras, &out.jobs);
+            let cfg = CoAnalysisConfig::default();
+            let set = AnalysisSet(mask).closure();
+            let mut state = PipelineState::new(ctx.raw_events().len());
+            state.take_observed_reads();
+            for id in set.stages() {
+                let output = stage(id).run(&ctx, &cfg, &state);
+                let observed = state.take_observed_reads();
+                let allowed = AnalysisSet::of(id.deps()).closure();
+                for p in StageId::ALL {
+                    if observed & p.bit() != 0 {
+                        proptest::prop_assert!(
+                            allowed.contains(p),
+                            "{id:?} read the {p:?} product outside its declared closure"
+                        );
+                    }
+                }
+                state.install(output);
+            }
+        }
     }
 }

@@ -32,6 +32,8 @@
 
 pub mod rules;
 pub mod source;
+pub mod stagegraph;
+pub mod syntax;
 pub mod workspace;
 
 pub use rules::{Finding, RuleInfo, RULES};

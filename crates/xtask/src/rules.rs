@@ -19,8 +19,17 @@
 //! | `snapshot-version` | `.bgpsnap` layout fingerprints track the record structs |
 //! | `dep-versions` | no duplicate major versions in `Cargo.lock` |
 //! | `allow-syntax` | every `xtask-allow` carries a justification |
+//! | `stage-deps` | `StageId::deps()` matches each stage's actual product reads, and `/// Reads:` doc lines stay true |
+//! | `parallel-determinism` | no hash-ordered iteration or FP reduction feeding kernel results; no unsanctioned thread spawns |
+//! | `serve-concurrency` | no Mutex guard held across blocking I/O in `crates/serve`; queues are bounded at construction |
+//!
+//! The last three are token-tree rules: they parse delimiter trees and call
+//! chains via [`crate::syntax`] and whole-workspace dataflow models via
+//! [`crate::stagegraph`], rather than matching single lines.
 
 use crate::source::SourceFile;
+use crate::stagegraph::{self, HashModel};
+use crate::syntax::{self, Syntax, Tree};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
@@ -97,6 +106,18 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         id: "allow-syntax",
         summary: "xtask-allow suppressions carry a non-empty justification",
+    },
+    RuleInfo {
+        id: "stage-deps",
+        summary: "StageId::deps() declarations match the products each Stage::run actually reads (undeclared deps break wave execution; stale deps cost parallelism), and `/// Reads:` doc lines stay true",
+    },
+    RuleInfo {
+        id: "parallel-determinism",
+        summary: "parallel kernels never let HashMap/HashSet iteration order or FP accumulation order reach results, and spawn threads only via the sanctioned scope helpers",
+    },
+    RuleInfo {
+        id: "serve-concurrency",
+        summary: "crates/serve never holds a Mutex guard across blocking I/O and constructs only bounded channels/queues",
     },
 ];
 
@@ -390,21 +411,19 @@ pub fn stage_contract(file: &SourceFile) -> Vec<Finding> {
 
 /// Walk upward from `lineno` (1-based) over attributes, doc comments, and
 /// — for `impl` blocks — the struct declaration the docs sit on, looking
-/// for a doc line starting `Contract:`.
-fn has_contract_above(file: &SourceFile, lineno: usize) -> bool {
+/// for a doc line starting `prefix`; returns the text after the prefix.
+fn doc_above(file: &SourceFile, lineno: usize, prefix: &str) -> Option<String> {
     let mut idx = lineno - 1; // 0-based index of the subject line
     while idx > 0 {
         idx -= 1;
-        let Some(above) = file.lines.get(idx) else {
-            break;
-        };
+        let above = file.lines.get(idx)?;
         // The lexer strips comments out of `code`: a `/// doc` line has
         // empty code and comment text beginning with `/`.
         let trimmed = above.code.trim();
         if trimmed.is_empty() && !above.comment.is_empty() {
             if let Some(doc) = above.comment.strip_prefix('/') {
-                if doc.trim().starts_with("Contract:") {
-                    return true;
+                if let Some(rest) = doc.trim().strip_prefix(prefix) {
+                    return Some(rest.trim().to_owned());
                 }
             }
         } else if trimmed.starts_with("#[")
@@ -420,7 +439,12 @@ fn has_contract_above(file: &SourceFile, lineno: usize) -> bool {
             break;
         }
     }
-    false
+    None
+}
+
+/// True when a `/// Contract:` doc line sits above `lineno`.
+fn has_contract_above(file: &SourceFile, lineno: usize) -> bool {
+    doc_above(file, lineno, "Contract:").is_some()
 }
 
 /// FNV-1a 64 over `bytes` — the same function `bgp_model::bytes::fnv1a_64`
@@ -629,6 +653,595 @@ pub fn allow_syntax(file: &SourceFile) -> Vec<Finding> {
             message: "malformed xtask-allow: use `xtask-allow(<rule>): <justification>`".to_owned(),
         })
         .collect()
+}
+
+/// Canonical text of a stage's `Reads:` contract line: the `PipelineState`
+/// product accessors and `AnalysisContext` methods its `run` reaches, both
+/// sorted. The lint regenerates this text and compares it whitespace-free,
+/// so the doc can wrap freely.
+fn reads_doc_text(state: &BTreeSet<String>, ctx: &BTreeSet<String>) -> String {
+    let join = |s: &BTreeSet<String>| s.iter().cloned().collect::<Vec<_>>().join(", ");
+    format!("state{{{}}}; ctx{{{}}}", join(state), join(ctx))
+}
+
+/// Whitespace-free comparison key for doc-line checks.
+fn squash_ws(s: &str) -> String {
+    s.chars().filter(|c| !c.is_whitespace()).collect()
+}
+
+/// `stage-deps`: cross-check `StageId::deps()` against what every
+/// `impl Stage` actually reads.
+///
+/// An **undeclared** dependency is a correctness bug: the wave executor
+/// schedules a stage as soon as its *declared* dependencies finish, so a
+/// product read outside the declared transitive closure can observe an
+/// absent product and silently degrade to the empty default. A **stale**
+/// (over-declared) dependency is a performance bug: it serializes stages
+/// that could run in the same wave. Both directions are computed from the
+/// extracted [`stagegraph::StageGraphModel`]; `/// Reads:` doc lines on the
+/// stage structs are verified against the same model so the docs cannot
+/// drift from the code.
+pub fn stage_deps(
+    stage_file: &SourceFile,
+    context_file: &SourceFile,
+    core_files: &[&SourceFile],
+) -> Vec<Finding> {
+    let model = stagegraph::extract(stage_file, context_file, core_files);
+    let mut out = Vec::new();
+    let finding = |line: usize, message: String| Finding {
+        rule: "stage-deps",
+        path: stage_file.path.clone(),
+        line,
+        message,
+    };
+    for (line, message) in &model.problems {
+        out.push(finding(*line, message.clone()));
+    }
+    let implemented: BTreeSet<&String> = model
+        .impls
+        .iter()
+        .filter_map(|i| i.variant.as_ref())
+        .collect();
+    for v in &model.variants {
+        if !implemented.contains(v) {
+            out.push(finding(
+                0,
+                format!("no `impl Stage` found for StageId::{v}; every variant needs a pass"),
+            ));
+        }
+        if !model.declared.contains_key(v) {
+            out.push(finding(
+                0,
+                format!("`fn deps` has no arm for StageId::{v}; its dependencies are undeclared"),
+            ));
+        }
+    }
+    for imp in &model.impls {
+        let Some(variant) = &imp.variant else {
+            continue;
+        };
+        let declared = model.declared.get(variant).cloned().unwrap_or_default();
+        let reach = stagegraph::closure(&model.declared, &declared);
+        let mut producers: BTreeSet<String> = BTreeSet::new();
+        let mut state_set: BTreeSet<String> = BTreeSet::new();
+        for r in &imp.state_reads {
+            state_set.insert(r.accessor.clone());
+            match stagegraph::producer_of(&r.accessor) {
+                None => out.push(finding(
+                    r.line,
+                    format!(
+                        "unknown PipelineState accessor `{}`; extend \
+                         stagegraph::PRODUCT_ACCESSORS so the dependency check sees it",
+                        r.accessor
+                    ),
+                )),
+                Some(p) => {
+                    producers.insert(p.to_owned());
+                    if p != variant && !reach.contains(p) {
+                        out.push(finding(
+                            r.line,
+                            format!(
+                                "undeclared dependency: {} ({variant}) reads the {p} product \
+                                 via `state.{}()`, but StageId::deps() does not reach {p} — \
+                                 the wave executor may schedule {variant} before {p} and the \
+                                 read degrades to an empty default",
+                                imp.struct_name, r.accessor
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        for d in &declared {
+            let rest: Vec<String> = declared.iter().filter(|x| *x != d).cloned().collect();
+            let cover = stagegraph::closure(&model.declared, &rest);
+            if producers.iter().all(|p| cover.contains(p)) {
+                out.push(finding(
+                    imp.line,
+                    format!(
+                        "stale dependency: {variant} declares {d} but every product it reads \
+                         is already covered by {{{}}}; drop it to restore wave parallelism",
+                        rest.join(", ")
+                    ),
+                ));
+            }
+        }
+        let expected = reads_doc_text(&state_set, &imp.ctx_reads);
+        match doc_above(stage_file, imp.line, "Reads:") {
+            None => out.push(finding(
+                imp.line,
+                format!(
+                    "{} has no `/// Reads:` contract line; expected `/// Reads: {expected}`",
+                    imp.struct_name
+                ),
+            )),
+            Some(actual) if squash_ws(&actual) != squash_ws(&expected) => out.push(finding(
+                imp.line,
+                format!(
+                    "stale `/// Reads:` line on {}: expected `Reads: {expected}`, found \
+                     `Reads: {actual}`",
+                    imp.struct_name
+                ),
+            )),
+            Some(_) => {}
+        }
+    }
+    out
+}
+
+/// Iterator heads that expose a hash container's nondeterministic order.
+const HASH_ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "into_keys",
+    "values",
+    "values_mut",
+    "into_values",
+    "drain",
+];
+
+/// Chain sinks whose value depends on iteration order.
+const ORDER_SINKS: &[&str] = &[
+    "fold",
+    "reduce",
+    "max_by",
+    "max_by_key",
+    "min_by",
+    "min_by_key",
+    "find",
+    "find_map",
+    "position",
+    "last",
+    "next",
+    "for_each",
+    "scan",
+];
+
+/// Chain sinks that are order-insensitive regardless of element type.
+const COMMUTATIVE_SINKS: &[&str] = &["count", "any", "all"];
+
+/// Integer types whose `sum()`/`product()` is order-insensitive.
+const INT_TYPES: &[&str] = &[
+    "i8", "i16", "i32", "i64", "i128", "isize", "u8", "u16", "u32", "u64", "u128", "usize",
+];
+
+/// Collect every `let` binding under `trees`, recursively through nested
+/// blocks and closure bodies.
+fn collect_lets(trees: &[Tree], out: &mut Vec<syntax::LetBinding>) {
+    for stmt in syntax::statements(trees) {
+        // A statement can carry several `let`s: block statements need no
+        // semicolon, so `if … {…} let s = …;` parses as one statement.
+        // Try every top-level `let`; non-binding positions (`if let`)
+        // simply fail to parse.
+        for (i, t) in stmt.iter().enumerate() {
+            if matches!(t, Tree::Leaf(tok) if tok.text == "let") {
+                let tail = stmt.get(i..).unwrap_or_default();
+                if let Some(b) = syntax::LetBinding::from_statement(tail) {
+                    out.push(b);
+                }
+            }
+        }
+    }
+    for t in trees {
+        if let Tree::Group(g) = t {
+            collect_lets(&g.trees, out);
+        }
+    }
+}
+
+/// `parallel-determinism`: the kernels' bit-identity guarantee (every
+/// `matches_baseline` flag in the committed benchmark baseline) holds only
+/// if `HashMap`/`HashSet` iteration order and floating-point accumulation
+/// order never reach results. Hash containers are fine as *keyed stores*;
+/// iterating one is fine when the traversal is order-insensitive (counts),
+/// re-keyed (collected back into a map), or explicitly re-ordered (sorted
+/// after collection). Everything else is a finding. Thread creation outside
+/// the sanctioned scope helpers (`fork_join`, `map_chunks_parallel`) is
+/// denied in the same scope, since ad-hoc threads bypass the deterministic
+/// chunk → thread assignment.
+pub fn parallel_determinism(
+    file: &SourceFile,
+    model: &HashModel,
+    spawn_sanctioned: bool,
+) -> Vec<Finding> {
+    let syntax_tree = Syntax::parse(file);
+    let mut out = Vec::new();
+    let not_test = |line: usize| {
+        !line
+            .checked_sub(1)
+            .and_then(|i| file.lines.get(i))
+            .is_some_and(|l| l.in_test)
+    };
+    if !spawn_sanctioned {
+        let mut found = Vec::new();
+        syntax::calls(&syntax_tree.trees, &mut found);
+        for c in &found {
+            let is_spawn = c.callee == "spawn" || (c.callee == "scope" && c.qualifier == "thread");
+            if is_spawn && not_test(c.line) {
+                out.push(Finding {
+                    rule: "parallel-determinism",
+                    path: file.path.clone(),
+                    line: c.line,
+                    message: "thread creation outside the sanctioned scope helpers \
+                              (`fork_join` / `map_chunks_parallel`); route parallelism \
+                              through them so chunking and result order stay deterministic"
+                        .to_owned(),
+                });
+            }
+        }
+    }
+    for f in syntax_tree.fns() {
+        let Some(body) = f.body else { continue };
+        // Names bound to hash containers in this body's scope: struct
+        // fields (global by name), hash-typed parameters, and locals whose
+        // annotation, constructor, or initializing call is hash-typed.
+        let mut hash_names: BTreeSet<String> = model.hash_fields.clone();
+        if let Some(params) = f.params() {
+            for (name, ty) in syntax::split_params(params) {
+                if stagegraph::is_hash_type(&ty) {
+                    hash_names.insert(name);
+                }
+            }
+        }
+        let mut lets: Vec<syntax::LetBinding> = Vec::new();
+        collect_lets(&body.trees, &mut lets);
+        for b in &lets {
+            let hash_init = stagegraph::is_hash_type(&b.annotation)
+                || b.init.contains("HashMap")
+                || b.init.contains("HashSet")
+                || b.init
+                    .split_whitespace()
+                    .any(|t| model.hash_fns.contains(t));
+            if hash_init {
+                hash_names.insert(b.name.clone());
+            }
+        }
+        let mut chains: Vec<syntax::Chain<'_>> = Vec::new();
+        syntax::chains(&body.trees, &mut chains);
+        for chain in &chains {
+            if !hash_names.contains(&chain.receiver) || !not_test(chain.line) {
+                continue;
+            }
+            let Some(first) = chain.links.first() else {
+                continue;
+            };
+            if !HASH_ITER_METHODS.contains(&first.method.as_str()) {
+                continue;
+            }
+            // The let binding (if any) this chain initializes, for
+            // annotation and sorted-later checks. The receiver opens the
+            // initializer, so it sits on the initializer's first line;
+            // matching by line keeps `let a = m.iter()…` from resolving to
+            // some earlier binding that merely mentions `m`.
+            let binding = lets.iter().find(|b| {
+                b.init_line == chain.line && b.init.split_whitespace().any(|t| t == chain.receiver)
+            });
+            // A chain with no binding is usually a tail expression or
+            // return value: the enclosing fn's return type annotates it.
+            let fallback_annot = if binding.is_none() {
+                f.return_type()
+            } else {
+                String::new()
+            };
+            let sorted_later = |name: &str| {
+                chains.iter().any(|c| {
+                    c.receiver == name && c.links.iter().any(|l| l.method.starts_with("sort"))
+                })
+            };
+            let mut message: Option<(usize, String)> = None;
+            for link in chain.links.get(1..).unwrap_or_default() {
+                let m = link.method.as_str();
+                if m == "collect" {
+                    let fish = &link.turbofish;
+                    let annot = binding
+                        .map(|b| b.annotation.as_str())
+                        .unwrap_or(&fallback_annot);
+                    let keyed = |t: &str| {
+                        stagegraph::is_hash_type(t)
+                            || t.contains("BTreeMap")
+                            || t.contains("BTreeSet")
+                    };
+                    if keyed(fish) || (fish.is_empty() && keyed(annot)) {
+                        break; // re-keyed or ordered container: order restored
+                    }
+                    if binding.is_some_and(|b| sorted_later(&b.name)) {
+                        break; // collected then deterministically sorted
+                    }
+                    message = Some((
+                        link.line,
+                        format!(
+                            "hash-ordered iteration of `{}` is collected into an \
+                             order-sensitive container and never sorted; sort the result \
+                             or collect into a keyed/ordered container",
+                            chain.receiver
+                        ),
+                    ));
+                    break;
+                }
+                if m == "sum" || m == "product" {
+                    let fish = &link.turbofish;
+                    let annot = binding
+                        .map(|b| b.annotation.as_str())
+                        .unwrap_or(&fallback_annot);
+                    let ty = if fish.is_empty() { annot } else { fish };
+                    if INT_TYPES.contains(&ty) {
+                        break; // integer accumulation commutes exactly
+                    }
+                    let what = if ty.starts_with('f') {
+                        "floating-point accumulation order varies with hash order"
+                    } else {
+                        "element type not visible; floats would accumulate in hash order"
+                    };
+                    message = Some((
+                        link.line,
+                        format!(
+                            "`{m}()` over hash-ordered iteration of `{}`: {what}; \
+                             iterate a sorted view or accumulate integers",
+                            chain.receiver
+                        ),
+                    ));
+                    break;
+                }
+                if ORDER_SINKS.contains(&m) {
+                    message = Some((
+                        link.line,
+                        format!(
+                            "`{m}` consumes hash-ordered iteration of `{}`; its result \
+                             depends on HashMap/HashSet iteration order — iterate a \
+                             sorted view instead",
+                            chain.receiver
+                        ),
+                    ));
+                    break;
+                }
+                if COMMUTATIVE_SINKS.contains(&m) {
+                    break; // order-insensitive sink
+                }
+                // Anything else (map/filter/copied/...) transforms the
+                // stream; keep scanning for the sink.
+            }
+            if let Some((line, message)) = message {
+                out.push(Finding {
+                    rule: "parallel-determinism",
+                    path: file.path.clone(),
+                    line,
+                    message,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Method calls that block on I/O, channels, timers, or other threads.
+const BLOCKING_CALLS: &[&str] = &[
+    "recv",
+    "recv_timeout",
+    "accept",
+    "read",
+    "read_exact",
+    "read_to_end",
+    "read_to_string",
+    "read_line",
+    "write",
+    "write_all",
+    "write_vectored",
+    "flush",
+    "send",
+    "sleep",
+    "join",
+    "connect",
+    "wait",
+    "wait_timeout",
+];
+
+/// One live Mutex guard during the `serve-concurrency` scan.
+struct LiveGuard {
+    name: String,
+    line: usize,
+}
+
+/// True when a statement prefix / initializer contains a guard-producing
+/// call: `.lock(...)` or a local helper returning a `MutexGuard`.
+fn produces_guard(mut words: impl Iterator<Item = String>, guard_fns: &BTreeSet<String>) -> bool {
+    words.any(|w| w == "lock" || guard_fns.contains(&w))
+}
+
+/// Flattened word stream of a tree slice (group contents included).
+fn words_of(trees: &[Tree], out: &mut Vec<String>) {
+    for t in trees {
+        match t {
+            Tree::Leaf(tok) => out.push(tok.text.clone()),
+            Tree::Group(g) => words_of(&g.trees, out),
+        }
+    }
+}
+
+/// Scan one statement's trees for blocking calls under live guards and
+/// `drop(guard)` deactivations; recurse into nested blocks with proper
+/// guard scoping, skipping `spawn(...)` argument closures (they run on
+/// another thread, without the caller's guards).
+fn scan_serve_stmt(
+    file: &SourceFile,
+    stmt: &[Tree],
+    guard_fns: &BTreeSet<String>,
+    active: &mut Vec<LiveGuard>,
+    out: &mut Vec<Finding>,
+) {
+    let leaf = |i: usize| match stmt.get(i) {
+        Some(Tree::Leaf(t)) => t.text.as_str(),
+        _ => "",
+    };
+    for (i, t) in stmt.iter().enumerate() {
+        match t {
+            Tree::Group(g) if g.delim == '{' => {
+                // A block after a guard-producing prefix (`if let Ok(g) =
+                // x.lock() {`, `match x.lock() {`) runs with that guard live.
+                let mut prefix = Vec::new();
+                words_of(stmt.get(..i).unwrap_or_default(), &mut prefix);
+                let scoped = produces_guard(prefix.into_iter(), guard_fns);
+                if scoped {
+                    active.push(LiveGuard {
+                        name: "<scoped>".to_owned(),
+                        line: g.open_line,
+                    });
+                }
+                scan_serve_block(file, &g.trees, guard_fns, active, out);
+                if scoped {
+                    active.pop();
+                }
+            }
+            Tree::Group(g) => {
+                if leaf(i.wrapping_sub(1)) == "spawn" {
+                    continue; // the spawned closure runs without our guards
+                }
+                scan_serve_stmt(file, &g.trees, guard_fns, active, out);
+            }
+            Tree::Leaf(tok) => {
+                // A call is `ident (…)`; check blocking + drop.
+                let is_call = matches!(stmt.get(i + 1), Some(Tree::Group(g)) if g.delim == '(');
+                if !is_call || leaf(i.wrapping_sub(1)) == "!" {
+                    continue;
+                }
+                if tok.text == "drop" {
+                    if let Some(Tree::Group(args)) = stmt.get(i + 1) {
+                        let mut names = Vec::new();
+                        words_of(&args.trees, &mut names);
+                        active.retain(|g| !names.contains(&g.name));
+                    }
+                    continue;
+                }
+                if BLOCKING_CALLS.contains(&tok.text.as_str()) {
+                    if let Some(guard) = active.last() {
+                        out.push(Finding {
+                            rule: "serve-concurrency",
+                            path: file.path.clone(),
+                            line: tok.line,
+                            message: format!(
+                                "blocking `{}` while a Mutex guard (taken on line {}) is \
+                                 live; shrink the guard scope (clone/move what you need, \
+                                 or drop the guard) before blocking",
+                                tok.text, guard.line
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Scan a block's statements, activating guards bound by `let` for the
+/// remainder of the block only.
+fn scan_serve_block(
+    file: &SourceFile,
+    trees: &[Tree],
+    guard_fns: &BTreeSet<String>,
+    active: &mut Vec<LiveGuard>,
+    out: &mut Vec<Finding>,
+) {
+    let entry = active.len();
+    for stmt in syntax::statements(trees) {
+        scan_serve_stmt(file, stmt, guard_fns, active, out);
+        // The binding `let` may trail an earlier block statement in the
+        // same splitter statement (`if … {…} let g = …;`); parse from the
+        // last top-level `let`.
+        let last_let = stmt
+            .iter()
+            .rposition(|t| matches!(t, Tree::Leaf(tok) if tok.text == "let"));
+        let binding = last_let
+            .and_then(|i| syntax::LetBinding::from_statement(stmt.get(i..).unwrap_or_default()));
+        if let Some(b) = binding {
+            if produces_guard(b.init.split_whitespace().map(str::to_owned), guard_fns) {
+                active.push(LiveGuard {
+                    name: b.name,
+                    line: b.line,
+                });
+            }
+        }
+    }
+    active.truncate(entry);
+}
+
+/// `serve-concurrency`: the daemon's shards and HTTP endpoints share state
+/// behind mutexes, and its queues sit between a socket thread and the
+/// analyzers. Two structural rules keep that sound: a Mutex guard must
+/// never be held across a call that can block (socket I/O, channel
+/// `recv`/`send`, thread `join`) — that serializes unrelated readers and
+/// can deadlock shutdown — and every channel/queue must be bounded at its
+/// construction site so a slow consumer applies back-pressure instead of
+/// growing the heap without bound.
+pub fn serve_concurrency(file: &SourceFile) -> Vec<Finding> {
+    let syntax_tree = Syntax::parse(file);
+    let mut out = Vec::new();
+    let not_test = |line: usize| {
+        !line
+            .checked_sub(1)
+            .and_then(|i| file.lines.get(i))
+            .is_some_and(|l| l.in_test)
+    };
+    let mut found = Vec::new();
+    syntax::calls(&syntax_tree.trees, &mut found);
+    for c in &found {
+        if !not_test(c.line) {
+            continue;
+        }
+        if c.callee == "channel" {
+            out.push(Finding {
+                rule: "serve-concurrency",
+                path: file.path.clone(),
+                line: c.line,
+                message: "unbounded `channel()`; use `sync_channel` with an explicit \
+                          capacity so producers back-pressure instead of buffering \
+                          without bound"
+                    .to_owned(),
+            });
+        }
+        if c.callee == "new" && c.qualifier == "VecDeque" {
+            out.push(Finding {
+                rule: "serve-concurrency",
+                path: file.path.clone(),
+                line: c.line,
+                message: "unbounded `VecDeque::new()`; use `with_capacity` plus explicit \
+                          eviction so queues stay bounded"
+                    .to_owned(),
+            });
+        }
+    }
+    let guard_fns: BTreeSet<String> = syntax_tree
+        .fns()
+        .iter()
+        .filter(|f| f.return_type().contains("MutexGuard"))
+        .map(|f| f.name.clone())
+        .collect();
+    for f in syntax_tree.fns() {
+        let Some(body) = f.body else { continue };
+        let mut active: Vec<LiveGuard> = Vec::new();
+        scan_serve_block(file, &body.trees, &guard_fns, &mut active, &mut out);
+    }
+    out
 }
 
 #[cfg(test)]
@@ -949,5 +1562,472 @@ mod tests {
     fn allow_syntax_is_quiet_on_justified_use() {
         let f = file("x(); // xtask-allow(no-panic): poisoned mutex is fatal by design\n");
         assert!(allow_syntax(&f).is_empty());
+    }
+
+    // -- stage-deps -------------------------------------------------------
+
+    /// A minimal stage file: three variants wired `Causal ← Matching ←
+    /// Burst`, with `deps` arms and `impl Stage` blocks shaped like the real
+    /// `crates/core/src/stage.rs`. The closure builds the file from parts so
+    /// each test can vary one aspect (a deps arm, a read, a doc line).
+    fn stage_fixture(burst_deps: &str, burst_read: &str, burst_doc: &str) -> SourceFile {
+        let src = format!(
+            "pub enum StageId {{ Causal = 0, Matching = 1, Burst = 2 }}\n\
+             impl StageId {{\n\
+                 pub fn deps(self) -> &'static [StageId] {{\n\
+                     match self {{\n\
+                         StageId::Causal => &[],\n\
+                         StageId::Matching => &[StageId::Causal],\n\
+                         StageId::Burst => {burst_deps},\n\
+                     }}\n\
+                 }}\n\
+             }}\n\
+             /// Reads: state{{}}; ctx{{}}\n\
+             pub struct CausalStage;\n\
+             impl Stage for CausalStage {{\n\
+                 fn id(&self) -> StageId {{ StageId::Causal }}\n\
+                 fn run(&self, ctx: &AnalysisContext<'_>, state: &mut PipelineState) {{}}\n\
+             }}\n\
+             /// Reads: state{{events}}; ctx{{}}\n\
+             pub struct MatchingStage;\n\
+             impl Stage for MatchingStage {{\n\
+                 fn id(&self) -> StageId {{ StageId::Matching }}\n\
+                 fn run(&self, ctx: &AnalysisContext<'_>, state: &mut PipelineState) {{\n\
+                     let e = state.events();\n\
+                 }}\n\
+             }}\n\
+             {burst_doc}\n\
+             pub struct BurstStage;\n\
+             impl Stage for BurstStage {{\n\
+                 fn id(&self) -> StageId {{ StageId::Burst }}\n\
+                 fn run(&self, ctx: &AnalysisContext<'_>, state: &mut PipelineState) {{\n\
+                     {burst_read}\n\
+                 }}\n\
+             }}\n"
+        );
+        SourceFile::parse("stage_fixture.rs", &src)
+    }
+
+    fn ctx_fixture() -> SourceFile {
+        file("impl<'a> AnalysisContext<'a> {\n    pub fn span(&self) -> u64 { 0 }\n}\n")
+    }
+
+    #[test]
+    fn stage_deps_is_quiet_on_a_consistent_graph() {
+        let stage = stage_fixture(
+            "&[StageId::Matching]",
+            "let m = state.matching();",
+            "/// Reads: state{matching}; ctx{}",
+        );
+        let ctx = ctx_fixture();
+        let found = stage_deps(&stage, &ctx, &[&stage]);
+        assert!(found.is_empty(), "unexpected findings: {found:?}");
+    }
+
+    #[test]
+    fn stage_deps_fires_on_undeclared_dependency() {
+        // Burst reads the Matching product but declares no deps at all.
+        let stage = stage_fixture(
+            "&[]",
+            "let m = state.matching();",
+            "/// Reads: state{matching}; ctx{}",
+        );
+        let ctx = ctx_fixture();
+        let found = stage_deps(&stage, &ctx, &[&stage]);
+        let hits: Vec<_> = found
+            .iter()
+            .filter(|f| f.message.contains("undeclared dependency"))
+            .collect();
+        assert_eq!(hits.len(), 1, "findings: {found:?}");
+        assert!(hits[0].message.contains("Matching"));
+        assert!(hits[0].message.contains("Burst"));
+    }
+
+    #[test]
+    fn stage_deps_fires_on_stale_over_declared_dependency() {
+        // Burst declares Causal on top of Matching, but Matching's closure
+        // already covers everything Burst reads.
+        let stage = stage_fixture(
+            "&[StageId::Causal, StageId::Matching]",
+            "let m = state.matching();",
+            "/// Reads: state{matching}; ctx{}",
+        );
+        let ctx = ctx_fixture();
+        let found = stage_deps(&stage, &ctx, &[&stage]);
+        let hits: Vec<_> = found
+            .iter()
+            .filter(|f| f.message.contains("stale dependency"))
+            .collect();
+        assert_eq!(hits.len(), 1, "findings: {found:?}");
+        assert!(hits[0].message.contains("Causal"));
+    }
+
+    #[test]
+    fn stage_deps_fires_on_missing_or_stale_reads_doc() {
+        let missing = stage_fixture(
+            "&[StageId::Matching]",
+            "let m = state.matching();",
+            "// not a doc line",
+        );
+        let ctx = ctx_fixture();
+        let found = stage_deps(&missing, &ctx, &[&missing]);
+        assert!(
+            found.iter().any(|f| f.message.contains("no `/// Reads:`")),
+            "findings: {found:?}"
+        );
+        let stale = stage_fixture(
+            "&[StageId::Matching]",
+            "let m = state.matching();",
+            "/// Reads: state{events}; ctx{}",
+        );
+        let found = stage_deps(&stale, &ctx, &[&stale]);
+        let hits: Vec<_> = found
+            .iter()
+            .filter(|f| f.message.contains("stale `/// Reads:`"))
+            .collect();
+        assert_eq!(hits.len(), 1, "findings: {found:?}");
+        assert!(hits[0].message.contains("state{matching}"));
+    }
+
+    #[test]
+    fn stage_deps_fires_on_unknown_accessor_and_missing_impl() {
+        let stage = stage_fixture(
+            "&[StageId::Matching]",
+            "let m = state.mystery_product();",
+            "/// Reads: state{mystery_product}; ctx{}",
+        );
+        let ctx = ctx_fixture();
+        let found = stage_deps(&stage, &ctx, &[&stage]);
+        assert!(
+            found
+                .iter()
+                .any(|f| f.message.contains("unknown PipelineState accessor")),
+            "findings: {found:?}"
+        );
+        // Drop the Burst impl entirely: its variant goes unimplemented.
+        let src = "pub enum StageId { Causal = 0 }\n\
+                   impl StageId {\n\
+                       pub fn deps(self) -> &'static [StageId] {\n\
+                           match self { StageId::Causal => &[] }\n\
+                       }\n\
+                   }\n";
+        let bare = SourceFile::parse("stage_fixture.rs", src);
+        let found = stage_deps(&bare, &ctx, &[&bare]);
+        assert!(
+            found.iter().any(|f| f.message.contains("no `impl Stage`")),
+            "findings: {found:?}"
+        );
+    }
+
+    // -- parallel-determinism ---------------------------------------------
+
+    #[test]
+    fn parallel_determinism_fires_on_order_sensitive_hash_iteration() {
+        let f = file(
+            "fn kernel(m: &HashMap<u64, u64>) -> u64 {\n\
+                 let first = m.keys().copied().next();\n\
+                 let v: Vec<u64> = m.values().copied().collect();\n\
+                 let s: f64 = m.values().map(|v| *v as f64).sum();\n\
+                 0\n\
+             }\n",
+        );
+        let found = parallel_determinism(&f, &HashModel::default(), true);
+        assert_eq!(found.len(), 3, "findings: {found:?}");
+        assert!(found.iter().any(|x| x.message.contains("`next`")));
+        assert!(found.iter().any(|x| x.message.contains("never sorted")));
+        assert!(found.iter().any(|x| x.message.contains("floating-point")));
+    }
+
+    #[test]
+    fn parallel_determinism_is_quiet_on_restored_order() {
+        let f = file(
+            "fn kernel(m: &HashMap<u64, u64>, s: &HashSet<u64>) -> u64 {\n\
+                 let rekeyed: HashMap<u64, u64> = m.iter().map(|(k, v)| (*k, *v)).collect();\n\
+                 let fish = m.iter().map(|(k, v)| (*k, *v)).collect::<BTreeMap<u64, u64>>();\n\
+                 let mut sorted: Vec<u64> = s.iter().copied().collect();\n\
+                 sorted.sort_unstable();\n\
+                 let n = s.iter().filter(|x| **x > 0).count();\n\
+                 let total: u64 = m.values().sum();\n\
+                 n as u64 + total\n\
+             }\n",
+        );
+        let found = parallel_determinism(&f, &HashModel::default(), true);
+        assert!(found.is_empty(), "unexpected findings: {found:?}");
+    }
+
+    #[test]
+    fn parallel_determinism_tracks_hash_bindings_and_fields() {
+        // Locals bound from hash constructors and struct fields declared
+        // hash-typed elsewhere both count as hash receivers.
+        let decl = file("struct Index {\n    by_job: HashMap<u64, u64>,\n}\n");
+        let model = stagegraph::hash_model(&[&decl]);
+        let f = file(
+            "fn go(ix: &Index) -> Option<u64> {\n\
+                 let local = HashMap::new();\n\
+                 let a = local.keys().last();\n\
+                 by_job.values().copied().find(|v| *v > 0)\n\
+             }\n",
+        );
+        let found = parallel_determinism(&f, &model, true);
+        assert_eq!(found.len(), 2, "findings: {found:?}");
+    }
+
+    #[test]
+    fn parallel_determinism_fires_on_unsanctioned_spawn() {
+        let f = file("fn go() {\n    std::thread::spawn(move || work());\n}\n");
+        let found = parallel_determinism(&f, &HashModel::default(), false);
+        assert_eq!(found.len(), 1, "findings: {found:?}");
+        assert!(found[0].message.contains("sanctioned"));
+        assert!(parallel_determinism(&f, &HashModel::default(), true).is_empty());
+    }
+
+    #[test]
+    fn parallel_determinism_suppression_is_line_addressable() {
+        let f = file(
+            "fn kernel(m: &HashMap<u64, u64>) -> Option<u64> {\n\
+                 // xtask-allow(parallel-determinism): single-chunk path, order cannot vary\n\
+                 m.values().copied().next()\n\
+             }\n",
+        );
+        let found = parallel_determinism(&f, &HashModel::default(), true);
+        assert_eq!(found.len(), 1);
+        assert!(f.is_allowed("parallel-determinism", found[0].line));
+    }
+
+    // -- serve-concurrency ------------------------------------------------
+
+    #[test]
+    fn serve_concurrency_fires_on_guard_across_blocking_call() {
+        let f = file(
+            "fn pump(state: &Mutex<u64>, rx: &Receiver<u64>) {\n\
+                 let mut guard = state.lock().unwrap_or_else(|p| p.into_inner());\n\
+                 let next = rx.recv();\n\
+             }\n",
+        );
+        let found = serve_concurrency(&f);
+        assert_eq!(found.len(), 1, "findings: {found:?}");
+        assert!(found[0].message.contains("`recv`"));
+        assert!(found[0].message.contains("line 2"));
+    }
+
+    #[test]
+    fn serve_concurrency_respects_guard_scope_and_drop() {
+        let f = file(
+            "fn pump(state: &Mutex<u64>, rx: &Receiver<u64>) {\n\
+                 {\n\
+                     let g = state.lock().unwrap_or_else(|p| p.into_inner());\n\
+                 }\n\
+                 let a = rx.recv();\n\
+                 let g = state.lock().unwrap_or_else(|p| p.into_inner());\n\
+                 drop(g);\n\
+                 let b = rx.recv();\n\
+             }\n",
+        );
+        assert!(serve_concurrency(&f).is_empty());
+    }
+
+    #[test]
+    fn serve_concurrency_sees_scoped_guards_and_helper_fns() {
+        // `if let` guard expressions and local helpers returning a guard
+        // both put a guard in scope for the attached block.
+        let f = file(
+            "fn shard(&self) -> MutexGuard<'_, u64> {\n\
+                 self.inner.lock().unwrap_or_else(|p| p.into_inner())\n\
+             }\n\
+             fn pump(&self, rx: &Receiver<u64>) {\n\
+                 if let Ok(g) = self.inner.lock() {\n\
+                     let x = rx.recv();\n\
+                 }\n\
+                 let s = self.shard();\n\
+                 let y = rx.recv();\n\
+             }\n",
+        );
+        let found = serve_concurrency(&f);
+        assert_eq!(found.len(), 2, "findings: {found:?}");
+    }
+
+    #[test]
+    fn serve_concurrency_ignores_spawned_closures() {
+        // The spawned closure runs on another thread without our guards.
+        let f = file(
+            "fn pump(state: &Mutex<u64>, rx: Receiver<u64>) {\n\
+                 let g = state.lock().unwrap_or_else(|p| p.into_inner());\n\
+                 spawn(move || {\n\
+                     let x = rx.recv();\n\
+                 });\n\
+             }\n",
+        );
+        assert!(serve_concurrency(&f).is_empty());
+    }
+
+    // -- seeded violations in real workspace files ------------------------
+    //
+    // Each family's acceptance proof: load the real source, inject the
+    // defect the rule exists to catch, and assert it is caught — and that
+    // the unmutated file stays clean, so the lint's green run means
+    // something.
+
+    /// A real workspace source, parsed with its repo-relative path.
+    fn real(rel: &str) -> SourceFile {
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let text =
+            std::fs::read_to_string(root.join(rel)).unwrap_or_else(|e| panic!("read {rel}: {e}"));
+        SourceFile::parse(rel, &text)
+    }
+
+    /// Every real source under `crates/core/src` — the interprocedural
+    /// ctx-read resolution needs the whole crate, not just stage.rs.
+    fn core_sources() -> Vec<SourceFile> {
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        crate::workspace::library_sources(&root)
+            .expect("workspace sources")
+            .into_iter()
+            .filter(|f| f.path.starts_with("crates/core/src"))
+            .collect()
+    }
+
+    /// `real(rel)` with `from` replaced by `to` (must occur exactly once).
+    fn mutated(rel: &str, from: &str, to: &str) -> SourceFile {
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let text =
+            std::fs::read_to_string(root.join(rel)).unwrap_or_else(|e| panic!("read {rel}: {e}"));
+        assert_eq!(
+            text.matches(from).count(),
+            1,
+            "mutation anchor `{from}` in {rel}"
+        );
+        SourceFile::parse(rel, &text.replace(from, to))
+    }
+
+    #[test]
+    fn seeded_dropped_stage_dep_is_detected() {
+        // Interruption's declared dependency becomes Causal: its reads of
+        // the matching and root-cause products are now undeclared, so the
+        // wave executor could schedule it one wave too early.
+        let stage = mutated(
+            "crates/core/src/stage.rs",
+            "StageId::Interruption => &[StageId::RootCause],",
+            "StageId::Interruption => &[StageId::Causal],",
+        );
+        let context = real("crates/core/src/context.rs");
+        let core = core_sources();
+        let mut files: Vec<&SourceFile> = core.iter().collect();
+        files.push(&stage);
+        let found = stage_deps(&stage, &context, &files);
+        let undeclared: Vec<_> = found
+            .iter()
+            .filter(|f| f.message.contains("undeclared dependency"))
+            .collect();
+        assert!(
+            undeclared.iter().any(|f| f.message.contains("RootCause")),
+            "findings: {found:?}"
+        );
+        assert!(
+            undeclared.iter().any(|f| f.message.contains("Matching")),
+            "findings: {found:?}"
+        );
+    }
+
+    #[test]
+    fn seeded_redundant_stage_dep_is_detected() {
+        let stage = mutated(
+            "crates/core/src/stage.rs",
+            "StageId::Vulnerability => &[StageId::RootCause, StageId::Midplane],",
+            "StageId::Vulnerability => &[StageId::RootCause, StageId::Midplane, StageId::Causal],",
+        );
+        let context = real("crates/core/src/context.rs");
+        let core = core_sources();
+        let mut files: Vec<&SourceFile> = core.iter().collect();
+        files.push(&stage);
+        let found = stage_deps(&stage, &context, &files);
+        let stale: Vec<_> = found
+            .iter()
+            .filter(|f| f.message.contains("stale dependency"))
+            .collect();
+        assert_eq!(stale.len(), 1, "findings: {found:?}");
+        assert!(stale[0].message.contains("Causal"));
+    }
+
+    #[test]
+    fn real_stage_graph_is_clean() {
+        let stage = real("crates/core/src/stage.rs");
+        let context = real("crates/core/src/context.rs");
+        let core = core_sources();
+        let mut files: Vec<&SourceFile> = core.iter().collect();
+        files.push(&stage);
+        let found = stage_deps(&stage, &context, &files);
+        assert!(found.is_empty(), "findings: {found:?}");
+    }
+
+    #[test]
+    fn seeded_hash_order_reduction_is_detected() {
+        // Drop the deterministic re-ordering of the app-error victims: the
+        // collected Vec inherits HashMap iteration order.
+        let rel = "crates/core/src/analysis/vulnerability.rs";
+        let f = mutated(rel, "app_jobs.sort_unstable_by_key(|j| j.job_id);", "");
+        let model = stagegraph::hash_model(&[&f]);
+        let found = parallel_determinism(&f, &model, false);
+        assert!(
+            found
+                .iter()
+                .any(|x| x.message.contains("never sorted") && x.message.contains("causes")),
+            "findings: {found:?}"
+        );
+        // The unmutated kernel is clean under the same model.
+        let clean = real(rel);
+        let model = stagegraph::hash_model(&[&clean]);
+        assert!(parallel_determinism(&clean, &model, false).is_empty());
+    }
+
+    #[test]
+    fn seeded_guard_across_blocking_call_is_detected() {
+        // `close` joins the workers while still holding the senders lock —
+        // the exact shutdown deadlock shape the rule exists for.
+        let rel = "crates/serve/src/shard.rs";
+        let f = mutated(
+            rel,
+            "*guard = None;",
+            "*guard = None;\n        self.join();",
+        );
+        let found = serve_concurrency(&f);
+        assert!(
+            found.iter().any(|x| x.message.contains("`join`")),
+            "findings: {found:?}"
+        );
+        assert!(serve_concurrency(&real(rel)).is_empty());
+    }
+
+    #[test]
+    fn seeded_unbounded_channel_is_detected() {
+        let rel = "crates/serve/src/shard.rs";
+        let f = mutated(
+            rel,
+            "sync_channel::<RasRecord>(cfg.queue_capacity.max(1))",
+            "channel()",
+        );
+        let found = serve_concurrency(&f);
+        assert_eq!(found.len(), 1, "findings: {found:?}");
+        assert!(found[0].message.contains("sync_channel"));
+    }
+
+    #[test]
+    fn serve_concurrency_fires_on_unbounded_queues() {
+        let f = file(
+            "fn build() {\n\
+                 let (tx, rx) = channel();\n\
+                 let q: VecDeque<u64> = VecDeque::new();\n\
+             }\n",
+        );
+        let found = serve_concurrency(&f);
+        assert_eq!(found.len(), 2, "findings: {found:?}");
+        assert!(found[0].message.contains("sync_channel"));
+        assert!(found[1].message.contains("with_capacity"));
+        let bounded = file(
+            "fn build() {\n\
+                 let (tx, rx) = sync_channel(64);\n\
+                 let q = VecDeque::with_capacity(64);\n\
+             }\n",
+        );
+        assert!(serve_concurrency(&bounded).is_empty());
     }
 }

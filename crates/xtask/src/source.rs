@@ -87,6 +87,11 @@ fn lex(text: &str) -> Vec<Line> {
     let mut chars = text.chars().peekable();
 
     while let Some(c) = chars.next() {
+        if c == '\r' && chars.peek() == Some(&'\n') {
+            // CRLF line ending: the `\r` is not code (a trailing `\r` in
+            // `code` breaks every `ends_with`/`trim` check downstream).
+            continue;
+        }
         if c == '\n' {
             if state == LexState::LineComment {
                 state = LexState::Code;
@@ -427,5 +432,47 @@ mod tests {
     fn nested_block_comments() {
         let f = SourceFile::parse("a.rs", "/* a /* b */ still comment */ code();\n");
         assert_eq!(f.lines[0].code.trim(), "code();");
+    }
+
+    #[test]
+    fn multi_hash_raw_strings() {
+        // `r##"…"##` may contain `"#` without closing; only `"##` ends it.
+        let f = SourceFile::parse("a.rs", "let s = r##\"has \"# inside\"##; done();\n");
+        assert_eq!(f.lines[0].strings[0], "has \"# inside");
+        assert!(f.lines[0].code.contains("done()"));
+        // A lone `r` identifier is not a raw-string opener.
+        let g = SourceFile::parse("a.rs", "let r = r + 1;\n");
+        assert_eq!(g.lines[0].code, "let r = r + 1;");
+    }
+
+    #[test]
+    fn byte_strings_and_byte_raw_strings() {
+        let f = SourceFile::parse("a.rs", "let b = b\"bytes with .unwrap()\"; h();\n");
+        assert_eq!(f.lines[0].strings[0], "bytes with .unwrap()");
+        assert!(f.lines[0].code.contains("h()"));
+        assert!(!f.lines[0].code.contains("unwrap"));
+        let g = SourceFile::parse("a.rs", "let b = br#\"raw \" bytes\"#; k();\n");
+        assert_eq!(g.lines[0].strings[0], "raw \" bytes");
+        assert!(g.lines[0].code.contains("k()"));
+    }
+
+    #[test]
+    fn crlf_line_endings_leave_no_carriage_return_in_code() {
+        let f = SourceFile::parse("a.rs", "struct Unit;\r\nfn f() {}\r\n");
+        assert_eq!(f.lines[0].code, "struct Unit;");
+        assert!(
+            f.lines[0].code.ends_with(';'),
+            "trailing \\r breaks ends_with"
+        );
+        assert_eq!(f.lines[1].code, "fn f() {}");
+    }
+
+    #[test]
+    fn multiline_raw_string_blanks_every_line() {
+        let f = SourceFile::parse("a.rs", "let s = r#\"line one\nline two\"#; tail();\n");
+        // Code on the continuation line is only the closing quote + tail.
+        assert!(f.lines[0].code.contains("let s = \""));
+        assert!(f.lines[1].code.contains("tail()"));
+        assert_eq!(f.lines[1].strings[0], "line one\nline two");
     }
 }

@@ -1,0 +1,764 @@
+//! Whole-workspace dataflow models for the structural rules.
+//!
+//! Two models are extracted here, both built on [`crate::syntax`]:
+//!
+//! * [`StageGraphModel`] — the stage graph as *written*: the `StageId`
+//!   variants and `deps()` declarations from `crates/core/src/stage.rs`,
+//!   and per-`impl Stage` blocks the products each `run` actually reads
+//!   from the `PipelineState` plus the `AnalysisContext` methods it
+//!   touches (resolved transitively through free functions and methods
+//!   that take the context). The `stage-deps` rule cross-checks the two.
+//! * [`HashModel`] — which struct fields and functions carry
+//!   `HashMap`/`HashSet` values, so the `parallel-determinism` rule can
+//!   recognize hash-ordered iteration across file boundaries.
+//!
+//! Extraction is pattern-exact on `rustfmt`ed code. When a shape the model
+//! depends on is missing (no `deps` match, no `fn id` body), the model
+//! records a problem instead of guessing; the rule reports problems as
+//! findings so format drift fails loudly.
+
+use crate::source::SourceFile;
+use crate::syntax::{calls, fns_in, Call, Group, Syntax, Tree};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One product read observed in a stage's `run` body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageRead {
+    /// The `PipelineState` accessor called (e.g. `matching`).
+    pub accessor: String,
+    /// 1-based line of the call.
+    pub line: usize,
+}
+
+/// The extracted model of one `impl Stage for …` block.
+#[derive(Debug)]
+pub struct StageImplModel {
+    /// The implementing struct's name.
+    pub struct_name: String,
+    /// The `StageId` variant returned by `fn id`, when recognized.
+    pub variant: Option<String>,
+    /// 1-based line of the `impl` keyword.
+    pub line: usize,
+    /// Product accessors called on the `PipelineState` parameter.
+    pub state_reads: Vec<StageRead>,
+    /// `AnalysisContext` methods reached from `run` (transitive).
+    pub ctx_reads: BTreeSet<String>,
+}
+
+/// The stage graph as declared and as implemented.
+#[derive(Debug)]
+pub struct StageGraphModel {
+    /// `StageId` variants in declaration order.
+    pub variants: Vec<String>,
+    /// `deps()` declarations: variant → direct dependency variants.
+    pub declared: BTreeMap<String, Vec<String>>,
+    /// One entry per `impl Stage for …` block.
+    pub impls: Vec<StageImplModel>,
+    /// Extraction failures: `(line, message)` on the stage file.
+    pub problems: Vec<(usize, String)>,
+}
+
+/// `PipelineState` product accessors and the stage variant producing each.
+///
+/// Stages may read earlier products only through these accessors (direct
+/// field access defeats both this model and the runtime read recorder), so
+/// this table is the rule's ground truth. An accessor call not listed here
+/// is itself reported, which forces the table to track the state's API.
+pub const PRODUCT_ACCESSORS: &[(&str, &str)] = &[
+    ("after_spatial", "TemporalSpatial"),
+    ("events", "Causal"),
+    ("matching", "Matching"),
+    ("final_events", "JobRelated"),
+    ("redundant_flags", "JobRelated"),
+    ("root_cause", "RootCause"),
+    ("midplane", "Midplane"),
+];
+
+/// The producing variant for a `PipelineState` accessor name, if known.
+pub fn producer_of(accessor: &str) -> Option<&'static str> {
+    PRODUCT_ACCESSORS
+        .iter()
+        .find(|(a, _)| *a == accessor)
+        .map(|&(_, v)| v)
+}
+
+/// Transitive dependency closure of `from` under `declared`, as variant
+/// names. Includes the members of `from` themselves.
+pub fn closure(declared: &BTreeMap<String, Vec<String>>, from: &[String]) -> BTreeSet<String> {
+    let mut out: BTreeSet<String> = from.iter().cloned().collect();
+    loop {
+        let mut grew = false;
+        for v in out.clone() {
+            if let Some(deps) = declared.get(&v) {
+                for d in deps {
+                    grew |= out.insert(d.clone());
+                }
+            }
+        }
+        if !grew {
+            return out;
+        }
+    }
+}
+
+/// Per-function summary used for transitive context-read resolution.
+#[derive(Debug, Default, Clone)]
+struct FnInfo {
+    /// `AnalysisContext` methods called directly on the ctx parameter.
+    direct: BTreeSet<String>,
+    /// `(qualifier, callee)` of calls that receive the ctx parameter.
+    edges: BTreeSet<(String, String)>,
+}
+
+/// Registry of every function (free or method) that takes an
+/// `AnalysisContext` parameter, keyed both bare (`new`) and qualified
+/// (`MidplaneProfile::new`). Same-name entries merge conservatively.
+#[derive(Debug, Default)]
+struct Registry {
+    by_name: BTreeMap<String, FnInfo>,
+}
+
+impl Registry {
+    fn merge(&mut self, key: String, info: &FnInfo) {
+        let slot = self.by_name.entry(key).or_default();
+        slot.direct.extend(info.direct.iter().cloned());
+        slot.edges.extend(info.edges.iter().cloned());
+    }
+
+    /// Resolve a call's transitive ctx reads with a visited set to cut
+    /// recursion cycles.
+    fn reads_of(
+        &self,
+        qualifier: &str,
+        callee: &str,
+        visited: &mut BTreeSet<String>,
+        out: &mut BTreeSet<String>,
+    ) {
+        let qualified = format!("{qualifier}::{callee}");
+        let key = if !qualifier.is_empty() && self.by_name.contains_key(&qualified) {
+            qualified
+        } else {
+            callee.to_owned()
+        };
+        if !visited.insert(key.clone()) {
+            return;
+        }
+        if let Some(info) = self.by_name.get(&key) {
+            out.extend(info.direct.iter().cloned());
+            for (q, c) in &info.edges {
+                self.reads_of(q, c, visited, out);
+            }
+        }
+    }
+}
+
+/// Summarize one fn body given its ctx parameter name: direct ctx-method
+/// calls (restricted to `ctx_methods`) and outgoing ctx-passing edges.
+fn summarize_body(
+    body: &Group,
+    ctx_param: &str,
+    ctx_methods: &BTreeSet<String>,
+    self_ty: &str,
+) -> FnInfo {
+    let mut found: Vec<Call<'_>> = Vec::new();
+    calls(&body.trees, &mut found);
+    let mut info = FnInfo::default();
+    for c in &found {
+        if c.receiver == ctx_param && ctx_methods.contains(&c.callee) {
+            info.direct.insert(c.callee.clone());
+        } else if c.passes_ident(ctx_param) {
+            let q = if c.qualifier == "Self" {
+                self_ty.to_owned()
+            } else {
+                c.qualifier.clone()
+            };
+            info.edges.insert((q, c.callee.clone()));
+        }
+    }
+    info
+}
+
+/// Build the ctx-fn registry over `files`: every fn with a parameter whose
+/// type mentions `AnalysisContext`, keyed bare and (for methods) qualified.
+fn build_registry(files: &[&SourceFile], ctx_methods: &BTreeSet<String>) -> Registry {
+    let mut reg = Registry::default();
+    for file in files {
+        let syntax = Syntax::parse(file);
+        // Method fns get qualified keys from their impl's self type; the
+        // same fns also register bare so method-call sites resolve. fns()
+        // recurses into impl bodies, so dedupe by (name, line).
+        let mut seen: BTreeSet<(String, usize)> = BTreeSet::new();
+        for imp in syntax.impls() {
+            for f in fns_in(&imp.body.trees) {
+                let Some(param) = f.param_named_by_type("AnalysisContext") else {
+                    continue;
+                };
+                let Some(body) = f.body else { continue };
+                let info = summarize_body(body, &param, ctx_methods, &imp.self_ty);
+                seen.insert((f.name.clone(), f.line));
+                reg.merge(format!("{}::{}", imp.self_ty, f.name), &info);
+                reg.merge(f.name, &info);
+            }
+        }
+        for f in syntax.fns() {
+            if seen.contains(&(f.name.clone(), f.line)) {
+                continue;
+            }
+            let Some(param) = f.param_named_by_type("AnalysisContext") else {
+                continue;
+            };
+            let Some(body) = f.body else { continue };
+            let info = summarize_body(body, &param, ctx_methods, "");
+            reg.merge(f.name, &info);
+        }
+    }
+    reg
+}
+
+/// The method names `impl AnalysisContext` defines in `context_file`.
+pub fn context_methods(context_file: &SourceFile) -> BTreeSet<String> {
+    let syntax = Syntax::parse(context_file);
+    let mut out = BTreeSet::new();
+    for imp in syntax.impls() {
+        if imp.self_ty == "AnalysisContext" && imp.trait_name.is_none() {
+            for f in fns_in(&imp.body.trees) {
+                out.insert(f.name);
+            }
+        }
+    }
+    out
+}
+
+/// Leaf text helper local to arm parsing.
+fn leaf_text(trees: &[Tree], i: usize) -> &str {
+    match trees.get(i) {
+        Some(Tree::Leaf(t)) => &t.text,
+        _ => "",
+    }
+}
+
+/// Variant names (`StageId::X`) appearing in `trees` — idents directly
+/// following a `::` token.
+fn variant_refs(trees: &[Tree], variants: &BTreeSet<String>) -> Vec<String> {
+    let mut out = Vec::new();
+    for (i, t) in trees.iter().enumerate() {
+        if let Tree::Leaf(tok) = t {
+            if i >= 1 && leaf_text(trees, i - 1) == "::" && variants.contains(&tok.text) {
+                out.push(tok.text.clone());
+            }
+        }
+    }
+    out
+}
+
+/// Parse the `match self { … }` arms of `fn deps`.
+fn parse_deps_arms(
+    body: &Group,
+    variants: &BTreeSet<String>,
+    problems: &mut Vec<(usize, String)>,
+) -> BTreeMap<String, Vec<String>> {
+    let mut declared = BTreeMap::new();
+    // Find the match group: `match self { arms }`.
+    let trees = &body.trees;
+    let mut match_body: Option<&Group> = None;
+    for (i, t) in trees.iter().enumerate() {
+        if let Tree::Leaf(tok) = t {
+            if tok.text == "match" && leaf_text(trees, i + 1) == "self" {
+                if let Some(Tree::Group(g)) = trees.get(i + 2) {
+                    if g.delim == '{' {
+                        match_body = Some(g);
+                    }
+                }
+            }
+        }
+    }
+    let Some(arms) = match_body else {
+        problems.push((
+            body.open_line,
+            "fn deps: no `match self { … }` body recognized; stage.rs format changed?".to_owned(),
+        ));
+        return declared;
+    };
+    let mut pattern_start = 0usize;
+    let mut i = 0usize;
+    while i < arms.trees.len() {
+        if leaf_text(&arms.trees, i) == "=>" {
+            let pattern = arms.trees.get(pattern_start..i).unwrap_or_default();
+            let pat_variants = variant_refs(pattern, variants);
+            let wildcard = pattern
+                .iter()
+                .any(|t| matches!(t, Tree::Leaf(tok) if tok.text == "_"));
+            let arm_line = pattern
+                .first()
+                .map(|t| match t {
+                    Tree::Leaf(tok) => tok.line,
+                    Tree::Group(g) => g.open_line,
+                })
+                .unwrap_or(arms.open_line);
+            if wildcard {
+                problems.push((
+                    arm_line,
+                    "fn deps: wildcard arm absorbs future stages; list every variant".to_owned(),
+                ));
+            }
+            // Arm value: `&[…]` inline or `{ &[…] }` braced.
+            let mut deps_list: Option<Vec<String>> = None;
+            let mut j = i + 1;
+            match arms.trees.get(j) {
+                Some(Tree::Leaf(tok)) if tok.text == "&" => {
+                    if let Some(Tree::Group(g)) = arms.trees.get(j + 1) {
+                        if g.delim == '[' {
+                            deps_list = Some(variant_refs(&g.trees, variants));
+                            j += 2;
+                        }
+                    }
+                }
+                Some(Tree::Group(outer)) if outer.delim == '{' => {
+                    for (k, t) in outer.trees.iter().enumerate() {
+                        if matches!(t, Tree::Leaf(tok) if tok.text == "&") {
+                            if let Some(Tree::Group(g)) = outer.trees.get(k + 1) {
+                                if g.delim == '[' {
+                                    deps_list = Some(variant_refs(&g.trees, variants));
+                                }
+                            }
+                        }
+                    }
+                    j += 1;
+                }
+                _ => {}
+            }
+            match deps_list {
+                Some(list) if !pat_variants.is_empty() => {
+                    for v in pat_variants {
+                        declared.insert(v, list.clone());
+                    }
+                }
+                _ if wildcard => {}
+                _ => problems.push((
+                    arm_line,
+                    "fn deps: arm not shaped `StageId::X => &[…]`; stage.rs format changed?"
+                        .to_owned(),
+                )),
+            }
+            // Skip a trailing comma.
+            if leaf_text(&arms.trees, j) == "," {
+                j += 1;
+            }
+            pattern_start = j;
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    declared
+}
+
+/// The `StageId` enum's variant names, in declaration order: idents directly
+/// inside the `enum StageId { … }` body that are followed by `=` or `,`.
+fn enum_variants(syntax: &Syntax, problems: &mut Vec<(usize, String)>) -> Vec<String> {
+    fn find(trees: &[Tree]) -> Option<&Group> {
+        for (i, t) in trees.iter().enumerate() {
+            if let Tree::Leaf(tok) = t {
+                if tok.text == "enum" && leaf_text(trees, i + 1) == "StageId" {
+                    if let Some(Tree::Group(g)) = trees.get(i + 2) {
+                        if g.delim == '{' {
+                            return Some(g);
+                        }
+                    }
+                }
+            }
+            if let Tree::Group(g) = t {
+                if let Some(found) = find(&g.trees) {
+                    return Some(found);
+                }
+            }
+        }
+        None
+    }
+    let Some(body) = find(&syntax.trees) else {
+        problems.push((
+            0,
+            "no `enum StageId { … }` found; stage.rs format changed?".to_owned(),
+        ));
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for (i, t) in body.trees.iter().enumerate() {
+        if let Tree::Leaf(tok) = t {
+            let is_variant = tok
+                .text
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_uppercase())
+                && matches!(leaf_text(&body.trees, i + 1), "=" | ",");
+            let after_punct = i == 0 || matches!(leaf_text(&body.trees, i - 1), "," | "]" | "");
+            let after_group = matches!(body.trees.get(i.wrapping_sub(1)), Some(Tree::Group(_)));
+            if is_variant && (after_punct || after_group || i == 0) {
+                out.push(tok.text.clone());
+            }
+        }
+    }
+    out
+}
+
+/// Extract the full stage-graph model from `stage_file`, resolving context
+/// reads through `core_files` (which should include the stage file itself).
+pub fn extract(
+    stage_file: &SourceFile,
+    context_file: &SourceFile,
+    core_files: &[&SourceFile],
+) -> StageGraphModel {
+    let mut problems = Vec::new();
+    let syntax = Syntax::parse(stage_file);
+    let variants = enum_variants(&syntax, &mut problems);
+    let variant_set: BTreeSet<String> = variants.iter().cloned().collect();
+
+    // Declared deps from `fn deps` (the one whose body matches on self).
+    let mut declared = BTreeMap::new();
+    let mut found_deps = false;
+    for f in syntax.fns() {
+        if f.name == "deps" {
+            if let Some(body) = f.body {
+                declared = parse_deps_arms(body, &variant_set, &mut problems);
+                found_deps = true;
+            }
+        }
+    }
+    if !found_deps {
+        problems.push((
+            0,
+            "no `fn deps` with a body found; stage.rs format changed?".to_owned(),
+        ));
+    }
+
+    let ctx_methods = context_methods(context_file);
+    if ctx_methods.is_empty() {
+        problems.push((
+            0,
+            "no `impl AnalysisContext` methods recognized; context.rs format changed?".to_owned(),
+        ));
+    }
+    let registry = build_registry(core_files, &ctx_methods);
+
+    // Per-`impl Stage` extraction.
+    let mut impls = Vec::new();
+    for imp in syntax.impls() {
+        if imp.trait_name.as_deref() != Some("Stage") {
+            continue;
+        }
+        let fns = fns_in(&imp.body.trees);
+        // `fn id` → the variant after the last `::` in its body.
+        let variant = fns.iter().find(|f| f.name == "id").and_then(|f| {
+            f.body
+                .map(|b| variant_refs(&b.trees, &variant_set))
+                .and_then(|v| v.last().cloned())
+        });
+        if variant.is_none() {
+            problems.push((
+                imp.line,
+                format!(
+                    "impl Stage for {}: `fn id` does not return a recognizable StageId variant",
+                    imp.self_ty
+                ),
+            ));
+        }
+        let Some(run) = fns.iter().find(|f| f.name == "run") else {
+            problems.push((
+                imp.line,
+                format!("impl Stage for {}: no `fn run` body found", imp.self_ty),
+            ));
+            continue;
+        };
+        let state_param = run.param_named_by_type("PipelineState");
+        let ctx_param = run.param_named_by_type("AnalysisContext");
+        let mut state_reads = Vec::new();
+        let mut ctx_reads = BTreeSet::new();
+        if let Some(body) = run.body {
+            let mut found: Vec<Call<'_>> = Vec::new();
+            calls(&body.trees, &mut found);
+            for c in &found {
+                if Some(&c.receiver) == state_param.as_ref() {
+                    state_reads.push(StageRead {
+                        accessor: c.callee.clone(),
+                        line: c.line,
+                    });
+                }
+                if let Some(ctx) = &ctx_param {
+                    if &c.receiver == ctx && ctx_methods.contains(&c.callee) {
+                        ctx_reads.insert(c.callee.clone());
+                    } else if c.passes_ident(ctx) {
+                        let mut visited = BTreeSet::new();
+                        registry.reads_of(&c.qualifier, &c.callee, &mut visited, &mut ctx_reads);
+                    }
+                }
+            }
+        }
+        impls.push(StageImplModel {
+            struct_name: imp.self_ty.clone(),
+            variant,
+            line: imp.line,
+            state_reads,
+            ctx_reads,
+        });
+    }
+    if impls.is_empty() {
+        problems.push((
+            0,
+            "no `impl Stage for …` blocks found; stage.rs format changed?".to_owned(),
+        ));
+    }
+
+    StageGraphModel {
+        variants,
+        declared,
+        impls,
+        problems,
+    }
+}
+
+/// Struct fields and functions carrying `HashMap`/`HashSet` values.
+#[derive(Debug, Default)]
+pub struct HashModel {
+    /// Field names declared with a hash-typed value anywhere in the scanned
+    /// sources (field names are treated as a global namespace — a read of
+    /// `self.best` cannot be type-resolved, only name-matched).
+    pub hash_fields: BTreeSet<String>,
+    /// Function names whose return type mentions `HashMap`/`HashSet`.
+    pub hash_fns: BTreeSet<String>,
+}
+
+/// True when a flattened type text mentions a std hash container.
+pub fn is_hash_type(ty: &str) -> bool {
+    ty.contains("HashMap") || ty.contains("HashSet")
+}
+
+/// Scan `sources` for hash-typed struct fields and hash-returning fns.
+pub fn hash_model(sources: &[&SourceFile]) -> HashModel {
+    let mut model = HashModel::default();
+    for file in sources {
+        let syntax = Syntax::parse(file);
+        for f in syntax.fns() {
+            if is_hash_type(&f.return_type()) {
+                model.hash_fns.insert(f.name);
+            }
+        }
+        collect_hash_fields(&syntax.trees, &mut model.hash_fields);
+    }
+    model
+}
+
+/// Find `struct Name { field: HashMap<…>, … }` fields, recursively.
+fn collect_hash_fields(trees: &[Tree], out: &mut BTreeSet<String>) {
+    for (i, t) in trees.iter().enumerate() {
+        if let Tree::Group(g) = t {
+            // A struct body directly follows `struct Name` (possibly with
+            // generics between).
+            let is_struct_body = g.delim == '{' && {
+                let mut j = i;
+                let mut saw_struct = false;
+                // Walk back over name/generic tokens to a `struct` keyword.
+                while j > 0 {
+                    j -= 1;
+                    match trees.get(j) {
+                        Some(Tree::Leaf(tok)) => {
+                            if tok.text == "struct" {
+                                saw_struct = true;
+                                break;
+                            }
+                            let token_ok = tok.text == "<"
+                                || tok.text == ">"
+                                || tok.text == "'"
+                                || tok.text == ","
+                                || tok.text == "::"
+                                || tok
+                                    .text
+                                    .chars()
+                                    .next()
+                                    .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_');
+                            if !token_ok {
+                                break;
+                            }
+                        }
+                        _ => break,
+                    }
+                }
+                saw_struct
+            };
+            if is_struct_body {
+                // Fields split at top-level commas: `vis name : type`.
+                let mut k = 0usize;
+                while k < g.trees.len() {
+                    // Field name is the ident directly before a `:`.
+                    if leaf_text(&g.trees, k) == ":" && k >= 1 {
+                        if let Some(Tree::Leaf(name)) = g.trees.get(k - 1) {
+                            // Type text runs to the next top-level comma.
+                            let mut ty = String::new();
+                            let mut angle = 0i32;
+                            let mut m = k + 1;
+                            while let Some(tree) = g.trees.get(m) {
+                                match tree {
+                                    Tree::Leaf(tok) => match tok.text.as_str() {
+                                        "," if angle == 0 => break,
+                                        "<" => {
+                                            angle += 1;
+                                            ty.push('<');
+                                        }
+                                        ">" => {
+                                            angle -= 1;
+                                            ty.push('>');
+                                        }
+                                        s => ty.push_str(s),
+                                    },
+                                    Tree::Group(_) => ty.push_str("()"),
+                                }
+                                m += 1;
+                            }
+                            if is_hash_type(&ty) {
+                                out.insert(name.text.clone());
+                            }
+                            k = m;
+                            continue;
+                        }
+                    }
+                    k += 1;
+                }
+            }
+            collect_hash_fields(&g.trees, out);
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::indexing_slicing)] // fixture access; a miss is a test failure
+mod tests {
+    use super::*;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::parse("crates/core/src/stage.rs", src)
+    }
+
+    const STAGE_FIXTURE: &str = "\
+pub enum StageId {
+    First = 0,
+    Second = 1,
+    Third = 2,
+}
+
+impl StageId {
+    pub fn deps(self) -> &'static [StageId] {
+        match self {
+            StageId::First => &[],
+            StageId::Second | StageId::Third => &[StageId::First],
+        }
+    }
+}
+
+struct SecondStage;
+
+impl Stage for SecondStage {
+    fn id(&self) -> StageId {
+        StageId::Second
+    }
+
+    fn run(&self, ctx: &AnalysisContext<'_>, state: &PipelineState) -> StageOutput {
+        let input = state.after_spatial();
+        helper(input, ctx)
+    }
+}
+";
+
+    const CONTEXT_FIXTURE: &str = "\
+impl<'a> AnalysisContext<'a> {
+    pub fn job(&self, id: u64) -> Option<&JobRecord> { None }
+    pub fn span(&self) -> Option<(Timestamp, Timestamp)> { None }
+}
+";
+
+    fn ctx_file() -> SourceFile {
+        SourceFile::parse("crates/core/src/context.rs", CONTEXT_FIXTURE)
+    }
+
+    #[test]
+    fn variants_and_deps_are_extracted() {
+        let stage = file(STAGE_FIXTURE);
+        let model = extract(&stage, &ctx_file(), &[&stage]);
+        assert_eq!(model.variants, vec!["First", "Second", "Third"]);
+        assert_eq!(model.declared["First"], Vec::<String>::new());
+        assert_eq!(model.declared["Second"], vec!["First"]);
+        assert_eq!(model.declared["Third"], vec!["First"]);
+        assert!(model.problems.is_empty(), "{:?}", model.problems);
+    }
+
+    #[test]
+    fn stage_impl_reads_are_observed() {
+        let stage = file(STAGE_FIXTURE);
+        let helper_file = SourceFile::parse(
+            "crates/core/src/helper.rs",
+            "pub fn helper(input: &[Event], ctx: &AnalysisContext<'_>) -> usize {\n\
+                 ctx.job(1);\n\
+                 deeper(ctx)\n\
+             }\n\
+             fn deeper(ctx: &AnalysisContext<'_>) -> usize {\n\
+                 ctx.span();\n\
+                 0\n\
+             }\n",
+        );
+        let model = extract(&stage, &ctx_file(), &[&stage, &helper_file]);
+        assert_eq!(model.impls.len(), 1);
+        let imp = &model.impls[0];
+        assert_eq!(imp.variant.as_deref(), Some("Second"));
+        assert_eq!(imp.state_reads.len(), 1);
+        assert_eq!(imp.state_reads[0].accessor, "after_spatial");
+        // `helper` touches job directly and span through `deeper`.
+        let reads: Vec<&str> = imp.ctx_reads.iter().map(String::as_str).collect();
+        assert_eq!(reads, vec!["job", "span"]);
+    }
+
+    #[test]
+    fn closure_is_transitive() {
+        let mut declared = BTreeMap::new();
+        declared.insert("C".to_owned(), vec!["B".to_owned()]);
+        declared.insert("B".to_owned(), vec!["A".to_owned()]);
+        declared.insert("A".to_owned(), Vec::new());
+        let c = closure(&declared, &["C".to_owned()]);
+        assert_eq!(c.len(), 3);
+        assert!(c.contains("A"));
+    }
+
+    #[test]
+    fn wildcard_deps_arm_is_a_problem() {
+        let stage = file(
+            "pub enum StageId { First = 0 }\n\
+             impl StageId {\n\
+                 pub fn deps(self) -> &'static [StageId] {\n\
+                     match self { _ => &[] }\n\
+                 }\n\
+             }\n\
+             struct S;\n\
+             impl Stage for S {\n\
+                 fn id(&self) -> StageId { StageId::First }\n\
+                 fn run(&self, state: &PipelineState) -> StageOutput { todo() }\n\
+             }\n",
+        );
+        let model = extract(&stage, &ctx_file(), &[&stage]);
+        assert!(model.problems.iter().any(|(_, m)| m.contains("wildcard")));
+    }
+
+    #[test]
+    fn hash_model_finds_fields_and_fn_returns() {
+        let f = SourceFile::parse(
+            "m.rs",
+            "pub struct Matching {\n\
+                 pub job_to_event: HashMap<u64, u32>,\n\
+                 pub cases: Vec<Case>,\n\
+             }\n\
+             fn daily_profiles(x: u8) -> HashMap<u32, f64> { HashMap::new() }\n\
+             fn plain() -> Vec<u8> { Vec::new() }\n",
+        );
+        let model = hash_model(&[&f]);
+        assert!(model.hash_fields.contains("job_to_event"));
+        assert!(!model.hash_fields.contains("cases"));
+        assert!(model.hash_fns.contains("daily_profiles"));
+        assert!(!model.hash_fns.contains("plain"));
+    }
+}

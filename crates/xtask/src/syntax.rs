@@ -1,0 +1,974 @@
+//! Token-tree parsing layered on the [`SourceFile`] lexer.
+//!
+//! The line-lexical rules see one line at a time; the dataflow rules
+//! (`stage-deps`, `parallel-determinism`, `serve-concurrency`) need real
+//! structure: which tokens sit inside which braces, where an `impl` block's
+//! body starts and ends, what a method-call chain looks like. This module
+//! supplies exactly that — and nothing more. It is not a Rust parser: it
+//! builds delimiter trees (`{}`, `[]`, `()`) over the lexer's
+//! comment-stripped, string-blanked code, then pattern-matches `rustfmt`ed
+//! item shapes on top. On formatted code the extraction is exact; on
+//! pathological code it degrades to "no items found", which downstream
+//! rules report as format drift rather than silently passing.
+//!
+//! The public surface is deliberately small:
+//!
+//! * [`Syntax::parse`] — tokenize + build the delimiter tree;
+//! * [`Syntax::fns`] / [`Syntax::impls`] — item extraction (recursive
+//!   through inline `mod` blocks, skipping `#[cfg(test)]` regions);
+//! * [`calls`] — every `recv.method(args)` / `path::fn(args)` call in a
+//!   body, with the receiver token when syntactically evident;
+//! * [`chains`] — method-call chains (`x.iter().map(..).collect::<T>()`)
+//!   flattened into [`ChainLink`]s with turbofish text preserved;
+//! * [`statements`] — split a block's trees at `;` for `let`-binding
+//!   analysis ([`LetBinding::from_statement`]).
+
+use crate::source::SourceFile;
+
+/// What kind of token a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier, keyword, or numeric literal (`[A-Za-z0-9_]+` runs).
+    Ident,
+    /// A single punctuation character, or one of the glued pairs
+    /// `::`, `->`, `=>`.
+    Punct,
+    /// A string-literal quote (contents were blanked by the lexer).
+    Quote,
+}
+
+/// One token, with the 1-based source line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token text (`"ident"`, `"::"`, `"."`, ...).
+    pub text: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Classification.
+    pub kind: TokenKind,
+    /// True when the token sits inside `#[cfg(test)]`-gated code.
+    pub in_test: bool,
+}
+
+/// A node of the delimiter tree: a leaf token or a delimited group.
+#[derive(Debug, Clone)]
+pub enum Tree {
+    /// A single token.
+    Leaf(Token),
+    /// A `(...)`, `[...]`, or `{...}` group.
+    Group(Group),
+}
+
+/// A delimited group and its contents.
+#[derive(Debug, Clone)]
+pub struct Group {
+    /// Opening delimiter: `'('`, `'['`, or `'{'`.
+    pub delim: char,
+    /// 1-based line of the opening delimiter.
+    pub open_line: usize,
+    /// 1-based line of the closing delimiter (opening line if unclosed).
+    pub close_line: usize,
+    /// Child nodes in source order.
+    pub trees: Vec<Tree>,
+}
+
+/// A parsed file: the top-level forest of tokens and groups.
+#[derive(Debug, Clone)]
+pub struct Syntax {
+    /// Top-level nodes in source order.
+    pub trees: Vec<Tree>,
+}
+
+/// A `fn` item: name, signature tokens, and body group.
+#[derive(Debug)]
+pub struct FnDef<'a> {
+    /// Function name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Signature nodes between the name and the body: the parameter-list
+    /// group first, then any return-type tokens.
+    pub sig: Vec<&'a Tree>,
+    /// The `{ ... }` body (absent for trait-method declarations).
+    pub body: Option<&'a Group>,
+}
+
+impl FnDef<'_> {
+    /// The parameter-list `( ... )` group, when present.
+    pub fn params(&self) -> Option<&Group> {
+        self.sig.iter().find_map(|t| match t {
+            Tree::Group(g) if g.delim == '(' => Some(g),
+            _ => None,
+        })
+    }
+
+    /// The name of the first parameter whose type text contains `ty_needle`
+    /// (e.g. `"AnalysisContext"` matches `ctx: &AnalysisContext<'_>`).
+    pub fn param_named_by_type(&self, ty_needle: &str) -> Option<String> {
+        let params = self.params()?;
+        for (name, ty) in split_params(params) {
+            if ty.contains(ty_needle) {
+                return Some(name);
+            }
+        }
+        None
+    }
+
+    /// Flattened text of the return type (tokens after `->`), or empty.
+    pub fn return_type(&self) -> String {
+        let mut out = String::new();
+        let mut after_arrow = false;
+        for t in &self.sig {
+            match t {
+                Tree::Leaf(tok) => {
+                    if tok.text == "->" {
+                        after_arrow = true;
+                    } else if after_arrow {
+                        out.push_str(&tok.text);
+                    }
+                }
+                Tree::Group(_) if after_arrow => out.push_str("()"),
+                Tree::Group(_) => {}
+            }
+        }
+        out
+    }
+}
+
+/// An `impl` block: optional trait, self type, and body.
+#[derive(Debug)]
+pub struct ImplBlock<'a> {
+    /// Trait name when this is `impl Trait for Type` (last path segment).
+    pub trait_name: Option<String>,
+    /// Self type name (last path segment, generics stripped).
+    pub self_ty: String,
+    /// 1-based line of the `impl` keyword.
+    pub line: usize,
+    /// The `{ ... }` body.
+    pub body: &'a Group,
+}
+
+/// One link of a method-call chain: `.name::<turbofish>(args)`.
+#[derive(Debug, Clone)]
+pub struct ChainLink<'a> {
+    /// Method name.
+    pub method: String,
+    /// 1-based line of the method name.
+    pub line: usize,
+    /// Turbofish text (`Vec<_>` for `::<Vec<_>>`), empty when absent.
+    pub turbofish: String,
+    /// The argument group.
+    pub args: &'a Group,
+}
+
+/// A method-call chain rooted at a receiver token.
+#[derive(Debug)]
+pub struct Chain<'a> {
+    /// The receiver: the identifier (or field name) the chain hangs off.
+    /// `self.counts.iter()` roots at `counts`; `foo().bar()` has receiver
+    /// `"()"` (a call result).
+    pub receiver: String,
+    /// 1-based line of the receiver.
+    pub line: usize,
+    /// Links in call order.
+    pub links: Vec<ChainLink<'a>>,
+}
+
+impl Chain<'_> {
+    /// True when any link's method name equals `name`.
+    pub fn has_method(&self, name: &str) -> bool {
+        self.links.iter().any(|l| l.method == name)
+    }
+}
+
+/// A `let` binding split out of a statement.
+#[derive(Debug)]
+pub struct LetBinding {
+    /// Bound name (the first identifier after `let` / `let mut`).
+    pub name: String,
+    /// 1-based line of the binding.
+    pub line: usize,
+    /// Flattened text of the type annotation (empty when absent).
+    pub annotation: String,
+    /// Flattened text of the initializer (groups render as `(...)` etc.).
+    pub init: String,
+    /// 1-based line of the initializer's first token — differs from `line`
+    /// when rustfmt wraps the initializer onto its own line.
+    pub init_line: usize,
+}
+
+impl Syntax {
+    /// Tokenize `file` and build the delimiter forest.
+    pub fn parse(file: &SourceFile) -> Syntax {
+        let tokens = tokenize(file);
+        let mut iter = tokens.into_iter().peekable();
+        Syntax {
+            trees: build_forest(&mut iter, None),
+        }
+    }
+
+    /// All `fn` items, recursively through inline `mod`/`impl` bodies,
+    /// skipping `#[cfg(test)]` code.
+    pub fn fns(&self) -> Vec<FnDef<'_>> {
+        fns_in(&self.trees)
+    }
+
+    /// All `impl` blocks, recursively through inline `mod` bodies,
+    /// skipping `#[cfg(test)]` code.
+    pub fn impls(&self) -> Vec<ImplBlock<'_>> {
+        impls_in(&self.trees)
+    }
+}
+
+/// All `fn` items under `trees` (see [`Syntax::fns`]).
+pub fn fns_in(trees: &[Tree]) -> Vec<FnDef<'_>> {
+    let mut out = Vec::new();
+    collect_fns(trees, &mut out);
+    out
+}
+
+/// All `impl` blocks under `trees` (see [`Syntax::impls`]).
+pub fn impls_in(trees: &[Tree]) -> Vec<ImplBlock<'_>> {
+    let mut out = Vec::new();
+    collect_impls(trees, &mut out);
+    out
+}
+
+/// Split `file`'s code channel into tokens. String literals were blanked by
+/// the lexer, so a quote token always stands for a full literal.
+fn tokenize(file: &SourceFile) -> Vec<Token> {
+    let mut out = Vec::new();
+    for (lineno, line) in file.numbered() {
+        let chars: Vec<char> = line.code.chars().collect();
+        let mut i = 0;
+        while let Some(&c) = chars.get(i) {
+            if c.is_whitespace() {
+                i += 1;
+                continue;
+            }
+            if c.is_ascii_alphanumeric() || c == '_' {
+                let start = i;
+                while chars
+                    .get(i)
+                    .is_some_and(|ch| ch.is_ascii_alphanumeric() || *ch == '_')
+                {
+                    i += 1;
+                }
+                out.push(Token {
+                    text: chars.get(start..i).unwrap_or_default().iter().collect(),
+                    line: lineno,
+                    kind: TokenKind::Ident,
+                    in_test: line.in_test,
+                });
+                continue;
+            }
+            if c == '"' {
+                out.push(Token {
+                    text: "\"".to_owned(),
+                    line: lineno,
+                    kind: TokenKind::Quote,
+                    in_test: line.in_test,
+                });
+                i += 1;
+                continue;
+            }
+            // Glue the two-character operators the extractors key on.
+            let next = chars.get(i + 1).copied();
+            let glued = match (c, next) {
+                (':', Some(':')) => Some("::"),
+                ('-', Some('>')) => Some("->"),
+                ('=', Some('>')) => Some("=>"),
+                _ => None,
+            };
+            let text = match glued {
+                Some(g) => {
+                    i += 2;
+                    g.to_owned()
+                }
+                None => {
+                    i += 1;
+                    c.to_string()
+                }
+            };
+            out.push(Token {
+                text,
+                line: lineno,
+                kind: TokenKind::Punct,
+                in_test: line.in_test,
+            });
+        }
+    }
+    out
+}
+
+/// Build a forest until `close` (or end of input). Stray closers of other
+/// kinds are treated as closing the current group — lenient on purpose.
+fn build_forest(
+    iter: &mut std::iter::Peekable<std::vec::IntoIter<Token>>,
+    close: Option<char>,
+) -> Vec<Tree> {
+    let mut out = Vec::new();
+    while let Some(tok) = iter.peek() {
+        let text = tok.text.as_str();
+        let opener = matches!(text, "(" | "[" | "{");
+        let closer = matches!(text, ")" | "]" | "}");
+        if closer {
+            if close.is_some() {
+                return out; // caller consumes the closer
+            }
+            iter.next(); // stray closer at top level: drop it
+            continue;
+        }
+        if opener {
+            let open = iter.next().unwrap_or_else(|| unreachable!("peeked"));
+            let delim = open.text.chars().next().unwrap_or('(');
+            let want = match delim {
+                '(' => ')',
+                '[' => ']',
+                _ => '}',
+            };
+            let trees = build_forest(iter, Some(want));
+            let close_line = iter.next().map_or(open.line, |t| t.line); // the closer
+            out.push(Tree::Group(Group {
+                delim,
+                open_line: open.line,
+                close_line,
+                trees,
+            }));
+            continue;
+        }
+        if let Some(tok) = iter.next() {
+            out.push(Tree::Leaf(tok));
+        }
+    }
+    out
+}
+
+/// Leaf-token text at `trees[i]`, or `""` for groups / out of range.
+fn leaf(trees: &[Tree], i: usize) -> &str {
+    match trees.get(i) {
+        Some(Tree::Leaf(t)) => &t.text,
+        _ => "",
+    }
+}
+
+/// True when the leaf at `trees[i]` is test-gated (groups report their
+/// opening token's gating via recursion elsewhere).
+fn leaf_in_test(trees: &[Tree], i: usize) -> bool {
+    match trees.get(i) {
+        Some(Tree::Leaf(t)) => t.in_test,
+        Some(Tree::Group(_)) => false,
+        None => false,
+    }
+}
+
+fn collect_fns<'a>(trees: &'a [Tree], out: &mut Vec<FnDef<'a>>) {
+    let mut i = 0;
+    while i < trees.len() {
+        if leaf(trees, i) == "fn" && !leaf_in_test(trees, i) {
+            let name = leaf(trees, i + 1).to_owned();
+            let line = match trees.get(i) {
+                Some(Tree::Leaf(t)) => t.line,
+                _ => 0,
+            };
+            // Signature runs from after the name to the body `{...}` or a
+            // terminating `;` (trait method declaration).
+            let mut j = i + 2;
+            let mut sig: Vec<&Tree> = Vec::new();
+            let mut body = None;
+            while let Some(tree) = trees.get(j) {
+                match tree {
+                    Tree::Group(g) if g.delim == '{' => {
+                        body = Some(g);
+                        break;
+                    }
+                    Tree::Leaf(t) if t.text == ";" => break,
+                    t => sig.push(t),
+                }
+                j += 1;
+            }
+            if !name.is_empty() {
+                out.push(FnDef {
+                    name,
+                    line,
+                    sig,
+                    body,
+                });
+            }
+            // Recurse into the body for nested fns.
+            if let Some(b) = body {
+                collect_fns(&b.trees, out);
+            }
+            i = j + 1;
+            continue;
+        }
+        // Recurse into mod/impl/trait bodies; `where` clauses and expressions
+        // don't declare fns at their own level, so descending is harmless.
+        if let Some(Tree::Group(g)) = trees.get(i) {
+            if g.delim == '{' {
+                collect_fns(&g.trees, out);
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Last path segment of the token run starting at `trees[i]`, skipping `&`,
+/// generics, and `::` separators; returns `(name, next index)`.
+fn path_tail(trees: &[Tree], mut i: usize) -> (String, usize) {
+    let mut name = String::new();
+    let mut angle = 0i32;
+    while let Some(tree) = trees.get(i) {
+        match tree {
+            Tree::Leaf(t) => match t.text.as_str() {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                "::" | "&" | "'" => {}
+                "for" | "where" => break,
+                s if angle == 0
+                    && (s.chars().next().is_some_and(|c| c.is_ascii_alphanumeric())
+                        || s.starts_with('_')) =>
+                {
+                    name = s.to_owned();
+                }
+                _ if angle > 0 => {}
+                _ => break,
+            },
+            Tree::Group(_) => break,
+        }
+        i += 1;
+    }
+    (name, i)
+}
+
+fn collect_impls<'a>(trees: &'a [Tree], out: &mut Vec<ImplBlock<'a>>) {
+    let mut i = 0;
+    while i < trees.len() {
+        if leaf(trees, i) == "impl" && !leaf_in_test(trees, i) {
+            let line = match trees.get(i) {
+                Some(Tree::Leaf(t)) => t.line,
+                _ => 0,
+            };
+            // Skip generic params on the impl itself: `impl<'a> ...`.
+            let mut j = i + 1;
+            if leaf(trees, j) == "<" {
+                let mut depth = 0i32;
+                while j < trees.len() {
+                    match leaf(trees, j) {
+                        "<" => depth += 1,
+                        ">" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                j += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            }
+            let (first, after_first) = path_tail(trees, j);
+            let (trait_name, self_ty, mut k) = if leaf(trees, after_first) == "for" {
+                let (ty, after_ty) = path_tail(trees, after_first + 1);
+                (Some(first), ty, after_ty)
+            } else {
+                (None, first, after_first)
+            };
+            // Skip a `where` clause to the body.
+            let mut body = None;
+            while let Some(tree) = trees.get(k) {
+                match tree {
+                    Tree::Group(g) if g.delim == '{' => {
+                        body = Some(g);
+                        break;
+                    }
+                    Tree::Leaf(t) if t.text == ";" => break,
+                    _ => k += 1,
+                }
+            }
+            if let Some(b) = body {
+                if !self_ty.is_empty() {
+                    out.push(ImplBlock {
+                        trait_name,
+                        self_ty,
+                        line,
+                        body: b,
+                    });
+                }
+                collect_impls(&b.trees, out);
+                i = k + 1;
+                continue;
+            }
+            i = k + 1;
+            continue;
+        }
+        if let Some(Tree::Group(g)) = trees.get(i) {
+            if g.delim == '{' {
+                collect_impls(&g.trees, out);
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Split a parameter group's trees into `(name, type-text)` pairs at
+/// top-level commas. `self` receivers yield `("self", "")`-style pairs.
+pub fn split_params(params: &Group) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let mut name = String::new();
+    let mut ty = String::new();
+    let mut in_ty = false;
+    let mut angle = 0i32;
+    for t in &params.trees {
+        match t {
+            Tree::Leaf(tok) => match tok.text.as_str() {
+                "," if angle == 0 => {
+                    if !name.is_empty() {
+                        out.push((std::mem::take(&mut name), std::mem::take(&mut ty)));
+                    }
+                    in_ty = false;
+                }
+                ":" if !in_ty => in_ty = true,
+                "<" => {
+                    angle += 1;
+                    if in_ty {
+                        ty.push('<');
+                    }
+                }
+                ">" => {
+                    angle -= 1;
+                    if in_ty {
+                        ty.push('>');
+                    }
+                }
+                s if in_ty => ty.push_str(s),
+                s if s
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_ascii_alphabetic() || c == '_') =>
+                {
+                    // `mut x` / `self`: the last bare ident before `:` wins.
+                    name = s.to_owned();
+                }
+                _ => {}
+            },
+            Tree::Group(_) if in_ty => ty.push_str("()"),
+            Tree::Group(_) => {}
+        }
+    }
+    if !name.is_empty() {
+        out.push((name, ty));
+    }
+    out
+}
+
+/// A method or path call found by [`calls`].
+#[derive(Debug)]
+pub struct Call<'a> {
+    /// Callee name (method name, or last path segment for `path::fn(...)`).
+    pub callee: String,
+    /// For method calls, the token directly before the `.` (identifier or
+    /// field name); `"()"` when the receiver is a call/group result; empty
+    /// for path calls.
+    pub receiver: String,
+    /// For qualified calls (`Type::new(...)`), the path segment before the
+    /// final `::`; empty otherwise.
+    pub qualifier: String,
+    /// 1-based line of the callee.
+    pub line: usize,
+    /// The argument group.
+    pub args: &'a Group,
+}
+
+impl Call<'_> {
+    /// True when any leaf token anywhere in the argument group equals `name`.
+    pub fn passes_ident(&self, name: &str) -> bool {
+        fn walk(trees: &[Tree], name: &str) -> bool {
+            trees.iter().any(|t| match t {
+                Tree::Leaf(tok) => tok.text == name,
+                Tree::Group(g) => walk(&g.trees, name),
+            })
+        }
+        walk(&self.args.trees, name)
+    }
+}
+
+/// Every call in `trees`, recursively (including inside nested groups).
+/// Macros (`name!(...)`) are excluded — `text!` is not a call.
+pub fn calls<'a>(trees: &'a [Tree], out: &mut Vec<Call<'a>>) {
+    for (i, t) in trees.iter().enumerate() {
+        if let Tree::Group(g) = t {
+            // A call is `ident (group)` where the ident isn't a macro name
+            // (`ident !`) or a definition keyword.
+            if g.delim == '(' && i >= 1 {
+                if let Some(Tree::Leaf(name)) = trees.get(i - 1) {
+                    let is_ident = name.kind == TokenKind::Ident
+                        && !name.text.chars().next().is_some_and(|c| c.is_ascii_digit());
+                    let prev = if i >= 2 { leaf(trees, i - 2) } else { "" };
+                    let is_macro = prev == "!";
+                    let is_def = prev == "fn";
+                    if is_ident && !is_macro && !is_def {
+                        let before = |k: usize| {
+                            if i >= k {
+                                match trees.get(i - k) {
+                                    Some(Tree::Leaf(r)) => r.text.clone(),
+                                    Some(Tree::Group(_)) => "()".to_owned(),
+                                    None => String::new(),
+                                }
+                            } else {
+                                String::new()
+                            }
+                        };
+                        let (receiver, qualifier) = match prev {
+                            "." => (before(3), String::new()),
+                            "::" => (String::new(), before(3)),
+                            _ => (String::new(), String::new()),
+                        };
+                        out.push(Call {
+                            callee: name.text.clone(),
+                            receiver,
+                            qualifier,
+                            line: name.line,
+                            args: g,
+                        });
+                    }
+                }
+            }
+            calls(&g.trees, out);
+        }
+    }
+}
+
+/// Every method-call chain in `trees`, recursively. A chain starts at an
+/// identifier (possibly a field access tail: `self.a.b` roots at `b`) and
+/// follows `.method::<T>(args)` links. Chains of length zero (bare idents)
+/// are not reported.
+pub fn chains<'a>(trees: &'a [Tree], out: &mut Vec<Chain<'a>>) {
+    let mut i = 0;
+    while i < trees.len() {
+        // Recurse into groups first so nested chains (closure bodies,
+        // call arguments) are found too.
+        if let Some(Tree::Group(g)) = trees.get(i) {
+            chains(&g.trees, out);
+            i += 1;
+            continue;
+        }
+        if let Some(Tree::Leaf(tok)) = trees.get(i) {
+            if tok.kind == TokenKind::Ident && leaf(trees, i + 1) == "." {
+                // Walk the field-access prefix: a (.ident)* run without
+                // parens; the chain roots at the last such ident.
+                let mut root = tok.text.clone();
+                let root_line = tok.line;
+                let mut j = i;
+                loop {
+                    let is_dot = leaf(trees, j + 1) == ".";
+                    let next_ident = matches!(trees.get(j + 2), Some(Tree::Leaf(t)) if t.kind == TokenKind::Ident);
+                    let then_call = matches!(trees.get(j + 3), Some(Tree::Group(g)) if g.delim == '(')
+                        || leaf(trees, j + 3) == "::";
+                    if is_dot && next_ident && !then_call {
+                        // plain field access: advance the root
+                        if let Some(Tree::Leaf(t)) = trees.get(j + 2) {
+                            root = t.text.clone();
+                        }
+                        j += 2;
+                    } else {
+                        break;
+                    }
+                }
+                // Now parse call links from j.
+                let mut links = Vec::new();
+                let mut k = j;
+                loop {
+                    if leaf(trees, k + 1) != "." {
+                        break;
+                    }
+                    let Some(Tree::Leaf(m)) = trees.get(k + 2) else {
+                        break;
+                    };
+                    if m.kind != TokenKind::Ident {
+                        break;
+                    }
+                    let mut fish = String::new();
+                    let mut a = k + 3;
+                    if leaf(trees, a) == "::" && leaf(trees, a + 1) == "<" {
+                        let mut depth = 0i32;
+                        let mut b = a + 1;
+                        while let Some(tree) = trees.get(b) {
+                            match tree {
+                                Tree::Leaf(t) if t.text == "<" => {
+                                    depth += 1;
+                                    if depth > 1 {
+                                        fish.push('<');
+                                    }
+                                }
+                                Tree::Leaf(t) if t.text == ">" => {
+                                    depth -= 1;
+                                    if depth == 0 {
+                                        b += 1;
+                                        break;
+                                    }
+                                    fish.push('>');
+                                }
+                                Tree::Leaf(t) => fish.push_str(&t.text),
+                                Tree::Group(_) => fish.push_str("()"),
+                            }
+                            b += 1;
+                        }
+                        a = b;
+                    }
+                    let Some(Tree::Group(g)) = trees.get(a) else {
+                        // `.field` access mid-chain (e.g. `x.iter().len`):
+                        // stop the chain here.
+                        break;
+                    };
+                    if g.delim != '(' {
+                        break;
+                    }
+                    links.push(ChainLink {
+                        method: m.text.clone(),
+                        line: m.line,
+                        turbofish: fish,
+                        args: g,
+                    });
+                    // After the `(args)` group at index `a`, the next link's
+                    // dot sits at `a + 1` — which the loop reads as `k + 1`.
+                    k = a;
+                }
+                if !links.is_empty() {
+                    out.push(Chain {
+                        receiver: root,
+                        line: root_line,
+                        links,
+                    });
+                    i = k + 1;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Split a tree sequence (a block body) into statements at top-level `;`.
+pub fn statements(trees: &[Tree]) -> Vec<&[Tree]> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    for (i, t) in trees.iter().enumerate() {
+        if let Tree::Leaf(tok) = t {
+            if tok.text == ";" {
+                out.push(trees.get(start..i).unwrap_or_default());
+                start = i + 1;
+            }
+        }
+    }
+    if start < trees.len() {
+        out.push(trees.get(start..).unwrap_or_default());
+    }
+    out
+}
+
+impl LetBinding {
+    /// Parse a statement's trees as `let [mut] NAME [: TYPE] = INIT`.
+    pub fn from_statement(stmt: &[Tree]) -> Option<LetBinding> {
+        if leaf(stmt, 0) != "let" {
+            return None;
+        }
+        let mut i = 1;
+        if leaf(stmt, i) == "mut" {
+            i += 1;
+        }
+        let (name, line) = match stmt.get(i) {
+            Some(Tree::Leaf(t)) if t.kind == TokenKind::Ident => (t.text.clone(), t.line),
+            _ => return None, // destructuring patterns: not modeled
+        };
+        i += 1;
+        let mut annotation = String::new();
+        if leaf(stmt, i) == ":" {
+            i += 1;
+            let mut angle = 0i32;
+            while let Some(tree) = stmt.get(i) {
+                match tree {
+                    Tree::Leaf(t) => match t.text.as_str() {
+                        "=" if angle == 0 => break,
+                        "<" => {
+                            angle += 1;
+                            annotation.push('<');
+                        }
+                        ">" => {
+                            angle -= 1;
+                            annotation.push('>');
+                        }
+                        s => annotation.push_str(s),
+                    },
+                    Tree::Group(_) => annotation.push_str("()"),
+                }
+                i += 1;
+            }
+        }
+        if leaf(stmt, i) != "=" {
+            return None;
+        }
+        i += 1;
+        let rest = stmt.get(i..).unwrap_or_default();
+        let init_line = rest
+            .first()
+            .map(|t| match t {
+                Tree::Leaf(tok) => tok.line,
+                Tree::Group(g) => g.open_line,
+            })
+            .unwrap_or(line);
+        let mut init = String::new();
+        for t in rest {
+            match t {
+                Tree::Leaf(tok) => {
+                    init.push_str(&tok.text);
+                    init.push(' ');
+                }
+                Tree::Group(g) => {
+                    init.push(g.delim);
+                    init.push_str("...");
+                    init.push(match g.delim {
+                        '(' => ')',
+                        '[' => ']',
+                        _ => '}',
+                    });
+                    init.push(' ');
+                }
+            }
+        }
+        Some(LetBinding {
+            name,
+            line,
+            annotation,
+            init,
+            init_line,
+        })
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::indexing_slicing)] // fixture access; a miss is a test failure
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> Syntax {
+        Syntax::parse(&SourceFile::parse("fixture.rs", src))
+    }
+
+    #[test]
+    fn delimiter_trees_nest_and_record_lines() {
+        let s = parse("fn f() {\n    g(a, [b, c]);\n}\n");
+        // top level: fn f () { ... }
+        assert_eq!(s.trees.len(), 4);
+        let Tree::Group(body) = &s.trees[3] else {
+            panic!("expected body group");
+        };
+        assert_eq!(body.delim, '{');
+        assert_eq!(body.open_line, 1);
+        assert_eq!(body.close_line, 3);
+    }
+
+    #[test]
+    fn fns_are_extracted_with_params_and_return() {
+        let s = parse("pub fn run(&self, ctx: &AnalysisContext<'_>, n: usize) -> Vec<u8> { x }\n");
+        let fns = s.fns();
+        assert_eq!(fns.len(), 1);
+        assert_eq!(fns[0].name, "run");
+        assert_eq!(
+            fns[0].param_named_by_type("AnalysisContext"),
+            Some("ctx".to_owned())
+        );
+        assert_eq!(fns[0].return_type(), "Vec<u8>");
+        assert!(fns[0].body.is_some());
+    }
+
+    #[test]
+    fn impl_blocks_resolve_trait_and_self_type() {
+        let s = parse(
+            "impl Stage for BurstStage {\n fn run(&self) {} \n}\n\
+             impl<'a> AnalysisContext<'a> {\n fn job(&self) {} \n}\n",
+        );
+        let impls = s.impls();
+        assert_eq!(impls.len(), 2);
+        assert_eq!(impls[0].trait_name.as_deref(), Some("Stage"));
+        assert_eq!(impls[0].self_ty, "BurstStage");
+        assert_eq!(impls[1].trait_name, None);
+        assert_eq!(impls[1].self_ty, "AnalysisContext");
+    }
+
+    #[test]
+    fn test_gated_items_are_skipped() {
+        let s = parse(
+            "fn lib() {}\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+                 fn helper() {}\n\
+             }\n",
+        );
+        let names: Vec<_> = s.fns().iter().map(|f| f.name.clone()).collect();
+        assert_eq!(names, vec!["lib".to_owned()]);
+    }
+
+    #[test]
+    fn calls_capture_receiver_and_skip_macros() {
+        let s = parse("fn f() { let x = state.matching(); g(y); println!(\"no\"); }\n");
+        let mut out = Vec::new();
+        calls(&s.trees, &mut out);
+        let summary: Vec<_> = out
+            .iter()
+            .map(|c| (c.receiver.clone(), c.callee.clone()))
+            .collect();
+        assert!(summary.contains(&("state".to_owned(), "matching".to_owned())));
+        assert!(summary.contains(&(String::new(), "g".to_owned())));
+        assert!(!summary.iter().any(|(_, c)| c == "println"));
+    }
+
+    #[test]
+    fn chains_root_at_last_field_and_keep_turbofish() {
+        let s = parse("fn f() { let v = self.best.keys().copied().collect::<Vec<u32>>(); }\n");
+        let mut out = Vec::new();
+        chains(&s.trees, &mut out);
+        let chain = out
+            .iter()
+            .find(|c| c.receiver == "best")
+            .expect("chain rooted at the field name");
+        let methods: Vec<_> = chain.links.iter().map(|l| l.method.clone()).collect();
+        assert_eq!(methods, vec!["keys", "copied", "collect"]);
+        assert_eq!(chain.links[2].turbofish, "Vec<u32>");
+    }
+
+    #[test]
+    fn chains_inside_closures_are_found() {
+        let s = parse("fn f() { run(|chunk| { acc.iter().sum::<f64>() }); }\n");
+        let mut out = Vec::new();
+        chains(&s.trees, &mut out);
+        let chain = out
+            .iter()
+            .find(|c| c.receiver == "acc")
+            .expect("closure chain");
+        assert_eq!(chain.links[1].method, "sum");
+        assert_eq!(chain.links[1].turbofish, "f64");
+    }
+
+    #[test]
+    fn statements_split_and_let_bindings_parse() {
+        let s = parse("fn f() { let mut m: HashMap<u32, f64> = HashMap::new(); m.clear(); }\n");
+        let Tree::Group(body) = &s.trees[3] else {
+            panic!("expected body");
+        };
+        let stmts = statements(&body.trees);
+        assert_eq!(stmts.len(), 2);
+        let b = LetBinding::from_statement(stmts[0]).expect("let binding");
+        assert_eq!(b.name, "m");
+        assert_eq!(b.annotation, "HashMap<u32,f64>");
+        assert!(b.init.starts_with("HashMap :: new"));
+    }
+
+    #[test]
+    fn unbalanced_input_degrades_without_panicking() {
+        let s = parse("fn f( { ) } ]\n");
+        // No panic; some forest comes back.
+        assert!(!s.trees.is_empty());
+    }
+}

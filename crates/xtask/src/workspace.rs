@@ -99,9 +99,15 @@ pub fn library_sources(root: &Path) -> io::Result<Vec<SourceFile>> {
     Ok(out)
 }
 
-/// Crate-root files (`src/lib.rs`, or `src/main.rs` for bin-only members).
+/// Crate-root files: `src/lib.rs`, `src/main.rs` for bin-only members, and
+/// every `src/bin/*.rs` binary — each is a separate crate root and needs
+/// its own `#![forbid(unsafe_code)]` / `#![warn(missing_docs)]`.
 fn is_crate_root(path: &str) -> bool {
-    path.ends_with("src/lib.rs") || (path.ends_with("src/main.rs") && !path.contains("/bin/"))
+    path.ends_with("src/lib.rs")
+        || path.ends_with("src/main.rs")
+        || path
+            .rsplit_once('/')
+            .is_some_and(|(dir, file)| dir.ends_with("src/bin") && file.ends_with(".rs"))
 }
 
 /// The pure modules of the serve daemon: byte-in/frame-out protocol code,
@@ -157,6 +163,24 @@ const SNAPSHOT_PAIRS: &[(&str, &str, &str)] = &[
     ),
 ];
 
+/// Sources the `parallel-determinism` rule governs: the files defining the
+/// parallel kernels and their reduction paths, whose outputs the committed
+/// benchmark baseline compares bit-for-bit. The `bool` is whether thread
+/// creation is sanctioned there (the file *defines* a scope helper).
+const KERNEL_SCOPE: &[(&str, bool)] = &[
+    ("crates/core/src/stage.rs", true), // defines fork_join
+    ("crates/core/src/matching.rs", false),
+    ("crates/core/src/classify/root_cause.rs", false),
+    ("crates/core/src/analysis/vulnerability.rs", false),
+    ("crates/bgp-model/src/bytes.rs", true), // defines map_chunks_parallel
+];
+
+/// Sources contributing hash-typed struct fields to the
+/// `parallel-determinism` model: the kernels' own crates.
+fn in_hash_model_scope(path: &str) -> bool {
+    path.starts_with("crates/core/src") || path.starts_with("crates/bgp-model/src")
+}
+
 /// True for sources the `stage-contract` rule governs: the pipeline stage
 /// modules of the core crate.
 fn in_stage_scope(path: &str) -> bool {
@@ -195,6 +219,46 @@ pub fn run_lint(root: &Path, only: Option<&BTreeSet<String>>) -> io::Result<(Vec
         }
         if enabled("allow-syntax") {
             findings.extend(rules::allow_syntax(file));
+        }
+        if enabled("serve-concurrency") && file.path.starts_with("crates/serve/src") {
+            findings.extend(rules::serve_concurrency(file));
+        }
+    }
+
+    if enabled("parallel-determinism") {
+        let model_sources: Vec<&SourceFile> = sources
+            .iter()
+            .filter(|f| in_hash_model_scope(&f.path))
+            .collect();
+        let model = crate::stagegraph::hash_model(&model_sources);
+        for &(path, spawn_sanctioned) in KERNEL_SCOPE {
+            if let Some(file) = sources.iter().find(|f| f.path == path) {
+                findings.extend(rules::parallel_determinism(file, &model, spawn_sanctioned));
+            }
+        }
+    }
+
+    if enabled("stage-deps") {
+        let stage = sources
+            .iter()
+            .find(|f| f.path == "crates/core/src/stage.rs");
+        let context = sources
+            .iter()
+            .find(|f| f.path == "crates/core/src/context.rs");
+        match (stage, context) {
+            (Some(stage), Some(context)) => {
+                let core: Vec<&SourceFile> = sources
+                    .iter()
+                    .filter(|f| f.path.starts_with("crates/core/src"))
+                    .collect();
+                findings.extend(rules::stage_deps(stage, context, &core));
+            }
+            _ => findings.push(Finding {
+                rule: "stage-deps",
+                path: "crates/core/src/stage.rs".to_owned(),
+                line: 0,
+                message: "stage.rs / context.rs not found; stage graph unverifiable".to_owned(),
+            }),
         }
     }
 

@@ -16,6 +16,9 @@
 //! Exit codes: 0 success, 1 usage error, 2 I/O or parse failure,
 //! 3 unknown subcommand.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use bgp_coanalysis::bgp_serve::{self, ServeConfig, ServeError, StageTimer};
 use bgp_coanalysis::bgp_sim::{SimConfig, Simulation};
 use bgp_coanalysis::coanalysis::analysis::repair::{reconstruct_outages, summarize};
