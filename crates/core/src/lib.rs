@@ -49,7 +49,8 @@ pub mod stream;
 pub use context::AnalysisContext;
 pub use event::Event;
 pub use load::{
-    load_jobs, load_pair, load_ras, LoadError, LoadOptions, LoadedJobs, LoadedRas, SnapshotStatus,
+    load_jobs, load_pair, load_ras, LoadError, LoadOptions, LoadedJobs, LoadedRas, LogFormat,
+    SnapshotStatus, SourceDiagnostic,
 };
 pub use pipeline::{CoAnalysis, CoAnalysisConfig, CoAnalysisResult};
 pub use stage::{AnalysisProducts, AnalysisSet, Stage, StageId, StageObserver};

@@ -1,15 +1,26 @@
-//! Loading logs from disk: the parallel ingestion front door plus the
-//! transparent `.bgpsnap` snapshot cache.
+//! Loading logs from disk: the pluggable format layer over the ports, plus
+//! the transparent `.bgpsnap` snapshot cache.
 //!
 //! This module is the one place that decides *how* log text becomes records:
 //!
-//! 1. read the whole file once;
-//! 2. if a snapshot directory is configured, try the matching `.bgpsnap`
-//!    (validated by format version and a content hash of the source text) —
-//!    a hit skips parsing entirely;
-//! 3. otherwise parse in parallel on newline-aligned byte chunks
-//!    (`raslog::ingest` / `joblog::ingest`) and, if configured, write the
-//!    snapshot for next time.
+//! 1. resolve the input path through [`bgp_ports::resolve_input`] (only the
+//!    BG/Q adapter is multi-file);
+//! 2. read the whole file once;
+//! 3. for the BG/P format, if a snapshot directory is configured, try the
+//!    matching `.bgpsnap` (validated by format version and a content hash of
+//!    the source text) — a hit skips parsing entirely;
+//! 4. otherwise decode through the [`LogFormat`]'s source adapter — BG/P in
+//!    parallel on newline-aligned byte chunks, BG/Q and syslog line by line,
+//!    cassettes by replaying the recorded byte stream through their inner
+//!    format — and, if configured (BG/P only), write the snapshot for next
+//!    time.
+//!
+//! [`LoadOptions::format`] selects the **RAS** source adapter. Job
+//! accounting is format-specific only for `bgq`, whose directory layout
+//! bundles a `jobs.bgq`; every other format reads the BG/P accounting
+//! schema — syslog carries no job log at all, and cassettes captured from
+//! the serve daemon record the RAS ingest stream. (Job-stream cassettes can
+//! still be decoded directly through `bgp_ports::cassette`.)
 //!
 //! Every snapshot failure — stale hash, old format version, truncation,
 //! corruption — is recoverable: the loader falls back to re-parsing and
@@ -17,8 +28,10 @@
 
 use bgp_model::bytes::content_hash_64;
 use bgp_model::snapshot::SnapshotError;
-use joblog::{JobLog, JobParseError};
-use raslog::{RasLog, RasParseError};
+use bgp_ports::SourceBatch;
+pub use bgp_ports::{LogFormat, SourceDiagnostic};
+use joblog::JobLog;
+use raslog::RasLog;
 use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -28,8 +41,12 @@ use std::path::{Path, PathBuf};
 pub struct LoadOptions {
     /// Worker threads for parallel parsing; `0` means one per available CPU.
     pub threads: usize,
-    /// Directory for `.bgpsnap` snapshots; `None` disables the cache.
+    /// Directory for `.bgpsnap` snapshots; `None` disables the cache. Only
+    /// the BG/P format is snapshot-cached: the other adapters either read
+    /// derived inputs (cassettes) or are not hot enough to matter.
     pub snapshot_dir: Option<PathBuf>,
+    /// Which source adapter decodes the RAS input (default: BG/P pipes).
+    pub format: LogFormat,
 }
 
 impl LoadOptions {
@@ -45,7 +62,7 @@ impl LoadOptions {
 /// What the snapshot cache did during one load.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SnapshotStatus {
-    /// No snapshot directory was configured.
+    /// No snapshot directory was configured (or the format is not cached).
     Disabled,
     /// A valid snapshot was loaded; parsing was skipped.
     Loaded,
@@ -82,10 +99,10 @@ impl fmt::Display for SnapshotStatus {
 pub struct LoadedRas {
     /// The indexed log.
     pub log: RasLog,
-    /// Malformed lines skipped during parsing (empty on a snapshot hit —
-    /// snapshots only store records, and their line numbers are meaningless
-    /// once the source text changes anyway).
-    pub parse_errors: Vec<RasParseError>,
+    /// Malformed lines skipped during decoding, plus any adapter notes
+    /// (empty on a snapshot hit — snapshots only store records, and their
+    /// line numbers are meaningless once the source text changes anyway).
+    pub parse_errors: Vec<SourceDiagnostic>,
     /// What the snapshot cache did.
     pub snapshot: SnapshotStatus,
 }
@@ -95,13 +112,14 @@ pub struct LoadedRas {
 pub struct LoadedJobs {
     /// The indexed log.
     pub log: JobLog,
-    /// Malformed lines skipped during parsing (empty on a snapshot hit).
-    pub parse_errors: Vec<JobParseError>,
+    /// Malformed lines skipped during decoding (empty on a snapshot hit).
+    pub parse_errors: Vec<SourceDiagnostic>,
     /// What the snapshot cache did.
     pub snapshot: SnapshotStatus,
 }
 
-/// A load failure: the source file itself could not be read.
+/// A load failure: the source file could not be read, or the container as a
+/// whole (e.g. a corrupt cassette) was unusable.
 #[derive(Debug)]
 pub struct LoadError {
     /// The file that failed.
@@ -126,18 +144,22 @@ pub fn snapshot_file(dir: &Path, source: &Path) -> PathBuf {
     dir.join(format!("{name}.bgpsnap"))
 }
 
-/// The shared load skeleton; record-type specifics come in as closures.
-fn load_generic<R, E>(
+fn read_file(path: &Path) -> Result<Vec<u8>, LoadError> {
+    fs::read(path).map_err(|e| LoadError {
+        path: path.to_owned(),
+        message: format!("cannot read: {e}"),
+    })
+}
+
+/// The shared BG/P load skeleton; record-type specifics come in as closures.
+fn load_bgp_generic<R>(
     path: &Path,
     opts: &LoadOptions,
     decode: impl Fn(&[u8], u64) -> Result<Vec<R>, SnapshotError>,
-    parse: impl Fn(&[u8], usize) -> (Vec<R>, Vec<E>),
+    parse: impl Fn(&[u8], usize) -> SourceBatch<R>,
     encode: impl Fn(&[R], u64) -> Vec<u8>,
-) -> Result<(Vec<R>, Vec<E>, SnapshotStatus), LoadError> {
-    let data = fs::read(path).map_err(|e| LoadError {
-        path: path.to_owned(),
-        message: format!("cannot read: {e}"),
-    })?;
+) -> Result<(Vec<R>, Vec<SourceDiagnostic>, SnapshotStatus), LoadError> {
+    let data = read_file(path)?;
     let hash = content_hash_64(&data);
     let snap_path = opts.snapshot_dir.as_deref().map(|d| snapshot_file(d, path));
     let mut stale_reason = None;
@@ -149,11 +171,11 @@ fn load_generic<R, E>(
             }
         }
     }
-    let (records, errors) = parse(&data, opts.effective_threads());
+    let batch = parse(&data, opts.effective_threads());
     let status = match (&snap_path, opts.snapshot_dir.as_deref()) {
         (Some(sp), Some(dir)) => {
             let write =
-                fs::create_dir_all(dir).and_then(|()| fs::write(sp, encode(&records, hash)));
+                fs::create_dir_all(dir).and_then(|()| fs::write(sp, encode(&batch.records, hash)));
             match (write, stale_reason) {
                 (Ok(()), None) => SnapshotStatus::Written,
                 (Ok(()), Some(reason)) => SnapshotStatus::Rewritten { reason },
@@ -164,32 +186,69 @@ fn load_generic<R, E>(
         }
         _ => SnapshotStatus::Disabled,
     };
-    Ok((records, errors, status))
+    Ok((batch.records, batch.diagnostics, status))
 }
 
-/// Load a RAS log (parallel parse + optional snapshot cache).
+/// Load a RAS log through the format's source adapter ([`LoadOptions::format`]).
+///
+/// The BG/P path keeps the parallel parse and the snapshot cache it always
+/// had (now reached through the `bgp-ports` adapter — same records, same
+/// diagnostics, same bytes on disk). The other formats decode without a
+/// cache; their snapshot status is always [`SnapshotStatus::Disabled`].
 pub fn load_ras(path: &Path, opts: &LoadOptions) -> Result<LoadedRas, LoadError> {
-    let (records, parse_errors, snapshot) = load_generic(
-        path,
-        opts,
-        |b, h| raslog::snapshot::decode_snapshot(b, Some(h)),
-        raslog::ingest::parse_log_bytes,
-        raslog::snapshot::encode_snapshot,
-    )?;
+    if opts.format == LogFormat::Bgp {
+        let (records, parse_errors, snapshot) = load_bgp_generic(
+            path,
+            opts,
+            |b, h| raslog::snapshot::decode_snapshot(b, Some(h)),
+            bgp_ports::bgp::decode_ras,
+            raslog::snapshot::encode_snapshot,
+        )?;
+        return Ok(LoadedRas {
+            log: RasLog::from_records(records),
+            parse_errors,
+            snapshot,
+        });
+    }
+    let resolved = bgp_ports::resolve_input(opts.format, path);
+    let data = read_file(&resolved.ras)?;
+    let source = bgp_ports::ras_source(opts.format);
+    let batch = source
+        .decode_ras(&data, opts.effective_threads())
+        .map_err(|e| LoadError {
+            path: resolved.ras.clone(),
+            message: e.to_string(),
+        })?;
+    let mut parse_errors = resolved.notes;
+    parse_errors.extend(batch.diagnostics);
     Ok(LoadedRas {
-        log: RasLog::from_records(records),
+        log: RasLog::from_records(batch.records),
         parse_errors,
-        snapshot,
+        snapshot: SnapshotStatus::Disabled,
     })
 }
 
 /// Load a job log (parallel parse + optional snapshot cache).
+///
+/// Only `bgq` changes the accounting schema (see the module docs); every
+/// other format reads BG/P pipes here.
 pub fn load_jobs(path: &Path, opts: &LoadOptions) -> Result<LoadedJobs, LoadError> {
-    let (jobs, parse_errors, snapshot) = load_generic(
+    if opts.format == LogFormat::Bgq {
+        let resolved = bgp_ports::resolve_input(LogFormat::Bgq, path);
+        let jobs_path = resolved.jobs.as_deref().unwrap_or(path);
+        let data = read_file(jobs_path)?;
+        let batch = bgp_ports::bgq::decode_jobs(&data);
+        return Ok(LoadedJobs {
+            log: JobLog::from_jobs(batch.records),
+            parse_errors: batch.diagnostics,
+            snapshot: SnapshotStatus::Disabled,
+        });
+    }
+    let (jobs, parse_errors, snapshot) = load_bgp_generic(
         path,
         opts,
         |b, h| joblog::snapshot::decode_snapshot(b, Some(h)),
-        joblog::ingest::parse_log_bytes,
+        bgp_ports::bgp::decode_jobs,
         joblog::snapshot::encode_snapshot,
     )?;
     Ok(LoadedJobs {
@@ -224,20 +283,24 @@ pub fn load_pair(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bgp_ports::cassette::{Recorder, StreamKind};
 
-    fn write_fixture(dir: &Path) -> (PathBuf, PathBuf) {
-        let ras = raslog::RasRecord::new(
+    fn ras_record() -> raslog::RasRecord {
+        raslog::RasRecord::new(
             1,
             bgp_model::Timestamp::from_unix(1_236_000_000),
             "R00-M0".parse().unwrap(),
             raslog::Catalog::standard()
                 .lookup("_bgp_err_kernel_panic")
                 .unwrap(),
-        );
+        )
+    }
+
+    fn write_fixture(dir: &Path) -> (PathBuf, PathBuf) {
         let ras_path = dir.join("ras.log");
         fs::write(
             &ras_path,
-            format!("{}\ngarbage\n", raslog::format_record(&ras)),
+            format!("{}\ngarbage\n", raslog::format_record(&ras_record())),
         )
         .unwrap();
         let job = joblog::JobRecord {
@@ -287,6 +350,7 @@ mod tests {
         let opts = LoadOptions {
             threads: 2,
             snapshot_dir: Some(dir.join("snaps")),
+            ..LoadOptions::default()
         };
         // First load parses and writes.
         let first = load_ras(&ras_path, &opts).unwrap();
@@ -321,6 +385,81 @@ mod tests {
         let j2 = load_jobs(&jobs_path, &opts).unwrap();
         assert!(matches!(j2.snapshot, SnapshotStatus::Rewritten { .. }));
         assert_eq!(j2.log.len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn syslog_format_loads_without_snapshot_cache() {
+        let dir = tmpdir("syslog");
+        let path = dir.join("messages");
+        fs::write(
+            &path,
+            b"<13>Mar  1 12:30:00 host a\nbroken\n<2>Mar  1 12:30:05 host b\n",
+        )
+        .unwrap();
+        let opts = LoadOptions {
+            format: LogFormat::Syslog,
+            snapshot_dir: Some(dir.join("snaps")), // must be ignored
+            ..LoadOptions::default()
+        };
+        let loaded = load_ras(&path, &opts).unwrap();
+        assert_eq!(loaded.log.len(), 2);
+        assert_eq!(loaded.parse_errors.len(), 1);
+        assert_eq!(loaded.parse_errors[0].line, 2);
+        assert_eq!(loaded.snapshot, SnapshotStatus::Disabled);
+        assert!(!dir.join("snaps").exists(), "no snapshot for syslog");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bgq_directory_loads_both_logs() {
+        let dir = tmpdir("bgq");
+        fs::write(
+            dir.join("ras.bgq"),
+            b"7,1236000000,FATAL,_bgp_err_kernel_panic,R00-M0\n",
+        )
+        .unwrap();
+        fs::write(dir.join("jobs.bgq"), b"1,1,1,1,100,200,300,R00-M0,0\n").unwrap();
+        fs::write(dir.join("env.bgq"), b"whatever\n").unwrap();
+        let opts = LoadOptions {
+            format: LogFormat::Bgq,
+            ..LoadOptions::default()
+        };
+        let (ras, jobs) = load_pair(&dir, &dir, &opts).unwrap();
+        assert_eq!(ras.log.len(), 1);
+        assert_eq!(jobs.log.len(), 1);
+        // The unmapped env log is acknowledged, not silently ignored.
+        assert!(ras
+            .parse_errors
+            .iter()
+            .any(|d| d.message.contains("env.bgq")));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cassette_format_replays_identically_to_direct_parse() {
+        let dir = tmpdir("cassette");
+        let (ras_path, _) = write_fixture(&dir);
+        let text = fs::read(&ras_path).unwrap();
+        let mut rec = Recorder::new(LogFormat::Bgp, StreamKind::Ras).unwrap();
+        // Awkward chunking on purpose: boundaries must not matter for batch.
+        for chunk in text.chunks(7) {
+            rec.push(1000, chunk);
+        }
+        let cas_path = dir.join("ras.bgpcas");
+        fs::write(&cas_path, rec.finish().encode()).unwrap();
+        let direct = load_ras(&ras_path, &LoadOptions::default()).unwrap();
+        let opts = LoadOptions {
+            format: LogFormat::Cassette,
+            ..LoadOptions::default()
+        };
+        let replayed = load_ras(&cas_path, &opts).unwrap();
+        assert_eq!(replayed.log.records(), direct.log.records());
+        assert_eq!(replayed.parse_errors, direct.parse_errors);
+        // A corrupt cassette is a load error, not an empty log.
+        fs::write(&cas_path, b"BGPCAS\0\0garbage").unwrap();
+        let err = load_ras(&cas_path, &opts).unwrap_err();
+        assert!(err.message.contains("cassette"), "{err}");
         let _ = fs::remove_dir_all(&dir);
     }
 }

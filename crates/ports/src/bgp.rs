@@ -1,0 +1,144 @@
+//! The Blue Gene/P adapter: the paper's nine-field pipe format.
+//!
+//! This is a pure delegation layer over `raslog`/`joblog` — the whole point
+//! is that it adds *nothing*: records and diagnostics coming out of this
+//! adapter are bit-identical to calling the parsers directly (the golden
+//! tests and the PR 3 ingest proptests pin that). It exists so the parser
+//! crates have exactly one caller outside their own tests, which is what
+//! lets the `port-boundary` xtask rule machine-enforce the seam.
+//!
+//! This module is the **only** sanctioned call site of `raslog::parse` /
+//! `joblog::parse` / the `ingest` entry points outside the parser crates
+//! themselves.
+
+use crate::{LineOutcome, LogFormat, SourceBatch, SourceDiagnostic, SourceError};
+use joblog::JobRecord;
+use raslog::RasRecord;
+
+/// The BG/P pipe-format adapter (stateless).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BgpAdapter;
+
+impl crate::RasSource for BgpAdapter {
+    fn format(&self) -> LogFormat {
+        LogFormat::Bgp
+    }
+
+    fn decode_ras(
+        &self,
+        data: &[u8],
+        threads: usize,
+    ) -> Result<SourceBatch<RasRecord>, SourceError> {
+        Ok(decode_ras(data, threads))
+    }
+}
+
+impl crate::JobSource for BgpAdapter {
+    fn format(&self) -> LogFormat {
+        LogFormat::Bgp
+    }
+
+    fn decode_jobs(
+        &self,
+        data: &[u8],
+        threads: usize,
+    ) -> Result<SourceBatch<JobRecord>, SourceError> {
+        Ok(decode_jobs(data, threads))
+    }
+}
+
+/// Decode a whole BG/P RAS log (parallel, tolerant) — the exact records and
+/// per-line errors of `raslog::ingest::parse_log_bytes`, as a batch.
+pub fn decode_ras(data: &[u8], threads: usize) -> SourceBatch<RasRecord> {
+    let (records, errors) = raslog::ingest::parse_log_bytes(data, threads);
+    SourceBatch {
+        records,
+        diagnostics: errors.into_iter().map(SourceDiagnostic::from).collect(),
+    }
+}
+
+/// Decode a whole BG/P job accounting log (parallel, tolerant).
+pub fn decode_jobs(data: &[u8], threads: usize) -> SourceBatch<JobRecord> {
+    let (records, errors) = joblog::ingest::parse_log_bytes(data, threads);
+    SourceBatch {
+        records,
+        diagnostics: errors.into_iter().map(SourceDiagnostic::from).collect(),
+    }
+}
+
+/// Classify one complete BG/P line (without its `\n`), exactly as the serve
+/// daemon's original protocol classifier did: one trailing `\r` is tolerated,
+/// blank lines and `#` comments are skipped, anything else must parse.
+pub fn decode_ras_line(line: &[u8]) -> LineOutcome {
+    let line = match line.split_last() {
+        Some((b'\r', rest)) => rest,
+        _ => line,
+    };
+    if line.is_empty() || line.first() == Some(&b'#') {
+        return LineOutcome::Skip;
+    }
+    match raslog::parse_line_bytes(line) {
+        Ok(r) => LineOutcome::Record(Box::new(r)),
+        Err(e) => LineOutcome::Malformed(e.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RasSource;
+    use bgp_model::Timestamp;
+    use raslog::Catalog;
+
+    fn line(recid: u64) -> String {
+        let rec = RasRecord::new(
+            recid,
+            Timestamp::from_unix(1_236_000_000),
+            "R12-M1-N07-J03".parse().unwrap(),
+            Catalog::standard().lookup("_bgp_err_kernel_panic").unwrap(),
+        );
+        raslog::format_record(&rec)
+    }
+
+    #[test]
+    fn batch_is_bit_identical_to_direct_ingest() {
+        let text = format!("{}\ngarbage\n{}\n", line(1), line(2));
+        for threads in [1, 4] {
+            let (direct, errs) = raslog::ingest::parse_log_bytes(text.as_bytes(), threads);
+            let batch = decode_ras(text.as_bytes(), threads);
+            assert_eq!(batch.records, direct);
+            assert_eq!(batch.diagnostics.len(), errs.len());
+            assert_eq!(batch.diagnostics[0].line, errs[0].line);
+        }
+    }
+
+    #[test]
+    fn line_decode_matches_protocol_semantics() {
+        let good = line(7);
+        assert!(matches!(
+            decode_ras_line(good.as_bytes()),
+            LineOutcome::Record(_)
+        ));
+        assert!(matches!(
+            decode_ras_line(format!("{good}\r").as_bytes()),
+            LineOutcome::Record(_)
+        ));
+        assert_eq!(decode_ras_line(b""), LineOutcome::Skip);
+        assert_eq!(decode_ras_line(b"\r"), LineOutcome::Skip);
+        assert_eq!(decode_ras_line(b"# comment"), LineOutcome::Skip);
+        assert!(matches!(
+            decode_ras_line(b"not|a|record"),
+            LineOutcome::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn trait_object_round_trip() {
+        let adapter = BgpAdapter;
+        assert_eq!(RasSource::format(&adapter), LogFormat::Bgp);
+        let text = format!("{}\n", line(3));
+        let batch = RasSource::decode_ras(&adapter, text.as_bytes(), 1).unwrap();
+        assert_eq!(batch.records.len(), 1);
+        assert!(batch.diagnostics.is_empty());
+    }
+}

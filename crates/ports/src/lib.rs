@@ -1,0 +1,420 @@
+//! # `bgp-ports` — ports & adapters for log ingestion
+//!
+//! The analysis engine (`coanalysis`, `bgp-serve`) consumes typed
+//! [`RasRecord`]/[`JobRecord`] streams; *where those records come from* is a
+//! port. This crate defines the ports — [`RasSource`] / [`JobSource`] for
+//! whole-buffer batch decoding, [`LineDecoder`] for the daemon's line-at-a-
+//! time ingest — and four adapters behind them:
+//!
+//! | format      | adapter module | shape |
+//! |-------------|----------------|-------|
+//! | `bgp`       | [`bgp`]        | the nine-field pipe format of the paper (delegates to `raslog`/`joblog`; bit-identical) |
+//! | `bgq`       | [`bgq`]        | BG/Q-style multi-file schema (Sîrbu's five-log shape, comma-separated) |
+//! | `syslog`    | [`syslog`]     | RFC 3164 lines mapped into the severity/errcode catalogue (`syslog_*` namespace) |
+//! | `cassette`  | [`cassette`]   | `.bgpcas` recording of another source's byte stream + timing, replayed deterministically |
+//!
+//! The BG/P adapter is the **only** module allowed to call the
+//! `raslog`/`joblog` parsers directly — `cargo xtask lint` enforces that
+//! boundary (`port-boundary` rule), so every other consumer in the workspace
+//! goes through a port and new formats slot in without touching the engine.
+//!
+//! Decoding is deliberately split from I/O: adapters consume byte slices and
+//! return [`SourceBatch`] values (records plus per-line diagnostics), which
+//! keeps every adapter — including cassette replay — inside the determinism
+//! lint scope. The only filesystem access here is [`resolve_input`], which
+//! maps a user-supplied path to the concrete file(s) a format reads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bgp;
+pub mod bgq;
+pub mod cassette;
+pub mod syslog;
+
+use joblog::JobRecord;
+use raslog::RasRecord;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::str::FromStr;
+
+/// The log formats an input path can be read as.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LogFormat {
+    /// Blue Gene/P nine-field pipe format (the default; the paper's logs).
+    #[default]
+    Bgp,
+    /// BG/Q-style multi-file schema (`ras.bgq` / `jobs.bgq` in a directory).
+    Bgq,
+    /// RFC 3164 syslog lines.
+    Syslog,
+    /// A `.bgpcas` cassette recorded from one of the other formats.
+    Cassette,
+}
+
+/// The formats accepted by `--format`, comma-separated (for error messages).
+pub const SUPPORTED_FORMATS: &str = "bgp, bgq, syslog, cassette";
+
+impl LogFormat {
+    /// Every format, in `--format` listing order.
+    pub const ALL: [LogFormat; 4] = [
+        LogFormat::Bgp,
+        LogFormat::Bgq,
+        LogFormat::Syslog,
+        LogFormat::Cassette,
+    ];
+
+    /// The command-line token for this format.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LogFormat::Bgp => "bgp",
+            LogFormat::Bgq => "bgq",
+            LogFormat::Syslog => "syslog",
+            LogFormat::Cassette => "cassette",
+        }
+    }
+}
+
+impl fmt::Display for LogFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for LogFormat {
+    type Err = UnknownFormat;
+
+    fn from_str(s: &str) -> Result<LogFormat, UnknownFormat> {
+        match s {
+            "bgp" => Ok(LogFormat::Bgp),
+            "bgq" => Ok(LogFormat::Bgq),
+            "syslog" => Ok(LogFormat::Syslog),
+            "cassette" => Ok(LogFormat::Cassette),
+            other => Err(UnknownFormat(other.to_owned())),
+        }
+    }
+}
+
+/// Error for an unrecognized `--format` token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownFormat(
+    /// The offending token.
+    pub String,
+);
+
+impl fmt::Display for UnknownFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown log format {:?} (supported formats: {SUPPORTED_FORMATS})",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for UnknownFormat {}
+
+/// One malformed line (or other per-source note) reported while decoding.
+///
+/// The analysis never aborts on a dirty line — real logs are dirty — so every
+/// source reports what it skipped alongside what it parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceDiagnostic {
+    /// 1-based line number in the source text (0 when not line-addressable).
+    pub line: u64,
+    /// Human-readable description of what was skipped and why.
+    pub message: String,
+}
+
+impl fmt::Display for SourceDiagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl From<raslog::RasParseError> for SourceDiagnostic {
+    fn from(e: raslog::RasParseError) -> SourceDiagnostic {
+        let full = e.to_string();
+        let prefix = format!("line {}: ", e.line);
+        let message = full.strip_prefix(&prefix).unwrap_or(&full).to_owned();
+        SourceDiagnostic {
+            line: e.line,
+            message,
+        }
+    }
+}
+
+impl From<joblog::JobParseError> for SourceDiagnostic {
+    fn from(e: joblog::JobParseError) -> SourceDiagnostic {
+        SourceDiagnostic {
+            line: e.line,
+            message: e.message,
+        }
+    }
+}
+
+/// What a source produced from one input: records plus diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceBatch<R> {
+    /// Successfully decoded records, in input order.
+    pub records: Vec<R>,
+    /// Lines (or auxiliary inputs) that were skipped, with why.
+    pub diagnostics: Vec<SourceDiagnostic>,
+}
+
+impl<R> Default for SourceBatch<R> {
+    fn default() -> SourceBatch<R> {
+        SourceBatch {
+            records: Vec::new(),
+            diagnostics: Vec::new(),
+        }
+    }
+}
+
+/// A source-level failure: the input as a whole is unusable (as opposed to a
+/// [`SourceDiagnostic`], which skips one line and carries on).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SourceError {
+    /// A cassette container failed to decode.
+    Cassette(cassette::CassetteError),
+    /// The format has no job-log schema (e.g. syslog carries no accounting).
+    NoJobSchema(LogFormat),
+}
+
+impl fmt::Display for SourceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SourceError::Cassette(e) => write!(f, "cassette: {e}"),
+            SourceError::NoJobSchema(fmt_) => {
+                write!(f, "format {fmt_} has no job-log schema")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SourceError {}
+
+impl From<cassette::CassetteError> for SourceError {
+    fn from(e: cassette::CassetteError) -> SourceError {
+        SourceError::Cassette(e)
+    }
+}
+
+/// Port: anything that decodes an in-memory byte stream into RAS records.
+///
+/// `threads` is the parallelism budget (`0`/`1` mean inline); adapters whose
+/// decode is not parallelized may ignore it.
+pub trait RasSource {
+    /// Which format this source decodes.
+    fn format(&self) -> LogFormat;
+
+    /// Decode a whole in-memory byte stream.
+    fn decode_ras(
+        &self,
+        data: &[u8],
+        threads: usize,
+    ) -> Result<SourceBatch<RasRecord>, SourceError>;
+}
+
+/// Port: anything that decodes an in-memory byte stream into job records.
+pub trait JobSource {
+    /// Which format this source decodes.
+    fn format(&self) -> LogFormat;
+
+    /// Decode a whole in-memory byte stream.
+    fn decode_jobs(
+        &self,
+        data: &[u8],
+        threads: usize,
+    ) -> Result<SourceBatch<JobRecord>, SourceError>;
+}
+
+/// The RAS source adapter for `format`.
+pub fn ras_source(format: LogFormat) -> Box<dyn RasSource + Send + Sync> {
+    match format {
+        LogFormat::Bgp => Box::new(bgp::BgpAdapter),
+        LogFormat::Bgq => Box::new(bgq::BgqAdapter),
+        LogFormat::Syslog => Box::new(syslog::SyslogAdapter::default()),
+        LogFormat::Cassette => Box::new(cassette::CassetteAdapter),
+    }
+}
+
+/// The job source adapter for `format`, or [`SourceError::NoJobSchema`] for
+/// formats that carry no accounting data.
+pub fn job_source(format: LogFormat) -> Result<Box<dyn JobSource + Send + Sync>, SourceError> {
+    match format {
+        LogFormat::Bgp => Ok(Box::new(bgp::BgpAdapter)),
+        LogFormat::Bgq => Ok(Box::new(bgq::BgqAdapter)),
+        LogFormat::Syslog => Err(SourceError::NoJobSchema(LogFormat::Syslog)),
+        LogFormat::Cassette => Ok(Box::new(cassette::CassetteAdapter)),
+    }
+}
+
+/// The concrete file(s) a format reads for a user-supplied input path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResolvedInput {
+    /// The RAS log file to read.
+    pub ras: PathBuf,
+    /// The job log file, when the format bundles one (BG/Q directories).
+    pub jobs: Option<PathBuf>,
+    /// Notes about auxiliary inputs that were seen but not mapped.
+    pub notes: Vec<SourceDiagnostic>,
+}
+
+/// Map a user-supplied path to the file(s) `format` actually reads.
+///
+/// Only the BG/Q adapter is multi-file: given a *directory*, it reads
+/// `ras.bgq` and (when present) `jobs.bgq`, and acknowledges Sîrbu's other
+/// three logs (`env.bgq`, `bootblock.bgq`, `network.bgq`) with a note each —
+/// they carry environmental/boot/network telemetry the co-analysis model
+/// does not yet consume. Every other format (and a BG/Q *file* path) reads
+/// the path as-is.
+pub fn resolve_input(format: LogFormat, path: &Path) -> ResolvedInput {
+    if format != LogFormat::Bgq || !path.is_dir() {
+        return ResolvedInput {
+            ras: path.to_owned(),
+            jobs: None,
+            notes: Vec::new(),
+        };
+    }
+    let mut notes = Vec::new();
+    for aux in ["env.bgq", "bootblock.bgq", "network.bgq"] {
+        if path.join(aux).is_file() {
+            notes.push(SourceDiagnostic {
+                line: 0,
+                message: format!("{aux}: present but not mapped (no model for this log yet)"),
+            });
+        }
+    }
+    let jobs = path.join("jobs.bgq");
+    ResolvedInput {
+        ras: path.join("ras.bgq"),
+        jobs: jobs.is_file().then_some(jobs),
+        notes,
+    }
+}
+
+/// What one complete ingest line turned out to be (the line-level port used
+/// by the streaming daemon).
+#[derive(Debug, Clone, PartialEq)]
+pub enum LineOutcome {
+    /// A decoded record.
+    Record(Box<RasRecord>),
+    /// A blank line or `#` comment — ignored, not an error.
+    Skip,
+    /// An undecodable line, with the decoder's description.
+    Malformed(String),
+}
+
+/// Line-at-a-time RAS decoder for streaming ingest.
+///
+/// Only line-oriented formats can be streamed: `bgp` and `syslog`. The BG/Q
+/// adapter is multi-file and the cassette adapter replays *chunks* (it wraps
+/// one of these decoders upstream), so neither appears here.
+#[derive(Debug)]
+pub enum LineDecoder {
+    /// Nine-field BG/P pipe lines (byte-identical to `serve`'s original
+    /// classifier).
+    Bgp,
+    /// RFC 3164 syslog lines; assigns record ids from an internal counter.
+    Syslog(syslog::SyslogLineDecoder),
+}
+
+impl LineDecoder {
+    /// The streaming decoder for `format`, or `None` for formats that cannot
+    /// be decoded line-by-line (`bgq`, `cassette`).
+    pub fn for_format(format: LogFormat) -> Option<LineDecoder> {
+        match format {
+            LogFormat::Bgp => Some(LineDecoder::Bgp),
+            LogFormat::Syslog => Some(LineDecoder::Syslog(syslog::SyslogLineDecoder::default())),
+            LogFormat::Bgq | LogFormat::Cassette => None,
+        }
+    }
+
+    /// Classify one complete line (without its `\n` terminator; a trailing
+    /// `\r` is tolerated).
+    pub fn decode_line(&self, line: &[u8]) -> LineOutcome {
+        match self {
+            LineDecoder::Bgp => bgp::decode_ras_line(line),
+            LineDecoder::Syslog(d) => d.decode_line(line),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_tokens_round_trip() {
+        for f in LogFormat::ALL {
+            assert_eq!(f.as_str().parse::<LogFormat>().unwrap(), f);
+            assert_eq!(f.to_string(), f.as_str());
+            assert!(SUPPORTED_FORMATS.contains(f.as_str()));
+        }
+        let e = "xml".parse::<LogFormat>().unwrap_err();
+        assert!(e.to_string().contains("bgp, bgq, syslog, cassette"));
+        assert_eq!(LogFormat::default(), LogFormat::Bgp);
+    }
+
+    #[test]
+    fn job_source_matrix() {
+        assert!(job_source(LogFormat::Bgp).is_ok());
+        assert!(job_source(LogFormat::Bgq).is_ok());
+        assert!(job_source(LogFormat::Cassette).is_ok());
+        assert!(matches!(
+            job_source(LogFormat::Syslog),
+            Err(SourceError::NoJobSchema(LogFormat::Syslog))
+        ));
+    }
+
+    #[test]
+    fn line_decoder_matrix() {
+        assert!(LineDecoder::for_format(LogFormat::Bgp).is_some());
+        assert!(LineDecoder::for_format(LogFormat::Syslog).is_some());
+        assert!(LineDecoder::for_format(LogFormat::Bgq).is_none());
+        assert!(LineDecoder::for_format(LogFormat::Cassette).is_none());
+    }
+
+    #[test]
+    fn resolve_input_passes_plain_paths_through() {
+        let r = resolve_input(LogFormat::Bgp, Path::new("/tmp/ras.log"));
+        assert_eq!(r.ras, Path::new("/tmp/ras.log"));
+        assert!(r.jobs.is_none());
+        assert!(r.notes.is_empty());
+    }
+
+    #[test]
+    fn resolve_input_maps_bgq_directories() {
+        let dir = std::env::temp_dir().join(format!("ports-resolve-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("ras.bgq"), b"").unwrap();
+        std::fs::write(dir.join("jobs.bgq"), b"").unwrap();
+        std::fs::write(dir.join("env.bgq"), b"").unwrap();
+        let r = resolve_input(LogFormat::Bgq, &dir);
+        assert_eq!(r.ras, dir.join("ras.bgq"));
+        assert_eq!(r.jobs, Some(dir.join("jobs.bgq")));
+        assert_eq!(r.notes.len(), 1);
+        assert!(r.notes[0].message.contains("env.bgq"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn diagnostics_render_with_line_numbers() {
+        let d = SourceDiagnostic {
+            line: 7,
+            message: "bad".into(),
+        };
+        assert_eq!(d.to_string(), "line 7: bad");
+    }
+
+    #[test]
+    fn parse_error_conversion_strips_line_prefix() {
+        let e = raslog::parse_line("a|b|c").unwrap_err();
+        let d = SourceDiagnostic::from(e.clone());
+        assert_eq!(d.line, e.line);
+        assert!(!d.message.starts_with("line"));
+        assert!(d.message.contains("9 fields"));
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests for the `.bgpcas` cassette codec, mirroring the
+//! `.bgpsnap` snapshot tests: arbitrary recordings round-trip byte-
+//! identically, replay preserves chunk boundaries, and every corruption —
+//! truncation, bit flips, version drift — yields a typed error rather than
+//! garbage records.
+
+// Integration-test helpers follow the test-code panic policy: a broken
+// fixture should fail the test loudly, not thread Results around.
+#![allow(clippy::unwrap_used, clippy::expect_used, missing_docs)]
+
+use bgp_ports::cassette::{
+    Cassette, CassetteError, CassetteFrame, Recorder, StreamKind, FORMAT_VERSION, HEADER_LEN,
+};
+use bgp_ports::LogFormat;
+use proptest::prelude::*;
+
+fn arb_cassette() -> impl Strategy<Value = Cassette> {
+    let frame = (0u64..5_000_000_000, collection::vec(0u8..=255, 0..48))
+        .prop_map(|(delta_nanos, bytes)| CassetteFrame { delta_nanos, bytes });
+    (
+        collection::vec(frame, 0..12),
+        0usize..3, // inner format index: bgp, bgq, syslog
+        0u8..2,    // stream kind
+    )
+        .prop_map(|(frames, fmt_idx, kind)| {
+            let format = [LogFormat::Bgp, LogFormat::Bgq, LogFormat::Syslog][fmt_idx];
+            let kind = if kind == 0 {
+                StreamKind::Ras
+            } else {
+                StreamKind::Job
+            };
+            let mut cas = Cassette::new(format, kind).unwrap();
+            cas.frames = frames;
+            cas
+        })
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_round_trips_exactly(cas in arb_cassette()) {
+        let bytes = cas.encode();
+        let back = Cassette::decode(&bytes).unwrap();
+        prop_assert_eq!(&back, &cas);
+        // Replay is the exact concatenation of recorded chunks.
+        let concat: Vec<u8> = cas.frames.iter().flat_map(|f| f.bytes.clone()).collect();
+        prop_assert_eq!(back.replay_bytes(), concat);
+        // And re-encoding the decoded cassette is byte-identical.
+        prop_assert_eq!(back.encode(), bytes);
+    }
+
+    #[test]
+    fn recorder_matches_hand_built_cassette(cas in arb_cassette()) {
+        let mut rec = Recorder::new(cas.format, cas.kind).unwrap();
+        for f in &cas.frames {
+            rec.push(f.delta_nanos, &f.bytes);
+        }
+        prop_assert_eq!(rec.len(), cas.frames.len());
+        prop_assert_eq!(rec.finish(), cas);
+    }
+
+    #[test]
+    fn truncation_always_yields_a_typed_error(cas in arb_cassette(), cut_back in 1usize..64) {
+        let bytes = cas.encode();
+        prop_assume!(!bytes.is_empty());
+        let cut = bytes.len().saturating_sub(cut_back);
+        let e = Cassette::decode(&bytes[..cut]).unwrap_err();
+        prop_assert!(
+            matches!(
+                e,
+                CassetteError::Truncated { .. } | CassetteError::HashMismatch { .. }
+            ),
+            "unexpected error {:?}",
+            e
+        );
+    }
+
+    #[test]
+    fn single_byte_corruption_never_decodes_silently(
+        cas in arb_cassette(),
+        at_frac in 0.0f64..1.0,
+        flip in 1u8..=255,
+    ) {
+        let mut bytes = cas.encode();
+        let at = ((bytes.len() - 1) as f64 * at_frac) as usize;
+        bytes[at] ^= flip;
+        if at >= HEADER_LEN {
+            // The frames section is hash-protected: any flip must be caught.
+            prop_assert!(Cassette::decode(&bytes).is_err(), "frame corruption undetected");
+        } else if let Ok(back) = Cassette::decode(&bytes) {
+            // Header flips are field-validated; one may legitimately survive
+            // (reserved padding, or a tag flipped to another valid tag) but
+            // must never corrupt the frame data itself.
+            prop_assert_eq!(back.frames, cas.frames);
+        }
+    }
+
+    #[test]
+    fn version_drift_refuses_to_load(cas in arb_cassette(), other in 0u32..1000) {
+        prop_assume!(other != FORMAT_VERSION);
+        let mut bytes = cas.encode();
+        bytes[12..16].copy_from_slice(&other.to_le_bytes());
+        prop_assert_eq!(
+            Cassette::decode(&bytes).unwrap_err(),
+            CassetteError::VersionMismatch { found: other, expected: FORMAT_VERSION }
+        );
+    }
+}

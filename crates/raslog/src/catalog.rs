@@ -80,7 +80,8 @@ type Row = (
 use Component as C;
 use Severity as S;
 
-/// The 82 FATAL codes plus 14 background codes.
+/// The 82 FATAL codes plus 14 background codes, then the synthetic
+/// `syslog_*` facility namespace used by the generic syslog adapter.
 #[rustfmt::skip]
 static TABLE: &[Row] = &[
     // ------ kernel-reported application-side crashes (the co-analysis will
@@ -282,6 +283,35 @@ static TABLE: &[Row] = &[
      "Environmental polling cycle complete"),
     ("_bgp_err_spare_bit_steer", C::Kernel, "_bgp_unit_ddr", S::Error,
      "Spare DRAM bit steering activated"),
+    // ------ synthetic syslog namespace (bgp-ports syslog adapter) ------
+    // One code per RFC 3164 facility, appended AFTER every BG/P code so the
+    // dense ErrCode indices of the original catalogue never move (snapshot
+    // compatibility). The row severity is only the *default*; the adapter
+    // carries the per-message syslog severity on the record itself.
+    ("syslog_kern", C::Application, "SYSLOG", S::Info, "syslog facility kern"),
+    ("syslog_user", C::Application, "SYSLOG", S::Info, "syslog facility user"),
+    ("syslog_mail", C::Application, "SYSLOG", S::Info, "syslog facility mail"),
+    ("syslog_daemon", C::Application, "SYSLOG", S::Info, "syslog facility daemon"),
+    ("syslog_auth", C::Application, "SYSLOG", S::Info, "syslog facility auth"),
+    ("syslog_syslog", C::Application, "SYSLOG", S::Info, "syslog facility syslog"),
+    ("syslog_lpr", C::Application, "SYSLOG", S::Info, "syslog facility lpr"),
+    ("syslog_news", C::Application, "SYSLOG", S::Info, "syslog facility news"),
+    ("syslog_uucp", C::Application, "SYSLOG", S::Info, "syslog facility uucp"),
+    ("syslog_cron", C::Application, "SYSLOG", S::Info, "syslog facility cron"),
+    ("syslog_authpriv", C::Application, "SYSLOG", S::Info, "syslog facility authpriv"),
+    ("syslog_ftp", C::Application, "SYSLOG", S::Info, "syslog facility ftp"),
+    ("syslog_ntp", C::Application, "SYSLOG", S::Info, "syslog facility ntp"),
+    ("syslog_audit", C::Application, "SYSLOG", S::Info, "syslog facility audit"),
+    ("syslog_alert", C::Application, "SYSLOG", S::Info, "syslog facility alert"),
+    ("syslog_clock", C::Application, "SYSLOG", S::Info, "syslog facility clock"),
+    ("syslog_local0", C::Application, "SYSLOG", S::Info, "syslog facility local0"),
+    ("syslog_local1", C::Application, "SYSLOG", S::Info, "syslog facility local1"),
+    ("syslog_local2", C::Application, "SYSLOG", S::Info, "syslog facility local2"),
+    ("syslog_local3", C::Application, "SYSLOG", S::Info, "syslog facility local3"),
+    ("syslog_local4", C::Application, "SYSLOG", S::Info, "syslog facility local4"),
+    ("syslog_local5", C::Application, "SYSLOG", S::Info, "syslog facility local5"),
+    ("syslog_local6", C::Application, "SYSLOG", S::Info, "syslog facility local6"),
+    ("syslog_local7", C::Application, "SYSLOG", S::Info, "syslog facility local7"),
 ];
 
 impl Catalog {

@@ -8,6 +8,7 @@
 
 use crate::error::ServeError;
 use bgp_model::Duration;
+use bgp_ports::{LineDecoder, LogFormat};
 use coanalysis::classify::{CodeImpact, ImpactSummary};
 use raslog::Catalog;
 use std::io::{Read, Write};
@@ -42,6 +43,16 @@ pub struct ServeConfig {
     pub spatial: Duration,
     /// Per-code impact verdicts from an offline run, if any.
     pub impact: Option<ImpactSummary>,
+    /// Line format for the ingest sources. Only line-streamable formats are
+    /// valid here (`bgp`, `syslog`); a cassette names its own inner format.
+    pub format: LogFormat,
+    /// A `.bgpcas` cassette to replay at startup instead of (or alongside)
+    /// the live sources; once it drains, a graceful shutdown is requested,
+    /// making `--replay` a deterministic one-shot batch run.
+    pub replay: Option<PathBuf>,
+    /// Record every ingested chunk (TCP and tail) into this `.bgpcas`
+    /// cassette, written on shutdown.
+    pub record: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -60,6 +71,9 @@ impl Default for ServeConfig {
             temporal: Duration::minutes(5),
             spatial: Duration::minutes(5),
             impact: None,
+            format: LogFormat::Bgp,
+            replay: None,
+            record: None,
         }
     }
 }
@@ -76,6 +90,9 @@ impl ServeConfig {
     /// --max-line BYTES   ingest line length limit    (default 65536)
     /// --impact FILE      offline impact verdicts
     /// --tail FILE        also tail FILE for records
+    /// --format NAME      line format for ingest      (default bgp; or syslog)
+    /// --replay FILE      replay a .bgpcas cassette, then shut down
+    /// --record FILE      record ingested chunks to a .bgpcas cassette
     /// --temporal-secs S  temporal dedup threshold    (default 300)
     /// --spatial-secs S   spatial dedup threshold     (default 300)
     /// ```
@@ -95,6 +112,14 @@ impl ServeConfig {
                     cfg.impact = Some(read_impact_file(&path)?);
                 }
                 "--tail" => cfg.tail = Some(PathBuf::from(take(&mut it, "--tail")?)),
+                "--format" => {
+                    let name = take(&mut it, "--format")?;
+                    cfg.format = name
+                        .parse()
+                        .map_err(|e: bgp_ports::UnknownFormat| ServeError::Config(e.to_string()))?;
+                }
+                "--replay" => cfg.replay = Some(PathBuf::from(take(&mut it, "--replay")?)),
+                "--record" => cfg.record = Some(PathBuf::from(take(&mut it, "--record")?)),
                 "--temporal-secs" => {
                     cfg.temporal = Duration::seconds(take_parsed(&mut it, "--temporal-secs")?);
                 }
@@ -125,6 +150,13 @@ impl ServeConfig {
             return Err(ServeError::Config(
                 "--max-line must be at least 64 bytes (a minimal record line)".into(),
             ));
+        }
+        if LineDecoder::for_format(self.format).is_none() {
+            return Err(ServeError::Config(format!(
+                "--format {}: not a line-streamable format (streaming supports bgp and \
+                 syslog; cassettes name their own inner format — use --replay FILE)",
+                self.format
+            )));
         }
         Ok(())
     }
@@ -282,6 +314,38 @@ mod tests {
         assert!(ServeConfig::from_args(&args(&["--shards", "0"])).is_err());
         assert!(ServeConfig::from_args(&args(&["--bogus"])).is_err());
         assert!(ServeConfig::from_args(&args(&["--shards"])).is_err());
+    }
+
+    #[test]
+    fn format_replay_and_record_flags_parse() {
+        let cfg = ServeConfig::from_args(&args(&[
+            "--format",
+            "syslog",
+            "--replay",
+            "in.bgpcas",
+            "--record",
+            "out.bgpcas",
+        ]))
+        .unwrap();
+        assert_eq!(cfg.format, LogFormat::Syslog);
+        assert_eq!(
+            cfg.replay.as_deref(),
+            Some(std::path::Path::new("in.bgpcas"))
+        );
+        assert_eq!(
+            cfg.record.as_deref(),
+            Some(std::path::Path::new("out.bgpcas"))
+        );
+        // Unknown formats and non-streamable formats are config errors.
+        let e = ServeConfig::from_args(&args(&["--format", "bgl"])).unwrap_err();
+        assert!(e.to_string().contains("unknown log format"), "{e}");
+        let e = ServeConfig::from_args(&args(&["--format", "bgq"])).unwrap_err();
+        assert!(
+            e.to_string().contains("not a line-streamable format"),
+            "{e}"
+        );
+        let e = ServeConfig::from_args(&args(&["--format", "cassette"])).unwrap_err();
+        assert!(e.to_string().contains("--replay"), "{e}");
     }
 
     #[test]

@@ -19,6 +19,9 @@
 //! * [`ring`] — the recent-events ring served at `/events`;
 //! * [`metrics`] — counters/gauges/histograms + Prometheus rendering;
 //! * [`http`] — the minimal HTTP front-end;
+//! * [`recorder`] — `--record`: capturing live ingest chunks as a cassette;
+//! * [`replay`] — `--replay`: deterministic cassette playback through the
+//!   ingest path, ending in a graceful one-shot drain;
 //! * [`server`] — assembly, two-phase graceful shutdown, final summary;
 //! * [`timing`] — [`StageTimer`], wiring the same metrics registry into the
 //!   batch pipeline via [`CoAnalysis::run_on_observed`](coanalysis::CoAnalysis::run_on_observed);
@@ -36,6 +39,8 @@ pub mod error;
 pub mod http;
 pub mod metrics;
 pub mod protocol;
+pub(crate) mod recorder;
+pub(crate) mod replay;
 pub mod ring;
 pub mod server;
 pub mod shard;

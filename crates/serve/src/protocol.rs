@@ -1,9 +1,10 @@
 //! The line-delimited ingest protocol.
 //!
-//! A client streams RAS records to the daemon as ordinary log lines — the
-//! same nine-field pipe format `raslog` reads from disk — one record per
-//! `\n`-terminated line, optionally with a trailing `\r`. Blank lines and
-//! `#` comments are ignored, so `cat ras.log | nc HOST PORT` is a valid
+//! A client streams RAS records to the daemon as ordinary log lines — by
+//! default the same nine-field pipe format `raslog` reads from disk, or any
+//! other line-oriented source adapter selected with `--format` — one record
+//! per `\n`-terminated line, optionally with a trailing `\r`. Blank lines
+//! and `#` comments are ignored, so `cat ras.log | nc HOST PORT` is a valid
 //! client. The protocol is one-way: the daemon never writes on the ingest
 //! socket; results are observed through the HTTP front-end.
 //!
@@ -19,7 +20,8 @@
 //! clocks), which keeps it inside the determinism lint scope and makes the
 //! edge cases unit-testable.
 
-use raslog::{parse_line_bytes, RasRecord};
+use bgp_ports::{LineDecoder, LineOutcome};
+use raslog::RasRecord;
 
 /// What one complete ingest line turned out to be.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,19 +34,21 @@ pub enum Frame {
     Malformed(String),
 }
 
-/// Classify one complete line (without its newline terminator).
+impl From<LineOutcome> for Frame {
+    fn from(o: LineOutcome) -> Frame {
+        match o {
+            LineOutcome::Record(r) => Frame::Record(r),
+            LineOutcome::Skip => Frame::Skip,
+            LineOutcome::Malformed(msg) => Frame::Malformed(msg),
+        }
+    }
+}
+
+/// Classify one complete line (without its newline terminator) as the
+/// default BG/P pipe format — the port-layer [`LineDecoder`] generalizes
+/// this to the other streamable formats.
 pub fn classify_line(line: &[u8]) -> Frame {
-    let line = match line.split_last() {
-        Some((b'\r', rest)) => rest,
-        _ => line,
-    };
-    if line.is_empty() || line.first() == Some(&b'#') {
-        return Frame::Skip;
-    }
-    match parse_line_bytes(line) {
-        Ok(r) => Frame::Record(Box::new(r)),
-        Err(e) => Frame::Malformed(e.to_string()),
-    }
+    Frame::from(LineDecoder::Bgp.decode_line(line))
 }
 
 /// Incremental newline framer with a hard per-line length limit.
@@ -70,6 +74,16 @@ impl LineFramer {
         }
     }
 
+    /// The line length the limit applies to: the classifier strips one
+    /// trailing `\r`, so a CRLF terminator must not count against the limit
+    /// — a maximal line must frame identically whether it arrives as
+    /// `...\n` or `...\r\n`, and whether the `\r\n` is split across reads.
+    fn effective_len(&self, tail: &[u8]) -> usize {
+        let total = self.carry.len() + tail.len();
+        let ends_cr = tail.last().or(self.carry.last()) == Some(&b'\r');
+        total - usize::from(ends_cr && total > 0)
+    }
+
     /// Feed one chunk; complete lines go to `sink`. Returns the number of
     /// oversized lines dropped within this chunk.
     pub fn feed(&mut self, chunk: &[u8], sink: &mut impl FnMut(&[u8])) -> u64 {
@@ -84,7 +98,7 @@ impl LineFramer {
                 self.carry.clear();
                 continue;
             }
-            if self.carry.len() + head.len() > self.max_line_bytes {
+            if self.effective_len(head) > self.max_line_bytes {
                 dropped += 1;
                 self.carry.clear();
                 continue;
@@ -99,9 +113,11 @@ impl LineFramer {
         if self.skipping {
             return dropped;
         }
-        if self.carry.len() + rest.len() > self.max_line_bytes {
+        if self.effective_len(rest) > self.max_line_bytes {
             // The line is already over the limit without a newline in
-            // sight: drop it now and discard until the next newline.
+            // sight: drop it now and discard until the next newline. (A
+            // partial line ending in `\r` gets one byte of grace — the
+            // carry is bounded by the limit plus that single byte.)
             dropped += 1;
             self.carry.clear();
             self.skipping = true;
@@ -163,6 +179,85 @@ mod tests {
         let (lines, dropped) = collect(&mut f, &[b"abcdefgh"]);
         assert_eq!(dropped, 1);
         assert!(lines.is_empty());
+    }
+
+    #[test]
+    fn crlf_terminator_does_not_count_against_the_limit() {
+        // A maximal 4-byte line must survive whether it ends \n or \r\n:
+        // the classifier strips the \r, so the framer must not charge it.
+        let mut f = LineFramer::new(4);
+        let (lines, dropped) = collect(&mut f, &[b"abcd\nabcd\r\nabcde\r\n"]);
+        assert_eq!(dropped, 1, "only the 5-byte line is oversized");
+        assert_eq!(lines, vec![b"abcd".to_vec(), b"abcd\r".to_vec()]);
+    }
+
+    #[test]
+    fn crlf_split_across_chunks_at_the_limit_is_not_dropped() {
+        // Regression: with the \r buffered at the end of one read and the
+        // \n opening the next, the carry briefly holds limit+1 bytes. The
+        // old framer dropped the line at that point; it must be delivered.
+        let mut f = LineFramer::new(4);
+        let (lines, dropped) = collect(&mut f, &[b"abcd\r", b"\nef\n"]);
+        assert_eq!(dropped, 0);
+        assert_eq!(lines, vec![b"abcd\r".to_vec(), b"ef".to_vec()]);
+        // The grace byte is exactly one: anything after the \r that is not
+        // an immediate newline pushes the line over the limit again.
+        let mut f = LineFramer::new(4);
+        let (lines, dropped) = collect(&mut f, &[b"abcd\r", b"x\nok\n"]);
+        assert_eq!(dropped, 1);
+        assert_eq!(lines, vec![b"ok".to_vec()]);
+    }
+
+    #[test]
+    fn only_one_trailing_cr_is_granted() {
+        // classify_line strips a single \r, so "abc\r\r" is the 4-byte
+        // content "abc\r" plus its terminator: delivered at a 4-byte limit.
+        let mut f = LineFramer::new(4);
+        let (lines, dropped) = collect(&mut f, &[b"abc\r\r\nok\n"]);
+        assert_eq!(dropped, 0);
+        assert_eq!(lines, vec![b"abc\r\r".to_vec(), b"ok".to_vec()]);
+        // "abcd\r\r" strips to 5 bytes of content: over the limit, dropped.
+        let mut f = LineFramer::new(4);
+        let (lines, dropped) = collect(&mut f, &[b"abcd\r\r\nok\n"]);
+        assert_eq!(dropped, 1);
+        assert_eq!(lines, vec![b"ok".to_vec()]);
+    }
+
+    #[test]
+    fn crlf_at_limit_parses_identically_to_lf() {
+        // End to end through classify_line: the same maximal record line
+        // must produce the same Frame with either terminator framing.
+        let code = Catalog::standard().lookup("_bgp_err_kernel_panic").unwrap();
+        let rec = raslog::RasRecord::new(
+            7,
+            bgp_model::Timestamp::from_unix(1_000),
+            "R00-M0-N00-J00".parse().unwrap(),
+            code,
+        );
+        let line = raslog::format_record(&rec);
+        let max = line.len(); // the limit sits exactly at the record length
+        for (payload, chunks) in [
+            (format!("{line}\n"), vec![format!("{line}\n")]),
+            (format!("{line}\r\n"), vec![format!("{line}\r\n")]),
+            // \r and \n split across reads, \r landing exactly on the limit.
+            (String::new(), vec![format!("{line}\r"), "\n".to_owned()]),
+        ] {
+            let _ = payload;
+            let mut f = LineFramer::new(max);
+            let mut frames = Vec::new();
+            for c in &chunks {
+                let dropped = f.feed(c.as_bytes(), &mut |l: &[u8]| {
+                    frames.push(classify_line(l));
+                });
+                assert_eq!(dropped, 0, "chunks {chunks:?}");
+            }
+            f.finish(&mut |l: &[u8]| frames.push(classify_line(l)));
+            assert_eq!(frames.len(), 1, "chunks {chunks:?}");
+            match &frames[0] {
+                Frame::Record(r) => assert_eq!(**r, rec),
+                other => panic!("expected record for {chunks:?}, got {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -12,11 +12,14 @@ use crate::config::ServeConfig;
 use crate::error::ServeError;
 use crate::http::{spawn_http_listener, HttpState};
 use crate::metrics::{Registry, ServeMetrics};
+use crate::recorder::ChunkRecorder;
 use crate::ring::EventRing;
 use crate::shard::{ShardConfig, ShardPool};
 use crate::source::{spawn_ingest_listener, spawn_tailer, SourceCtx};
+use bgp_ports::LineDecoder;
 use coanalysis::stream::StreamCounters;
 use std::net::{SocketAddr, TcpListener};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
@@ -77,6 +80,9 @@ pub struct FinalSummary {
     pub http_requests: u64,
     /// HTTP clients disconnected for being too slow.
     pub slow_disconnects: u64,
+    /// What `--record` did, when active ("wrote N frames to PATH" or the
+    /// write failure — recording is best-effort and never fails the drain).
+    pub recording: Option<String>,
 }
 
 impl std::fmt::Display for FinalSummary {
@@ -104,7 +110,11 @@ impl std::fmt::Display for FinalSummary {
             self.ingest_connections,
             self.http_requests,
             self.slow_disconnects
-        )
+        )?;
+        if let Some(rec) = &self.recording {
+            write!(f, "\nfinal: recording {rec}")?;
+        }
+        Ok(())
     }
 }
 
@@ -119,6 +129,7 @@ pub struct Server {
     registry: Arc<Registry>,
     ring: Arc<EventRing>,
     threads: Mutex<Vec<JoinHandle<()>>>,
+    record: Option<(PathBuf, Arc<ChunkRecorder>)>,
 }
 
 impl Server {
@@ -154,12 +165,36 @@ impl Server {
             &ring,
         )?);
 
+        let decoder = LineDecoder::for_format(cfg.format).ok_or_else(|| {
+            ServeError::Config(format!(
+                "format {} is not line-streamable (use --replay for cassettes)",
+                cfg.format
+            ))
+        })?;
+        let record = match &cfg.record {
+            Some(path) => {
+                let rec = ChunkRecorder::new(cfg.format)
+                    .map_err(|e| ServeError::Config(format!("--record: {e}")))?;
+                Some((path.clone(), Arc::new(rec)))
+            }
+            None => None,
+        };
+        // Load the replay cassette before any thread starts: a corrupt or
+        // mismatched cassette is a startup error, not a silent empty run.
+        let replay = cfg
+            .replay
+            .as_deref()
+            .map(crate::replay::load_cassette)
+            .transpose()?;
+
         let source_ctx = SourceCtx {
             pool: Arc::clone(&pool),
             metrics: Arc::clone(&metrics),
             shutdown: Arc::clone(&shutdown),
             max_line_bytes: cfg.max_line_bytes,
             read_timeout: cfg.read_timeout,
+            decoder: Arc::new(decoder),
+            recorder: record.as_ref().map(|(_, r)| Arc::clone(r)),
         };
         let mut threads = Vec::new();
         threads.push(
@@ -170,6 +205,11 @@ impl Server {
             threads.push(
                 spawn_tailer(path.clone(), cfg.tail_poll, source_ctx.clone())
                     .map_err(ServeError::Spawn)?,
+            );
+        }
+        if let Some(cassette) = replay {
+            threads.push(
+                crate::replay::spawn_replayer(cassette, &source_ctx).map_err(ServeError::Spawn)?,
             );
         }
         threads.push(
@@ -197,6 +237,7 @@ impl Server {
             registry,
             ring,
             threads: Mutex::new(threads),
+            record,
         })
     }
 
@@ -263,6 +304,14 @@ impl Server {
         for t in http_threads {
             let _ = t.join();
         }
+        // Every source thread has joined: the recording is complete.
+        let recording = self
+            .record
+            .as_ref()
+            .map(|(path, rec)| match rec.write_to(path) {
+                Ok(frames) => format!("wrote {frames} frames to {}", path.display()),
+                Err(e) => format!("FAILED writing {}: {e}", path.display()),
+            });
         FinalSummary {
             counters: self.pool.counters(),
             shards: self.pool.shards(),
@@ -272,6 +321,7 @@ impl Server {
             ingest_connections: self.metrics.ingest_connections.get(),
             http_requests: self.metrics.http_requests.get(),
             slow_disconnects: self.metrics.slow_disconnects.get(),
+            recording,
         }
     }
 }
@@ -332,10 +382,19 @@ mod tests {
             ingest_connections: 2,
             http_requests: 9,
             slow_disconnects: 1,
+            recording: None,
         };
         let text = summary.to_string();
         assert!(text.contains("10 records in (8 fatal) -> 3 events"));
         assert!(text.contains("3 temporal + 2 spatial"));
         assert!(text.contains("5 malformed / 6 oversized; 7 stalls"));
+        assert!(!text.contains("recording"));
+        let recorded = FinalSummary {
+            recording: Some("wrote 3 frames to out.bgpcas".to_owned()),
+            ..summary
+        };
+        assert!(recorded
+            .to_string()
+            .contains("final: recording wrote 3 frames to out.bgpcas"));
     }
 }

@@ -9,9 +9,11 @@
 //! the daemon has accepted.
 
 use crate::metrics::ServeMetrics;
-use crate::protocol::{classify_line, Frame, LineFramer};
+use crate::protocol::LineFramer;
+use crate::recorder::ChunkRecorder;
 use crate::server::Shutdown;
 use crate::shard::ShardPool;
+use bgp_ports::{LineDecoder, LineOutcome};
 use std::io::Read;
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -30,25 +32,34 @@ pub(crate) struct SourceCtx {
     pub shutdown: Arc<Shutdown>,
     pub max_line_bytes: usize,
     pub read_timeout: Duration,
+    /// The line-level port decoding this daemon's ingest format. Shared so
+    /// stateful decoders (syslog record-id assignment) stay globally unique
+    /// across connections.
+    pub decoder: Arc<LineDecoder>,
+    /// When `--record` is active, every delivered chunk is observed here.
+    pub recorder: Option<Arc<ChunkRecorder>>,
 }
 
 impl SourceCtx {
-    /// Classify one framed line and route it. Returns `false` once the pool
+    /// Decode one framed line and route it. Returns `false` once the pool
     /// refuses records (daemon shutting down) — the source should stop.
     fn consume_line(&self, line: &[u8]) -> bool {
-        match classify_line(line) {
-            Frame::Skip => true,
-            Frame::Malformed(_) => {
+        match self.decoder.decode_line(line) {
+            LineOutcome::Skip => true,
+            LineOutcome::Malformed(_) => {
                 self.metrics.rejected_malformed.inc();
                 true
             }
-            Frame::Record(rec) => self.pool.push(*rec, &self.metrics).is_ok(),
+            LineOutcome::Record(rec) => self.pool.push(*rec, &self.metrics).is_ok(),
         }
     }
 
     /// Feed one chunk through a framer, accounting oversized drops.
     /// Returns `false` once the pool is closed.
-    fn consume_chunk(&self, framer: &mut LineFramer, chunk: &[u8]) -> bool {
+    pub(crate) fn consume_chunk(&self, framer: &mut LineFramer, chunk: &[u8]) -> bool {
+        if let Some(rec) = &self.recorder {
+            rec.observe(chunk);
+        }
         let mut open = true;
         let dropped = framer.feed(chunk, &mut |line: &[u8]| {
             if open {
@@ -60,7 +71,7 @@ impl SourceCtx {
     }
 
     /// Flush a trailing unterminated line at end of stream.
-    fn consume_eof(&self, framer: &mut LineFramer) {
+    pub(crate) fn consume_eof(&self, framer: &mut LineFramer) {
         framer.finish(&mut |line: &[u8]| {
             let _ = self.consume_line(line);
         });
@@ -244,6 +255,8 @@ mod tests {
             shutdown: Arc::new(Shutdown::new()),
             max_line_bytes: 1024,
             read_timeout: Duration::from_millis(50),
+            decoder: Arc::new(LineDecoder::Bgp),
+            recorder: None,
         }
     }
 

@@ -22,6 +22,7 @@
 //! | `stage-deps` | `StageId::deps()` matches each stage's actual product reads, and `/// Reads:` doc lines stay true |
 //! | `parallel-determinism` | no hash-ordered iteration or FP reduction feeding kernel results; no unsanctioned thread spawns |
 //! | `serve-concurrency` | no Mutex guard held across blocking I/O in `crates/serve`; queues are bounded at construction |
+//! | `port-boundary` | raw `raslog`/`joblog` parser entry points stay inside the BG/P adapter |
 //!
 //! The last three are token-tree rules: they parse delimiter trees and call
 //! chains via [`crate::syntax`] and whole-workspace dataflow models via
@@ -119,6 +120,10 @@ pub const RULES: &[RuleInfo] = &[
         id: "serve-concurrency",
         summary: "crates/serve never holds a Mutex guard across blocking I/O and constructs only bounded channels/queues",
     },
+    RuleInfo {
+        id: "port-boundary",
+        summary: "raw raslog/joblog parser entry points are called only from the BG/P adapter (crates/ports/src/bgp.rs); everything else goes through the bgp-ports source traits",
+    },
 ];
 
 /// Ambient time / entropy sources that break pipeline reproducibility.
@@ -152,6 +157,45 @@ pub fn determinism(file: &SourceFile) -> Vec<Finding> {
                          thread an explicit seed or timestamp through the call graph"
                     ),
                 });
+            }
+        }
+    }
+    out
+}
+
+/// Raw parser entry points that only the BG/P adapter may name.
+const PORT_BOUNDARY_PATTERNS: &[&str] = &[
+    "raslog::parse",
+    "joblog::parse",
+    "raslog::ingest",
+    "joblog::ingest",
+    "ingest::parse_log_bytes",
+];
+
+/// `port-boundary`: consumers reach log records through the `bgp-ports`
+/// source traits; naming a raw parser entry point directly bypasses the
+/// adapter layer and its per-source diagnostics. The parser crates
+/// themselves and `crates/ports/src/bgp.rs` — the one sanctioned adapter —
+/// are outside this rule's scope (see the caller).
+pub fn port_boundary(file: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (lineno, line) in file.numbered() {
+        if line.in_test {
+            continue;
+        }
+        for pattern in PORT_BOUNDARY_PATTERNS {
+            if line.code.contains(pattern) {
+                out.push(Finding {
+                    rule: "port-boundary",
+                    path: file.path.clone(),
+                    line: lineno,
+                    message: format!(
+                        "direct parser entry point (`{pattern}`) outside the BG/P \
+                         adapter; go through the `bgp_ports` source traits \
+                         (crates/ports/src/bgp.rs is the one sanctioned call site)"
+                    ),
+                });
+                break; // one finding per line, not one per overlapping pattern
             }
         }
     }
@@ -1251,6 +1295,32 @@ mod tests {
 
     fn file(src: &str) -> SourceFile {
         SourceFile::parse("fixture.rs", src)
+    }
+
+    // -- port-boundary ----------------------------------------------------
+
+    #[test]
+    fn port_boundary_fires_once_per_line_on_raw_parser_calls() {
+        let f = file(
+            "let (r, e) = raslog::ingest::parse_log_bytes(data, threads);\n\
+             let j = joblog::parse_line(text)?;\n\
+             let ok = bgp_ports::bgp::decode_ras(data, threads);\n",
+        );
+        let found = port_boundary(&f);
+        assert_eq!(found.len(), 2, "{found:?}");
+        assert_eq!(found[0].line, 1, "overlapping patterns collapse to one");
+        assert_eq!(found[1].line, 2);
+        assert!(found[0].message.contains("bgp_ports"));
+    }
+
+    #[test]
+    fn port_boundary_is_quiet_on_test_code_and_formatting() {
+        let quiet =
+            file("#[cfg(test)]\nmod tests {\n    fn t() { raslog::parse_line(\"x\"); }\n}\n");
+        assert!(port_boundary(&quiet).is_empty());
+        // The format side of the codec is not a parser entry point.
+        let fmt = file("let s = raslog::format_record(&rec);\n");
+        assert!(port_boundary(&fmt).is_empty());
     }
 
     // -- determinism ------------------------------------------------------

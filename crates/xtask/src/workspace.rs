@@ -111,10 +111,12 @@ fn is_crate_root(path: &str) -> bool {
 }
 
 /// The pure modules of the serve daemon: byte-in/frame-out protocol code,
-/// counters, data structures, and config parsing. These must stay clock- and
-/// entropy-free so their behavior is a function of their inputs; the socket
-/// and timing layers (`source`, `http`, `server`, `timing`) legitimately
-/// read clocks and are deliberately outside the scope.
+/// counters, data structures, config parsing, the chunk-consuming source
+/// context, and cassette replay. These must stay clock- and entropy-free so
+/// their behavior is a function of their inputs; the layers that
+/// legitimately read clocks (`http`, `server`, `timing`, and `recorder`,
+/// which deliberately owns the one `Instant` behind `--record`) are the
+/// remaining exemptions.
 const SERVE_DETERMINISTIC_MODULES: &[&str] = &[
     "crates/serve/src/protocol.rs",
     "crates/serve/src/metrics.rs",
@@ -123,6 +125,8 @@ const SERVE_DETERMINISTIC_MODULES: &[&str] = &[
     "crates/serve/src/config.rs",
     "crates/serve/src/error.rs",
     "crates/serve/src/lib.rs",
+    "crates/serve/src/source.rs",
+    "crates/serve/src/replay.rs",
 ];
 
 /// True for sources the `determinism` rule governs. Besides the analysis
@@ -134,6 +138,10 @@ const SERVE_DETERMINISTIC_MODULES: &[&str] = &[
 fn in_deterministic_scope(path: &str) -> bool {
     path.starts_with("crates/core/src")
         || path.starts_with("crates/stats/src")
+        // The ports layer decodes bytes into records and replays cassettes;
+        // both must be pure functions of their inputs (the recorded
+        // `delta_nanos` come from `serve`'s recorder, never from here).
+        || path.starts_with("crates/ports/src")
         || path == "crates/bgp-model/src/bytes.rs"
         || path == "crates/bgp-model/src/snapshot.rs"
         // The bench crate's timing harness reads clocks by design, but its
@@ -161,6 +169,13 @@ const SNAPSHOT_PAIRS: &[(&str, &str, &str)] = &[
         "JobRecord",
         "crates/joblog/src/snapshot.rs",
     ),
+    // The cassette codec defines both the frame struct and its on-disk
+    // encoding in one module, so the pair points at the same file.
+    (
+        "crates/ports/src/cassette.rs",
+        "CassetteFrame",
+        "crates/ports/src/cassette.rs",
+    ),
 ];
 
 /// Sources the `parallel-determinism` rule governs: the files defining the
@@ -179,6 +194,15 @@ const KERNEL_SCOPE: &[(&str, bool)] = &[
 /// `parallel-determinism` model: the kernels' own crates.
 fn in_hash_model_scope(path: &str) -> bool {
     path.starts_with("crates/core/src") || path.starts_with("crates/bgp-model/src")
+}
+
+/// True for sources the `port-boundary` rule governs: everything except the
+/// parser crates themselves (which define the entry points) and the one
+/// sanctioned adapter module that wraps them.
+fn in_port_boundary_scope(path: &str) -> bool {
+    !(path.starts_with("crates/raslog/src")
+        || path.starts_with("crates/joblog/src")
+        || path == "crates/ports/src/bgp.rs")
 }
 
 /// True for sources the `stage-contract` rule governs: the pipeline stage
@@ -222,6 +246,9 @@ pub fn run_lint(root: &Path, only: Option<&BTreeSet<String>>) -> io::Result<(Vec
         }
         if enabled("serve-concurrency") && file.path.starts_with("crates/serve/src") {
             findings.extend(rules::serve_concurrency(file));
+        }
+        if enabled("port-boundary") && in_port_boundary_scope(&file.path) {
+            findings.extend(rules::port_boundary(file));
         }
     }
 
@@ -334,13 +361,15 @@ mod tests {
 
     #[test]
     fn determinism_scope_covers_serve_pure_modules_only() {
-        // Pure modules are in scope...
+        // Pure modules are in scope, including the chunk-consuming source
+        // context and the cassette replayer...
         for path in SERVE_DETERMINISTIC_MODULES {
             assert!(in_deterministic_scope(path), "{path} should be in scope");
         }
-        // ...while the socket/clock layers are deliberately outside it.
+        // ...while the clock-reading layers are deliberately outside it —
+        // `recorder` owns the one `Instant` that stamps cassette deltas.
         for path in [
-            "crates/serve/src/source.rs",
+            "crates/serve/src/recorder.rs",
             "crates/serve/src/http.rs",
             "crates/serve/src/server.rs",
             "crates/serve/src/timing.rs",
@@ -350,9 +379,32 @@ mod tests {
                 "{path} must stay out of scope"
             );
         }
-        // The long-standing members are unaffected.
+        // The long-standing members are unaffected, and the whole ports
+        // layer (decoders + cassette codec) is governed.
         assert!(in_deterministic_scope("crates/core/src/stream.rs"));
+        assert!(in_deterministic_scope("crates/ports/src/cassette.rs"));
+        assert!(in_deterministic_scope("crates/ports/src/syslog.rs"));
         assert!(!in_deterministic_scope("crates/bgp-sim/src/engine.rs"));
+    }
+
+    #[test]
+    fn port_boundary_scope_exempts_only_the_parsers_and_the_adapter() {
+        for path in [
+            "crates/raslog/src/ingest.rs",
+            "crates/raslog/src/lib.rs",
+            "crates/joblog/src/ingest.rs",
+            "crates/ports/src/bgp.rs",
+        ] {
+            assert!(!in_port_boundary_scope(path), "{path} must be exempt");
+        }
+        for path in [
+            "crates/ports/src/syslog.rs",
+            "crates/core/src/load.rs",
+            "crates/serve/src/source.rs",
+            "src/bin/coctl.rs",
+        ] {
+            assert!(in_port_boundary_scope(path), "{path} must be governed");
+        }
     }
 
     #[test]

@@ -13,8 +13,12 @@
 //! there as `.bgpsnap` files and transparently reused on re-runs (stale or
 //! corrupt snapshots fall back to re-parsing and are rewritten).
 //!
+//! Log-reading subcommands also accept `--format {bgp,bgq,syslog,cassette}`
+//! to select the source adapter (default `bgp`); only the BG/P format is
+//! snapshot-cached.
+//!
 //! Exit codes: 0 success, 1 usage error, 2 I/O or parse failure,
-//! 3 unknown subcommand.
+//! 3 unknown subcommand or unknown `--format` value.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,7 +27,7 @@ use bgp_coanalysis::bgp_serve::{self, ServeConfig, ServeError, StageTimer};
 use bgp_coanalysis::bgp_sim::{SimConfig, Simulation};
 use bgp_coanalysis::coanalysis::analysis::repair::{reconstruct_outages, summarize};
 use bgp_coanalysis::coanalysis::{load, AnalysisSet, CoAnalysis, Event, StageId};
-use bgp_coanalysis::coanalysis::{AnalysisContext, LoadOptions, SnapshotStatus};
+use bgp_coanalysis::coanalysis::{AnalysisContext, LoadOptions, LogFormat, SnapshotStatus};
 use bgp_coanalysis::joblog::{self, JobLog};
 use bgp_coanalysis::raslog::{self, LogSummary, RasLog};
 use std::fs::File;
@@ -59,12 +63,19 @@ fn main() -> ExitCode {
             eprintln!("error: {msg}");
             ExitCode::from(2)
         }
+        Err(CliError::UnknownFormat(msg)) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(3)
+        }
     }
 }
 
 enum CliError {
     Usage(String),
     Io(String),
+    /// Unknown `--format` value: exit 3, like an unknown subcommand, so
+    /// scripts probing adapter support can tell it from a usage error.
+    UnknownFormat(String),
 }
 
 impl From<std::io::Error> for CliError {
@@ -82,13 +93,15 @@ fn usage(err: &str) -> ExitCode {
          \n\
          usage:\n\
          \x20 coctl simulate [--days N] [--seed S] [--out DIR]\n\
-         \x20 coctl summary RAS.log [--snapshot DIR]\n\
-         \x20 coctl analyze RAS.log JOBS.log [--snapshot DIR] [--timings] [--threads N]\n\
-         \x20 \x20 \x20 \x20 \x20 \x20 \x20 [--impact-out FILE]\n\
-         \x20 coctl filter RAS.log JOBS.log -o CLEAN.log [--snapshot DIR]\n\
-         \x20 coctl outages RAS.log JOBS.log [--snapshot DIR]\n\
+         \x20 coctl summary RAS.log [--snapshot DIR] [--format F]\n\
+         \x20 coctl analyze RAS.log JOBS.log [--snapshot DIR] [--format F] [--timings]\n\
+         \x20 \x20 \x20 \x20 \x20 \x20 \x20 [--threads N] [--impact-out FILE]\n\
+         \x20 coctl filter RAS.log JOBS.log -o CLEAN.log [--snapshot DIR] [--format F]\n\
+         \x20 coctl outages RAS.log JOBS.log [--snapshot DIR] [--format F]\n\
          \x20 coctl serve [--ingest ADDR] [--http ADDR] [--shards N] [--impact FILE] ...\n\
          \n\
+         --format F selects the log source adapter: bgp (default), bgq,\n\
+         syslog, or cassette (.bgpcas recording, replayed deterministically).\n\
          --snapshot DIR caches parsed logs as .bgpsnap files in DIR and\n\
          reuses them on re-runs (stale snapshots are re-parsed and rewritten).\n\
          serve runs the streaming daemon (see `coserved --help` for its flags)."
@@ -100,7 +113,8 @@ fn usage(err: &str) -> ExitCode {
     }
 }
 
-/// Split a `--snapshot DIR` flag out of `args`, leaving the rest in order.
+/// Split the `--snapshot DIR` and `--format NAME` flags out of `args`,
+/// leaving the rest in order.
 fn snapshot_opts(args: &[String]) -> Result<(Vec<String>, LoadOptions), CliError> {
     let mut rest = Vec::new();
     let mut opts = LoadOptions::default();
@@ -111,6 +125,13 @@ fn snapshot_opts(args: &[String]) -> Result<(Vec<String>, LoadOptions), CliError
                 .next()
                 .ok_or_else(|| CliError::Usage("--snapshot needs a directory".into()))?;
             opts.snapshot_dir = Some(PathBuf::from(dir));
+        } else if a == "--format" {
+            let name = it
+                .next()
+                .ok_or_else(|| CliError::Usage("--format needs a format name".into()))?;
+            opts.format = name
+                .parse::<LogFormat>()
+                .map_err(|e| CliError::UnknownFormat(e.to_string()))?;
         } else {
             rest.push(a.clone());
         }

@@ -32,6 +32,9 @@ fn usage() {
          \x20 --max-line BYTES   ingest line length limit    (default 65536)\n\
          \x20 --impact FILE      offline impact verdicts (coctl analyze --impact-out)\n\
          \x20 --tail FILE        also tail FILE for records\n\
+         \x20 --format NAME      ingest line format          (default bgp; or syslog)\n\
+         \x20 --replay FILE      replay a .bgpcas cassette, then drain and exit\n\
+         \x20 --record FILE      record ingested chunks to a .bgpcas cassette\n\
          \x20 --temporal-secs S  temporal dedup threshold    (default 300)\n\
          \x20 --spatial-secs S   spatial dedup threshold     (default 300)\n\
          \n\

@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 pub use bgp_model;
+pub use bgp_ports;
 pub use bgp_serve;
 pub use bgp_sim;
 pub use bgp_stats;

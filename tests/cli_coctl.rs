@@ -264,6 +264,98 @@ fn snapshot_flag_without_directory_is_a_usage_error() {
 }
 
 #[test]
+fn unknown_format_exits_with_distinct_code_and_lists_formats() {
+    let out = coctl()
+        .args(["summary", "ras.log", "--format", "bgl"])
+        .output()
+        .unwrap();
+    // Exit 3, same convention as an unknown subcommand: "this coctl does not
+    // support that adapter" is not a generic usage error.
+    assert_eq!(out.status.code(), Some(3));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown log format"), "stderr: {err}");
+    for name in ["bgp", "bgq", "syslog", "cassette"] {
+        assert!(err.contains(name), "must list {name}: {err}");
+    }
+    let out = coctl()
+        .args(["summary", "ras.log", "--format"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--format needs a format name"));
+}
+
+#[test]
+fn syslog_format_summarizes_a_messages_file() {
+    let dir = workdir("syslog-fmt");
+    let messages = dir.join("messages");
+    let mut text = String::new();
+    for i in 0..50 {
+        text.push_str(&format!(
+            "<{}>Mar {:2} 12:{:02}:00 node{} kernel: event {i}\n",
+            if i % 7 == 0 { 2 } else { 13 },
+            1 + i % 27,
+            i % 60,
+            i % 5
+        ));
+    }
+    std::fs::write(&messages, text).unwrap();
+    let out = coctl()
+        .arg("summary")
+        .arg(&messages)
+        .args(["--format", "syslog"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("records over"), "stdout: {text}");
+}
+
+#[test]
+fn cassette_replay_analyzes_identically_to_the_source_log() {
+    use bgp_coanalysis::bgp_ports::cassette::{Recorder, StreamKind};
+    use bgp_coanalysis::bgp_ports::LogFormat;
+    let dir = site_logs();
+    let cas_path = dir.join("ras.bgpcas");
+    // Record the simulated RAS log into a cassette in awkward 4 KiB chunks.
+    let bytes = std::fs::read(dir.join("ras.log")).unwrap();
+    let mut rec = Recorder::new(LogFormat::Bgp, StreamKind::Ras).unwrap();
+    for chunk in bytes.chunks(4096) {
+        rec.push(1_000_000, chunk);
+    }
+    std::fs::write(&cas_path, rec.finish().encode()).unwrap();
+    let analyze = |ras: &PathBuf, format: &str| {
+        coctl()
+            .arg("analyze")
+            .arg(ras)
+            .arg(dir.join("jobs.log"))
+            .args(["--format", format])
+            .output()
+            .unwrap()
+    };
+    let direct = analyze(&dir.join("ras.log"), "bgp");
+    assert!(direct.status.success());
+    let replayed = analyze(&cas_path, "cassette");
+    assert!(
+        replayed.status.success(),
+        "{}",
+        String::from_utf8_lossy(&replayed.stderr)
+    );
+    // The replay is byte-identical analysis input, so the full observation
+    // report matches byte for byte.
+    assert_eq!(direct.stdout, replayed.stdout);
+    // A truncated cassette is an I/O-class failure, not a silent empty log.
+    let cas = std::fs::read(&cas_path).unwrap();
+    std::fs::write(&cas_path, &cas[..cas.len() / 2]).unwrap();
+    let bad = analyze(&cas_path, "cassette");
+    assert_eq!(bad.status.code(), Some(2));
+}
+
+#[test]
 fn missing_file_exits_with_io_error_code() {
     let out = coctl()
         .args(["summary", "/nonexistent/ras.log"])
