@@ -1,28 +1,34 @@
 //! The `--bench-json` pipeline benchmark behind `BENCH_PIPELINE.json`.
 //!
-//! Simulates Intrepid at paper scale (the 237-day calibrated window) and at
-//! 10× that, runs the full pipeline once with a wall-clock stage observer,
-//! then times the three rewritten kernels — matching, root-cause
-//! classification, vulnerability ranking — head-to-head against the
-//! pre-optimization reference implementations in [`crate::baseline`] on the
+//! Simulates Intrepid at paper scale (the 237-day calibrated window), at
+//! 10× and at 100× that, runs the full pipeline once with a wall-clock
+//! stage observer, then times the rewritten kernels — matching, root-cause
+//! classification, vulnerability ranking, the SWAR delimiter scan behind
+//! ingest, and the incremental stage graph — head-to-head against the
+//! pre-optimization reference implementations (in [`crate::baseline`], the
+//! scalar byte scan, and the one-shot full re-analysis respectively) on the
 //! exact same inputs. Kernel times are the minimum over several repetitions
 //! (the honest estimate on a noisy machine); every head-to-head also checks
 //! the optimized output equals the baseline output and records the verdict
 //! in the JSON, so a regression in either speed or semantics shows up in
 //! the committed artifact.
 //!
-//! Schema (`"schema": "bench-pipeline/v1"`): see the README "Benchmarks"
-//! section for the field-by-field description and how to regenerate.
+//! Schema (`"schema": "bench-pipeline/v2"`): see the README "Benchmarks"
+//! section for the field-by-field description and how to regenerate. v2
+//! adds the `ingest-simd` and `delta-rerun` kernels and the 100× scale row.
 
 use crate::baseline;
 use crate::json::Json;
-use bgp_sim::{SimConfig, Simulation};
+use bgp_sim::{SimConfig, SimOutput, Simulation};
 use coanalysis::analysis::VulnerabilityAnalysis;
 use coanalysis::classify::{classify_root_cause_with_threads, RootCauseSummary};
 use coanalysis::matching::Matching;
 use coanalysis::{
-    AnalysisContext, AnalysisSet, CoAnalysis, CoAnalysisConfig, StageId, StageObserver,
+    AnalysisContext, AnalysisSet, AppendBatch, CoAnalysis, CoAnalysisConfig, DeltaSession, StageId,
+    StageObserver,
 };
+use joblog::JobLog;
+use raslog::RasLog;
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -174,18 +180,27 @@ fn bench_scale(label: &str, cfg: SimConfig, threads: usize, reps: usize) -> Json
         matches_baseline: matches(&base_out, &opt_out),
     };
 
-    let kernels: Vec<Json> = [matching_kernel, root_cause_kernel, vulnerability_kernel]
-        .iter()
-        .map(|k| {
-            crate::json!({
-                "kernel": k.name,
-                "baseline_ms": k.baseline_ms,
-                "optimized_ms": k.optimized_ms,
-                "speedup": k.speedup(),
-                "matches_baseline": k.matches_baseline,
-            })
+    let ingest_kernel = bench_ingest_simd(&out, reps);
+    let delta_kernel = bench_delta_rerun(&out, threads, reps);
+
+    let kernels: Vec<Json> = [
+        matching_kernel,
+        root_cause_kernel,
+        vulnerability_kernel,
+        ingest_kernel,
+        delta_kernel,
+    ]
+    .iter()
+    .map(|k| {
+        crate::json!({
+            "kernel": k.name,
+            "baseline_ms": k.baseline_ms,
+            "optimized_ms": k.optimized_ms,
+            "speedup": k.speedup(),
+            "matches_baseline": k.matches_baseline,
         })
-        .collect();
+    })
+    .collect();
 
     let analyze_secs = analyze_ms / 1e3;
     crate::json!({
@@ -194,6 +209,7 @@ fn bench_scale(label: &str, cfg: SimConfig, threads: usize, reps: usize) -> Json
         "ras_records": out.ras.len(),
         "jobs": out.jobs.len(),
         "filtered_events": r.events.len(),
+        "ingest_lines": out.ras.len().min(INGEST_SCAN_LINES),
         "analyze_ms": analyze_ms,
         "records_per_sec": if analyze_secs > 0.0 { records as f64 / analyze_secs } else { 0.0 },
         "stages": Json::Arr(stages),
@@ -208,10 +224,134 @@ fn matches<T: PartialEq>(a: &Option<T>, b: &Option<T>) -> bool {
     }
 }
 
+/// Cap on the RAS lines serialized for the ingest scan — 4M lines keeps the
+/// scan buffer a few hundred MB at the 100× scale while still dwarfing
+/// every cache level. The cap is recorded in the JSON (`ingest_lines`).
+const INGEST_SCAN_LINES: usize = 4_000_000;
+
+/// Walk every occurrence of `needle` in `data` with the given scanner,
+/// folding (count, FNV-1a of positions) — the equivalence fingerprint the
+/// SWAR/scalar head-to-head compares. Generic so each scanner inlines.
+fn scan_delimiters(
+    data: &[u8],
+    needle: u8,
+    find: impl Fn(u8, &[u8]) -> Option<usize>,
+) -> (u64, u64) {
+    let mut count = 0u64;
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut pos = 0usize;
+    while let Some(i) = data.get(pos..).and_then(|tail| find(needle, tail)) {
+        let at = pos + i;
+        count += 1;
+        hash ^= at as u64;
+        hash = hash.wrapping_mul(0x0100_0000_01b3);
+        pos = at + 1;
+    }
+    (count, hash)
+}
+
+/// The ingest hot-path head-to-head: the SWAR newline-framing scan
+/// ([`bgp_model::bytes::find_byte`], the scan `line_chunks` and the
+/// zero-copy loaders are built on) vs the scalar byte walk it replaced,
+/// over the serialized text of the simulated RAS log.
+fn bench_ingest_simd(out: &SimOutput, reps: usize) -> KernelResult {
+    let mut text = String::new();
+    for r in out.ras.records().iter().take(INGEST_SCAN_LINES) {
+        text.push_str(&raslog::format_record(r));
+        text.push('\n');
+    }
+    let data = text.as_bytes();
+    let (base_ms, base_out) = time_min(reps, || {
+        scan_delimiters(data, b'\n', bgp_model::bytes::find_byte_scalar)
+    });
+    let (opt_ms, opt_out) = time_min(reps, || {
+        scan_delimiters(data, b'\n', bgp_model::bytes::find_byte)
+    });
+    KernelResult {
+        name: "ingest-simd",
+        baseline_ms: base_ms,
+        optimized_ms: opt_ms,
+        matches_baseline: matches(&base_out, &opt_out),
+    }
+}
+
+/// The incremental stage graph head-to-head: appending the final simulated
+/// day through [`DeltaSession::append`] vs a one-shot full analysis over
+/// the concatenated logs (including index construction, which the delta
+/// path also pays for its merge). Priming the session on the base window
+/// is untimed — that cost is the previous day's run.
+fn bench_delta_rerun(out: &SimOutput, threads: usize, reps: usize) -> KernelResult {
+    let cfg = CoAnalysisConfig {
+        threads,
+        ..CoAnalysisConfig::default()
+    };
+    let records = out.ras.records();
+    let jobs = out.jobs.jobs();
+    let cut = match records.last() {
+        Some(last) => last.event_time - bgp_model::Duration::days(1),
+        None => {
+            return KernelResult {
+                name: "delta-rerun",
+                baseline_ms: 0.0,
+                optimized_ms: 0.0,
+                matches_baseline: false,
+            };
+        }
+    };
+    let (base_ras, day_ras): (Vec<raslog::RasRecord>, Vec<raslog::RasRecord>) =
+        records.iter().cloned().partition(|r| r.event_time < cut);
+    let (base_jobs, day_jobs): (Vec<joblog::JobRecord>, Vec<joblog::JobRecord>) =
+        jobs.iter().copied().partition(|j| j.start_time < cut);
+    let reps = reps.clamp(1, 3);
+
+    // Baseline: what yesterday's operator did — rebuild both logs from the
+    // full concatenated record streams and run the whole pipeline.
+    let mut base_best = f64::INFINITY;
+    let mut base_out = None;
+    for _ in 0..reps {
+        let all_ras = records.to_vec();
+        let all_jobs = jobs.to_vec();
+        let t = Instant::now();
+        let ras = RasLog::from_records(all_ras);
+        let jlog = JobLog::from_jobs(all_jobs);
+        let r = CoAnalysis::with_config(cfg).run(&ras, &jlog);
+        base_best = base_best.min(t.elapsed().as_secs_f64() * 1e3);
+        base_out = Some(r);
+    }
+
+    // Optimized: fold only the final day into a session primed on the base
+    // window. Re-prime per rep (append consumes the session's clean state).
+    let base_log = RasLog::from_records(base_ras);
+    let mut opt_best = f64::INFINITY;
+    let mut opt_out = None;
+    for _ in 0..reps {
+        let (mut session, _) =
+            DeltaSession::new(cfg, &base_log, JobLog::from_jobs(base_jobs.clone()));
+        let batch = AppendBatch {
+            ras: day_ras.clone(),
+            jobs: day_jobs.clone(),
+        };
+        let t = Instant::now();
+        let (r, _) = session.append(batch);
+        opt_best = opt_best.min(t.elapsed().as_secs_f64() * 1e3);
+        opt_out = Some(r);
+    }
+
+    KernelResult {
+        name: "delta-rerun",
+        baseline_ms: base_best,
+        optimized_ms: opt_best,
+        matches_baseline: matches(&base_out, &opt_out),
+    }
+}
+
 /// Run the pipeline benchmark and return the `BENCH_PIPELINE.json` tree.
 ///
 /// `quick` benches only the 12-day test preset (the CI smoke mode);
-/// otherwise the paper-scale window and a 10× window are both measured.
+/// otherwise the paper-scale window plus 10× and 100× windows are all
+/// measured. The 100× row (~200M log records) is the scale gate for the
+/// delta-ingestion work: one appended day must cost a small fraction of
+/// the one-shot re-analysis it replaces.
 pub fn run(quick: bool, threads: usize, seed: u64) -> Json {
     let scales: Vec<Json> = if quick {
         vec![bench_scale(
@@ -223,13 +363,16 @@ pub fn run(quick: bool, threads: usize, seed: u64) -> Json {
     } else {
         let mut ten_x = SimConfig::intrepid_2009(seed);
         ten_x.days *= 10;
+        let mut hundred_x = SimConfig::intrepid_2009(seed);
+        hundred_x.days *= 100;
         vec![
             bench_scale("paper", SimConfig::intrepid_2009(seed), threads, REPS),
             bench_scale("10x", ten_x, threads, 5),
+            bench_scale("100x", hundred_x, threads, 2),
         ]
     };
     crate::json!({
-        "schema": "bench-pipeline/v1",
+        "schema": "bench-pipeline/v2",
         "threads": threads,
         "seed": seed,
         "quick": quick,

@@ -61,7 +61,7 @@ fn main() -> ExitCode {
     if bench_json {
         eprintln!(
             "benchmarking pipeline ({} mode, {threads} threads, seed {seed})...",
-            if quick { "quick" } else { "paper + 10x" }
+            if quick { "quick" } else { "paper + 10x + 100x" }
         );
         let t0 = std::time::Instant::now();
         let report = bench_pipeline::run(quick, threads, seed);

@@ -7,8 +7,46 @@
 //! a content hash used by the `.bgpsnap` snapshot cache to detect stale
 //! snapshots.
 
+/// All lanes of a `u64` filled with one byte.
+const fn broadcast(b: u8) -> u64 {
+    (b as u64) * 0x0101_0101_0101_0101
+}
+
+/// Low bit of every byte lane.
+const SWAR_LO: u64 = 0x0101_0101_0101_0101;
+/// High bit of every byte lane.
+const SWAR_HI: u64 = 0x8080_8080_8080_8080;
+
 /// Position of the first occurrence of `needle` in `hay`.
+///
+/// SWAR scan: the needle is broadcast into all eight lanes of a `u64`,
+/// XORed against each little-endian word of the haystack, and the classic
+/// zero-byte trick (`(x - 0x01…01) & !x & 0x80…80`) flags any lane that
+/// went to zero — eight bytes per step, no platform intrinsics, stable
+/// Rust. The tail shorter than a word falls back to the serial scan.
+/// [`find_byte_scalar`] is the byte-at-a-time twin kept as the equivalence
+/// oracle; the two must agree on every input.
 pub fn find_byte(needle: u8, hay: &[u8]) -> Option<usize> {
+    let spread = broadcast(needle);
+    let mut words = hay.chunks_exact(8);
+    let mut offset = 0usize;
+    for word in &mut words {
+        let lanes = u64::from_le_bytes(word.try_into().unwrap_or([0; 8])) ^ spread;
+        let hit = lanes.wrapping_sub(SWAR_LO) & !lanes & SWAR_HI;
+        if hit != 0 {
+            return Some(offset + (hit.trailing_zeros() / 8) as usize);
+        }
+        offset += 8;
+    }
+    find_byte_scalar(needle, words.remainder()).map(|i| offset + i)
+}
+
+/// Serial-scalar reference for [`find_byte`]: one byte per step.
+///
+/// Kept (not merely for the tail) as the equivalence oracle the SWAR scan
+/// is property-tested against, and as the baseline the `ingest-simd`
+/// benchmark kernel times the word-parallel scan over.
+pub fn find_byte_scalar(needle: u8, hay: &[u8]) -> Option<usize> {
     hay.iter().position(|&b| b == needle)
 }
 
@@ -129,6 +167,102 @@ mod tests {
         assert_eq!(find_byte(b'|', b"ab|cd"), Some(2));
         assert_eq!(find_byte(b'|', b"abcd"), None);
         assert_eq!(find_byte(b'|', b""), None);
+    }
+
+    #[test]
+    fn find_byte_agrees_with_scalar_at_word_boundaries() {
+        // Hits at every offset around the 8-byte SWAR word edges, including
+        // the first byte of a word, the last, and deep in the tail.
+        for hit in 0..40 {
+            let mut hay = vec![b'x'; 41];
+            if let Some(slot) = hay.get_mut(hit) {
+                *slot = b'\n';
+            }
+            assert_eq!(find_byte(b'\n', &hay), Some(hit), "hit={hit}");
+            assert_eq!(
+                find_byte(b'\n', &hay),
+                find_byte_scalar(b'\n', &hay),
+                "hit={hit}"
+            );
+        }
+        // Needle absent entirely, across lengths covering word + tail splits.
+        for len in 0..24 {
+            let hay = vec![b'x'; len];
+            assert_eq!(find_byte(b'\n', &hay), None, "len={len}");
+        }
+    }
+
+    #[test]
+    fn find_byte_crlf_and_utf8() {
+        // CRLF line endings: '\r' and '\n' are adjacent and must resolve to
+        // distinct positions.
+        let hay = b"field one\r\nfield two\r\n";
+        assert_eq!(find_byte(b'\r', hay), Some(9));
+        assert_eq!(find_byte(b'\n', hay), Some(10));
+        // Multi-byte UTF-8 in the haystack: continuation bytes (0x80..)
+        // exercise the high bit the zero-byte trick masks on.
+        let hay = "réacteur|κλμ\u{10348}|x".as_bytes();
+        assert_eq!(find_byte(b'|', hay), find_byte_scalar(b'|', hay));
+        // A needle equal to a UTF-8 continuation byte is found literally.
+        let hay = "é".as_bytes(); // [0xc3, 0xa9]
+        assert_eq!(find_byte(0xa9, hay), Some(1));
+        assert_eq!(find_byte(0xc3, hay), Some(0));
+    }
+
+    use proptest::prelude::*;
+
+    /// Byte palette of realistic log text: pipe-delimited ASCII plus CRLF
+    /// pieces and the two bytes of a multi-byte UTF-8 scalar ("é").
+    fn log_byte(i: usize) -> u8 {
+        *[b'a', b'0', b' ', b'|', b'\n', b'\r', 0xc3, 0xa9, b'x']
+            .get(i)
+            .unwrap_or(&b'a')
+    }
+
+    proptest! {
+        /// SWAR and scalar scans agree on arbitrary byte soup, at every
+        /// alignment (the prefix shifts hits across word boundaries).
+        #[test]
+        fn prop_swar_matches_scalar(
+            hay in collection::vec(0u8..=255, 0..64),
+            prefix in 0usize..16,
+            needle in 0u8..=255,
+        ) {
+            let mut shifted = vec![b'#'; prefix];
+            shifted.extend_from_slice(&hay);
+            prop_assert_eq!(
+                find_byte(needle, &shifted),
+                find_byte_scalar(needle, &shifted)
+            );
+        }
+
+        /// Agreement on log-shaped text: pipe delimiters, CRLF endings, and
+        /// embedded multi-byte UTF-8, scanned for each delimiter byte.
+        #[test]
+        fn prop_swar_matches_scalar_on_log_text(
+            data in collection::vec((0usize..9).prop_map(log_byte), 0..96),
+            needle in (0usize..4).prop_map(|i| *[b'|', b'\n', b'\r', 0xc3u8].get(i).unwrap_or(&b'|')),
+        ) {
+            prop_assert_eq!(
+                find_byte(needle, &data),
+                find_byte_scalar(needle, &data)
+            );
+        }
+
+        /// `line_chunks` (built on the SWAR scan) still concatenates to its
+        /// input with boundaries only after newlines.
+        #[test]
+        fn prop_chunks_concatenate(
+            data in collection::vec((0usize..9).prop_map(log_byte), 0..64),
+            n in 0usize..6,
+        ) {
+            let chunks = line_chunks(&data, n);
+            let joined: Vec<u8> = chunks.iter().flat_map(|c| c.iter().copied()).collect();
+            prop_assert_eq!(joined, data);
+            for c in chunks.iter().take(chunks.len().saturating_sub(1)) {
+                prop_assert_eq!(c.last(), Some(&b'\n'));
+            }
+        }
     }
 
     #[test]

@@ -26,9 +26,250 @@
 use crate::event::Event;
 use bgp_model::{Duration, MidplaneId, Timestamp};
 use joblog::{ExecId, JobLog, JobRecord};
-use raslog::{ErrCode, RasLog};
+use raslog::{ErrCode, RasLog, RasRecord};
 use std::collections::HashMap;
 use std::ops::Range;
+
+/// One day's (or one poll's) worth of new log lines, ready to fold into a
+/// resident analysis via `DeltaSession::append`.
+///
+/// Both sides may be empty; records may arrive in any order and may repeat
+/// timestamps already seen — the merge below is defined so the result is
+/// identical to rebuilding from the concatenated input.
+#[derive(Debug, Clone, Default)]
+pub struct AppendBatch {
+    /// New RAS records (any order).
+    pub ras: Vec<RasRecord>,
+    /// New job rows (any order).
+    pub jobs: Vec<JobRecord>,
+}
+
+impl AppendBatch {
+    /// True when the batch carries nothing.
+    pub fn is_empty(&self) -> bool {
+        self.ras.is_empty() && self.jobs.is_empty()
+    }
+}
+
+/// What an [`AppendBatch`] actually touched — the dirty set the delta
+/// executor (`stage::execute_delta`) intersects with each stage's declared
+/// [`StageId::ctx_reads`](crate::stage::StageId::ctx_reads) to decide which
+/// stages can reuse their cached output.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ContextDelta {
+    /// Error codes whose per-code shard gained events (sorted, deduped).
+    pub dirty_codes: Vec<ErrCode>,
+    /// RAS records appended (fatal or not).
+    pub ras_appended: usize,
+    /// Fatal events appended (the subset of `ras_appended` the pipeline
+    /// sees).
+    pub events_appended: usize,
+    /// Job rows appended.
+    pub jobs_appended: usize,
+    /// Did the observation window (time span) move?
+    pub span_changed: bool,
+}
+
+/// The owned, lifetime-free event-side half of an [`AnalysisContext`]: the
+/// raw fatal stream, the per-code shard index, and the observation span.
+///
+/// A resident analysis keeps an `EventStore` alive across appends and
+/// rebuilds only the (cheap) job-side indexes per run: `from_store` /
+/// `into_store` move the event buffers in and out of a context without
+/// copying them. [`EventStore::append_ras`] merges a batch into the sorted
+/// indexes shard by shard — untouched shards are copied wholesale, never
+/// re-sorted — and reports which shards went dirty.
+#[derive(Debug, Clone, Default)]
+pub struct EventStore {
+    raw_events: Vec<Event>,
+    code_events: Vec<Event>,
+    code_slices: Vec<(ErrCode, Range<usize>)>,
+    span: Option<(Timestamp, Timestamp)>,
+}
+
+impl EventStore {
+    /// Extract and index the fatal event stream of `ras`.
+    pub fn from_ras(ras: &RasLog) -> EventStore {
+        EventStore::from_events(Event::from_fatal_records(ras), ras.time_span())
+    }
+
+    /// Index an already-extracted event stream. `span` is the observation
+    /// window of the underlying log (not just the fatal subset).
+    pub fn from_events(raw_events: Vec<Event>, span: Option<(Timestamp, Timestamp)>) -> EventStore {
+        // One code-sorted copy of the stream; the stable sort keeps each
+        // code's events in time order, matching what per-code accumulation
+        // used to produce. Slices (not per-code Vecs) mean the events are
+        // stored once, and sorting by code keeps the shard → thread
+        // assignment deterministic.
+        let (code_events, code_slices) = index_by_code(&raw_events);
+        EventStore {
+            raw_events,
+            code_events,
+            code_slices,
+            span,
+        }
+    }
+
+    /// The raw fatal event stream, in `(time, first_recid)` order.
+    pub fn raw_events(&self) -> &[Event] {
+        &self.raw_events
+    }
+
+    /// The observation window, if any records have been seen.
+    pub fn span(&self) -> Option<(Timestamp, Timestamp)> {
+        self.span
+    }
+
+    /// Merge a batch of RAS records into the sorted indexes.
+    ///
+    /// Contract: after this returns, the store is *identical* (every byte of
+    /// every buffer) to one built by `from_ras` over the concatenation of
+    /// all records ever passed in — the bit-identity gate `run_delta` rests
+    /// on. This holds because a stable merge with base-before-batch tie
+    /// order is exactly what a stable sort of the concatenated input
+    /// produces, applied once to the raw stream and once per dirty shard.
+    pub fn append_ras(&mut self, records: Vec<RasRecord>) -> ContextDelta {
+        let ras_appended = records.len();
+        if records.is_empty() {
+            return ContextDelta::default();
+        }
+        let batch = RasLog::from_records(records);
+        let new_span = match (self.span, batch.time_span()) {
+            (Some((a0, a1)), Some((b0, b1))) => Some((a0.min(b0), a1.max(b1))),
+            (one, other) => one.or(other),
+        };
+        let span_changed = new_span != self.span;
+        self.span = new_span;
+
+        let batch_events = Event::from_fatal_records(&batch);
+        if batch_events.is_empty() {
+            return ContextDelta {
+                ras_appended,
+                span_changed,
+                ..ContextDelta::default()
+            };
+        }
+
+        merge_sorted_events(&mut self.raw_events, &batch_events);
+
+        // Per-code rebuild: walk the (sorted) old and batch shard lists in
+        // lockstep. Clean shards are copied wholesale; shards present on
+        // both sides are merged; brand-new codes are spliced in.
+        let (batch_code_events, batch_slices) = index_by_code(&batch_events);
+        let mut events = Vec::with_capacity(self.code_events.len() + batch_code_events.len());
+        let mut slices: Vec<(ErrCode, Range<usize>)> =
+            Vec::with_capacity(self.code_slices.len() + batch_slices.len());
+        let mut dirty_codes = Vec::with_capacity(batch_slices.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.code_slices.len() || j < batch_slices.len() {
+            let ord = match (self.code_slices.get(i), batch_slices.get(j)) {
+                (Some((a, _)), Some((b, _))) => a.cmp(b),
+                (Some(_), None) => std::cmp::Ordering::Less,
+                _ => std::cmp::Ordering::Greater,
+            };
+            let start = events.len();
+            let code = match ord {
+                std::cmp::Ordering::Less => {
+                    let Some((code, r)) = self.code_slices.get(i) else {
+                        break;
+                    };
+                    events.extend_from_slice(self.code_events.get(r.clone()).unwrap_or(&[]));
+                    i += 1;
+                    *code
+                }
+                std::cmp::Ordering::Greater => {
+                    let Some((code, r)) = batch_slices.get(j) else {
+                        break;
+                    };
+                    events.extend_from_slice(batch_code_events.get(r.clone()).unwrap_or(&[]));
+                    dirty_codes.push(*code);
+                    j += 1;
+                    *code
+                }
+                std::cmp::Ordering::Equal => {
+                    let (Some((code, r_old)), Some((_, r_new))) =
+                        (self.code_slices.get(i), batch_slices.get(j))
+                    else {
+                        break;
+                    };
+                    let mut shard = Vec::from(self.code_events.get(r_old.clone()).unwrap_or(&[]));
+                    merge_sorted_events(
+                        &mut shard,
+                        batch_code_events.get(r_new.clone()).unwrap_or(&[]),
+                    );
+                    events.extend_from_slice(&shard);
+                    dirty_codes.push(*code);
+                    i += 1;
+                    j += 1;
+                    *code
+                }
+            };
+            slices.push((code, start..events.len()));
+        }
+        self.code_events = events;
+        self.code_slices = slices;
+
+        ContextDelta {
+            dirty_codes,
+            ras_appended,
+            events_appended: batch_events.len(),
+            jobs_appended: 0,
+            span_changed,
+        }
+    }
+}
+
+/// Stably sort `events` by code and carve the buffer into per-code slices.
+fn index_by_code(events: &[Event]) -> (Vec<Event>, Vec<(ErrCode, Range<usize>)>) {
+    let mut code_events = events.to_vec();
+    code_events.sort_by_key(|e| e.errcode);
+    let mut code_slices: Vec<(ErrCode, Range<usize>)> = Vec::new();
+    let mut start = 0usize;
+    for (i, e) in code_events.iter().enumerate() {
+        if e.errcode != code_events[start].errcode {
+            code_slices.push((code_events[start].errcode, start..i));
+            start = i;
+        }
+        if i + 1 == code_events.len() {
+            code_slices.push((e.errcode, start..i + 1));
+        }
+    }
+    (code_events, code_slices)
+}
+
+/// Merge `batch` (sorted by `(time, first_recid)`) into the sorted `base`,
+/// base-first on ties — byte-for-byte what a stable sort of the
+/// concatenation produces. Appends without shifting when the batch lands
+/// entirely at or past the tail (the common day-over-day case).
+fn merge_sorted_events(base: &mut Vec<Event>, batch: &[Event]) {
+    let Some(first) = batch.first() else {
+        return;
+    };
+    let tail = base
+        .last()
+        .is_none_or(|last| (first.time, first.first_recid) >= (last.time, last.first_recid));
+    if tail {
+        base.extend_from_slice(batch);
+        return;
+    }
+    let old = std::mem::take(base);
+    base.reserve(old.len() + batch.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < old.len() && j < batch.len() {
+        let (Some(a), Some(b)) = (old.get(i), batch.get(j)) else {
+            break;
+        };
+        if (b.time, b.first_recid) < (a.time, a.first_recid) {
+            base.push(*b);
+            j += 1;
+        } else {
+            base.push(*a);
+            i += 1;
+        }
+    }
+    base.extend_from_slice(old.get(i..).unwrap_or(&[]));
+    base.extend_from_slice(batch.get(j..).unwrap_or(&[]));
+}
 
 /// Immutable per-run indexes shared by every stage of the pipeline.
 ///
@@ -68,24 +309,20 @@ impl<'a> AnalysisContext<'a> {
         span: Option<(Timestamp, Timestamp)>,
         jobs: &'a JobLog,
     ) -> AnalysisContext<'a> {
-        // One code-sorted copy of the stream; the stable sort keeps each
-        // code's events in time order, matching what per-code accumulation
-        // used to produce. Slices (not per-code Vecs) mean the events are
-        // stored once, and sorting by code keeps the shard → thread
-        // assignment deterministic.
-        let mut code_events = raw_events.clone();
-        code_events.sort_by_key(|e| e.errcode);
-        let mut code_slices: Vec<(ErrCode, Range<usize>)> = Vec::new();
-        let mut start = 0usize;
-        for (i, e) in code_events.iter().enumerate() {
-            if e.errcode != code_events[start].errcode {
-                code_slices.push((code_events[start].errcode, start..i));
-                start = i;
-            }
-            if i + 1 == code_events.len() {
-                code_slices.push((e.errcode, start..i + 1));
-            }
-        }
+        AnalysisContext::from_store(EventStore::from_events(raw_events, span), jobs)
+    }
+
+    /// Build a context around a resident [`EventStore`], rebuilding only the
+    /// job-side indexes (job-id map, termination ranks, exec groups). The
+    /// event buffers move in without copying; [`AnalysisContext::into_store`]
+    /// moves them back out after a run.
+    pub fn from_store(store: EventStore, jobs: &'a JobLog) -> AnalysisContext<'a> {
+        let EventStore {
+            raw_events,
+            code_events,
+            code_slices,
+            span,
+        } = store;
 
         let mut job_index = HashMap::with_capacity(jobs.len());
         for (i, j) in jobs.jobs().iter().enumerate() {
@@ -127,6 +364,17 @@ impl<'a> AnalysisContext<'a> {
     /// unit tests exercising a single stage against a hand-built job log.
     pub fn for_jobs(jobs: &'a JobLog) -> AnalysisContext<'a> {
         AnalysisContext::from_events(Vec::new(), None, jobs)
+    }
+
+    /// Recover the owned event-side indexes, dropping the (cheaply rebuilt)
+    /// job-side ones. Inverse of [`AnalysisContext::from_store`].
+    pub fn into_store(self) -> EventStore {
+        EventStore {
+            raw_events: self.raw_events,
+            code_events: self.code_events,
+            code_slices: self.code_slices,
+            span: self.span,
+        }
     }
 
     /// The raw fatal event stream, in time order.
@@ -345,6 +593,92 @@ mod tests {
         }
         let outside = job(9, 2, 0, 1, "R01-M0");
         assert_eq!(ctx.record_index(&outside), None);
+    }
+
+    /// Build a store by appending `tail` onto `head` and assert every
+    /// buffer is identical to indexing the concatenation in one shot.
+    fn assert_append_equals_rebuild(head: Vec<RasRecord>, tail: Vec<RasRecord>) -> ContextDelta {
+        let mut all = head.clone();
+        all.extend(tail.iter().cloned());
+        let oneshot = EventStore::from_ras(&RasLog::from_records(all));
+        let mut delta_store = EventStore::from_ras(&RasLog::from_records(head));
+        let delta = delta_store.append_ras(tail);
+        assert_eq!(delta_store.raw_events, oneshot.raw_events);
+        assert_eq!(delta_store.code_events, oneshot.code_events);
+        assert_eq!(delta_store.code_slices, oneshot.code_slices);
+        assert_eq!(delta_store.span, oneshot.span);
+        delta
+    }
+
+    #[test]
+    fn append_tail_batch_matches_rebuild() {
+        let head = vec![
+            rec(1, 100, "R00-M0", "_bgp_err_kernel_panic"),
+            rec(2, 200, "R00-M1", "_bgp_err_ddr_controller"),
+        ];
+        let tail = vec![
+            rec(3, 300, "R00-M0", "_bgp_err_kernel_panic"),
+            rec(4, 400, "R01-M0", "_bgp_err_torus_sender_fifo"),
+        ];
+        let delta = assert_append_equals_rebuild(head, tail);
+        assert_eq!(delta.ras_appended, 2);
+        assert_eq!(delta.events_appended, 2);
+        assert_eq!(delta.dirty_codes.len(), 2);
+        assert!(delta.span_changed);
+    }
+
+    #[test]
+    fn append_out_of_order_batch_matches_rebuild() {
+        // Batch records land *before* and *between* base records, and repeat
+        // a base timestamp — the merge must still equal the one-shot build.
+        let head = vec![
+            rec(10, 500, "R00-M0", "_bgp_err_kernel_panic"),
+            rec(11, 900, "R00-M1", "_bgp_err_kernel_panic"),
+        ];
+        let tail = vec![
+            rec(12, 100, "R00-M0", "_bgp_err_kernel_panic"),
+            rec(13, 500, "R01-M0", "_bgp_err_ddr_controller"),
+            rec(14, 700, "R00-M0", "_bgp_err_kernel_panic"),
+        ];
+        let delta = assert_append_equals_rebuild(head, tail);
+        assert!(delta.span_changed);
+    }
+
+    #[test]
+    fn append_empty_and_nonfatal_batches_are_clean() {
+        let head = vec![rec(1, 100, "R00-M0", "_bgp_err_kernel_panic")];
+        let mut store = EventStore::from_ras(&RasLog::from_records(head.clone()));
+        let delta = store.append_ras(Vec::new());
+        assert_eq!(delta, ContextDelta::default());
+        // A batch with no FATAL records dirties no shard (but may move the
+        // span).
+        let delta = assert_append_equals_rebuild(
+            head,
+            vec![rec(2, 900, "R00-M0", "_bgp_warn_ecc_corrected")],
+        );
+        assert!(delta.dirty_codes.is_empty());
+        assert_eq!(delta.events_appended, 0);
+        assert_eq!(delta.ras_appended, 1);
+        assert!(delta.span_changed);
+    }
+
+    #[test]
+    fn from_store_round_trips_through_a_context() {
+        let log = RasLog::from_records(vec![
+            rec(1, 100, "R00-M0", "_bgp_err_kernel_panic"),
+            rec(2, 200, "R00-M1", "_bgp_err_ddr_controller"),
+        ]);
+        let jobs = JobLog::from_jobs(vec![job(7, 1, 50, 500, "R00-M0")]);
+        let store = EventStore::from_ras(&log);
+        let ctx = AnalysisContext::from_store(store.clone(), &jobs);
+        let direct = AnalysisContext::new(&log, &jobs);
+        assert_eq!(ctx.raw_events(), direct.raw_events());
+        assert_eq!(ctx.code_shards(), direct.code_shards());
+        assert_eq!(ctx.span(), direct.span());
+        assert_eq!(ctx.job(7).map(|j| j.job_id), Some(7));
+        let back = ctx.into_store();
+        assert_eq!(back.raw_events, store.raw_events);
+        assert_eq!(back.code_slices, store.code_slices);
     }
 
     #[test]

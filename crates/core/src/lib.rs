@@ -46,12 +46,14 @@ pub mod report;
 pub mod stage;
 pub mod stream;
 
-pub use context::AnalysisContext;
+pub use context::{AnalysisContext, AppendBatch, ContextDelta, EventStore};
 pub use event::Event;
 pub use load::{
     load_jobs, load_pair, load_ras, LoadError, LoadOptions, LoadedJobs, LoadedRas, LogFormat,
     SnapshotStatus, SourceDiagnostic,
 };
-pub use pipeline::{CoAnalysis, CoAnalysisConfig, CoAnalysisResult};
-pub use stage::{AnalysisProducts, AnalysisSet, Stage, StageId, StageObserver};
+pub use pipeline::{CoAnalysis, CoAnalysisConfig, CoAnalysisResult, DeltaSession};
+pub use stage::{
+    AnalysisProducts, AnalysisSet, DeltaReport, Stage, StageCache, StageId, StageObserver,
+};
 pub use stream::StreamCounters;

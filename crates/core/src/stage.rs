@@ -18,13 +18,14 @@ use crate::analysis::{
 use crate::classify::{
     classify_impact, classify_root_cause_with_threads, ImpactSummary, RootCauseSummary,
 };
-use crate::context::AnalysisContext;
+use crate::context::{AnalysisContext, ContextDelta};
 use crate::event::Event;
 use crate::filter::job_related::JobRelatedOutcome;
 use crate::filter::{CausalRule, FilterStats, JobRelatedFilter};
 use crate::matching::Matching;
 use crate::pipeline::{CoAnalysisConfig, CoAnalysisResult};
 use joblog::JobRecord;
+use raslog::ErrCode;
 use std::sync::atomic::{AtomicU16, Ordering};
 
 /// Identity of one pipeline pass.
@@ -104,6 +105,45 @@ impl StageId {
             StageId::TableIv | StageId::Midplane | StageId::Propagation => &[StageId::JobRelated],
             StageId::Interruption => &[StageId::RootCause],
             StageId::Vulnerability => &[StageId::RootCause, StageId::Midplane],
+        }
+    }
+
+    /// The [`AnalysisContext`] accessors this stage's `run` touches — the
+    /// runtime mirror of the `/// Reads: …; ctx{…}` contract line on each
+    /// stage impl (the `stage-deps` lint cross-checks both against the
+    /// code). [`execute_delta`] intersects these with the accessors an
+    /// [`ContextDelta`] dirtied to decide whether a cached output is still
+    /// valid, so an entry missing here would silently serve stale results —
+    /// which is exactly why the lint machine-checks the lists.
+    pub fn ctx_reads(self) -> &'static [&'static str] {
+        match self {
+            StageId::TemporalSpatial => &["code_shards"],
+            StageId::Causal => &[],
+            StageId::Matching => &[
+                "job",
+                "job_by_end_rank",
+                "job_count",
+                "job_records",
+                "max_job_duration",
+            ],
+            StageId::JobRelated => &["job", "overlapping"],
+            StageId::Impact => &[],
+            StageId::RootCause => &["for_each_overlapping", "job"],
+            StageId::TableIv => &[],
+            StageId::Midplane => &["midplane_busy_seconds", "midplane_busy_seconds_min_size"],
+            StageId::Burst => &["distinct_execs", "exec_groups", "job", "job_count", "span"],
+            StageId::Interruption => &["job"],
+            StageId::Propagation => &["job"],
+            StageId::Vulnerability => &[
+                "distinct_execs",
+                "exec_groups",
+                "job",
+                "job_count",
+                "job_records",
+                "midplane_busy_seconds",
+                "midplane_busy_seconds_min_size",
+                "record_index",
+            ],
         }
     }
 
@@ -202,7 +242,11 @@ impl Default for AnalysisSet {
 }
 
 /// The product of one stage run, tagged by stage.
-#[derive(Debug)]
+///
+/// `Clone + PartialEq` so the delta executor can cache outputs across runs
+/// and cut dirty-propagation short when a re-run reproduces the cached
+/// value exactly.
+#[derive(Debug, Clone, PartialEq)]
 pub enum StageOutput {
     /// Post-spatial events plus the post-temporal survivor count.
     TemporalSpatial {
@@ -404,7 +448,7 @@ impl PipelineState {
 /// A field is `Some` exactly when its producing stage was in the closed
 /// [`AnalysisSet`]; `filter_stats` additionally needs the whole filter
 /// stack (temporal/spatial + causal + job-related) to have run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct AnalysisProducts {
     /// Events after temporal + spatial + causal filtering (`Causal`).
     pub events: Option<Vec<Event>>,
@@ -888,6 +932,239 @@ pub(crate) fn execute(
         }
     }
     state
+}
+
+/// Cached products of the previous pass over one evolving input, keyed by
+/// stage — the state that makes [`execute_delta`] incremental.
+///
+/// Valid for one `(log stream, CoAnalysisConfig)` pair: the cache stores no
+/// fingerprint of either, so callers (the `DeltaSession` driver) must keep
+/// cache, store, and config together and never mix caches across streams.
+/// `ts_shards` additionally caches the temporal/spatial stage *per error
+/// code* (sorted by code, matching the context's shard order), so an append
+/// touching 3 of 200 codes re-filters 3 shards and memcpys the rest.
+#[derive(Debug, Default)]
+pub struct StageCache {
+    outputs: [Option<StageOutput>; 12],
+    ts_shards: Vec<(ErrCode, Vec<Event>, usize)>,
+}
+
+impl StageCache {
+    fn output(&self, id: StageId) -> Option<&StageOutput> {
+        self.outputs.get(id as usize).and_then(Option::as_ref)
+    }
+
+    fn store(&mut self, id: StageId, out: StageOutput) {
+        if let Some(slot) = self.outputs.get_mut(id as usize) {
+            *slot = Some(out);
+        }
+    }
+
+    /// Number of stages with a cached output (diagnostics).
+    pub fn len(&self) -> usize {
+        self.outputs.iter().filter(|o| o.is_some()).count()
+    }
+
+    /// True before the first (priming) pass.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// What a delta pass actually did, as stage sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeltaReport {
+    /// Stages that re-executed (their inputs were dirty).
+    pub reran: AnalysisSet,
+    /// The subset of `reran` whose output differs from the cached pass —
+    /// only these propagated dirtiness downstream.
+    pub changed: AnalysisSet,
+}
+
+/// The context accessors invalidated by `delta` — the dirty set matched
+/// against [`StageId::ctx_reads`]. RAS appends dirty the event stream and
+/// the per-code shards; job appends dirty every job-side accessor (the job
+/// table itself shifted, so every index over it is new).
+fn dirty_accessors(delta: &ContextDelta) -> Vec<&'static str> {
+    let mut dirty = Vec::new();
+    if delta.events_appended > 0 {
+        dirty.extend(["raw_events", "code_shards"]);
+    }
+    if delta.span_changed {
+        dirty.push("span");
+    }
+    if delta.jobs_appended > 0 {
+        dirty.extend([
+            "distinct_execs",
+            "ended_in_window",
+            "exec_groups",
+            "for_each_overlapping",
+            "job",
+            "job_by_end_rank",
+            "job_count",
+            "job_records",
+            "max_job_duration",
+            "midplane_busy_seconds",
+            "midplane_busy_seconds_min_size",
+            "overlapping",
+            "record_index",
+            "running_at",
+        ]);
+    }
+    dirty
+}
+
+/// [`execute`], incrementally: re-run only the stages whose declared inputs
+/// changed under `delta`, serving everything else from `cache`.
+///
+/// A stage is *dirty* when it has no cached output, when one of its
+/// [`StageId::ctx_reads`] accessors is in the delta's dirty set, or when an
+/// upstream dependency re-ran *and produced a different output* — equality
+/// with the cached value cuts propagation short (an append whose new events
+/// are all dedup'd away re-runs the filters and nothing downstream). Clean
+/// stages install their cached product unchanged.
+///
+/// Contract: bit-identical to a full [`execute`] of `set` over the same
+/// (post-append) context — guaranteed by `EventStore::append_ras` keeping
+/// the indexes identical to a rebuild and every stage being a pure function
+/// of context + config + upstream products (the `determinism` lint family).
+pub(crate) fn execute_delta(
+    ctx: &AnalysisContext<'_>,
+    cfg: &CoAnalysisConfig,
+    set: AnalysisSet,
+    cache: &mut StageCache,
+    delta: &ContextDelta,
+) -> (PipelineState, DeltaReport) {
+    let set = set.closure();
+    let dirty_ctx = dirty_accessors(delta);
+    let mut state = PipelineState::new(ctx.raw_events().len());
+    let mut done = AnalysisSet::empty();
+    let mut reran = AnalysisSet::empty();
+    let mut changed = AnalysisSet::empty();
+    loop {
+        let ready: Vec<StageId> = StageId::ALL
+            .iter()
+            .copied()
+            .filter(|&id| {
+                set.contains(id)
+                    && !done.contains(id)
+                    && id.deps().iter().all(|&d| done.contains(d))
+            })
+            .collect();
+        if ready.is_empty() {
+            break;
+        }
+        let mut dirty: Vec<StageId> = Vec::new();
+        for &id in &ready {
+            let is_dirty = cache.output(id).is_none()
+                || id.ctx_reads().iter().any(|r| dirty_ctx.contains(r))
+                || id.deps().iter().any(|&d| changed.contains(d));
+            if is_dirty {
+                dirty.push(id);
+            } else if let Some(out) = cache.output(id) {
+                state.install(out.clone());
+            }
+        }
+        // The temporal/spatial stage goes through its per-shard cache
+        // (which needs `&mut cache`); everything else dirty in this wave
+        // fork-joins exactly like a full pass.
+        let mut outputs: Vec<(StageId, StageOutput)> = Vec::with_capacity(dirty.len());
+        if let Some(pos) = dirty.iter().position(|&id| id == StageId::TemporalSpatial) {
+            dirty.remove(pos);
+            let out = run_ts_delta(ctx, cfg, cache, &delta.dirty_codes);
+            outputs.push((StageId::TemporalSpatial, out));
+        }
+        outputs.extend(fork_join(&dirty, cfg.threads, &|&id| {
+            (id, stage(id).run(ctx, cfg, &state))
+        }));
+        for (id, out) in outputs {
+            reran = reran.with(id);
+            if cache.output(id) != Some(&out) {
+                changed = changed.with(id);
+                cache.store(id, out.clone());
+            }
+            state.install(out);
+        }
+        for &id in &ready {
+            done = done.with(id);
+        }
+    }
+    (state, DeltaReport { reran, changed })
+}
+
+/// The temporal/spatial stage with sub-stage incrementality: re-filter only
+/// the shards in `dirty_codes` (plus any code missing from the cache), take
+/// every other shard's filtered output from the cache, and merge exactly as
+/// [`TemporalSpatialStage::run`] does — concatenate in code order, then one
+/// stable sort by `(time, first_recid)`. Clean shards' slices are
+/// byte-identical after an append (the `EventStore` merge never reorders an
+/// untouched shard), so their cached outputs are exact.
+fn run_ts_delta(
+    ctx: &AnalysisContext<'_>,
+    cfg: &CoAnalysisConfig,
+    cache: &mut StageCache,
+    dirty_codes: &[ErrCode],
+) -> StageOutput {
+    let shards = ctx.code_shards();
+    let todo: Vec<(ErrCode, &[Event])> = shards
+        .iter()
+        .filter(|(code, _)| {
+            dirty_codes.binary_search(code).is_ok()
+                || cache
+                    .ts_shards
+                    .binary_search_by_key(code, |(c, _, _)| *c)
+                    .is_err()
+        })
+        .copied()
+        .collect();
+    let fresh = fork_join(&todo, cfg.threads, &|(_, shard)| {
+        let t = cfg.temporal.apply(shard);
+        let n = t.len();
+        (cfg.spatial.apply(&t), n)
+    });
+    let mut fresh_iter = todo
+        .iter()
+        .zip(fresh)
+        .map(|(&(code, _), (events, n))| (code, events, n))
+        .peekable();
+    let mut old_iter = std::mem::take(&mut cache.ts_shards).into_iter().peekable();
+    let mut next_shards: Vec<(ErrCode, Vec<Event>, usize)> = Vec::with_capacity(shards.len());
+    for &(code, shard) in &shards {
+        while old_iter.peek().is_some_and(|o| o.0 < code) {
+            old_iter.next();
+        }
+        if fresh_iter.peek().is_some_and(|f| f.0 == code) {
+            if old_iter.peek().is_some_and(|o| o.0 == code) {
+                old_iter.next(); // superseded by the recompute
+            }
+            if let Some(entry) = fresh_iter.next() {
+                next_shards.push(entry);
+            }
+        } else if old_iter.peek().is_some_and(|o| o.0 == code) {
+            if let Some(entry) = old_iter.next() {
+                next_shards.push(entry);
+            }
+        } else {
+            // Unreachable when cache and context share a stream (every
+            // shard is recomputed or cached); degrade to computing inline
+            // rather than trusting that.
+            let t = cfg.temporal.apply(shard);
+            let n = t.len();
+            next_shards.push((code, cfg.spatial.apply(&t), n));
+        }
+    }
+    let mut after_temporal = 0usize;
+    let mut merged: Vec<Event> = Vec::new();
+    for (_, events, n) in &next_shards {
+        after_temporal += n;
+        merged.extend_from_slice(events);
+    }
+    merged.sort_by_key(|e| (e.time, e.first_recid));
+    cache.ts_shards = next_shards;
+    StageOutput::TemporalSpatial {
+        after_spatial: merged,
+        after_temporal,
+    }
 }
 
 /// The pipeline's one fork-join point: apply `f` to every item, splitting

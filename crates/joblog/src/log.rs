@@ -52,6 +52,74 @@ impl JobLog {
         }
     }
 
+    /// Merge `batch` rows (any order) into the log's sorted storage and
+    /// indexes.
+    ///
+    /// Contract: the log afterwards equals [`JobLog::from_jobs`] over the
+    /// concatenation of everything ever inserted — same record order, same
+    /// posting lists, same termination permutation. Day-over-day appends
+    /// (every new row starts at or after the current tail) extend the
+    /// indexes in place; anything else falls back to a full rebuild. The
+    /// return value reports which path ran (`true` = in-place).
+    pub fn append(&mut self, mut batch: Vec<JobRecord>) -> bool {
+        if batch.is_empty() {
+            return true;
+        }
+        batch.sort_by_key(|j| (j.start_time, j.job_id));
+        let tail = match (self.jobs.last(), batch.first()) {
+            (Some(last), Some(first)) => {
+                (first.start_time, first.job_id) >= (last.start_time, last.job_id)
+            }
+            _ => true,
+        };
+        if !tail {
+            let mut all = std::mem::take(&mut self.jobs);
+            all.extend(batch);
+            *self = JobLog::from_jobs(all);
+            return false;
+        }
+        // In-place tail extension. New indices are all larger than old
+        // ones, so pushing them at the end of each posting list and
+        // merging the termination permutation base-first reproduces what
+        // the stable sorts in `from_jobs` would have built.
+        let base = self.jobs.len() as u32;
+        let mut new_end: Vec<u32> = (0..batch.len() as u32).map(|k| base + k).collect();
+        new_end.sort_by_key(|&i| {
+            batch
+                .get((i - base) as usize)
+                .map(|j| (j.end_time, j.job_id))
+        });
+        for (k, j) in batch.iter().enumerate() {
+            for m in j.partition.midplanes() {
+                if let Some(p) = self.by_midplane.get_mut(m.index()) {
+                    p.push(base + k as u32);
+                }
+            }
+            self.max_duration = self.max_duration.max(j.runtime());
+        }
+        self.jobs.extend(batch);
+        let old_end = std::mem::take(&mut self.by_end_time);
+        let mut merged = Vec::with_capacity(old_end.len() + new_end.len());
+        let key = |i: u32| self.jobs.get(i as usize).map(|j| (j.end_time, j.job_id));
+        let (mut a, mut b) = (0usize, 0usize);
+        while a < old_end.len() && b < new_end.len() {
+            let (Some(&oi), Some(&ni)) = (old_end.get(a), new_end.get(b)) else {
+                break;
+            };
+            if key(ni) < key(oi) {
+                merged.push(ni);
+                b += 1;
+            } else {
+                merged.push(oi);
+                a += 1;
+            }
+        }
+        merged.extend_from_slice(old_end.get(a..).unwrap_or(&[]));
+        merged.extend_from_slice(new_end.get(b..).unwrap_or(&[]));
+        self.by_end_time = merged;
+        true
+    }
+
     /// All jobs, sorted by start time.
     pub fn jobs(&self) -> &[JobRecord] {
         &self.jobs
@@ -311,7 +379,94 @@ mod tests {
         assert!(JobLog::default().is_empty());
     }
 
+    /// Every index of `a` equals `b` (the append-vs-rebuild oracle).
+    fn assert_logs_identical(a: &JobLog, b: &JobLog) {
+        assert_eq!(a.jobs, b.jobs);
+        assert_eq!(a.by_midplane, b.by_midplane);
+        assert_eq!(a.by_end_time, b.by_end_time);
+        assert_eq!(a.max_duration, b.max_duration);
+    }
+
+    #[test]
+    fn append_tail_batch_is_in_place_and_matches_rebuild() {
+        let head = vec![
+            job(1, 10, 100, 500, "R00-M0"),
+            job(2, 10, 600, 700, "R00-M0"),
+        ];
+        let tail = vec![
+            job(4, 12, 900, 950, "R00-M0"),
+            job(3, 11, 800, 5000, "R00-M1"),
+        ];
+        let mut log = JobLog::from_jobs(head.clone());
+        assert!(log.append(tail.clone()));
+        let mut all = head;
+        all.extend(tail);
+        assert_logs_identical(&log, &JobLog::from_jobs(all));
+        assert_eq!(log.max_duration(), Duration::seconds(4200));
+    }
+
+    #[test]
+    fn append_out_of_order_batch_rebuilds_and_matches() {
+        let head = vec![job(1, 10, 500, 900, "R00-M0")];
+        // Starts before the tail → must take (and report) the rebuild path.
+        let tail = vec![job(2, 11, 100, 200, "R00-M1")];
+        let mut log = JobLog::from_jobs(head.clone());
+        assert!(!log.append(tail.clone()));
+        let mut all = head;
+        all.extend(tail);
+        assert_logs_identical(&log, &JobLog::from_jobs(all));
+    }
+
+    #[test]
+    fn append_empty_and_onto_empty() {
+        let mut log = JobLog::default();
+        assert!(log.append(Vec::new()));
+        assert!(log.is_empty());
+        assert!(log.append(vec![job(1, 1, 100, 200, "R00-M0")]));
+        assert_logs_identical(
+            &log,
+            &JobLog::from_jobs(vec![job(1, 1, 100, 200, "R00-M0")]),
+        );
+    }
+
     proptest::proptest! {
+        /// Appending any suffix of a random job stream must leave every
+        /// index byte-identical to rebuilding from the whole stream —
+        /// including duplicate ids, shared timestamps, and batches that
+        /// land before the base's tail.
+        #[test]
+        fn append_matches_rebuild_at_any_split(
+            jobs_spec in proptest::collection::vec(
+                (0u8..10, 1i64..50_000, 1i64..30_000, 0u64..12), 1..40),
+            split_frac in 0usize..41,
+        ) {
+            let all: Vec<JobRecord> = jobs_spec
+                .iter()
+                .enumerate()
+                .map(|(i, &(mp, start, run, id))| JobRecord {
+                    job_id: id,
+                    exec: crate::record::ExecId(i as u32),
+                    user: crate::record::UserId(0),
+                    project: crate::record::ProjectId(0),
+                    queue_time: Timestamp::from_unix(start - 1),
+                    start_time: Timestamp::from_unix(start),
+                    end_time: Timestamp::from_unix(start + run),
+                    partition: bgp_model::Partition::contiguous(mp, 2).unwrap(),
+                    exit: crate::record::ExitStatus::Completed,
+                })
+                .collect();
+            let split = split_frac.min(all.len());
+            let head = all.get(..split).unwrap_or(&[]).to_vec();
+            let tail = all.get(split..).unwrap_or(&[]).to_vec();
+            let mut log = JobLog::from_jobs(head);
+            log.append(tail);
+            let rebuilt = JobLog::from_jobs(all);
+            proptest::prop_assert_eq!(&log.jobs, &rebuilt.jobs);
+            proptest::prop_assert_eq!(&log.by_midplane, &rebuilt.by_midplane);
+            proptest::prop_assert_eq!(&log.by_end_time, &rebuilt.by_end_time);
+            proptest::prop_assert_eq!(log.max_duration, rebuilt.max_duration);
+        }
+
         /// The interval index must agree exactly with a brute-force scan.
         #[test]
         fn overlapping_matches_brute_force(

@@ -57,8 +57,27 @@ mod tests {
             code,
         );
         let line = format_record(&r);
-        let fields: Vec<&str> = line.split('|').collect();
-        assert_eq!(fields.len(), 9);
+        // Walk the line with the shared `find_byte` scanner — the same
+        // splitter `parse_line_bytes` uses — instead of materializing a
+        // `Vec<&str>` via `split('|').collect()`.
+        let mut fields: [&str; 9] = [""; 9];
+        let mut count = 0usize;
+        let mut rest = line.as_str();
+        while count < 9 {
+            match bgp_model::bytes::find_byte(b'|', rest.as_bytes()) {
+                Some(i) if count < 8 => {
+                    fields[count] = &rest[..i];
+                    rest = &rest[i + 1..];
+                }
+                _ => {
+                    fields[count] = rest;
+                    count += 1;
+                    break;
+                }
+            }
+            count += 1;
+        }
+        assert_eq!(count, 9);
         assert_eq!(fields[0], "13718190");
         assert_eq!(fields[2], "CARD");
         assert_eq!(fields[3], "PALOMINO_S");

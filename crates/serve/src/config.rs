@@ -53,6 +53,12 @@ pub struct ServeConfig {
     /// Record every ingested chunk (TCP and tail) into this `.bgpcas`
     /// cassette, written on shutdown.
     pub record: Option<PathBuf>,
+    /// Continuously fold ingest through the incremental stage graph and
+    /// serve the complete co-analysis report at `/analysis`. Requires
+    /// [`ServeConfig::jobs`].
+    pub full_analysis: bool,
+    /// Job log for the co-analysis side of `--full-analysis`.
+    pub jobs: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -74,6 +80,8 @@ impl Default for ServeConfig {
             format: LogFormat::Bgp,
             replay: None,
             record: None,
+            full_analysis: false,
+            jobs: None,
         }
     }
 }
@@ -95,6 +103,9 @@ impl ServeConfig {
     /// --record FILE      record ingested chunks to a .bgpcas cassette
     /// --temporal-secs S  temporal dedup threshold    (default 300)
     /// --spatial-secs S   spatial dedup threshold     (default 300)
+    /// --full-analysis    serve the complete co-analysis report at /analysis,
+    ///                    folded incrementally per ingest batch (needs --jobs)
+    /// --jobs FILE        job log for the co-analysis side of --full-analysis
     /// ```
     pub fn from_args(args: &[String]) -> Result<ServeConfig, ServeError> {
         let mut cfg = ServeConfig::default();
@@ -120,6 +131,8 @@ impl ServeConfig {
                 }
                 "--replay" => cfg.replay = Some(PathBuf::from(take(&mut it, "--replay")?)),
                 "--record" => cfg.record = Some(PathBuf::from(take(&mut it, "--record")?)),
+                "--full-analysis" => cfg.full_analysis = true,
+                "--jobs" => cfg.jobs = Some(PathBuf::from(take(&mut it, "--jobs")?)),
                 "--temporal-secs" => {
                     cfg.temporal = Duration::seconds(take_parsed(&mut it, "--temporal-secs")?);
                 }
@@ -149,6 +162,16 @@ impl ServeConfig {
         if self.max_line_bytes < 64 {
             return Err(ServeError::Config(
                 "--max-line must be at least 64 bytes (a minimal record line)".into(),
+            ));
+        }
+        if self.full_analysis && self.jobs.is_none() {
+            return Err(ServeError::Config(
+                "--full-analysis needs --jobs FILE (the job-log side of the co-analysis)".into(),
+            ));
+        }
+        if self.jobs.is_some() && !self.full_analysis {
+            return Err(ServeError::Config(
+                "--jobs only makes sense with --full-analysis".into(),
             ));
         }
         if LineDecoder::for_format(self.format).is_none() {

@@ -13,12 +13,14 @@
 //! | `/metrics`  | Prometheus text exposition of the metrics registry   |
 //! | `/events`   | JSON array of the recent-events ring                 |
 //! | `/summary`  | JSON object of the merged stream counters            |
+//! | `/analysis` | the full co-analysis report (with `--full-analysis`) |
 //! | `/shutdown` | requests graceful shutdown (GET or POST)             |
 //!
 //! Robustness: request heads are capped at 8 KiB, reads and writes carry
 //! timeouts, and a client too slow to take its response is disconnected
 //! and counted in `http_slow_disconnects_total`.
 
+use crate::full::FullAnalysis;
 use crate::metrics::{Registry, ServeMetrics};
 use crate::ring::EventRing;
 use crate::server::Shutdown;
@@ -41,6 +43,7 @@ pub(crate) struct HttpState {
     pub pool: Arc<ShardPool>,
     pub metrics: Arc<ServeMetrics>,
     pub shutdown: Arc<Shutdown>,
+    pub full: Option<Arc<FullAnalysis>>,
     pub read_timeout: Duration,
     pub write_timeout: Duration,
 }
@@ -128,6 +131,14 @@ fn route(state: &HttpState, method: &str, target: &str) -> Response {
         ),
         "/events" => Response::ok("application/json", state.ring.to_json()),
         "/summary" => Response::ok("application/json", summary_json(state)),
+        "/analysis" => match &state.full {
+            Some(full) => Response::ok("text/plain; charset=utf-8", full.snapshot().render()),
+            None => Response::plain(
+                404,
+                "Not Found",
+                "full analysis not enabled (start with --full-analysis --jobs FILE)\n",
+            ),
+        },
         "/shutdown" => {
             state.shutdown.request();
             Response::ok("text/plain; charset=utf-8", "shutting down\n".to_owned())

@@ -19,6 +19,9 @@
 //! * [`ring`] — the recent-events ring served at `/events`;
 //! * [`metrics`] — counters/gauges/histograms + Prometheus rendering;
 //! * [`http`] — the minimal HTTP front-end;
+//! * [`full`] — `--full-analysis`: the complete co-analysis report served
+//!   at `/analysis`, folded incrementally per ingest batch through a
+//!   [`DeltaSession`](coanalysis::DeltaSession);
 //! * [`recorder`] — `--record`: capturing live ingest chunks as a cassette;
 //! * [`replay`] — `--replay`: deterministic cassette playback through the
 //!   ingest path, ending in a graceful one-shot drain;
@@ -36,6 +39,7 @@
 
 pub mod config;
 pub mod error;
+pub mod full;
 pub mod http;
 pub mod metrics;
 pub mod protocol;
@@ -49,6 +53,7 @@ pub mod timing;
 
 pub use config::{parse_impact, read_impact_file, write_impact, ServeConfig, IMPACT_HEADER};
 pub use error::ServeError;
+pub use full::{render_report, AnalysisSnapshot, FullAnalysis};
 pub use metrics::{Counter, Gauge, Histogram, Registry, ServeMetrics};
 pub use protocol::{classify_line, Frame, LineFramer};
 pub use ring::{EventEntry, EventRing};

@@ -10,6 +10,7 @@
 
 use crate::config::ServeConfig;
 use crate::error::ServeError;
+use crate::full::FullAnalysis;
 use crate::http::{spawn_http_listener, HttpState};
 use crate::metrics::{Registry, ServeMetrics};
 use crate::recorder::ChunkRecorder;
@@ -83,6 +84,8 @@ pub struct FinalSummary {
     /// What `--record` did, when active ("wrote N frames to PATH" or the
     /// write failure — recording is best-effort and never fails the drain).
     pub recording: Option<String>,
+    /// What `--full-analysis` folded, when active.
+    pub analysis: Option<String>,
 }
 
 impl std::fmt::Display for FinalSummary {
@@ -114,6 +117,9 @@ impl std::fmt::Display for FinalSummary {
         if let Some(rec) = &self.recording {
             write!(f, "\nfinal: recording {rec}")?;
         }
+        if let Some(a) = &self.analysis {
+            write!(f, "\nfinal: analysis {a}")?;
+        }
         Ok(())
     }
 }
@@ -130,6 +136,7 @@ pub struct Server {
     ring: Arc<EventRing>,
     threads: Mutex<Vec<JoinHandle<()>>>,
     record: Option<(PathBuf, Arc<ChunkRecorder>)>,
+    full: Option<Arc<FullAnalysis>>,
 }
 
 impl Server {
@@ -186,6 +193,15 @@ impl Server {
             .as_deref()
             .map(crate::replay::load_cassette)
             .transpose()?;
+        // Likewise the job log: a bad --jobs file is a startup error.
+        let full = match (&cfg.full_analysis, &cfg.jobs) {
+            (true, Some(jobs)) => Some(Arc::new(FullAnalysis::start(
+                coanalysis::CoAnalysisConfig::default(),
+                jobs,
+                cfg.queue_capacity,
+            )?)),
+            _ => None,
+        };
 
         let source_ctx = SourceCtx {
             pool: Arc::clone(&pool),
@@ -195,6 +211,7 @@ impl Server {
             read_timeout: cfg.read_timeout,
             decoder: Arc::new(decoder),
             recorder: record.as_ref().map(|(_, r)| Arc::clone(r)),
+            full: full.as_ref().map(Arc::clone),
         };
         let mut threads = Vec::new();
         threads.push(
@@ -221,6 +238,7 @@ impl Server {
                     pool: Arc::clone(&pool),
                     metrics: Arc::clone(&metrics),
                     shutdown: Arc::clone(&shutdown),
+                    full: full.as_ref().map(Arc::clone),
                     read_timeout: cfg.read_timeout,
                     write_timeout: cfg.write_timeout,
                 },
@@ -238,6 +256,7 @@ impl Server {
             ring,
             threads: Mutex::new(threads),
             record,
+            full,
         })
     }
 
@@ -264,6 +283,11 @@ impl Server {
     /// Merged live counters (also served at `/summary`).
     pub fn counters(&self) -> StreamCounters {
         self.pool.counters()
+    }
+
+    /// The continuous-analysis worker, when `--full-analysis` is active.
+    pub fn full_analysis(&self) -> Option<&Arc<FullAnalysis>> {
+        self.full.as_ref()
     }
 
     /// Request a graceful shutdown (same as `GET /shutdown`).
@@ -300,6 +324,12 @@ impl Server {
         }
         self.pool.close();
         self.pool.join();
+        // The sources have joined, so nothing offers records anymore: close
+        // the analysis queue and fold whatever is still buffered.
+        if let Some(full) = &self.full {
+            full.close();
+            full.join();
+        }
         self.shutdown.request_final();
         for t in http_threads {
             let _ = t.join();
@@ -312,6 +342,13 @@ impl Server {
                 Ok(frames) => format!("wrote {frames} frames to {}", path.display()),
                 Err(e) => format!("FAILED writing {}: {e}", path.display()),
             });
+        let analysis = self.full.as_ref().map(|full| {
+            let snap = full.snapshot();
+            format!(
+                "folded {} batches ({} records) through the incremental stage graph",
+                snap.batches, snap.records
+            )
+        });
         FinalSummary {
             counters: self.pool.counters(),
             shards: self.pool.shards(),
@@ -322,6 +359,7 @@ impl Server {
             http_requests: self.metrics.http_requests.get(),
             slow_disconnects: self.metrics.slow_disconnects.get(),
             recording,
+            analysis,
         }
     }
 }
@@ -335,8 +373,9 @@ pub fn run(cfg: &ServeConfig, out: &mut impl std::io::Write) -> Result<FinalSumm
     writeln!(out, "bgp-serve: http   on {}", server.http_addr()).map_err(ServeError::Io)?;
     writeln!(
         out,
-        "bgp-serve: {} shards; GET /healthz /metrics /events /summary /shutdown",
-        cfg.shards
+        "bgp-serve: {} shards; GET /healthz /metrics /events /summary{} /shutdown",
+        cfg.shards,
+        if cfg.full_analysis { " /analysis" } else { "" }
     )
     .map_err(ServeError::Io)?;
     out.flush().map_err(ServeError::Io)?;
@@ -383,6 +422,7 @@ mod tests {
             http_requests: 9,
             slow_disconnects: 1,
             recording: None,
+            analysis: None,
         };
         let text = summary.to_string();
         assert!(text.contains("10 records in (8 fatal) -> 3 events"));

@@ -8,6 +8,7 @@
 //! pushed before a handler exits, which keeps shutdown lossless for data
 //! the daemon has accepted.
 
+use crate::full::FullAnalysis;
 use crate::metrics::ServeMetrics;
 use crate::protocol::LineFramer;
 use crate::recorder::ChunkRecorder;
@@ -38,6 +39,9 @@ pub(crate) struct SourceCtx {
     pub decoder: Arc<LineDecoder>,
     /// When `--record` is active, every delivered chunk is observed here.
     pub recorder: Option<Arc<ChunkRecorder>>,
+    /// When `--full-analysis` is active, every parsed record also feeds the
+    /// continuous-analysis worker.
+    pub full: Option<Arc<FullAnalysis>>,
 }
 
 impl SourceCtx {
@@ -50,7 +54,12 @@ impl SourceCtx {
                 self.metrics.rejected_malformed.inc();
                 true
             }
-            LineOutcome::Record(rec) => self.pool.push(*rec, &self.metrics).is_ok(),
+            LineOutcome::Record(rec) => {
+                if let Some(full) = &self.full {
+                    full.offer(*rec, &self.metrics);
+                }
+                self.pool.push(*rec, &self.metrics).is_ok()
+            }
         }
     }
 
@@ -257,6 +266,7 @@ mod tests {
             read_timeout: Duration::from_millis(50),
             decoder: Arc::new(LineDecoder::Bgp),
             recorder: None,
+            full: None,
         }
     }
 

@@ -23,6 +23,7 @@
 //! | `parallel-determinism` | no hash-ordered iteration or FP reduction feeding kernel results; no unsanctioned thread spawns |
 //! | `serve-concurrency` | no Mutex guard held across blocking I/O in `crates/serve`; queues are bounded at construction |
 //! | `port-boundary` | raw `raslog`/`joblog` parser entry points stay inside the BG/P adapter |
+//! | `simd-fallback` | every SWAR/SIMD-documented scan keeps a `_scalar` twin referenced by equivalence tests |
 //!
 //! The last three are token-tree rules: they parse delimiter trees and call
 //! chains via [`crate::syntax`] and whole-workspace dataflow models via
@@ -123,6 +124,10 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         id: "port-boundary",
         summary: "raw raslog/joblog parser entry points are called only from the BG/P adapter (crates/ports/src/bgp.rs); everything else goes through the bgp-ports source traits",
+    },
+    RuleInfo {
+        id: "simd-fallback",
+        summary: "every function documented as a SWAR/SIMD scan has a `<name>_scalar` twin in the same file, and the twin is exercised by test code (the equivalence oracle)",
     },
 ];
 
@@ -367,8 +372,107 @@ pub fn errcode_catalog(catalog: &SourceFile, classify: &[&SourceFile]) -> Vec<Fi
     out
 }
 
+/// True when the contiguous doc block above `lineno` (1-based) advertises a
+/// word- or vector-parallel implementation ("SWAR" or "SIMD").
+fn doc_mentions_simd(file: &SourceFile, lineno: usize) -> bool {
+    let mut idx = lineno - 1; // 0-based index of the subject line
+    while idx > 0 {
+        idx -= 1;
+        let Some(above) = file.lines.get(idx) else {
+            return false;
+        };
+        let trimmed = above.code.trim();
+        if trimmed.is_empty() && !above.comment.is_empty() {
+            if above.comment.contains("SWAR") || above.comment.contains("SIMD") {
+                return true;
+            }
+        } else if trimmed.starts_with("#[") || trimmed.ends_with(']') || trimmed.is_empty() {
+            continue; // attributes (possibly multi-line) and blank separators
+        } else {
+            break;
+        }
+    }
+    false
+}
+
+/// `simd-fallback`: a function documented as a SWAR/SIMD scan is an
+/// optimization, and optimizations need oracles. Each one must keep a
+/// `<name>_scalar` twin in the same file — the byte-at-a-time reference it
+/// is benchmarked over and falls back to — and that twin must be named from
+/// test code, so the promised SWAR-vs-scalar equivalence is actually
+/// executed, not just documented.
+pub fn simd_fallback(file: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut defined: BTreeSet<String> = BTreeSet::new();
+    let mut scans: Vec<(usize, String)> = Vec::new();
+    for (lineno, line) in file.numbered() {
+        if line.in_test {
+            continue;
+        }
+        let code = line.code.trim_start();
+        let Some(rest) = code
+            .strip_prefix("pub fn ")
+            .or_else(|| code.strip_prefix("fn "))
+        else {
+            continue;
+        };
+        let name: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        if name.is_empty() {
+            continue;
+        }
+        defined.insert(name.clone());
+        // The scalar twins themselves mention SWAR in their docs (they state
+        // what they are the oracle *for*) but need no twin of their own.
+        if !name.ends_with("_scalar") && doc_mentions_simd(file, lineno) {
+            scans.push((lineno, name));
+        }
+    }
+    for (lineno, name) in scans {
+        let twin = format!("{name}_scalar");
+        if !defined.contains(&twin) {
+            out.push(Finding {
+                rule: "simd-fallback",
+                path: file.path.clone(),
+                line: lineno,
+                message: format!(
+                    "SWAR/SIMD scan `{name}` has no scalar twin `{twin}` in this \
+                     file; keep the byte-at-a-time reference as the fallback and \
+                     equivalence oracle"
+                ),
+            });
+        } else if !file
+            .lines
+            .iter()
+            .any(|l| l.in_test && l.code.contains(twin.as_str()))
+        {
+            out.push(Finding {
+                rule: "simd-fallback",
+                path: file.path.clone(),
+                line: lineno,
+                message: format!(
+                    "scalar twin `{twin}` of SWAR/SIMD scan `{name}` is never \
+                     referenced from test code; the documented equivalence is \
+                     unverified — add (or restore) the head-to-head test"
+                ),
+            });
+        }
+    }
+    out
+}
+
 /// Crate-root attributes every workspace crate must carry.
 const REQUIRED_ATTRS: &[&str] = &["#![forbid(unsafe_code)]", "#![warn(missing_docs)]"];
+
+/// Crate roots allowed to downgrade `forbid(unsafe_code)` to `deny`: the
+/// machine-model crate hosts the workspace's single sanctioned `unsafe`
+/// module (`mmap`, the read-only file mapping), which opts back in with a
+/// scoped `#![allow(unsafe_code)]` and a written safety argument. `deny`
+/// still stops every *other* module in the crate; `forbid` would stop the
+/// opt-in too.
+const DENY_UNSAFE_ROOTS: &[&str] = &["crates/bgp-model/src/lib.rs"];
 
 /// `crate-attrs`: belt and braces with `[workspace.lints]` — the attributes
 /// keep the guarantees visible in the source and survive being compiled
@@ -383,7 +487,15 @@ pub fn crate_attrs(root: &SourceFile) -> Vec<Finding> {
         .iter()
         .filter(|attr| {
             let want: String = attr.chars().filter(|c| !c.is_whitespace()).collect();
-            !squashed.iter().any(|l| l.contains(&want))
+            if squashed.iter().any(|l| l.contains(&want)) {
+                return false;
+            }
+            // Allowlisted roots satisfy the unsafe_code requirement with
+            // `deny` instead of `forbid`.
+            let deny_ok = **attr == "#![forbid(unsafe_code)]"
+                && DENY_UNSAFE_ROOTS.contains(&root.path.as_str())
+                && squashed.iter().any(|l| l.contains("#![deny(unsafe_code)]"));
+            !deny_ok
         })
         .map(|attr| Finding {
             rule: "crate-attrs",
@@ -1448,6 +1560,74 @@ mod tests {
     fn crate_attrs_is_quiet_when_both_present() {
         let f = file("#![forbid(unsafe_code)]\n#![warn(missing_docs)]\n");
         assert!(crate_attrs(&f).is_empty());
+    }
+
+    #[test]
+    fn crate_attrs_accepts_deny_unsafe_on_allowlisted_roots_only() {
+        let src = "#![deny(unsafe_code)]\n#![warn(missing_docs)]\n";
+        let listed = SourceFile::parse("crates/bgp-model/src/lib.rs", src);
+        assert!(
+            crate_attrs(&listed).is_empty(),
+            "bgp-model's sanctioned mmap module needs the deny downgrade"
+        );
+        let unlisted = SourceFile::parse("crates/core/src/lib.rs", src);
+        let found = crate_attrs(&unlisted);
+        assert_eq!(found.len(), 1, "everyone else still needs forbid");
+        assert!(found[0].message.contains("forbid(unsafe_code)"));
+    }
+
+    // -- simd-fallback ----------------------------------------------------
+
+    #[test]
+    fn simd_fallback_fires_when_scalar_twin_is_missing() {
+        let f = file(
+            "/// SWAR scan over the haystack.\n\
+             pub fn find_x(h: &[u8]) -> Option<usize> { None }\n",
+        );
+        let found = simd_fallback(&f);
+        assert_eq!(found.len(), 1);
+        assert!(found[0].message.contains("`find_x_scalar`"));
+        assert_eq!(found[0].line, 2);
+    }
+
+    #[test]
+    fn simd_fallback_fires_when_twin_is_untested() {
+        let f = file(
+            "/// SIMD delimiter scan.\n\
+             pub fn scan(h: &[u8]) -> usize { 0 }\n\
+             /// Scalar reference.\n\
+             pub fn scan_scalar(h: &[u8]) -> usize { 0 }\n",
+        );
+        let found = simd_fallback(&f);
+        assert_eq!(found.len(), 1);
+        assert!(found[0].message.contains("never referenced from test code"));
+    }
+
+    #[test]
+    fn simd_fallback_is_quiet_when_twin_is_tested() {
+        let f = file(
+            "/// SWAR scan, eight bytes per step.\n\
+             #[inline]\n\
+             pub fn scan(h: &[u8]) -> usize { 0 }\n\
+             /// Scalar reference; the SWAR scan must agree with it.\n\
+             pub fn scan_scalar(h: &[u8]) -> usize { 0 }\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+                 #[test]\n\
+                 fn agree() { assert_eq!(scan(b\"x\"), scan_scalar(b\"x\")); }\n\
+             }\n",
+        );
+        assert!(simd_fallback(&f).is_empty());
+    }
+
+    #[test]
+    fn simd_fallback_ignores_undocumented_and_plain_functions() {
+        let f = file(
+            "/// Splits lines. Nothing vectorized about it.\n\
+             pub fn line_split(h: &[u8]) -> usize { 0 }\n\
+             fn helper() {}\n",
+        );
+        assert!(simd_fallback(&f).is_empty());
     }
 
     // -- stage-contract ---------------------------------------------------

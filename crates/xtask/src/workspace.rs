@@ -127,6 +127,9 @@ const SERVE_DETERMINISTIC_MODULES: &[&str] = &[
     "crates/serve/src/lib.rs",
     "crates/serve/src/source.rs",
     "crates/serve/src/replay.rs",
+    // The continuous full-analysis worker folds ingest batches through the
+    // delta session; its snapshots must be a pure function of the batches.
+    "crates/serve/src/full.rs",
 ];
 
 /// True for sources the `determinism` rule governs. Besides the analysis
@@ -144,6 +147,9 @@ fn in_deterministic_scope(path: &str) -> bool {
         || path.starts_with("crates/ports/src")
         || path == "crates/bgp-model/src/bytes.rs"
         || path == "crates/bgp-model/src/snapshot.rs"
+        // The mmap wrapper feeds the same parse paths as buffered reads;
+        // mapped bytes must decode identically however they were loaded.
+        || path == "crates/bgp-model/src/mmap.rs"
         // The bench crate's timing harness reads clocks by design, but its
         // frozen serial reference kernels must not: BENCH_PIPELINE.json's
         // `matches_baseline` flags compare their output bit-for-bit against
@@ -249,6 +255,16 @@ pub fn run_lint(root: &Path, only: Option<&BTreeSet<String>>) -> io::Result<(Vec
         }
         if enabled("port-boundary") && in_port_boundary_scope(&file.path) {
             findings.extend(rules::port_boundary(file));
+        }
+        // Scoped by content, not path: it fires wherever a doc block
+        // advertises a SWAR/SIMD implementation. The lint harness and the
+        // bench harness are exempt — their docs *mention* SWAR (rules about
+        // scans; kernels timing scans) without implementing one.
+        if enabled("simd-fallback")
+            && !file.path.starts_with("crates/xtask/src")
+            && !file.path.starts_with("crates/bench/src")
+        {
+            findings.extend(rules::simd_fallback(file));
         }
     }
 
@@ -385,6 +401,13 @@ mod tests {
         assert!(in_deterministic_scope("crates/ports/src/cassette.rs"));
         assert!(in_deterministic_scope("crates/ports/src/syslog.rs"));
         assert!(!in_deterministic_scope("crates/bgp-sim/src/engine.rs"));
+        // The delta/SIMD ingest additions: the mmap wrapper and the serve
+        // full-analysis fold are pure functions of their inputs, and the
+        // delta-session modules ride in under the crates/core/src prefix.
+        assert!(in_deterministic_scope("crates/bgp-model/src/mmap.rs"));
+        assert!(in_deterministic_scope("crates/serve/src/full.rs"));
+        assert!(in_deterministic_scope("crates/core/src/context.rs"));
+        assert!(in_deterministic_scope("crates/core/src/stage.rs"));
     }
 
     #[test]

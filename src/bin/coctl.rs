@@ -15,7 +15,13 @@
 //!
 //! Log-reading subcommands also accept `--format {bgp,bgq,syslog,cassette}`
 //! to select the source adapter (default `bgp`); only the BG/P format is
-//! snapshot-cached.
+//! snapshot-cached. `--mmap` memory-maps inputs instead of buffering them
+//! (zero-copy over the page cache; silently falls back where unsupported).
+//!
+//! `analyze --append FILE` folds extra log files into an already-analyzed
+//! base through the incremental stage graph: only stages whose inputs
+//! changed are re-run, and the printed report is bit-identical to a
+//! one-shot run over the concatenated logs.
 //!
 //! Exit codes: 0 success, 1 usage error, 2 I/O or parse failure,
 //! 3 unknown subcommand or unknown `--format` value.
@@ -27,7 +33,9 @@ use bgp_coanalysis::bgp_serve::{self, ServeConfig, ServeError, StageTimer};
 use bgp_coanalysis::bgp_sim::{SimConfig, Simulation};
 use bgp_coanalysis::coanalysis::analysis::repair::{reconstruct_outages, summarize};
 use bgp_coanalysis::coanalysis::{load, AnalysisSet, CoAnalysis, Event, StageId};
-use bgp_coanalysis::coanalysis::{AnalysisContext, LoadOptions, LogFormat, SnapshotStatus};
+use bgp_coanalysis::coanalysis::{AnalysisContext, AppendBatch, CoAnalysisConfig};
+use bgp_coanalysis::coanalysis::{CoAnalysisResult, DeltaSession};
+use bgp_coanalysis::coanalysis::{LoadOptions, LogFormat, SnapshotStatus};
 use bgp_coanalysis::joblog::{self, JobLog};
 use bgp_coanalysis::raslog::{self, LogSummary, RasLog};
 use std::fs::File;
@@ -96,6 +104,7 @@ fn usage(err: &str) -> ExitCode {
          \x20 coctl summary RAS.log [--snapshot DIR] [--format F]\n\
          \x20 coctl analyze RAS.log JOBS.log [--snapshot DIR] [--format F] [--timings]\n\
          \x20 \x20 \x20 \x20 \x20 \x20 \x20 [--threads N] [--impact-out FILE]\n\
+         \x20 \x20 \x20 \x20 \x20 \x20 \x20 [--append RAS2.log]... [--append-jobs JOBS2.log]...\n\
          \x20 coctl filter RAS.log JOBS.log -o CLEAN.log [--snapshot DIR] [--format F]\n\
          \x20 coctl outages RAS.log JOBS.log [--snapshot DIR] [--format F]\n\
          \x20 coctl serve [--ingest ADDR] [--http ADDR] [--shards N] [--impact FILE] ...\n\
@@ -104,6 +113,10 @@ fn usage(err: &str) -> ExitCode {
          syslog, or cassette (.bgpcas recording, replayed deterministically).\n\
          --snapshot DIR caches parsed logs as .bgpsnap files in DIR and\n\
          reuses them on re-runs (stale snapshots are re-parsed and rewritten).\n\
+         --mmap memory-maps input files instead of buffering them.\n\
+         analyze --append folds each extra file into the base analysis\n\
+         incrementally; the report matches a one-shot run over the\n\
+         concatenation bit for bit.\n\
          serve runs the streaming daemon (see `coserved --help` for its flags)."
     );
     if err.is_empty() {
@@ -113,14 +126,16 @@ fn usage(err: &str) -> ExitCode {
     }
 }
 
-/// Split the `--snapshot DIR` and `--format NAME` flags out of `args`,
-/// leaving the rest in order.
+/// Split the `--snapshot DIR`, `--format NAME`, and `--mmap` flags out of
+/// `args`, leaving the rest in order.
 fn snapshot_opts(args: &[String]) -> Result<(Vec<String>, LoadOptions), CliError> {
     let mut rest = Vec::new();
     let mut opts = LoadOptions::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
-        if a == "--snapshot" {
+        if a == "--mmap" {
+            opts.mmap = true;
+        } else if a == "--snapshot" {
             let dir = it
                 .next()
                 .ok_or_else(|| CliError::Usage("--snapshot needs a directory".into()))?;
@@ -255,16 +270,40 @@ fn cmd_summary(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// One `--append`/`--append-jobs` occurrence, kept in flag order so
+/// batches fold in the sequence the operator wrote them.
+enum AppendSpec {
+    Ras(String),
+    Jobs(String),
+}
+
 fn cmd_analyze(args: &[String]) -> Result<(), CliError> {
     let (rest, opts) = snapshot_opts(args)?;
     let mut timings = false;
     let mut impact_out: Option<PathBuf> = None;
     let mut threads: Option<usize> = None;
+    let mut appends: Vec<AppendSpec> = Vec::new();
     let mut positional: Vec<&String> = Vec::new();
     let mut it = rest.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--timings" => timings = true,
+            "--append" => {
+                appends.push(AppendSpec::Ras(
+                    it.next()
+                        .ok_or_else(|| CliError::Usage("--append needs a RAS log path".into()))?
+                        .clone(),
+                ));
+            }
+            "--append-jobs" => {
+                appends.push(AppendSpec::Jobs(
+                    it.next()
+                        .ok_or_else(|| {
+                            CliError::Usage("--append-jobs needs a job log path".into())
+                        })?
+                        .clone(),
+                ));
+            }
             "--impact-out" => {
                 impact_out =
                     Some(PathBuf::from(it.next().ok_or_else(|| {
@@ -293,13 +332,22 @@ fn cmd_analyze(args: &[String]) -> Result<(), CliError> {
                 .into(),
         ));
     };
+    if timings && !appends.is_empty() {
+        return Err(CliError::Usage(
+            "--timings cannot be combined with --append (delta runs skip clean stages, \
+             so per-stage timings would be incomparable)"
+                .into(),
+        ));
+    }
     let (ras, jobs) = load_both(ras_path, jobs_path, &opts)?;
     let mut pipeline = CoAnalysis::default();
     if let Some(n) = threads {
         pipeline.config.threads = n;
     }
     let registry = bgp_serve::Registry::new();
-    let r = if timings {
+    let r = if !appends.is_empty() {
+        analyze_with_appends(pipeline.config, &ras, jobs, &appends, &opts)?
+    } else if timings {
         // Observed run: same products, plus per-stage wall-clock published
         // into the same registry kind the daemon serves at /metrics.
         let timer = StageTimer::new(&registry);
@@ -339,6 +387,59 @@ fn cmd_analyze(args: &[String]) -> Result<(), CliError> {
     );
     println!("{}", r.observations());
     Ok(())
+}
+
+/// Prime a [`DeltaSession`] on the base pair, then fold each `--append`
+/// file through it in flag order. Only dirty stages re-run per batch; the
+/// final report is bit-identical to a one-shot run over the concatenation
+/// (the `delta_equivalence` suite and the CI smoke both enforce this).
+///
+/// Unlike the base pair, append files may be empty — an uneventful day is
+/// a legitimate increment and re-runs nothing.
+fn analyze_with_appends(
+    config: CoAnalysisConfig,
+    ras: &RasLog,
+    jobs: JobLog,
+    appends: &[AppendSpec],
+    opts: &LoadOptions,
+) -> Result<CoAnalysisResult, CliError> {
+    let (mut session, base) = DeltaSession::new(config, ras, jobs);
+    let mut last = base;
+    for spec in appends {
+        let (path, batch) = match spec {
+            AppendSpec::Ras(path) => {
+                let loaded = load::load_ras(Path::new(path), opts)
+                    .map_err(|e| CliError::Io(e.to_string()))?;
+                report_load(path, "RAS", loaded.parse_errors.len(), &loaded.snapshot);
+                let batch = AppendBatch {
+                    ras: loaded.log.records().to_vec(),
+                    jobs: Vec::new(),
+                };
+                (path, batch)
+            }
+            AppendSpec::Jobs(path) => {
+                let loaded = load::load_jobs(Path::new(path), opts)
+                    .map_err(|e| CliError::Io(e.to_string()))?;
+                report_load(path, "job", loaded.parse_errors.len(), &loaded.snapshot);
+                let batch = AppendBatch {
+                    ras: Vec::new(),
+                    jobs: loaded.log.jobs().to_vec(),
+                };
+                (path, batch)
+            }
+        };
+        let (n_ras, n_jobs) = (batch.ras.len(), batch.jobs.len());
+        let (result, report) = session.append(batch);
+        // Stderr, so stdout stays byte-comparable with a one-shot run.
+        eprintln!(
+            "note: {path}: +{n_ras} RAS records, +{n_jobs} job rows; \
+             re-ran {} of 12 stages, {} changed",
+            report.reran.stages().len(),
+            report.changed.stages().len()
+        );
+        last = result;
+    }
+    Ok(last)
 }
 
 fn cmd_serve(args: &[String]) -> Result<(), CliError> {

@@ -37,8 +37,11 @@ fn usage() {
          \x20 --record FILE      record ingested chunks to a .bgpcas cassette\n\
          \x20 --temporal-secs S  temporal dedup threshold    (default 300)\n\
          \x20 --spatial-secs S   spatial dedup threshold     (default 300)\n\
+         \x20 --full-analysis    serve the complete co-analysis at /analysis,\n\
+         \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20  folded incrementally per ingest batch\n\
+         \x20 --jobs FILE        job log for --full-analysis\n\
          \n\
-         endpoints: GET /healthz /metrics /events /summary /shutdown"
+         endpoints: GET /healthz /metrics /events /summary /analysis /shutdown"
     );
 }
 

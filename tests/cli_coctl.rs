@@ -151,6 +151,71 @@ fn analyze_timings_and_impact_out() {
 }
 
 #[test]
+fn analyze_append_is_byte_identical_to_one_shot() {
+    // Split the shared site at a line boundary into "day 1" and "day 2",
+    // then check `analyze BASE --append DAY2` prints byte-for-byte what a
+    // one-shot run over the whole logs prints. `--mmap` rides along so the
+    // zero-copy load path gets end-to-end coverage too.
+    let dir = site_logs();
+    let split_dir = workdir("append-split");
+    let split = |name: &str, frac_num: usize, frac_den: usize| -> (PathBuf, PathBuf) {
+        let text = std::fs::read_to_string(dir.join(name)).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        let cut = lines.len() * frac_num / frac_den;
+        let head = split_dir.join(format!("day1-{name}"));
+        let tail = split_dir.join(format!("day2-{name}"));
+        std::fs::write(&head, lines[..cut].join("\n") + "\n").unwrap();
+        std::fs::write(&tail, lines[cut..].join("\n") + "\n").unwrap();
+        (head, tail)
+    };
+    let (ras1, ras2) = split("ras.log", 7, 10);
+    let (jobs1, jobs2) = split("jobs.log", 7, 10);
+
+    let full = coctl()
+        .arg("analyze")
+        .arg(dir.join("ras.log"))
+        .arg(dir.join("jobs.log"))
+        .output()
+        .unwrap();
+    assert!(full.status.success());
+
+    let delta = coctl()
+        .arg("analyze")
+        .args([&ras1, &jobs1])
+        .arg("--append")
+        .arg(&ras2)
+        .arg("--append-jobs")
+        .arg(&jobs2)
+        .arg("--mmap")
+        .output()
+        .unwrap();
+    assert!(
+        delta.status.success(),
+        "{}",
+        String::from_utf8_lossy(&delta.stderr)
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&delta.stdout),
+        String::from_utf8_lossy(&full.stdout),
+        "incremental report must match the one-shot run byte for byte"
+    );
+    // The per-batch fold notes go to stderr, keeping stdout comparable.
+    let err = String::from_utf8_lossy(&delta.stderr);
+    assert!(err.contains("re-ran"), "{err}");
+
+    // --timings is incompatible with --append: delta runs skip stages.
+    let out = coctl()
+        .arg("analyze")
+        .args([&ras1, &jobs1])
+        .arg("--append")
+        .arg(&ras2)
+        .arg("--timings")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
 fn filter_writes_a_clean_log() {
     let dir = site_logs();
     let clean = dir.join("clean.log");

@@ -263,6 +263,11 @@ fn http_front_end_rejects_junk_and_unknown_routes() {
     let (status, _) = http_get(http, "/no-such-route");
     assert!(status.contains("404"), "{status}");
 
+    // Without --full-analysis the route exists but is a 404 with a hint.
+    let (status, body) = http_get(http, "/analysis");
+    assert!(status.contains("404"), "{status}");
+    assert!(body.contains("--full-analysis"), "{body}");
+
     let status = http_raw(http, b"completely not http\r\n\r\n");
     assert!(status.contains("400"), "{status}");
 
@@ -284,6 +289,70 @@ fn http_front_end_rejects_junk_and_unknown_routes() {
     server.shutdown();
     let summary = server.wait();
     assert!(summary.http_requests >= 2);
+}
+
+#[test]
+fn full_analysis_route_serves_the_incremental_report() {
+    // Stream a simulated site into a --full-analysis daemon and check that
+    // /analysis serves the report an offline `coctl analyze` would print on
+    // the same logs — the delta-equivalence gate, end to end over sockets.
+    let out = Simulation::new(SimConfig::small_test(21))
+        .expect("valid config")
+        .run();
+    let dir = std::env::temp_dir().join(format!("bgp-serve-analysis-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let jobs_path = dir.join("jobs.log");
+    let mut w = std::io::BufWriter::new(std::fs::File::create(&jobs_path).expect("create jobs"));
+    bgp_coanalysis::joblog::write_log(&mut w, out.jobs.jobs()).expect("write jobs");
+    w.flush().expect("flush jobs");
+    drop(w);
+
+    let mut cfg = loopback_cfg(2);
+    cfg.full_analysis = true;
+    cfg.jobs = Some(jobs_path.clone());
+    let server = Server::start(&cfg).expect("daemon starts");
+
+    let mut ingest = TcpStream::connect(server.ingest_addr()).expect("connect ingest");
+    for r in out.ras.records() {
+        writeln!(ingest, "{}", format_record(r)).expect("send record");
+    }
+    drop(ingest);
+    let want = out.ras.records().len() as u64;
+    wait_records_in(&server, want);
+    // The analysis worker has its own bounded queue; wait until it has
+    // folded everything the pool has already counted.
+    let full = server.full_analysis().expect("enabled").clone();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while full.snapshot().records < want {
+        assert!(
+            Instant::now() < deadline,
+            "analysis worker stuck at {}/{want}",
+            full.snapshot().records
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let (status, body) = http_get(server.http_addr(), "/analysis");
+    assert!(status.contains("200"), "{status}");
+    assert!(body.starts_with("# full analysis:"), "{body}");
+    let oracle = bgp_coanalysis::coanalysis::CoAnalysis::default().run(&out.ras, &out.jobs);
+    let expected = bgp_coanalysis::bgp_serve::render_report(&oracle);
+    let report = body
+        .splitn(3, '\n')
+        .nth(2)
+        .expect("two fold-state header lines");
+    assert_eq!(report, expected, "served report must match the offline run");
+
+    let (status, _) = http_get(server.http_addr(), "/shutdown");
+    assert!(status.contains("200"), "{status}");
+    let summary = server.wait();
+    let analysis = summary.analysis.expect("--full-analysis reports its folds");
+    assert!(
+        analysis.contains(&format!("({want} records)")),
+        "{analysis}"
+    );
+    let _ = std::fs::remove_file(&jobs_path);
+    let _ = std::fs::remove_dir(&dir);
 }
 
 #[test]
