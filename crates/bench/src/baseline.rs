@@ -9,10 +9,14 @@
 //! guess — and the equivalence tests in `tests/parallel_kernels.rs` hold
 //! the optimized kernels to bit-identical output.
 
+use bgp_model::intern::Interner;
 use bgp_model::MidplaneId;
 use bgp_stats::hist::{bucket_index, TABLE_VI_TIME_EDGES};
 use bgp_stats::infogain::{rank_features, FeatureColumn, FeatureScore};
 use bgp_stats::pearson::pearson;
+use coanalysis::analysis::fda::{
+    FdaAnalysis, FdaDim, FdaItemValue, FdaItemset, FdaParams, JobDims, NUM_DIMS, NUM_JOB_DIMS,
+};
 use coanalysis::analysis::vulnerability::{
     ResubmissionStats, SizeLengthTable, VulnerabilityAnalysis, SIZE_ROWS,
 };
@@ -506,6 +510,203 @@ fn rank(
         },
     ];
     rank_features(&features, &labels, 2).unwrap_or_default()
+}
+
+/// The naive row-major FDA miner: per lattice level, one pass over *every*
+/// job row enumerating each row's item subsets and probing a candidate
+/// hash map — no interleaved column scans, no postings lists, no sharding.
+/// Bit-identical output to the sharded [`FdaAnalysis::compute`] kernel
+/// (same candidate generation, support thresholds, lift arithmetic, and
+/// ranking), which is exactly what `matches_baseline` asserts.
+pub fn fda(
+    events: &[Event],
+    matching: &Matching,
+    dims: &JobDims,
+    params: &FdaParams,
+) -> FdaAnalysis {
+    type Item = (u8, u32);
+    let n = dims.rows();
+
+    // Errcode column: same join as the optimized kernel (victims are
+    // event-ordered, dedup keeps the lowest (row, code) pair).
+    let mut attributed: Vec<(u32, u16)> = Vec::new();
+    for (i, em) in matching.per_event.iter().enumerate() {
+        let code = events.get(i).map_or(0, |e| e.errcode.0);
+        for &job_id in &em.victims {
+            if let Some(row) = dims.row_of(job_id) {
+                attributed.push((row, code));
+            }
+        }
+    }
+    attributed.sort_unstable();
+    attributed.dedup_by_key(|p| p.0);
+    let errdict = Interner::from_values(attributed.iter().map(|&(_, c)| c));
+    let mut errcol = vec![0u32; n];
+    for &(row, code) in &attributed {
+        errcol[row as usize] = errdict.id(code).unwrap_or(0) + 1;
+    }
+    let n_fatal = attributed.len();
+    let min_support = params.min_support(n_fatal);
+    let max_level = params.max_level.min(NUM_DIMS);
+
+    let mut analysis = FdaAnalysis {
+        n_jobs: n,
+        n_fatal,
+        min_support,
+        max_level,
+        ranked: Vec::new(),
+    };
+    if n == 0 || n_fatal == 0 || max_level == 0 {
+        return analysis;
+    }
+
+    let row_items = |row: usize| -> [Item; NUM_DIMS] {
+        let mut items = [(0u8, errcol[row]); NUM_DIMS];
+        for d in 0..NUM_JOB_DIMS {
+            items[d + 1] = (d as u8 + 1, dims.job_col(d)[row]);
+        }
+        items
+    };
+
+    // Level 1: row-major count of every single item, fatal + total
+    // together.
+    let mut counts: HashMap<Vec<Item>, (u32, u32)> = HashMap::new();
+    for (row, &ec) in errcol.iter().enumerate() {
+        let fatal_row = ec != 0;
+        for &it in &row_items(row) {
+            let e = counts.entry(vec![it]).or_insert((0, 0));
+            e.1 += 1;
+            if fatal_row {
+                e.0 += 1;
+            }
+        }
+    }
+    let mut frequent: Vec<Vec<Item>> = counts
+        .iter()
+        .filter(|&(_, &(f, _))| f >= min_support)
+        .map(|(k, _)| k.clone())
+        .collect();
+    frequent.sort();
+
+    let mut mined: Vec<(Vec<Item>, u32, u32, f64)> = Vec::new();
+    let mut level = 1usize;
+    loop {
+        for items in &frequent {
+            let &(fatal, total) = counts.get(items).unwrap_or(&(0, 0));
+            let lift = (f64::from(fatal) * n as f64) / (f64::from(total.max(1)) * n_fatal as f64);
+            if lift >= params.min_lift {
+                mined.push((items.clone(), fatal, total, lift));
+            }
+        }
+        level += 1;
+        if level > max_level || frequent.is_empty() {
+            break;
+        }
+        let candidates = fda_candidates(&frequent);
+        if candidates.is_empty() {
+            break;
+        }
+        counts = candidates
+            .iter()
+            .map(|c| (c.clone(), (0u32, 0u32)))
+            .collect();
+        let mut scratch: Vec<Item> = Vec::with_capacity(level);
+        for (row, &ec) in errcol.iter().enumerate() {
+            let items = row_items(row);
+            let fatal_row = ec != 0;
+            // Every `level`-subset of the row's 6 items, via bitmask.
+            for mask in 1u32..(1 << NUM_DIMS) {
+                if mask.count_ones() as usize != level {
+                    continue;
+                }
+                scratch.clear();
+                for (d, &it) in items.iter().enumerate() {
+                    if mask & (1 << d) != 0 {
+                        scratch.push(it);
+                    }
+                }
+                if let Some(e) = counts.get_mut(scratch.as_slice()) {
+                    e.1 += 1;
+                    if fatal_row {
+                        e.0 += 1;
+                    }
+                }
+            }
+        }
+        frequent = candidates
+            .into_iter()
+            .filter(|c| counts.get(c).is_some_and(|&(f, _)| f >= min_support))
+            .collect();
+    }
+
+    mined.sort_by(|a, b| {
+        b.3.total_cmp(&a.3)
+            .then_with(|| b.1.cmp(&a.1))
+            .then_with(|| a.0.cmp(&b.0))
+    });
+    analysis.ranked = mined
+        .into_iter()
+        .map(|(items, fatal, total, lift)| FdaItemset {
+            items: items
+                .iter()
+                .map(|&(d, id)| FdaItemValue {
+                    dim: FdaDim::ALL[d as usize],
+                    value: if d == 0 {
+                        match id.checked_sub(1).and_then(|i| errdict.value(i)) {
+                            Some(code) => ErrCode(code).to_string(),
+                            None => "-".to_string(),
+                        }
+                    } else {
+                        dims.job_name(d as usize - 1, id).to_string()
+                    },
+                })
+                .collect(),
+            fatal_support: fatal,
+            total_support: total,
+            lift,
+        })
+        .collect();
+    analysis
+}
+
+/// Apriori join + downward closure over lex-sorted frequent itemsets —
+/// the same candidate semantics as the optimized kernel.
+fn fda_candidates(frequent: &[Vec<(u8, u32)>]) -> Vec<Vec<(u8, u32)>> {
+    let k = frequent.first().map_or(0, Vec::len);
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < frequent.len() {
+        let prefix = &frequent[i][..k.saturating_sub(1)];
+        let mut j = i;
+        while j < frequent.len() && &frequent[j][..k.saturating_sub(1)] == prefix {
+            j += 1;
+        }
+        for a in i..j {
+            for b in (a + 1)..j {
+                let (Some(&la), Some(&lb)) = (frequent[a].last(), frequent[b].last()) else {
+                    continue;
+                };
+                if la.0 >= lb.0 {
+                    continue;
+                }
+                let mut cand = frequent[a].clone();
+                cand.push(lb);
+                let closed = (0..k.saturating_sub(1)).all(|drop| {
+                    let sub: Vec<(u8, u32)> = cand
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(p, &it)| (p != drop).then_some(it))
+                        .collect();
+                    frequent.binary_search(&sub).is_ok()
+                });
+                if closed {
+                    out.push(cand);
+                }
+            }
+        }
+        i = j;
+    }
+    out
 }
 
 fn history_uncovered(ctx: &AnalysisContext<'_>, causes: &HashMap<u64, RootCause>, k: usize) -> f64 {

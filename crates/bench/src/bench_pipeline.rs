@@ -4,18 +4,20 @@
 //! 10× and at 100× that, runs the full pipeline once with a wall-clock
 //! stage observer, then times the rewritten kernels — matching, root-cause
 //! classification, vulnerability ranking, the SWAR delimiter scan behind
-//! ingest, and the incremental stage graph — head-to-head against the
-//! pre-optimization reference implementations (in [`crate::baseline`], the
-//! scalar byte scan, and the one-shot full re-analysis respectively) on the
-//! exact same inputs. Kernel times are the minimum over several repetitions
-//! (the honest estimate on a noisy machine); every head-to-head also checks
-//! the optimized output equals the baseline output and records the verdict
-//! in the JSON, so a regression in either speed or semantics shows up in
-//! the committed artifact.
+//! ingest, the incremental stage graph, and the sharded FDA lattice miner —
+//! head-to-head against the pre-optimization reference implementations (in
+//! [`crate::baseline`], the scalar byte scan, and the one-shot full
+//! re-analysis respectively) on the exact same inputs. Kernel times are the
+//! minimum over several repetitions (the honest estimate on a noisy
+//! machine); every head-to-head also checks the optimized output equals the
+//! baseline output and records the verdict in the JSON, so a regression in
+//! either speed or semantics shows up in the committed artifact.
 //!
-//! Schema (`"schema": "bench-pipeline/v2"`): see the README "Benchmarks"
+//! Schema (`"schema": "bench-pipeline/v3"`): see the README "Benchmarks"
 //! section for the field-by-field description and how to regenerate. v2
-//! adds the `ingest-simd` and `delta-rerun` kernels and the 100× scale row.
+//! added the `ingest-simd` and `delta-rerun` kernels and the 100× scale
+//! row; v3 adds the `fda` kernel (column-sharded Apriori lattice mining vs
+//! the row-major hash-probing reference).
 
 use crate::baseline;
 use crate::json::Json;
@@ -180,6 +182,24 @@ fn bench_scale(label: &str, cfg: SimConfig, threads: usize, reps: usize) -> Json
         matches_baseline: matches(&base_out, &opt_out),
     };
 
+    // FDA lattice mining: the interned columns are an AnalysisContext
+    // cache shared by both sides, so resolve them outside the timed
+    // region — the head-to-head measures mining, not interning.
+    let fda_dims = ctx.fda_columns();
+    let fda_params = pipeline.config.fda;
+    let (base_ms, base_out) = time_min(reps, || {
+        baseline::fda(events, &matching, fda_dims, &fda_params)
+    });
+    let (opt_ms, opt_out) = time_min(reps, || {
+        coanalysis::FdaAnalysis::compute(events, &matching, fda_dims, &fda_params, threads)
+    });
+    let fda_kernel = KernelResult {
+        name: "fda",
+        baseline_ms: base_ms,
+        optimized_ms: opt_ms,
+        matches_baseline: matches(&base_out, &opt_out),
+    };
+
     let ingest_kernel = bench_ingest_simd(&out, reps);
     let delta_kernel = bench_delta_rerun(&out, threads, reps);
 
@@ -187,6 +207,7 @@ fn bench_scale(label: &str, cfg: SimConfig, threads: usize, reps: usize) -> Json
         matching_kernel,
         root_cause_kernel,
         vulnerability_kernel,
+        fda_kernel,
         ingest_kernel,
         delta_kernel,
     ]
@@ -372,7 +393,7 @@ pub fn run(quick: bool, threads: usize, seed: u64) -> Json {
         ]
     };
     crate::json!({
-        "schema": "bench-pipeline/v2",
+        "schema": "bench-pipeline/v3",
         "threads": threads,
         "seed": seed,
         "quick": quick,

@@ -1,0 +1,89 @@
+//! Dictionary interning: dense `u32` ids for sparse value sets.
+//!
+//! The dimensional-analysis kernel (`coanalysis::analysis::fda`) works over
+//! columns of *ids*, not values: every distinct value of a dimension
+//! (midplane, user, project, executable, …) is mapped to its rank in the
+//! sorted distinct-value set. Interning through a **sorted** dictionary —
+//! rather than a hash map — is what keeps downstream reductions
+//! deterministic: id order *is* value order, so "iterate the dictionary"
+//! and "iterate values ascending" are the same loop, and no hash-iteration
+//! order can leak into results.
+
+/// A sorted dictionary of distinct values with dense-id lookup.
+///
+/// Ids are `u32` ranks into the sorted distinct-value list: `id(v)` is the
+/// binary-search position of `v`, `value(id)` the inverse. Construction
+/// sorts and dedups once; lookups never hash.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Interner<T> {
+    values: Vec<T>,
+}
+
+impl<T: Ord + Copy> Interner<T> {
+    /// Build a dictionary over every value yielded by `iter` (duplicates
+    /// welcome; they dedup away).
+    pub fn from_values<I: IntoIterator<Item = T>>(iter: I) -> Interner<T> {
+        let mut values: Vec<T> = iter.into_iter().collect();
+        values.sort_unstable();
+        values.dedup();
+        Interner { values }
+    }
+
+    /// The dense id of `v`, if `v` is in the dictionary.
+    pub fn id(&self, v: T) -> Option<u32> {
+        self.values.binary_search(&v).ok().map(|i| i as u32)
+    }
+
+    /// The value behind `id`, if `id` is in range.
+    pub fn value(&self, id: u32) -> Option<T> {
+        self.values.get(id as usize).copied()
+    }
+
+    /// The sorted distinct values (id order).
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// Number of distinct values (= one past the largest id).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_sorted_ranks() {
+        let i = Interner::from_values([30u64, 10, 20, 10, 30]);
+        assert_eq!(i.len(), 3);
+        assert_eq!(i.values(), &[10, 20, 30]);
+        assert_eq!(i.id(10), Some(0));
+        assert_eq!(i.id(20), Some(1));
+        assert_eq!(i.id(30), Some(2));
+        assert_eq!(i.id(25), None);
+    }
+
+    #[test]
+    fn value_inverts_id() {
+        let i = Interner::from_values([5u32, 1, 9]);
+        for v in [1u32, 5, 9] {
+            assert_eq!(i.value(i.id(v).unwrap()), Some(v));
+        }
+        assert_eq!(i.value(3), None);
+    }
+
+    #[test]
+    fn empty_dictionary() {
+        let i: Interner<u64> = Interner::from_values([]);
+        assert!(i.is_empty());
+        assert_eq!(i.id(0), None);
+        assert_eq!(i.value(0), None);
+    }
+}

@@ -34,6 +34,7 @@
 
 pub mod bytes;
 pub mod error;
+pub mod intern;
 pub mod location;
 pub mod mmap;
 pub mod partition;

@@ -1,0 +1,757 @@
+//! Fast Dimensional Analysis (FDA): sharded frequent-itemset mining over
+//! the interned (errcode, midplane, user, project, executable, job-size)
+//! lattice — the multidimensional root-cause kernel of ROADMAP item 3,
+//! after the Facebook FDA approach (arXiv 1911.01225).
+//!
+//! The paper's root-cause stage explains fatals along one dimension at a
+//! time. This kernel mines *interaction* explanations: itemsets like
+//! `{midplane=R17-M0, exec=app01234.exe}` whose share of interrupted jobs
+//! is far above their share of all jobs (lift). The pipeline is:
+//!
+//! 1. **Intern** every dimension value to a dense `u32` id through a
+//!    *sorted* dictionary ([`bgp_model::intern::Interner`]), and lay the
+//!    job table out column-per-dimension (structure of arrays). Id order
+//!    is value order, so every loop over ids is a deterministic loop over
+//!    values — no hash-iteration order can leak into results.
+//! 2. **Mine** the lattice Apriori-style, level by level. Candidate
+//!    itemsets at each level are generated serially (join + downward
+//!    closure over the previous frequent level), *counted* in parallel —
+//!    candidates are pre-chunked into ≤ `threads` contiguous shards and
+//!    dispatched via `map_chunks_parallel`, each shard filling a
+//!    fixed-order support vector — then merged by a serial concatenation
+//!    in candidate order. Support counts are exact integers, so the
+//!    reduction is bit-identical at any thread count.
+//! 3. **Prune + rank**: frequent itemsets (fatal support ≥ a relative
+//!    minimum) get a total-support count via postings-list intersection,
+//!    a lift, and a final serial ranking by (lift desc, fatal support
+//!    desc, items lex asc).
+//!
+//! The same serial-fallback size gate as the other kernels applies: below
+//! [`MIN_PARALLEL_WORK`] candidate-row pairs (or at `threads <= 1`) the
+//! count runs inline, and the parallel path produces byte-identical
+//! output above it.
+
+use crate::context::AnalysisContext;
+use crate::event::Event;
+use crate::matching::Matching;
+use bgp_model::bytes::map_chunks_parallel;
+use bgp_model::intern::Interner;
+use joblog::JobRecord;
+use raslog::ErrCode;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Number of lattice dimensions (errcode, midplane, user, project,
+/// executable, job size).
+pub const NUM_DIMS: usize = 6;
+
+/// Number of *job-side* dimensions (everything but errcode, which joins
+/// in from the matched event stream).
+pub const NUM_JOB_DIMS: usize = NUM_DIMS - 1;
+
+/// Minimum candidate×row work (per counting pass) before the sharded
+/// parallel path engages; below this the serial fallback runs inline.
+pub const MIN_PARALLEL_WORK: u64 = 1 << 16;
+
+/// How many ranked itemsets the `Display` report section prints.
+const REPORT_TOP: usize = 15;
+
+/// One dimension of the lattice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum FdaDim {
+    /// The error code attributed to the interrupted job (id 0 is the
+    /// "no interruption" sentinel and never appears in an itemset).
+    ErrCode = 0,
+    /// First midplane of the job's partition (its anchor location).
+    Midplane = 1,
+    /// Submitting user.
+    User = 2,
+    /// Charged project.
+    Project = 3,
+    /// Executable.
+    Exec = 4,
+    /// Requested size in midplanes.
+    Size = 5,
+}
+
+impl FdaDim {
+    /// All dimensions, in lattice order.
+    pub const ALL: [FdaDim; NUM_DIMS] = [
+        FdaDim::ErrCode,
+        FdaDim::Midplane,
+        FdaDim::User,
+        FdaDim::Project,
+        FdaDim::Exec,
+        FdaDim::Size,
+    ];
+
+    /// Short name used in reports (`dim=value`).
+    pub fn name(self) -> &'static str {
+        match self {
+            FdaDim::ErrCode => "errcode",
+            FdaDim::Midplane => "midplane",
+            FdaDim::User => "user",
+            FdaDim::Project => "project",
+            FdaDim::Exec => "exec",
+            FdaDim::Size => "size",
+        }
+    }
+
+    fn from_index(i: u8) -> FdaDim {
+        *FdaDim::ALL.get(i as usize).unwrap_or(&FdaDim::Size)
+    }
+}
+
+/// Tuning knobs for the miner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FdaParams {
+    /// Minimum fatal support as a fraction of interrupted jobs (relative,
+    /// so candidate counts stay bounded from paper scale to 100x).
+    pub min_support_frac: f64,
+    /// Absolute floor on fatal support — itemsets explaining fewer
+    /// interruptions than this are noise regardless of scale.
+    pub min_support_floor: u32,
+    /// Minimum lift for an itemset to be *reported* (frequent itemsets
+    /// below this still seed the next level's candidates).
+    pub min_lift: f64,
+    /// Deepest lattice level to mine (number of items per set).
+    pub max_level: usize,
+}
+
+impl Default for FdaParams {
+    fn default() -> FdaParams {
+        FdaParams {
+            min_support_frac: 0.01,
+            min_support_floor: 5,
+            min_lift: 2.0,
+            max_level: 3,
+        }
+    }
+}
+
+impl FdaParams {
+    /// The resolved absolute minimum fatal support for `n_fatal`
+    /// interrupted jobs: `max(floor, ceil(frac × n_fatal), 1)`.
+    pub fn min_support(&self, n_fatal: usize) -> u32 {
+        let rel = (self.min_support_frac * n_fatal as f64).ceil();
+        let rel = if rel.is_finite() && rel >= 0.0 && rel <= f64::from(u32::MAX) {
+            rel as u32
+        } else {
+            u32::MAX
+        };
+        self.min_support_floor.max(rel).max(1)
+    }
+}
+
+/// The interned job-side columns: one dense-`u32` column per job
+/// dimension, the sorted dictionaries behind the ids, display names per
+/// id, and a `job_id → row` index. Built once per [`AnalysisContext`]
+/// (lazily, on first use) beside the existing sorted shards.
+#[derive(Debug, Clone, Default)]
+pub struct JobDims {
+    /// Column per job dimension, `cols[d][row]` = interned id. Order:
+    /// midplane, user, project, exec, size (lattice dims 1..6).
+    cols: [Vec<u32>; NUM_JOB_DIMS],
+    /// Sorted dictionaries; `dicts[d].len()` is the id universe of
+    /// column `d`.
+    dicts: [Interner<u64>; NUM_JOB_DIMS],
+    /// Display name per id, `names[d][id]`.
+    names: [Vec<String>; NUM_JOB_DIMS],
+    /// `(job_id, row)` sorted by job id.
+    by_job_id: Vec<(u64, u32)>,
+}
+
+impl JobDims {
+    /// Intern the job table into columnar form. Rows are table order
+    /// (one row per job record).
+    pub fn from_jobs(jobs: &[JobRecord]) -> JobDims {
+        let n = jobs.len();
+        let mut raw: [Vec<u64>; NUM_JOB_DIMS] = std::array::from_fn(|_| Vec::with_capacity(n));
+        let mut labels: [BTreeMap<u64, String>; NUM_JOB_DIMS] =
+            std::array::from_fn(|_| BTreeMap::new());
+        for j in jobs {
+            let mp = j.partition.midplanes().next();
+            let mp_key = mp.map_or(u64::MAX, |m| m.index() as u64);
+            raw[0].push(mp_key);
+            raw[1].push(u64::from(j.user.0));
+            raw[2].push(u64::from(j.project.0));
+            raw[3].push(u64::from(j.exec.0));
+            raw[4].push(u64::from(j.size_midplanes()));
+            labels[0]
+                .entry(mp_key)
+                .or_insert_with(|| mp.map_or_else(|| "-".to_string(), |m| m.to_string()));
+            labels[1]
+                .entry(u64::from(j.user.0))
+                .or_insert_with(|| j.user.to_string());
+            labels[2]
+                .entry(u64::from(j.project.0))
+                .or_insert_with(|| j.project.to_string());
+            labels[3]
+                .entry(u64::from(j.exec.0))
+                .or_insert_with(|| j.exec.to_string());
+            labels[4]
+                .entry(u64::from(j.size_midplanes()))
+                .or_insert_with(|| j.size_midplanes().to_string());
+        }
+        let dicts: [Interner<u64>; NUM_JOB_DIMS] =
+            std::array::from_fn(|d| Interner::from_values(raw[d].iter().copied()));
+        let cols: [Vec<u32>; NUM_JOB_DIMS] = std::array::from_fn(|d| {
+            raw[d]
+                .iter()
+                .map(|&k| dicts[d].id(k).unwrap_or(0))
+                .collect()
+        });
+        let names: [Vec<String>; NUM_JOB_DIMS] = std::array::from_fn(|d| {
+            dicts[d]
+                .values()
+                .iter()
+                .map(|k| labels[d].get(k).cloned().unwrap_or_default())
+                .collect()
+        });
+        let mut by_job_id: Vec<(u64, u32)> = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, j)| (j.job_id, i as u32))
+            .collect();
+        by_job_id.sort_unstable();
+        JobDims {
+            cols,
+            dicts,
+            names,
+            by_job_id,
+        }
+    }
+
+    /// Number of rows (jobs).
+    pub fn rows(&self) -> usize {
+        self.by_job_id.len()
+    }
+
+    /// The row of `job_id`, if present.
+    pub fn row_of(&self, job_id: u64) -> Option<u32> {
+        self.by_job_id
+            .binary_search_by_key(&job_id, |&(id, _)| id)
+            .ok()
+            .and_then(|i| self.by_job_id.get(i).map(|&(_, row)| row))
+    }
+
+    /// The interned column of job dimension `d` (0 = midplane, 1 = user,
+    /// 2 = project, 3 = exec, 4 = size).
+    pub fn job_col(&self, d: usize) -> &[u32] {
+        self.cols.get(d).map_or(&[], Vec::as_slice)
+    }
+
+    /// Distinct values (= id universe size) of job dimension `d`.
+    pub fn job_dict_len(&self, d: usize) -> usize {
+        self.dicts.get(d).map_or(0, Interner::len)
+    }
+
+    /// Display name of `id` in job dimension `d` ("" when out of range).
+    pub fn job_name(&self, d: usize, id: u32) -> &str {
+        self.names
+            .get(d)
+            .and_then(|names| names.get(id as usize))
+            .map_or("", String::as_str)
+    }
+}
+
+/// An item is `(dimension index, interned id)`; itemsets are sorted by
+/// dimension (at most one item per dimension), so tuple lex order is a
+/// canonical total order.
+type Item = (u8, u32);
+
+/// One ranked over-represented combination.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FdaItemset {
+    /// The `dim=value` components, in dimension order.
+    pub items: Vec<FdaItemValue>,
+    /// Interrupted jobs matching every item.
+    pub fatal_support: u32,
+    /// All jobs matching every item.
+    pub total_support: u32,
+    /// `(fatal_support / n_fatal) / (total_support / n_jobs)` — how
+    /// over-represented the combination is among interrupted jobs.
+    pub lift: f64,
+}
+
+/// One `dim=value` component of an itemset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FdaItemValue {
+    /// Which dimension.
+    pub dim: FdaDim,
+    /// The display form of the value.
+    pub value: String,
+}
+
+/// The FDA stage product: ranked over-represented dimension combinations.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FdaAnalysis {
+    /// Rows in the lattice (jobs in the log).
+    pub n_jobs: usize,
+    /// Interrupted rows (jobs attributed to a fatal event).
+    pub n_fatal: usize,
+    /// The resolved absolute minimum fatal support used.
+    pub min_support: u32,
+    /// Deepest level mined.
+    pub max_level: usize,
+    /// Itemsets with lift ≥ `min_lift`, ranked by (lift desc, fatal
+    /// support desc, items asc).
+    pub ranked: Vec<FdaItemset>,
+}
+
+/// The assembled 6-column table the miner scans: the five job-side
+/// columns plus the errcode column joined in from the matching.
+struct Table<'a> {
+    /// `cols[d][row]`, `d` in lattice order.
+    cols: [&'a [u32]; NUM_DIMS],
+    /// Id-universe size per column.
+    sizes: [usize; NUM_DIMS],
+    /// Rows attributed to a fatal event, ascending.
+    fatal_rows: &'a [u32],
+}
+
+impl Table<'_> {
+    fn matches(&self, row: u32, items: &[Item]) -> bool {
+        items
+            .iter()
+            .all(|&(d, id)| self.cols[d as usize].get(row as usize) == Some(&id))
+    }
+}
+
+/// Compressed postings: for each id of one column, the ascending list of
+/// rows carrying it. Built with counting sort, so list order is row order.
+struct Postings {
+    starts: Vec<u32>,
+    rows: Vec<u32>,
+}
+
+impl Postings {
+    fn build(col: &[u32], n_ids: usize) -> Postings {
+        let mut counts = vec![0u32; n_ids + 1];
+        for &id in col {
+            if let Some(c) = counts.get_mut(id as usize + 1) {
+                *c += 1;
+            }
+        }
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let starts = counts.clone();
+        let mut rows = vec![0u32; col.len()];
+        let mut cursor = starts.clone();
+        for (row, &id) in col.iter().enumerate() {
+            if let Some(pos) = cursor.get_mut(id as usize) {
+                if let Some(slot) = rows.get_mut(*pos as usize) {
+                    *slot = row as u32;
+                }
+                *pos += 1;
+            }
+        }
+        Postings { starts, rows }
+    }
+
+    fn list(&self, id: u32) -> &[u32] {
+        let lo = self.starts.get(id as usize).copied().unwrap_or(0) as usize;
+        let hi = self.starts.get(id as usize + 1).copied().unwrap_or(0) as usize;
+        self.rows.get(lo..hi).unwrap_or(&[])
+    }
+}
+
+impl FdaAnalysis {
+    /// Mine the lattice. `events` and `matching` supply the errcode
+    /// column and the fatal-row set (a job is fatal iff the matching
+    /// attributed it to an event); `dims` is the interned job table from
+    /// [`AnalysisContext::fda_columns`]. Results are bit-identical for
+    /// every `threads >= 1`.
+    pub fn compute(
+        events: &[Event],
+        matching: &Matching,
+        dims: &JobDims,
+        params: &FdaParams,
+        threads: usize,
+    ) -> FdaAnalysis {
+        let n = dims.rows();
+        // Errcode column: id 0 = "no interruption", ids 1.. = rank in the
+        // sorted dictionary of attributed codes (+1). Victim lists are
+        // event-ordered, so this loop is deterministic.
+        let mut attributed: Vec<(u32, u16)> = Vec::new();
+        for (i, em) in matching.per_event.iter().enumerate() {
+            let code = events.get(i).map_or(0, |e| e.errcode.0);
+            for &job_id in &em.victims {
+                if let Some(row) = dims.row_of(job_id) {
+                    attributed.push((row, code));
+                }
+            }
+        }
+        attributed.sort_unstable();
+        attributed.dedup_by_key(|p| p.0);
+        let errdict = Interner::from_values(attributed.iter().map(|&(_, c)| c));
+        let mut errcol = vec![0u32; n];
+        for &(row, code) in &attributed {
+            if let Some(slot) = errcol.get_mut(row as usize) {
+                *slot = errdict.id(code).unwrap_or(0) + 1;
+            }
+        }
+        let fatal_rows: Vec<u32> = attributed.iter().map(|&(r, _)| r).collect();
+        let n_fatal = fatal_rows.len();
+        let min_support = params.min_support(n_fatal);
+        let max_level = params.max_level.min(NUM_DIMS);
+
+        let table = Table {
+            cols: [
+                &errcol,
+                &dims.cols[0],
+                &dims.cols[1],
+                &dims.cols[2],
+                &dims.cols[3],
+                &dims.cols[4],
+            ],
+            sizes: [
+                errdict.len() + 1,
+                dims.dicts[0].len(),
+                dims.dicts[1].len(),
+                dims.dicts[2].len(),
+                dims.dicts[3].len(),
+                dims.dicts[4].len(),
+            ],
+            fatal_rows: &fatal_rows,
+        };
+
+        let mut analysis = FdaAnalysis {
+            n_jobs: n,
+            n_fatal,
+            min_support,
+            max_level,
+            ranked: Vec::new(),
+        };
+        if n == 0 || n_fatal == 0 || max_level == 0 {
+            return analysis;
+        }
+
+        let postings: Vec<Postings> = (0..NUM_DIMS)
+            .map(|d| Postings::build(table.cols[d], table.sizes[d]))
+            .collect();
+
+        // Level 1: fatal support per item from one deterministic pass
+        // over the fatal rows.
+        let mut level1: Vec<Vec<u32>> = table.sizes.iter().map(|&s| vec![0u32; s]).collect();
+        for &row in table.fatal_rows {
+            for d in 0..NUM_DIMS {
+                let id = table.cols[d].get(row as usize).copied().unwrap_or(0);
+                if let Some(c) = level1
+                    .get_mut(d)
+                    .and_then(|counts| counts.get_mut(id as usize))
+                {
+                    *c += 1;
+                }
+            }
+        }
+        let mut frequent: Vec<Vec<Item>> = Vec::new();
+        let mut supports: Vec<u32> = Vec::new();
+        for (d, counts) in level1.iter().enumerate() {
+            for (id, &c) in counts.iter().enumerate() {
+                // Errcode id 0 is the non-fatal sentinel: it never occurs
+                // on a fatal row, so `c >= min_support` excludes it.
+                if c >= min_support {
+                    frequent.push(vec![(d as u8, id as u32)]);
+                    supports.push(c);
+                }
+            }
+        }
+
+        let mut mined: Vec<(Vec<Item>, u32, u32, f64)> = Vec::new();
+        let mut level = 1;
+        loop {
+            // Total support + lift for this level's frequent sets.
+            let totals = count_total(&table, &postings, &frequent, threads);
+            for ((items, &fatal), total) in frequent.iter().zip(&supports).zip(totals) {
+                let lift =
+                    (f64::from(fatal) * n as f64) / (f64::from(total.max(1)) * n_fatal as f64);
+                if lift >= params.min_lift {
+                    mined.push((items.clone(), fatal, total, lift));
+                }
+            }
+            level += 1;
+            if level > max_level || frequent.is_empty() {
+                break;
+            }
+            let candidates = gen_candidates(&frequent);
+            if candidates.is_empty() {
+                break;
+            }
+            let counts = count_fatal(&table, &candidates, threads);
+            let mut next_frequent = Vec::new();
+            let mut next_supports = Vec::new();
+            for (items, c) in candidates.into_iter().zip(counts) {
+                if c >= min_support {
+                    next_frequent.push(items);
+                    next_supports.push(c);
+                }
+            }
+            frequent = next_frequent;
+            supports = next_supports;
+        }
+
+        // Serial final ranking: lift desc, fatal support desc, items asc.
+        mined.sort_by(|a, b| {
+            b.3.total_cmp(&a.3)
+                .then_with(|| b.1.cmp(&a.1))
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        analysis.ranked = mined
+            .into_iter()
+            .map(|(items, fatal, total, lift)| FdaItemset {
+                items: items
+                    .iter()
+                    .map(|&(d, id)| FdaItemValue {
+                        dim: FdaDim::from_index(d),
+                        value: item_name(dims, &errdict, d, id),
+                    })
+                    .collect(),
+                fatal_support: fatal,
+                total_support: total,
+                lift,
+            })
+            .collect();
+        analysis
+    }
+
+    /// Convenience wrapper used by the stage: resolve the interned
+    /// columns from the context and mine.
+    pub fn from_context(
+        events: &[Event],
+        matching: &Matching,
+        ctx: &AnalysisContext<'_>,
+        params: &FdaParams,
+        threads: usize,
+    ) -> FdaAnalysis {
+        FdaAnalysis::compute(events, matching, ctx.fda_columns(), params, threads)
+    }
+}
+
+/// Display name for one item.
+fn item_name(dims: &JobDims, errdict: &Interner<u16>, d: u8, id: u32) -> String {
+    if d == 0 {
+        return match id.checked_sub(1).and_then(|i| errdict.value(i)) {
+            Some(code) => ErrCode(code).to_string(),
+            None => "-".to_string(),
+        };
+    }
+    dims.names
+        .get(d as usize - 1)
+        .and_then(|names| names.get(id as usize))
+        .cloned()
+        .unwrap_or_default()
+}
+
+/// Apriori join + downward closure: from the lex-sorted frequent
+/// `k`-itemsets, every candidate `(k+1)`-itemset whose `k`-subsets are
+/// all frequent. Serial; output is lex-sorted by construction.
+fn gen_candidates(frequent: &[Vec<Item>]) -> Vec<Vec<Item>> {
+    let mut out = Vec::new();
+    let k = frequent.first().map_or(0, Vec::len);
+    let mut i = 0;
+    while i < frequent.len() {
+        let prefix = frequent[i].get(..k.saturating_sub(1)).unwrap_or(&[]);
+        let mut j = i;
+        while j < frequent.len() && frequent[j].get(..k.saturating_sub(1)).unwrap_or(&[]) == prefix
+        {
+            j += 1;
+        }
+        for a in i..j {
+            for b in (a + 1)..j {
+                let (la, lb) = match (frequent[a].last(), frequent[b].last()) {
+                    (Some(&la), Some(&lb)) => (la, lb),
+                    _ => continue,
+                };
+                // One item per dimension: the joined last items must be
+                // on strictly different dimensions.
+                if la.0 >= lb.0 {
+                    continue;
+                }
+                let mut cand = frequent[a].clone();
+                cand.push(lb);
+                // Downward closure: dropping the last two positions
+                // yields `frequent[a]` / `frequent[b]`; check the rest.
+                let closed = (0..k.saturating_sub(1)).all(|drop| {
+                    let sub: Vec<Item> = cand
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(p, &it)| (p != drop).then_some(it))
+                        .collect();
+                    frequent.binary_search(&sub).is_ok()
+                });
+                if closed {
+                    out.push(cand);
+                }
+            }
+        }
+        i = j;
+    }
+    out
+}
+
+/// Fatal-support counts, one per candidate, in candidate order. The
+/// parallel path pre-chunks candidates into ≤ `threads` contiguous
+/// shards, counts each shard on its own thread into a fixed-order
+/// vector, and concatenates serially — bit-identical to the serial path.
+fn count_fatal(table: &Table<'_>, candidates: &[Vec<Item>], threads: usize) -> Vec<u32> {
+    shard_map(
+        candidates,
+        threads,
+        table.fatal_rows.len() as u64,
+        |items| {
+            let mut c = 0u32;
+            for &row in table.fatal_rows {
+                if table.matches(row, items) {
+                    c += 1;
+                }
+            }
+            c
+        },
+    )
+}
+
+/// Total-support counts via postings intersection: walk the shortest
+/// posting list among the itemset's items and verify the rest against
+/// the columns. Sharded the same way as [`count_fatal`].
+fn count_total(
+    table: &Table<'_>,
+    postings: &[Postings],
+    itemsets: &[Vec<Item>],
+    threads: usize,
+) -> Vec<u32> {
+    shard_map(itemsets, threads, 64, |items| {
+        let shortest = items
+            .iter()
+            .min_by_key(|&&(d, id)| postings.get(d as usize).map_or(0, |p| p.list(id).len()));
+        let Some(&(d, id)) = shortest else { return 0 };
+        let list = postings.get(d as usize).map_or(&[][..], |p| p.list(id));
+        let mut c = 0u32;
+        for &row in list {
+            if table.matches(row, items) {
+                c += 1;
+            }
+        }
+        c
+    })
+}
+
+/// Map `f` over `items` in order, sharding across ≤ `threads` contiguous
+/// chunks when the work (`items × work_per_item`) clears the size gate.
+/// Output order never depends on the thread count.
+fn shard_map<T: Sync, R: Send>(
+    items: &[T],
+    threads: usize,
+    work_per_item: u64,
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    let work = items.len() as u64 * work_per_item.max(1);
+    if threads <= 1 || items.len() < threads || work < MIN_PARALLEL_WORK {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let chunks: Vec<&[T]> = items.chunks(chunk.max(1)).collect();
+    let nested = map_chunks_parallel(&chunks, |c| c.iter().map(&f).collect::<Vec<R>>());
+    nested.into_iter().flatten().collect()
+}
+
+impl fmt::Display for FdaAnalysis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Dimensional root cause (FDA)")?;
+        writeln!(
+            f,
+            "  {} jobs, {} interrupted; min support {}, max level {}; {} over-represented combinations",
+            self.n_jobs,
+            self.n_fatal,
+            self.min_support,
+            self.max_level,
+            self.ranked.len()
+        )?;
+        for set in self.ranked.iter().take(REPORT_TOP) {
+            let items: Vec<String> = set
+                .items
+                .iter()
+                .map(|iv| format!("{}={}", iv.dim.name(), iv.value))
+                .collect();
+            writeln!(
+                f,
+                "  {:>7.1}x  {:>6}/{:<8} {}",
+                set.lift,
+                set.fatal_support,
+                set.total_support,
+                items.join(", ")
+            )?;
+        }
+        if self.ranked.len() > REPORT_TOP {
+            writeln!(f, "  … and {} more", self.ranked.len() - REPORT_TOP)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_support_is_relative_with_floor() {
+        let p = FdaParams::default();
+        assert_eq!(p.min_support(0), 5);
+        assert_eq!(p.min_support(100), 5);
+        assert_eq!(p.min_support(1000), 10);
+        assert_eq!(p.min_support(12345), 124);
+    }
+
+    #[test]
+    fn postings_lists_are_row_sorted() {
+        let col = vec![1u32, 0, 1, 2, 0, 1];
+        let p = Postings::build(&col, 3);
+        assert_eq!(p.list(0), &[1, 4]);
+        assert_eq!(p.list(1), &[0, 2, 5]);
+        assert_eq!(p.list(2), &[3]);
+        assert_eq!(p.list(3), &[] as &[u32]);
+    }
+
+    #[test]
+    fn candidate_generation_joins_and_closes() {
+        // Frequent 1-itemsets on dims 0,1,2; pair (1,*)+(2,*) frequent
+        // only when both singletons are.
+        let f1: Vec<Vec<Item>> = vec![vec![(0, 3)], vec![(1, 7)], vec![(2, 1)]];
+        let c2 = gen_candidates(&f1);
+        assert_eq!(
+            c2,
+            vec![
+                vec![(0, 3), (1, 7)],
+                vec![(0, 3), (2, 1)],
+                vec![(1, 7), (2, 1)],
+            ]
+        );
+        // With only two of the three pairs frequent, the triple fails
+        // downward closure.
+        let f2: Vec<Vec<Item>> = vec![vec![(0, 3), (1, 7)], vec![(0, 3), (2, 1)]];
+        assert_eq!(gen_candidates(&f2), Vec::<Vec<Item>>::new());
+        let f2b: Vec<Vec<Item>> = vec![
+            vec![(0, 3), (1, 7)],
+            vec![(0, 3), (2, 1)],
+            vec![(1, 7), (2, 1)],
+        ];
+        assert_eq!(gen_candidates(&f2b), vec![vec![(0, 3), (1, 7), (2, 1)]]);
+    }
+
+    #[test]
+    fn same_dimension_items_never_join() {
+        let f1: Vec<Vec<Item>> = vec![vec![(1, 0)], vec![(1, 1)]];
+        assert_eq!(gen_candidates(&f1), Vec::<Vec<Item>>::new());
+    }
+
+    #[test]
+    fn shard_map_matches_serial_above_gate() {
+        let items: Vec<u64> = (0..100_000).collect();
+        let serial = shard_map(&items, 1, 1, |&x| x * 3 + 1);
+        for t in [2, 7, 16] {
+            assert_eq!(shard_map(&items, t, 1, |&x| x * 3 + 1), serial);
+        }
+    }
+}

@@ -3,6 +3,7 @@
 pub mod burst;
 pub mod checkpoint;
 pub mod failure_stats;
+pub mod fda;
 pub mod interruption;
 pub mod midplane;
 pub mod propagation;
@@ -12,6 +13,7 @@ pub mod vulnerability;
 
 pub use burst::BurstAnalysis;
 pub use failure_stats::FailureStats;
+pub use fda::{FdaAnalysis, FdaItemset, FdaParams};
 pub use interruption::InterruptionStats;
 pub use midplane::MidplaneProfile;
 pub use propagation::PropagationAnalysis;

@@ -23,12 +23,14 @@
 //! interval indexes, which are already built once at log construction; the
 //! context re-exposes them so stages depend on one type only.
 
+use crate::analysis::fda::JobDims;
 use crate::event::Event;
 use bgp_model::{Duration, MidplaneId, Timestamp};
 use joblog::{ExecId, JobLog, JobRecord};
 use raslog::{ErrCode, RasLog, RasRecord};
 use std::collections::HashMap;
 use std::ops::Range;
+use std::sync::OnceLock;
 
 /// One day's (or one poll's) worth of new log lines, ready to fold into a
 /// resident analysis via `DeltaSession::append`.
@@ -293,6 +295,9 @@ pub struct AnalysisContext<'a> {
     /// walk it with monotone cursors.
     end_order: Vec<u32>,
     span: Option<(Timestamp, Timestamp)>,
+    /// Interned job-dimension columns for the FDA lattice, built lazily on
+    /// first use (only the `Fda` stage pays for them).
+    fda_dims: OnceLock<JobDims>,
 }
 
 impl<'a> AnalysisContext<'a> {
@@ -357,6 +362,7 @@ impl<'a> AnalysisContext<'a> {
             exec_groups,
             end_order,
             span,
+            fda_dims: OnceLock::new(),
         }
     }
 
@@ -389,6 +395,16 @@ impl<'a> AnalysisContext<'a> {
             .iter()
             .filter_map(|(code, r)| self.code_events.get(r.clone()).map(|s| (*code, s)))
             .collect()
+    }
+
+    /// The interned job-dimension columns of the FDA lattice (midplane,
+    /// user, project, executable, size — one dense-`u32` column each, plus
+    /// the sorted dictionaries behind the ids). Built lazily on first call
+    /// and memoized for the context's lifetime, so only the `Fda` stage
+    /// pays the columnarization cost.
+    pub fn fda_columns(&self) -> &JobDims {
+        self.fda_dims
+            .get_or_init(|| JobDims::from_jobs(self.jobs.jobs()))
     }
 
     /// The job at machine-wide termination rank `rank` (a position in the

@@ -46,6 +46,7 @@ pub mod report;
 pub mod stage;
 pub mod stream;
 
+pub use analysis::{FdaAnalysis, FdaParams};
 pub use context::{AnalysisContext, AppendBatch, ContextDelta, EventStore};
 pub use event::Event;
 pub use load::{

@@ -15,7 +15,8 @@
 
 use crate::analysis::failure_stats::TableIv;
 use crate::analysis::{
-    BurstAnalysis, InterruptionStats, MidplaneProfile, PropagationAnalysis, VulnerabilityAnalysis,
+    BurstAnalysis, FdaAnalysis, FdaParams, InterruptionStats, MidplaneProfile, PropagationAnalysis,
+    VulnerabilityAnalysis,
 };
 use crate::classify::{ImpactSummary, RootCauseSummary};
 use crate::context::{AnalysisContext, AppendBatch, ContextDelta, EventStore};
@@ -44,9 +45,11 @@ pub struct CoAnalysisConfig {
     /// Window for "re-interrupted quickly" (Observation 6; paper: 1000 s).
     pub quick_window: Duration,
     /// Number of worker threads for the sharded stages (filters, matching,
-    /// root-cause classification, vulnerability ranking); 1 = fully
-    /// sequential. Every stage is bit-identical at any thread count.
+    /// root-cause classification, vulnerability ranking, FDA mining); 1 =
+    /// fully sequential. Every stage is bit-identical at any thread count.
     pub threads: usize,
+    /// Fast Dimensional Analysis (frequent-itemset mining) parameters.
+    pub fda: FdaParams,
 }
 
 impl Default for CoAnalysisConfig {
@@ -61,6 +64,7 @@ impl Default for CoAnalysisConfig {
             threads: std::thread::available_parallelism()
                 .map(|n| n.get().min(8))
                 .unwrap_or(1),
+            fda: FdaParams::default(),
         }
     }
 }
@@ -113,6 +117,9 @@ pub struct CoAnalysisResult {
     pub propagation: PropagationAnalysis,
     /// Section VI-D vulnerability analysis.
     pub vulnerability: VulnerabilityAnalysis,
+    /// Fast Dimensional Analysis: ranked over-represented dimension
+    /// combinations among interrupted jobs.
+    pub fda: FdaAnalysis,
 }
 
 impl CoAnalysis {
@@ -206,13 +213,28 @@ impl DeltaSession {
         };
         // An empty cache marks every stage dirty, so the default (empty)
         // delta yields the priming full pass.
-        let (result, _) = session.run_delta(&ContextDelta::default());
+        let (result, _) = session.run_delta(&ContextDelta::default(), None);
         (session, result)
     }
 
     /// Fold one batch of new records through the stage graph; returns the
     /// refreshed full report and which stages actually re-ran.
     pub fn append(&mut self, batch: AppendBatch) -> (CoAnalysisResult, DeltaReport) {
+        self.append_with_observer(batch, None)
+    }
+
+    /// [`DeltaSession::append`] with a [`StageObserver`] notified around
+    /// every stage that re-runs — the hook `coctl analyze --append
+    /// --timings` and the daemon's fold worker use to record per-fold
+    /// stage wall-clock. Clean (cache-served) stages are not reported.
+    ///
+    /// Contract: identical results to [`DeltaSession::append`]; the
+    /// observer cannot affect them.
+    pub fn append_with_observer(
+        &mut self,
+        batch: AppendBatch,
+        observer: Option<&dyn StageObserver>,
+    ) -> (CoAnalysisResult, DeltaReport) {
         let mut delta = match self.store.as_mut() {
             Some(store) => store.append_ras(batch.ras),
             None => ContextDelta::default(),
@@ -221,7 +243,7 @@ impl DeltaSession {
         if !batch.jobs.is_empty() {
             self.jobs.append(batch.jobs);
         }
-        self.run_delta(&delta)
+        self.run_delta(&delta, observer)
     }
 
     /// Records ingested so far (events on the RAS side, rows on the job
@@ -236,7 +258,11 @@ impl DeltaSession {
         &self.jobs
     }
 
-    fn run_delta(&mut self, delta: &ContextDelta) -> (CoAnalysisResult, DeltaReport) {
+    fn run_delta(
+        &mut self,
+        delta: &ContextDelta,
+        observer: Option<&dyn StageObserver>,
+    ) -> (CoAnalysisResult, DeltaReport) {
         // Move the event buffers into a context (no copy), run, and move
         // them back out — the context's job-side indexes are the only part
         // rebuilt per pass, and the job log at paper scale is ~30× smaller
@@ -249,6 +275,7 @@ impl DeltaSession {
             AnalysisSet::all(),
             &mut self.cache,
             delta,
+            observer,
         );
         self.store = Some(ctx.into_store());
         let full = state.into_products().into_result();

@@ -13,7 +13,8 @@
 
 use crate::analysis::failure_stats::TableIv;
 use crate::analysis::{
-    BurstAnalysis, InterruptionStats, MidplaneProfile, PropagationAnalysis, VulnerabilityAnalysis,
+    BurstAnalysis, FdaAnalysis, InterruptionStats, MidplaneProfile, PropagationAnalysis,
+    VulnerabilityAnalysis,
 };
 use crate::classify::{
     classify_impact, classify_root_cause_with_threads, ImpactSummary, RootCauseSummary,
@@ -56,11 +57,13 @@ pub enum StageId {
     Propagation = 10,
     /// Section VI-D vulnerability analysis.
     Vulnerability = 11,
+    /// Fast Dimensional Analysis: frequent-itemset root-cause mining.
+    Fda = 12,
 }
 
 impl StageId {
     /// Every stage, in declaration (= topological) order.
-    pub const ALL: [StageId; 12] = [
+    pub const ALL: [StageId; 13] = [
         StageId::TemporalSpatial,
         StageId::Causal,
         StageId::Matching,
@@ -73,6 +76,7 @@ impl StageId {
         StageId::Interruption,
         StageId::Propagation,
         StageId::Vulnerability,
+        StageId::Fda,
     ];
 
     /// Stable display name.
@@ -90,6 +94,7 @@ impl StageId {
             StageId::Interruption => "interruption",
             StageId::Propagation => "propagation",
             StageId::Vulnerability => "vulnerability",
+            StageId::Fda => "fda",
         }
     }
 
@@ -105,6 +110,7 @@ impl StageId {
             StageId::TableIv | StageId::Midplane | StageId::Propagation => &[StageId::JobRelated],
             StageId::Interruption => &[StageId::RootCause],
             StageId::Vulnerability => &[StageId::RootCause, StageId::Midplane],
+            StageId::Fda => &[StageId::Matching],
         }
     }
 
@@ -144,6 +150,7 @@ impl StageId {
                 "midplane_busy_seconds_min_size",
                 "record_index",
             ],
+            StageId::Fda => &["fda_columns"],
         }
     }
 
@@ -283,6 +290,8 @@ pub enum StageOutput {
     Propagation(PropagationAnalysis),
     /// Vulnerability analysis (boxed: by far the largest payload).
     Vulnerability(Box<VulnerabilityAnalysis>),
+    /// Fast Dimensional Analysis (ranked over-represented combinations).
+    Fda(FdaAnalysis),
 }
 
 /// Accumulated products while the graph executes.
@@ -314,6 +323,7 @@ pub struct PipelineState {
     interruption: Option<InterruptionStats>,
     propagation: Option<PropagationAnalysis>,
     vulnerability: Option<VulnerabilityAnalysis>,
+    fda: Option<FdaAnalysis>,
 }
 
 impl PipelineState {
@@ -406,6 +416,7 @@ impl PipelineState {
             StageOutput::Interruption(i) => self.interruption = Some(i),
             StageOutput::Propagation(p) => self.propagation = Some(p),
             StageOutput::Vulnerability(v) => self.vulnerability = Some(*v),
+            StageOutput::Fda(a) => self.fda = Some(a),
         }
     }
 
@@ -439,6 +450,7 @@ impl PipelineState {
             interruption: self.interruption,
             propagation: self.propagation,
             vulnerability: self.vulnerability,
+            fda: self.fda,
         }
     }
 }
@@ -478,6 +490,8 @@ pub struct AnalysisProducts {
     pub propagation: Option<PropagationAnalysis>,
     /// Vulnerability analysis (`Vulnerability`).
     pub vulnerability: Option<VulnerabilityAnalysis>,
+    /// Fast Dimensional Analysis (`Fda`).
+    pub fda: Option<FdaAnalysis>,
 }
 
 impl AnalysisProducts {
@@ -499,6 +513,7 @@ impl AnalysisProducts {
             interruption: self.interruption?,
             propagation: self.propagation?,
             vulnerability: self.vulnerability?,
+            fda: self.fda?,
         })
     }
 }
@@ -858,6 +873,37 @@ impl Stage for VulnerabilityStage {
     }
 }
 
+/// Contract: mines ranked over-represented dimension combinations (Fast
+/// Dimensional Analysis) from the causally filtered events, the matching's
+/// job attribution, and the interned job-dimension columns; candidate
+/// counting is sharded but bit-identical at any thread count.
+///
+/// Reads: state{events, matching}; ctx{fda_columns}
+struct FdaStage;
+
+impl Stage for FdaStage {
+    fn id(&self) -> StageId {
+        StageId::Fda
+    }
+
+    fn run(
+        &self,
+        ctx: &AnalysisContext<'_>,
+        cfg: &CoAnalysisConfig,
+        state: &PipelineState,
+    ) -> StageOutput {
+        let binding = Matching::default();
+        let matching = state.matching().unwrap_or(&binding);
+        StageOutput::Fda(FdaAnalysis::from_context(
+            state.events(),
+            matching,
+            ctx,
+            &cfg.fda,
+            cfg.threads,
+        ))
+    }
+}
+
 /// Observer of stage execution, called by the executor around every stage.
 ///
 /// The executor itself is clock-free (the `determinism` lint guarantee);
@@ -887,6 +933,7 @@ fn stage(id: StageId) -> &'static dyn Stage {
         StageId::Interruption => &InterruptionStage,
         StageId::Propagation => &PropagationStage,
         StageId::Vulnerability => &VulnerabilityStage,
+        StageId::Fda => &FdaStage,
     }
 }
 
@@ -945,7 +992,7 @@ pub(crate) fn execute(
 /// touching 3 of 200 codes re-filters 3 shards and memcpys the rest.
 #[derive(Debug, Default)]
 pub struct StageCache {
-    outputs: [Option<StageOutput>; 12],
+    outputs: [Option<StageOutput>; 13],
     ts_shards: Vec<(ErrCode, Vec<Event>, usize)>,
 }
 
@@ -998,6 +1045,7 @@ fn dirty_accessors(delta: &ContextDelta) -> Vec<&'static str> {
             "distinct_execs",
             "ended_in_window",
             "exec_groups",
+            "fda_columns",
             "for_each_overlapping",
             "job",
             "job_by_end_rank",
@@ -1034,6 +1082,7 @@ pub(crate) fn execute_delta(
     set: AnalysisSet,
     cache: &mut StageCache,
     delta: &ContextDelta,
+    observer: Option<&dyn StageObserver>,
 ) -> (PipelineState, DeltaReport) {
     let set = set.closure();
     let dirty_ctx = dirty_accessors(delta);
@@ -1071,11 +1120,24 @@ pub(crate) fn execute_delta(
         let mut outputs: Vec<(StageId, StageOutput)> = Vec::with_capacity(dirty.len());
         if let Some(pos) = dirty.iter().position(|&id| id == StageId::TemporalSpatial) {
             dirty.remove(pos);
+            if let Some(o) = observer {
+                o.stage_started(StageId::TemporalSpatial);
+            }
             let out = run_ts_delta(ctx, cfg, cache, &delta.dirty_codes);
+            if let Some(o) = observer {
+                o.stage_finished(StageId::TemporalSpatial);
+            }
             outputs.push((StageId::TemporalSpatial, out));
         }
         outputs.extend(fork_join(&dirty, cfg.threads, &|&id| {
-            (id, stage(id).run(ctx, cfg, &state))
+            if let Some(o) = observer {
+                o.stage_started(id);
+            }
+            let out = stage(id).run(ctx, cfg, &state);
+            if let Some(o) = observer {
+                o.stage_finished(id);
+            }
+            (id, out)
         }));
         for (id, out) in outputs {
             reran = reran.with(id);
@@ -1288,7 +1350,7 @@ mod tests {
         /// The lint proves this for the code as written; this proves it for
         /// the code as executed, on real pipeline data.
         #[test]
-        fn observed_reads_stay_inside_declared_closure(mask in 0u16..(1 << 12)) {
+        fn observed_reads_stay_inside_declared_closure(mask in 0u16..(1 << 13)) {
             let out = sim();
             let ctx = AnalysisContext::new(&out.ras, &out.jobs);
             let cfg = CoAnalysisConfig::default();

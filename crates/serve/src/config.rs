@@ -59,6 +59,11 @@ pub struct ServeConfig {
     pub full_analysis: bool,
     /// Job log for the co-analysis side of `--full-analysis`.
     pub jobs: Option<PathBuf>,
+    /// Worker threads for the `--full-analysis` fold pipeline (the
+    /// `DeltaSession` behind `/analysis`); `None` keeps the pipeline's
+    /// own default. Every stage is bit-identical at any thread count, so
+    /// this is purely a latency knob.
+    pub analysis_threads: Option<usize>,
 }
 
 impl Default for ServeConfig {
@@ -82,6 +87,7 @@ impl Default for ServeConfig {
             record: None,
             full_analysis: false,
             jobs: None,
+            analysis_threads: None,
         }
     }
 }
@@ -106,6 +112,7 @@ impl ServeConfig {
     /// --full-analysis    serve the complete co-analysis report at /analysis,
     ///                    folded incrementally per ingest batch (needs --jobs)
     /// --jobs FILE        job log for the co-analysis side of --full-analysis
+    /// --threads N        worker threads for the --full-analysis fold pipeline
     /// ```
     pub fn from_args(args: &[String]) -> Result<ServeConfig, ServeError> {
         let mut cfg = ServeConfig::default();
@@ -133,6 +140,7 @@ impl ServeConfig {
                 "--record" => cfg.record = Some(PathBuf::from(take(&mut it, "--record")?)),
                 "--full-analysis" => cfg.full_analysis = true,
                 "--jobs" => cfg.jobs = Some(PathBuf::from(take(&mut it, "--jobs")?)),
+                "--threads" => cfg.analysis_threads = Some(take_parsed(&mut it, "--threads")?),
                 "--temporal-secs" => {
                     cfg.temporal = Duration::seconds(take_parsed(&mut it, "--temporal-secs")?);
                 }
@@ -172,6 +180,15 @@ impl ServeConfig {
         if self.jobs.is_some() && !self.full_analysis {
             return Err(ServeError::Config(
                 "--jobs only makes sense with --full-analysis".into(),
+            ));
+        }
+        if self.analysis_threads == Some(0) {
+            return Err(ServeError::Config("--threads must be at least 1".into()));
+        }
+        if self.analysis_threads.is_some() && !self.full_analysis {
+            return Err(ServeError::Config(
+                "--threads only makes sense with --full-analysis (it sizes the fold pipeline)"
+                    .into(),
             ));
         }
         if LineDecoder::for_format(self.format).is_none() {
@@ -337,6 +354,28 @@ mod tests {
         assert!(ServeConfig::from_args(&args(&["--shards", "0"])).is_err());
         assert!(ServeConfig::from_args(&args(&["--bogus"])).is_err());
         assert!(ServeConfig::from_args(&args(&["--shards"])).is_err());
+    }
+
+    #[test]
+    fn analysis_threads_flag_parses_and_validates() {
+        let cfg = ServeConfig::from_args(&args(&[
+            "--full-analysis",
+            "--jobs",
+            "jobs.log",
+            "--threads",
+            "4",
+        ]))
+        .unwrap();
+        assert_eq!(cfg.analysis_threads, Some(4));
+        // Zero threads, threads without --full-analysis, and a bad count
+        // are all config errors.
+        let e =
+            ServeConfig::from_args(&args(&["--full-analysis", "--jobs", "j", "--threads", "0"]))
+                .unwrap_err();
+        assert!(e.to_string().contains("--threads"), "{e}");
+        let e = ServeConfig::from_args(&args(&["--threads", "4"])).unwrap_err();
+        assert!(e.to_string().contains("--full-analysis"), "{e}");
+        assert!(ServeConfig::from_args(&args(&["--threads", "x"])).is_err());
     }
 
     #[test]

@@ -31,7 +31,9 @@ pub struct AnalysisSnapshot {
     pub batches: u64,
     /// RAS records folded through the session (the base starts empty).
     pub records: u64,
-    /// Stages the last fold re-ran (0..=12).
+    /// Stages the last fold re-ran (0..=[`StageId::ALL.len()`]).
+    ///
+    /// [`StageId::ALL.len()`]: coanalysis::StageId::ALL
     pub last_reran: usize,
     /// Stages whose output actually changed on the last fold.
     pub last_changed: usize,
@@ -45,21 +47,30 @@ impl AnalysisSnapshot {
     pub fn render(&self) -> String {
         format!(
             "# full analysis: {} batches ({} records) folded incrementally\n\
-             # last batch: re-ran {}/12 stages, {} changed\n\
+             # last batch: re-ran {}/{} stages, {} changed\n\
              {}",
-            self.batches, self.records, self.last_reran, self.last_changed, self.report
+            self.batches,
+            self.records,
+            self.last_reran,
+            coanalysis::StageId::ALL.len(),
+            self.last_changed,
+            self.report
         )
     }
 }
 
-/// Format a result the way `coctl analyze` prints it to stdout, so the
-/// served report can be diffed against an offline run of the same records.
+/// Format a result the way `coctl analyze --fda` prints it to stdout, so
+/// the served report can be diffed against an offline run of the same
+/// records. The dimensional root-cause (FDA) table rides along: the online
+/// report is exactly where "which user × executable × midplane combination
+/// is failing right now?" matters.
 pub fn render_report(r: &CoAnalysisResult) -> String {
     let s = &r.filter_stats;
     format!(
         "filtering: {} FATAL -> {} events (-{:.2}%), job-related -> {} (-{:.2}%)\n\
          interruptions: {} jobs ({} system / {} application by cause)\n\
          \n\
+         {}\n\
          {}\n",
         s.raw_fatal,
         s.after_causal,
@@ -69,7 +80,8 @@ pub fn render_report(r: &CoAnalysisResult) -> String {
         r.matching.interrupted_jobs(),
         r.interruption.system.count,
         r.interruption.application.count,
-        r.observations()
+        r.observations(),
+        r.fda
     )
 }
 
@@ -102,8 +114,8 @@ impl FullAnalysis {
         let latest = Arc::new(Mutex::new(Arc::new(AnalysisSnapshot {
             batches: 0,
             records: 0,
-            last_reran: 12,
-            last_changed: 12,
+            last_reran: coanalysis::StageId::ALL.len(),
+            last_changed: coanalysis::StageId::ALL.len(),
             report: render_report(&base),
         })));
         let (tx, rx) = sync_channel::<RasRecord>(queue_capacity.max(1));

@@ -195,11 +195,17 @@ impl Server {
             .transpose()?;
         // Likewise the job log: a bad --jobs file is a startup error.
         let full = match (&cfg.full_analysis, &cfg.jobs) {
-            (true, Some(jobs)) => Some(Arc::new(FullAnalysis::start(
-                coanalysis::CoAnalysisConfig::default(),
-                jobs,
-                cfg.queue_capacity,
-            )?)),
+            (true, Some(jobs)) => {
+                let mut analysis_cfg = coanalysis::CoAnalysisConfig::default();
+                if let Some(n) = cfg.analysis_threads {
+                    analysis_cfg.threads = n;
+                }
+                Some(Arc::new(FullAnalysis::start(
+                    analysis_cfg,
+                    jobs,
+                    cfg.queue_capacity,
+                )?))
+            }
             _ => None,
         };
 

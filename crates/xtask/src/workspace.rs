@@ -193,6 +193,7 @@ const KERNEL_SCOPE: &[(&str, bool)] = &[
     ("crates/core/src/matching.rs", false),
     ("crates/core/src/classify/root_cause.rs", false),
     ("crates/core/src/analysis/vulnerability.rs", false),
+    ("crates/core/src/analysis/fda.rs", false),
     ("crates/bgp-model/src/bytes.rs", true), // defines map_chunks_parallel
 ];
 
@@ -438,8 +439,14 @@ mod tests {
             "crates/core/src/matching.rs",
             "crates/core/src/classify/root_cause.rs",
             "crates/core/src/analysis/vulnerability.rs",
+            "crates/core/src/analysis/fda.rs",
             "crates/bench/src/baseline.rs",
         ] {
+            assert!(in_deterministic_scope(path), "{path} should be in scope");
+        }
+        // Every parallel kernel file is also governed by the determinism
+        // rule — `parallel-determinism` scope is a subset by construction.
+        for &(path, _) in KERNEL_SCOPE {
             assert!(in_deterministic_scope(path), "{path} should be in scope");
         }
         // ...while the bench harness itself times things on purpose.

@@ -32,7 +32,7 @@
 use bgp_coanalysis::bgp_serve::{self, ServeConfig, ServeError, StageTimer};
 use bgp_coanalysis::bgp_sim::{SimConfig, Simulation};
 use bgp_coanalysis::coanalysis::analysis::repair::{reconstruct_outages, summarize};
-use bgp_coanalysis::coanalysis::{load, AnalysisSet, CoAnalysis, Event, StageId};
+use bgp_coanalysis::coanalysis::{load, AnalysisSet, CoAnalysis, Event, StageId, StageObserver};
 use bgp_coanalysis::coanalysis::{AnalysisContext, AppendBatch, CoAnalysisConfig};
 use bgp_coanalysis::coanalysis::{CoAnalysisResult, DeltaSession};
 use bgp_coanalysis::coanalysis::{LoadOptions, LogFormat, SnapshotStatus};
@@ -103,7 +103,7 @@ fn usage(err: &str) -> ExitCode {
          \x20 coctl simulate [--days N] [--seed S] [--out DIR]\n\
          \x20 coctl summary RAS.log [--snapshot DIR] [--format F]\n\
          \x20 coctl analyze RAS.log JOBS.log [--snapshot DIR] [--format F] [--timings]\n\
-         \x20 \x20 \x20 \x20 \x20 \x20 \x20 [--threads N] [--impact-out FILE]\n\
+         \x20 \x20 \x20 \x20 \x20 \x20 \x20 [--threads N] [--impact-out FILE] [--fda]\n\
          \x20 \x20 \x20 \x20 \x20 \x20 \x20 [--append RAS2.log]... [--append-jobs JOBS2.log]...\n\
          \x20 coctl filter RAS.log JOBS.log -o CLEAN.log [--snapshot DIR] [--format F]\n\
          \x20 coctl outages RAS.log JOBS.log [--snapshot DIR] [--format F]\n\
@@ -116,7 +116,11 @@ fn usage(err: &str) -> ExitCode {
          --mmap memory-maps input files instead of buffering them.\n\
          analyze --append folds each extra file into the base analysis\n\
          incrementally; the report matches a one-shot run over the\n\
-         concatenation bit for bit.\n\
+         concatenation bit for bit. With --timings, per-stage wall clock\n\
+         goes to stderr for each fold (only dirty stages appear).\n\
+         analyze --fda appends the dimensional root-cause table: frequent\n\
+         (errcode, midplane, user, project, executable, size) combinations\n\
+         ranked by lift over the interruption base rate.\n\
          serve runs the streaming daemon (see `coserved --help` for its flags)."
     );
     if err.is_empty() {
@@ -280,6 +284,7 @@ enum AppendSpec {
 fn cmd_analyze(args: &[String]) -> Result<(), CliError> {
     let (rest, opts) = snapshot_opts(args)?;
     let mut timings = false;
+    let mut fda = false;
     let mut impact_out: Option<PathBuf> = None;
     let mut threads: Option<usize> = None;
     let mut appends: Vec<AppendSpec> = Vec::new();
@@ -288,6 +293,7 @@ fn cmd_analyze(args: &[String]) -> Result<(), CliError> {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--timings" => timings = true,
+            "--fda" => fda = true,
             "--append" => {
                 appends.push(AppendSpec::Ras(
                     it.next()
@@ -328,17 +334,10 @@ fn cmd_analyze(args: &[String]) -> Result<(), CliError> {
     let [ras_path, jobs_path] = positional[..] else {
         return Err(CliError::Usage(
             "analyze needs RAS.log and JOBS.log (+ optional --timings, --threads N, \
-             --impact-out FILE)"
+             --impact-out FILE, --fda)"
                 .into(),
         ));
     };
-    if timings && !appends.is_empty() {
-        return Err(CliError::Usage(
-            "--timings cannot be combined with --append (delta runs skip clean stages, \
-             so per-stage timings would be incomparable)"
-                .into(),
-        ));
-    }
     let (ras, jobs) = load_both(ras_path, jobs_path, &opts)?;
     let mut pipeline = CoAnalysis::default();
     if let Some(n) = threads {
@@ -346,7 +345,7 @@ fn cmd_analyze(args: &[String]) -> Result<(), CliError> {
     }
     let registry = bgp_serve::Registry::new();
     let r = if !appends.is_empty() {
-        analyze_with_appends(pipeline.config, &ras, jobs, &appends, &opts)?
+        analyze_with_appends(pipeline.config, &ras, jobs, &appends, &opts, timings)?
     } else if timings {
         // Observed run: same products, plus per-stage wall-clock published
         // into the same registry kind the daemon serves at /metrics.
@@ -386,6 +385,9 @@ fn cmd_analyze(args: &[String]) -> Result<(), CliError> {
         r.interruption.application.count
     );
     println!("{}", r.observations());
+    if fda {
+        println!("{}", r.fda);
+    }
     Ok(())
 }
 
@@ -393,6 +395,10 @@ fn cmd_analyze(args: &[String]) -> Result<(), CliError> {
 /// file through it in flag order. Only dirty stages re-run per batch; the
 /// final report is bit-identical to a one-shot run over the concatenation
 /// (the `delta_equivalence` suite and the CI smoke both enforce this).
+///
+/// With `timings`, each fold gets a fresh [`StageTimer`] and its per-stage
+/// wall clock goes to stderr (stdout stays byte-comparable with a one-shot
+/// run); only the stages the delta actually re-ran appear.
 ///
 /// Unlike the base pair, append files may be empty — an uneventful day is
 /// a legitimate increment and re-runs nothing.
@@ -402,10 +408,11 @@ fn analyze_with_appends(
     jobs: JobLog,
     appends: &[AppendSpec],
     opts: &LoadOptions,
+    timings: bool,
 ) -> Result<CoAnalysisResult, CliError> {
     let (mut session, base) = DeltaSession::new(config, ras, jobs);
     let mut last = base;
-    for spec in appends {
+    for (fold, spec) in appends.iter().enumerate() {
         let (path, batch) = match spec {
             AppendSpec::Ras(path) => {
                 let loaded = load::load_ras(Path::new(path), opts)
@@ -429,14 +436,21 @@ fn analyze_with_appends(
             }
         };
         let (n_ras, n_jobs) = (batch.ras.len(), batch.jobs.len());
-        let (result, report) = session.append(batch);
+        let registry = bgp_serve::Registry::new();
+        let timer = timings.then(|| StageTimer::new(&registry));
+        let (result, report) =
+            session.append_with_observer(batch, timer.as_ref().map(|t| t as &dyn StageObserver));
         // Stderr, so stdout stays byte-comparable with a one-shot run.
         eprintln!(
             "note: {path}: +{n_ras} RAS records, +{n_jobs} job rows; \
-             re-ran {} of 12 stages, {} changed",
+             re-ran {} of {} stages, {} changed",
             report.reran.stages().len(),
+            StageId::ALL.len(),
             report.changed.stages().len()
         );
+        if let Some(timer) = &timer {
+            eprint!("fold {} {}", fold + 1, timer.report());
+        }
         last = result;
     }
     Ok(last)

@@ -40,6 +40,7 @@ fn usage() {
          \x20 --full-analysis    serve the complete co-analysis at /analysis,\n\
          \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20  folded incrementally per ingest batch\n\
          \x20 --jobs FILE        job log for --full-analysis\n\
+         \x20 --threads N        worker threads for the --full-analysis folds\n\
          \n\
          endpoints: GET /healthz /metrics /events /summary /analysis /shutdown"
     );

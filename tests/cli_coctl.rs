@@ -203,8 +203,10 @@ fn analyze_append_is_byte_identical_to_one_shot() {
     let err = String::from_utf8_lossy(&delta.stderr);
     assert!(err.contains("re-ran"), "{err}");
 
-    // --timings is incompatible with --append: delta runs skip stages.
-    let out = coctl()
+    // --timings composes with --append: each fold reports the wall clock
+    // of the stages it actually re-ran, on stderr, and stdout stays
+    // byte-identical to the one-shot run.
+    let timed = coctl()
         .arg("analyze")
         .args([&ras1, &jobs1])
         .arg("--append")
@@ -212,7 +214,43 @@ fn analyze_append_is_byte_identical_to_one_shot() {
         .arg("--timings")
         .output()
         .unwrap();
-    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        timed.status.success(),
+        "{}",
+        String::from_utf8_lossy(&timed.stderr)
+    );
+    let err = String::from_utf8_lossy(&timed.stderr);
+    assert!(err.contains("fold 1 stage timings:"), "{err}");
+}
+
+#[test]
+fn analyze_fda_appends_the_dimensional_table() {
+    let dir = site_logs();
+    let plain = coctl()
+        .arg("analyze")
+        .arg(dir.join("ras.log"))
+        .arg(dir.join("jobs.log"))
+        .output()
+        .unwrap();
+    assert!(plain.status.success());
+    let fda = coctl()
+        .arg("analyze")
+        .arg(dir.join("ras.log"))
+        .arg(dir.join("jobs.log"))
+        .arg("--fda")
+        .output()
+        .unwrap();
+    assert!(
+        fda.status.success(),
+        "{}",
+        String::from_utf8_lossy(&fda.stderr)
+    );
+    let plain_text = String::from_utf8_lossy(&plain.stdout);
+    let text = String::from_utf8_lossy(&fda.stdout);
+    // The flag strictly appends: the observation report is unchanged.
+    assert!(text.starts_with(plain_text.as_ref()), "--fda must append");
+    assert!(!plain_text.contains("Dimensional root cause"));
+    assert!(text.contains("Dimensional root cause (FDA)"), "{text}");
 }
 
 #[test]

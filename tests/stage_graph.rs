@@ -14,7 +14,8 @@
 use bgp_coanalysis::bgp_sim::{SimConfig, SimOutput, Simulation};
 use bgp_coanalysis::coanalysis::analysis::failure_stats::TableIv;
 use bgp_coanalysis::coanalysis::analysis::{
-    BurstAnalysis, InterruptionStats, MidplaneProfile, PropagationAnalysis, VulnerabilityAnalysis,
+    BurstAnalysis, FdaAnalysis, InterruptionStats, MidplaneProfile, PropagationAnalysis,
+    VulnerabilityAnalysis,
 };
 use bgp_coanalysis::coanalysis::classify::{classify_impact, classify_root_cause};
 use bgp_coanalysis::coanalysis::event::Event;
@@ -80,6 +81,9 @@ fn legacy_run(out: &SimOutput, cfg: &CoAnalysisConfig) -> CoAnalysisResult {
         &ctx,
         &midplane.fatal_counts,
     );
+    // Sequential FDA mine — the graph runs it at cfg.threads, so this
+    // comparison doubles as a thread-count-invariance check.
+    let fda = FdaAnalysis::compute(&events, &matching, ctx.fda_columns(), &cfg.fda, 1);
 
     CoAnalysisResult {
         events,
@@ -96,6 +100,7 @@ fn legacy_run(out: &SimOutput, cfg: &CoAnalysisConfig) -> CoAnalysisResult {
         interruption,
         propagation,
         vulnerability,
+        fda,
     }
 }
 
@@ -147,6 +152,7 @@ fn assert_results_equal(legacy: &CoAnalysisResult, graph: &CoAnalysisResult, see
         legacy.vulnerability, graph.vulnerability,
         "vulnerability differs (seed {seed})"
     );
+    assert_eq!(legacy.fda, graph.fda, "fda differs (seed {seed})");
 }
 
 #[test]
@@ -176,10 +182,10 @@ fn fixture() -> &'static (SimOutput, CoAnalysisResult) {
 }
 
 proptest! {
-    /// Any of the 4096 stage subsets agrees with the full run on every
+    /// Any of the 8192 stage subsets agrees with the full run on every
     /// product it emits — and emits exactly the closure's products.
     #[test]
-    fn any_subset_agrees_with_full_run(bits in 0u16..4096) {
+    fn any_subset_agrees_with_full_run(bits in 0u16..8192) {
         let (out, full) = fixture();
         let set = AnalysisSet::of(
             &StageId::ALL
@@ -208,6 +214,7 @@ proptest! {
         assert_eq!(r.interruption.is_some(), closed.contains(StageId::Interruption));
         assert_eq!(r.propagation.is_some(), closed.contains(StageId::Propagation));
         assert_eq!(r.vulnerability.is_some(), closed.contains(StageId::Vulnerability));
+        assert_eq!(r.fda.is_some(), closed.contains(StageId::Fda));
 
         // Agreement: every emitted product equals the full run's.
         if let Some(v) = &r.events { assert_eq!(v, &full.events); }
@@ -224,5 +231,6 @@ proptest! {
         if let Some(v) = &r.interruption { assert_eq!(v, &full.interruption); }
         if let Some(v) = &r.propagation { assert_eq!(v, &full.propagation); }
         if let Some(v) = &r.vulnerability { assert_eq!(v, &full.vulnerability); }
+        if let Some(v) = &r.fda { assert_eq!(v, &full.fda); }
     }
 }
